@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Shared measurement harness for the figure benches.
+ *
+ * Latency is measured as the paper does (section 5.1): time to last
+ * byte of one transfer issued on a quiet machine. Throughput keeps a
+ * small number of transfers in flight (the benchmark engines on real
+ * Enzian double-buffer the same way) and divides bytes moved by the
+ * makespan, averaging over many runs.
+ */
+
+#ifndef ENZIAN_BENCH_COMMON_HH
+#define ENZIAN_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "platform/enzian_machine.hh"
+#include "platform/platform_factory.hh"
+
+namespace enzian::bench {
+
+/** Print a section header for a figure. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/**
+ * A transfer primitive: move @p bytes once, call done(t) at the last
+ * byte. The harness measures latency/throughput on top of it.
+ */
+using TransferFn =
+    std::function<void(std::uint64_t bytes, std::function<void(Tick)>)>;
+
+/** Latency of one transfer on a quiet queue (microseconds). */
+inline double
+measureLatencyUs(EventQueue &eq, std::uint64_t bytes,
+                 const TransferFn &fn)
+{
+    const Tick start = eq.now();
+    Tick end = 0;
+    bool done = false;
+    fn(bytes, [&](Tick t) {
+        end = t;
+        done = true;
+    });
+    eq.run();
+    if (!done)
+        fatal("bench transfer never completed");
+    return units::toMicros(end - start);
+}
+
+/**
+ * Sustained throughput with @p inflight transfers in flight (GiB/s).
+ */
+inline double
+measureThroughputGiB(EventQueue &eq, std::uint64_t bytes,
+                     std::uint32_t runs, std::uint32_t inflight,
+                     const TransferFn &fn)
+{
+    const Tick start = eq.now();
+    Tick last = 0;
+    std::uint32_t issued = 0, completed = 0;
+    std::function<void()> issue = [&]() {
+        if (issued >= runs)
+            return;
+        ++issued;
+        fn(bytes, [&](Tick t) {
+            last = std::max(last, t);
+            ++completed;
+            issue();
+        });
+    };
+    for (std::uint32_t i = 0; i < inflight && i < runs; ++i)
+        issue();
+    eq.run();
+    if (completed != runs)
+        fatal("bench completed %u of %u transfers", completed, runs);
+    const double secs = units::toSeconds(last - start);
+    return static_cast<double>(bytes) * runs / secs /
+           static_cast<double>(units::GiB);
+}
+
+/** Fresh small-memory Enzian for a measurement. */
+inline std::unique_ptr<platform::EnzianMachine>
+makeBenchMachine(platform::EnzianMachine::Config cfg)
+{
+    cfg.cpu_dram_bytes = 256ull << 20;
+    cfg.fpga_dram_bytes = 256ull << 20;
+    return std::make_unique<platform::EnzianMachine>(cfg);
+}
+
+/**
+ * ECI line-transfer primitive: the FPGA reads (RLDI) or writes (RSTT)
+ * CPU host memory with cache-line transactions, as the Figure 6
+ * microbenchmark does.
+ */
+inline TransferFn
+eciTransfer(platform::EnzianMachine &m, bool write)
+{
+    // Consecutive transfers walk disjoint buffers (as a benchmark
+    // engine's ring would), so in-flight transfers never contend on
+    // the same line at the home agent.
+    auto next_base = std::make_shared<Addr>(0);
+    return [&m, write, next_base](std::uint64_t bytes,
+                                  std::function<void(Tick)> done) {
+        const std::uint64_t lines = (bytes + cache::lineSize - 1) /
+                                    cache::lineSize;
+        const Addr base = *next_base;
+        *next_base = (base + lines * cache::lineSize) % (192ull << 20);
+        auto remaining = std::make_shared<std::uint64_t>(lines);
+        auto last = std::make_shared<Tick>(0);
+        auto cb = [remaining, last,
+                   done = std::move(done)](Tick t) {
+            *last = std::max(*last, t);
+            if (--*remaining == 0)
+                done(*last);
+        };
+        static std::vector<std::uint8_t> payload(cache::lineSize, 0xa5);
+        for (std::uint64_t i = 0; i < lines; ++i) {
+            const Addr line = base + i * cache::lineSize;
+            if (write)
+                m.fpgaRemote().writeLineUncached(line, payload.data(),
+                                                 cb);
+            else
+                m.fpgaRemote().readLineUncached(line, nullptr, cb);
+        }
+    };
+}
+
+/** PCIe DMA transfer primitive on an accelerator system. */
+inline TransferFn
+dmaTransfer(platform::PcieAccelSystem &sys, bool to_host)
+{
+    return [&sys, to_host](std::uint64_t bytes,
+                           std::function<void(Tick)> done) {
+        if (to_host)
+            sys.dma->deviceToHost(0, 0x1000000, bytes,
+                                  std::move(done));
+        else
+            sys.dma->hostToDevice(0x1000000, 0, bytes,
+                                  std::move(done));
+    };
+}
+
+} // namespace enzian::bench
+
+#endif // ENZIAN_BENCH_COMMON_HH

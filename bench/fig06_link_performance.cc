@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 6: link performance, ECI (one link) vs PCIe x16 Gen3.
+ *
+ * Reproduces the paper's microbenchmark: the FPGA reads and writes
+ * host (CPU) memory with uncached, coherent, cache-line-sized
+ * transactions over a single ECI link; the Alveo u250 baseline moves
+ * the same bytes with descriptor-ring DMA over PCIe Gen3 x16.
+ * Latency is time-to-last-byte of one transfer; throughput keeps the
+ * engines' natural pipelining. Also prints the 2-socket ThunderX
+ * CPU-CPU reference from section 5.1 (19 GiB/s, 150 ns).
+ */
+
+#include "bench_common.hh"
+
+using namespace enzian;
+using namespace enzian::bench;
+
+int
+main()
+{
+    header("Figure 6: ECI (one link) vs PCIe x16 Gen3");
+    std::printf("%8s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+                "size_B", "EnzRD_us", "EnzWR_us", "AlvRD_us",
+                "AlvWR_us", "EnzRD_GiB", "EnzWR_GiB", "AlvRD_GiB",
+                "AlvWR_GiB");
+
+    for (std::uint32_t p = 7; p <= 14; ++p) {
+        const std::uint64_t size = 1ull << p;
+        double lat[4], thr[4];
+        int idx = 0;
+        for (const bool write : {false, true}) {
+            // Fresh machine per cell keeps queues quiet.
+            auto cfg = platform::enzianDefaultConfig();
+            cfg.policy = eci::BalancePolicy::SingleLink; // one link
+            auto m = makeBenchMachine(cfg);
+            lat[idx] = measureLatencyUs(m->eventq(), size,
+                                        eciTransfer(*m, write));
+            auto m2 = makeBenchMachine(cfg);
+            thr[idx] = measureThroughputGiB(m2->eventq(), size, 200, 4,
+                                            eciTransfer(*m2, write));
+            ++idx;
+        }
+        for (const bool to_host : {true, false}) {
+            // Alveo read (device<-host): hostToDevice; write: d->h.
+            auto sys = platform::makePcieAccelerator("alveo-u250");
+            lat[idx] = measureLatencyUs(*sys.eq, size,
+                                        dmaTransfer(sys, to_host));
+            auto sys2 = platform::makePcieAccelerator("alveo-u250");
+            thr[idx] = measureThroughputGiB(*sys2.eq, size, 200, 4,
+                                            dmaTransfer(sys2, to_host));
+            ++idx;
+        }
+        // Column order: Enzian RD, Enzian WR, Alveo RD, Alveo WR.
+        std::printf("%8llu %12.3f %12.3f %12.3f %12.3f %12.2f %12.2f "
+                    "%12.2f %12.2f\n",
+                    static_cast<unsigned long long>(size), lat[0],
+                    lat[1], lat[3], lat[2], thr[0], thr[1], thr[3],
+                    thr[2]);
+    }
+
+    // Section 5.1 reference: 2-socket ThunderX-1 NUMA server with
+    // hardware balancing over both links.
+    {
+        auto cfg = platform::twoSocketThunderXConfig();
+        auto m = makeBenchMachine(cfg);
+        const double lat_ns =
+            measureLatencyUs(m->eventq(), 128, eciTransfer(*m, false)) *
+            1000.0;
+        auto m2 = makeBenchMachine(cfg);
+        const double thr = measureThroughputGiB(
+            m2->eventq(), 16384, 400, 8, eciTransfer(*m2, true));
+        std::printf("\n2-socket ThunderX-1 reference: %.0f ns latency, "
+                    "%.1f GiB/s (paper: ~150 ns, 19 GiB/s)\n",
+                    lat_ns, thr);
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The FPGA as a smart programmable storage controller (paper
+ * section 6): an NVMe device behind the fabric, a block cache in
+ * FPGA DRAM, and an in-storage table scan that ships only matching
+ * records to the host.
+ *
+ * Build & run:  ./build/examples/smart_storage
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "platform/enzian_machine.hh"
+#include "platform/platform_factory.hh"
+#include "storage/smart_storage.hh"
+
+using namespace enzian;
+using namespace enzian::storage;
+
+int
+main()
+{
+    auto cfg = platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 64ull << 20;
+    cfg.fpga_dram_bytes = 256ull << 20;
+    platform::EnzianMachine m(cfg);
+
+    NvmeDevice ssd("ssd", m.eventq(), NvmeDevice::Config{});
+    SmartStorageController::Config scfg;
+    scfg.cache_blocks = 4096;
+    SmartStorageController ctrl("smart", m.eventq(), ssd, m.fpgaMem(),
+                                scfg);
+
+    // A table of 64-byte records on flash: {u64 key, payload}.
+    constexpr std::uint32_t rec = 64;
+    const std::uint64_t blocks = 2048; // 8 MiB
+    {
+        std::vector<std::uint8_t> data(blocks * blockBytes, 0);
+        for (std::uint64_t r = 0; r < data.size() / rec; ++r) {
+            const std::uint64_t k = (r % 4096 == 17) ? 0xcafe : r + 1;
+            std::memcpy(&data[r * rec], &k, 8);
+        }
+        ssd.media().write(0, data.data(), data.size());
+        std::printf("table: %llu records (%llu MiB) on flash\n",
+                    static_cast<unsigned long long>(data.size() / rec),
+                    static_cast<unsigned long long>(data.size() >> 20));
+    }
+
+    // 1. In-storage scan: SELECT * WHERE key = 0xcafe.
+    ScanResult res;
+    Tick scan_t = 0;
+    const Tick t0 = m.now();
+    ctrl.scan(0, blocks, rec, 0, 0xcafe, 1000,
+              [&](Tick t, ScanResult r) {
+                  res = std::move(r);
+                  scan_t = t - t0;
+              });
+    m.eventq().run();
+    std::printf("\nin-storage scan: %llu matches of %llu records in "
+                "%.2f ms; %llu B shipped to host (vs %llu MiB raw)\n",
+                static_cast<unsigned long long>(res.matches),
+                static_cast<unsigned long long>(res.records_scanned),
+                units::toSeconds(scan_t) * 1e3,
+                static_cast<unsigned long long>(res.bytes_to_host),
+                static_cast<unsigned long long>(
+                    blocks * blockBytes >> 20));
+
+    // 2. Block cache: re-read a hot block.
+    std::vector<std::uint8_t> out(blockBytes);
+    Tick miss_t = 0, hit_t = 0;
+    Tick s1 = m.now();
+    ctrl.readBlock(100, out.data(), [&](Tick t) { miss_t = t - s1; });
+    m.eventq().run();
+    Tick s2 = m.now();
+    ctrl.readBlock(100, out.data(), [&](Tick t) { hit_t = t - s2; });
+    m.eventq().run();
+    std::printf("\nblock cache: cold read %.0f us (flash), hot read "
+                "%.2f us (FPGA DRAM); %llu hits / %llu misses\n",
+                units::toMicros(miss_t), units::toMicros(hit_t),
+                static_cast<unsigned long long>(ctrl.cacheHits()),
+                static_cast<unsigned long long>(ctrl.cacheMisses()));
+
+    // 3. DRAM-emulated NVM (the paper's alternative when no SSD is
+    //    attached): same interface, storage-class-memory timing.
+    NvmeDevice nvm("nvm", m.eventq(),
+                   NvmeDevice::dramEmulated(1ull << 30));
+    Tick nvm_t = 0;
+    Tick s3 = m.now();
+    std::uint8_t b[blockBytes] = {};
+    nvm.read(0, 1, b, [&](Tick t) { nvm_t = t - s3; });
+    m.eventq().run();
+    std::printf("\nDRAM-emulated NVM read: %.2f us (vs %.0f us "
+                "flash)\n",
+                units::toMicros(nvm_t), units::toMicros(miss_t));
+    return 0;
+}

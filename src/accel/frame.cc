@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Synthetic frame generation.
+ */
+
+#include "accel/frame.hh"
+
+namespace enzian::accel {
+
+Frame
+makeFrame(std::uint64_t seed, std::uint32_t frame_index,
+          std::uint32_t width, std::uint32_t height)
+{
+    Frame f;
+    f.width = width;
+    f.height = height;
+    f.rgba.resize(f.bytes());
+    Rng rng(seed ^ (static_cast<std::uint64_t>(frame_index) << 32));
+
+    for (std::uint32_t y = 0; y < height; ++y) {
+        for (std::uint32_t x = 0; x < width; ++x) {
+            const std::size_t idx =
+                (static_cast<std::size_t>(y) * width + x) * 4;
+            const auto noise =
+                static_cast<std::uint8_t>(rng.below(32));
+            f.rgba[idx + 0] = static_cast<std::uint8_t>(
+                (x * 255 / width + frame_index) & 0xff);
+            f.rgba[idx + 1] = static_cast<std::uint8_t>(
+                (y * 255 / height) & 0xff);
+            f.rgba[idx + 2] = static_cast<std::uint8_t>(
+                ((x + y + noise) * 2) & 0xff);
+            f.rgba[idx + 3] = 0; // padding byte
+        }
+    }
+    return f;
+}
+
+void
+preloadFrame(mem::BackingStore &store, Addr offset, const Frame &frame)
+{
+    store.write(offset, frame.rgba.data(), frame.rgba.size());
+}
+
+} // namespace enzian::accel

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic video frames for the custom-memory-controller experiment.
+ *
+ * The paper's section 5.4 input is "uncompressed 1024x576 RGB video
+ * frames with 8 bits per channel pixels padded to 32 bits, preloaded
+ * into FPGA-side DRAM". We generate deterministic synthetic frames
+ * (smooth gradients plus seeded noise, so the blur stage has real
+ * structure to work on) in that exact layout.
+ */
+
+#ifndef ENZIAN_ACCEL_FRAME_HH
+#define ENZIAN_ACCEL_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "mem/backing_store.hh"
+
+namespace enzian::accel {
+
+/** Default experiment frame geometry (paper section 5.4). */
+constexpr std::uint32_t frameWidth = 1024;
+constexpr std::uint32_t frameHeight = 576;
+/** Bytes per input pixel (8bpc RGB padded to 32 bits). */
+constexpr std::uint32_t bytesPerPixel = 4;
+
+/** A frame of RGBA pixels in host memory. */
+struct Frame
+{
+    std::uint32_t width = frameWidth;
+    std::uint32_t height = frameHeight;
+    std::vector<std::uint8_t> rgba; // width*height*4, R,G,B,X order
+
+    std::uint64_t pixels() const
+    {
+        return static_cast<std::uint64_t>(width) * height;
+    }
+    std::uint64_t bytes() const { return pixels() * bytesPerPixel; }
+};
+
+/**
+ * Generate a deterministic synthetic frame: horizontal/vertical color
+ * gradients modulated by seeded noise.
+ *
+ * @param seed generator seed (same seed, same frame)
+ * @param frame_index varies content between frames of a sequence
+ */
+Frame makeFrame(std::uint64_t seed, std::uint32_t frame_index,
+                std::uint32_t width = frameWidth,
+                std::uint32_t height = frameHeight);
+
+/** Preload @p frame at @p offset of a backing store (FPGA DRAM). */
+void preloadFrame(mem::BackingStore &store, Addr offset,
+                  const Frame &frame);
+
+} // namespace enzian::accel
+
+#endif // ENZIAN_ACCEL_FRAME_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * GBDT ensemble implementation.
+ */
+
+#include "accel/gbdt.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::accel {
+
+DecisionTree::DecisionTree(std::vector<TreeNode> nodes)
+    : nodes_(std::move(nodes))
+{
+    if (nodes_.empty())
+        fatal("empty decision tree");
+    // Depth by traversal (trees are complete, but compute anyway).
+    std::uint32_t max_depth = 0;
+    std::vector<std::pair<std::int32_t, std::uint32_t>> stack{{0, 1}};
+    while (!stack.empty()) {
+        auto [idx, d] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, d);
+        const TreeNode &n = nodes_[static_cast<std::size_t>(idx)];
+        if (!n.isLeaf) {
+            ENZIAN_ASSERT(n.left >= 0 && n.right >= 0 &&
+                              static_cast<std::size_t>(n.left) <
+                                  nodes_.size() &&
+                              static_cast<std::size_t>(n.right) <
+                                  nodes_.size(),
+                          "malformed tree node");
+            stack.push_back({n.left, d + 1});
+            stack.push_back({n.right, d + 1});
+        }
+    }
+    depth_ = max_depth;
+}
+
+float
+DecisionTree::score(const float *features) const
+{
+    const TreeNode *n = &nodes_[0];
+    while (!n->isLeaf) {
+        n = features[n->feature] < n->threshold
+                ? &nodes_[static_cast<std::size_t>(n->left)]
+                : &nodes_[static_cast<std::size_t>(n->right)];
+    }
+    return n->value;
+}
+
+GbdtEnsemble::GbdtEnsemble(std::vector<DecisionTree> trees)
+    : trees_(std::move(trees))
+{
+    if (trees_.empty())
+        fatal("empty GBDT ensemble");
+}
+
+float
+GbdtEnsemble::predict(const float *features) const
+{
+    float sum = 0.0f;
+    for (const auto &t : trees_)
+        sum += t.score(features);
+    return sum;
+}
+
+std::size_t
+GbdtEnsemble::totalNodes() const
+{
+    std::size_t n = 0;
+    for (const auto &t : trees_)
+        n += t.nodeCount();
+    return n;
+}
+
+GbdtEnsemble
+makeEnsemble(std::uint64_t seed, std::uint32_t trees,
+             std::uint32_t depth, std::uint32_t features)
+{
+    if (trees == 0 || depth == 0 || depth > 20 || features == 0)
+        fatal("bad ensemble shape (%u trees, depth %u, %u features)",
+              trees, depth, features);
+    Rng rng(seed);
+    std::vector<DecisionTree> out;
+    out.reserve(trees);
+    const std::uint32_t internal = (1u << (depth - 1)) - 1;
+    const std::uint32_t total = (1u << depth) - 1;
+    for (std::uint32_t t = 0; t < trees; ++t) {
+        std::vector<TreeNode> nodes(total);
+        for (std::uint32_t i = 0; i < total; ++i) {
+            TreeNode &n = nodes[i];
+            if (i < internal) {
+                n.isLeaf = false;
+                n.feature =
+                    static_cast<std::uint32_t>(rng.below(features));
+                n.threshold =
+                    static_cast<float>(rng.uniform(-1.0, 1.0));
+                n.left = static_cast<std::int32_t>(2 * i + 1);
+                n.right = static_cast<std::int32_t>(2 * i + 2);
+            } else {
+                n.isLeaf = true;
+                n.value =
+                    static_cast<float>(rng.uniform(-0.1, 0.1));
+            }
+        }
+        out.emplace_back(std::move(nodes));
+    }
+    return GbdtEnsemble(std::move(out));
+}
+
+std::vector<float>
+makeTuples(std::uint64_t seed, std::uint64_t count,
+           std::uint32_t features)
+{
+    Rng rng(seed ^ 0x74757065ull);
+    std::vector<float> tuples(count * features);
+    for (auto &v : tuples)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return tuples;
+}
+
+} // namespace enzian::accel

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Gradient-boosted decision tree ensembles.
+ *
+ * The functional side of the Figure 9 experiment (inference over
+ * GBDT ensembles, Owaida et al. [52,53]): a real ensemble of binary
+ * decision trees over dense float feature vectors, with deterministic
+ * synthetic generation so the FPGA engine's outputs can be checked
+ * bit-for-bit against this reference.
+ */
+
+#ifndef ENZIAN_ACCEL_GBDT_HH
+#define ENZIAN_ACCEL_GBDT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace enzian::accel {
+
+/** One node of a complete binary decision tree. */
+struct TreeNode
+{
+    /** Feature index compared at this node (internal nodes). */
+    std::uint32_t feature = 0;
+    /** Split threshold. */
+    float threshold = 0.0f;
+    /** Leaf contribution (leaves only). */
+    float value = 0.0f;
+    bool isLeaf = false;
+    /** Children indices in the tree's node array. */
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+};
+
+/** A single decision tree stored as a node array (root at 0). */
+class DecisionTree
+{
+  public:
+    explicit DecisionTree(std::vector<TreeNode> nodes);
+
+    /** Additive score of @p features for this tree. */
+    float score(const float *features) const;
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::uint32_t depth() const { return depth_; }
+
+  private:
+    std::vector<TreeNode> nodes_;
+    std::uint32_t depth_;
+};
+
+/** A boosted ensemble: the prediction is the sum of tree scores. */
+class GbdtEnsemble
+{
+  public:
+    explicit GbdtEnsemble(std::vector<DecisionTree> trees);
+
+    /** Sum of all tree scores. */
+    float predict(const float *features) const;
+
+    std::size_t treeCount() const { return trees_.size(); }
+    std::size_t totalNodes() const;
+
+  private:
+    std::vector<DecisionTree> trees_;
+};
+
+/**
+ * Build a deterministic synthetic ensemble.
+ *
+ * @param seed generator seed
+ * @param trees number of trees
+ * @param depth depth of each (complete) tree
+ * @param features feature-vector width the trees index into
+ */
+GbdtEnsemble makeEnsemble(std::uint64_t seed, std::uint32_t trees,
+                          std::uint32_t depth, std::uint32_t features);
+
+/** Generate @p count feature vectors of width @p features. */
+std::vector<float> makeTuples(std::uint64_t seed, std::uint64_t count,
+                              std::uint32_t features);
+
+} // namespace enzian::accel
+
+#endif // ENZIAN_ACCEL_GBDT_HH

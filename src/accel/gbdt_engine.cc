@@ -1,0 +1,52 @@
+/**
+ * @file
+ * GBDT engine implementation.
+ */
+
+#include "accel/gbdt_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace enzian::accel {
+
+GbdtEngine::GbdtEngine(std::string name, EventQueue &eq,
+                       const GbdtEnsemble &ensemble, const Config &cfg)
+    : SimObject(std::move(name), eq), ensemble_(ensemble), cfg_(cfg)
+{
+    if (cfg_.engines == 0 || cfg_.clock_hz <= 0 ||
+        cfg_.cycles_per_tuple <= 0)
+        fatal("GBDT engine '%s': bad configuration",
+              SimObject::name().c_str());
+}
+
+GbdtEngine::Result
+GbdtEngine::infer(const float *tuples, std::uint64_t count) const
+{
+    Result r;
+    r.scores.resize(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        r.scores[i] = ensemble_.predict(tuples + i * cfg_.features);
+
+    // Steady state: one tuple retires per interval, where the
+    // interval is the slower of the (parallel) compute pipelines and
+    // the host link streaming tuples in and results out.
+    const double compute_interval_s =
+        cfg_.cycles_per_tuple / (cfg_.clock_hz * cfg_.engines);
+    const double wire_bytes = tupleBytes() + sizeof(float); // in + out
+    const double transfer_interval_s = wire_bytes / cfg_.host_bw;
+    const double interval_s =
+        std::max(compute_interval_s, transfer_interval_s);
+    r.transferBound = transfer_interval_s > compute_interval_s;
+
+    const double total_s = cfg_.fill_latency_ns * 1e-9 +
+                           interval_s * static_cast<double>(count);
+    r.elapsed = units::sec(total_s);
+    r.tuplesPerSecond = 1.0 / interval_s;
+    return r;
+}
+
+} // namespace enzian::accel

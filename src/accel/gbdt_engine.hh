@@ -1,0 +1,80 @@
+/**
+ * @file
+ * FPGA GBDT inference engine (the Figure 9 workload).
+ *
+ * Models the Owaida et al. decision-tree inference accelerator: the
+ * model is offloaded once, then tuples stream from host memory
+ * through a deep pipeline that retires one tuple every few cycles per
+ * engine; results stream back. Double buffering overlaps transfer and
+ * compute, so steady-state throughput is the slower of the compute
+ * pipeline and the host link. The design deploys as one or two
+ * parallel engines (paper Figure 9).
+ */
+
+#ifndef ENZIAN_ACCEL_GBDT_ENGINE_HH
+#define ENZIAN_ACCEL_GBDT_ENGINE_HH
+
+#include "accel/gbdt.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::accel {
+
+/** The streaming inference engine. */
+class GbdtEngine : public SimObject
+{
+  public:
+    /** Engine configuration. */
+    struct Config
+    {
+        /** Parallel engines (1 or 2 in the paper). */
+        std::uint32_t engines = 1;
+        /** Fabric clock (Hz); the platform's speed grade sets this. */
+        double clock_hz = 300e6;
+        /** Pipeline retirement interval per engine (cycles/tuple). */
+        double cycles_per_tuple = 6.25;
+        /** Feature-vector width (floats per tuple). */
+        std::uint32_t features = 8;
+        /** Host link sustained bandwidth (bytes/s). */
+        double host_bw = 12.8e9;
+        /** Pipeline fill + batch setup latency (ns). */
+        double fill_latency_ns = 2000.0;
+    };
+
+    GbdtEngine(std::string name, EventQueue &eq,
+               const GbdtEnsemble &ensemble, const Config &cfg);
+
+    /** Result of one inference run. */
+    struct Result
+    {
+        /** Per-tuple ensemble scores (functional output). */
+        std::vector<float> scores;
+        /** End-to-end time. */
+        Tick elapsed = 0;
+        /** Steady-state tuples/second. */
+        double tuplesPerSecond = 0.0;
+        /** True if the host link, not compute, set the rate. */
+        bool transferBound = false;
+    };
+
+    /**
+     * Score @p count tuples from @p tuples (count * features floats).
+     * Functional (real predictions) + timed (pipeline model).
+     */
+    Result infer(const float *tuples, std::uint64_t count) const;
+
+    /** Bytes of one tuple on the wire. */
+    std::uint32_t tupleBytes() const
+    {
+        return cfg_.features * sizeof(float);
+    }
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    const GbdtEnsemble &ensemble_;
+    Config cfg_;
+};
+
+} // namespace enzian::accel
+
+#endif // ENZIAN_ACCEL_GBDT_ENGINE_HH

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * KV store implementation.
+ *
+ * Slot layout (64 bytes, one DRAM beat):
+ *   0   u64  key
+ *   8   u8   state (0 empty, 1 used, 2 tombstone)
+ *   9   u8   value length
+ *   10  u8[46] value
+ *   56  u64  (reserved)
+ */
+
+#include "accel/kv_store.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace enzian::accel {
+
+namespace {
+
+constexpr std::uint32_t wireHeaderBytes = 48;
+
+std::uint32_t g_next_id = 1;
+std::unordered_map<std::uint32_t, KvStoreServer::WireRequest>
+    g_requests;
+std::unordered_map<std::uint32_t, KvStoreServer::WireResponse>
+    g_responses;
+
+} // namespace
+
+std::uint32_t
+KvStoreServer::registerRequest(WireRequest req)
+{
+    const std::uint32_t id = g_next_id++;
+    g_requests.emplace(id, std::move(req));
+    return id;
+}
+
+KvStoreServer::WireResponse
+KvStoreServer::takeResponse(std::uint32_t id)
+{
+    auto it = g_responses.find(id);
+    ENZIAN_ASSERT(it != g_responses.end(), "no KV response %u", id);
+    auto out = std::move(it->second);
+    g_responses.erase(it);
+    return out;
+}
+
+KvStoreServer::KvStoreServer(std::string name, EventQueue &eq,
+                             net::Switch &sw,
+                             mem::MemoryController &fpga_mem,
+                             const Config &cfg)
+    : SimObject(std::move(name), eq), sw_(sw), mem_(fpga_mem), cfg_(cfg)
+{
+    if (!std::has_single_bit(cfg_.slots))
+        fatal("KV store '%s': slot count must be a power of two",
+              SimObject::name().c_str());
+    if (cfg_.table_base + cfg_.slots * kvSlotBytes >
+        mem_.store().size())
+        fatal("KV store '%s': table does not fit in FPGA DRAM",
+              SimObject::name().c_str());
+    sw_.setEndpoint(cfg_.port,
+                    [this](Tick when, std::uint64_t payload,
+                           std::uint64_t tag) {
+                        onFrame(when, payload,
+                                net::Switch::userOf(tag));
+                    });
+    stats().addCounter("gets", &gets_);
+    stats().addCounter("puts", &puts_);
+    stats().addCounter("hits", &hits_);
+    stats().addCounter("misses", &misses_);
+    stats().addCounter("probes", &probes_);
+}
+
+std::uint64_t
+KvStoreServer::hash(std::uint64_t key) const
+{
+    // splitmix64 finalizer: good avalanche for sequential keys.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return (z ^ (z >> 31)) & (cfg_.slots - 1);
+}
+
+Addr
+KvStoreServer::slotAddr(std::uint64_t index) const
+{
+    return cfg_.table_base + index * kvSlotBytes;
+}
+
+bool
+KvStoreServer::put(std::uint64_t key, const std::uint8_t *value,
+                   std::uint32_t len)
+{
+    ENZIAN_ASSERT(len <= kvMaxValueBytes, "value of %u bytes", len);
+    puts_.inc();
+    lastDramDone_ = now();
+    std::uint64_t idx = hash(key);
+    std::int64_t first_dead = -1;
+    for (std::uint32_t p = 0; p < cfg_.max_probes; ++p) {
+        probes_.inc();
+        std::uint8_t slot[kvSlotBytes];
+        lastDramDone_ =
+            mem_.read(lastDramDone_, slotAddr(idx), slot, kvSlotBytes)
+                .done;
+        std::uint64_t k = 0;
+        std::memcpy(&k, slot, 8);
+        const std::uint8_t state = slot[8];
+        if (state == slotUsed && k == key) {
+            // Update in place.
+            slot[9] = static_cast<std::uint8_t>(len);
+            std::memset(slot + 10, 0, kvMaxValueBytes);
+            std::memcpy(slot + 10, value, len);
+            lastDramDone_ = mem_.write(lastDramDone_, slotAddr(idx),
+                                       slot, kvSlotBytes)
+                                .done;
+            return true;
+        }
+        if (state == slotDead && first_dead < 0)
+            first_dead = static_cast<std::int64_t>(idx);
+        if (state == slotEmpty) {
+            const std::uint64_t target =
+                first_dead >= 0 ? static_cast<std::uint64_t>(first_dead)
+                                : idx;
+            std::uint8_t fresh[kvSlotBytes] = {};
+            std::memcpy(fresh, &key, 8);
+            fresh[8] = slotUsed;
+            fresh[9] = static_cast<std::uint8_t>(len);
+            std::memcpy(fresh + 10, value, len);
+            lastDramDone_ = mem_.write(lastDramDone_,
+                                       slotAddr(target), fresh,
+                                       kvSlotBytes)
+                                .done;
+            ++occupied_;
+            return true;
+        }
+        idx = (idx + 1) & (cfg_.slots - 1);
+    }
+    if (first_dead >= 0) {
+        std::uint8_t fresh[kvSlotBytes] = {};
+        std::memcpy(fresh, &key, 8);
+        fresh[8] = slotUsed;
+        fresh[9] = static_cast<std::uint8_t>(len);
+        std::memcpy(fresh + 10, value, len);
+        lastDramDone_ =
+            mem_.write(lastDramDone_,
+                       slotAddr(static_cast<std::uint64_t>(first_dead)),
+                       fresh, kvSlotBytes)
+                .done;
+        ++occupied_;
+        return true;
+    }
+    return false; // probe window exhausted
+}
+
+std::optional<std::vector<std::uint8_t>>
+KvStoreServer::get(std::uint64_t key)
+{
+    gets_.inc();
+    lastDramDone_ = now();
+    std::uint64_t idx = hash(key);
+    for (std::uint32_t p = 0; p < cfg_.max_probes; ++p) {
+        probes_.inc();
+        std::uint8_t slot[kvSlotBytes];
+        lastDramDone_ =
+            mem_.read(lastDramDone_, slotAddr(idx), slot, kvSlotBytes)
+                .done;
+        std::uint64_t k = 0;
+        std::memcpy(&k, slot, 8);
+        const std::uint8_t state = slot[8];
+        if (state == slotEmpty)
+            break;
+        if (state == slotUsed && k == key) {
+            hits_.inc();
+            return std::vector<std::uint8_t>(slot + 10,
+                                             slot + 10 + slot[9]);
+        }
+        idx = (idx + 1) & (cfg_.slots - 1);
+    }
+    misses_.inc();
+    return std::nullopt;
+}
+
+bool
+KvStoreServer::erase(std::uint64_t key)
+{
+    lastDramDone_ = now();
+    std::uint64_t idx = hash(key);
+    for (std::uint32_t p = 0; p < cfg_.max_probes; ++p) {
+        probes_.inc();
+        std::uint8_t slot[kvSlotBytes];
+        lastDramDone_ =
+            mem_.read(lastDramDone_, slotAddr(idx), slot, kvSlotBytes)
+                .done;
+        std::uint64_t k = 0;
+        std::memcpy(&k, slot, 8);
+        const std::uint8_t state = slot[8];
+        if (state == slotEmpty)
+            return false;
+        if (state == slotUsed && k == key) {
+            slot[8] = slotDead;
+            lastDramDone_ = mem_.write(lastDramDone_, slotAddr(idx),
+                                       slot, kvSlotBytes)
+                                .done;
+            --occupied_;
+            return true;
+        }
+        idx = (idx + 1) & (cfg_.slots - 1);
+    }
+    return false;
+}
+
+void
+KvStoreServer::onFrame(Tick, std::uint64_t, std::uint64_t user)
+{
+    const auto id = static_cast<std::uint32_t>(user);
+    eventq().scheduleDelta(units::ns(cfg_.request_proc_ns),
+                           [this, id]() { serve(id); }, "kv-serve");
+}
+
+void
+KvStoreServer::serve(std::uint32_t id)
+{
+    auto it = g_requests.find(id);
+    ENZIAN_ASSERT(it != g_requests.end(), "unknown KV request %u", id);
+    WireRequest req = std::move(it->second);
+    g_requests.erase(it);
+
+    WireResponse rsp;
+    using Op = WireRequest::Op;
+    switch (req.op) {
+      case Op::Get: {
+        auto v = get(req.key);
+        rsp.ok = v.has_value();
+        if (v)
+            rsp.value = std::move(*v);
+        break;
+      }
+      case Op::Put:
+        rsp.ok = put(req.key, req.value.data(),
+                     static_cast<std::uint32_t>(req.value.size()));
+        break;
+      case Op::Del:
+        rsp.ok = erase(req.key);
+        break;
+    }
+    const std::uint64_t wire = wireHeaderBytes + rsp.value.size();
+    const std::uint32_t src = req.srcPort;
+    g_responses[id] = std::move(rsp);
+    // Respond once the DRAM probes of this operation complete.
+    eventq().schedule(
+        std::max(lastDramDone_, now()),
+        [this, id, src, wire]() {
+            sw_.sendFrom(cfg_.port, wire,
+                         net::Switch::makeTag(src, id));
+        },
+        "kv-respond");
+}
+
+KvClient::KvClient(std::string name, EventQueue &eq, net::Switch &sw,
+                   std::uint32_t port, std::uint32_t server_port)
+    : SimObject(std::move(name), eq), sw_(sw), port_(port),
+      serverPort_(server_port)
+{
+    sw_.setEndpoint(port_,
+                    [this](Tick when, std::uint64_t payload,
+                           std::uint64_t tag) {
+                        onFrame(when, payload,
+                                net::Switch::userOf(tag));
+                    });
+}
+
+void
+KvClient::get(std::uint64_t key, GetDone done)
+{
+    KvStoreServer::WireRequest req;
+    req.op = KvStoreServer::WireRequest::Op::Get;
+    req.key = key;
+    req.srcPort = port_;
+    const auto id = KvStoreServer::registerRequest(std::move(req));
+    Pending p;
+    p.get_done = std::move(done);
+    pending_[id] = std::move(p);
+    sw_.sendFrom(port_, wireHeaderBytes,
+                 net::Switch::makeTag(serverPort_, id));
+}
+
+void
+KvClient::put(std::uint64_t key, const std::uint8_t *value,
+              std::uint32_t len, AckDone done)
+{
+    KvStoreServer::WireRequest req;
+    req.op = KvStoreServer::WireRequest::Op::Put;
+    req.key = key;
+    req.value.assign(value, value + len);
+    req.srcPort = port_;
+    const auto id = KvStoreServer::registerRequest(std::move(req));
+    Pending p;
+    p.ack_done = std::move(done);
+    pending_[id] = std::move(p);
+    sw_.sendFrom(port_, wireHeaderBytes + len,
+                 net::Switch::makeTag(serverPort_, id));
+}
+
+void
+KvClient::erase(std::uint64_t key, AckDone done)
+{
+    KvStoreServer::WireRequest req;
+    req.op = KvStoreServer::WireRequest::Op::Del;
+    req.key = key;
+    req.srcPort = port_;
+    const auto id = KvStoreServer::registerRequest(std::move(req));
+    Pending p;
+    p.ack_done = std::move(done);
+    pending_[id] = std::move(p);
+    sw_.sendFrom(port_, wireHeaderBytes,
+                 net::Switch::makeTag(serverPort_, id));
+}
+
+void
+KvClient::onFrame(Tick when, std::uint64_t, std::uint64_t user)
+{
+    const auto id = static_cast<std::uint32_t>(user);
+    auto it = pending_.find(id);
+    ENZIAN_ASSERT(it != pending_.end(), "KV completion for unknown %u",
+                  id);
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    auto rsp = KvStoreServer::takeResponse(id);
+    if (p.get_done)
+        p.get_done(when, rsp.ok, std::move(rsp.value));
+    else if (p.ack_done)
+        p.ack_done(when, rsp.ok);
+}
+
+} // namespace enzian::accel

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Coherent data-reduction pipeline implementation.
+ */
+
+#include "accel/rgb2y_pipeline.hh"
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "cache/moesi.hh"
+
+namespace enzian::accel {
+
+const char *
+toString(Reduction r)
+{
+    switch (r) {
+      case Reduction::None:
+        return "none";
+      case Reduction::Y8:
+        return "8bpp";
+      case Reduction::Y4:
+        return "4bpp";
+    }
+    return "?";
+}
+
+std::uint32_t
+pixelsPerLine(Reduction r)
+{
+    switch (r) {
+      case Reduction::None:
+        return cache::lineSize / 4; // 32 raw pixels
+      case Reduction::Y8:
+        return cache::lineSize; // 128
+      case Reduction::Y4:
+        return cache::lineSize * 2; // 256
+    }
+    panic("bad reduction");
+}
+
+std::uint32_t
+burstBytesPerLine(Reduction r)
+{
+    return pixelsPerLine(r) * 4;
+}
+
+void
+rgb2yReference(const std::uint8_t *rgba, std::uint64_t pixels,
+               std::uint8_t *y)
+{
+    for (std::uint64_t i = 0; i < pixels; ++i) {
+        const std::uint32_t r = rgba[i * 4 + 0];
+        const std::uint32_t g = rgba[i * 4 + 1];
+        const std::uint32_t b = rgba[i * 4 + 2];
+        y[i] = static_cast<std::uint8_t>((77 * r + 150 * g + 29 * b) >>
+                                         8);
+    }
+}
+
+void
+quantize4Reference(const std::uint8_t *y, std::uint64_t pixels,
+                   std::uint8_t *packed)
+{
+    for (std::uint64_t i = 0; i + 1 < pixels; i += 2) {
+        const std::uint8_t hi = y[i] >> 4;
+        const std::uint8_t lo = y[i + 1] >> 4;
+        packed[i / 2] = static_cast<std::uint8_t>((hi << 4) | lo);
+    }
+    if (pixels % 2)
+        packed[pixels / 2] =
+            static_cast<std::uint8_t>((y[pixels - 1] >> 4) << 4);
+}
+
+Rgb2yLineSource::Rgb2yLineSource(mem::MemoryController &mc,
+                                 const mem::AddressMap &map,
+                                 ClockDomain &clock, const Config &cfg)
+    : mc_(mc), map_(map), clock_(clock), cfg_(cfg),
+      passthrough_(mc, map)
+{
+    ENZIAN_ASSERT(cache::isLineAligned(cfg_.view_base),
+                  "view base must be line aligned");
+}
+
+bool
+Rgb2yLineSource::inView(Addr addr) const
+{
+    return addr >= cfg_.view_base &&
+           addr < cfg_.view_base + cfg_.view_size;
+}
+
+void
+Rgb2yLineSource::readLine(Tick when, Addr addr, std::uint8_t *out,
+                          Done done)
+{
+    if (!inView(addr) || cfg_.reduction == Reduction::None) {
+        passthrough_.readLine(when, addr, out, std::move(done));
+        return;
+    }
+
+    ++transformed_;
+    // Which slice of the input does this view line cover?
+    const std::uint64_t line_index =
+        (addr - cfg_.view_base) / cache::lineSize;
+    const std::uint32_t burst = burstBytesPerLine(cfg_.reduction);
+    const std::uint32_t npx = pixelsPerLine(cfg_.reduction);
+    const Addr in_addr = cfg_.input_base +
+                         static_cast<std::uint64_t>(line_index) * burst;
+
+    // Timed sequential burst read from FPGA DRAM ...
+    std::vector<std::uint8_t> rgba(burst);
+    const Tick burst_done =
+        mc_.read(when, map_.offsetInRegion(in_addr), rgba.data(), burst)
+            .done;
+
+    // ... then the conversion pipeline, clocked in the fabric domain.
+    std::vector<std::uint8_t> y(npx);
+    rgb2yReference(rgba.data(), npx, y.data());
+    if (cfg_.reduction == Reduction::Y8) {
+        std::copy(y.begin(), y.end(), out);
+    } else {
+        quantize4Reference(y.data(), npx, out);
+    }
+    done(burst_done + clock_.cyclesToTicks(cfg_.pipeline_cycles));
+}
+
+void
+Rgb2yLineSource::writeLine(Tick when, Addr addr,
+                           const std::uint8_t *data, Done done)
+{
+    ENZIAN_ASSERT(!inView(addr) || cfg_.reduction == Reduction::None,
+                  "write into the read-only logical view at %llx",
+                  static_cast<unsigned long long>(addr));
+    passthrough_.writeLine(when, addr, data, std::move(done));
+}
+
+} // namespace enzian::accel

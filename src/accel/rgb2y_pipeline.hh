@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The coherent data-reduction pipeline (paper section 5.4, Figure 10).
+ *
+ * The offload engine sits behind the FPGA's ECI home agent. It
+ * receives the CPU L2's refill requests (RLDD) for a "logical view"
+ * address range, transforms each into a larger sequential burst read
+ * from FPGA DRAM, converts RGB to luminance (optionally quantizing to
+ * 4 bits per pixel), packs the result into a single 128-byte cache
+ * line, and returns it as the PEMD payload. Loads on the CPU look
+ * exactly like NUMA-remote L2 refills; only the latency changes.
+ *
+ *   reduction   pixels per 128 B line   DRAM burst per line
+ *   None        32  (4 B/px)            128 B (identity view)
+ *   Y8          128 (1 B/px)            512 B
+ *   Y4          256 (4 bit/px)          1 KiB
+ */
+
+#ifndef ENZIAN_ACCEL_RGB2Y_PIPELINE_HH
+#define ENZIAN_ACCEL_RGB2Y_PIPELINE_HH
+
+#include <cstdint>
+
+#include "eci/home_agent.hh"
+#include "mem/memory_controller.hh"
+#include "sim/clock_domain.hh"
+
+namespace enzian::accel {
+
+/** Data-reduction mode of the pipeline. */
+enum class Reduction : std::uint8_t {
+    None = 0, ///< identity view, CPU does the conversion in software
+    Y8,       ///< 8-bit luminance per pixel
+    Y4,       ///< 4-bit quantized luminance, two pixels per byte
+};
+
+/** Readable reduction name. */
+const char *toString(Reduction r);
+
+/** Pixels packed into one 128-byte line under @p r. */
+std::uint32_t pixelsPerLine(Reduction r);
+
+/** Input DRAM bytes consumed per produced line under @p r. */
+std::uint32_t burstBytesPerLine(Reduction r);
+
+/**
+ * Scalar reference RGB->Y conversion (BT.601 integer approximation:
+ * Y = (77 R + 150 G + 29 B) >> 8). @p rgba holds 4-byte pixels.
+ */
+void rgb2yReference(const std::uint8_t *rgba, std::uint64_t pixels,
+                    std::uint8_t *y);
+
+/** Quantize 8-bit luminance to packed 4-bit (two pixels per byte). */
+void quantize4Reference(const std::uint8_t *y, std::uint64_t pixels,
+                        std::uint8_t *packed);
+
+/**
+ * The pipeline, installed as the FPGA home agent's LineSource. The
+ * view region [view_base, view_base + view_size) exposes the reduced
+ * data; reads outside it (and all writes) pass through to DRAM.
+ */
+class Rgb2yLineSource : public eci::LineSource
+{
+  public:
+    /** Pipeline configuration. */
+    struct Config
+    {
+        Reduction reduction = Reduction::Y8;
+        /** Physical base of the logical view window. */
+        Addr view_base = 0;
+        /** Size of the view window in bytes (of reduced data). */
+        std::uint64_t view_size = 0;
+        /** Physical base of the raw RGBA input data. */
+        Addr input_base = 0;
+        /** Pipeline cycles from burst-complete to line-ready. */
+        std::uint32_t pipeline_cycles = 24;
+    };
+
+    /**
+     * @param mc the FPGA node's memory controller
+     * @param map the machine's address partition
+     * @param clock the fabric clock (latency contribution)
+     */
+    Rgb2yLineSource(mem::MemoryController &mc,
+                    const mem::AddressMap &map, ClockDomain &clock,
+                    const Config &cfg);
+
+    void readLine(Tick when, Addr addr, std::uint8_t *out,
+                  Done done) override;
+    void writeLine(Tick when, Addr addr, const std::uint8_t *data,
+                   Done done) override;
+
+    /** Lines served through the transform (vs passthrough). */
+    std::uint64_t linesTransformed() const { return transformed_; }
+
+  private:
+    bool inView(Addr addr) const;
+
+    mem::MemoryController &mc_;
+    const mem::AddressMap &map_;
+    ClockDomain &clock_;
+    Config cfg_;
+    eci::DramLineSource passthrough_;
+    std::uint64_t transformed_ = 0;
+};
+
+} // namespace enzian::accel
+
+#endif // ENZIAN_ACCEL_RGB2Y_PIPELINE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine-vision pipeline of the custom-memory-controller experiment.
+ *
+ * The paper's workload (section 5.4) is RGB-to-luminance conversion
+ * followed by a 3x3 gaussian blur ("roughly 5x the arithmetic
+ * intensity of the conversion"), optionally edge detection. The FPGA
+ * can substitute for the soft RGB2Y stage by pointing the blur input
+ * at the FPGA-backed view addresses; nothing else changes.
+ *
+ * This header provides (a) functional reference implementations used
+ * to verify the hardware pipeline bit-for-bit, and (b) the calibrated
+ * StreamKernel descriptors that drive the Figure 11 / Table 1 timing
+ * reproduction (calibration derivations in the .cc).
+ */
+
+#ifndef ENZIAN_ACCEL_VISION_PIPELINE_HH
+#define ENZIAN_ACCEL_VISION_PIPELINE_HH
+
+#include <vector>
+
+#include "accel/frame.hh"
+#include "accel/rgb2y_pipeline.hh"
+#include "cpu/core.hh"
+
+namespace enzian::accel {
+
+/**
+ * 3x3 gaussian blur (kernel 1 2 1 / 2 4 2 / 1 2 1, /16) over an 8-bit
+ * luminance plane; borders are clamped.
+ */
+void gaussianBlur3x3(const std::uint8_t *y, std::uint32_t width,
+                     std::uint32_t height, std::uint8_t *out);
+
+/** 3x3 Sobel edge magnitude (the paper's optional third stage). */
+void sobelEdge(const std::uint8_t *y, std::uint32_t width,
+               std::uint32_t height, std::uint8_t *out);
+
+/** Unpack 4-bit packed luminance back to 8-bit (value << 4). */
+void unpack4(const std::uint8_t *packed, std::uint64_t pixels,
+             std::uint8_t *y);
+
+/**
+ * Run the full software pipeline over an RGBA frame: rgb2y then blur.
+ * Returns the blurred luminance plane (for functional checks).
+ */
+std::vector<std::uint8_t> softwarePipeline(const Frame &frame);
+
+/**
+ * The per-pixel stream kernel of the Figure 11 workload for a given
+ * reduction variant. Parameters are calibrated from Table 1 and the
+ * Fig 11 curves; derivations are documented in the implementation.
+ */
+cpu::StreamKernel fig11Kernel(Reduction r);
+
+/** Interconnect bytes per pixel for a variant (4 / 1 / 0.5). */
+double interconnectBytesPerPixel(Reduction r);
+
+} // namespace enzian::accel
+
+#endif // ENZIAN_ACCEL_VISION_PIPELINE_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Implementation of logging and error reporting.
+ */
+
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace enzian {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+void
+emit(const char *prefix, const char *fmt, va_list ap)
+{
+    std::string msg = vformat(fmt, ap);
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    if (n < 0) {
+        va_end(ap2);
+        return "<format error>";
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Info)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+logDebug(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    emit("debug: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+} // namespace enzian

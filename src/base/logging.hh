@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for the Enzian reproduction.
+ *
+ * Follows the gem5 convention: panic() is for internal simulator bugs
+ * (conditions that must never happen regardless of user input) and
+ * aborts; fatal() is for user errors (bad configuration, invalid
+ * arguments) and exits cleanly with an error code. warn()/inform()
+ * report conditions without stopping the simulation.
+ */
+
+#ifndef ENZIAN_BASE_LOGGING_HH
+#define ENZIAN_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace enzian {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Minimum level that is actually printed. Defaults to Info; tests can
+ * raise it to keep output quiet.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current minimum printed level. */
+LogLevel logLevel();
+
+/** printf-style message at Info level. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style message at Warn level. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style message at Debug level. */
+void logDebug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug and abort. Never returns.
+ *
+ * @param fmt printf-style message describing the impossible condition.
+ */
+[[noreturn]]
+void panic(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1). Never returns.
+ *
+ * @param fmt printf-style message describing the configuration problem.
+ */
+[[noreturn]]
+void fatal(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style string into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** Format a printf-style string into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assertion macro that survives NDEBUG builds; use for protocol
+ * invariants whose violation indicates a simulator bug.
+ */
+#define ENZIAN_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::enzian::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                            __FILE__, __LINE__,                           \
+                            ::enzian::format(__VA_ARGS__).c_str());       \
+        }                                                                 \
+    } while (0)
+
+} // namespace enzian
+
+#endif // ENZIAN_BASE_LOGGING_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every component that needs randomness owns an Rng seeded from its
+ * parent, so simulations are bit-reproducible across runs and hosts.
+ * The core generator is xoshiro256**, which is small, fast, and has no
+ * libstdc++ distribution-implementation dependence.
+ */
+
+#ifndef ENZIAN_BASE_RNG_HH
+#define ENZIAN_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace enzian {
+
+/** Deterministic xoshiro256** generator with convenience draws. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x456e7a69616e2101ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound). @pre bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /** Gaussian draw via Box-Muller (mean/stddev). */
+    double gaussian(double mean, double stddev);
+
+    /** Derive an independent child seed (for sub-components). */
+    std::uint64_t fork();
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpareGauss_ = false;
+    double spareGauss_ = 0.0;
+};
+
+} // namespace enzian
+
+#endif // ENZIAN_BASE_RNG_HH

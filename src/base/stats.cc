@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Statistics implementation.
+ */
+
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace enzian {
+
+void
+Accumulator::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    // Welford's online variance.
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    ENZIAN_ASSERT(buckets > 0 && hi > lo, "bad histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1; // fp edge case at hi_
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    double running = static_cast<double>(underflow_);
+    if (running >= target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = running + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            const double frac = (target - running) /
+                                static_cast<double>(counts_[i]);
+            return lo_ + (static_cast<double>(i) + frac) * width_;
+        }
+        running = next;
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c)
+{
+    counters_.emplace_back(name, c);
+}
+
+void
+StatGroup::addAccumulator(const std::string &name, const Accumulator *a)
+{
+    accums_.emplace_back(name, a);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[n, c] : counters_)
+        os << name_ << '.' << n << ' ' << c->value() << '\n';
+    for (const auto &[n, a] : accums_) {
+        os << name_ << '.' << n << ".count " << a->count() << '\n';
+        os << name_ << '.' << n << ".mean " << a->mean() << '\n';
+        os << name_ << '.' << n << ".min " << a->min() << '\n';
+        os << name_ << '.' << n << ".max " << a->max() << '\n';
+    }
+}
+
+} // namespace enzian

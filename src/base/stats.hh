@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Lightweight statistics collection: scalar counters, min/max/mean
+ * accumulators, and fixed-bucket histograms. Components expose their
+ * counters through a StatGroup so tests and benches can read and dump
+ * them uniformly.
+ */
+
+#ifndef ENZIAN_BASE_STATS_HH
+#define ENZIAN_BASE_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace enzian {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    /** Increment by @p n (default 1). */
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples and reports count/sum/min/max/mean/variance. */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Population variance (Welford). */
+    double variance() const { return count_ ? m2_ / count_ : 0.0; }
+    double stddev() const;
+
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** Linear-bucket histogram over [lo, hi) with under/overflow buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of first bucket
+     * @param hi upper bound of last bucket
+     * @param buckets number of equal-width buckets (> 0)
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Approximate quantile q in [0,1] by linear interpolation. */
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Named collection of statistics for one component; supports a
+ * human-readable dump. Registration stores pointers, so registered
+ * stats must outlive the group.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &name, const Counter *c);
+    void addAccumulator(const std::string &name, const Accumulator *a);
+
+    /** Write "group.stat value" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, const Counter *>> counters_;
+    std::vector<std::pair<std::string, const Accumulator *>> accums_;
+};
+
+} // namespace enzian
+
+#endif // ENZIAN_BASE_STATS_HH

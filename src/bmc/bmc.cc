@@ -1,0 +1,290 @@
+/**
+ * @file
+ * BMC facade implementation: the Enzian power tree.
+ */
+
+#include "bmc/bmc.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace enzian::bmc {
+
+const char *
+toString(Domain d)
+{
+    switch (d) {
+      case Domain::Standby:
+        return "standby";
+      case Domain::Cpu:
+        return "cpu";
+      case Domain::Fpga:
+        return "fpga";
+    }
+    return "?";
+}
+
+Bmc::Bmc(std::string name, EventQueue &eq)
+    : SimObject(std::move(name), eq)
+{
+    bus_ = std::make_unique<I2cBus>(SimObject::name() + ".i2c", eq,
+                                    I2cBus::Config{});
+    master_ = std::make_unique<PmbusMaster>(*bus_);
+    telemetry_ = std::make_unique<Telemetry>(
+        SimObject::name() + ".telemetry", eq, *master_);
+    buildRails();
+    wireLoads();
+}
+
+void
+Bmc::buildRails()
+{
+    const Domain SB = Domain::Standby;
+    const Domain CPU = Domain::Cpu;
+    const Domain FPGA = Domain::Fpga;
+    // The Enzian power tree: 25 discrete regulators (several of the
+    // physical parts are dual-rail, giving the paper's 30 rails; we
+    // model one Regulator per primary rail). Dependencies encode the
+    // component datasheets' sequencing requirements: CPU core before
+    // SerDes before I/O before DDR (VPP -> VDD -> VTT), FPGA VCCINT
+    // before BRAM before AUX before I/O and transceiver rails.
+    defs_ = {
+        // --- standby + clocks + fans -------------------------------
+        {"P3V3_STBY", SB, 0x10, 3.3, 8, 3.0, {}},
+        {"P5V_STBY", SB, 0x11, 5.0, 5, 3.0, {}},
+        {"P1V8_BMC", SB, 0x12, 1.8, 3, 1.5, {"P3V3_STBY"}},
+        {"P1V0_BMC", SB, 0x13, 1.0, 4, 1.5, {"P1V8_BMC"}},
+        {"P3V3_CLK", SB, 0x14, 3.3, 4, 2.0, {"P3V3_STBY"}},
+        {"P2V5_CLK", SB, 0x15, 2.5, 3, 2.0, {"P3V3_CLK"}},
+        {"P12V_FAN", SB, 0x16, 12.0, 6, 5.0, {"P3V3_STBY"}},
+        // --- CPU domain --------------------------------------------
+        {"VDD_CORE", CPU, 0x20, 0.98, 165, 4.0, {"P3V3_STBY"}},
+        {"VDD_09", CPU, 0x21, 0.9, 40, 2.0, {"VDD_CORE"}},
+        {"P1V8_CPU", CPU, 0x22, 1.8, 15, 2.0, {"VDD_09"}},
+        {"P2V5_CPU", CPU, 0x23, 2.5, 6, 2.0, {"P1V8_CPU"}},
+        {"VPP_DDR_C01", CPU, 0x24, 2.5, 4, 2.0, {"P1V8_CPU"}},
+        {"VDD_DDR_C01", CPU, 0x25, 1.2, 25, 2.0, {"VPP_DDR_C01"}},
+        {"VTT_DDR_C01", CPU, 0x26, 0.6, 6, 1.0, {"VDD_DDR_C01"}},
+        {"VPP_DDR_C23", CPU, 0x27, 2.5, 4, 2.0, {"P1V8_CPU"}},
+        {"VDD_DDR_C23", CPU, 0x28, 1.2, 25, 2.0, {"VPP_DDR_C23"}},
+        {"VTT_DDR_C23", CPU, 0x29, 0.6, 6, 1.0, {"VDD_DDR_C23"}},
+        // --- FPGA domain -------------------------------------------
+        {"VCCINT", FPGA, 0x30, 0.85, 160, 4.0, {"P3V3_STBY"}},
+        {"VCCBRAM", FPGA, 0x31, 0.9, 20, 2.0, {"VCCINT"}},
+        {"VCCAUX", FPGA, 0x32, 1.8, 12, 2.0, {"VCCBRAM"}},
+        {"VCC_IO", FPGA, 0x33, 1.2, 10, 2.0, {"VCCAUX"}},
+        {"MGTAVCC", FPGA, 0x34, 0.9, 25, 2.0, {"VCCINT"}},
+        {"MGTAVTT", FPGA, 0x35, 1.2, 20, 2.0, {"MGTAVCC"}},
+        {"VPP_DDR_F", FPGA, 0x36, 2.5, 4, 2.0, {"VCCAUX"}},
+        {"VDD_DDR_F", FPGA, 0x37, 1.2, 25, 2.0, {"VPP_DDR_F"}},
+    };
+    ENZIAN_ASSERT(defs_.size() == 25, "Enzian has 25 regulators");
+
+    for (const auto &d : defs_) {
+        Regulator::Config rc;
+        rc.address = d.addr;
+        rc.vout_nominal = d.volts;
+        rc.iout_max = d.amps_max;
+        rc.ramp_ms = d.ramp_ms;
+        auto reg = std::make_unique<Regulator>(
+            name() + ".reg." + d.name, eventq(), rc);
+        bus_->attach(d.addr, reg.get());
+        regs_.emplace(d.name, std::move(reg));
+        names_.push_back(d.name);
+        solver_.addRail(RailSpec{d.name, d.requires_up, d.ramp_ms, 1.0});
+    }
+}
+
+void
+Bmc::wireLoads()
+{
+    PowerModel *pm = &power_;
+    // CPU package rails split the SoC power; fractions approximate a
+    // ThunderX-1 power-delivery budget.
+    regulator("VDD_CORE").setLoad([pm]() {
+        return PowerModel::ampsFor(0.72 * pm->cpuPower(), 0.98);
+    });
+    regulator("VDD_09").setLoad([pm]() {
+        return PowerModel::ampsFor(0.14 * pm->cpuPower(), 0.9);
+    });
+    regulator("P1V8_CPU").setLoad([pm]() {
+        return PowerModel::ampsFor(0.09 * pm->cpuPower(), 1.8);
+    });
+    regulator("P2V5_CPU").setLoad([pm]() {
+        return PowerModel::ampsFor(0.05 * pm->cpuPower(), 2.5);
+    });
+    // CPU DRAM channel groups (Figure 12's DRAM0 / DRAM1 traces).
+    regulator("VDD_DDR_C01").setLoad([pm]() {
+        return PowerModel::ampsFor(0.85 * pm->dramPower(0), 1.2);
+    });
+    regulator("VTT_DDR_C01").setLoad([pm]() {
+        return PowerModel::ampsFor(0.08 * pm->dramPower(0), 0.6);
+    });
+    regulator("VPP_DDR_C01").setLoad([pm]() {
+        return PowerModel::ampsFor(0.07 * pm->dramPower(0), 2.5);
+    });
+    regulator("VDD_DDR_C23").setLoad([pm]() {
+        return PowerModel::ampsFor(0.85 * pm->dramPower(1), 1.2);
+    });
+    regulator("VTT_DDR_C23").setLoad([pm]() {
+        return PowerModel::ampsFor(0.08 * pm->dramPower(1), 0.6);
+    });
+    regulator("VPP_DDR_C23").setLoad([pm]() {
+        return PowerModel::ampsFor(0.07 * pm->dramPower(1), 2.5);
+    });
+    // FPGA rails.
+    regulator("VCCINT").setLoad([pm]() {
+        return PowerModel::ampsFor(0.70 * pm->fpgaPower(), 0.85);
+    });
+    regulator("VCCBRAM").setLoad([pm]() {
+        return PowerModel::ampsFor(0.06 * pm->fpgaPower(), 0.9);
+    });
+    regulator("VCCAUX").setLoad([pm]() {
+        return PowerModel::ampsFor(0.08 * pm->fpgaPower(), 1.8);
+    });
+    regulator("VCC_IO").setLoad([pm]() {
+        return PowerModel::ampsFor(0.04 * pm->fpgaPower(), 1.2);
+    });
+    regulator("MGTAVCC").setLoad([pm]() {
+        return PowerModel::ampsFor(0.07 * pm->fpgaPower(), 0.9);
+    });
+    regulator("MGTAVTT").setLoad([pm]() {
+        return PowerModel::ampsFor(0.05 * pm->fpgaPower(), 1.2);
+    });
+    // BMC / board housekeeping.
+    regulator("P1V8_BMC").setLoad([pm]() {
+        return PowerModel::ampsFor(0.5 * pm->bmcPower(), 1.8);
+    });
+    regulator("P1V0_BMC").setLoad([pm]() {
+        return PowerModel::ampsFor(0.5 * pm->bmcPower(), 1.0);
+    });
+    regulator("P3V3_CLK").setLoad([]() { return 0.8; });
+    regulator("P2V5_CLK").setLoad([]() { return 0.6; });
+    regulator("P12V_FAN").setLoad([]() { return 1.5; });
+    regulator("P3V3_STBY").setLoad([]() { return 1.2; });
+    regulator("P5V_STBY").setLoad([]() { return 0.7; });
+}
+
+Regulator &
+Bmc::regulator(const std::string &rail)
+{
+    auto it = regs_.find(rail);
+    if (it == regs_.end())
+        fatal("unknown rail '%s'", rail.c_str());
+    return *it->second;
+}
+
+bool
+Bmc::domainUp(Domain d) const
+{
+    return domainUp_[static_cast<std::size_t>(d)];
+}
+
+Tick
+Bmc::executeSequence(Domain d, bool up)
+{
+    // Solve over the domain's rails only; cross-domain requirements
+    // must already be satisfied.
+    SequenceSolver sub;
+    for (const auto &def : defs_) {
+        if (def.domain != d)
+            continue;
+        RailSpec spec;
+        spec.name = def.name;
+        spec.ramp_ms = def.ramp_ms;
+        spec.settle_ms = 1.0;
+        for (const auto &dep : def.requires_up) {
+            const auto dit = std::find_if(
+                defs_.begin(), defs_.end(),
+                [&](const RailDef &x) { return x.name == dep; });
+            ENZIAN_ASSERT(dit != defs_.end(), "dangling dep");
+            if (dit->domain == d) {
+                spec.requires_up.push_back(dep);
+            } else if (up && !regulator(dep).powerGood()) {
+                fatal("domain %s requires rail '%s' which is not up",
+                      bmc::toString(d), dep.c_str());
+            }
+        }
+        sub.addRail(spec);
+    }
+
+    const auto schedule =
+        up ? sub.powerUpSequence() : sub.powerDownSequence();
+    Tick settled = now();
+    for (const auto &step : schedule) {
+        const Tick at = now() + units::ms(step.at_ms);
+        const std::uint8_t addr = regulator(step.rail).config().address;
+        eventq().schedule(
+            at,
+            [this, addr, up]() {
+                master_->writeByte(addr, PmbusCmd::Operation,
+                                   up ? operationOn : operationOff);
+            },
+            "bmc-sequence-step");
+        const auto &def = *std::find_if(
+            defs_.begin(), defs_.end(),
+            [&](const RailDef &x) { return x.name == step.rail; });
+        settled = std::max(
+            settled, at + units::ms(def.ramp_ms + 1.0));
+    }
+    domainUp_[static_cast<std::size_t>(d)] = up;
+    return settled;
+}
+
+Tick
+Bmc::commonPowerUp()
+{
+    return executeSequence(Domain::Standby, true);
+}
+
+Tick
+Bmc::cpuPowerUp()
+{
+    if (!domainUp(Domain::Standby))
+        fatal("cpu_power_up before common_power_up");
+    return executeSequence(Domain::Cpu, true);
+}
+
+Tick
+Bmc::cpuPowerDown()
+{
+    return executeSequence(Domain::Cpu, false);
+}
+
+Tick
+Bmc::fpgaPowerUp()
+{
+    if (!domainUp(Domain::Standby))
+        fatal("fpga_power_up before common_power_up");
+    return executeSequence(Domain::Fpga, true);
+}
+
+Tick
+Bmc::fpgaPowerDown()
+{
+    return executeSequence(Domain::Fpga, false);
+}
+
+std::string
+Bmc::printCurrentAll()
+{
+    std::ostringstream os;
+    os << "rail          V      A      W     T(C)\n";
+    for (const auto &rail : names_) {
+        const std::uint8_t addr = regulator(rail).config().address;
+        double v = 0, i = 0, t = 0;
+        if (auto w = master_->readWord(addr, PmbusCmd::ReadVout))
+            v = linear16Decode(*w, voutModeExponent);
+        if (auto w = master_->readWord(addr, PmbusCmd::ReadIout))
+            i = linear11Decode(*w);
+        if (auto w = master_->readWord(addr, PmbusCmd::ReadTemperature1))
+            t = linear11Decode(*w);
+        os << format("%-12s %6.3f %6.2f %6.2f %6.1f\n", rail.c_str(),
+                     v, i, v * i, t);
+    }
+    return os.str();
+}
+
+} // namespace enzian::bmc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The Enzian baseboard management controller.
+ *
+ * The BMC "is powered on whenever the case PSU is plugged in", then
+ * "turns on power and clock to the rest of the system including FPGA
+ * and the CPU" (paper section 4.4). This facade builds the board's
+ * power tree - 25 PMBus regulators across standby/clock, CPU, and
+ * FPGA domains with their declarative sequencing requirements - and
+ * exposes the power-manager commands of the paper's artifact
+ * (common_power_up(), cpu_power_up(), print_current_all()) plus the
+ * telemetry service of section 5.5.
+ */
+
+#ifndef ENZIAN_BMC_BMC_HH
+#define ENZIAN_BMC_BMC_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bmc/i2c_bus.hh"
+#include "bmc/pmbus.hh"
+#include "bmc/power_model.hh"
+#include "bmc/regulator.hh"
+#include "bmc/sequence_solver.hh"
+#include "bmc/telemetry.hh"
+
+namespace enzian::bmc {
+
+/** Power domains the BMC sequences independently. */
+enum class Domain : std::uint8_t { Standby = 0, Cpu, Fpga };
+
+/** Readable domain name. */
+const char *toString(Domain d);
+
+/** The board management controller. */
+class Bmc : public SimObject
+{
+  public:
+    Bmc(std::string name, EventQueue &eq);
+
+    /** The platform power model (activity knobs live here). */
+    PowerModel &power() { return power_; }
+
+    /** The PMBus/I2C segment all regulators hang off. */
+    I2cBus &bus() { return *bus_; }
+    PmbusMaster &pmbus() { return *master_; }
+
+    /** Telemetry poller (empty watch list by default). */
+    Telemetry &telemetry() { return *telemetry_; }
+
+    /** The regulator powering @p rail; fatal() if unknown. */
+    Regulator &regulator(const std::string &rail);
+
+    /** All rail names in declaration order. */
+    const std::vector<std::string> &railNames() const { return names_; }
+
+    /** Number of discrete regulators (25 on Enzian). */
+    std::size_t regulatorCount() const { return regs_.size(); }
+
+    /** The sequencing declarations (for inspection / validation). */
+    const SequenceSolver &solver() const { return solver_; }
+
+    /**
+     * Power the standby + clock rails (the artifact's
+     * common_power_up()). @return tick the domain is settled.
+     */
+    Tick commonPowerUp();
+
+    /** Power the CPU domain; requires standby up. */
+    Tick cpuPowerUp();
+
+    /** Drop the CPU domain. */
+    Tick cpuPowerDown();
+
+    /** Power the FPGA domain; requires standby up. */
+    Tick fpgaPowerUp();
+
+    /** Drop the FPGA domain. */
+    Tick fpgaPowerDown();
+
+    /** True once @p d completed power-up (and not powered down). */
+    bool domainUp(Domain d) const;
+
+    /**
+     * The artifact's print_current_all(): read every rail over PMBus
+     * and render a table. Occupies the bus for real.
+     */
+    std::string printCurrentAll();
+
+  private:
+    struct RailDef
+    {
+        std::string name;
+        Domain domain;
+        std::uint8_t addr;
+        double volts;
+        double amps_max;
+        double ramp_ms;
+        std::vector<std::string> requires_up;
+    };
+
+    void buildRails();
+    void wireLoads();
+    Tick executeSequence(Domain d, bool up);
+
+    std::unique_ptr<I2cBus> bus_;
+    std::unique_ptr<PmbusMaster> master_;
+    std::unique_ptr<Telemetry> telemetry_;
+    PowerModel power_;
+    SequenceSolver solver_;
+    std::vector<RailDef> defs_;
+    std::vector<std::string> names_;
+    std::map<std::string, std::unique_ptr<Regulator>> regs_;
+    bool domainUp_[3] = {false, false, false};
+};
+
+} // namespace enzian::bmc
+
+#endif // ENZIAN_BMC_BMC_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * I2C bus implementation.
+ */
+
+#include "bmc/i2c_bus.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::bmc {
+
+I2cBus::I2cBus(std::string name, EventQueue &eq, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    if (cfg_.clock_hz <= 0)
+        fatal("I2C bus '%s': bad clock", SimObject::name().c_str());
+    stats().addCounter("transactions", &txns_);
+    stats().addCounter("naks", &naks_);
+}
+
+void
+I2cBus::attach(std::uint8_t addr, I2cDevice *dev)
+{
+    if (addr > 0x7f)
+        fatal("I2C address %#x out of 7-bit range", addr);
+    if (devices_.count(addr))
+        fatal("I2C address %#x already occupied by '%s'", addr,
+              devices_[addr]->deviceName().c_str());
+    devices_[addr] = dev;
+}
+
+Tick
+I2cBus::transactionTime(std::size_t wr_bytes, std::size_t rd_bytes) const
+{
+    // START + addr byte (9 bit slots incl. ACK) + data bytes; a read
+    // adds a repeated START + addr; plus STOP. Each byte occupies 9
+    // SCL cycles.
+    std::size_t bits = 1 + 9; // START + address+ACK
+    bits += 9 * wr_bytes;
+    if (rd_bytes > 0)
+        bits += 1 + 9 + 9 * rd_bytes;
+    bits += 1; // STOP
+    const double secs = static_cast<double>(bits) / cfg_.clock_hz +
+                        cfg_.driver_overhead_us * 1e-6;
+    return units::sec(secs);
+}
+
+I2cResult
+I2cBus::transfer(std::uint8_t addr, const std::vector<std::uint8_t> &wr,
+                 std::size_t read_len)
+{
+    txns_.inc();
+    I2cResult r;
+    const Tick start = std::max(now(), busFreeAt_);
+    const Tick dur = transactionTime(wr.size(), read_len);
+    busFreeAt_ = start + dur;
+    r.done = busFreeAt_;
+
+    auto it = devices_.find(addr);
+    if (it == devices_.end()) {
+        // Address NAK: nobody home.
+        naks_.inc();
+        return r;
+    }
+    I2cDevice *dev = it->second;
+
+    if (!wr.empty() && !dev->i2cWrite(wr)) {
+        naks_.inc();
+        return r;
+    }
+    if (read_len > 0) {
+        r.data = dev->i2cRead(read_len);
+        if (r.data.size() != read_len) {
+            naks_.inc();
+            return r;
+        }
+    }
+    r.acked = true;
+    return r;
+}
+
+} // namespace enzian::bmc

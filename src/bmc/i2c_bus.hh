@@ -1,0 +1,104 @@
+/**
+ * @file
+ * I2C bus model with protocol checking.
+ *
+ * The BMC reaches every regulator over I2C (via SMBus/PMBus layered
+ * on top, paper section 4.3). The model is transaction-level - a
+ * combined write/read with START/address/ACK semantics - with timing
+ * derived from the bus clock, and runtime protocol assertions in the
+ * spirit of the group's model-checked I2C stack [27]: addressing a
+ * missing device NAKs, transactions cannot interleave, and reads of
+ * zero length are rejected.
+ */
+
+#ifndef ENZIAN_BMC_I2C_BUS_HH
+#define ENZIAN_BMC_I2C_BUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace enzian::bmc {
+
+/** A slave device on the bus. */
+class I2cDevice
+{
+  public:
+    virtual ~I2cDevice() = default;
+
+    /** Device name for diagnostics. */
+    virtual const std::string &deviceName() const = 0;
+
+    /**
+     * Master write: @p data starting with the register/command byte.
+     * @return true to ACK.
+     */
+    virtual bool i2cWrite(const std::vector<std::uint8_t> &data) = 0;
+
+    /**
+     * Master read of @p len bytes (after a repeated-start addressing
+     * the register set by the preceding write).
+     * @return the bytes; empty vector NAKs.
+     */
+    virtual std::vector<std::uint8_t> i2cRead(std::size_t len) = 0;
+};
+
+/** Result of a bus transaction. */
+struct I2cResult
+{
+    bool acked = false;
+    std::vector<std::uint8_t> data;
+    /** Tick at which the transaction (incl. STOP) completed. */
+    Tick done = 0;
+};
+
+/** The bus master + wire. */
+class I2cBus : public SimObject
+{
+  public:
+    /** Bus configuration. */
+    struct Config
+    {
+        /** SCL frequency in Hz (Fast-mode: 400 kHz). */
+        double clock_hz = 400e3;
+        /** Firmware driver overhead per transaction (us). */
+        double driver_overhead_us = 120.0;
+    };
+
+    I2cBus(std::string name, EventQueue &eq, const Config &cfg);
+
+    /** Attach @p dev at 7-bit address @p addr. */
+    void attach(std::uint8_t addr, I2cDevice *dev);
+
+    /**
+     * Combined transaction: write @p wr (register/command + payload),
+     * then, if @p read_len > 0, repeated-start read of @p read_len
+     * bytes. Advances bus occupancy; back-to-back transactions
+     * serialize.
+     */
+    I2cResult transfer(std::uint8_t addr,
+                       const std::vector<std::uint8_t> &wr,
+                       std::size_t read_len);
+
+    /** Time one transaction of this shape occupies the bus. */
+    Tick transactionTime(std::size_t wr_bytes,
+                         std::size_t rd_bytes) const;
+
+    std::uint64_t transactions() const { return txns_.value(); }
+    std::uint64_t naks() const { return naks_.value(); }
+
+  private:
+    Config cfg_;
+    std::map<std::uint8_t, I2cDevice *> devices_;
+    Tick busFreeAt_ = 0;
+    Counter txns_;
+    Counter naks_;
+};
+
+} // namespace enzian::bmc
+
+#endif // ENZIAN_BMC_I2C_BUS_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * PMBus encodings and master helper.
+ */
+
+#include "bmc/pmbus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace enzian::bmc {
+
+std::uint16_t
+linear11Encode(double value)
+{
+    // mantissa in [-1024, 1023]; find the smallest exponent that fits.
+    int exp = -16;
+    double m = value * std::pow(2.0, -exp);
+    while ((m > 1023.0 || m < -1024.0) && exp < 15) {
+        ++exp;
+        m = value * std::pow(2.0, -exp);
+    }
+    auto mant = static_cast<std::int32_t>(std::llround(m));
+    mant = std::max(-1024, std::min(1023, mant));
+    return static_cast<std::uint16_t>(
+        ((exp & 0x1f) << 11) | (mant & 0x7ff));
+}
+
+double
+linear11Decode(std::uint16_t word)
+{
+    std::int32_t exp = (word >> 11) & 0x1f;
+    if (exp > 15)
+        exp -= 32; // sign-extend 5 bits
+    std::int32_t mant = word & 0x7ff;
+    if (mant > 1023)
+        mant -= 2048; // sign-extend 11 bits
+    return static_cast<double>(mant) * std::pow(2.0, exp);
+}
+
+std::uint16_t
+linear16Encode(double volts, std::int8_t vout_mode_exp)
+{
+    const double m = volts * std::pow(2.0, -vout_mode_exp);
+    const auto mant =
+        static_cast<std::int64_t>(std::llround(m));
+    ENZIAN_ASSERT(mant >= 0 && mant <= 0xffff,
+                  "LINEAR16 overflow for %f V", volts);
+    return static_cast<std::uint16_t>(mant);
+}
+
+double
+linear16Decode(std::uint16_t word, std::int8_t vout_mode_exp)
+{
+    return static_cast<double>(word) * std::pow(2.0, vout_mode_exp);
+}
+
+bool
+PmbusMaster::writeByte(std::uint8_t addr, PmbusCmd cmd,
+                       std::uint8_t value)
+{
+    return bus_
+        .transfer(addr, {static_cast<std::uint8_t>(cmd), value}, 0)
+        .acked;
+}
+
+bool
+PmbusMaster::writeWord(std::uint8_t addr, PmbusCmd cmd,
+                       std::uint16_t value)
+{
+    return bus_
+        .transfer(addr,
+                  {static_cast<std::uint8_t>(cmd),
+                   static_cast<std::uint8_t>(value & 0xff),
+                   static_cast<std::uint8_t>(value >> 8)},
+                  0)
+        .acked;
+}
+
+bool
+PmbusMaster::sendCommand(std::uint8_t addr, PmbusCmd cmd)
+{
+    return bus_.transfer(addr, {static_cast<std::uint8_t>(cmd)}, 0)
+        .acked;
+}
+
+std::optional<std::uint16_t>
+PmbusMaster::readWord(std::uint8_t addr, PmbusCmd cmd)
+{
+    I2cResult r =
+        bus_.transfer(addr, {static_cast<std::uint8_t>(cmd)}, 2);
+    if (!r.acked)
+        return std::nullopt;
+    return static_cast<std::uint16_t>(r.data[0] |
+                                      (static_cast<std::uint16_t>(
+                                           r.data[1])
+                                       << 8));
+}
+
+std::optional<std::uint8_t>
+PmbusMaster::readByte(std::uint8_t addr, PmbusCmd cmd)
+{
+    I2cResult r =
+        bus_.transfer(addr, {static_cast<std::uint8_t>(cmd)}, 1);
+    if (!r.acked)
+        return std::nullopt;
+    return r.data[0];
+}
+
+} // namespace enzian::bmc

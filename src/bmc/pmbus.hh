@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PMBus protocol layer.
+ *
+ * PMBus is the power-management command set layered on SMBus/I2C
+ * that Enzian's regulators speak (paper section 4.3). This header
+ * defines the command codes the reproduction uses and the LINEAR11 /
+ * LINEAR16 fixed-point formats real PMBus devices report values in,
+ * plus a master-side helper that issues commands through an I2cBus.
+ */
+
+#ifndef ENZIAN_BMC_PMBUS_HH
+#define ENZIAN_BMC_PMBUS_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "bmc/i2c_bus.hh"
+
+namespace enzian::bmc {
+
+/** PMBus command codes (subset; values per the PMBus 1.2 spec). */
+enum class PmbusCmd : std::uint8_t {
+    Operation = 0x01,
+    ClearFaults = 0x03,
+    VoutMode = 0x20,
+    VoutCommand = 0x21,
+    VoutOvFaultLimit = 0x40,
+    IoutOcFaultLimit = 0x46,
+    OtFaultLimit = 0x4f,
+    StatusWord = 0x79,
+    ReadVin = 0x88,
+    ReadVout = 0x8b,
+    ReadIout = 0x8c,
+    ReadTemperature1 = 0x8d,
+};
+
+/** OPERATION register bits. */
+constexpr std::uint8_t operationOn = 0x80;
+constexpr std::uint8_t operationOff = 0x00;
+
+/** STATUS_WORD fault bits (subset). */
+constexpr std::uint16_t statusVoutOv = 0x8000;
+constexpr std::uint16_t statusIoutOc = 0x4000;
+constexpr std::uint16_t statusTemp = 0x0004;
+constexpr std::uint16_t statusOff = 0x0040;
+
+/**
+ * Encode a value in LINEAR11: 5-bit signed exponent, 11-bit signed
+ * mantissa, value = m * 2^e. Picks the exponent maximizing precision.
+ */
+std::uint16_t linear11Encode(double value);
+
+/** Decode a LINEAR11 word. */
+double linear11Decode(std::uint16_t word);
+
+/** Encode voltage in LINEAR16 with exponent @p vout_mode_exp. */
+std::uint16_t linear16Encode(double volts, std::int8_t vout_mode_exp);
+
+/** Decode a LINEAR16 voltage word. */
+double linear16Decode(std::uint16_t word, std::int8_t vout_mode_exp);
+
+/** VOUT_MODE exponent all modeled regulators use (2^-12 V). */
+constexpr std::int8_t voutModeExponent = -12;
+
+/** Master-side PMBus helper bound to one bus. */
+class PmbusMaster
+{
+  public:
+    explicit PmbusMaster(I2cBus &bus) : bus_(bus) {}
+
+    /** Write a single byte command (e.g. OPERATION). */
+    bool writeByte(std::uint8_t addr, PmbusCmd cmd, std::uint8_t value);
+
+    /** Write a 16-bit word (little-endian per SMBus). */
+    bool writeWord(std::uint8_t addr, PmbusCmd cmd, std::uint16_t value);
+
+    /** Send a command with no data (e.g. CLEAR_FAULTS). */
+    bool sendCommand(std::uint8_t addr, PmbusCmd cmd);
+
+    /** Read a 16-bit word. nullopt on NAK. */
+    std::optional<std::uint16_t> readWord(std::uint8_t addr,
+                                          PmbusCmd cmd);
+
+    /** Read a byte. nullopt on NAK. */
+    std::optional<std::uint8_t> readByte(std::uint8_t addr,
+                                         PmbusCmd cmd);
+
+    I2cBus &bus() { return bus_; }
+
+  private:
+    I2cBus &bus_;
+};
+
+} // namespace enzian::bmc
+
+#endif // ENZIAN_BMC_PMBUS_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Power model implementation.
+ */
+
+#include "bmc/power_model.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::bmc {
+
+PowerModel::PowerModel(const Config &cfg) : cfg_(cfg) {}
+
+void
+PowerModel::setDramActivity(std::uint32_t group, double activity)
+{
+    ENZIAN_ASSERT(group < 2, "bad DRAM group %u", group);
+    if (activity < 0.0 || activity > 1.0)
+        fatal("DRAM activity %f out of [0,1]", activity);
+    dramActivity_[group] = activity;
+}
+
+double
+PowerModel::cpuPower() const
+{
+    if (!cpuOn_)
+        return 0.0;
+    double w = cfg_.cpu_idle_w + cfg_.cpu_per_core_w * activeCores_;
+    if (cpuSpike_)
+        w += cfg_.cpu_poweron_spike_w;
+    return w;
+}
+
+double
+PowerModel::dramPower(std::uint32_t group) const
+{
+    ENZIAN_ASSERT(group < 2, "bad DRAM group %u", group);
+    if (!cpuOn_)
+        return 0.0;
+    return cfg_.dram_idle_w + cfg_.dram_active_w * dramActivity_[group];
+}
+
+double
+PowerModel::fpgaPower() const
+{
+    if (!fpgaOn_)
+        return 0.0;
+    if (!fpgaConfigured_)
+        return cfg_.fpga_unconfigured_w;
+    return cfg_.fpga_static_w + cfg_.fpga_dynamic_w * fpgaActivity_;
+}
+
+double
+PowerModel::totalPower() const
+{
+    return cpuPower() + dramPower(0) + dramPower(1) + fpgaPower() +
+           bmcPower();
+}
+
+} // namespace enzian::bmc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Platform power model.
+ *
+ * Converts component activity (active CPU cores, DRAM traffic, FPGA
+ * switching activity) into the per-component wattage that Figure 12
+ * plots, and into the per-rail load currents the regulators report
+ * over PMBus. Wattage constants are set to land the reproduction in
+ * the same range as the paper's measured traces (CPU ~100 W under
+ * memtest, FPGA 20->170 W across the power-burn staircase, DRAM
+ * groups in the tens of watts).
+ */
+
+#ifndef ENZIAN_BMC_POWER_MODEL_HH
+#define ENZIAN_BMC_POWER_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace enzian::bmc {
+
+/** Activity-to-watts model for the primary components. */
+class PowerModel
+{
+  public:
+    /** Wattage coefficients. */
+    struct Config
+    {
+        double cpu_idle_w = 42.0;
+        double cpu_per_core_w = 1.35;
+        /** Transient power-on overshoot (inrush + training). */
+        double cpu_poweron_spike_w = 65.0;
+        double dram_idle_w = 7.0;        ///< per channel group
+        double dram_active_w = 16.0;     ///< additional at activity 1
+        double fpga_static_w = 21.0;     ///< configured, idle
+        double fpga_unconfigured_w = 8.0;
+        double fpga_dynamic_w = 150.0;   ///< at mean activity 1
+        double bmc_w = 6.5;
+    };
+
+    PowerModel() : PowerModel(Config()) {}
+    explicit PowerModel(const Config &cfg);
+
+    // --- activity knobs (driven by the boot sequencer / workloads) --
+    void setCpuOn(bool on) { cpuOn_ = on; }
+    void setCpuSpike(bool spike) { cpuSpike_ = spike; }
+    void setActiveCores(std::uint32_t n) { activeCores_ = n; }
+    /** DRAM activity per group (0: channels 0-1, 1: channels 2-3). */
+    void setDramActivity(std::uint32_t group, double activity);
+    void setFpgaOn(bool on) { fpgaOn_ = on; }
+    void setFpgaConfigured(bool conf) { fpgaConfigured_ = conf; }
+    /** Mean FPGA region switching activity in [0,1]. */
+    void setFpgaActivity(double a) { fpgaActivity_ = a; }
+
+    // --- component wattages (Figure 12 traces) ----------------------
+    double cpuPower() const;
+    double dramPower(std::uint32_t group) const;
+    double fpgaPower() const;
+    double bmcPower() const { return cfg_.bmc_w; }
+    double totalPower() const;
+
+    /** Load in amps on a rail at @p volts carrying @p watts. */
+    static double ampsFor(double watts, double volts)
+    {
+        return volts > 0 ? watts / volts : 0.0;
+    }
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    bool cpuOn_ = false;
+    bool cpuSpike_ = false;
+    std::uint32_t activeCores_ = 0;
+    double dramActivity_[2] = {0.0, 0.0};
+    bool fpgaOn_ = false;
+    bool fpgaConfigured_ = false;
+    double fpgaActivity_ = 0.0;
+};
+
+} // namespace enzian::bmc
+
+#endif // ENZIAN_BMC_POWER_MODEL_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Regulator implementation.
+ */
+
+#include "bmc/regulator.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::bmc {
+
+Regulator::Regulator(std::string name, EventQueue &eq, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg),
+      voutCommand_(cfg.vout_nominal)
+{
+    if (cfg_.vout_nominal <= 0 || cfg_.iout_max <= 0)
+        fatal("regulator '%s': bad electrical config",
+              SimObject::name().c_str());
+    if (cfg_.ov_limit == 0.0)
+        cfg_.ov_limit = 1.15 * cfg_.vout_nominal;
+}
+
+void
+Regulator::enable()
+{
+    if (enabled_ || faulted_)
+        return;
+    enabled_ = true;
+    rampStart_ = now();
+    faults_ &= static_cast<std::uint16_t>(~statusOff);
+}
+
+void
+Regulator::disable()
+{
+    enabled_ = false;
+    faults_ |= statusOff;
+}
+
+bool
+Regulator::powerGood() const
+{
+    return enabled_ && !faulted_ &&
+           now() >= rampStart_ + units::ms(cfg_.ramp_ms);
+}
+
+double
+Regulator::vout() const
+{
+    if (!enabled_ || faulted_)
+        return 0.0;
+    const Tick ramp = units::ms(cfg_.ramp_ms);
+    if (now() >= rampStart_ + ramp)
+        return voutCommand_;
+    const double frac = static_cast<double>(now() - rampStart_) /
+                        static_cast<double>(ramp);
+    return voutCommand_ * frac;
+}
+
+double
+Regulator::iout() const
+{
+    if (!powerGood() || !load_)
+        return 0.0;
+    return load_();
+}
+
+double
+Regulator::inputPower() const
+{
+    const double p = power();
+    return p > 0 ? p / cfg_.efficiency : 0.0;
+}
+
+double
+Regulator::temperature() const
+{
+    const double loss = inputPower() - power();
+    return cfg_.ambient_c + cfg_.theta_c_per_w * loss;
+}
+
+void
+Regulator::injectFault(std::uint16_t bits)
+{
+    faults_ |= bits;
+    faulted_ = true;
+    enabled_ = false;
+}
+
+void
+Regulator::checkFaults()
+{
+    if (!enabled_)
+        return;
+    if (voutCommand_ > cfg_.ov_limit) {
+        warn("%s: OVP at %.3f V (limit %.3f)", name().c_str(),
+             voutCommand_, cfg_.ov_limit);
+        injectFault(statusVoutOv);
+    }
+    if (iout() > cfg_.iout_max) {
+        warn("%s: OCP at %.1f A (limit %.1f)", name().c_str(), iout(),
+             cfg_.iout_max);
+        injectFault(statusIoutOc);
+    }
+}
+
+bool
+Regulator::i2cWrite(const std::vector<std::uint8_t> &data)
+{
+    if (data.empty())
+        return false;
+    lastCmd_ = data[0];
+    const auto cmd = static_cast<PmbusCmd>(data[0]);
+    switch (cmd) {
+      case PmbusCmd::Operation:
+        if (data.size() < 2)
+            return false;
+        if (data[1] & operationOn)
+            enable();
+        else
+            disable();
+        return true;
+      case PmbusCmd::ClearFaults:
+        faults_ = enabled_ ? 0 : statusOff;
+        faulted_ = false;
+        return true;
+      case PmbusCmd::VoutCommand: {
+        if (data.size() < 3)
+            return false;
+        const auto word = static_cast<std::uint16_t>(
+            data[1] | (static_cast<std::uint16_t>(data[2]) << 8));
+        voutCommand_ = linear16Decode(word, voutModeExponent);
+        checkFaults();
+        return true;
+      }
+      default:
+        // Register selected for a subsequent read.
+        return true;
+    }
+}
+
+std::vector<std::uint8_t>
+Regulator::i2cRead(std::size_t len)
+{
+    checkFaults();
+    std::uint16_t word = 0;
+    switch (static_cast<PmbusCmd>(lastCmd_)) {
+      case PmbusCmd::VoutMode:
+        return {static_cast<std::uint8_t>(voutModeExponent & 0x1f)};
+      case PmbusCmd::ReadVout:
+        word = linear16Encode(vout(), voutModeExponent);
+        break;
+      case PmbusCmd::ReadIout:
+        word = linear11Encode(iout());
+        break;
+      case PmbusCmd::ReadVin:
+        word = linear11Encode(12.0);
+        break;
+      case PmbusCmd::ReadTemperature1:
+        word = linear11Encode(temperature());
+        break;
+      case PmbusCmd::StatusWord:
+        word = faults_;
+        break;
+      default:
+        return {}; // NAK: unsupported read
+    }
+    if (len == 1)
+        return {static_cast<std::uint8_t>(word & 0xff)};
+    return {static_cast<std::uint8_t>(word & 0xff),
+            static_cast<std::uint8_t>(word >> 8)};
+}
+
+} // namespace enzian::bmc

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Voltage regulator model.
+ *
+ * Enzian has "25 discrete voltage regulators supplying 30 voltage
+ * rails, each of which can be controlled and queried for some
+ * combination of voltage, current, and temperature" over PMBus
+ * (paper section 4.3). A Regulator models one such part: a PMBus
+ * register file (the I2cDevice face), an output that ramps up/down
+ * over a configurable time when commanded, a load current supplied by
+ * the platform power model, a first-order thermal model, and
+ * over-voltage/over-current/over-temperature fault machinery - a
+ * misconfigured regulator on a >150 A rail is exactly the hazard the
+ * paper's bring-up stories revolve around.
+ */
+
+#ifndef ENZIAN_BMC_REGULATOR_HH
+#define ENZIAN_BMC_REGULATOR_HH
+
+#include <functional>
+
+#include "bmc/pmbus.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::bmc {
+
+/** One voltage regulator (possibly one channel of a multi-rail part). */
+class Regulator : public SimObject, public I2cDevice
+{
+  public:
+    /** Electrical configuration. */
+    struct Config
+    {
+        /** PMBus address. */
+        std::uint8_t address = 0x20;
+        /** Nominal output voltage (V). */
+        double vout_nominal = 1.0;
+        /** Maximum continuous output current (A). */
+        double iout_max = 10.0;
+        /** Soft-start ramp time (ms). */
+        double ramp_ms = 2.0;
+        /** Over-voltage fault threshold (V). */
+        double ov_limit = 0.0; // 0 -> 1.15 * nominal
+        /** Conversion efficiency at load [0,1]. */
+        double efficiency = 0.90;
+        /** Ambient temperature (C). */
+        double ambient_c = 35.0;
+        /** Thermal resistance (C/W of loss). */
+        double theta_c_per_w = 2.5;
+    };
+
+    Regulator(std::string name, EventQueue &eq, const Config &cfg);
+
+    /** Supply the load current draw (A) as a function of time. */
+    void setLoad(std::function<double()> load) { load_ = std::move(load); }
+
+    // --- direct (non-bus) state access for the power model ---------
+
+    /** True once enabled and the ramp has completed. */
+    bool powerGood() const;
+
+    /** True if enabled (possibly still ramping). */
+    bool enabled() const { return enabled_ && !faulted_; }
+
+    /** Present output voltage (V), accounting for the ramp. */
+    double vout() const;
+
+    /** Present load current (A); zero while off. */
+    double iout() const;
+
+    /** Output power (W). */
+    double power() const { return vout() * iout(); }
+
+    /** Input power including conversion loss (W). */
+    double inputPower() const;
+
+    /** Junction temperature (C). */
+    double temperature() const;
+
+    /** Latched fault status word (0 = healthy). */
+    std::uint16_t faults() const { return faults_; }
+
+    /** Force a fault (failure-injection hook for tests). */
+    void injectFault(std::uint16_t bits);
+
+    const Config &config() const { return cfg_; }
+
+    // --- I2cDevice (PMBus register file) ---------------------------
+    const std::string &deviceName() const override { return name(); }
+    bool i2cWrite(const std::vector<std::uint8_t> &data) override;
+    std::vector<std::uint8_t> i2cRead(std::size_t len) override;
+
+  private:
+    void enable();
+    void disable();
+    void checkFaults();
+
+    Config cfg_;
+    std::function<double()> load_;
+    bool enabled_ = false;
+    bool faulted_ = false;
+    Tick rampStart_ = 0;
+    double voutCommand_ = 0.0;
+    std::uint16_t faults_ = statusOff;
+    /** Register addressed by the last write (for reads). */
+    std::uint8_t lastCmd_ = 0;
+};
+
+} // namespace enzian::bmc
+
+#endif // ENZIAN_BMC_REGULATOR_HH

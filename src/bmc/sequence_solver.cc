@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Sequence solver implementation.
+ */
+
+#include "bmc/sequence_solver.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::bmc {
+
+void
+SequenceSolver::addRail(const RailSpec &spec)
+{
+    if (spec.name.empty())
+        fatal("rail with empty name");
+    if (specs_.count(spec.name))
+        fatal("rail '%s' declared twice", spec.name.c_str());
+    specs_[spec.name] = spec;
+    declarationOrder_.push_back(spec.name);
+}
+
+std::vector<std::string>
+SequenceSolver::topoOrder() const
+{
+    // Kahn's algorithm over the requires-up graph, iterating in
+    // declaration order for deterministic output.
+    std::map<std::string, std::size_t> indegree;
+    for (const auto &name : declarationOrder_)
+        indegree[name] = 0;
+    for (const auto &[name, spec] : specs_) {
+        for (const auto &dep : spec.requires_up) {
+            if (!specs_.count(dep))
+                fatal("rail '%s' requires undeclared rail '%s'",
+                      name.c_str(), dep.c_str());
+            ++indegree[name];
+        }
+    }
+
+    std::vector<std::string> ready;
+    for (const auto &name : declarationOrder_)
+        if (indegree[name] == 0)
+            ready.push_back(name);
+
+    std::vector<std::string> order;
+    while (!ready.empty()) {
+        const std::string rail = ready.front();
+        ready.erase(ready.begin());
+        order.push_back(rail);
+        for (const auto &name : declarationOrder_) {
+            const RailSpec &spec = specs_.at(name);
+            if (std::find(spec.requires_up.begin(),
+                          spec.requires_up.end(),
+                          rail) != spec.requires_up.end()) {
+                if (--indegree[name] == 0)
+                    ready.push_back(name);
+            }
+        }
+    }
+    if (order.size() != specs_.size())
+        fatal("power sequencing requirements contain a cycle");
+    return order;
+}
+
+double
+SequenceSolver::settledAt(const std::vector<SequenceStep> &schedule,
+                          const std::string &rail) const
+{
+    for (const auto &step : schedule) {
+        if (step.rail == rail) {
+            const RailSpec &spec = specs_.at(rail);
+            return step.at_ms + spec.ramp_ms + spec.settle_ms;
+        }
+    }
+    fatal("rail '%s' not in schedule", rail.c_str());
+}
+
+std::vector<SequenceStep>
+SequenceSolver::powerUpSequence() const
+{
+    std::vector<SequenceStep> schedule;
+    for (const auto &rail : topoOrder()) {
+        const RailSpec &spec = specs_.at(rail);
+        double start = 0.0;
+        for (const auto &dep : spec.requires_up)
+            start = std::max(start, settledAt(schedule, dep));
+        schedule.push_back(SequenceStep{rail, start});
+    }
+
+    std::string error;
+    if (!validate(schedule, error))
+        panic("solver produced an invalid schedule: %s", error.c_str());
+    return schedule;
+}
+
+std::vector<SequenceStep>
+SequenceSolver::powerDownSequence() const
+{
+    // Going down, a rail may only drop after everything that requires
+    // it has dropped: reverse topological order, spaced by ramp times.
+    std::vector<std::string> order = topoOrder();
+    std::reverse(order.begin(), order.end());
+    std::vector<SequenceStep> schedule;
+    double t = 0.0;
+    for (const auto &rail : order) {
+        schedule.push_back(SequenceStep{rail, t});
+        t += specs_.at(rail).ramp_ms;
+    }
+    return schedule;
+}
+
+bool
+SequenceSolver::validate(const std::vector<SequenceStep> &schedule,
+                         std::string &error) const
+{
+    if (schedule.size() != specs_.size()) {
+        error = "schedule does not cover every declared rail";
+        return false;
+    }
+    std::map<std::string, double> start_of;
+    for (const auto &step : schedule) {
+        if (!specs_.count(step.rail)) {
+            error = "schedule names undeclared rail '" + step.rail + "'";
+            return false;
+        }
+        if (start_of.count(step.rail)) {
+            error = "rail '" + step.rail + "' appears twice";
+            return false;
+        }
+        start_of[step.rail] = step.at_ms;
+    }
+    for (const auto &step : schedule) {
+        const RailSpec &spec = specs_.at(step.rail);
+        for (const auto &dep : spec.requires_up) {
+            const RailSpec &dspec = specs_.at(dep);
+            const double settled =
+                start_of.at(dep) + dspec.ramp_ms + dspec.settle_ms;
+            if (step.at_ms + 1e-9 < settled) {
+                error = "rail '" + step.rail + "' starts before '" +
+                        dep + "' settles";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace enzian::bmc

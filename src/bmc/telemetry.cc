@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Telemetry implementation.
+ */
+
+#include "bmc/telemetry.hh"
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace enzian::bmc {
+
+Telemetry::Telemetry(std::string name, EventQueue &eq,
+                     PmbusMaster &master)
+    : SimObject(std::move(name), eq), master_(master)
+{
+}
+
+void
+Telemetry::watch(const std::string &rail, std::uint8_t addr)
+{
+    watched_.push_back(Watched{rail, addr});
+}
+
+void
+Telemetry::start(Tick period)
+{
+    if (period == 0)
+        fatal("telemetry period of zero");
+    period_ = period;
+    running_ = true;
+    eventq().scheduleDelta(0, [this]() { sweep(); }, "telemetry-sweep");
+}
+
+void
+Telemetry::sweep()
+{
+    if (!running_)
+        return;
+    for (const auto &w : watched_) {
+        TelemetrySample s;
+        s.when = now();
+        s.rail = w.rail;
+        if (auto v = master_.readWord(w.addr, PmbusCmd::ReadVout))
+            s.volts = linear16Decode(*v, voutModeExponent);
+        if (auto i = master_.readWord(w.addr, PmbusCmd::ReadIout))
+            s.amps = linear11Decode(*i);
+        if (auto t =
+                master_.readWord(w.addr, PmbusCmd::ReadTemperature1))
+            s.temp_c = linear11Decode(*t);
+        s.watts = s.volts * s.amps;
+        samples_.push_back(std::move(s));
+    }
+    eventq().scheduleDelta(period_, [this]() { sweep(); },
+                           "telemetry-sweep");
+}
+
+void
+Telemetry::dumpCsv(std::ostream &os) const
+{
+    os << "time_s,rail,volts,amps,watts,temp_c\n";
+    for (const auto &s : samples_) {
+        os << units::toSeconds(s.when) << ',' << s.rail << ','
+           << s.volts << ',' << s.amps << ',' << s.watts << ','
+           << s.temp_c << '\n';
+    }
+}
+
+const TelemetrySample *
+Telemetry::latest(const std::string &rail) const
+{
+    for (auto it = samples_.rbegin(); it != samples_.rend(); ++it)
+        if (it->rail == rail)
+            return &*it;
+    return nullptr;
+}
+
+} // namespace enzian::bmc

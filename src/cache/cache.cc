@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Set-associative MOESI cache implementation.
+ */
+
+#include "cache/cache.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace enzian::cache {
+
+Cache::Cache(std::string name, EventQueue &eq, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    if (cfg_.ways == 0 || cfg_.size_bytes % (lineSize * cfg_.ways) != 0)
+        fatal("cache '%s': size %llu not divisible by ways*lineSize",
+              SimObject::name().c_str(),
+              static_cast<unsigned long long>(cfg_.size_bytes));
+    sets_ = static_cast<std::uint32_t>(cfg_.size_bytes /
+                                       (lineSize * cfg_.ways));
+    if (!std::has_single_bit(sets_))
+        fatal("cache '%s': set count %u not a power of two",
+              SimObject::name().c_str(), sets_);
+    frames_.resize(static_cast<std::size_t>(sets_) * cfg_.ways);
+    stats().addCounter("hits", &hits_);
+    stats().addCounter("misses", &misses_);
+    stats().addCounter("evictions", &evictions_);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr / lineSize) & (sets_ - 1));
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / lineSize) / sets_;
+}
+
+const LineFrame *
+Cache::find(Addr addr) const
+{
+    const std::uint64_t tag = tagOf(addr);
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(addr)) * cfg_.ways;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        const LineFrame &f = frames_[base + w];
+        if (f.valid() && f.tag == tag)
+            return &f;
+    }
+    return nullptr;
+}
+
+LineFrame *
+Cache::find(Addr addr)
+{
+    return const_cast<LineFrame *>(
+        static_cast<const Cache *>(this)->find(addr));
+}
+
+MoesiState
+Cache::probe(Addr addr) const
+{
+    const LineFrame *f = find(lineAlign(addr));
+    return f ? f->state : MoesiState::Invalid;
+}
+
+LineFrame *
+Cache::access(Addr addr)
+{
+    LineFrame *f = find(lineAlign(addr));
+    if (f) {
+        f->lastUse = ++useClock_;
+        hits_.inc();
+    } else {
+        misses_.inc();
+    }
+    return f;
+}
+
+std::optional<Eviction>
+Cache::fill(Addr addr, MoesiState state, const std::uint8_t *data)
+{
+    addr = lineAlign(addr);
+    ENZIAN_ASSERT(state != MoesiState::Invalid, "fill with Invalid");
+
+    // Re-fill over an existing copy just updates it.
+    if (LineFrame *f = find(addr)) {
+        f->state = state;
+        if (data)
+            f->data.assign(data, data + lineSize);
+        f->lastUse = ++useClock_;
+        return std::nullopt;
+    }
+
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(addr)) * cfg_.ways;
+    LineFrame *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        LineFrame &f = frames_[base + w];
+        if (!f.valid()) {
+            victim = &f;
+            break;
+        }
+        if (!victim || f.lastUse < victim->lastUse)
+            victim = &f;
+    }
+
+    std::optional<Eviction> evicted;
+    if (victim->valid()) {
+        evictions_.inc();
+        const std::uint64_t victim_line =
+            victim->tag * sets_ + setIndex(addr);
+        evicted = Eviction{victim_line * lineSize, victim->state,
+                           std::move(victim->data)};
+    }
+
+    victim->tag = tagOf(addr);
+    victim->state = state;
+    victim->lastUse = ++useClock_;
+    if (data)
+        victim->data.assign(data, data + lineSize);
+    else
+        victim->data.assign(lineSize, 0);
+    return evicted;
+}
+
+void
+Cache::setState(Addr addr, MoesiState state)
+{
+    LineFrame *f = find(lineAlign(addr));
+    ENZIAN_ASSERT(f, "setState on non-resident line %llx",
+                  static_cast<unsigned long long>(addr));
+    if (state == MoesiState::Invalid) {
+        f->state = MoesiState::Invalid;
+        f->data.clear();
+    } else {
+        f->state = state;
+    }
+}
+
+std::optional<Eviction>
+Cache::invalidate(Addr addr)
+{
+    addr = lineAlign(addr);
+    LineFrame *f = find(addr);
+    if (!f)
+        return std::nullopt;
+    std::optional<Eviction> out;
+    if (isDirty(f->state))
+        out = Eviction{addr, f->state, f->data};
+    f->state = MoesiState::Invalid;
+    f->data.clear();
+    return out;
+}
+
+void
+Cache::readData(Addr addr, void *dst, std::uint32_t len) const
+{
+    const Addr line = lineAlign(addr);
+    const std::uint32_t off = static_cast<std::uint32_t>(addr - line);
+    ENZIAN_ASSERT(off + len <= lineSize, "read crosses line boundary");
+    const LineFrame *f = find(line);
+    ENZIAN_ASSERT(f && f->valid(), "readData on non-resident line");
+    std::memcpy(dst, f->data.data() + off, len);
+}
+
+void
+Cache::writeData(Addr addr, const void *src, std::uint32_t len)
+{
+    const Addr line = lineAlign(addr);
+    const std::uint32_t off = static_cast<std::uint32_t>(addr - line);
+    ENZIAN_ASSERT(off + len <= lineSize, "write crosses line boundary");
+    LineFrame *f = find(line);
+    ENZIAN_ASSERT(f && f->valid(), "writeData on non-resident line");
+    std::memcpy(f->data.data() + off, src, len);
+}
+
+void
+Cache::forEachLine(
+    const std::function<void(Addr, const LineFrame &)> &fn) const
+{
+    for (std::uint32_t s = 0; s < sets_; ++s) {
+        for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+            const LineFrame &f =
+                frames_[static_cast<std::size_t>(s) * cfg_.ways + w];
+            if (f.valid())
+                fn((f.tag * sets_ + s) * lineSize, f);
+        }
+    }
+}
+
+} // namespace enzian::cache

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Set-associative cache with MOESI line states and LRU replacement.
+ *
+ * Used as both the ThunderX-1 L2 model on the CPU node and an
+ * (optional) line cache on the FPGA node. The cache is a state +
+ * data container; the protocol engines (eci::HomeAgent /
+ * eci::RemoteAgent) drive its transitions.
+ */
+
+#ifndef ENZIAN_CACHE_CACHE_HH
+#define ENZIAN_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "base/stats.hh"
+#include "cache/moesi.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::cache {
+
+/** One line frame: tag, state, data, LRU bookkeeping. */
+struct LineFrame
+{
+    std::uint64_t tag = 0;
+    MoesiState state = MoesiState::Invalid;
+    std::uint64_t lastUse = 0;
+    std::vector<std::uint8_t> data;
+
+    bool valid() const { return state != MoesiState::Invalid; }
+};
+
+/** A victim produced by an allocation. */
+struct Eviction
+{
+    std::uint64_t addr;
+    MoesiState state;
+    std::vector<std::uint8_t> data;
+};
+
+/** Set-associative MOESI cache. */
+class Cache : public SimObject
+{
+  public:
+    /** Geometry configuration. */
+    struct Config
+    {
+        std::uint64_t size_bytes = 16 * 1024 * 1024; // ThunderX-1 L2
+        std::uint32_t ways = 16;
+    };
+
+    Cache(std::string name, EventQueue &eq, const Config &cfg);
+
+    /** Lookup without side effects. @return frame state (I if absent). */
+    MoesiState probe(Addr addr) const;
+
+    /**
+     * Lookup for access; bumps LRU on hit.
+     * @return pointer to the frame, or nullptr on miss.
+     */
+    LineFrame *access(Addr addr);
+
+    /**
+     * Install a line with @p state and @p data (lineSize bytes).
+     * @return the victim line if a valid line had to be evicted.
+     */
+    std::optional<Eviction> fill(Addr addr, MoesiState state,
+                                 const std::uint8_t *data);
+
+    /** Change the state of a resident line. @pre line is resident. */
+    void setState(Addr addr, MoesiState state);
+
+    /** Drop a line (e.g. on invalidation). @return its data if dirty. */
+    std::optional<Eviction> invalidate(Addr addr);
+
+    /** Read @p len bytes at @p addr from a resident line. */
+    void readData(Addr addr, void *dst, std::uint32_t len) const;
+
+    /** Write @p len bytes at @p addr into a resident line. */
+    void writeData(Addr addr, const void *src, std::uint32_t len);
+
+    /** Walk all valid lines (for writeback flushes and checkers). */
+    void forEachLine(
+        const std::function<void(Addr, const LineFrame &)> &fn) const;
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return cfg_.ways; }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t evictions() const { return evictions_.value(); }
+
+  private:
+    std::uint32_t setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    const LineFrame *find(Addr addr) const;
+    LineFrame *find(Addr addr);
+
+    Config cfg_;
+    std::uint32_t sets_;
+    std::uint64_t useClock_ = 0;
+    std::vector<LineFrame> frames_; // sets_ x ways, row-major
+    Counter hits_;
+    Counter misses_;
+    Counter evictions_;
+};
+
+} // namespace enzian::cache
+
+#endif // ENZIAN_CACHE_CACHE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MOESI state rules.
+ */
+
+#include "cache/moesi.hh"
+
+namespace enzian::cache {
+
+const char *
+toString(MoesiState s)
+{
+    switch (s) {
+      case MoesiState::Invalid:
+        return "I";
+      case MoesiState::Shared:
+        return "S";
+      case MoesiState::Exclusive:
+        return "E";
+      case MoesiState::Owned:
+        return "O";
+      case MoesiState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+bool
+canRead(MoesiState s)
+{
+    return s != MoesiState::Invalid;
+}
+
+bool
+canWrite(MoesiState s)
+{
+    return s == MoesiState::Exclusive || s == MoesiState::Modified;
+}
+
+bool
+isDirty(MoesiState s)
+{
+    return s == MoesiState::Owned || s == MoesiState::Modified;
+}
+
+bool
+compatible(MoesiState a, MoesiState b)
+{
+    using S = MoesiState;
+    if (a == S::Invalid || b == S::Invalid)
+        return true;
+    // M and E are exclusive against everything else.
+    if (a == S::Modified || a == S::Exclusive)
+        return false;
+    if (b == S::Modified || b == S::Exclusive)
+        return false;
+    // At most one Owned copy; O+S and S+S are fine.
+    if (a == S::Owned && b == S::Owned)
+        return false;
+    return true;
+}
+
+} // namespace enzian::cache

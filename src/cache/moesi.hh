@@ -1,0 +1,64 @@
+/**
+ * @file
+ * MOESI coherence states and the legality rules the ECI protocol
+ * engines and the trace checkers share.
+ *
+ * ECI (the Enzian Coherence Interface, paper section 4.1) is "a
+ * MOESI-based protocol with 128-byte cache lines that in principle
+ * allows a line to be cached on the home or requesting node".
+ */
+
+#ifndef ENZIAN_CACHE_MOESI_HH
+#define ENZIAN_CACHE_MOESI_HH
+
+#include <cstdint>
+
+namespace enzian::cache {
+
+/** Size of an ECI cache line in bytes (paper section 4.1). */
+constexpr std::uint32_t lineSize = 128;
+
+/** MOESI stable states. */
+enum class MoesiState : std::uint8_t {
+    Invalid = 0,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+/** Readable state name ("I", "S", "E", "O", "M"). */
+const char *toString(MoesiState s);
+
+/** True if a cache holding the line in @p s may satisfy a local read. */
+bool canRead(MoesiState s);
+
+/** True if a cache holding the line in @p s may write without upgrade. */
+bool canWrite(MoesiState s);
+
+/** True if the holder must write back the line on eviction. */
+bool isDirty(MoesiState s);
+
+/**
+ * True if @p a and @p b may legally coexist at two different caches
+ * for the same line (the pairwise MOESI compatibility matrix).
+ */
+bool compatible(MoesiState a, MoesiState b);
+
+/** Align @p addr down to its cache line. */
+constexpr std::uint64_t
+lineAlign(std::uint64_t addr)
+{
+    return addr & ~static_cast<std::uint64_t>(lineSize - 1);
+}
+
+/** True if @p addr is line-aligned. */
+constexpr bool
+isLineAligned(std::uint64_t addr)
+{
+    return (addr & (lineSize - 1)) == 0;
+}
+
+} // namespace enzian::cache
+
+#endif // ENZIAN_CACHE_MOESI_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Smart disaggregated memory over the FPGA network (paper section 6).
+ *
+ * "We have recent work on smart disaggregated memory [Farview] where
+ * the DRAM of the FPGA is made available as network attached memory
+ * and accessible either through RDMA, or on Enzian by extending the
+ * cache coherency protocol via a 'bridge' implemented on the FPGA.
+ * This disaggregated memory can be used, for example, as a database
+ * buffer cache with operator off-loading and push down directly to
+ * the memory."
+ *
+ * DisaggMemoryServer exports a region of one Enzian's FPGA DRAM over
+ * 100 GbE. Besides plain READ/WRITE it supports operator pushdown:
+ * SCAN_FILTER executes a predicate over fixed-size rows *at the
+ * memory* in the server FPGA, returning only matching rows - the
+ * whole point of the design is that selection-heavy operators move
+ * less data than an RDMA read of the table.
+ */
+
+#ifndef ENZIAN_CLUSTER_DISAGG_MEMORY_HH
+#define ENZIAN_CLUSTER_DISAGG_MEMORY_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory_controller.hh"
+#include "net/switch.hh"
+#include "sim/clock_domain.hh"
+
+namespace enzian::cluster {
+
+/** Comparison operators a pushed-down predicate may use. */
+enum class FilterOp : std::uint8_t {
+    Eq = 0,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+};
+
+/** A pushdown predicate over one 64-bit column of fixed-size rows. */
+struct Predicate
+{
+    /** Byte offset of the column within a row. */
+    std::uint32_t column_offset = 0;
+    FilterOp op = FilterOp::Eq;
+    std::uint64_t operand = 0;
+
+    /** Evaluate against one row. */
+    bool matches(const std::uint8_t *row) const;
+};
+
+/** Network-attached FPGA memory with operator pushdown. */
+class DisaggMemoryServer : public SimObject
+{
+  public:
+    /** Server configuration. */
+    struct Config
+    {
+        std::uint32_t port = 0;
+        /** Region of FPGA DRAM exported (offset, bytes). */
+        Addr region_base = 0;
+        std::uint64_t region_size = 64ull << 20;
+        /** Request parsing cost (ns). */
+        double request_proc_ns = 250.0;
+        /**
+         * Scan engine throughput in rows per fabric cycle. The
+         * engine consumes a 64-byte beat per cycle, so 16-byte rows
+         * scan at 4 rows/cycle.
+         */
+        double rows_per_cycle = 4.0;
+        /** Fabric clock (Hz). */
+        double clock_hz = 250e6;
+    };
+
+    DisaggMemoryServer(std::string name, EventQueue &eq, net::Switch &sw,
+                       mem::MemoryController &fpga_mem,
+                       const Config &cfg);
+
+    std::uint64_t requestsServed() const { return served_.value(); }
+    std::uint64_t rowsScanned() const { return scanned_.value(); }
+    std::uint64_t bytesReturned() const { return returned_.value(); }
+
+    /** @internal request registry shared with clients. */
+    struct WireRequest
+    {
+        enum class Kind : std::uint8_t { Read, Write, ScanFilter };
+        Kind kind = Kind::Read;
+        Addr off = 0;
+        std::uint64_t len = 0;       // Read/Write
+        std::uint32_t row_bytes = 0; // ScanFilter
+        std::uint64_t row_count = 0; // ScanFilter
+        Predicate pred;              // ScanFilter
+        std::uint32_t srcPort = 0;
+        std::vector<std::uint8_t> data; // Write payload
+    };
+
+    static std::uint32_t registerRequest(WireRequest req);
+    static std::vector<std::uint8_t> takeResponse(std::uint32_t id);
+
+  private:
+    void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
+    void serve(std::uint32_t id);
+
+    net::Switch &sw_;
+    mem::MemoryController &mem_;
+    Config cfg_;
+    Counter served_;
+    Counter scanned_;
+    Counter returned_;
+};
+
+/** Client side: issue reads/writes/pushdown scans to a server. */
+class DisaggMemoryClient : public SimObject
+{
+  public:
+    using Done = std::function<void(Tick)>;
+    /** Scan completion: (tick, matching rows, bytes on the wire). */
+    using ScanDone = std::function<void(
+        Tick, std::vector<std::uint8_t>, std::uint64_t)>;
+
+    DisaggMemoryClient(std::string name, EventQueue &eq,
+                       net::Switch &sw, std::uint32_t port,
+                       std::uint32_t server_port);
+
+    /** Read @p len bytes at server offset @p off. */
+    void read(Addr off, std::uint8_t *dst, std::uint64_t len,
+              Done done);
+
+    /** Write @p len bytes at server offset @p off. */
+    void write(Addr off, const std::uint8_t *src, std::uint64_t len,
+               Done done);
+
+    /**
+     * Push a filter down to the memory: scan @p row_count rows of
+     * @p row_bytes starting at @p off, return only rows matching
+     * @p pred.
+     */
+    void scanFilter(Addr off, std::uint32_t row_bytes,
+                    std::uint64_t row_count, const Predicate &pred,
+                    ScanDone done);
+
+  private:
+    void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
+
+    struct Pending
+    {
+        std::uint8_t *dst = nullptr;
+        Done done;
+        ScanDone scan_done;
+    };
+
+    net::Switch &sw_;
+    std::uint32_t port_;
+    std::uint32_t serverPort_;
+    std::unordered_map<std::uint32_t, Pending> pending_;
+};
+
+} // namespace enzian::cluster
+
+#endif // ENZIAN_CLUSTER_DISAGG_MEMORY_HH

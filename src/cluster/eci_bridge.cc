@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Coherence bridge implementation.
+ */
+
+#include "cluster/eci_bridge.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace enzian::cluster {
+
+namespace {
+
+constexpr std::uint32_t bridgeHeaderBytes = 48;
+
+std::uint32_t g_next_op = 1;
+std::unordered_map<std::uint32_t, EciBridgeTarget::WireOp> g_ops;
+std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> g_results;
+
+EciBridgeTarget::WireOp
+takeOp(std::uint32_t id)
+{
+    auto it = g_ops.find(id);
+    ENZIAN_ASSERT(it != g_ops.end(), "unknown bridge op %u", id);
+    auto op = std::move(it->second);
+    g_ops.erase(it);
+    return op;
+}
+
+} // namespace
+
+std::uint32_t
+EciBridgeTarget::registerOp(WireOp op)
+{
+    const std::uint32_t id = g_next_op++;
+    g_ops.emplace(id, std::move(op));
+    return id;
+}
+
+std::vector<std::uint8_t>
+EciBridgeTarget::takeResult(std::uint32_t id)
+{
+    auto it = g_results.find(id);
+    if (it == g_results.end())
+        return {};
+    auto out = std::move(it->second);
+    g_results.erase(it);
+    return out;
+}
+
+EciBridgeTarget::EciBridgeTarget(std::string name, EventQueue &eq,
+                                 net::Switch &sw, eci::HomeAgent &home,
+                                 const Config &cfg)
+    : SimObject(std::move(name), eq), sw_(sw), home_(home), cfg_(cfg)
+{
+    sw_.setEndpoint(cfg_.port,
+                    [this](Tick when, std::uint64_t payload,
+                           std::uint64_t tag) {
+                        onFrame(when, payload, net::Switch::userOf(tag));
+                    });
+    stats().addCounter("lines_served", &served_);
+}
+
+void
+EciBridgeTarget::onFrame(Tick, std::uint64_t, std::uint64_t user)
+{
+    const auto id = static_cast<std::uint32_t>(user);
+    eventq().scheduleDelta(
+        units::ns(cfg_.proc_ns),
+        [this, id]() {
+            auto op = std::make_shared<WireOp>(takeOp(id));
+            served_.inc();
+            const Addr line = cfg_.export_base + op->line;
+            if (op->write) {
+                home_.localWrite(
+                    line, op->data.data(), [this, op, id](Tick) {
+                        sw_.sendFrom(cfg_.port, bridgeHeaderBytes,
+                                     net::Switch::makeTag(op->srcPort,
+                                                          id));
+                    });
+            } else {
+                auto buf = std::make_shared<
+                    std::vector<std::uint8_t>>(cache::lineSize);
+                home_.localRead(
+                    line, buf->data(), [this, op, buf, id](Tick) {
+                        g_results[id] = std::move(*buf);
+                        sw_.sendFrom(
+                            cfg_.port,
+                            bridgeHeaderBytes + cache::lineSize,
+                            net::Switch::makeTag(op->srcPort, id));
+                    });
+            }
+        },
+        "bridge-serve");
+}
+
+EciBridgeSource::EciBridgeSource(std::string name, EventQueue &eq,
+                                 net::Switch &sw,
+                                 eci::LineSource &fallback,
+                                 const Config &cfg)
+    : SimObject(std::move(name), eq), sw_(sw), fallback_(fallback),
+      cfg_(cfg)
+{
+    ENZIAN_ASSERT(cache::isLineAligned(cfg_.window_base),
+                  "bridge window must be line aligned");
+    sw_.setEndpoint(cfg_.port,
+                    [this](Tick when, std::uint64_t payload,
+                           std::uint64_t tag) {
+                        onFrame(when, payload, net::Switch::userOf(tag));
+                    });
+    stats().addCounter("lines_bridged", &bridged_);
+}
+
+void
+EciBridgeSource::readLine(Tick when, Addr addr, std::uint8_t *out,
+                          Done done)
+{
+    if (!inWindow(addr)) {
+        fallback_.readLine(when, addr, out, std::move(done));
+        return;
+    }
+    bridged_.inc();
+    EciBridgeTarget::WireOp op;
+    op.write = false;
+    op.line = addr - cfg_.window_base;
+    op.srcPort = cfg_.port;
+    const auto id = EciBridgeTarget::registerOp(std::move(op));
+    pending_[id] = Pending{out, std::move(done)};
+    // The request leaves when the home pipeline hands it over.
+    eventq().schedule(
+        std::max(when, now()),
+        [this, id]() {
+            sw_.sendFrom(cfg_.port, bridgeHeaderBytes,
+                         net::Switch::makeTag(cfg_.target_port, id));
+        },
+        "bridge-read-req");
+}
+
+void
+EciBridgeSource::writeLine(Tick when, Addr addr,
+                           const std::uint8_t *data, Done done)
+{
+    if (!inWindow(addr)) {
+        fallback_.writeLine(when, addr, data, std::move(done));
+        return;
+    }
+    bridged_.inc();
+    EciBridgeTarget::WireOp op;
+    op.write = true;
+    op.line = addr - cfg_.window_base;
+    op.srcPort = cfg_.port;
+    op.data.assign(data, data + cache::lineSize);
+    const auto id = EciBridgeTarget::registerOp(std::move(op));
+    pending_[id] = Pending{nullptr, std::move(done)};
+    eventq().schedule(
+        std::max(when, now()),
+        [this, id]() {
+            sw_.sendFrom(cfg_.port,
+                         bridgeHeaderBytes + cache::lineSize,
+                         net::Switch::makeTag(cfg_.target_port, id));
+        },
+        "bridge-write-req");
+}
+
+void
+EciBridgeSource::onFrame(Tick when, std::uint64_t, std::uint64_t user)
+{
+    const auto id = static_cast<std::uint32_t>(user);
+    auto it = pending_.find(id);
+    ENZIAN_ASSERT(it != pending_.end(),
+                  "bridge completion for unknown id %u", id);
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    if (p.out) {
+        auto data = EciBridgeTarget::takeResult(id);
+        ENZIAN_ASSERT(data.size() == cache::lineSize,
+                      "bridge read without payload");
+        std::memcpy(p.out, data.data(), cache::lineSize);
+    }
+    p.done(when);
+}
+
+} // namespace enzian::cluster

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Cluster composition.
+ */
+
+#include "cluster/enzian_cluster.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::cluster {
+
+EnzianCluster::Config::Config()
+{
+    network.port = platform::params::eth100Config();
+    node.cpu_dram_bytes = 256ull << 20;
+    node.fpga_dram_bytes = 256ull << 20;
+}
+
+EnzianCluster::EnzianCluster(const Config &cfg) : cfg_(cfg)
+{
+    if (cfg_.nodes == 0)
+        fatal("cluster with zero nodes");
+    switch_ = std::make_unique<net::Switch>(
+        "cluster.switch", eq_, cfg_.nodes * cfg_.ports_per_node,
+        cfg_.network);
+    for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+        platform::EnzianMachine::Config node_cfg = cfg_.node;
+        node_cfg.shared_eventq = &eq_;
+        node_cfg.name = "enzian" + std::to_string(i);
+        nodes_.push_back(
+            std::make_unique<platform::EnzianMachine>(node_cfg));
+    }
+}
+
+std::uint32_t
+EnzianCluster::portOf(std::uint32_t i, std::uint32_t link) const
+{
+    ENZIAN_ASSERT(i < nodes_.size() && link < cfg_.ports_per_node,
+                  "bad node/link %u/%u", i, link);
+    return i * cfg_.ports_per_node + link;
+}
+
+} // namespace enzian::cluster

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A rack of Enzians (paper sections 3, 6).
+ *
+ * "One reason that Enzian has such large network bandwidth
+ * (480 Gb/s) is to enable, e.g., many boards to be connected together
+ * into a single, large multiprocessor (with or without cache
+ * coherence)". EnzianCluster composes N machines on one shared event
+ * queue with their FPGA-side 100 GbE ports cabled into a switch;
+ * cluster services (disaggregated memory, the coherence bridge) run
+ * on top.
+ *
+ * Switch port convention: machine i owns ports [i*ports_per_node,
+ * (i+1)*ports_per_node) - Enzian's FPGA exposes 4 x 100 GbE.
+ */
+
+#ifndef ENZIAN_CLUSTER_ENZIAN_CLUSTER_HH
+#define ENZIAN_CLUSTER_ENZIAN_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "net/switch.hh"
+#include "platform/enzian_machine.hh"
+
+namespace enzian::cluster {
+
+/** N Enzians on a switch. */
+class EnzianCluster
+{
+  public:
+    /** Cluster configuration. */
+    struct Config
+    {
+        std::uint32_t nodes = 2;
+        /** 100 GbE ports each node patches into the switch. */
+        std::uint32_t ports_per_node = 4;
+        /** Per-machine configuration template. */
+        platform::EnzianMachine::Config node;
+        /** Switch configuration. */
+        net::Switch::Config network;
+
+        Config();
+    };
+
+    explicit EnzianCluster(const Config &cfg);
+
+    EventQueue &eventq() { return eq_; }
+    net::Switch &network() { return *switch_; }
+
+    std::uint32_t nodeCount() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+    platform::EnzianMachine &node(std::uint32_t i)
+    {
+        return *nodes_.at(i);
+    }
+
+    /** First switch port belonging to node @p i. */
+    std::uint32_t portOf(std::uint32_t i, std::uint32_t link = 0) const;
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    EventQueue eq_;
+    std::unique_ptr<net::Switch> switch_;
+    std::vector<std::unique_ptr<platform::EnzianMachine>> nodes_;
+};
+
+} // namespace enzian::cluster
+
+#endif // ENZIAN_CLUSTER_ENZIAN_CLUSTER_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Core timing implementation.
+ */
+
+#include "cpu/core.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace enzian::cpu {
+
+Core::Core(std::string name, EventQueue &eq, double clock_hz)
+    : SimObject(std::move(name), eq),
+      clock_(SimObject::name() + ".clk", clock_hz)
+{
+}
+
+Core::RunResult
+Core::run(const StreamKernel &k, std::uint64_t items) const
+{
+    ENZIAN_ASSERT(k.items_per_line > 0 && k.compute_cycles_per_item >= 0,
+                  "bad kernel parameters");
+    const double freq = clock_.frequencyHz();
+    const double refill_cycles = k.refill_latency_ns * 1e-9 * freq;
+    // An in-order core exposes the un-prefetched fraction of every
+    // refill on its critical path.
+    const double exposed_per_item =
+        (1.0 - k.prefetch_coverage) * refill_cycles / k.items_per_line;
+    const double cycles_per_item =
+        k.compute_cycles_per_item + exposed_per_item;
+
+    RunResult r;
+    const double total_cycles =
+        cycles_per_item * static_cast<double>(items);
+    r.pmu.cycles = static_cast<std::uint64_t>(std::llround(total_cycles));
+    r.pmu.instructions = static_cast<std::uint64_t>(
+        std::llround(k.instructions_per_item *
+                     static_cast<double>(items)));
+    r.pmu.memStallCycles = static_cast<std::uint64_t>(
+        std::llround(exposed_per_item * static_cast<double>(items)));
+    r.pmu.l1Refills = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(items) / k.items_per_line));
+    if (k.interconnect_bytes_per_item > 0)
+        r.pmu.l2RemoteRefills = r.pmu.l1Refills;
+    r.elapsed = clock_.cyclesToTicks(
+        static_cast<Cycles>(std::llround(total_cycles)));
+    r.itemRate = freq / cycles_per_item;
+    r.interconnectRate = r.itemRate * k.interconnect_bytes_per_item;
+    return r;
+}
+
+} // namespace enzian::cpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * In-order core timing model.
+ *
+ * The ThunderX-1 cores are "mostly in-order" (paper section 3), so a
+ * data-streaming kernel's per-item time decomposes into compute
+ * cycles plus exposed memory-stall cycles: an in-order core stalls
+ * for most of a remote refill's latency, with a hardware prefetcher
+ * hiding a workload-dependent fraction (the coverage). This is the
+ * model behind the Figure 11 / Table 1 reproduction; its parameters
+ * per workload variant live in platform/params.hh with their
+ * derivations.
+ */
+
+#ifndef ENZIAN_CPU_CORE_HH
+#define ENZIAN_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "cpu/pmu.hh"
+#include "sim/clock_domain.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::cpu {
+
+/**
+ * A streaming kernel: per-item costs of a loop that walks a large
+ * array (items), taking one L1/L2 refill every items_per_line items.
+ */
+struct StreamKernel
+{
+    /** Arithmetic + L1-hit cycles per item. */
+    double compute_cycles_per_item = 1.0;
+    /** Instructions retired per item (for IPC reporting). */
+    double instructions_per_item = 1.0;
+    /** Items covered by one cache line refill. */
+    double items_per_line = 32.0;
+    /** Latency of one refill in nanoseconds (full, unoverlapped). */
+    double refill_latency_ns = 140.0;
+    /**
+     * Fraction of refill latency hidden by the prefetcher; the hidden
+     * part still executes but is not counted as a PMU memory stall
+     * and does not extend the critical path.
+     */
+    double prefetch_coverage = 0.0;
+    /** Interconnect bytes transferred per item (remote refill data). */
+    double interconnect_bytes_per_item = 0.0;
+};
+
+/** One 2.0 GHz in-order core. */
+class Core : public SimObject
+{
+  public:
+    Core(std::string name, EventQueue &eq, double clock_hz = 2.0e9);
+
+    /** Result of running a kernel over a number of items. */
+    struct RunResult
+    {
+        Tick elapsed = 0;
+        PmuSample pmu;
+        /** Items per second achieved. */
+        double itemRate = 0.0;
+        /** Interconnect bytes per second generated. */
+        double interconnectRate = 0.0;
+    };
+
+    /**
+     * Time @p items iterations of @p k on this core (analytic; does
+     * not consume simulated time - callers advance the event queue if
+     * they want wall-clock coupling).
+     */
+    RunResult run(const StreamKernel &k, std::uint64_t items) const;
+
+    ClockDomain &clock() { return clock_; }
+    const ClockDomain &clock() const { return clock_; }
+
+  private:
+    ClockDomain clock_;
+};
+
+} // namespace enzian::cpu
+
+#endif // ENZIAN_CPU_CORE_HH

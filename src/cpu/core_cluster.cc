@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CoreCluster implementation.
+ */
+
+#include "cpu/core_cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace enzian::cpu {
+
+CoreCluster::CoreCluster(std::string name, EventQueue &eq,
+                         std::uint32_t cores, double clock_hz)
+    : SimObject(std::move(name), eq)
+{
+    if (cores == 0)
+        fatal("cluster '%s' with zero cores", SimObject::name().c_str());
+    for (std::uint32_t i = 0; i < cores; ++i) {
+        cores_.push_back(std::make_unique<Core>(
+            SimObject::name() + ".core" + std::to_string(i), eq,
+            clock_hz));
+    }
+}
+
+ClusterResult
+CoreCluster::runParallel(const StreamKernel &k, std::uint32_t active,
+                         std::uint64_t items,
+                         double interconnect_bw) const
+{
+    ENZIAN_ASSERT(active >= 1 && active <= cores_.size(),
+                  "bad active core count %u", active);
+
+    const std::uint64_t per_core = items / active;
+    const std::uint64_t extra = items % active;
+
+    ClusterResult out;
+    double demand = 0.0;
+    Tick longest = 0;
+    for (std::uint32_t i = 0; i < active; ++i) {
+        const std::uint64_t n = per_core + (i < extra ? 1 : 0);
+        if (n == 0)
+            continue;
+        Core::RunResult r = cores_[i]->run(k, n);
+        out.pmu += r.pmu;
+        demand += r.interconnectRate;
+        longest = std::max(longest, r.elapsed);
+    }
+
+    double slowdown = 1.0;
+    if (interconnect_bw > 0 && demand > interconnect_bw) {
+        slowdown = demand / interconnect_bw;
+        out.bandwidthBound = true;
+        // Queueing for the interconnect shows up as extra memory
+        // stall cycles: the cores still burn cycles while waiting.
+        const auto extra_cycles = static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(out.pmu.cycles) *
+                         (slowdown - 1.0)));
+        out.pmu.cycles += extra_cycles;
+        out.pmu.memStallCycles += extra_cycles;
+        longest = static_cast<Tick>(
+            std::llround(static_cast<double>(longest) * slowdown));
+    }
+
+    out.elapsed = longest;
+    const double secs = units::toSeconds(longest);
+    out.itemRate =
+        secs > 0 ? static_cast<double>(items) / secs : 0.0;
+    out.interconnectRate = out.itemRate * k.interconnect_bytes_per_item;
+    return out;
+}
+
+} // namespace enzian::cpu

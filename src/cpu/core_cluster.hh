@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The 48-core ThunderX-1 cluster.
+ *
+ * Runs a stream kernel across 1..48 cores and applies the shared
+ * resource ceilings: when the cores' aggregate interconnect demand
+ * exceeds what the ECI links deliver, the workload becomes
+ * bandwidth-bound and per-core throughput degrades proportionally
+ * (additional stall cycles appear in the PMU).
+ */
+
+#ifndef ENZIAN_CPU_CORE_CLUSTER_HH
+#define ENZIAN_CPU_CORE_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace enzian::cpu {
+
+/** Result of a parallel kernel run. */
+struct ClusterResult
+{
+    Tick elapsed = 0;
+    /** Aggregate PMU over all active cores. */
+    PmuSample pmu;
+    /** Aggregate items per second. */
+    double itemRate = 0.0;
+    /** Aggregate interconnect bytes per second. */
+    double interconnectRate = 0.0;
+    /** True if the interconnect ceiling limited the run. */
+    bool bandwidthBound = false;
+};
+
+/** A cluster of identical in-order cores. */
+class CoreCluster : public SimObject
+{
+  public:
+    CoreCluster(std::string name, EventQueue &eq, std::uint32_t cores,
+                double clock_hz = 2.0e9);
+
+    /**
+     * Run @p items of @p k split evenly over @p active cores.
+     *
+     * @param interconnect_bw ceiling in bytes/s the cores share for
+     *        remote refills (0 = unlimited)
+     */
+    ClusterResult runParallel(const StreamKernel &k, std::uint32_t active,
+                              std::uint64_t items,
+                              double interconnect_bw) const;
+
+    std::uint32_t coreCount() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    Core &core(std::uint32_t i) { return *cores_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace enzian::cpu
+
+#endif // ENZIAN_CPU_CORE_CLUSTER_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * PMU sample helpers.
+ */
+
+#include "cpu/pmu.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::cpu {
+
+double
+PmuSample::memStallsPerCycle() const
+{
+    return cycles ? static_cast<double>(memStallCycles) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+double
+PmuSample::cyclesPerL1Refill() const
+{
+    return l1Refills ? static_cast<double>(cycles) /
+                           static_cast<double>(l1Refills)
+                     : 0.0;
+}
+
+double
+PmuSample::ipc() const
+{
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+PmuSample &
+PmuSample::operator+=(const PmuSample &o)
+{
+    cycles += o.cycles;
+    instructions += o.instructions;
+    memStallCycles += o.memStallCycles;
+    l1Refills += o.l1Refills;
+    l2RemoteRefills += o.l2RemoteRefills;
+    return *this;
+}
+
+std::string
+PmuSample::toString() const
+{
+    return format("cycles=%llu instr=%llu stalls=%llu l1refills=%llu",
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(instructions),
+                  static_cast<unsigned long long>(memStallCycles),
+                  static_cast<unsigned long long>(l1Refills));
+}
+
+} // namespace enzian::cpu

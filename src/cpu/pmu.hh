@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Performance monitoring unit counters.
+ *
+ * Mirrors the ThunderX-1 PMU events the paper's custom-memory-
+ * controller experiment collects (section 5.4, Table 1): cycles,
+ * instructions retired, memory-dependent stall cycles, and L1 refill
+ * counts, plus the derived ratios the table reports.
+ */
+
+#ifndef ENZIAN_CPU_PMU_HH
+#define ENZIAN_CPU_PMU_HH
+
+#include <cstdint>
+#include <string>
+
+namespace enzian::cpu {
+
+/** A sample of PMU counters over an interval. */
+struct PmuSample
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    /** Cycles the pipeline was stalled waiting on memory. */
+    std::uint64_t memStallCycles = 0;
+    /** L1 data-cache refills (one per missed line). */
+    std::uint64_t l1Refills = 0;
+    /** L2 refills from the remote node (over ECI). */
+    std::uint64_t l2RemoteRefills = 0;
+
+    /** Memory stalls per cycle (Table 1, row 1). */
+    double memStallsPerCycle() const;
+
+    /** Cycles per L1 refill (Table 1, row 2). */
+    double cyclesPerL1Refill() const;
+
+    /** Instructions per cycle. */
+    double ipc() const;
+
+    /** Merge another sample (e.g. across cores). */
+    PmuSample &operator+=(const PmuSample &o);
+
+    /** Human-readable one-line summary. */
+    std::string toString() const;
+};
+
+} // namespace enzian::cpu
+
+#endif // ENZIAN_CPU_PMU_HH

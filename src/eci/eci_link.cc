@@ -1,0 +1,180 @@
+/**
+ * @file
+ * ECI link and fabric implementation.
+ */
+
+#include "eci/eci_link.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::eci {
+
+EciLink::EciLink(std::string name, EventQueue &eq, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    recomputeBandwidth();
+    stats().addCounter("messages", &msgs_);
+    stats().addCounter("bytes", &bytes_);
+}
+
+void
+EciLink::recomputeBandwidth()
+{
+    if (cfg_.lanes == 0)
+        fatal("ECI link '%s': zero lanes", name().c_str());
+    effBw_ = cfg_.lanes * (cfg_.lane_gbps * 1e9 / 8.0) * cfg_.efficiency;
+}
+
+void
+EciLink::setLanes(std::uint32_t lanes)
+{
+    cfg_.lanes = lanes;
+    recomputeBandwidth();
+}
+
+void
+EciLink::setReceiver(mem::NodeId node, Handler h)
+{
+    handlers_[static_cast<std::size_t>(node)] = std::move(h);
+}
+
+Tick
+EciLink::procLatency(mem::NodeId node) const
+{
+    return node == mem::NodeId::Cpu ? units::ns(cfg_.cpu_proc_ns)
+                                    : units::ns(cfg_.fpga_proc_ns);
+}
+
+Tick
+EciLink::busFreeAt(mem::NodeId src_node) const
+{
+    return busFreeAt_[static_cast<std::size_t>(src_node)];
+}
+
+Tick
+EciLink::send(const EciMsg &msg)
+{
+    const auto dir = static_cast<std::size_t>(msg.src);
+    msgs_.inc();
+    bytes_.inc(msg.wireBytes());
+    if (tap_)
+        tap_(now(), msg);
+
+    // Sender-side processing, then wait for the serializer, stream the
+    // message out, cross the wire, then receiver-side processing.
+    const Tick ser_ready = now() + procLatency(msg.src);
+    const Tick start = std::max(ser_ready, busFreeAt_[dir]);
+    const Tick stream = units::transferTicks(msg.wireBytes(), effBw_);
+    busFreeAt_[dir] = start + stream;
+    const Tick delivery = start + stream + units::ns(cfg_.wire_latency_ns)
+                          + procLatency(msg.dst);
+
+    Handler &h = handlers_[static_cast<std::size_t>(msg.dst)];
+    ENZIAN_ASSERT(h, "no receiver registered for node %s on %s",
+                  mem::toString(msg.dst), name().c_str());
+    EciMsg copy = msg;
+    eventq().schedule(
+        delivery, [this, copy]() mutable {
+            handlers_[static_cast<std::size_t>(copy.dst)](copy);
+        },
+        "eci-deliver");
+    return delivery;
+}
+
+const char *
+toString(BalancePolicy p)
+{
+    switch (p) {
+      case BalancePolicy::SingleLink:
+        return "single-link";
+      case BalancePolicy::RoundRobin:
+        return "round-robin";
+      case BalancePolicy::AddressHash:
+        return "address-hash";
+      case BalancePolicy::LeastLoaded:
+        return "least-loaded";
+    }
+    return "?";
+}
+
+EciFabric::EciFabric(std::string name, EventQueue &eq,
+                     const EciLink::Config &link_cfg, std::uint32_t links,
+                     BalancePolicy policy)
+    : SimObject(std::move(name), eq), policy_(policy)
+{
+    if (links == 0)
+        fatal("EciFabric with zero links");
+    for (std::uint32_t i = 0; i < links; ++i) {
+        links_.push_back(std::make_unique<EciLink>(
+            SimObject::name() + ".link" + std::to_string(i), eq,
+            link_cfg));
+    }
+}
+
+void
+EciFabric::setReceiver(mem::NodeId node, EciLink::Handler h)
+{
+    for (auto &l : links_)
+        l->setReceiver(node, h);
+}
+
+void
+EciFabric::setTap(EciLink::Tap tap)
+{
+    for (auto &l : links_)
+        l->setTap(tap);
+}
+
+std::uint32_t
+EciFabric::pickLink(const EciMsg &msg)
+{
+    const auto n = static_cast<std::uint32_t>(links_.size());
+    if (n == 1)
+        return 0;
+    switch (policy_) {
+      case BalancePolicy::SingleLink:
+        return 0;
+      case BalancePolicy::RoundRobin:
+        return rr_++ % n;
+      case BalancePolicy::AddressHash: {
+        // Mix the line address so striding patterns spread evenly.
+        std::uint64_t x = msg.addr / cache::lineSize;
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        return static_cast<std::uint32_t>(x % n);
+      }
+      case BalancePolicy::LeastLoaded: {
+        std::uint32_t best = 0;
+        Tick best_free = links_[0]->busFreeAt(msg.src);
+        for (std::uint32_t i = 1; i < n; ++i) {
+            const Tick f = links_[i]->busFreeAt(msg.src);
+            if (f < best_free) {
+                best = i;
+                best_free = f;
+            }
+        }
+        return best;
+      }
+    }
+    panic("unreachable");
+}
+
+Tick
+EciFabric::send(const EciMsg &msg)
+{
+    return links_[pickLink(msg)]->send(msg);
+}
+
+double
+EciFabric::effectiveBandwidth() const
+{
+    double sum = 0;
+    for (const auto &l : links_)
+        sum += l->effectiveBandwidth();
+    return sum;
+}
+
+} // namespace enzian::eci

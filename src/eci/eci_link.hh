@@ -1,0 +1,147 @@
+/**
+ * @file
+ * ECI physical link model.
+ *
+ * The Enzian interconnect is 24 lanes of 10 Gb/s organized as two
+ * links of 12 lanes each (paper section 5.1). Each EciLink models one
+ * such link: full duplex, with per-direction serialization occupancy,
+ * a fixed propagation + SerDes latency, and a per-node protocol-engine
+ * processing latency (the FPGA side is slower because the fabric is
+ * clocked at 200-300 MHz). The lane count can be dialed down, as the
+ * BDK allows (section 4.4; early ECI bring-up used 4 lanes).
+ */
+
+#ifndef ENZIAN_ECI_ECI_LINK_HH
+#define ENZIAN_ECI_ECI_LINK_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "eci/eci_msg.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::eci {
+
+/** One 12-lane (configurable) full-duplex ECI link. */
+class EciLink : public SimObject
+{
+  public:
+    /** Link configuration. */
+    struct Config
+    {
+        /** Active lanes (Enzian: 12 per link; BDK can reduce). */
+        std::uint32_t lanes = 12;
+        /** Per-lane raw rate in Gb/s. */
+        double lane_gbps = 10.0;
+        /** Fraction of raw bandwidth left after 64b/66b + framing. */
+        double efficiency = 0.92;
+        /** Wire propagation + SerDes latency, one way (ns). */
+        double wire_latency_ns = 80.0;
+        /** CPU-side protocol engine processing latency (ns). */
+        double cpu_proc_ns = 60.0;
+        /** FPGA-side protocol engine processing latency (ns). */
+        double fpga_proc_ns = 150.0;
+    };
+
+    /** Delivery callback invoked at the receiving node. */
+    using Handler = std::function<void(const EciMsg &)>;
+    /** Trace tap observing every message with its send tick. */
+    using Tap = std::function<void(Tick, const EciMsg &)>;
+
+    EciLink(std::string name, EventQueue &eq, const Config &cfg);
+
+    /** Register the message handler for node @p node. */
+    void setReceiver(mem::NodeId node, Handler h);
+
+    /** Install a trace tap (pass nullptr to remove). */
+    void setTap(Tap tap) { tap_ = std::move(tap); }
+
+    /**
+     * Send @p msg; schedules delivery at the destination handler.
+     * @return the delivery tick.
+     */
+    Tick send(const EciMsg &msg);
+
+    /** Effective per-direction bandwidth in bytes/s. */
+    double effectiveBandwidth() const { return effBw_; }
+
+    /** Change the active lane count (BDK dial-up/down). */
+    void setLanes(std::uint32_t lanes);
+
+    std::uint32_t lanes() const { return cfg_.lanes; }
+
+    std::uint64_t messagesSent() const { return msgs_.value(); }
+    std::uint64_t bytesSent() const { return bytes_.value(); }
+    /** Tick the given direction's serializer frees up. */
+    Tick busFreeAt(mem::NodeId src_node) const;
+
+  private:
+    void recomputeBandwidth();
+    Tick procLatency(mem::NodeId node) const;
+
+    Config cfg_;
+    double effBw_ = 0;
+    /** Serializer occupancy per direction, indexed by source node. */
+    std::array<Tick, 2> busFreeAt_{0, 0};
+    std::array<Handler, 2> handlers_;
+    Tap tap_;
+    Counter msgs_;
+    Counter bytes_;
+};
+
+/** Policy for spreading traffic over the two links. */
+enum class BalancePolicy : std::uint8_t {
+    SingleLink,  ///< all traffic on link 0 (the Fig 6 restriction)
+    RoundRobin,  ///< alternate links per message
+    AddressHash, ///< hash the line address (keeps per-line ordering)
+    LeastLoaded, ///< pick the link whose serializer frees first
+};
+
+/** Readable policy name. */
+const char *toString(BalancePolicy p);
+
+/**
+ * The pair of ECI links plus a balancing policy; agents send through
+ * this fabric rather than a specific link.
+ */
+class EciFabric : public SimObject
+{
+  public:
+    EciFabric(std::string name, EventQueue &eq,
+              const EciLink::Config &link_cfg, std::uint32_t links = 2,
+              BalancePolicy policy = BalancePolicy::AddressHash);
+
+    /** Register receiver on all links. */
+    void setReceiver(mem::NodeId node, EciLink::Handler h);
+
+    /** Install a trace tap on all links. */
+    void setTap(EciLink::Tap tap);
+
+    /** Send through the link selected by the policy. */
+    Tick send(const EciMsg &msg);
+
+    void setPolicy(BalancePolicy p) { policy_ = p; }
+    BalancePolicy policy() const { return policy_; }
+
+    std::uint32_t linkCount() const
+    {
+        return static_cast<std::uint32_t>(links_.size());
+    }
+    EciLink &link(std::uint32_t i) { return *links_[i]; }
+
+    /** Aggregate effective one-direction bandwidth (bytes/s). */
+    double effectiveBandwidth() const;
+
+  private:
+    std::uint32_t pickLink(const EciMsg &msg);
+
+    std::vector<std::unique_ptr<EciLink>> links_;
+    BalancePolicy policy_;
+    std::uint32_t rr_ = 0;
+};
+
+} // namespace enzian::eci
+
+#endif // ENZIAN_ECI_ECI_LINK_HH

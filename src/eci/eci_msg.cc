@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ECI message helpers.
+ */
+
+#include "eci/eci_msg.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::eci {
+
+const char *
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::RLDD:
+        return "RLDD";
+      case Opcode::RLDX:
+        return "RLDX";
+      case Opcode::RLDI:
+        return "RLDI";
+      case Opcode::RSTT:
+        return "RSTT";
+      case Opcode::RUPG:
+        return "RUPG";
+      case Opcode::RWBD:
+        return "RWBD";
+      case Opcode::REVC:
+        return "REVC";
+      case Opcode::PEMD:
+        return "PEMD";
+      case Opcode::PACK:
+        return "PACK";
+      case Opcode::PNAK:
+        return "PNAK";
+      case Opcode::SINV:
+        return "SINV";
+      case Opcode::SFWD:
+        return "SFWD";
+      case Opcode::SACKI:
+        return "SACKI";
+      case Opcode::SACKS:
+        return "SACKS";
+      case Opcode::IOBLD:
+        return "IOBLD";
+      case Opcode::IOBST:
+        return "IOBST";
+      case Opcode::IOBACK:
+        return "IOBACK";
+      case Opcode::IPI:
+        return "IPI";
+    }
+    return "?";
+}
+
+Vc
+vcOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::RLDD:
+      case Opcode::RLDX:
+      case Opcode::RLDI:
+      case Opcode::RUPG:
+      case Opcode::REVC:
+        return Vc::Request;
+      case Opcode::PACK:
+      case Opcode::PNAK:
+        return Vc::Response;
+      case Opcode::RSTT:
+      case Opcode::RWBD:
+      case Opcode::PEMD:
+        return Vc::Data;
+      case Opcode::SINV:
+      case Opcode::SFWD:
+        return Vc::Snoop;
+      case Opcode::SACKI:
+      case Opcode::SACKS:
+        return Vc::SnoopResp;
+      case Opcode::IOBLD:
+      case Opcode::IOBST:
+      case Opcode::IOBACK:
+        return Vc::Io;
+      case Opcode::IPI:
+        return Vc::Ipi;
+    }
+    panic("vcOf: bad opcode %d", static_cast<int>(op));
+}
+
+bool
+carriesLine(Opcode op)
+{
+    switch (op) {
+      case Opcode::RSTT:
+      case Opcode::RWBD:
+      case Opcode::PEMD:
+      case Opcode::SACKI:
+      case Opcode::SACKS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::uint32_t
+EciMsg::wireBytes() const
+{
+    std::uint32_t n = headerBytes;
+    if (carriesLine(op))
+        n += cache::lineSize;
+    return n;
+}
+
+std::string
+EciMsg::toString() const
+{
+    return format("%s %s->%s tid=%u addr=%llx", eci::toString(op),
+                  mem::toString(src), mem::toString(dst), tid,
+                  static_cast<unsigned long long>(addr));
+}
+
+} // namespace enzian::eci

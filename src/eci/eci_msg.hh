@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ECI (Enzian Coherence Interface) message definitions.
+ *
+ * ECI is the MOESI-based inter-socket protocol the Enzian CPU and
+ * FPGA speak (paper section 4.1). Messages travel on virtual circuits
+ * (VCs); cache lines are 128 bytes. Besides coherent line transfers,
+ * the protocol carries uncached small I/O reads/writes and
+ * inter-processor interrupts.
+ *
+ * Opcode naming follows the conventions visible in the paper (RLDD =
+ * read-load-data request from the L2, PEMD = data response carrying
+ * permissions, see Figure 10) extended with a documented set for the
+ * remaining transactions.
+ */
+
+#ifndef ENZIAN_ECI_ECI_MSG_HH
+#define ENZIAN_ECI_ECI_MSG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/units.hh"
+#include "cache/moesi.hh"
+#include "mem/address_map.hh"
+
+namespace enzian::eci {
+
+/** Virtual circuit classes, each with independent flow control. */
+enum class Vc : std::uint8_t {
+    Request = 0,  ///< coherent requests (RLDD/RLDX/RUPG/REVC)
+    Response,     ///< non-data responses (PACK/PNAK)
+    Data,         ///< data-carrying responses and writebacks
+    Snoop,        ///< home-initiated invalidations / forwards
+    SnoopResp,    ///< snoop acknowledgements (may carry data)
+    Io,           ///< uncached small I/O
+    Ipi,          ///< inter-processor interrupts
+    VcCount
+};
+
+/** Number of VCs. */
+constexpr std::uint32_t vcCount = static_cast<std::uint32_t>(Vc::VcCount);
+
+/** ECI message opcodes. */
+enum class Opcode : std::uint8_t {
+    // Requests (requester -> home)
+    RLDD = 0,  ///< read line, shared permission
+    RLDX,      ///< read line, exclusive permission
+    RLDI,      ///< read line uncached (no directory allocation)
+    RSTT,      ///< store full line uncached (carries data)
+    RUPG,      ///< upgrade S->M without data
+    RWBD,      ///< write back dirty line (carries data)
+    REVC,      ///< clean eviction notification
+    // Responses (home -> requester)
+    PEMD,      ///< data response carrying permission grant
+    PACK,      ///< acknowledgement without data
+    PNAK,      ///< negative ack; requester must retry
+    // Snoops (home -> holder)
+    SINV,      ///< invalidate the line
+    SFWD,      ///< downgrade and forward data
+    // Snoop responses (holder -> home)
+    SACKI,     ///< invalidated; may carry dirty data
+    SACKS,     ///< downgraded to shared; carries data
+    // Uncached I/O
+    IOBLD,     ///< I/O read, 1..8 bytes
+    IOBST,     ///< I/O write, 1..8 bytes
+    IOBACK,    ///< I/O completion (read data / write ack)
+    // Interrupts
+    IPI,       ///< inter-processor interrupt
+};
+
+/** Readable opcode mnemonic. */
+const char *toString(Opcode op);
+
+/** The VC an opcode travels on. */
+Vc vcOf(Opcode op);
+
+/** True if the opcode carries a full cache line of payload. */
+bool carriesLine(Opcode op);
+
+/** Permission grant carried by a PEMD. */
+enum class Grant : std::uint8_t { Shared = 0, Exclusive, Owned };
+
+/** One ECI message. */
+struct EciMsg
+{
+    Opcode op = Opcode::RLDD;
+    /** Source node of the message. */
+    mem::NodeId src = mem::NodeId::Cpu;
+    /** Destination node. */
+    mem::NodeId dst = mem::NodeId::Fpga;
+    /** Transaction id chosen by the requester; echoed in responses. */
+    std::uint32_t tid = 0;
+    /** Line-aligned address (coherent ops) or I/O address. */
+    Addr addr = 0;
+    /** Permission grant (PEMD only). */
+    Grant grant = Grant::Shared;
+    /** I/O access size in bytes (IOBLD/IOBST/IOBACK), or IPI vector. */
+    std::uint32_t ioLen = 0;
+    /**
+     * For SACKI: true iff the invalidated copy was dirty and the
+     * message carries its data (a clean invalidation carries none and
+     * the home must not write memory from it). Serialized in the aux
+     * word of the wire header.
+     */
+    bool hasData = true;
+    /** Inline I/O payload (IOBST / IOBACK for reads). */
+    std::uint64_t ioData = 0;
+    /** Cache line payload; valid iff carriesLine(op). */
+    std::array<std::uint8_t, cache::lineSize> line{};
+
+    /** VC this message travels on. */
+    Vc vc() const { return vcOf(op); }
+
+    /**
+     * Wire size in bytes: a fixed header plus the line payload for
+     * data-carrying messages. Matches the serialization format in
+     * eci_serialize.hh.
+     */
+    std::uint32_t wireBytes() const;
+
+    /** One-line human-readable rendering, e.g. for traces. */
+    std::string toString() const;
+};
+
+/** Fixed wire header size of the serialization format. */
+constexpr std::uint32_t headerBytes = 32;
+
+} // namespace enzian::eci
+
+#endif // ENZIAN_ECI_ECI_MSG_HH

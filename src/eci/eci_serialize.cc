@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ECI wire-format serialization.
+ */
+
+#include "eci/eci_serialize.hh"
+
+#include <cstring>
+
+namespace enzian::eci {
+
+namespace {
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+bool
+validOpcode(std::uint8_t op)
+{
+    return op <= static_cast<std::uint8_t>(Opcode::IPI);
+}
+
+} // namespace
+
+void
+serializeTo(const EciMsg &msg, std::vector<std::uint8_t> &out)
+{
+    put32(out, serializeMagic);
+    out.push_back(static_cast<std::uint8_t>(msg.op));
+    out.push_back(static_cast<std::uint8_t>(msg.src));
+    out.push_back(static_cast<std::uint8_t>(msg.dst));
+    out.push_back(static_cast<std::uint8_t>(msg.vc()));
+    put32(out, msg.tid);
+    if (msg.op == Opcode::PEMD)
+        put32(out, static_cast<std::uint32_t>(msg.grant));
+    else if (msg.op == Opcode::SACKI || msg.op == Opcode::SACKS)
+        put32(out, msg.hasData ? 1 : 0);
+    else
+        put32(out, msg.ioLen);
+    put64(out, msg.addr);
+    put64(out, msg.ioData);
+    if (carriesLine(msg.op))
+        out.insert(out.end(), msg.line.begin(), msg.line.end());
+}
+
+std::vector<std::uint8_t>
+serialize(const EciMsg &msg)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(msg.wireBytes());
+    serializeTo(msg, out);
+    return out;
+}
+
+std::optional<EciMsg>
+deserialize(const std::uint8_t *data, std::size_t len,
+            std::size_t &consumed)
+{
+    consumed = 0;
+    if (len < headerBytes)
+        return std::nullopt;
+    if (get32(data) != serializeMagic)
+        return std::nullopt;
+    if (!validOpcode(data[4]))
+        return std::nullopt;
+
+    EciMsg msg;
+    msg.op = static_cast<Opcode>(data[4]);
+    if (data[5] > 1 || data[6] > 1)
+        return std::nullopt;
+    msg.src = static_cast<mem::NodeId>(data[5]);
+    msg.dst = static_cast<mem::NodeId>(data[6]);
+    if (data[7] != static_cast<std::uint8_t>(vcOf(msg.op)))
+        return std::nullopt; // VC must match the opcode's circuit
+    msg.tid = get32(data + 8);
+    if (msg.op == Opcode::PEMD)
+        msg.grant = static_cast<Grant>(get32(data + 12));
+    else if (msg.op == Opcode::SACKI || msg.op == Opcode::SACKS)
+        msg.hasData = get32(data + 12) != 0;
+    else
+        msg.ioLen = get32(data + 12);
+    msg.addr = get64(data + 16);
+    msg.ioData = get64(data + 24);
+
+    std::size_t need = headerBytes;
+    if (carriesLine(msg.op)) {
+        need += cache::lineSize;
+        if (len < need)
+            return std::nullopt;
+        std::memcpy(msg.line.data(), data + headerBytes,
+                    cache::lineSize);
+    }
+    consumed = need;
+    return msg;
+}
+
+} // namespace enzian::eci

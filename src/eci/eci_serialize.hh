@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ECI message serialization.
+ *
+ * The paper (section 4.1) describes defining "our own serialization
+ * format for the messages on ECI's various virtual circuits", used
+ * both to store and analyze traces and as an interoperability
+ * standard between tools (Wireshark dissector, simulators, FPGA
+ * testbenches). This header defines that format for the
+ * reproduction:
+ *
+ *   offset size  field
+ *   0      4     magic 0x45434931 ("ECI1"), little-endian
+ *   4      1     opcode
+ *   5      1     src node
+ *   6      1     dst node
+ *   7      1     vc
+ *   8      4     tid
+ *   12     4     ioLen (I/O ops) / grant (PEMD) / 0
+ *   16     8     address
+ *   24     8     ioData (I/O ops) / 0
+ *   32     128   line payload, present iff carriesLine(opcode)
+ *
+ * All multi-byte fields are little-endian.
+ */
+
+#ifndef ENZIAN_ECI_ECI_SERIALIZE_HH
+#define ENZIAN_ECI_ECI_SERIALIZE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "eci/eci_msg.hh"
+
+namespace enzian::eci {
+
+/** Serialization magic number ("ECI1"). */
+constexpr std::uint32_t serializeMagic = 0x45434931;
+
+/** Serialize @p msg into its wire format. */
+std::vector<std::uint8_t> serialize(const EciMsg &msg);
+
+/** Append the serialization of @p msg to @p out. */
+void serializeTo(const EciMsg &msg, std::vector<std::uint8_t> &out);
+
+/**
+ * Parse one message from @p data.
+ *
+ * @param data buffer starting at a message boundary
+ * @param len bytes available
+ * @param consumed set to the number of bytes the message occupied
+ * @return the message, or nullopt if the buffer is malformed/truncated
+ */
+std::optional<EciMsg> deserialize(const std::uint8_t *data,
+                                  std::size_t len, std::size_t &consumed);
+
+} // namespace enzian::eci
+
+#endif // ENZIAN_ECI_ECI_SERIALIZE_HH

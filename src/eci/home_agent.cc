@@ -1,0 +1,590 @@
+/**
+ * @file
+ * Home agent implementation.
+ */
+
+#include "eci/home_agent.hh"
+
+#include <cstring>
+#include <memory>
+
+#include "base/logging.hh"
+
+namespace enzian::eci {
+
+using cache::MoesiState;
+
+DramLineSource::DramLineSource(mem::MemoryController &mc,
+                               const mem::AddressMap &map)
+    : mc_(mc), map_(map)
+{
+}
+
+void
+DramLineSource::readLine(Tick when, Addr addr, std::uint8_t *out,
+                         Done done)
+{
+    done(mc_.read(when, map_.offsetInRegion(addr), out,
+                  cache::lineSize)
+             .done);
+}
+
+void
+DramLineSource::writeLine(Tick when, Addr addr,
+                          const std::uint8_t *data, Done done)
+{
+    done(mc_.write(when, map_.offsetInRegion(addr), data,
+                   cache::lineSize)
+             .done);
+}
+
+HomeAgent::HomeAgent(std::string name, EventQueue &eq, mem::NodeId node,
+                     const mem::AddressMap &map,
+                     mem::MemoryController &mc, EciFabric &fabric)
+    : SimObject(std::move(name), eq), node_(node),
+      peer_(node == mem::NodeId::Cpu ? mem::NodeId::Fpga
+                                     : mem::NodeId::Cpu),
+      map_(map), mc_(mc), fabric_(fabric), defaultSource_(mc, map),
+      source_(&defaultSource_),
+      dirLatency_(units::ns(node == mem::NodeId::Cpu ? 25.0 : 40.0))
+{
+    stats().addCounter("requests_served", &served_);
+    stats().addCounter("snoops_sent", &snoops_);
+}
+
+void
+HomeAgent::setLineSource(LineSource *src)
+{
+    source_ = src ? src : &defaultSource_;
+}
+
+void
+HomeAgent::setIpiHandler(std::function<void(std::uint32_t)> h)
+{
+    ipiHandler_ = std::move(h);
+}
+
+MoesiState
+HomeAgent::remoteState(Addr line) const
+{
+    auto it = dir_.find(cache::lineAlign(line));
+    return it == dir_.end() ? MoesiState::Invalid : it->second;
+}
+
+void
+HomeAgent::sendAt(Tick when, const EciMsg &msg)
+{
+    if (when <= now()) {
+        fabric_.send(msg);
+    } else {
+        EciMsg copy = msg;
+        eventq().schedule(
+            when, [this, copy]() { fabric_.send(copy); }, "home-send");
+    }
+}
+
+bool
+HomeAgent::acquireLine(Addr line, std::function<void()> retry)
+{
+    if (busy_.count(line)) {
+        deferred_[line].push_back(std::move(retry));
+        return false;
+    }
+    busy_.insert(line);
+    return true;
+}
+
+void
+HomeAgent::finishLine(Addr line)
+{
+    busy_.erase(line);
+    auto it = deferred_.find(line);
+    if (it == deferred_.end() || it->second.empty()) {
+        if (it != deferred_.end())
+            deferred_.erase(it);
+        return;
+    }
+    auto next = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty())
+        deferred_.erase(it);
+    // Re-enter processing on a fresh event so timing accumulates.
+    eventq().scheduleDelta(dirLatency_, std::move(next),
+                           "home-deferred");
+}
+
+void
+HomeAgent::handle(const EciMsg &msg)
+{
+    ENZIAN_ASSERT(msg.dst == node_, "message for node %s at home %s",
+                  mem::toString(msg.dst), mem::toString(node_));
+    switch (msg.op) {
+      case Opcode::RLDD:
+      case Opcode::RLDX:
+      case Opcode::RLDI:
+      case Opcode::RSTT:
+      case Opcode::RUPG:
+      case Opcode::RWBD:
+      case Opcode::REVC: {
+        EciMsg copy = msg;
+        if (!acquireLine(cache::lineAlign(msg.addr),
+                         [this, copy]() { handle(copy); }))
+            return;
+        process(msg);
+        return;
+      }
+      case Opcode::SACKI:
+      case Opcode::SACKS:
+        handleSnoopResponse(msg);
+        return;
+      case Opcode::IOBLD:
+      case Opcode::IOBST:
+        serveIo(msg);
+        return;
+      case Opcode::IPI:
+        if (ipiHandler_)
+            ipiHandler_(msg.ioLen);
+        return;
+      default:
+        panic("home agent received unexpected %s",
+              msg.toString().c_str());
+    }
+}
+
+void
+HomeAgent::process(const EciMsg &msg)
+{
+    served_.inc();
+    switch (msg.op) {
+      case Opcode::RLDD:
+        serveRead(msg, /*exclusive=*/false, /*allocate=*/true);
+        return;
+      case Opcode::RLDX:
+        serveRead(msg, /*exclusive=*/true, /*allocate=*/true);
+        return;
+      case Opcode::RLDI:
+        serveRead(msg, /*exclusive=*/false, /*allocate=*/false);
+        return;
+      case Opcode::RSTT:
+        serveUncachedWrite(msg);
+        return;
+      case Opcode::RUPG:
+        serveUpgrade(msg);
+        return;
+      case Opcode::RWBD:
+        serveWriteBack(msg);
+        return;
+      case Opcode::REVC: {
+        const Addr line = cache::lineAlign(msg.addr);
+        dir_.erase(line);
+        EciMsg rsp;
+        rsp.op = Opcode::PACK;
+        rsp.src = node_;
+        rsp.dst = msg.src;
+        rsp.tid = msg.tid;
+        rsp.addr = line;
+        sendAt(now() + dirLatency_, rsp);
+        finishLine(line);
+        return;
+      }
+      default:
+        panic("process: unexpected %s", msg.toString().c_str());
+    }
+}
+
+void
+HomeAgent::serveRead(const EciMsg &msg, bool exclusive, bool allocate)
+{
+    const Addr line = cache::lineAlign(msg.addr);
+    const Tick t0 = now() + dirLatency_;
+
+    auto rsp = std::make_shared<EciMsg>();
+    rsp->op = Opcode::PEMD;
+    rsp->src = node_;
+    rsp->dst = msg.src;
+    rsp->tid = msg.tid;
+    rsp->addr = line;
+
+    bool local_had_copy = false;
+    bool local_flush = false;
+    std::vector<std::uint8_t> flush_data;
+    if (localCache_) {
+        const MoesiState ls = localCache_->probe(line);
+        if (ls != MoesiState::Invalid) {
+            local_had_copy = true;
+            localCache_->readData(line, rsp->line.data(),
+                                  cache::lineSize);
+            if (exclusive) {
+                // Requester takes ownership; flush our dirty data to
+                // the source and drop the copy.
+                auto ev = localCache_->invalidate(line);
+                if (ev) {
+                    local_flush = true;
+                    flush_data = std::move(ev->data);
+                }
+            } else if (cache::isDirty(ls) ||
+                       ls == MoesiState::Exclusive) {
+                // Keep an owned copy; we remain responsible for the
+                // dirty data.
+                localCache_->setState(line, MoesiState::Owned);
+            }
+        }
+    }
+
+    // Grant and directory state are decided before the (possibly
+    // asynchronous) data fetch so the protocol state is stable by the
+    // time any later request for this line is deferred behind us.
+    const MoesiState dir_state = remoteState(line);
+    if (exclusive) {
+        rsp->grant = Grant::Exclusive;
+    } else if (!local_had_copy && dir_state == MoesiState::Invalid &&
+               allocate) {
+        // No other copy anywhere: grant Exclusive so the requester can
+        // write without an upgrade (standard MOESI optimization).
+        rsp->grant = Grant::Exclusive;
+    } else {
+        rsp->grant = Grant::Shared;
+    }
+    if (allocate) {
+        dir_[line] = rsp->grant == Grant::Exclusive
+                         ? MoesiState::Exclusive
+                         : MoesiState::Shared;
+    }
+
+    auto complete = [this, rsp, line](Tick ready) {
+        sendAt(ready, *rsp);
+        finishLine(line);
+    };
+
+    if (local_had_copy) {
+        if (local_flush) {
+            auto data =
+                std::make_shared<std::vector<std::uint8_t>>(
+                    std::move(flush_data));
+            source_->writeLine(t0, line, data->data(),
+                               [complete, data](Tick durable) {
+                                   complete(durable);
+                               });
+        } else {
+            complete(t0);
+        }
+        return;
+    }
+    source_->readLine(t0, line, rsp->line.data(), complete);
+}
+
+void
+HomeAgent::serveUncachedWrite(const EciMsg &msg)
+{
+    const Addr line = cache::lineAlign(msg.addr);
+    const Tick t0 = now() + dirLatency_;
+
+    // A full-line store supersedes any local copy.
+    if (localCache_)
+        localCache_->invalidate(line);
+
+    EciMsg rsp;
+    rsp.op = Opcode::PACK;
+    rsp.src = node_;
+    rsp.dst = msg.src;
+    rsp.tid = msg.tid;
+    rsp.addr = line;
+
+    if (source_->posted()) {
+        // Posted: acknowledged once the home engine accepts the data;
+        // DRAM occupancy still advances. This is why Figure 6 shows
+        // slightly higher write than read throughput.
+        source_->writeLine(t0, line, msg.line.data(), [](Tick) {});
+        sendAt(t0 + units::ns(20.0), rsp);
+        finishLine(line);
+        return;
+    }
+    // Non-posted (e.g. bridged remote memory): the ack carries the
+    // true durability point, and the line stays busy meanwhile so a
+    // subsequent read cannot overtake the write.
+    source_->writeLine(t0, line, msg.line.data(),
+                       [this, rsp, line](Tick durable) {
+                           sendAt(durable, rsp);
+                           finishLine(line);
+                       });
+}
+
+void
+HomeAgent::serveUpgrade(const EciMsg &msg)
+{
+    const Addr line = cache::lineAlign(msg.addr);
+    const Tick t0 = now() + dirLatency_;
+
+    ENZIAN_ASSERT(remoteState(line) == MoesiState::Shared,
+                  "RUPG for line %llx with remote state %s",
+                  static_cast<unsigned long long>(line),
+                  cache::toString(remoteState(line)));
+    if (localCache_) {
+        const MoesiState ls = localCache_->probe(line);
+        ENZIAN_ASSERT(!cache::canWrite(ls),
+                      "upgrade while home holds %s", cache::toString(ls));
+        localCache_->invalidate(line);
+    }
+    dir_[line] = MoesiState::Modified;
+
+    EciMsg rsp;
+    rsp.op = Opcode::PACK;
+    rsp.src = node_;
+    rsp.dst = msg.src;
+    rsp.tid = msg.tid;
+    rsp.addr = line;
+    sendAt(t0, rsp);
+    finishLine(line);
+}
+
+void
+HomeAgent::serveWriteBack(const EciMsg &msg)
+{
+    const Addr line = cache::lineAlign(msg.addr);
+    const Tick t0 = now() + dirLatency_;
+
+    const MoesiState dir_state = remoteState(line);
+    ENZIAN_ASSERT(cache::isDirty(dir_state) ||
+                      dir_state == MoesiState::Exclusive,
+                  "RWBD for line %llx with remote state %s",
+                  static_cast<unsigned long long>(line),
+                  cache::toString(dir_state));
+    dir_.erase(line);
+
+    EciMsg rsp;
+    rsp.op = Opcode::PACK;
+    rsp.src = node_;
+    rsp.dst = msg.src;
+    rsp.tid = msg.tid;
+    rsp.addr = line;
+
+    if (source_->posted()) {
+        source_->writeLine(t0, line, msg.line.data(), [](Tick) {});
+        sendAt(t0 + units::ns(20.0), rsp);
+        finishLine(line);
+        return;
+    }
+    source_->writeLine(t0, line, msg.line.data(),
+                       [this, rsp, line](Tick durable) {
+                           sendAt(durable, rsp);
+                           finishLine(line);
+                       });
+}
+
+void
+HomeAgent::localRead(Addr line, std::uint8_t *out, Done done)
+{
+    line = cache::lineAlign(line);
+    ENZIAN_ASSERT(map_.homeOf(line) == node_,
+                  "localRead of non-homed line %llx",
+                  static_cast<unsigned long long>(line));
+    if (!out) {
+        // Caller only wants the timing; route the data to scratch
+        // kept alive by the completion continuation.
+        auto scratch = std::make_shared<
+            std::array<std::uint8_t, cache::lineSize>>();
+        localRead(line, scratch->data(),
+                  [scratch, done = std::move(done)](Tick t) {
+                      done(t);
+                  });
+        return;
+    }
+    if (!acquireLine(line, [this, line, out,
+                            done]() mutable {
+            localRead(line, out, std::move(done));
+        }))
+        return;
+    // Wrap the completion so the line frees when the access retires.
+    done = [this, line, done = std::move(done)](Tick t) {
+        done(t);
+        finishLine(line);
+    };
+    const MoesiState rs = remoteState(line);
+    if (cache::canWrite(rs) || rs == MoesiState::Owned) {
+        // Remote holds the freshest copy: snoop-forward it.
+        EciMsg snp;
+        snp.op = Opcode::SFWD;
+        snp.src = node_;
+        snp.dst = peer_;
+        snp.tid = nextSnoopTid_++;
+        snp.addr = line;
+        pendingSnoops_[snp.tid] =
+            PendingSnoop{line, false, std::move(done), out, {}};
+        snoops_.inc();
+        sendAt(now() + dirLatency_, snp);
+        return;
+    }
+    // Local cache copy (if any) is valid; otherwise the source.
+    if (localCache_ &&
+        localCache_->probe(line) != MoesiState::Invalid) {
+        localCache_->readData(line, out, cache::lineSize);
+        const Tick ready = now() + dirLatency_;
+        eventq().schedule(
+            ready, [done = std::move(done), ready]() { done(ready); },
+            "local-read-hit");
+        return;
+    }
+    source_->readLine(now() + dirLatency_, line, out,
+                      [this, done = std::move(done)](Tick ready) {
+                          if (ready <= now()) {
+                              done(ready);
+                          } else {
+                              eventq().schedule(
+                                  ready,
+                                  [done, ready]() { done(ready); },
+                                  "local-read");
+                          }
+                      });
+}
+
+void
+HomeAgent::localWrite(Addr line, const std::uint8_t *data, Done done)
+{
+    line = cache::lineAlign(line);
+    ENZIAN_ASSERT(map_.homeOf(line) == node_,
+                  "localWrite of non-homed line %llx",
+                  static_cast<unsigned long long>(line));
+    if (!acquireLine(line, [this, line,
+                            data_copy = std::vector<std::uint8_t>(
+                                data, data + cache::lineSize),
+                            done]() mutable {
+            localWrite(line, data_copy.data(), std::move(done));
+        }))
+        return;
+    done = [this, line, done = std::move(done)](Tick t) {
+        done(t);
+        finishLine(line);
+    };
+    const MoesiState rs = remoteState(line);
+    if (rs != MoesiState::Invalid) {
+        EciMsg snp;
+        snp.op = Opcode::SINV;
+        snp.src = node_;
+        snp.dst = peer_;
+        snp.tid = nextSnoopTid_++;
+        snp.addr = line;
+        PendingSnoop p;
+        p.line = line;
+        p.invalidate = true;
+        p.done = std::move(done);
+        p.out = nullptr;
+        p.wdata.assign(data, data + cache::lineSize);
+        pendingSnoops_[snp.tid] = std::move(p);
+        snoops_.inc();
+        sendAt(now() + dirLatency_, snp);
+        return;
+    }
+    if (localCache_)
+        localCache_->invalidate(line);
+    source_->writeLine(now() + dirLatency_, line, data,
+                       [this, done = std::move(done)](Tick durable) {
+                           if (durable <= now()) {
+                               done(durable);
+                           } else {
+                               eventq().schedule(
+                                   durable,
+                                   [done, durable]() {
+                                       done(durable);
+                                   },
+                                   "local-write");
+                           }
+                       });
+}
+
+void
+HomeAgent::handleSnoopResponse(const EciMsg &msg)
+{
+    auto it = pendingSnoops_.find(msg.tid);
+    ENZIAN_ASSERT(it != pendingSnoops_.end(),
+                  "snoop response with unknown tid %u", msg.tid);
+    PendingSnoop p = std::move(it->second);
+    pendingSnoops_.erase(it);
+
+    auto finish = [this](Done done, Tick when) {
+        if (when <= now()) {
+            done(when);
+        } else {
+            eventq().schedule(
+                when, [done, when]() { done(when); }, "snoop-done");
+        }
+    };
+
+    if (msg.op == Opcode::SACKS) {
+        // Remote downgraded M/E -> S and forwarded the data; the data
+        // becomes clean at home.
+        dir_[p.line] = MoesiState::Shared;
+        if (p.out)
+            std::memcpy(p.out, msg.line.data(), cache::lineSize);
+        auto data = std::make_shared<std::array<
+            std::uint8_t, cache::lineSize>>(msg.line);
+        source_->writeLine(
+            now(), p.line, data->data(),
+            [finish, done = std::move(p.done), data](Tick durable) {
+                finish(done, durable);
+            });
+        return;
+    }
+
+    // SACKI: remote invalidated; dirty data (if any) rides along but a
+    // pending local write supersedes it.
+    dir_.erase(p.line);
+    if (p.invalidate) {
+        if (localCache_)
+            localCache_->invalidate(p.line);
+        auto data = std::make_shared<std::vector<std::uint8_t>>(
+            std::move(p.wdata));
+        source_->writeLine(
+            now(), p.line, data->data(),
+            [finish, done = std::move(p.done), data](Tick durable) {
+                finish(done, durable);
+            });
+        return;
+    }
+    // Read path got an invalidation ack; it carries data only if the
+    // remote copy was dirty.
+    if (msg.hasData) {
+        if (p.out)
+            std::memcpy(p.out, msg.line.data(), cache::lineSize);
+        auto data = std::make_shared<std::array<
+            std::uint8_t, cache::lineSize>>(msg.line);
+        source_->writeLine(
+            now(), p.line, data->data(),
+            [finish, done = std::move(p.done), data](Tick durable) {
+                finish(done, durable);
+            });
+    } else if (p.out) {
+        source_->readLine(
+            now(), p.line, p.out,
+            [finish, done = std::move(p.done)](Tick ready) {
+                finish(done, ready);
+            });
+    } else {
+        finish(std::move(p.done), now());
+    }
+}
+
+void
+HomeAgent::serveIo(const EciMsg &msg)
+{
+    ENZIAN_ASSERT(msg.ioLen >= 1 && msg.ioLen <= 8,
+                  "I/O access of %u bytes", msg.ioLen);
+    const Tick t0 = now() + dirLatency_;
+    EciMsg rsp;
+    rsp.op = Opcode::IOBACK;
+    rsp.src = node_;
+    rsp.dst = msg.src;
+    rsp.tid = msg.tid;
+    rsp.addr = msg.addr;
+    rsp.ioLen = msg.ioLen;
+    if (msg.op == Opcode::IOBLD) {
+        rsp.ioData =
+            ioSpace_ ? ioSpace_->read(msg.addr, msg.ioLen) : 0;
+    } else {
+        if (ioSpace_)
+            ioSpace_->write(msg.addr, msg.ioData, msg.ioLen);
+        rsp.ioData = 0;
+    }
+    sendAt(t0, rsp);
+}
+
+} // namespace enzian::eci

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * IoSpace implementation.
+ */
+
+#include "eci/io_space.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::eci {
+
+void
+IoSpace::map(const std::string &name, Addr base, std::uint64_t size,
+             IoDevice dev)
+{
+    if (size == 0)
+        fatal("I/O window '%s' has zero size", name.c_str());
+    // Reject overlap with the window at or after base, and the one
+    // before it.
+    auto next = windows_.lower_bound(base);
+    if (next != windows_.end() && base + size > next->first)
+        fatal("I/O window '%s' overlaps '%s'", name.c_str(),
+              next->second.name.c_str());
+    if (next != windows_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second.size > base)
+            fatal("I/O window '%s' overlaps '%s'", name.c_str(),
+                  prev->second.name.c_str());
+    }
+    windows_.emplace(base, Window{name, size, std::move(dev)});
+}
+
+const IoSpace::Window *
+IoSpace::find(Addr offset, Addr &base) const
+{
+    auto it = windows_.upper_bound(offset);
+    if (it == windows_.begin())
+        return nullptr;
+    --it;
+    if (offset >= it->first + it->second.size)
+        return nullptr;
+    base = it->first;
+    return &it->second;
+}
+
+std::uint64_t
+IoSpace::read(Addr offset, std::uint32_t len) const
+{
+    Addr base = 0;
+    const Window *w = find(offset, base);
+    if (!w || !w->dev.read) {
+        warn("I/O read from unmapped offset %llx",
+             static_cast<unsigned long long>(offset));
+        return 0;
+    }
+    return w->dev.read(offset - base, len);
+}
+
+void
+IoSpace::write(Addr offset, std::uint64_t data, std::uint32_t len)
+{
+    Addr base = 0;
+    const Window *w = find(offset, base);
+    if (!w || !w->dev.write) {
+        warn("I/O write to unmapped offset %llx dropped",
+             static_cast<unsigned long long>(offset));
+        return;
+    }
+    w->dev.write(offset - base, data, len);
+}
+
+bool
+IoSpace::mapped(Addr offset) const
+{
+    Addr base = 0;
+    return find(offset, base) != nullptr;
+}
+
+} // namespace enzian::eci

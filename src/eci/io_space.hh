@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Uncached I/O space of one node.
+ *
+ * ECI "supports non-cached small I/O reads and writes, and
+ * inter-processor interrupts" (paper section 4.1). Devices (the FPGA
+ * shell's control registers, doorbells, the BMC mailbox) register
+ * handler windows here; IOBLD/IOBST messages arriving at the home
+ * agent are routed to the owning handler.
+ */
+
+#ifndef ENZIAN_ECI_IO_SPACE_HH
+#define ENZIAN_ECI_IO_SPACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "base/units.hh"
+
+namespace enzian::eci {
+
+/** A device occupying a window of the uncached I/O space. */
+struct IoDevice
+{
+    /** Read @p len (1..8) bytes at window-relative @p offset. */
+    std::function<std::uint64_t(Addr offset, std::uint32_t len)> read;
+    /** Write @p len (1..8) bytes at window-relative @p offset. */
+    std::function<void(Addr offset, std::uint64_t data,
+                       std::uint32_t len)>
+        write;
+};
+
+/** Registry of I/O windows for one node. */
+class IoSpace
+{
+  public:
+    /**
+     * Map a device at [base, base+size) in this node's I/O window
+     * (window-relative addresses). Overlaps are a user error.
+     */
+    void map(const std::string &name, Addr base, std::uint64_t size,
+             IoDevice dev);
+
+    /** Perform an I/O read; returns 0 for unmapped addresses. */
+    std::uint64_t read(Addr offset, std::uint32_t len) const;
+
+    /** Perform an I/O write; writes to unmapped addresses are dropped. */
+    void write(Addr offset, std::uint64_t data, std::uint32_t len);
+
+    /** True if @p offset is covered by a mapped window. */
+    bool mapped(Addr offset) const;
+
+  private:
+    struct Window
+    {
+        std::string name;
+        std::uint64_t size;
+        IoDevice dev;
+    };
+
+    /** Find the window containing @p offset, or nullptr. */
+    const Window *find(Addr offset, Addr &base) const;
+
+    std::map<Addr, Window> windows_; // keyed by base
+};
+
+} // namespace enzian::eci
+
+#endif // ENZIAN_ECI_IO_SPACE_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * ECI remote agent: the requester-side protocol engine of one node.
+ *
+ * Issues coherent line reads/writes against memory homed at the peer
+ * node, optionally caching the results in an attached local cache
+ * (the CPU's L2 caches FPGA-homed memory this way; the FPGA usually
+ * runs uncached, as none of the paper's use-cases implement a
+ * significant FPGA cache). Also carries uncached I/O accesses and
+ * IPIs, and answers snoops from the peer's home agent.
+ *
+ * The number of outstanding transactions is bounded (hardware MSHRs);
+ * additional operations queue, which is what shapes the throughput of
+ * small-transfer pipelining in Figure 6.
+ */
+
+#ifndef ENZIAN_ECI_REMOTE_AGENT_HH
+#define ENZIAN_ECI_REMOTE_AGENT_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/cache.hh"
+#include "eci/eci_link.hh"
+#include "mem/address_map.hh"
+
+namespace enzian::eci {
+
+class HomeAgent;
+
+/** The requester-side protocol engine of one node. */
+class RemoteAgent : public SimObject
+{
+  public:
+    using Done = std::function<void(Tick)>;
+    using IoDone = std::function<void(Tick, std::uint64_t)>;
+
+    /** Configuration. */
+    struct Config
+    {
+        /** Maximum in-flight coherent transactions (MSHRs). */
+        std::uint32_t max_outstanding = 32;
+        /** Local cache hit latency (ns) when a cache is attached. */
+        double hit_latency_ns = 12.0;
+    };
+
+    RemoteAgent(std::string name, EventQueue &eq, mem::NodeId node,
+                const mem::AddressMap &map, EciFabric &fabric,
+                const Config &cfg);
+
+    /** Construct with default configuration. */
+    RemoteAgent(std::string name, EventQueue &eq, mem::NodeId node,
+                const mem::AddressMap &map, EciFabric &fabric);
+
+    /** Attach a local cache; cached ops allocate into it. */
+    void attachCache(cache::Cache *c) { cache_ = c; }
+
+    /**
+     * Coherent cached read of a peer-homed line. On a local hit the
+     * callback runs after the hit latency; on a miss an RLDD fetches
+     * and allocates the line.
+     *
+     * @param line line-aligned address homed at the peer
+     * @param out optional 128-byte destination (may be nullptr)
+     * @param done completion callback with the data-ready tick
+     */
+    void readLine(Addr line, std::uint8_t *out, Done done);
+
+    /** Coherent cached full-line write (obtains exclusivity first). */
+    void writeLine(Addr line, const std::uint8_t *data, Done done);
+
+    /** Uncached coherent read (RLDI): no local allocation. */
+    void readLineUncached(Addr line, std::uint8_t *out, Done done);
+
+    /** Uncached coherent full-line write (RSTT). */
+    void writeLineUncached(Addr line, const std::uint8_t *data,
+                           Done done);
+
+    /** Uncached I/O read in the peer's I/O window. */
+    void ioRead(Addr offset, std::uint32_t len, IoDone done);
+
+    /** Uncached I/O write in the peer's I/O window. */
+    void ioWrite(Addr offset, std::uint64_t data, std::uint32_t len,
+                 Done done);
+
+    /** Fire an inter-processor interrupt at the peer. */
+    void sendIpi(std::uint32_t vector);
+
+    /**
+     * Write back all dirty peer-homed lines and drop clean ones.
+     * @param done runs when every writeback has been acknowledged.
+     */
+    void flushAll(Done done);
+
+    /** Entry point for responses and snoops addressed to this node. */
+    void handle(const EciMsg &msg);
+
+    /** Currently in-flight coherent transactions. */
+    std::size_t outstanding() const { return txns_.size(); }
+
+    std::uint64_t hitsLocal() const { return hits_.value(); }
+    std::uint64_t requestsSent() const { return reqs_.value(); }
+
+  private:
+    enum class Kind : std::uint8_t {
+        CachedRead,
+        CachedWriteMiss,
+        Upgrade,
+        UncachedRead,
+        UncachedWrite,
+        WriteBack,
+        Evict,
+        Io,
+    };
+
+    struct Txn
+    {
+        Kind kind;
+        Addr line = 0;
+        std::uint8_t *out = nullptr;
+        std::vector<std::uint8_t> data; // write payload
+        Done done;
+        IoDone iodone;
+        bool invalAfterFill = false; // SINV raced with our fill
+    };
+
+    /** Launch or queue an operation needing an MSHR slot. */
+    void submit(std::function<void()> op);
+    /** Release one slot and launch a queued op if any. */
+    void releaseSlot();
+
+    /**
+     * Same-line merging: a cached operation that would change a
+     * line's state while another transaction for that line is in
+     * flight is parked and re-executed when the transaction
+     * completes (hardware MSHRs coalesce such requests; issuing two
+     * upgrades for one line is a protocol violation).
+     */
+    bool lineBusy(Addr line) const { return busyLines_.count(line); }
+    void markLineBusy(Addr line) { busyLines_.insert(line); }
+    void releaseLine(Addr line);
+    void parkOnLine(Addr line, std::function<void()> retry);
+
+    std::uint32_t newTid();
+    void sendRequest(Opcode op, Addr line, Txn txn,
+                     const std::uint8_t *payload = nullptr);
+    void completeFill(std::uint32_t tid, const EciMsg &msg);
+    void handleSnoop(const EciMsg &msg);
+    /** Dispose of a victim line evicted by a fill. */
+    void handleEviction(cache::Eviction ev);
+
+    mem::NodeId node_;
+    mem::NodeId peer_;
+    const mem::AddressMap &map_;
+    EciFabric &fabric_;
+    Config cfg_;
+    cache::Cache *cache_ = nullptr;
+
+    std::uint32_t nextTid_ = 1;
+    std::unordered_map<std::uint32_t, Txn> txns_;
+    std::deque<std::function<void()>> waiting_;
+    std::unordered_set<Addr> busyLines_;
+    std::unordered_map<Addr, std::deque<std::function<void()>>>
+        lineWaiters_;
+
+    Counter hits_;
+    Counter reqs_;
+};
+
+/**
+ * Route a delivered ECI message to the right engine of the receiving
+ * node: requests, snoop responses, I/O requests and IPIs go to the
+ * home agent; grants, acks, I/O completions and snoops go to the
+ * remote agent. Install as the fabric receiver for the node.
+ */
+void dispatch(HomeAgent &home, RemoteAgent &remote, const EciMsg &msg);
+
+} // namespace enzian::eci
+
+#endif // ENZIAN_ECI_REMOTE_AGENT_HH

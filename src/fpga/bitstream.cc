@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bitstream registry.
+ */
+
+#include "fpga/bitstream.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::fpga {
+
+const std::vector<Bitstream> &
+allBitstreams()
+{
+    // Clocks follow the paper: the XCVU9P runs "at clock speeds
+    // between 200 and 300 MHz, depending on the loaded bitstream"
+    // (section 4); the Fig 5.1 microbenchmark image closes at 300 MHz.
+    static const std::vector<Bitstream> images = {
+        {"eci-bench", 300e6, 0.15, true, false, 8.0},
+        {"coyote-shell", 250e6, 0.35, true, true, 8.0},
+        {"tcp-stack", 250e6, 0.45, true, false, 8.0},
+        {"strom-rdma", 250e6, 0.40, true, false, 8.0},
+        {"gbdt-1engine", 300e6, 0.30, true, false, 8.0},
+        {"gbdt-2engine", 300e6, 0.55, true, false, 8.0},
+        {"rgb2y-8bpp", 300e6, 0.25, true, false, 8.0},
+        {"rgb2y-4bpp", 300e6, 0.28, true, false, 8.0},
+        {"memctrl-passthrough", 300e6, 0.20, true, false, 8.0},
+        {"power-burn", 200e6, 1.00, false, false, 8.0},
+    };
+    return images;
+}
+
+const Bitstream &
+findBitstream(const std::string &name)
+{
+    for (const auto &b : allBitstreams()) {
+        if (b.name == name)
+            return b;
+    }
+    fatal("unknown bitstream '%s'", name.c_str());
+}
+
+} // namespace enzian::fpga

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Bitstream descriptions and registry.
+ *
+ * Enzian's FPGA is loaded with an initial image by the BMC before the
+ * CPU boots (the image must contain the lower ECI layers so link
+ * training succeeds, paper section 4.5). A bitstream here is a
+ * description: the fabric clock it closes timing at (200-300 MHz on
+ * the XCVU9P depending on the design), the logic it occupies, and
+ * whether it carries the ECI shell. The registry holds the images the
+ * evaluation uses.
+ */
+
+#ifndef ENZIAN_FPGA_BITSTREAM_HH
+#define ENZIAN_FPGA_BITSTREAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enzian::fpga {
+
+/** A synthesized FPGA image. */
+struct Bitstream
+{
+    std::string name;
+    /** Fabric clock the design closes timing at (Hz). */
+    double clock_hz = 250e6;
+    /** Fraction of the device's logic the design occupies [0,1]. */
+    double utilization = 0.3;
+    /** True if the image contains the ECI link + protocol layers. */
+    bool has_eci = true;
+    /** True if the image is a partial-reconfiguration shell. */
+    bool is_shell = false;
+    /** Seconds to program the full device over the BMC path. */
+    double program_seconds = 8.0;
+};
+
+/** Images used by the evaluation, by name; fatal() if unknown. */
+const Bitstream &findBitstream(const std::string &name);
+
+/** All registered images. */
+const std::vector<Bitstream> &allBitstreams();
+
+} // namespace enzian::fpga
+
+#endif // ENZIAN_FPGA_BITSTREAM_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fabric implementation.
+ */
+
+#include "fpga/fabric.hh"
+
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace enzian::fpga {
+
+Fabric::Fabric(std::string name, EventQueue &eq, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg),
+      clock_(SimObject::name() + ".clk", cfg.initial_clock_hz),
+      activity_(cfg.regions, 0.0)
+{
+    if (cfg_.regions == 0)
+        fatal("fabric '%s' with zero regions", SimObject::name().c_str());
+}
+
+Tick
+Fabric::loadBitstream(const Bitstream &bs)
+{
+    loaded_ = bs;
+    clock_.setFrequencyHz(bs.clock_hz);
+    std::fill(activity_.begin(), activity_.end(), 0.0);
+    return now() + units::sec(bs.program_seconds);
+}
+
+void
+Fabric::setRegionActivity(std::uint32_t r, double activity)
+{
+    ENZIAN_ASSERT(r < activity_.size(), "region %u out of range", r);
+    if (activity < 0.0 || activity > 1.0)
+        fatal("region activity %f out of [0,1]", activity);
+    activity_[r] = activity;
+}
+
+void
+Fabric::setAllActivity(double activity)
+{
+    for (std::uint32_t r = 0; r < cfg_.regions; ++r)
+        setRegionActivity(r, activity);
+}
+
+double
+Fabric::meanActivity() const
+{
+    const double sum =
+        std::accumulate(activity_.begin(), activity_.end(), 0.0);
+    return sum / static_cast<double>(activity_.size());
+}
+
+} // namespace enzian::fpga

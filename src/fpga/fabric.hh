@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FPGA fabric model: the reconfigurable device itself.
+ *
+ * Models the XCVU9P as a clock domain whose frequency follows the
+ * loaded bitstream, a set of reconfigurable regions (used both for
+ * Coyote-style partial reconfiguration and for the 1/24-area steps of
+ * the Figure 12 power-burn stress test), and an activity level per
+ * region that the power model converts to watts.
+ */
+
+#ifndef ENZIAN_FPGA_FABRIC_HH
+#define ENZIAN_FPGA_FABRIC_HH
+
+#include <optional>
+#include <vector>
+
+#include "fpga/bitstream.hh"
+#include "sim/clock_domain.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::fpga {
+
+/** The reconfigurable device. */
+class Fabric : public SimObject
+{
+  public:
+    /** Device configuration (defaults: XCVU9P). */
+    struct Config
+    {
+        /** Reconfigurable regions (also the power-burn step count). */
+        std::uint32_t regions = 24;
+        /** Clock used before any bitstream is loaded (Hz). */
+        double initial_clock_hz = 250e6;
+    };
+
+    Fabric(std::string name, EventQueue &eq, const Config &cfg);
+
+    /**
+     * Load a full bitstream: switches the clock, marks the whole
+     * device configured, and occupies programming time.
+     * @return tick at which the device is configured.
+     */
+    Tick loadBitstream(const Bitstream &bs);
+
+    /** Currently loaded image, if any. */
+    const std::optional<Bitstream> &loaded() const { return loaded_; }
+
+    /** Fabric clock domain (frequency follows the bitstream). */
+    ClockDomain &clock() { return clock_; }
+    const ClockDomain &clock() const { return clock_; }
+
+    /**
+     * Set the switching-activity level of region @p r in [0,1]; the
+     * power-burn test walks this up one region at a time.
+     */
+    void setRegionActivity(std::uint32_t r, double activity);
+
+    /** Set all regions to @p activity. */
+    void setAllActivity(double activity);
+
+    /** Mean activity over all regions (for the power model). */
+    double meanActivity() const;
+
+    std::uint32_t regionCount() const { return cfg_.regions; }
+
+    /** True once a bitstream with ECI support is loaded. */
+    bool eciReady() const { return loaded_ && loaded_->has_eci; }
+
+  private:
+    Config cfg_;
+    ClockDomain clock_;
+    std::optional<Bitstream> loaded_;
+    std::vector<double> activity_;
+};
+
+} // namespace enzian::fpga
+
+#endif // ENZIAN_FPGA_FABRIC_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * vFPGA scheduler implementation.
+ */
+
+#include "fpga/scheduler.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::fpga {
+
+const char *
+toString(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::Fifo:
+        return "fifo";
+      case SchedPolicy::RoundRobin:
+        return "round-robin";
+    }
+    return "?";
+}
+
+VfpgaScheduler::VfpgaScheduler(std::string name, EventQueue &eq,
+                               Shell &shell, const Config &cfg)
+    : SimObject(std::move(name), eq), shell_(shell), cfg_(cfg)
+{
+    if (cfg_.policy == SchedPolicy::RoundRobin && cfg_.quantum == 0)
+        fatal("scheduler '%s': zero quantum", SimObject::name().c_str());
+    slots_.resize(shell_.slotCount());
+    stats().addCounter("jobs_completed", &completed_);
+    stats().addCounter("preemptions", &preempted_);
+}
+
+std::uint64_t
+VfpgaScheduler::submit(const std::string &app, Tick runtime,
+                       std::function<void(Tick)> done)
+{
+    if (runtime == 0)
+        fatal("job '%s' with zero runtime", app.c_str());
+    FpgaJob job;
+    job.app = app;
+    job.remaining = runtime;
+    job.done = std::move(done);
+    queue_.push_back(std::move(job));
+    const std::uint64_t id = nextJob_++;
+    dispatch();
+    return id;
+}
+
+std::size_t
+VfpgaScheduler::running() const
+{
+    std::size_t n = 0;
+    for (const auto &s : slots_)
+        if (s.busy)
+            ++n;
+    return n;
+}
+
+void
+VfpgaScheduler::dispatch()
+{
+    for (std::uint32_t i = 0;
+         i < slots_.size() && !queue_.empty(); ++i) {
+        if (slots_[i].busy)
+            continue;
+        FpgaJob job = std::move(queue_.front());
+        queue_.pop_front();
+        start(i, std::move(job));
+    }
+}
+
+void
+VfpgaScheduler::start(std::uint32_t slot, FpgaJob job)
+{
+    Slot &s = slots_[slot];
+    s.busy = true;
+    // Loading the app into the region is a partial reconfiguration.
+    const Tick ready = shell_.loadApp(slot, job.app);
+    reconfigTime_ += ready - now();
+    s.job = std::move(job);
+    s.sliceStart = ready;
+
+    Tick slice = s.job.remaining;
+    if (cfg_.policy == SchedPolicy::RoundRobin)
+        slice = std::min(slice, cfg_.quantum);
+    s.event = eventq().schedule(
+        ready + slice, [this, slot]() { onSliceEnd(slot); },
+        "vfpga-slice");
+}
+
+void
+VfpgaScheduler::onSliceEnd(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    ENZIAN_ASSERT(s.busy, "slice end on idle slot %u", slot);
+    const Tick ran = now() - s.sliceStart;
+    s.job.remaining = s.job.remaining > ran ? s.job.remaining - ran : 0;
+
+    if (s.job.remaining == 0) {
+        completed_.inc();
+        auto done = std::move(s.job.done);
+        s.busy = false;
+        if (done)
+            done(now());
+        dispatch();
+        return;
+    }
+    // Quantum expired: preempt only if someone is waiting (otherwise
+    // keep running - no point paying reconfiguration for nothing).
+    if (queue_.empty()) {
+        Tick slice = s.job.remaining;
+        if (cfg_.policy == SchedPolicy::RoundRobin)
+            slice = std::min(slice, cfg_.quantum);
+        s.sliceStart = now();
+        s.event = eventq().scheduleDelta(
+            slice, [this, slot]() { onSliceEnd(slot); },
+            "vfpga-slice");
+        return;
+    }
+    preempted_.inc();
+    FpgaJob preempted_job = std::move(s.job);
+    s.busy = false;
+    queue_.push_back(std::move(preempted_job));
+    dispatch();
+}
+
+} // namespace enzian::fpga

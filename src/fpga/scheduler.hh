@@ -1,0 +1,106 @@
+/**
+ * @file
+ * vFPGA scheduler: spatial + temporal multiplexing.
+ *
+ * Coyote's kernel provides "memory protection, address translation,
+ * spatial and temporal multiplexing, and a standard execution
+ * environment" (paper section 4.5); this is the multiplexing half.
+ * Applications submit jobs with a known fabric runtime; the scheduler
+ * packs them onto the shell's vFPGA slots (spatial) and, when jobs
+ * outnumber slots, time-slices by partial reconfiguration (temporal),
+ * charging the real reconfiguration cost - the quantity AmorphOS-style
+ * systems fight to amortize (section 2.2).
+ */
+
+#ifndef ENZIAN_FPGA_SCHEDULER_HH
+#define ENZIAN_FPGA_SCHEDULER_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fpga/shell.hh"
+
+namespace enzian::fpga {
+
+/** Scheduling policy. */
+enum class SchedPolicy : std::uint8_t {
+    Fifo = 0,      ///< run to completion in arrival order
+    RoundRobin,    ///< preempt at the quantum via reconfiguration
+};
+
+/** Readable policy name. */
+const char *toString(SchedPolicy p);
+
+/** A job submitted to the scheduler. */
+struct FpgaJob
+{
+    std::string app;
+    /** Remaining fabric runtime. */
+    Tick remaining = 0;
+    /** Completion callback (tick of completion). */
+    std::function<void(Tick)> done;
+};
+
+/** Multiplexes jobs over the shell's vFPGA slots. */
+class VfpgaScheduler : public SimObject
+{
+  public:
+    /** Scheduler configuration. */
+    struct Config
+    {
+        SchedPolicy policy = SchedPolicy::Fifo;
+        /** Round-robin time slice. */
+        Tick quantum = units::ms(10.0);
+    };
+
+    VfpgaScheduler(std::string name, EventQueue &eq, Shell &shell,
+                   const Config &cfg);
+
+    /**
+     * Submit a job needing @p runtime of fabric time.
+     * @return a job id (for diagnostics).
+     */
+    std::uint64_t submit(const std::string &app, Tick runtime,
+                         std::function<void(Tick)> done);
+
+    /** Jobs waiting for a slot. */
+    std::size_t queued() const { return queue_.size(); }
+
+    /** Jobs currently resident in slots. */
+    std::size_t running() const;
+
+    std::uint64_t jobsCompleted() const { return completed_.value(); }
+    std::uint64_t preemptions() const { return preempted_.value(); }
+    /** Total fabric time spent reconfiguring (the multiplexing tax). */
+    Tick reconfigTime() const { return reconfigTime_; }
+
+  private:
+    struct Slot
+    {
+        bool busy = false;
+        FpgaJob job;
+        EventId event = 0; // completion / preemption event
+        Tick sliceStart = 0;
+    };
+
+    /** Try to start queued jobs on free slots. */
+    void dispatch();
+    /** Place @p job on @p slot (pays partial reconfiguration). */
+    void start(std::uint32_t slot, FpgaJob job);
+    void onSliceEnd(std::uint32_t slot);
+
+    Shell &shell_;
+    Config cfg_;
+    std::vector<Slot> slots_;
+    std::deque<FpgaJob> queue_;
+    std::uint64_t nextJob_ = 1;
+    Tick reconfigTime_ = 0;
+    Counter completed_;
+    Counter preempted_;
+};
+
+} // namespace enzian::fpga
+
+#endif // ENZIAN_FPGA_SCHEDULER_HH

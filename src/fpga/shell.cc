@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shell implementation.
+ */
+
+#include "fpga/shell.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::fpga {
+
+Vfpga::Vfpga(std::uint32_t id, std::string name)
+    : id_(id), name_(std::move(name))
+{
+}
+
+void
+Vfpga::map(Addr vaddr, Addr paddr, std::uint64_t len, bool writable)
+{
+    if (len == 0)
+        fatal("vFPGA %u: zero-length mapping", id_);
+    auto next = segments_.lower_bound(vaddr);
+    if (next != segments_.end() && vaddr + len > next->first)
+        fatal("vFPGA %u: mapping overlaps at %llx", id_,
+              static_cast<unsigned long long>(next->first));
+    if (next != segments_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second.len > vaddr)
+            fatal("vFPGA %u: mapping overlaps at %llx", id_,
+                  static_cast<unsigned long long>(prev->first));
+    }
+    segments_.emplace(vaddr, Segment{paddr, len, writable});
+}
+
+void
+Vfpga::unmap(Addr vaddr)
+{
+    if (segments_.erase(vaddr) == 0)
+        fatal("vFPGA %u: unmap of unmapped %llx", id_,
+              static_cast<unsigned long long>(vaddr));
+}
+
+bool
+Vfpga::translateOrFault(Addr vaddr, bool write, Addr &paddr) const
+{
+    auto it = segments_.upper_bound(vaddr);
+    if (it == segments_.begin())
+        return false;
+    --it;
+    const Segment &seg = it->second;
+    if (vaddr >= it->first + seg.len)
+        return false;
+    if (write && !seg.writable)
+        return false;
+    paddr = seg.paddr + (vaddr - it->first);
+    return true;
+}
+
+Addr
+Vfpga::translate(Addr vaddr, bool write) const
+{
+    Addr paddr = 0;
+    if (!translateOrFault(vaddr, write, paddr))
+        fatal("vFPGA %u: %s fault at %llx", id_,
+              write ? "write" : "read",
+              static_cast<unsigned long long>(vaddr));
+    return paddr;
+}
+
+Shell::Shell(std::string name, EventQueue &eq, Fabric &fabric,
+             const Config &cfg)
+    : SimObject(std::move(name), eq), fabric_(fabric), cfg_(cfg)
+{
+    if (cfg_.slots == 0)
+        fatal("shell '%s' with zero slots", SimObject::name().c_str());
+    slots_.resize(cfg_.slots);
+    stats().addCounter("reconfigurations", &reconfigs_);
+}
+
+Tick
+Shell::loadApp(std::uint32_t slot, const std::string &app_name)
+{
+    if (slot >= cfg_.slots)
+        fatal("shell '%s': slot %u out of range", name().c_str(), slot);
+    if (!fabric_.loaded() || !fabric_.loaded()->is_shell)
+        fatal("shell '%s': fabric does not hold a shell bitstream",
+              name().c_str());
+    slots_[slot] = std::make_unique<Vfpga>(slot, app_name);
+    reconfigs_.inc();
+    return now() + units::sec(cfg_.partial_reconfig_seconds);
+}
+
+Vfpga &
+Shell::vfpga(std::uint32_t slot)
+{
+    if (slot >= cfg_.slots || !slots_[slot])
+        fatal("shell '%s': slot %u is empty", name().c_str(), slot);
+    return *slots_[slot];
+}
+
+bool
+Shell::occupied(std::uint32_t slot) const
+{
+    return slot < cfg_.slots && slots_[slot] != nullptr;
+}
+
+void
+Shell::registerService(const std::string &name, void *service)
+{
+    services_[name] = service;
+}
+
+void *
+Shell::findService(const std::string &name) const
+{
+    auto it = services_.find(name);
+    return it == services_.end() ? nullptr : it->second;
+}
+
+} // namespace enzian::fpga

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Coyote-style FPGA shell.
+ *
+ * Enzian's default environment is a port of the open-source Coyote
+ * shell (paper section 4.5): a static region with the ECI layers plus
+ * a kernel of basic OS-like functionality - memory protection,
+ * address translation, spatial multiplexing into virtual FPGAs
+ * (vFPGAs), and named services (DRAM controllers, network stacks) -
+ * with per-vFPGA partial reconfiguration driven by the CPU over ECI.
+ */
+
+#ifndef ENZIAN_FPGA_SHELL_HH
+#define ENZIAN_FPGA_SHELL_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpga/fabric.hh"
+#include "mem/address_map.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::fpga {
+
+/**
+ * One virtual FPGA: an isolated slot with its own virtual address
+ * space mapped onto physical memory by the shell's TLB. An
+ * application occupying the slot is represented by its name and the
+ * regions it holds.
+ */
+class Vfpga
+{
+  public:
+    /**
+     * @param id slot index
+     * @param name application name currently loaded
+     */
+    Vfpga(std::uint32_t id, std::string name);
+
+    std::uint32_t id() const { return id_; }
+    const std::string &appName() const { return name_; }
+
+    /**
+     * Map [vaddr, vaddr+len) to physical [paddr, paddr+len).
+     * Mappings may not overlap existing ones.
+     */
+    void map(Addr vaddr, Addr paddr, std::uint64_t len, bool writable);
+
+    /** Remove the mapping starting at @p vaddr. */
+    void unmap(Addr vaddr);
+
+    /**
+     * Translate a virtual address.
+     * @param write true for store accesses (checked against the
+     *        mapping's protection)
+     * @return the physical address; fatal() on a fault so tests can
+     *         assert protection (see translateOrFault for a
+     *         non-fatal probe).
+     */
+    Addr translate(Addr vaddr, bool write) const;
+
+    /** Non-fatal translation probe; returns false on fault. */
+    bool translateOrFault(Addr vaddr, bool write, Addr &paddr) const;
+
+  private:
+    struct Segment
+    {
+        Addr paddr;
+        std::uint64_t len;
+        bool writable;
+    };
+
+    std::uint32_t id_;
+    std::string name_;
+    std::map<Addr, Segment> segments_; // keyed by vaddr
+};
+
+/** The shell: static region managing vFPGAs and services. */
+class Shell : public SimObject
+{
+  public:
+    /** Shell configuration. */
+    struct Config
+    {
+        /** Number of vFPGA slots the shell is built with. */
+        std::uint32_t slots = 4;
+        /** Seconds to partially reconfigure one slot. */
+        double partial_reconfig_seconds = 0.35;
+    };
+
+    Shell(std::string name, EventQueue &eq, Fabric &fabric,
+          const Config &cfg);
+
+    /**
+     * Load application @p app_name into slot @p slot via partial
+     * reconfiguration.
+     * @return tick at which the slot is usable.
+     */
+    Tick loadApp(std::uint32_t slot, const std::string &app_name);
+
+    /** The vFPGA in @p slot; fatal() if empty. */
+    Vfpga &vfpga(std::uint32_t slot);
+
+    /** True if @p slot currently holds an application. */
+    bool occupied(std::uint32_t slot) const;
+
+    /** Register a named shell service (network stack, DRAM mover). */
+    void registerService(const std::string &name, void *service);
+
+    /**
+     * Look up a shell service by name.
+     * @return the registered pointer or nullptr.
+     */
+    void *findService(const std::string &name) const;
+
+    std::uint32_t slotCount() const { return cfg_.slots; }
+
+    std::uint64_t reconfigurations() const { return reconfigs_.value(); }
+
+  private:
+    Fabric &fabric_;
+    Config cfg_;
+    std::vector<std::unique_ptr<Vfpga>> slots_;
+    std::map<std::string, void *> services_;
+    Counter reconfigs_;
+};
+
+} // namespace enzian::fpga
+
+#endif // ENZIAN_FPGA_SHELL_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * AddressMap implementation.
+ */
+
+#include "mem/address_map.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::mem {
+
+const char *
+toString(NodeId n)
+{
+    switch (n) {
+      case NodeId::Cpu:
+        return "cpu";
+      case NodeId::Fpga:
+        return "fpga";
+    }
+    return "?";
+}
+
+const char *
+toString(RegionKind k)
+{
+    switch (k) {
+      case RegionKind::CpuDram:
+        return "cpu-dram";
+      case RegionKind::FpgaDram:
+        return "fpga-dram";
+      case RegionKind::CpuIo:
+        return "cpu-io";
+      case RegionKind::FpgaIo:
+        return "fpga-io";
+    }
+    return "?";
+}
+
+AddressMap::AddressMap(std::uint64_t cpu_dram_size,
+                       std::uint64_t fpga_dram_size)
+    : cpuDramSize_(cpu_dram_size), fpgaDramSize_(fpga_dram_size)
+{
+    if (cpuDramSize_ > fpgaDramBase)
+        fatal("CPU DRAM size overlaps FPGA DRAM window");
+    if (fpgaDramSize_ > cpuIoBase - fpgaDramBase)
+        fatal("FPGA DRAM size overlaps I/O windows");
+}
+
+bool
+AddressMap::contains(Addr addr) const
+{
+    if (addr < cpuDramSize_)
+        return true;
+    if (addr >= fpgaDramBase && addr < fpgaDramBase + fpgaDramSize_)
+        return true;
+    if (addr >= cpuIoBase && addr < cpuIoBase + ioWindowSize)
+        return true;
+    if (addr >= fpgaIoBase && addr < fpgaIoBase + ioWindowSize)
+        return true;
+    return false;
+}
+
+RegionKind
+AddressMap::classify(Addr addr) const
+{
+    if (addr < cpuDramSize_)
+        return RegionKind::CpuDram;
+    if (addr >= fpgaDramBase && addr < fpgaDramBase + fpgaDramSize_)
+        return RegionKind::FpgaDram;
+    if (addr >= cpuIoBase && addr < cpuIoBase + ioWindowSize)
+        return RegionKind::CpuIo;
+    if (addr >= fpgaIoBase && addr < fpgaIoBase + ioWindowSize)
+        return RegionKind::FpgaIo;
+    fatal("address %llx is unmapped",
+          static_cast<unsigned long long>(addr));
+}
+
+NodeId
+AddressMap::homeOf(Addr addr) const
+{
+    switch (classify(addr)) {
+      case RegionKind::CpuDram:
+      case RegionKind::CpuIo:
+        return NodeId::Cpu;
+      case RegionKind::FpgaDram:
+      case RegionKind::FpgaIo:
+        return NodeId::Fpga;
+    }
+    panic("unreachable");
+}
+
+std::uint64_t
+AddressMap::offsetInRegion(Addr addr) const
+{
+    switch (classify(addr)) {
+      case RegionKind::CpuDram:
+        return addr;
+      case RegionKind::FpgaDram:
+        return addr - fpgaDramBase;
+      case RegionKind::CpuIo:
+        return addr - cpuIoBase;
+      case RegionKind::FpgaIo:
+        return addr - fpgaIoBase;
+    }
+    panic("unreachable");
+}
+
+} // namespace enzian::mem

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Static physical address partition of the Enzian machine.
+ *
+ * Per the paper (section 4.1): "The system's physical address space is
+ * statically partitioned between the CPU and FPGA." We model the CPU
+ * node's DRAM at [0, cpuSize) and the FPGA node's DRAM at a fixed high
+ * base, plus a small uncached I/O window per node for ECI I/O reads
+ * and writes.
+ */
+
+#ifndef ENZIAN_MEM_ADDRESS_MAP_HH
+#define ENZIAN_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/units.hh"
+
+namespace enzian::mem {
+
+/** Which NUMA node homes an address. */
+enum class NodeId : std::uint8_t { Cpu = 0, Fpga = 1 };
+
+/** Kind of region an address falls in. */
+enum class RegionKind : std::uint8_t { CpuDram, FpgaDram, CpuIo, FpgaIo };
+
+/** Readable name for a node. */
+const char *toString(NodeId n);
+/** Readable name for a region kind. */
+const char *toString(RegionKind k);
+
+/** Static partition of the physical address space. */
+class AddressMap
+{
+  public:
+    /**
+     * @param cpu_dram_size bytes of CPU-homed DRAM (node 0)
+     * @param fpga_dram_size bytes of FPGA-homed DRAM (node 1)
+     */
+    AddressMap(std::uint64_t cpu_dram_size, std::uint64_t fpga_dram_size);
+
+    /** Fixed base of the FPGA-homed DRAM window (1 TiB). */
+    static constexpr Addr fpgaDramBase = 1ull << 40;
+    /** Fixed base of the CPU I/O window. */
+    static constexpr Addr cpuIoBase = 1ull << 44;
+    /** Fixed base of the FPGA I/O window. */
+    static constexpr Addr fpgaIoBase = (1ull << 44) + (1ull << 32);
+    /** Size of each I/O window. */
+    static constexpr std::uint64_t ioWindowSize = 1ull << 32;
+
+    std::uint64_t cpuDramSize() const { return cpuDramSize_; }
+    std::uint64_t fpgaDramSize() const { return fpgaDramSize_; }
+
+    /** True if @p addr falls in any mapped region. */
+    bool contains(Addr addr) const;
+
+    /** Region kind of @p addr; fatal() if unmapped. */
+    RegionKind classify(Addr addr) const;
+
+    /** Home node of @p addr; fatal() if unmapped. */
+    NodeId homeOf(Addr addr) const;
+
+    /** Offset of @p addr within its region's backing store. */
+    std::uint64_t offsetInRegion(Addr addr) const;
+
+  private:
+    std::uint64_t cpuDramSize_;
+    std::uint64_t fpgaDramSize_;
+};
+
+} // namespace enzian::mem
+
+#endif // ENZIAN_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * BackingStore implementation.
+ */
+
+#include "mem/backing_store.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::mem {
+
+BackingStore::BackingStore(std::uint64_t size) : size_(size)
+{
+    if (size_ == 0)
+        fatal("BackingStore of size 0");
+}
+
+void
+BackingStore::checkRange(Addr addr, std::uint64_t len) const
+{
+    ENZIAN_ASSERT(addr + len <= size_ && addr + len >= addr,
+                  "access [%llx, +%llu) beyond store size %llx",
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(len),
+                  static_cast<unsigned long long>(size_));
+}
+
+const BackingStore::Page *
+BackingStore::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / pageSize);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+BackingStore::Page &
+BackingStore::touchPage(Addr addr)
+{
+    auto &slot = pages_[addr / pageSize];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+void
+BackingStore::read(Addr addr, void *dst, std::uint64_t len) const
+{
+    checkRange(addr, len);
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const std::uint64_t off = addr % pageSize;
+        const std::uint64_t chunk = std::min(len, pageSize - off);
+        if (const Page *p = findPage(addr))
+            std::memcpy(out, p->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BackingStore::write(Addr addr, const void *src, std::uint64_t len)
+{
+    checkRange(addr, len);
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const std::uint64_t off = addr % pageSize;
+        const std::uint64_t chunk = std::min(len, pageSize - off);
+        std::memcpy(touchPage(addr).data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BackingStore::fill(Addr addr, std::uint8_t byte, std::uint64_t len)
+{
+    checkRange(addr, len);
+    while (len > 0) {
+        const std::uint64_t off = addr % pageSize;
+        const std::uint64_t chunk = std::min(len, pageSize - off);
+        std::memset(touchPage(addr).data() + off, byte, chunk);
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace enzian::mem

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sparse functional memory.
+ *
+ * BackingStore holds the actual bytes of the simulated machine's
+ * DRAM. It is sparse (4 KiB pages allocated on first touch) so a
+ * simulated 512 GiB FPGA-side memory costs only what is touched.
+ * Timing is handled separately by DramChannel / MemoryController;
+ * this class is purely functional.
+ */
+
+#ifndef ENZIAN_MEM_BACKING_STORE_HH
+#define ENZIAN_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace enzian::mem {
+
+/** Sparse byte-addressable memory with on-demand page allocation. */
+class BackingStore
+{
+  public:
+    static constexpr std::uint64_t pageSize = 4096;
+
+    /**
+     * @param size total addressable bytes (accesses beyond it panic)
+     */
+    explicit BackingStore(std::uint64_t size);
+
+    std::uint64_t size() const { return size_; }
+
+    /** Copy @p len bytes at @p addr into @p dst. Untouched pages read 0. */
+    void read(Addr addr, void *dst, std::uint64_t len) const;
+
+    /** Copy @p len bytes from @p src into memory at @p addr. */
+    void write(Addr addr, const void *src, std::uint64_t len);
+
+    /** Convenience typed load (little-endian host layout). */
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        T v{};
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Convenience typed store. */
+    template <typename T>
+    void
+    store(Addr addr, const T &v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Fill [addr, addr+len) with @p byte. */
+    void fill(Addr addr, std::uint8_t byte, std::uint64_t len);
+
+    /** Number of pages actually allocated (for tests / footprint). */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    /** Page for addr, or nullptr if never written. */
+    const Page *findPage(Addr addr) const;
+    /** Page for addr, allocating (zeroed) if needed. */
+    Page &touchPage(Addr addr);
+
+    void checkRange(Addr addr, std::uint64_t len) const;
+
+    std::uint64_t size_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace enzian::mem
+
+#endif // ENZIAN_MEM_BACKING_STORE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DRAM channel timing implementation.
+ */
+
+#include "mem/dram_channel.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace enzian::mem {
+
+DramChannel::DramChannel(std::string name, EventQueue &eq,
+                         const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    // DDR transfers twice per clock; MT/s already counts transfers.
+    peakBw_ = cfg_.mega_transfers * 1e6 * cfg_.bus_bytes;
+    effBw_ = peakBw_ * cfg_.efficiency;
+    accessLatency_ = units::ns(cfg_.access_latency_ns);
+    if (effBw_ <= 0)
+        fatal("DRAM channel '%s': non-positive bandwidth",
+              SimObject::name().c_str());
+    stats().addCounter("requests", &reqs_);
+    stats().addCounter("bytes", &bytes_);
+}
+
+Tick
+DramChannel::access(Tick when, std::uint64_t bytes)
+{
+    reqs_.inc();
+    bytes_.inc(bytes);
+    // Command is accepted when the bus frees; data streams after the
+    // access latency.
+    const Tick start = std::max(when, busFreeAt_);
+    const Tick stream = units::transferTicks(bytes, effBw_);
+    busFreeAt_ = start + stream;
+    return start + accessLatency_ + stream;
+}
+
+DramSystem::DramSystem(std::string name, EventQueue &eq,
+                       std::uint32_t channels,
+                       const DramChannel::Config &cfg)
+{
+    if (channels == 0)
+        fatal("DramSystem with zero channels");
+    for (std::uint32_t i = 0; i < channels; ++i) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            name + ".ch" + std::to_string(i), eq, cfg));
+    }
+}
+
+Tick
+DramSystem::access(Tick when, std::uint64_t bytes)
+{
+    // A large burst is striped across all channels; a cache-line-sized
+    // access lands on one channel (round-robin stands in for the
+    // address interleave).
+    const auto n = static_cast<std::uint32_t>(channels_.size());
+    if (bytes <= 128 || n == 1) {
+        Tick done = channels_[next_]->access(when, bytes);
+        next_ = (next_ + 1) % n;
+        return done;
+    }
+    const std::uint64_t per = (bytes + n - 1) / n;
+    Tick done = when;
+    std::uint64_t left = bytes;
+    for (std::uint32_t i = 0; i < n && left > 0; ++i) {
+        const std::uint64_t chunk = std::min(per, left);
+        done = std::max(done, channels_[i]->access(when, chunk));
+        left -= chunk;
+    }
+    return done;
+}
+
+double
+DramSystem::effectiveBandwidth() const
+{
+    double sum = 0;
+    for (const auto &c : channels_)
+        sum += c->effectiveBandwidth();
+    return sum;
+}
+
+} // namespace enzian::mem

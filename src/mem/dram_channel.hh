@@ -1,0 +1,101 @@
+/**
+ * @file
+ * DDR4 channel timing model.
+ *
+ * A bandwidth/occupancy model: each channel has a fixed access latency
+ * (row activation + CAS, folded into one constant) and a data-bus
+ * occupancy proportional to the burst size. Back-to-back requests
+ * queue behind the bus. This captures what the evaluation needs:
+ * per-channel bandwidth ceilings and burst-size-dependent latency
+ * (e.g. the 1 KiB bursts the 4bpp Fig-11 configuration performs).
+ */
+
+#ifndef ENZIAN_MEM_DRAM_CHANNEL_HH
+#define ENZIAN_MEM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::mem {
+
+/** Timing model for one DDR4 channel. */
+class DramChannel : public SimObject
+{
+  public:
+    /** Static configuration of a channel. */
+    struct Config
+    {
+        /** Transfer rate in MT/s (e.g. 2133, 2400). */
+        double mega_transfers = 2400;
+        /** Bus width in bytes (DDR4 DIMM: 8). */
+        std::uint32_t bus_bytes = 8;
+        /** Closed-page access latency (ns), tRCD+tCAS+ctrl. */
+        double access_latency_ns = 45.0;
+        /** Fraction of peak bandwidth achievable (bank conflicts etc). */
+        double efficiency = 0.80;
+    };
+
+    DramChannel(std::string name, EventQueue &eq, const Config &cfg);
+
+    /**
+     * Timing for a burst of @p bytes starting at @p when: the channel
+     * is busy until the data has streamed out; the returned tick is
+     * when the last byte is available.
+     */
+    Tick access(Tick when, std::uint64_t bytes);
+
+    /** Effective sustainable bandwidth in bytes/s. */
+    double effectiveBandwidth() const { return effBw_; }
+
+    /** Peak (pin) bandwidth in bytes/s. */
+    double peakBandwidth() const { return peakBw_; }
+
+    std::uint64_t bytesServed() const { return bytes_.value(); }
+    std::uint64_t requests() const { return reqs_.value(); }
+
+  private:
+    Config cfg_;
+    double peakBw_;
+    double effBw_;
+    Tick accessLatency_;
+    Tick busFreeAt_ = 0;
+    Counter reqs_;
+    Counter bytes_;
+};
+
+/**
+ * A group of interleaved channels behaving as one memory system, as
+ * both Enzian nodes have four DDR4 channels. Requests are spread
+ * round-robin (the cache-line interleave of a real controller).
+ */
+class DramSystem
+{
+  public:
+    DramSystem(std::string name, EventQueue &eq, std::uint32_t channels,
+               const DramChannel::Config &cfg);
+
+    /** Timing for @p bytes starting at @p when, striped over channels. */
+    Tick access(Tick when, std::uint64_t bytes);
+
+    /** Aggregate effective bandwidth (bytes/s). */
+    double effectiveBandwidth() const;
+
+    std::uint32_t channelCount() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+
+    DramChannel &channel(std::uint32_t i) { return *channels_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    std::uint32_t next_ = 0;
+};
+
+} // namespace enzian::mem
+
+#endif // ENZIAN_MEM_DRAM_CHANNEL_HH

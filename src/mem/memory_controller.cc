@@ -1,0 +1,35 @@
+/**
+ * @file
+ * MemoryController implementation.
+ */
+
+#include "mem/memory_controller.hh"
+
+namespace enzian::mem {
+
+MemoryController::MemoryController(std::string name, EventQueue &eq,
+                                   std::uint64_t size,
+                                   std::uint32_t channels,
+                                   const DramChannel::Config &cfg)
+    : SimObject(std::move(name), eq), store_(size),
+      dram_(SimObject::name() + ".dram", eq, channels, cfg)
+{
+}
+
+AccessResult
+MemoryController::read(Tick when, Addr offset, void *dst,
+                       std::uint64_t len)
+{
+    store_.read(offset, dst, len);
+    return AccessResult{dram_.access(when, len)};
+}
+
+AccessResult
+MemoryController::write(Tick when, Addr offset, const void *src,
+                        std::uint64_t len)
+{
+    store_.write(offset, src, len);
+    return AccessResult{dram_.access(when, len)};
+}
+
+} // namespace enzian::mem

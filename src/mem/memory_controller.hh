@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-node memory controller: couples the functional BackingStore of
+ * a node's DRAM with its DramSystem timing. Both the ECI home agent
+ * and local caches perform accesses through this interface.
+ */
+
+#ifndef ENZIAN_MEM_MEMORY_CONTROLLER_HH
+#define ENZIAN_MEM_MEMORY_CONTROLLER_HH
+
+#include <memory>
+
+#include "mem/address_map.hh"
+#include "mem/backing_store.hh"
+#include "mem/dram_channel.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::mem {
+
+/** Result of a timed memory access. */
+struct AccessResult
+{
+    /** Tick at which the data is available / the write is durable. */
+    Tick done;
+};
+
+/** A node-local memory controller (functional + timing). */
+class MemoryController : public SimObject
+{
+  public:
+    /**
+     * @param name hierarchical name
+     * @param eq event queue
+     * @param size bytes of DRAM behind this controller
+     * @param channels number of DDR4 channels
+     * @param cfg per-channel timing configuration
+     */
+    MemoryController(std::string name, EventQueue &eq, std::uint64_t size,
+                     std::uint32_t channels,
+                     const DramChannel::Config &cfg);
+
+    /** Timed read: copies into @p dst and returns completion tick. */
+    AccessResult read(Tick when, Addr offset, void *dst,
+                      std::uint64_t len);
+
+    /** Timed write: copies from @p src and returns completion tick. */
+    AccessResult write(Tick when, Addr offset, const void *src,
+                       std::uint64_t len);
+
+    /** Untimed (functional) access for loaders and checkers. */
+    BackingStore &store() { return store_; }
+    const BackingStore &store() const { return store_; }
+
+    DramSystem &dram() { return dram_; }
+
+  private:
+    BackingStore store_;
+    DramSystem dram_;
+};
+
+} // namespace enzian::mem
+
+#endif // ENZIAN_MEM_MEMORY_CONTROLLER_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bump-in-the-wire implementation.
+ */
+
+#include "net/bump_in_wire.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::net {
+
+BumpInWire::BumpInWire(std::string name, EventQueue &eq,
+                       EthernetLink &net_link, EthernetLink &host_link,
+                       const Config &cfg)
+    : SimObject(std::move(name), eq), netLink_(net_link),
+      hostLink_(host_link), cfg_(cfg)
+{
+    // The FPGA owns side 1 of the switch-facing link and side 0 of
+    // the NIC-facing link; frames arriving on either side traverse
+    // the inline pipeline to the other.
+    netLink_.setReceiver(1, [this](Tick when, std::uint64_t payload,
+                                   std::uint64_t tag) {
+        forward(/*to_host=*/true, when, payload, tag);
+    });
+    hostLink_.setReceiver(0, [this](Tick when, std::uint64_t payload,
+                                    std::uint64_t tag) {
+        forward(/*to_host=*/false, when, payload, tag);
+    });
+    stats().addCounter("frames_to_host", &toHost_);
+    stats().addCounter("frames_to_net", &toNet_);
+    stats().addCounter("bytes_in", &bytesIn_);
+    stats().addCounter("bytes_out", &bytesOut_);
+}
+
+void
+BumpInWire::forward(bool to_host, Tick when, std::uint64_t payload,
+                    std::uint64_t tag)
+{
+    bytesIn_.inc(payload);
+    const std::uint64_t out =
+        transform_ ? transform_(to_host, payload) : payload;
+    bytesOut_.inc(out);
+    (to_host ? toHost_ : toNet_).inc();
+
+    // The streaming pipeline: fixed latency plus occupancy at the
+    // engine's byte rate (>= line rate keeps it transparent).
+    const double bw = cfg_.bytes_per_cycle * cfg_.clock_hz;
+    const Tick start = std::max(when, pipeFreeAt_);
+    const Tick stream = units::transferTicks(std::max(payload, out), bw);
+    pipeFreeAt_ = start + stream;
+    const Tick ready = start + stream + units::ns(cfg_.pipeline_ns);
+
+    eventq().schedule(
+        ready,
+        [this, to_host, out, tag]() {
+            if (to_host)
+                hostLink_.send(0, out, tag); // FPGA owns side 0 here
+            else
+                netLink_.send(1, out, tag);
+        },
+        "biw-forward");
+}
+
+} // namespace enzian::net

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ethernet link implementation.
+ */
+
+#include "net/ethernet.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::net {
+
+EthernetLink::EthernetLink(std::string name, EventQueue &eq,
+                           const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    if (cfg_.mtu == 0)
+        fatal("ethernet link '%s': zero MTU", SimObject::name().c_str());
+    lineBw_ = cfg_.rate_gbps * 1e9 / 8.0;
+    stats().addCounter("bytes_tx_0", &bytes_[0]);
+    stats().addCounter("bytes_tx_1", &bytes_[1]);
+}
+
+void
+EthernetLink::setReceiver(PortSide side, Handler h)
+{
+    ENZIAN_ASSERT(side < 2, "bad port side %u", side);
+    handlers_[side] = std::move(h);
+}
+
+double
+EthernetLink::effectiveBandwidth() const
+{
+    return lineBw_ * cfg_.mtu / (cfg_.mtu + frameOverheadBytes);
+}
+
+Tick
+EthernetLink::send(PortSide from, std::uint64_t payload,
+                   std::uint64_t tag)
+{
+    ENZIAN_ASSERT(from < 2, "bad port side %u", from);
+    const PortSide to = from ^ 1;
+    bytes_[from].inc(payload);
+
+    const std::uint64_t frames =
+        payload == 0 ? 1 : (payload + cfg_.mtu - 1) / cfg_.mtu;
+    const std::uint64_t wire = payload + frames * frameOverheadBytes;
+
+    const Tick start = std::max(now(), busFreeAt_[from]);
+    const Tick stream = units::transferTicks(wire, lineBw_);
+    busFreeAt_[from] = start + stream;
+    const Tick delivery = start + stream + units::ns(cfg_.latency_ns);
+
+    ENZIAN_ASSERT(handlers_[to], "no receiver on side %u of %s", to,
+                  name().c_str());
+    eventq().schedule(
+        delivery,
+        [this, to, delivery, payload, tag]() {
+            handlers_[to](delivery, payload, tag);
+        },
+        "eth-deliver");
+    return delivery;
+}
+
+} // namespace enzian::net

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ethernet link model.
+ *
+ * Models one full-duplex Ethernet link (40 or 100 Gb/s on Enzian) as
+ * a serializer with per-frame overheads (preamble + FCS + inter-frame
+ * gap + L2 header) and a propagation delay. Endpoints exchange opaque
+ * messages; payload semantics live in the stacks built on top.
+ */
+
+#ifndef ENZIAN_NET_ETHERNET_HH
+#define ENZIAN_NET_ETHERNET_HH
+
+#include <functional>
+
+#include "sim/sim_object.hh"
+
+namespace enzian::net {
+
+/** Per-frame overhead: preamble 8 + FCS 4 + IFG 12 + MAC header 14. */
+constexpr std::uint32_t frameOverheadBytes = 38;
+
+/** Endpoint identifier on a link (0 or 1). */
+using PortSide = std::uint32_t;
+
+/** One full-duplex point-to-point Ethernet link. */
+class EthernetLink : public SimObject
+{
+  public:
+    /** Link configuration. */
+    struct Config
+    {
+        /** Line rate in Gb/s (40, 100). */
+        double rate_gbps = 100.0;
+        /** MTU (L2 payload bytes per frame). */
+        std::uint32_t mtu = 2048;
+        /** Propagation + PHY latency one way (ns). */
+        double latency_ns = 450.0;
+    };
+
+    /** Delivery callback: (delivery tick, payload bytes, message tag). */
+    using Handler =
+        std::function<void(Tick, std::uint64_t, std::uint64_t)>;
+
+    EthernetLink(std::string name, EventQueue &eq, const Config &cfg);
+
+    /** Register the receiver on @p side (0/1). */
+    void setReceiver(PortSide side, Handler h);
+
+    /**
+     * Send @p payload bytes from @p from to the other side. The
+     * payload is segmented into MTU-sized frames for timing; @p tag is
+     * delivered opaquely to the receiver.
+     * @return the delivery tick of the last byte.
+     */
+    Tick send(PortSide from, std::uint64_t payload, std::uint64_t tag);
+
+    /** Effective payload bandwidth at the configured MTU (bytes/s). */
+    double effectiveBandwidth() const;
+
+    /** Raw line rate in bytes/s. */
+    double lineRate() const { return lineBw_; }
+
+    const Config &config() const { return cfg_; }
+
+    std::uint64_t bytesSent(PortSide side) const
+    {
+        return bytes_[side].value();
+    }
+
+  private:
+    Config cfg_;
+    double lineBw_;
+    Tick busFreeAt_[2] = {0, 0};
+    Handler handlers_[2];
+    Counter bytes_[2];
+};
+
+} // namespace enzian::net
+
+#endif // ENZIAN_NET_ETHERNET_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * One-sided RDMA (StRoM-style) engine.
+ *
+ * Reproduces the structure of the paper's Figure 8 experiment: a
+ * request generator (the Xilinx VCU118 in the paper) issues 1-sided
+ * READ/WRITE copy requests over 100 Gb/s Ethernet to a target, which
+ * serves them from one of several memory paths:
+ *
+ *  - DirectDramPath: DDR4 attached to the FPGA/NIC ("DRAM" series);
+ *  - EciHostPath: CPU host memory reached over ECI with uncached
+ *    coherent line transactions ("Enzian Host" - coherent with L2);
+ *  - PcieHostPath: host memory reached with PCIe DMA ("Alveo Host");
+ *  - NicDmaPath (rnic_model.hh): an ASIC RNIC's DMA pipeline
+ *    ("Mellanox Host").
+ */
+
+#ifndef ENZIAN_NET_RDMA_ENGINE_HH
+#define ENZIAN_NET_RDMA_ENGINE_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "eci/remote_agent.hh"
+#include "net/switch.hh"
+#include "pcie/dma_engine.hh"
+
+namespace enzian::net {
+
+/** RDMA request header bytes on the wire (BTH + RETH equivalent). */
+constexpr std::uint32_t rdmaHeaderBytes = 64;
+
+/** Abstract timed+functional path to a target's memory region. */
+class MemoryPath
+{
+  public:
+    using Done = std::function<void(Tick)>;
+
+    virtual ~MemoryPath() = default;
+
+    /** Read @p len bytes at region offset @p off into @p dst. */
+    virtual void read(Addr off, std::uint8_t *dst, std::uint64_t len,
+                      Done done) = 0;
+
+    /** Write @p len bytes at region offset @p off from @p src. */
+    virtual void write(Addr off, const std::uint8_t *src,
+                       std::uint64_t len, Done done) = 0;
+
+    /** Short label for reports ("dram", "eci-host", "pcie-host"). */
+    virtual const char *kind() const = 0;
+};
+
+/** Memory path straight into device-attached DRAM. */
+class DirectDramPath : public MemoryPath
+{
+  public:
+    explicit DirectDramPath(mem::MemoryController &mc) : mc_(mc) {}
+
+    void read(Addr off, std::uint8_t *dst, std::uint64_t len,
+              Done done) override;
+    void write(Addr off, const std::uint8_t *src, std::uint64_t len,
+               Done done) override;
+    const char *kind() const override { return "dram"; }
+
+  private:
+    mem::MemoryController &mc_;
+};
+
+/**
+ * Memory path to CPU host memory over ECI: the transfer is split into
+ * uncached coherent cache-line transactions, so it is coherent with
+ * the CPU's L2 by construction.
+ */
+class EciHostPath : public MemoryPath
+{
+  public:
+    /**
+     * @param agent the FPGA-side remote agent
+     * @param base physical base address of the host region
+     */
+    EciHostPath(eci::RemoteAgent &agent, Addr base)
+        : agent_(agent), base_(base)
+    {
+    }
+
+    void read(Addr off, std::uint8_t *dst, std::uint64_t len,
+              Done done) override;
+    void write(Addr off, const std::uint8_t *src, std::uint64_t len,
+               Done done) override;
+    const char *kind() const override { return "eci-host"; }
+
+  private:
+    eci::RemoteAgent &agent_;
+    Addr base_;
+};
+
+/** Memory path to host memory via a PCIe DMA engine (Alveo-style). */
+class PcieHostPath : public MemoryPath
+{
+  public:
+    /**
+     * @param dma the card's DMA engine
+     * @param host_base offset of the region in host memory
+     * @param staging_base offset of a staging buffer in device memory
+     */
+    PcieHostPath(pcie::DmaEngine &dma, Addr host_base, Addr staging_base)
+        : dma_(dma), hostBase_(host_base), stagingBase_(staging_base)
+    {
+    }
+
+    void read(Addr off, std::uint8_t *dst, std::uint64_t len,
+              Done done) override;
+    void write(Addr off, const std::uint8_t *src, std::uint64_t len,
+               Done done) override;
+    const char *kind() const override { return "pcie-host"; }
+
+  private:
+    pcie::DmaEngine &dma_;
+    Addr hostBase_;
+    Addr stagingBase_;
+};
+
+/** RDMA operation kinds. */
+enum class RdmaOp : std::uint8_t { Read = 1, Write = 2 };
+
+/** The target-side RDMA engine attached to a switch port. */
+class RdmaTarget : public SimObject
+{
+  public:
+    /** Target processing configuration. */
+    struct Config
+    {
+        std::uint32_t port = 0;
+        /** Request parsing/dispatch cost (ns). */
+        double request_proc_ns = 300.0;
+        /** Network MTU used for response segmentation (bytes). */
+        std::uint32_t mtu = 4096;
+    };
+
+    RdmaTarget(std::string name, EventQueue &eq, Switch &sw,
+               MemoryPath &mem, const Config &cfg);
+
+    std::uint64_t requestsServed() const { return served_.value(); }
+
+    /** @internal registry shared with initiators (same process). */
+    struct WireRequest
+    {
+        RdmaOp op;
+        Addr off;
+        std::uint64_t len;
+        std::uint32_t srcPort;
+        std::vector<std::uint8_t> data; // write payload
+        std::function<void(Tick, std::vector<std::uint8_t>)> complete;
+    };
+
+    /** Register an incoming request's metadata (initiator side). */
+    static std::uint32_t registerRequest(WireRequest req);
+
+  private:
+    void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
+    void serve(std::uint32_t req_id);
+
+    Switch &sw_;
+    MemoryPath &mem_;
+    Config cfg_;
+    Counter served_;
+};
+
+/** The initiator-side request generator (the paper's VCU118). */
+class RdmaInitiator : public SimObject
+{
+  public:
+    using Done = std::function<void(Tick)>;
+
+    RdmaInitiator(std::string name, EventQueue &eq, Switch &sw,
+                  std::uint32_t port, std::uint32_t target_port);
+
+    /** 1-sided read of @p len bytes at target offset @p off. */
+    void read(Addr off, std::uint8_t *dst, std::uint64_t len, Done done);
+
+    /** 1-sided write of @p len bytes to target offset @p off. */
+    void write(Addr off, const std::uint8_t *src, std::uint64_t len,
+               Done done);
+
+  private:
+    void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
+
+    Switch &sw_;
+    std::uint32_t port_;
+    std::uint32_t targetPort_;
+    struct Pending
+    {
+        std::uint8_t *dst;
+        Done done;
+    };
+    std::unordered_map<std::uint32_t, Pending> pending_;
+};
+
+} // namespace enzian::net
+
+#endif // ENZIAN_NET_RDMA_ENGINE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * RNIC DMA path implementation.
+ */
+
+#include "net/rnic_model.hh"
+
+#include <algorithm>
+
+namespace enzian::net {
+
+NicDmaPath::NicDmaPath(mem::MemoryController &host, const Config &cfg)
+    : host_(host), cfg_(cfg),
+      bw_(cfg.bandwidth_gib * static_cast<double>(units::GiB))
+{
+}
+
+Tick
+NicDmaPath::access(std::uint64_t len)
+{
+    const Tick start = std::max(host_.now(), pipeFreeAt_) +
+                       units::ns(cfg_.op_overhead_ns);
+    const Tick stream = units::transferTicks(len, bw_);
+    pipeFreeAt_ = start + stream;
+    return start + stream + units::ns(cfg_.latency_ns);
+}
+
+void
+NicDmaPath::read(Addr off, std::uint8_t *dst, std::uint64_t len,
+                 Done done)
+{
+    host_.store().read(off, dst, len);
+    const Tick pipe_done = access(len);
+    const Tick ready =
+        std::max(pipe_done, host_.dram().access(host_.now(), len));
+    host_.eventq().schedule(
+        ready, [done = std::move(done), ready]() { done(ready); },
+        "rnic-read");
+}
+
+void
+NicDmaPath::write(Addr off, const std::uint8_t *src, std::uint64_t len,
+                  Done done)
+{
+    host_.store().write(off, src, len);
+    const Tick pipe_done = access(len);
+    const Tick durable =
+        std::max(pipe_done, host_.dram().access(host_.now(), len));
+    host_.eventq().schedule(
+        durable, [done = std::move(done), durable]() { done(durable); },
+        "rnic-write");
+}
+
+} // namespace enzian::net

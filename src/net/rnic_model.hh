@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASIC RNIC (Mellanox-style) DMA path.
+ *
+ * The Figure 8 baseline: a commercial 100 Gb/s RNIC reaching host
+ * memory through its own hardened PCIe DMA pipeline. Compared with
+ * the FPGA DMA engine it has a much smaller per-operation cost, but
+ * its bandwidth to memory is still bounded by its PCIe x16 attach.
+ */
+
+#ifndef ENZIAN_NET_RNIC_MODEL_HH
+#define ENZIAN_NET_RNIC_MODEL_HH
+
+#include "mem/memory_controller.hh"
+#include "net/rdma_engine.hh"
+
+namespace enzian::net {
+
+/** MemoryPath through a hardened RNIC DMA pipeline to host DRAM. */
+class NicDmaPath : public MemoryPath
+{
+  public:
+    /** Pipeline configuration. */
+    struct Config
+    {
+        /** Per-operation pipeline overhead (ns). */
+        double op_overhead_ns = 220.0;
+        /** Sustained PCIe-attach bandwidth (GiB/s). */
+        double bandwidth_gib = 12.5;
+        /** One-way DMA latency: PCIe + IOMMU + DDIO (ns). */
+        double latency_ns = 550.0;
+    };
+
+    NicDmaPath(mem::MemoryController &host, const Config &cfg);
+
+    void read(Addr off, std::uint8_t *dst, std::uint64_t len,
+              Done done) override;
+    void write(Addr off, const std::uint8_t *src, std::uint64_t len,
+               Done done) override;
+    const char *kind() const override { return "rnic-host"; }
+
+  private:
+    Tick access(std::uint64_t len);
+
+    mem::MemoryController &host_;
+    Config cfg_;
+    double bw_;
+    Tick pipeFreeAt_ = 0;
+};
+
+} // namespace enzian::net
+
+#endif // ENZIAN_NET_RNIC_MODEL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Switch implementation.
+ */
+
+#include "net/switch.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::net {
+
+Switch::Switch(std::string name, EventQueue &eq, std::uint32_t ports,
+               const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    if (ports < 2)
+        fatal("switch '%s' needs at least 2 ports",
+              SimObject::name().c_str());
+    for (std::uint32_t i = 0; i < ports; ++i) {
+        ports_.push_back(std::make_unique<EthernetLink>(
+            SimObject::name() + ".port" + std::to_string(i), eq,
+            cfg_.port));
+        // Side 1 of each port link faces the switch fabric: forward
+        // arriving frames to the destination port after the
+        // store-and-forward delay.
+        ports_[i]->setReceiver(
+            1, [this](Tick, std::uint64_t payload, std::uint64_t tag) {
+                const std::uint32_t dst = dstOf(tag);
+                ENZIAN_ASSERT(dst < ports_.size(),
+                              "frame for unknown port %u", dst);
+                eventq().scheduleDelta(
+                    units::ns(cfg_.forward_ns),
+                    [this, dst, payload, tag]() {
+                        ports_[dst]->send(1, payload, tag);
+                    },
+                    "switch-forward");
+            });
+    }
+}
+
+void
+Switch::setEndpoint(std::uint32_t port_no, EthernetLink::Handler h)
+{
+    ports_.at(port_no)->setReceiver(0, std::move(h));
+}
+
+Tick
+Switch::sendFrom(std::uint32_t port_no, std::uint64_t payload,
+                 std::uint64_t tag)
+{
+    return ports_.at(port_no)->send(0, payload, tag);
+}
+
+} // namespace enzian::net

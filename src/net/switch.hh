@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Store-and-forward Ethernet switch.
+ *
+ * The TCP experiment in the paper connects two Enzian FPGAs "through
+ * their FPGA-side 100 Gb/s Ethernet links via a conventional network
+ * switch" (section 5.2). Endpoints attach via EthernetLinks; the
+ * destination port rides in the high byte of the message tag (use
+ * makeTag / dstOf / userOf).
+ */
+
+#ifndef ENZIAN_NET_SWITCH_HH
+#define ENZIAN_NET_SWITCH_HH
+
+#include <memory>
+#include <vector>
+
+#include "net/ethernet.hh"
+
+namespace enzian::net {
+
+/** An N-port store-and-forward switch. */
+class Switch : public SimObject
+{
+  public:
+    /** Switch configuration. */
+    struct Config
+    {
+        /** Per-port link configuration (all ports identical). */
+        EthernetLink::Config port;
+        /** Store-and-forward + lookup latency (ns). */
+        double forward_ns = 600.0;
+    };
+
+    Switch(std::string name, EventQueue &eq, std::uint32_t ports,
+           const Config &cfg);
+
+    /** Compose a message tag addressed to @p dst_port. */
+    static std::uint64_t
+    makeTag(std::uint32_t dst_port, std::uint64_t user)
+    {
+        return (static_cast<std::uint64_t>(dst_port) << 56) |
+               (user & 0x00ffffffffffffffull);
+    }
+    /** Destination port of a tag. */
+    static std::uint32_t dstOf(std::uint64_t tag)
+    {
+        return static_cast<std::uint32_t>(tag >> 56);
+    }
+    /** User part of a tag. */
+    static std::uint64_t userOf(std::uint64_t tag)
+    {
+        return tag & 0x00ffffffffffffffull;
+    }
+
+    /**
+     * The link for @p port; the endpoint is side 0, the switch side 1.
+     */
+    EthernetLink &port(std::uint32_t port_no)
+    {
+        return *ports_[port_no];
+    }
+
+    /** Register the endpoint receiver on @p port_no. */
+    void setEndpoint(std::uint32_t port_no, EthernetLink::Handler h);
+
+    /** Send from @p port_no through the switch (tag carries dst). */
+    Tick sendFrom(std::uint32_t port_no, std::uint64_t payload,
+                  std::uint64_t tag);
+
+    std::uint32_t portCount() const
+    {
+        return static_cast<std::uint32_t>(ports_.size());
+    }
+
+  private:
+    Config cfg_;
+    std::vector<std::unique_ptr<EthernetLink>> ports_;
+};
+
+} // namespace enzian::net
+
+#endif // ENZIAN_NET_SWITCH_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Reliable byte-stream (TCP) stack model.
+ *
+ * One sliding-window reliable stream implementation parameterized by
+ * per-segment processing costs; the two configurations used in the
+ * paper's Figure 7 are:
+ *
+ *  - the FPGA TCP/IP stack (Sidler et al. [63]) ported to Enzian as a
+ *    Coyote service: a single processing pipeline shared between all
+ *    connections, with a small fixed per-segment cost and a streaming
+ *    data path faster than the wire, so its throughput is independent
+ *    of flow count and saturates 100 Gb/s with a 2 KiB MTU;
+ *
+ *  - the Linux kernel stack on a Xeon host: per-segment and per-byte
+ *    CPU costs cap a single flow well below line rate, so multiple
+ *    flows (4 in the paper) are needed to saturate the link.
+ *
+ * The stream is functional (byte counts delivered in order and
+ * acknowledged cumulatively) over the switch/link substrate; there is
+ * no loss in the modeled fabric so no retransmission machinery.
+ */
+
+#ifndef ENZIAN_NET_TCP_STACK_HH
+#define ENZIAN_NET_TCP_STACK_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "net/switch.hh"
+
+namespace enzian::net {
+
+/** TCP segment header bytes added to every segment on the wire. */
+constexpr std::uint32_t tcpHeaderBytes = 64;
+
+/** A reliable byte-stream stack attached to one switch port. */
+class TcpStack : public SimObject
+{
+  public:
+    using Done = std::function<void(Tick)>;
+    /** Receive notification: (flow, bytes in this delivery). */
+    using ReceiveCb = std::function<void(std::uint32_t, std::uint64_t)>;
+
+    /** Processing-cost configuration. */
+    struct Config
+    {
+        /** Switch port this stack attaches to. */
+        std::uint32_t port = 0;
+        /** Maximum segment payload (bytes); <= link MTU - header. */
+        std::uint32_t mss = 2048 - tcpHeaderBytes;
+        /** Send window per flow (bytes in flight). */
+        std::uint64_t window_bytes = 256 * 1024;
+        /** TX fixed cost per segment (ns). */
+        double tx_fixed_ns = 160.0;
+        /** TX per-byte cost (ns/B); 0 for a streaming pipeline. */
+        double tx_per_byte_ns = 0.0;
+        /** RX fixed cost per segment (ns). */
+        double rx_fixed_ns = 160.0;
+        /** RX per-byte cost (ns/B). */
+        double rx_per_byte_ns = 0.0;
+        /** Whether TX cost serializes across flows (one pipeline). */
+        bool shared_pipeline = true;
+        /** One-way base latency of the stack (connect/app path, ns). */
+        double app_latency_ns = 1200.0;
+    };
+
+    TcpStack(std::string name, EventQueue &eq, Switch &sw,
+             const Config &cfg);
+
+    /** Deliver received data notifications to the application. */
+    void setReceiveCallback(ReceiveCb cb) { receiveCb_ = std::move(cb); }
+
+    /**
+     * Open a flow to @p remote (handshake not modeled).
+     * @return flow id valid at both stacks.
+     */
+    std::uint32_t connect(TcpStack &remote);
+
+    /**
+     * Stream @p bytes on @p flow; @p done runs when every byte has
+     * been acknowledged. Sends on the same flow queue in order.
+     */
+    void send(std::uint32_t flow, std::uint64_t bytes, Done done);
+
+    /** Total bytes received in order on @p flow. */
+    std::uint64_t bytesReceived(std::uint32_t flow) const;
+
+    const Config &config() const { return cfg_; }
+
+    std::uint64_t segmentsSent() const { return segsTx_.value(); }
+
+  private:
+    struct SendJob
+    {
+        std::uint64_t remaining;
+        std::uint64_t unacked;
+        Done done;
+    };
+
+    struct Flow
+    {
+        std::uint32_t remotePort = 0;
+        std::uint64_t inflight = 0; // bytes sent, not yet acked
+        std::deque<SendJob> jobs;
+        std::uint64_t received = 0;
+        Tick txFreeAt = 0; // per-flow pipeline availability
+        bool pumpScheduled = false;
+    };
+
+    /** Message kinds on the wire. */
+    enum : std::uint64_t { kindData = 1, kindAck = 2 };
+
+    static std::uint64_t
+    makeUser(std::uint64_t kind, std::uint32_t flow, std::uint64_t len)
+    {
+        return (kind << 52) | (static_cast<std::uint64_t>(flow) << 32) |
+               (len & 0xffffffffull);
+    }
+
+    void pump(std::uint32_t flow_id);
+    void schedulePump(std::uint32_t flow_id, Tick when);
+    void onFrame(Tick when, std::uint64_t payload, std::uint64_t tag);
+    void onData(std::uint32_t flow_id, std::uint64_t len);
+    void onAck(std::uint32_t flow_id, std::uint64_t len);
+
+    Tick txCost(std::uint64_t payload) const;
+    Tick rxCost(std::uint64_t payload) const;
+
+    Switch &sw_;
+    Config cfg_;
+    ReceiveCb receiveCb_;
+    std::unordered_map<std::uint32_t, Flow> flows_;
+    std::uint32_t nextFlow_;
+    /** Shared-pipeline availability (FPGA stack). */
+    Tick pipeFreeAt_ = 0;
+    Counter segsTx_;
+    Counter segsRx_;
+};
+
+/** Configuration of the Enzian FPGA TCP stack at @p fpga_clock_hz. */
+TcpStack::Config fpgaTcpConfig(std::uint32_t port, double fpga_clock_hz);
+
+/** Configuration of the Linux kernel stack on a Xeon host. */
+TcpStack::Config hostTcpConfig(std::uint32_t port);
+
+} // namespace enzian::net
+
+#endif // ENZIAN_NET_TCP_STACK_HH

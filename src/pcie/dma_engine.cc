@@ -1,0 +1,90 @@
+/**
+ * @file
+ * DMA engine implementation.
+ */
+
+#include "pcie/dma_engine.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace enzian::pcie {
+
+DmaEngine::DmaEngine(std::string name, EventQueue &eq, PcieLink &link,
+                     mem::MemoryController &host,
+                     mem::MemoryController &device, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg), link_(link),
+      host_(host), device_(device)
+{
+    stats().addCounter("transfers", &xfers_);
+}
+
+Tick
+DmaEngine::transferLatency(std::uint64_t len) const
+{
+    const Tick setup = units::ns(cfg_.doorbell_ns) +
+                       units::ns(cfg_.descriptor_fetch_ns) +
+                       units::ns(cfg_.engine_setup_ns);
+    const std::uint64_t wire =
+        wireBytesFor(len, link_.config().max_payload);
+    return setup + units::transferTicks(wire, link_.wireBandwidth()) +
+           link_.latency();
+}
+
+void
+DmaEngine::transfer(Addr src_off, Addr dst_off, std::uint64_t len,
+                    bool to_host, Done done)
+{
+    xfers_.inc();
+
+    mem::MemoryController &src = to_host ? device_ : host_;
+    mem::MemoryController &dst = to_host ? host_ : device_;
+
+    // Functional copy.
+    std::vector<std::uint8_t> buf(len);
+    src.store().read(src_off, buf.data(), len);
+    dst.store().write(dst_off, buf.data(), len);
+
+    // Timing. The first transfer in a quiet engine pays the full
+    // setup; pipelined transfers are gated by per-descriptor
+    // processing plus link occupancy.
+    const Tick setup = units::ns(cfg_.doorbell_ns) +
+                       units::ns(cfg_.descriptor_fetch_ns) +
+                       units::ns(cfg_.engine_setup_ns);
+    Tick start;
+    if (engineFreeAt_ <= now()) {
+        start = now() + setup;
+    } else {
+        start = engineFreeAt_ + units::ns(cfg_.per_descriptor_ns);
+    }
+    // The three stages (source DRAM, wire, destination DRAM) stream
+    // concurrently chunk by chunk; the slowest stage dominates.
+    const Tick src_done = src.dram().access(start, len);
+    const Tick wire_done = link_.transfer(start, len, to_host);
+    const Tick dst_done = dst.dram().access(start, len);
+    const Tick complete =
+        std::max(src_done, std::max(wire_done, dst_done));
+    engineFreeAt_ = std::max(engineFreeAt_, start);
+
+    eventq().schedule(
+        complete, [done = std::move(done), complete]() { done(complete); },
+        "dma-done");
+}
+
+void
+DmaEngine::hostToDevice(Addr host_off, Addr dev_off, std::uint64_t len,
+                        Done done)
+{
+    transfer(host_off, dev_off, len, /*to_host=*/false, std::move(done));
+}
+
+void
+DmaEngine::deviceToHost(Addr dev_off, Addr host_off, std::uint64_t len,
+                        Done done)
+{
+    transfer(dev_off, host_off, len, /*to_host=*/true, std::move(done));
+}
+
+} // namespace enzian::pcie

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * PCIe link implementation.
+ */
+
+#include "pcie/pcie_link.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::pcie {
+
+PcieLink::PcieLink(std::string name, EventQueue &eq, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    if (cfg_.lanes == 0)
+        fatal("PCIe link '%s': zero lanes", SimObject::name().c_str());
+    // GT/s counts raw symbols per lane; encoding leaves the data rate.
+    wireBw_ = cfg_.lanes * cfg_.gt_per_s * 1e9 / 8.0 * cfg_.encoding;
+    stats().addCounter("bytes", &bytes_);
+}
+
+Tick
+PcieLink::transfer(Tick when, std::uint64_t payload, bool upstream)
+{
+    bytes_.inc(payload);
+    const std::uint64_t wire = wireBytesFor(payload, cfg_.max_payload);
+    Tick &free_at = busFreeAt_[upstream ? 0 : 1];
+    const Tick start = std::max(when, free_at);
+    const Tick stream = units::transferTicks(wire, wireBw_);
+    free_at = start + stream;
+    return start + stream + latency();
+}
+
+double
+PcieLink::effectiveBandwidth() const
+{
+    const double per_packet =
+        static_cast<double>(cfg_.max_payload) /
+        (cfg_.max_payload + tlpOverheadBytes);
+    return wireBw_ * per_packet;
+}
+
+} // namespace enzian::pcie

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PCIe link timing model.
+ *
+ * Models a Gen-N xM link: per-lane rate with encoding overhead, TLP
+ * packetization cost, and a fixed round-trip latency contribution for
+ * the root complex + switch path. Used by the DMA engine and by the
+ * platform presets for Alveo/F1/Mellanox-style baselines.
+ */
+
+#ifndef ENZIAN_PCIE_PCIE_LINK_HH
+#define ENZIAN_PCIE_PCIE_LINK_HH
+
+#include <cstdint>
+
+#include "pcie/tlp.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::pcie {
+
+/** One full-duplex PCIe link. */
+class PcieLink : public SimObject
+{
+  public:
+    /** Link configuration. */
+    struct Config
+    {
+        /** Lane count (x8, x16). */
+        std::uint32_t lanes = 16;
+        /** Per-lane raw rate in GT/s (Gen3: 8). */
+        double gt_per_s = 8.0;
+        /** Encoding efficiency (Gen3 128b/130b: ~0.985). */
+        double encoding = 128.0 / 130.0;
+        /** Max TLP payload bytes. */
+        std::uint32_t max_payload = defaultMaxPayload;
+        /** One-way latency: PHY + switch + root complex (ns). */
+        double latency_ns = 400.0;
+    };
+
+    PcieLink(std::string name, EventQueue &eq, const Config &cfg);
+
+    /**
+     * Occupy the link in one direction with @p payload bytes of data
+     * starting at @p when; returns the tick the last byte has crossed.
+     *
+     * @param upstream true for device-to-host, false host-to-device
+     */
+    Tick transfer(Tick when, std::uint64_t payload, bool upstream);
+
+    /** One-way latency in ticks. */
+    Tick latency() const { return units::ns(cfg_.latency_ns); }
+
+    /** Effective per-direction data bandwidth in bytes/s (payload). */
+    double effectiveBandwidth() const;
+
+    /** Raw per-direction wire bandwidth in bytes/s. */
+    double wireBandwidth() const { return wireBw_; }
+
+    const Config &config() const { return cfg_; }
+
+    std::uint64_t bytesTransferred() const { return bytes_.value(); }
+
+  private:
+    Config cfg_;
+    double wireBw_;
+    Tick busFreeAt_[2] = {0, 0};
+    Counter bytes_;
+};
+
+} // namespace enzian::pcie
+
+#endif // ENZIAN_PCIE_PCIE_LINK_HH

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * TLP helpers.
+ */
+
+#include "pcie/tlp.hh"
+
+namespace enzian::pcie {
+
+std::uint64_t
+wireBytesFor(std::uint64_t payload, std::uint32_t max_payload)
+{
+    if (payload == 0)
+        return tlpOverheadBytes;
+    const std::uint64_t packets =
+        (payload + max_payload - 1) / max_payload;
+    return payload + packets * tlpOverheadBytes;
+}
+
+} // namespace enzian::pcie

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PCIe transaction layer packet (TLP) model.
+ *
+ * Only what the timing model needs: memory read/write TLPs with a
+ * fixed per-packet header overhead and a maximum payload size, so the
+ * protocol efficiency of large DMA bursts vs small transfers is
+ * captured. This is the substrate for the commercial-accelerator
+ * baselines the paper compares against (Alveo, F1, Mellanox).
+ */
+
+#ifndef ENZIAN_PCIE_TLP_HH
+#define ENZIAN_PCIE_TLP_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+
+namespace enzian::pcie {
+
+/** TLP kinds the model distinguishes. */
+enum class TlpKind : std::uint8_t {
+    MemRead,     ///< read request (no payload)
+    MemWrite,    ///< posted write (payload)
+    Completion,  ///< read completion (payload)
+};
+
+/** One transaction-layer packet. */
+struct Tlp
+{
+    TlpKind kind = TlpKind::MemWrite;
+    Addr addr = 0;
+    std::uint32_t len = 0; ///< payload length in bytes
+    std::uint32_t tag = 0; ///< completion matching tag
+};
+
+/**
+ * Physical/data-link/transaction header overhead per TLP in bytes:
+ * 2 (framing) + 6 (DLLP seq + LCRC) + 16 (4-DW TLP header) = 24.
+ */
+constexpr std::uint32_t tlpOverheadBytes = 24;
+
+/** Default maximum TLP payload (bytes) for the modeled root ports. */
+constexpr std::uint32_t defaultMaxPayload = 256;
+
+/** Default read-completion chunk size (bytes). */
+constexpr std::uint32_t defaultReadCompletionBoundary = 256;
+
+/**
+ * Wire bytes needed to move @p payload bytes of data with @p
+ * max_payload-sized TLPs, including per-packet overheads.
+ */
+std::uint64_t wireBytesFor(std::uint64_t payload,
+                           std::uint32_t max_payload);
+
+} // namespace enzian::pcie
+
+#endif // ENZIAN_PCIE_TLP_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * BDK ECI bring-up implementation.
+ */
+
+#include "platform/bdk.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::platform {
+
+const char *
+toString(LaneState s)
+{
+    switch (s) {
+      case LaneState::Down:
+        return "down";
+      case LaneState::Detecting:
+        return "detecting";
+      case LaneState::Aligning:
+        return "aligning";
+      case LaneState::Training:
+        return "training";
+      case LaneState::Up:
+        return "up";
+      case LaneState::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+BdkEciBringup::BdkEciBringup(std::string name, EventQueue &eq,
+                             EnzianMachine &machine, const Config &cfg)
+    : SimObject(std::move(name), eq), machine_(machine), cfg_(cfg),
+      rng_(cfg.seed)
+{
+    if (cfg_.lanes_per_link == 0 || cfg_.lanes_per_link > 12)
+        fatal("BDK: %u lanes per link out of range",
+              cfg_.lanes_per_link);
+    lanes_.assign(machine_.fabric().linkCount(),
+                  std::vector<LaneState>(cfg_.lanes_per_link,
+                                         LaneState::Down));
+    stats().addCounter("retrains", &retrains_);
+}
+
+void
+BdkEciBringup::start(std::function<void(Tick)> done)
+{
+    // "the initial image must exist on the FPGA before the CPU starts
+    // to boot, since CPU firmware attempts to detect the other NUMA
+    // node, train the links, etc. at startup" (section 4.5).
+    if (!machine_.fpga().eciReady())
+        fatal("BDK: FPGA image '%s' has no ECI layers; link training "
+              "cannot start",
+              machine_.fpga().loaded()
+                  ? machine_.fpga().loaded()->name.c_str()
+                  : "(none)");
+    done_ = std::move(done);
+    for (std::uint32_t l = 0; l < lanes_.size(); ++l) {
+        for (std::uint32_t ln = 0; ln < cfg_.lanes_per_link; ++ln) {
+            ++pending_;
+            trainLane(l, ln, 0);
+        }
+    }
+}
+
+void
+BdkEciBringup::trainLane(std::uint32_t link, std::uint32_t lane,
+                         std::uint32_t attempt)
+{
+    lanes_[link][lane] = LaneState::Training;
+    eventq().scheduleDelta(
+        units::us(cfg_.lane_train_us),
+        [this, link, lane, attempt]() {
+            if (rng_.chance(cfg_.retrain_chance) &&
+                attempt < cfg_.max_retrains) {
+                retrains_.inc();
+                trainLane(link, lane, attempt + 1);
+                return;
+            }
+            lanes_[link][lane] = attempt >= cfg_.max_retrains
+                                     ? LaneState::Failed
+                                     : LaneState::Up;
+            --pending_;
+            maybeFinish();
+        },
+        "bdk-lane-train");
+}
+
+void
+BdkEciBringup::maybeFinish()
+{
+    if (pending_ != 0 || complete_)
+        return;
+    complete_ = true;
+    // Reconfigure the fabric to the trained lane counts.
+    for (std::uint32_t l = 0; l < lanes_.size(); ++l) {
+        const std::uint32_t up = lanesUp(l);
+        if (up == 0)
+            fatal("BDK: link %u trained no lanes", l);
+        machine_.fabric().link(l).setLanes(up);
+        inform("BDK: link %u up with %u/%u lanes", l, up,
+               cfg_.lanes_per_link);
+    }
+    if (done_)
+        done_(now());
+}
+
+std::uint32_t
+BdkEciBringup::lanesUp(std::uint32_t link) const
+{
+    std::uint32_t n = 0;
+    for (const auto s : lanes_.at(link))
+        if (s == LaneState::Up)
+            ++n;
+    return n;
+}
+
+LaneState
+BdkEciBringup::laneState(std::uint32_t link, std::uint32_t lane) const
+{
+    return lanes_.at(link).at(lane);
+}
+
+} // namespace enzian::platform

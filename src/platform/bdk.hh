@@ -1,0 +1,107 @@
+/**
+ * @file
+ * BDK: board development kit model, most importantly the ECI link
+ * bring-up.
+ *
+ * "The BDK is interesting in that it allows extensive configuration
+ * of the CPU and associated hardware. For example, the BDK is
+ * responsible for bringing up the ECI protocol, and can be used to
+ * limit bandwidth, number of lanes, or clock frequency to many parts
+ * of the system (indeed, early debugging of ECI was done with 4 lanes
+ * rather than the full 24)" (paper section 4.4). Section 4.1 adds
+ * that the CPU-side implementation "could be controlled from the BDK
+ * command line before the processor fully booted, and dialed up and
+ * down in lanes and speed, allowing us to bring up our implementation
+ * gradually".
+ *
+ * BdkEciBringup runs the per-lane training state machine: detect ->
+ * align -> train -> calibrate, lane by lane, against the FPGA's
+ * loaded image (training fails fast if the bitstream lacks the ECI
+ * layers - the real failure mode when the wrong image is loaded
+ * before CPU reset is released, section 4.5). Lanes that fail
+ * training are excluded; the link comes up with whatever trained,
+ * exactly how gradual bring-up worked.
+ */
+
+#ifndef ENZIAN_PLATFORM_BDK_HH
+#define ENZIAN_PLATFORM_BDK_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/rng.hh"
+#include "platform/enzian_machine.hh"
+
+namespace enzian::platform {
+
+/** Per-lane training outcome. */
+enum class LaneState : std::uint8_t {
+    Down = 0,
+    Detecting,
+    Aligning,
+    Training,
+    Up,
+    Failed,
+};
+
+/** Readable lane-state name. */
+const char *toString(LaneState s);
+
+/** The BDK's ECI bring-up engine. */
+class BdkEciBringup : public SimObject
+{
+  public:
+    /** Bring-up configuration. */
+    struct Config
+    {
+        /** Lanes to attempt per link (dial-down knob; <= 12). */
+        std::uint32_t lanes_per_link = 12;
+        /** Per-lane detect+align+train time (us). */
+        double lane_train_us = 350.0;
+        /** Probability a lane needs a retrain pass (signal margin). */
+        double retrain_chance = 0.05;
+        /** Retrain attempts before a lane is marked Failed. */
+        std::uint32_t max_retrains = 3;
+        /** RNG seed for margin draws. */
+        std::uint64_t seed = 0xb0a7;
+    };
+
+    BdkEciBringup(std::string name, EventQueue &eq,
+                  EnzianMachine &machine, const Config &cfg);
+
+    /**
+     * Run the bring-up; @p done receives the completion tick. On
+     * success the machine's links are reconfigured to the trained
+     * lane counts. fatal() if the FPGA image lacks ECI support.
+     */
+    void start(std::function<void(Tick)> done);
+
+    /** True once every attempted lane reached Up or Failed. */
+    bool complete() const { return complete_; }
+
+    /** Lanes that trained successfully on @p link. */
+    std::uint32_t lanesUp(std::uint32_t link) const;
+
+    /** State of @p lane on @p link. */
+    LaneState laneState(std::uint32_t link, std::uint32_t lane) const;
+
+    std::uint64_t retrains() const { return retrains_.value(); }
+
+  private:
+    void trainLane(std::uint32_t link, std::uint32_t lane,
+                   std::uint32_t attempt);
+    void maybeFinish();
+
+    EnzianMachine &machine_;
+    Config cfg_;
+    Rng rng_;
+    std::vector<std::vector<LaneState>> lanes_; // [link][lane]
+    std::uint32_t pending_ = 0;
+    bool complete_ = false;
+    std::function<void(Tick)> done_;
+    Counter retrains_;
+};
+
+} // namespace enzian::platform
+
+#endif // ENZIAN_PLATFORM_BDK_HH

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Boot sequencer implementation.
+ */
+
+#include "platform/boot_sequencer.hh"
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "fpga/bitstream.hh"
+
+namespace enzian::platform {
+
+BootSequencer::BootSequencer(EnzianMachine &machine) : machine_(machine)
+{
+}
+
+void
+BootSequencer::mark(const std::string &name, Tick start, Tick end)
+{
+    phases_.push_back(BootPhase{name, start, end});
+}
+
+bool
+BootSequencer::dataBusTest(mem::BackingStore &store, Addr base)
+{
+    for (std::uint32_t bit = 0; bit < 64; ++bit) {
+        const std::uint64_t pattern = 1ull << bit;
+        store.store<std::uint64_t>(base, pattern);
+        if (store.load<std::uint64_t>(base) != pattern)
+            return false;
+    }
+    return true;
+}
+
+bool
+BootSequencer::addressBusTest(mem::BackingStore &store, Addr base,
+                              std::uint64_t size)
+{
+    // Write a distinct stamp at each power-of-two offset, then verify
+    // none aliased (a stuck/shorted address line would collide them).
+    std::vector<Addr> offsets{0};
+    for (std::uint64_t off = 8; off < size; off <<= 1)
+        offsets.push_back(off);
+    for (std::size_t i = 0; i < offsets.size(); ++i)
+        store.store<std::uint64_t>(base + offsets[i],
+                                   0xA5A5000000000000ull | i);
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        if (store.load<std::uint64_t>(base + offsets[i]) !=
+            (0xA5A5000000000000ull | i))
+            return false;
+    }
+    return true;
+}
+
+bool
+BootSequencer::marchingRowsTest(mem::BackingStore &store, Addr base,
+                                std::uint64_t size)
+{
+    // March C- (word granularity): up(w0); up(r0,w1); down(r1,w0);
+    // down(r0).
+    const std::uint64_t words = size / 8;
+    for (std::uint64_t i = 0; i < words; ++i)
+        store.store<std::uint64_t>(base + i * 8, 0);
+    for (std::uint64_t i = 0; i < words; ++i) {
+        if (store.load<std::uint64_t>(base + i * 8) != 0)
+            return false;
+        store.store<std::uint64_t>(base + i * 8, ~0ull);
+    }
+    for (std::uint64_t i = words; i-- > 0;) {
+        if (store.load<std::uint64_t>(base + i * 8) != ~0ull)
+            return false;
+        store.store<std::uint64_t>(base + i * 8, 0);
+    }
+    for (std::uint64_t i = words; i-- > 0;) {
+        if (store.load<std::uint64_t>(base + i * 8) != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+BootSequencer::randomDataTest(mem::BackingStore &store, Addr base,
+                              std::uint64_t size, std::uint64_t seed)
+{
+    Rng w(seed);
+    const std::uint64_t words = size / 8;
+    for (std::uint64_t i = 0; i < words; ++i)
+        store.store<std::uint64_t>(base + i * 8, w.next());
+    Rng r(seed);
+    for (std::uint64_t i = 0; i < words; ++i) {
+        if (store.load<std::uint64_t>(base + i * 8) != r.next())
+            return false;
+    }
+    return true;
+}
+
+void
+BootSequencer::runFullSequence()
+{
+    EventQueue &eq = machine_.eventq();
+    bmc::Bmc &bmc = machine_.bmc();
+    bmc::PowerModel &pm = bmc.power();
+    auto &fabric = machine_.fpga();
+    mem::BackingStore &dram = machine_.cpuMem().store();
+
+    // Telemetry watch list: the Figure 12 traces.
+    bmc.telemetry().watch("CPU", 0x20);   // VDD_CORE
+    bmc.telemetry().watch("FPGA", 0x30);  // VCCINT
+    bmc.telemetry().watch("DRAM0", 0x25); // VDD_DDR_C01
+    bmc.telemetry().watch("DRAM1", 0x28); // VDD_DDR_C23
+
+    // Phase timeline (seconds), shaped after Figure 12.
+    const double t_psu = 0.5;
+    const double t_fpga_on = 4.0;
+    const double t_fpga_prog = 6.0;     // 8 s programming
+    const double t_cpu_on = 18.0;
+    const double t_bdk_check = 24.0;    // BDK DRAM check
+    const double t_data_bus = 38.0;
+    const double t_addr_bus = 50.0;
+    const double t_march = 62.0;        // marching rows
+    const double t_random = 106.0;      // random data
+    const double t_idle1 = 160.0;
+    const double t_cpu_off = 170.0;
+    const double t_burn = 178.0;        // 24 steps x 2.5 s
+    const double t_burn_end = 238.0;
+    const double t_fpga_off = 246.0;
+    const double t_end = 255.0;
+
+    auto at = [&](double secs, EventQueue::Callback cb,
+                  const char *what) {
+        eq.schedule(units::sec(secs), std::move(cb), what);
+    };
+
+    at(t_psu, [&]() { bmc.commonPowerUp(); }, "psu-on");
+    bmc.telemetry().start(units::ms(params::telemetryPeriodMs));
+    mark("idle", 0, units::sec(t_fpga_on));
+
+    at(t_fpga_on, [&]() {
+        bmc.fpgaPowerUp();
+        pm.setFpgaOn(true);
+    }, "fpga-on");
+    mark("FPGA on", units::sec(t_fpga_on), units::sec(t_fpga_prog));
+
+    at(t_fpga_prog, [&]() {
+        fabric.loadBitstream(fpga::findBitstream("power-burn"));
+    }, "fpga-prog");
+    at(t_fpga_prog + 8.0, [&]() { pm.setFpgaConfigured(true); },
+       "fpga-configured");
+    mark("FPGA prog", units::sec(t_fpga_prog),
+         units::sec(t_fpga_prog + 8.0));
+
+    at(t_cpu_on, [&]() {
+        bmc.cpuPowerUp();
+        pm.setCpuOn(true);
+        pm.setCpuSpike(true);
+    }, "cpu-on");
+    at(t_cpu_on + 2.0, [&]() { pm.setCpuSpike(false); }, "spike-end");
+    mark("CPU on", units::sec(t_cpu_on), units::sec(t_bdk_check));
+
+    at(t_bdk_check, [&]() {
+        pm.setActiveCores(4);
+        pm.setDramActivity(0, 0.35);
+        pm.setDramActivity(1, 0.35);
+        memtests_.dram_check = dataBusTest(dram, 0x1000);
+    }, "bdk-dram-check");
+    mark("BDK DRAM check", units::sec(t_bdk_check),
+         units::sec(t_data_bus));
+
+    at(t_data_bus, [&]() {
+        pm.setActiveCores(8);
+        pm.setDramActivity(0, 0.5);
+        pm.setDramActivity(1, 0.5);
+        memtests_.data_bus = dataBusTest(dram, 0x2000);
+    }, "data-bus-test");
+    mark("Data bus test", units::sec(t_data_bus),
+         units::sec(t_addr_bus));
+
+    at(t_addr_bus, [&]() {
+        memtests_.address_bus =
+            addressBusTest(dram, 0, 1ull << 30);
+    }, "addr-bus-test");
+    mark("Address bus test", units::sec(t_addr_bus),
+         units::sec(t_march));
+
+    at(t_march, [&]() {
+        pm.setActiveCores(48);
+        pm.setDramActivity(0, 0.9);
+        pm.setDramActivity(1, 0.9);
+        memtests_.marching_rows =
+            marchingRowsTest(dram, 0x100000, 4ull << 20);
+    }, "memtest-marching");
+    mark("memtest: marching rows", units::sec(t_march),
+         units::sec(t_random));
+
+    at(t_random, [&]() {
+        pm.setDramActivity(0, 0.8);
+        pm.setDramActivity(1, 0.8);
+        memtests_.random_data =
+            randomDataTest(dram, 0x500000, 4ull << 20, 0x1234);
+    }, "memtest-random");
+    mark("memtest: random data", units::sec(t_random),
+         units::sec(t_idle1));
+
+    at(t_idle1, [&]() {
+        pm.setActiveCores(0);
+        pm.setDramActivity(0, 0.05);
+        pm.setDramActivity(1, 0.05);
+    }, "idle");
+    mark("idle", units::sec(t_idle1), units::sec(t_cpu_off));
+
+    at(t_cpu_off, [&]() {
+        bmc.cpuPowerDown();
+        pm.setCpuOn(false);
+    }, "cpu-off");
+    mark("CPU off", units::sec(t_cpu_off), units::sec(t_burn));
+
+    // FPGA power burn: switch one more 1/24 region block on every
+    // step ("switching blocks of flip-flops on every clock cycle").
+    const double step = (t_burn_end - t_burn) / 24.0;
+    for (std::uint32_t i = 0; i < 24; ++i) {
+        at(t_burn + i * step, [&, i]() {
+            fabric.setRegionActivity(i, 1.0);
+            pm.setFpgaActivity(fabric.meanActivity());
+        }, "burn-step");
+    }
+    mark("FPGA power burn", units::sec(t_burn),
+         units::sec(t_burn_end));
+
+    at(t_burn_end, [&]() {
+        fabric.setAllActivity(0.0);
+        pm.setFpgaActivity(0.0);
+    }, "burn-end");
+    mark("FPGA idle", units::sec(t_burn_end), units::sec(t_fpga_off));
+
+    at(t_fpga_off, [&]() {
+        bmc.fpgaPowerDown();
+        pm.setFpgaOn(false);
+        pm.setFpgaConfigured(false);
+    }, "fpga-off");
+    mark("FPGA off / idle", units::sec(t_fpga_off),
+         units::sec(t_end));
+
+    at(t_end, [&]() { bmc.telemetry().stop(); }, "telemetry-stop");
+
+    eq.runUntil(units::sec(t_end) + units::ms(50));
+}
+
+} // namespace enzian::platform

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Boot, diagnostic, and stress-test sequencer (Figures 5/12).
+ *
+ * Scripts the paper's section 5.5 run: the BMC powers the standby
+ * rails, brings the FPGA up and programs it, releases the CPU, the
+ * BDK checks DRAM, a series of memory tests runs (data bus, address
+ * bus, marching rows, random data - all executed functionally against
+ * the simulated DRAM), the CPU powers off, and the FPGA power-burn
+ * design walks its switching activity up in 1/24-area steps. The BMC
+ * telemetry service samples the primary regulators every 20 ms
+ * throughout, producing the Figure 12 time series.
+ */
+
+#ifndef ENZIAN_PLATFORM_BOOT_SEQUENCER_HH
+#define ENZIAN_PLATFORM_BOOT_SEQUENCER_HH
+
+#include <string>
+#include <vector>
+
+#include "platform/enzian_machine.hh"
+
+namespace enzian::platform {
+
+/** A labeled phase of the scripted run. */
+struct BootPhase
+{
+    std::string name;
+    Tick start = 0;
+    Tick end = 0;
+};
+
+/** Drives the Figure 12 scenario on a machine. */
+class BootSequencer
+{
+  public:
+    explicit BootSequencer(EnzianMachine &machine);
+
+    /**
+     * Schedule and run the complete boot + diagnostic + stress
+     * scenario; returns when the event queue drains (~255 simulated
+     * seconds). Telemetry samples accumulate in
+     * machine().bmc().telemetry().
+     */
+    void runFullSequence();
+
+    /** Phase markers (for the Figure 12 annotations). */
+    const std::vector<BootPhase> &phases() const { return phases_; }
+
+    /** Results of the functional memory tests (all must pass). */
+    struct MemtestResults
+    {
+        bool dram_check = false;
+        bool data_bus = false;
+        bool address_bus = false;
+        bool marching_rows = false;
+        bool random_data = false;
+
+        bool allPassed() const
+        {
+            return dram_check && data_bus && address_bus &&
+                   marching_rows && random_data;
+        }
+    };
+
+    const MemtestResults &memtests() const { return memtests_; }
+
+    EnzianMachine &machine() { return machine_; }
+
+    // --- individual functional memory tests (also used by tests) ----
+    /** Walking-ones data bus test over one word. */
+    static bool dataBusTest(mem::BackingStore &store, Addr base);
+    /** Walking address-bit test over a power-of-two window. */
+    static bool addressBusTest(mem::BackingStore &store, Addr base,
+                               std::uint64_t size);
+    /** March C- style row test over a window. */
+    static bool marchingRowsTest(mem::BackingStore &store, Addr base,
+                                 std::uint64_t size);
+    /** Seeded random write/verify pass. */
+    static bool randomDataTest(mem::BackingStore &store, Addr base,
+                               std::uint64_t size, std::uint64_t seed);
+
+  private:
+    void mark(const std::string &name, Tick start, Tick end);
+
+    EnzianMachine &machine_;
+    std::vector<BootPhase> phases_;
+    MemtestResults memtests_;
+};
+
+} // namespace enzian::platform
+
+#endif // ENZIAN_PLATFORM_BOOT_SEQUENCER_HH

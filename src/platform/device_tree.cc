@@ -1,0 +1,147 @@
+/**
+ * @file
+ * DeviceTree generation.
+ */
+
+#include "platform/device_tree.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace enzian::platform {
+
+namespace {
+
+std::string
+hex(std::uint64_t v)
+{
+    return format("0x%llx", static_cast<unsigned long long>(v));
+}
+
+/** Render a 64-bit reg as the DT's <hi lo> cell pair. */
+std::string
+cells64(std::uint64_t v)
+{
+    return format("0x%x 0x%x",
+                  static_cast<std::uint32_t>(v >> 32),
+                  static_cast<std::uint32_t>(v & 0xffffffffu));
+}
+
+} // namespace
+
+std::string
+generateDeviceTree(EnzianMachine &machine,
+                   const DeviceTreeOptions &opts)
+{
+    std::ostringstream os;
+    const auto &cfg = machine.config();
+
+    os << "/dts-v1/;\n\n/ {\n";
+    os << "    model = \"ETH Zurich Enzian\";\n";
+    os << "    compatible = \"ethz,enzian\", \"cavium,thunder-88xx\";\n";
+    os << "    #address-cells = <2>;\n    #size-cells = <2>;\n\n";
+
+    // CPUs: all cores in NUMA node 0 (the asymmetric part).
+    os << "    cpus {\n";
+    os << "        #address-cells = <2>;\n        #size-cells = <0>;\n";
+    for (std::uint32_t c = 0; c < cfg.cores; ++c) {
+        os << "        cpu@" << c << " {\n";
+        os << "            device_type = \"cpu\";\n";
+        os << "            compatible = \"cavium,thunder\", "
+              "\"arm,armv8\";\n";
+        os << "            reg = <0x0 " << hex(c) << ">;\n";
+        os << "            numa-node-id = <0>;\n";
+        os << "        };\n";
+    }
+    os << "    };\n\n";
+
+    // CPU-node memory.
+    os << "    memory@0 {\n";
+    os << "        device_type = \"memory\";\n";
+    os << "        reg = <" << cells64(0) << " "
+       << cells64(cfg.cpu_dram_bytes) << ">;\n";
+    os << "        numa-node-id = <0>;\n";
+    os << "    };\n\n";
+
+    // FPGA-node memory: only when the shell exposes it ("the other
+    // may or may not appear to have memory").
+    if (opts.expose_fpga_memory) {
+        os << "    memory@" << hex(mem::AddressMap::fpgaDramBase)
+           << " {\n";
+        os << "        device_type = \"memory\";\n";
+        os << "        reg = <" << cells64(mem::AddressMap::fpgaDramBase)
+           << " " << cells64(cfg.fpga_dram_bytes) << ">;\n";
+        os << "        numa-node-id = <1>;\n";
+        os << "    };\n\n";
+    }
+
+    os << "    distance-map {\n";
+    os << "        compatible = \"numa-distance-map-v1\";\n";
+    os << "        distance-matrix = <0 0 10>, <0 1 "
+       << opts.numa_distance << ">, <1 0 " << opts.numa_distance
+       << ">, <1 1 10>;\n";
+    os << "    };\n\n";
+
+    // The ECI link as a platform device.
+    os << "    eci@" << hex(mem::AddressMap::cpuIoBase) << " {\n";
+    os << "        compatible = \"ethz,enzian-eci\";\n";
+    os << "        reg = <" << cells64(mem::AddressMap::cpuIoBase)
+       << " " << cells64(mem::AddressMap::ioWindowSize) << ">;\n";
+    os << "        ethz,links = <" << machine.fabric().linkCount()
+       << ">;\n";
+    os << "        ethz,lanes-per-link = <"
+       << machine.fabric().link(0).lanes() << ">;\n";
+    os << "    };\n\n";
+
+    // FPGA I/O window (shell control registers, doorbells).
+    os << "    fpga-io@" << hex(mem::AddressMap::fpgaIoBase) << " {\n";
+    os << "        compatible = \"ethz,enzian-fpga-io\";\n";
+    os << "        reg = <" << cells64(mem::AddressMap::fpgaIoBase)
+       << " " << cells64(mem::AddressMap::ioWindowSize) << ">;\n";
+    os << "    };\n";
+
+    os << "};\n";
+    return os.str();
+}
+
+bool
+validateDeviceTree(const std::string &dts, EnzianMachine &machine,
+                   std::string &error)
+{
+    int depth = 0;
+    for (char c : dts) {
+        if (c == '{')
+            ++depth;
+        if (c == '}') {
+            --depth;
+            if (depth < 0) {
+                error = "unbalanced braces";
+                return false;
+            }
+        }
+    }
+    if (depth != 0) {
+        error = "unbalanced braces";
+        return false;
+    }
+    const char *required[] = {"/dts-v1/;", "cpus {", "memory@0",
+                              "numa-node-id = <0>", "distance-map",
+                              "ethz,enzian-eci"};
+    for (const char *r : required) {
+        if (dts.find(r) == std::string::npos) {
+            error = std::string("missing node: ") + r;
+            return false;
+        }
+    }
+    // Every core appears.
+    const std::string last_cpu =
+        "cpu@" + std::to_string(machine.config().cores - 1);
+    if (dts.find(last_cpu) == std::string::npos) {
+        error = "missing " + last_cpu;
+        return false;
+    }
+    return true;
+}
+
+} // namespace enzian::platform

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * DeviceTree generation for the Enzian machine.
+ *
+ * "No modifications were necessary to the Linux kernel, but Enzian
+ * requires a special DeviceTree specification since, of the two NUMA
+ * nodes, only one actually has CPU cores and the other may or may not
+ * appear to have memory" (paper section 4.4). This generator renders
+ * a machine configuration into DTS source: 48 CPUs all in NUMA node
+ * 0, the CPU-node memory, the FPGA-node memory window (present only
+ * when the loaded shell exposes it), the ECI link device, and the
+ * uncached I/O windows.
+ */
+
+#ifndef ENZIAN_PLATFORM_DEVICE_TREE_HH
+#define ENZIAN_PLATFORM_DEVICE_TREE_HH
+
+#include <string>
+
+#include "platform/enzian_machine.hh"
+
+namespace enzian::platform {
+
+/** Options controlling what the generated tree exposes. */
+struct DeviceTreeOptions
+{
+    /** Expose the FPGA-homed memory window as NUMA node 1 memory. */
+    bool expose_fpga_memory = true;
+    /** Linux distance matrix entry for the cross-node hop. */
+    std::uint32_t numa_distance = 20;
+};
+
+/** Render @p machine as DTS source text. */
+std::string generateDeviceTree(EnzianMachine &machine,
+                               const DeviceTreeOptions &opts = {});
+
+/**
+ * Structural validation of generated DTS: balanced braces, required
+ * nodes present, memory regs consistent with the machine.
+ * @param error set to a reason on failure
+ */
+bool validateDeviceTree(const std::string &dts,
+                        EnzianMachine &machine, std::string &error);
+
+} // namespace enzian::platform
+
+#endif // ENZIAN_PLATFORM_DEVICE_TREE_HH

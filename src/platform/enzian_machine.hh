@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The complete Enzian machine: composition root.
+ *
+ * Builds the two-socket asymmetric NUMA system of Figure 4: the
+ * 48-core ThunderX-1 node (L2 + 4 DDR4-2133 channels) and the
+ * XCVU9P node (4 DDR4-2400 channels, Coyote shell) connected by the
+ * two-link ECI fabric, plus the BMC with the board's power tree.
+ * Also configurable into the 2-socket CPU-CPU machine the paper uses
+ * as its interconnect reference.
+ */
+
+#ifndef ENZIAN_PLATFORM_ENZIAN_MACHINE_HH
+#define ENZIAN_PLATFORM_ENZIAN_MACHINE_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "bmc/bmc.hh"
+#include "cpu/core_cluster.hh"
+#include "eci/home_agent.hh"
+#include "eci/remote_agent.hh"
+#include "fpga/shell.hh"
+#include "platform/params.hh"
+
+namespace enzian::platform {
+
+/** The simulated machine. */
+class EnzianMachine
+{
+  public:
+    /** Machine configuration. */
+    struct Config
+    {
+        /**
+         * DRAM sizes: defaults are simulation-friendly windows; the
+         * address map is identical to the full-size machine, only
+         * the modelled capacity differs (the store is sparse anyway).
+         */
+        std::uint64_t cpu_dram_bytes = 4ull << 30;
+        std::uint64_t fpga_dram_bytes = 4ull << 30;
+        std::uint32_t cores = params::cpuCores;
+        eci::EciLink::Config link;
+        std::uint32_t links = params::eciLinks;
+        eci::BalancePolicy policy = eci::BalancePolicy::AddressHash;
+        eci::RemoteAgent::Config remote_agent;
+        /** Attach the L2 to the CPU remote agent (cached mode). */
+        bool cpu_caches_remote = true;
+        /** Initial bitstream loaded into the fabric. */
+        std::string bitstream = "eci-bench";
+        /**
+         * Optional externally owned event queue; machines in a
+         * cluster share one so their timelines interleave. When
+         * null the machine owns its queue.
+         */
+        EventQueue *shared_eventq = nullptr;
+        /** Instance name prefix (must be unique in a cluster). */
+        std::string name = "enzian";
+
+        Config();
+    };
+
+    explicit EnzianMachine(const Config &cfg);
+    ~EnzianMachine();
+
+    EnzianMachine(const EnzianMachine &) = delete;
+    EnzianMachine &operator=(const EnzianMachine &) = delete;
+
+    // --- kernel ------------------------------------------------------
+    EventQueue &eventq() { return *eqPtr_; }
+    Tick now() const { return eqPtr_->now(); }
+
+    // --- memory system -------------------------------------------------
+    mem::AddressMap &map() { return *map_; }
+    mem::MemoryController &cpuMem() { return *cpuMem_; }
+    mem::MemoryController &fpgaMem() { return *fpgaMem_; }
+    cache::Cache &l2() { return *l2_; }
+
+    // --- ECI -----------------------------------------------------------
+    eci::EciFabric &fabric() { return *fabric_; }
+    eci::HomeAgent &cpuHome() { return *cpuHome_; }
+    eci::HomeAgent &fpgaHome() { return *fpgaHome_; }
+    eci::RemoteAgent &cpuRemote() { return *cpuRemote_; }
+    eci::RemoteAgent &fpgaRemote() { return *fpgaRemote_; }
+    eci::IoSpace &cpuIo() { return *cpuIoSpace_; }
+    eci::IoSpace &fpgaIo() { return *fpgaIoSpace_; }
+
+    // --- FPGA ------------------------------------------------------------
+    fpga::Fabric &fpga() { return *fpga_; }
+    fpga::Shell &shell() { return *shell_; }
+
+    /** Load a registered bitstream; retunes the fabric clock. */
+    Tick loadBitstream(const std::string &name);
+
+    // --- CPU ---------------------------------------------------------
+    cpu::CoreCluster &cluster() { return *cluster_; }
+
+    // --- BMC ----------------------------------------------------------
+    bmc::Bmc &bmc() { return *bmc_; }
+
+    const Config &config() const { return cfg_; }
+
+    /**
+     * Dump the statistics of every major component ("gem5 stats
+     * file" style): caches, links, agents, DRAM channels, I2C.
+     */
+    void dumpStats(std::ostream &os);
+
+  private:
+    Config cfg_;
+    std::unique_ptr<EventQueue> eq_; ///< owned unless shared
+    EventQueue *eqPtr_ = nullptr;
+    std::unique_ptr<mem::AddressMap> map_;
+    std::unique_ptr<mem::MemoryController> cpuMem_;
+    std::unique_ptr<mem::MemoryController> fpgaMem_;
+    std::unique_ptr<cache::Cache> l2_;
+    std::unique_ptr<eci::EciFabric> fabric_;
+    std::unique_ptr<eci::IoSpace> cpuIoSpace_;
+    std::unique_ptr<eci::IoSpace> fpgaIoSpace_;
+    std::unique_ptr<eci::HomeAgent> cpuHome_;
+    std::unique_ptr<eci::HomeAgent> fpgaHome_;
+    std::unique_ptr<eci::RemoteAgent> cpuRemote_;
+    std::unique_ptr<eci::RemoteAgent> fpgaRemote_;
+    std::unique_ptr<fpga::Fabric> fpga_;
+    std::unique_ptr<fpga::Shell> shell_;
+    std::unique_ptr<cpu::CoreCluster> cluster_;
+    std::unique_ptr<bmc::Bmc> bmc_;
+};
+
+} // namespace enzian::platform
+
+#endif // ENZIAN_PLATFORM_ENZIAN_MACHINE_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 3 reference points.
+ */
+
+#include "platform/link_models.hh"
+
+namespace enzian::platform {
+
+std::vector<LinkPoint>
+fig3ReferencePoints()
+{
+    // Values read from Choi et al. [13,14] as reproduced in the
+    // paper's Figure 3: latency (us, time to first data for a small
+    // access) and achievable bandwidth (GiB/s).
+    return {
+        {"Alpha Data PCIe", 100.0, 6.0, true},
+        {"F1 PCIe", 160.0, 6.5, true},
+        {"Alpha Data DRAM", 1.0, 9.5, true},
+        {"F1 DRAM", 1.0, 14.0, true},
+        {"CAPI", 5.0, 3.3, true},
+        {"Xeon+FPGAv1 (QPI)", 0.4, 4.9, true},
+        {"Broadwell+Arria (UPI+PCIe)", 0.5, 17.0, true},
+    };
+}
+
+} // namespace enzian::platform

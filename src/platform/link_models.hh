@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CPU-FPGA link landscape (Figure 3).
+ *
+ * The paper's Figure 3 is adapted from Choi et al. [14]: published
+ * latency/bandwidth points for existing CPU-FPGA interconnects, with
+ * Enzian's measured points added. We follow the same method: the
+ * non-Enzian points are cited reference data (they were not measured
+ * by the paper's authors either); the Enzian and PCIe-card points are
+ * measured on our simulated substrates by the fig03 bench.
+ */
+
+#ifndef ENZIAN_PLATFORM_LINK_MODELS_HH
+#define ENZIAN_PLATFORM_LINK_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace enzian::platform {
+
+/** One point in the latency/bandwidth landscape. */
+struct LinkPoint
+{
+    std::string name;
+    /** Small-transfer round-trip latency in microseconds. */
+    double latency_us = 0.0;
+    /** Large-transfer bandwidth in GiB/s. */
+    double bandwidth_gib = 0.0;
+    /** True if the point is cited reference data, not measured here. */
+    bool reference = false;
+};
+
+/**
+ * The cited (Choi et al.) reference points of Figure 3; the measured
+ * Enzian / Alveo / 2-socket points are produced by the fig03 bench
+ * and appended to these.
+ */
+std::vector<LinkPoint> fig3ReferencePoints();
+
+} // namespace enzian::platform
+
+#endif // ENZIAN_PLATFORM_LINK_MODELS_HH

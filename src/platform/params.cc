@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Parameter factory functions.
+ */
+
+#include "platform/params.hh"
+
+namespace enzian::platform::params {
+
+eci::EciLink::Config
+eciLinkConfig()
+{
+    eci::EciLink::Config cfg;
+    cfg.lanes = eciLanesPerLink;
+    cfg.lane_gbps = eciLaneGbps;
+    cfg.efficiency = eciEfficiency;
+    cfg.wire_latency_ns = eciWireLatencyNs;
+    cfg.cpu_proc_ns = eciCpuProcNs;
+    cfg.fpga_proc_ns = eciFpgaProcNs;
+    return cfg;
+}
+
+eci::EciLink::Config
+twoSocketLinkConfig()
+{
+    // Both ends are full-rate CPU silicon: symmetric, low processing
+    // latency, hardware load balancing across both links.
+    eci::EciLink::Config cfg = eciLinkConfig();
+    cfg.fpga_proc_ns = cfg.cpu_proc_ns;
+    cfg.wire_latency_ns = 35.0;
+    cfg.cpu_proc_ns = 20.0;
+    cfg.fpga_proc_ns = 20.0;
+    return cfg;
+}
+
+mem::DramChannel::Config
+cpuDramConfig()
+{
+    mem::DramChannel::Config cfg;
+    cfg.mega_transfers = cpuDramMTs;
+    cfg.bus_bytes = 8;
+    cfg.access_latency_ns = 45.0;
+    cfg.efficiency = 0.80;
+    return cfg;
+}
+
+mem::DramChannel::Config
+fpgaDramConfig()
+{
+    mem::DramChannel::Config cfg;
+    cfg.mega_transfers = fpgaDramMTs;
+    cfg.bus_bytes = 8;
+    cfg.access_latency_ns = 50.0; // soft controller adds a little
+    cfg.efficiency = 0.80;
+    return cfg;
+}
+
+pcie::PcieLink::Config
+alveoPcieConfig()
+{
+    pcie::PcieLink::Config cfg;
+    cfg.lanes = alveoPcieLanes;
+    cfg.gt_per_s = pcieGen3GTs;
+    cfg.encoding = 128.0 / 130.0;
+    cfg.max_payload = 256;
+    cfg.latency_ns = 400.0;
+    return cfg;
+}
+
+net::EthernetLink::Config
+eth100Config()
+{
+    net::EthernetLink::Config cfg;
+    cfg.rate_gbps = fpgaEthGbps;
+    cfg.mtu = tcpMtu;
+    cfg.latency_ns = 450.0;
+    return cfg;
+}
+
+} // namespace enzian::platform::params

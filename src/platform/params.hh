@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Single source of truth for every paper-derived constant.
+ *
+ * Each value cites where it comes from: the paper section, the part
+ * datasheet, or a calibration derivation recorded in DESIGN.md /
+ * EXPERIMENTS.md. Benches and the machine composition use these
+ * defaults so an experiment's parameters can be audited in one place.
+ */
+
+#ifndef ENZIAN_PLATFORM_PARAMS_HH
+#define ENZIAN_PLATFORM_PARAMS_HH
+
+#include "base/units.hh"
+#include "eci/eci_link.hh"
+#include "mem/dram_channel.hh"
+#include "net/ethernet.hh"
+#include "pcie/pcie_link.hh"
+
+namespace enzian::platform {
+
+namespace params {
+
+// --- CPU node (Marvell Cavium ThunderX-1, paper section 4) ---------
+constexpr std::uint32_t cpuCores = 48;
+constexpr double cpuClockHz = 2.0e9;
+/** ThunderX-1 shared L2 (16 MiB). */
+constexpr std::uint64_t cpuL2Bytes = 16ull * 1024 * 1024;
+constexpr std::uint32_t cpuDramChannels = 4;
+/** CPU DDR4-2133 per Figure 4. */
+constexpr double cpuDramMTs = 2133.0;
+/** CPU node DRAM capacity: 128 GiB (Figure 4). */
+constexpr std::uint64_t cpuDramBytes = 128ull << 30;
+
+// --- FPGA node (Xilinx XCVU9P, paper section 4) ---------------------
+constexpr std::uint32_t fpgaDramChannels = 4;
+/** FPGA DDR4-2400 per Figure 4. */
+constexpr double fpgaDramMTs = 2400.0;
+/** FPGA node DRAM: 512 GiB build (Figure 4; up to 1 TiB). */
+constexpr std::uint64_t fpgaDramBytes = 512ull << 30;
+/** Fabric clock range (section 4). */
+constexpr double fpgaClockMinHz = 200e6;
+constexpr double fpgaClockMaxHz = 300e6;
+
+// --- ECI (section 4.1, 5.1) -----------------------------------------
+/** 24 lanes total, 2 links x 12 lanes, 10 Gb/s each. */
+constexpr std::uint32_t eciLinks = 2;
+constexpr std::uint32_t eciLanesPerLink = 12;
+constexpr double eciLaneGbps = 10.0;
+/**
+ * Framing efficiency: 64b/66b line coding (0.97) plus flit/credit
+ * framing. Together with the 32-byte per-message header this leaves
+ * one link sustaining ~10-11 GiB/s of payload, matching the Figure 6
+ * large-transfer write throughput.
+ */
+constexpr double eciEfficiency = 0.92;
+/** One-way SerDes + wire latency (ns). */
+constexpr double eciWireLatencyNs = 80.0;
+/** CPU-side protocol engine latency (ns). */
+constexpr double eciCpuProcNs = 60.0;
+/**
+ * FPGA-side protocol engine latency (ns): several pipeline stages at
+ * the 300 MHz fabric clock. The paper attributes ECI's latency gap
+ * versus the 150 ns CPU-CPU baseline to exactly this (section 5.1).
+ */
+constexpr double eciFpgaProcNs = 150.0;
+/** Requester MSHRs (outstanding line transactions). */
+constexpr std::uint32_t eciMaxOutstanding = 128;
+
+/** 2-socket ThunderX-1 reference: 19 GiB/s, 150 ns (section 5.1). */
+constexpr double twoSocketBandwidthGiB = 19.0;
+constexpr double twoSocketLatencyNs = 150.0;
+
+// --- PCIe baselines (sections 5.1, 5.3) ------------------------------
+/** Alveo u250 host link: PCIe Gen3 x16 (16 GiB/s theoretical). */
+constexpr std::uint32_t alveoPcieLanes = 16;
+constexpr double pcieGen3GTs = 8.0;
+
+// --- Networking (section 5.2) ----------------------------------------
+constexpr double fpgaEthGbps = 100.0;
+constexpr double cpuEthGbps = 40.0;
+/** Paper: FPGA TCP saturates 100G with an MTU as low as 2 KiB. */
+constexpr std::uint32_t tcpMtu = 2048;
+
+// --- GBDT (section 5.3, Figure 9) -------------------------------------
+/**
+ * Pipeline retirement interval. Derived: Enzian reaches 48 Mtuples/s
+ * with one engine at the 300 MHz top-speed-grade clock
+ * => 300e6 / 48e6 = 6.25 cycles/tuple; the same interval with each
+ * platform's achievable clock reproduces HARPv2 (206 MHz -> 33),
+ * F1 (150 MHz -> 24) and VCU118 (256 MHz -> 41).
+ */
+constexpr double gbdtCyclesPerTuple = 6.25;
+constexpr std::uint32_t gbdtFeatures = 8;
+constexpr std::uint32_t gbdtTrees = 32;
+constexpr std::uint32_t gbdtDepth = 5;
+
+// --- Boot / power (sections 4.2-4.4, 5.5) -----------------------------
+/** Regulator query time dominated by firmware path (~5 ms, §4.3). */
+constexpr double pmbusQueryMs = 5.0;
+/** Telemetry sampling period in Figure 12 (20 ms). */
+constexpr double telemetryPeriodMs = 20.0;
+
+/** Default ECI link configuration. */
+eci::EciLink::Config eciLinkConfig();
+
+/** ECI link configuration for a 2-socket CPU-CPU machine. */
+eci::EciLink::Config twoSocketLinkConfig();
+
+/** CPU-side DDR4-2133 channel configuration. */
+mem::DramChannel::Config cpuDramConfig();
+
+/** FPGA-side DDR4-2400 channel configuration. */
+mem::DramChannel::Config fpgaDramConfig();
+
+/** Alveo-style PCIe Gen3 x16 link configuration. */
+pcie::PcieLink::Config alveoPcieConfig();
+
+/** 100 GbE link configuration used by the Fig 7/8 experiments. */
+net::EthernetLink::Config eth100Config();
+
+} // namespace params
+} // namespace enzian::platform
+
+#endif // ENZIAN_PLATFORM_PARAMS_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Platform presets.
+ */
+
+#include "platform/platform_factory.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::platform {
+
+PcieAccelSystem
+makePcieAccelerator(const std::string &name)
+{
+    PcieAccelSystem sys;
+    sys.eq = std::make_unique<EventQueue>();
+
+    pcie::PcieLink::Config link_cfg = params::alveoPcieConfig();
+    pcie::DmaEngine::Config dma_cfg;
+    std::uint64_t device_dram = 4ull << 30;
+    mem::DramChannel::Config dev_dram_cfg = params::fpgaDramConfig();
+    std::uint32_t dev_channels = 4;
+
+    if (name == "alveo-u250" || name == "alveo-u280") {
+        // u250: 4x DDR4-2400; u280 adds HBM but the RDMA experiment
+        // uses DDR; both on Gen3 x16.
+    } else if (name == "f1") {
+        // F1 exposes the card behind a virtualized Gen3 x16 with
+        // higher software overheads.
+        dma_cfg.doorbell_ns = 400.0;
+        dma_cfg.descriptor_fetch_ns = 900.0;
+        dma_cfg.per_descriptor_ns = 450.0;
+    } else if (name == "vcu118") {
+        // Evaluation board: same FPGA family, plain Gen3 x16.
+    } else {
+        fatal("unknown PCIe accelerator '%s'", name.c_str());
+    }
+
+    sys.host = std::make_unique<mem::MemoryController>(
+        name + ".host.mem", *sys.eq, 4ull << 30, 6,
+        params::cpuDramConfig());
+    sys.device = std::make_unique<mem::MemoryController>(
+        name + ".dev.mem", *sys.eq, device_dram, dev_channels,
+        dev_dram_cfg);
+    sys.link = std::make_unique<pcie::PcieLink>(name + ".pcie",
+                                                *sys.eq, link_cfg);
+    sys.dma = std::make_unique<pcie::DmaEngine>(
+        name + ".dma", *sys.eq, *sys.link, *sys.host, *sys.device,
+        dma_cfg);
+    return sys;
+}
+
+EnzianMachine::Config
+enzianDefaultConfig()
+{
+    return EnzianMachine::Config();
+}
+
+EnzianMachine::Config
+twoSocketThunderXConfig()
+{
+    EnzianMachine::Config cfg;
+    cfg.link = params::twoSocketLinkConfig();
+    cfg.policy = eci::BalancePolicy::LeastLoaded; // hardware balancing
+    cfg.bitstream = "eci-bench"; // unused; node 1 is CPU silicon
+    return cfg;
+}
+
+const std::vector<std::string> &
+gbdtPlatformNames()
+{
+    static const std::vector<std::string> names = {
+        "Harp-v2", "Amazon-F1", "VCU118", "Enzian"};
+    return names;
+}
+
+accel::GbdtEngine::Config
+gbdtPlatformConfig(const std::string &name, std::uint32_t engines)
+{
+    accel::GbdtEngine::Config cfg;
+    cfg.engines = engines;
+    cfg.cycles_per_tuple = params::gbdtCyclesPerTuple;
+    cfg.features = params::gbdtFeatures;
+    // Clocks: each platform's achievable fabric clock for this design
+    // (Enzian uses the highest speed grade of the XCVU9P - the paper's
+    // stated reason it outperforms the same FPGA on F1/VCU118).
+    if (name == "Harp-v2") {
+        cfg.clock_hz = 206e6;
+        cfg.host_bw = 8.5e9; // UPI + PCIe combined attach
+    } else if (name == "Amazon-F1") {
+        cfg.clock_hz = 150e6;
+        cfg.host_bw = 12.8e9;
+    } else if (name == "VCU118") {
+        cfg.clock_hz = 256e6;
+        cfg.host_bw = 12.8e9;
+    } else if (name == "Enzian") {
+        cfg.clock_hz = 300e6;
+        cfg.host_bw = 13.6e9; // one ECI link's payload bandwidth
+    } else {
+        fatal("unknown GBDT platform '%s'", name.c_str());
+    }
+    return cfg;
+}
+
+} // namespace enzian::platform

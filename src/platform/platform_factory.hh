@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Factory for the platforms the paper compares against.
+ *
+ * Enzian's evaluation measures itself beside commercial systems:
+ * PCIe-attached accelerator cards (Alveo u250/u280, Amazon F1,
+ * VCU118), Intel's coherent HARP-family machines, a Mellanox RNIC
+ * host, and a 2-socket ThunderX-1 server. Each preset reuses the same
+ * substrate models with that platform's parameters, which is the
+ * point of the exercise: one codebase, many machines.
+ */
+
+#ifndef ENZIAN_PLATFORM_PLATFORM_FACTORY_HH
+#define ENZIAN_PLATFORM_PLATFORM_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "accel/gbdt_engine.hh"
+#include "pcie/dma_engine.hh"
+#include "platform/enzian_machine.hh"
+
+namespace enzian::platform {
+
+/** A PCIe accelerator card in a host: the Alveo/F1 baseline. */
+struct PcieAccelSystem
+{
+    std::unique_ptr<EventQueue> eq;
+    std::unique_ptr<mem::MemoryController> host;
+    std::unique_ptr<mem::MemoryController> device;
+    std::unique_ptr<pcie::PcieLink> link;
+    std::unique_ptr<pcie::DmaEngine> dma;
+};
+
+/**
+ * Build a PCIe accelerator system.
+ * @param name one of "alveo-u250", "alveo-u280", "f1", "vcu118"
+ */
+PcieAccelSystem makePcieAccelerator(const std::string &name);
+
+/** Default Enzian configuration (Figure 4 machine). */
+EnzianMachine::Config enzianDefaultConfig();
+
+/**
+ * The 2-socket ThunderX-1 commercial NUMA server of section 5.1:
+ * symmetric CPU silicon on both ends, hardware balancing over both
+ * links (19 GiB/s, ~150 ns).
+ */
+EnzianMachine::Config twoSocketThunderXConfig();
+
+/** GBDT engine configuration for a Figure 9 platform. */
+accel::GbdtEngine::Config gbdtPlatformConfig(const std::string &name,
+                                             std::uint32_t engines);
+
+/** The Figure 9 platform names in paper order. */
+const std::vector<std::string> &gbdtPlatformNames();
+
+} // namespace enzian::platform
+
+#endif // ENZIAN_PLATFORM_PLATFORM_FACTORY_HH

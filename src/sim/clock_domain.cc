@@ -1,0 +1,32 @@
+/**
+ * @file
+ * ClockDomain implementation.
+ */
+
+#include "sim/clock_domain.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace enzian {
+
+ClockDomain::ClockDomain(std::string name, double freq_hz)
+    : name_(std::move(name)), freqHz_(0), period_(0)
+{
+    setFrequencyHz(freq_hz);
+}
+
+void
+ClockDomain::setFrequencyHz(double freq_hz)
+{
+    if (freq_hz <= 0)
+        fatal("clock domain '%s': non-positive frequency", name_.c_str());
+    freqHz_ = freq_hz;
+    const double ps = 1e12 / freq_hz;
+    period_ = static_cast<Tick>(std::llround(ps));
+    if (period_ == 0)
+        period_ = 1;
+}
+
+} // namespace enzian

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Clock domains: convert between cycles in a component's clock and
+ * global ticks. The FPGA fabric runs at a bitstream-dependent clock
+ * (200-300 MHz on Enzian's XCVU9P), the CPU at 2 GHz, links at their
+ * serializer rates.
+ */
+
+#ifndef ENZIAN_SIM_CLOCK_DOMAIN_HH
+#define ENZIAN_SIM_CLOCK_DOMAIN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/units.hh"
+
+namespace enzian {
+
+/** Cycle count within one clock domain. */
+using Cycles = std::uint64_t;
+
+/** A frequency domain with cycle/tick conversion. */
+class ClockDomain
+{
+  public:
+    /**
+     * @param name domain name for diagnostics
+     * @param freq_hz clock frequency in Hz (> 0)
+     */
+    ClockDomain(std::string name, double freq_hz);
+
+    const std::string &name() const { return name_; }
+    double frequencyHz() const { return freqHz_; }
+
+    /** Change the frequency (e.g. loading a different bitstream). */
+    void setFrequencyHz(double freq_hz);
+
+    /** Duration of one cycle in ticks (rounded to nearest ps). */
+    Tick period() const { return period_; }
+
+    /** Ticks for @p n cycles. */
+    Tick cyclesToTicks(Cycles n) const { return n * period_; }
+
+    /** Whole cycles elapsed in @p t ticks (rounded up). */
+    Cycles ticksToCycles(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+  private:
+    std::string name_;
+    double freqHz_;
+    Tick period_;
+};
+
+} // namespace enzian
+
+#endif // ENZIAN_SIM_CLOCK_DOMAIN_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Event queue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include "base/logging.hh"
+
+namespace enzian {
+
+EventQueue::EventQueue() = default;
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, const char *what)
+{
+    ENZIAN_ASSERT(when >= now_,
+                  "scheduling event '%s' in the past (%llu < %llu)",
+                  what ? what : "?",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now_));
+    const EventId id = nextId_++;
+    queue_.push(PendingEvent{when, id, std::move(cb), what});
+    ++scheduled_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleDelta(Tick delay, Callback cb, const char *what)
+{
+    return schedule(now_ + delay, std::move(cb), what);
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    cancelled_.insert(id);
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue_.empty()) {
+        PendingEvent ev = queue_.top();
+        queue_.pop();
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        ENZIAN_ASSERT(ev.when >= now_, "event queue time went backwards");
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().when <= limit) {
+        if (runOne())
+            ++n;
+    }
+    // Advance time to the limit even if nothing was pending there, so
+    // callers can treat runUntil as "simulate this long".
+    if (limit > now_)
+        now_ = limit;
+    return n;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t n = 0;
+    while (runOne())
+        ++n;
+    return n;
+}
+
+bool
+EventQueue::empty() const
+{
+    // Cheap check: pending count may include cancelled events, but
+    // "empty" must be precise for run loops.
+    if (queue_.empty())
+        return true;
+    return queue_.size() == cancelled_.size();
+}
+
+} // namespace enzian

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives one simulated machine. Events are
+ * arbitrary callbacks ordered by (tick, insertion sequence), so
+ * same-tick events execute in schedule order, which keeps the
+ * simulation deterministic.
+ */
+
+#ifndef ENZIAN_SIM_EVENT_QUEUE_HH
+#define ENZIAN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace enzian {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Deterministic discrete-event queue over picosecond Ticks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when (>= now).
+     *
+     * @param what optional static label for diagnostics.
+     * @return id usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb, const char *what = nullptr);
+
+    /** Schedule @p cb at now() + @p delay. */
+    EventId scheduleDelta(Tick delay, Callback cb,
+                          const char *what = nullptr);
+
+    /** Cancel a previously scheduled event (no-op if already run). */
+    void cancel(EventId id);
+
+    /** Execute the next pending event. @return false if none pending. */
+    bool runOne();
+
+    /**
+     * Run all events with when <= @p limit, then advance now() to
+     * @p limit. @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run until the queue drains. @return number executed. */
+    std::uint64_t run();
+
+    /** True when no runnable events remain. */
+    bool empty() const;
+
+    std::uint64_t eventsScheduled() const { return scheduled_; }
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+  private:
+    struct PendingEvent
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+        const char *what;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const PendingEvent &a, const PendingEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later>
+        queue_;
+    std::unordered_set<EventId> cancelled_;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace enzian
+
+#endif // ENZIAN_SIM_EVENT_QUEUE_HH

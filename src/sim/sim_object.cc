@@ -1,0 +1,17 @@
+/**
+ * @file
+ * SimObject implementation.
+ */
+
+#include "sim/sim_object.hh"
+
+namespace enzian {
+
+SimObject::SimObject(std::string name, EventQueue &eq)
+    : name_(std::move(name)), eq_(eq), stats_(name_)
+{
+}
+
+SimObject::~SimObject() = default;
+
+} // namespace enzian

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef ENZIAN_SIM_SIM_OBJECT_HH
+#define ENZIAN_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "base/stats.hh"
+#include "sim/event_queue.hh"
+
+namespace enzian {
+
+/**
+ * A named component bound to an event queue. Subclasses register
+ * statistics in their constructor via stats().
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param name hierarchical dotted name, e.g. "enzian.eci.link0"
+     * @param eq event queue driving this component
+     */
+    SimObject(std::string name, EventQueue &eq);
+    virtual ~SimObject();
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventq() { return eq_; }
+    const EventQueue &eventq() const { return eq_; }
+    Tick now() const { return eq_.now(); }
+
+    /** Mutable stat group for registration by subclasses. */
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    std::string name_;
+    EventQueue &eq_;
+    StatGroup stats_;
+};
+
+} // namespace enzian
+
+#endif // ENZIAN_SIM_SIM_OBJECT_HH

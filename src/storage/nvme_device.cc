@@ -1,0 +1,85 @@
+/**
+ * @file
+ * NVMe device implementation.
+ */
+
+#include "storage/nvme_device.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace enzian::storage {
+
+NvmeDevice::Config
+NvmeDevice::dramEmulated(std::uint64_t capacity)
+{
+    Config cfg;
+    cfg.capacity = capacity;
+    cfg.read_latency_us = 0.4;
+    cfg.write_latency_us = 0.4;
+    cfg.channels = 4;
+    cfg.channel_mbps = 15000.0; // one DDR4 channel class
+    cfg.queue_proc_ns = 250.0;
+    return cfg;
+}
+
+NvmeDevice::NvmeDevice(std::string name, EventQueue &eq,
+                       const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg), media_(cfg.capacity),
+      channelFreeAt_(cfg.channels, 0)
+{
+    if (cfg_.channels == 0 || cfg_.capacity % blockBytes != 0)
+        fatal("NVMe device '%s': bad geometry",
+              SimObject::name().c_str());
+    stats().addCounter("reads", &reads_);
+    stats().addCounter("writes", &writes_);
+}
+
+Tick
+NvmeDevice::schedule(std::uint64_t blocks, bool write)
+{
+    // Queue processing, then the command lands on the next channel;
+    // occupancy covers the media transfer, latency the access itself.
+    const Tick submit = now() + units::ns(cfg_.queue_proc_ns);
+    Tick &ch = channelFreeAt_[nextChannel_];
+    nextChannel_ = (nextChannel_ + 1) % cfg_.channels;
+    const Tick start = std::max(submit, ch);
+    const double bw = cfg_.channel_mbps * 1e6;
+    const Tick stream =
+        units::transferTicks(blocks * blockBytes, bw);
+    const Tick access = units::us(write ? cfg_.write_latency_us
+                                        : cfg_.read_latency_us);
+    ch = start + stream;
+    return start + access + stream;
+}
+
+void
+NvmeDevice::read(std::uint64_t lba, std::uint32_t blocks,
+                 std::uint8_t *dst, Done done)
+{
+    ENZIAN_ASSERT(lba + blocks <= blockCount(), "read past capacity");
+    media_.read(lba * blockBytes, dst,
+                static_cast<std::uint64_t>(blocks) * blockBytes);
+    const Tick ready = schedule(blocks, false);
+    reads_.inc();
+    eventq().schedule(
+        ready, [done = std::move(done), ready]() { done(ready); },
+        "nvme-read");
+}
+
+void
+NvmeDevice::write(std::uint64_t lba, std::uint32_t blocks,
+                  const std::uint8_t *src, Done done)
+{
+    ENZIAN_ASSERT(lba + blocks <= blockCount(), "write past capacity");
+    media_.write(lba * blockBytes, src,
+                 static_cast<std::uint64_t>(blocks) * blockBytes);
+    const Tick durable = schedule(blocks, true);
+    writes_.inc();
+    eventq().schedule(
+        durable, [done = std::move(done), durable]() { done(durable); },
+        "nvme-write");
+}
+
+} // namespace enzian::storage

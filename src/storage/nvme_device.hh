@@ -1,0 +1,96 @@
+/**
+ * @file
+ * NVMe device model.
+ *
+ * Enzian's FPGA has "a single NVMe connector, to complement 3 x NVMe,
+ * 4 x SATA, and a single PCIe x8 slot on the CPU" (paper section 4),
+ * and section 6 proposes using the FPGA as "a smart programmable
+ * storage controller, either with persistent storage connected via
+ * the NVMe connector ... or instead using the large DRAM to emulate
+ * non-volatile memory".
+ *
+ * The model is a queue-pair flash SSD: submission entries specify
+ * block-granular reads/writes; the device executes them with
+ * flash-like latencies (reads much faster than writes, internal
+ * parallelism across channels) against a functional backing store.
+ * A DRAM-emulated device (the paper's alternative) is the same model
+ * with DRAM-class timing.
+ */
+
+#ifndef ENZIAN_STORAGE_NVME_DEVICE_HH
+#define ENZIAN_STORAGE_NVME_DEVICE_HH
+
+#include <functional>
+
+#include "mem/backing_store.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::storage {
+
+/** Logical block size. */
+constexpr std::uint32_t blockBytes = 4096;
+
+/** A queue-pair flash device. */
+class NvmeDevice : public SimObject
+{
+  public:
+    using Done = std::function<void(Tick)>;
+
+    /** Device characteristics. */
+    struct Config
+    {
+        /** Capacity in bytes. */
+        std::uint64_t capacity = 4ull << 30;
+        /** 4K read latency (us). */
+        double read_latency_us = 80.0;
+        /** 4K program latency (us). */
+        double write_latency_us = 500.0;
+        /** Internal channels executing commands in parallel. */
+        std::uint32_t channels = 8;
+        /** Per-channel streaming bandwidth (MB/s). */
+        double channel_mbps = 550.0;
+        /** Command submission/completion processing (ns). */
+        double queue_proc_ns = 900.0;
+    };
+
+    /** DRAM-emulated "NVM" per section 6 (same interface). */
+    static Config dramEmulated(std::uint64_t capacity);
+
+    NvmeDevice(std::string name, EventQueue &eq, const Config &cfg);
+
+    /**
+     * Submit a read of @p blocks blocks starting at @p lba.
+     * @param dst destination buffer (blocks * blockBytes bytes)
+     */
+    void read(std::uint64_t lba, std::uint32_t blocks,
+              std::uint8_t *dst, Done done);
+
+    /** Submit a write. */
+    void write(std::uint64_t lba, std::uint32_t blocks,
+               const std::uint8_t *src, Done done);
+
+    /** Functional access for loaders and checks. */
+    mem::BackingStore &media() { return media_; }
+
+    std::uint64_t blockCount() const
+    {
+        return cfg_.capacity / blockBytes;
+    }
+
+    std::uint64_t readsCompleted() const { return reads_.value(); }
+    std::uint64_t writesCompleted() const { return writes_.value(); }
+
+  private:
+    Tick schedule(std::uint64_t blocks, bool write);
+
+    Config cfg_;
+    mem::BackingStore media_;
+    std::vector<Tick> channelFreeAt_;
+    std::uint32_t nextChannel_ = 0;
+    Counter reads_;
+    Counter writes_;
+};
+
+} // namespace enzian::storage
+
+#endif // ENZIAN_STORAGE_NVME_DEVICE_HH

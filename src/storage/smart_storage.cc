@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Smart storage controller implementation.
+ */
+
+#include "storage/smart_storage.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace enzian::storage {
+
+SmartStorageController::SmartStorageController(
+    std::string name, EventQueue &eq, NvmeDevice &device,
+    mem::MemoryController &fpga_mem, const Config &cfg)
+    : SimObject(std::move(name), eq), device_(device), mem_(fpga_mem),
+      cfg_(cfg)
+{
+    if (cfg_.cache_blocks == 0)
+        fatal("storage controller '%s': zero cache",
+              SimObject::name().c_str());
+    for (std::uint64_t i = 0; i < cfg_.cache_blocks; ++i)
+        freeSlots_.push_back(cfg_.cache_base + i * blockBytes);
+    stats().addCounter("cache_hits", &hits_);
+    stats().addCounter("cache_misses", &misses_);
+}
+
+bool
+SmartStorageController::cacheLookup(std::uint64_t lba, Addr &slot)
+{
+    auto it = cached_.find(lba);
+    if (it == cached_.end())
+        return false;
+    lru_.erase(it->second.lruPos);
+    lru_.push_front(lba);
+    it->second.lruPos = lru_.begin();
+    slot = it->second.slot;
+    return true;
+}
+
+Addr
+SmartStorageController::cacheInsert(std::uint64_t lba)
+{
+    Addr slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        // Evict the LRU block (clean: the cache is write-through).
+        const std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        auto vit = cached_.find(victim);
+        slot = vit->second.slot;
+        cached_.erase(vit);
+    }
+    lru_.push_front(lba);
+    cached_[lba] = CacheEntry{lru_.begin(), slot};
+    return slot;
+}
+
+void
+SmartStorageController::readBlock(std::uint64_t lba, std::uint8_t *dst,
+                                  Done done)
+{
+    Addr slot = 0;
+    if (cacheLookup(lba, slot)) {
+        hits_.inc();
+        const Tick ready = mem_.read(now(), slot, dst, blockBytes).done;
+        eventq().schedule(
+            ready, [done = std::move(done), ready]() { done(ready); },
+            "storage-hit");
+        return;
+    }
+    misses_.inc();
+    const Addr fill_slot = cacheInsert(lba);
+    device_.read(lba, 1, dst,
+                 [this, lba, fill_slot, dst,
+                  done = std::move(done)](Tick flash_done) {
+                     // Fill the DRAM cache with the block.
+                     std::uint8_t block[blockBytes];
+                     device_.media().read(lba * blockBytes, block,
+                                          blockBytes);
+                     const Tick ready =
+                         mem_.write(flash_done, fill_slot, block,
+                                    blockBytes)
+                             .done;
+                     (void)dst;
+                     eventq().schedule(
+                         ready,
+                         [done = std::move(done), ready]() {
+                             done(ready);
+                         },
+                         "storage-fill");
+                 });
+}
+
+void
+SmartStorageController::writeBlock(std::uint64_t lba,
+                                   const std::uint8_t *src, Done done)
+{
+    Addr slot = 0;
+    if (cacheLookup(lba, slot))
+        mem_.store().write(slot, src, blockBytes);
+    device_.write(lba, 1, src, std::move(done));
+}
+
+void
+SmartStorageController::scan(std::uint64_t lba, std::uint64_t blocks,
+                             std::uint32_t record_bytes,
+                             std::uint32_t key_offset,
+                             std::uint64_t key,
+                             std::uint64_t max_results, ScanDone done)
+{
+    ENZIAN_ASSERT(record_bytes >= 8 && key_offset + 8 <= record_bytes,
+                  "bad scan record layout");
+    ENZIAN_ASSERT(blockBytes % record_bytes == 0,
+                  "records must pack into blocks");
+    // Stream blocks from flash into the fabric filter; the result is
+    // ready when the slower of the flash stream and the scan engine
+    // finishes. Hot blocks come from the DRAM cache instead.
+    const std::uint64_t bytes = blocks * blockBytes;
+    std::vector<std::uint8_t> data(bytes);
+
+    std::uint64_t flash_blocks = 0;
+    Tick media_done = now();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        Addr slot = 0;
+        if (cacheLookup(lba + b, slot)) {
+            hits_.inc();
+            media_done = std::max(
+                media_done,
+                mem_.read(now(), slot, data.data() + b * blockBytes,
+                          blockBytes)
+                    .done);
+        } else {
+            misses_.inc();
+            ++flash_blocks;
+            device_.media().read((lba + b) * blockBytes,
+                                 data.data() + b * blockBytes,
+                                 blockBytes);
+        }
+    }
+    // Timed flash streaming for the uncached portion, issued as one
+    // large command per simplification.
+    auto result = std::make_shared<ScanResult>();
+    auto finish = [this, result, done = std::move(done)](Tick t) {
+        eventq().schedule(
+            t, [done, result, t]() { done(t, std::move(*result)); },
+            "storage-scan-done");
+    };
+
+    // Functional filter.
+    const std::uint64_t records = bytes / record_bytes;
+    for (std::uint64_t r = 0; r < records; ++r) {
+        const std::uint8_t *rec = data.data() + r * record_bytes;
+        std::uint64_t k = 0;
+        std::memcpy(&k, rec + key_offset, 8);
+        ++result->records_scanned;
+        if (k == key) {
+            ++result->matches;
+            if (result->matches <= max_results)
+                result->rows.insert(result->rows.end(), rec,
+                                    rec + record_bytes);
+        }
+    }
+    result->bytes_to_host = result->rows.size() + 64;
+
+    const double scan_s =
+        static_cast<double>(bytes) /
+        (cfg_.scan_bytes_per_cycle * cfg_.clock_hz);
+    const Tick engine_done = now() + units::sec(scan_s);
+    if (flash_blocks > 0) {
+        device_.read(lba, static_cast<std::uint32_t>(flash_blocks),
+                     data.data(),
+                     [media_done, engine_done,
+                      finish](Tick flash_done) {
+                         finish(std::max(
+                             {flash_done, media_done, engine_done}));
+                     });
+    } else {
+        finish(std::max(media_done, engine_done));
+    }
+}
+
+} // namespace enzian::storage

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace decoder implementation.
+ */
+
+#include "trace/decoder.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::trace {
+
+std::string
+decodeLine(const TraceRecord &rec)
+{
+    const eci::EciMsg &m = rec.msg;
+    std::string line = format(
+        "%12.3f us  vc%u %-5s %s->%s tid=%-6u addr=%012llx",
+        units::toMicros(rec.when), static_cast<unsigned>(m.vc()),
+        eci::toString(m.op), mem::toString(m.src), mem::toString(m.dst),
+        m.tid, static_cast<unsigned long long>(m.addr));
+    if (m.op == eci::Opcode::PEMD) {
+        const char *g = m.grant == eci::Grant::Exclusive ? "E"
+                        : m.grant == eci::Grant::Owned   ? "O"
+                                                         : "S";
+        line += format(" grant=%s", g);
+    }
+    if (m.op == eci::Opcode::IOBLD || m.op == eci::Opcode::IOBST ||
+        m.op == eci::Opcode::IOBACK) {
+        line += format(" len=%u data=%llx", m.ioLen,
+                       static_cast<unsigned long long>(m.ioData));
+    }
+    if (m.op == eci::Opcode::IPI)
+        line += format(" vector=%u", m.ioLen);
+    return line;
+}
+
+void
+dumpText(const EciTrace &trace, std::ostream &os)
+{
+    for (const auto &rec : trace.records())
+        os << decodeLine(rec) << '\n';
+}
+
+TraceSummary
+summarize(const EciTrace &trace)
+{
+    TraceSummary s;
+    bool first = true;
+    for (const auto &rec : trace.records()) {
+        ++s.messages;
+        s.bytes += rec.msg.wireBytes();
+        ++s.byOpcode[eci::toString(rec.msg.op)];
+        ++s.byVc[static_cast<std::uint8_t>(rec.msg.vc())];
+        if (first) {
+            s.firstTick = rec.when;
+            first = false;
+        }
+        s.lastTick = rec.when;
+    }
+    return s;
+}
+
+void
+dumpSummary(const TraceSummary &s, std::ostream &os)
+{
+    os << "messages: " << s.messages << "\nbytes: " << s.bytes
+       << "\nspan_us: "
+       << units::toMicros(s.lastTick - s.firstTick) << '\n';
+    for (const auto &[op, n] : s.byOpcode)
+        os << "  " << op << ": " << n << '\n';
+}
+
+} // namespace enzian::trace

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace decoder: the Wireshark-dissector equivalent.
+ *
+ * Renders captured ECI traces as human-readable text and computes
+ * per-VC / per-opcode summaries - the analysis side of the paper's
+ * trace tooling [43].
+ */
+
+#ifndef ENZIAN_TRACE_DECODER_HH
+#define ENZIAN_TRACE_DECODER_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "trace/eci_pcap.hh"
+
+namespace enzian::trace {
+
+/** Aggregate statistics over a trace. */
+struct TraceSummary
+{
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::map<std::string, std::uint64_t> byOpcode;
+    std::map<std::uint8_t, std::uint64_t> byVc;
+    Tick firstTick = 0;
+    Tick lastTick = 0;
+};
+
+/** Decode one record to a display line. */
+std::string decodeLine(const TraceRecord &rec);
+
+/** Write the whole trace, one line per message. */
+void dumpText(const EciTrace &trace, std::ostream &os);
+
+/** Summarize a trace. */
+TraceSummary summarize(const EciTrace &trace);
+
+/** Write a summary table. */
+void dumpSummary(const TraceSummary &s, std::ostream &os);
+
+} // namespace enzian::trace
+
+#endif // ENZIAN_TRACE_DECODER_HH

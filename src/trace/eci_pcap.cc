@@ -1,0 +1,134 @@
+/**
+ * @file
+ * ECI trace capture implementation.
+ */
+
+#include "trace/eci_pcap.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace enzian::trace {
+
+namespace {
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+EciTrace::record(Tick when, const eci::EciMsg &msg)
+{
+    records_.push_back(TraceRecord{when, msg});
+}
+
+void
+EciTrace::attach(eci::EciFabric &fabric)
+{
+    fabric.setTap([this](Tick when, const eci::EciMsg &msg) {
+        record(when, msg);
+    });
+}
+
+std::vector<std::uint8_t>
+EciTrace::toBytes() const
+{
+    std::vector<std::uint8_t> out;
+    put32(out, traceMagic);
+    put32(out, traceVersion);
+    for (const auto &r : records_) {
+        put64(out, r.when);
+        const auto body = eci::serialize(r.msg);
+        put32(out, static_cast<std::uint32_t>(body.size()));
+        out.insert(out.end(), body.begin(), body.end());
+    }
+    return out;
+}
+
+bool
+EciTrace::fromBytes(const std::vector<std::uint8_t> &bytes)
+{
+    records_.clear();
+    if (bytes.size() < 8 || get32(bytes.data()) != traceMagic ||
+        get32(bytes.data() + 4) != traceVersion)
+        return false;
+    std::size_t off = 8;
+    while (off + 12 <= bytes.size()) {
+        const Tick when = get64(bytes.data() + off);
+        const std::uint32_t len = get32(bytes.data() + off + 8);
+        off += 12;
+        if (off + len > bytes.size())
+            return false;
+        std::size_t consumed = 0;
+        auto msg = eci::deserialize(bytes.data() + off, len, consumed);
+        if (!msg || consumed != len)
+            return false;
+        records_.push_back(TraceRecord{when, *msg});
+        off += len;
+    }
+    return off == bytes.size();
+}
+
+void
+EciTrace::save(const std::string &path) const
+{
+    const auto bytes = toBytes();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (n != bytes.size())
+        fatal("short write to '%s'", path.c_str());
+}
+
+void
+EciTrace::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '%s' for reading", path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    const std::size_t n = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (n != bytes.size())
+        fatal("short read from '%s'", path.c_str());
+    if (!fromBytes(bytes))
+        fatal("'%s' is not a valid ECI trace", path.c_str());
+}
+
+} // namespace enzian::trace

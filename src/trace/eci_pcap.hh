@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ECI trace capture.
+ *
+ * The paper's group "took protocol traces of a 2-socket CPU system
+ * booting for reference, and wrote a Wireshark plugin to decode the
+ * coherence protocol's upper layers"; their serialization format
+ * doubles as an interoperability standard between tools (section
+ * 4.1, [43]). EciTrace captures timestamped messages from a link tap
+ * into that format:
+ *
+ *   file  := header record*
+ *   header:= magic u32 "ECIT" | version u32
+ *   record:= tick u64 | length u32 | serialized EciMsg bytes
+ *
+ * All fields little-endian.
+ */
+
+#ifndef ENZIAN_TRACE_ECI_PCAP_HH
+#define ENZIAN_TRACE_ECI_PCAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eci/eci_link.hh"
+#include "eci/eci_serialize.hh"
+
+namespace enzian::trace {
+
+/** Trace file magic ("ECIT") and version. */
+constexpr std::uint32_t traceMagic = 0x45434954;
+constexpr std::uint32_t traceVersion = 1;
+
+/** One captured record. */
+struct TraceRecord
+{
+    Tick when = 0;
+    eci::EciMsg msg;
+};
+
+/** In-memory trace with (de)serialization to the capture format. */
+class EciTrace
+{
+  public:
+    /** Append a record. */
+    void record(Tick when, const eci::EciMsg &msg);
+
+    /** Install this trace as the tap of @p fabric. */
+    void attach(eci::EciFabric &fabric);
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    void clear() { records_.clear(); }
+
+    /** Serialize the whole trace to the capture format. */
+    std::vector<std::uint8_t> toBytes() const;
+
+    /**
+     * Parse a capture buffer.
+     * @return false if the buffer is malformed (partial parses keep
+     *         the records decoded so far).
+     */
+    bool fromBytes(const std::vector<std::uint8_t> &bytes);
+
+    /** Write the capture to @p path; fatal() on I/O errors. */
+    void save(const std::string &path) const;
+
+    /** Load a capture from @p path; fatal() on I/O errors. */
+    void load(const std::string &path);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace enzian::trace
+
+#endif // ENZIAN_TRACE_ECI_PCAP_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Runtime verification engine implementation.
+ */
+
+#include "trace/rtv.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace enzian::trace {
+
+AlwaysMonitor::AlwaysMonitor(std::string name, RtvPred p)
+    : RtvMonitor(std::move(name)), pred_(std::move(p))
+{
+}
+
+void
+AlwaysMonitor::step(const RtvEvent &ev)
+{
+    if (!pred_(ev))
+        fail(ev.when, format("event id=%u arg=%llx violates invariant",
+                             ev.id,
+                             static_cast<unsigned long long>(ev.arg)));
+}
+
+NeverMonitor::NeverMonitor(std::string name, RtvPred p)
+    : RtvMonitor(std::move(name)), pred_(std::move(p))
+{
+}
+
+void
+NeverMonitor::step(const RtvEvent &ev)
+{
+    if (pred_(ev))
+        fail(ev.when, format("forbidden event id=%u occurred", ev.id));
+}
+
+PrecedesMonitor::PrecedesMonitor(std::string name, RtvPred a, RtvPred b)
+    : RtvMonitor(std::move(name)), a_(std::move(a)), b_(std::move(b))
+{
+}
+
+void
+PrecedesMonitor::step(const RtvEvent &ev)
+{
+    if (a_(ev))
+        seenA_ = true;
+    if (b_(ev) && !seenA_)
+        fail(ev.when,
+             format("event id=%u before its prerequisite", ev.id));
+}
+
+ResponseWithinMonitor::ResponseWithinMonitor(std::string name,
+                                             RtvPred trigger,
+                                             RtvPred response,
+                                             Tick deadline)
+    : RtvMonitor(std::move(name)), trigger_(std::move(trigger)),
+      response_(std::move(response)), deadline_(deadline)
+{
+}
+
+void
+ResponseWithinMonitor::expire(Tick now)
+{
+    while (!outstanding_.empty() &&
+           outstanding_.front() + deadline_ < now) {
+        fail(outstanding_.front() + deadline_,
+             "trigger not answered within its deadline");
+        outstanding_.pop_front();
+    }
+}
+
+void
+ResponseWithinMonitor::step(const RtvEvent &ev)
+{
+    expire(ev.when);
+    if (response_(ev) && !outstanding_.empty())
+        outstanding_.pop_front(); // oldest obligation satisfied
+    if (trigger_(ev))
+        outstanding_.push_back(ev.when);
+}
+
+void
+ResponseWithinMonitor::finish(Tick end)
+{
+    expire(end + deadline_ + 1);
+    for (Tick t : outstanding_)
+        fail(t, "trigger still unanswered at end of stream");
+    outstanding_.clear();
+}
+
+RtvEngine::RtvEngine(std::string name, EventQueue &eq, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    if (cfg_.clock_hz <= 0 || cfg_.events_per_cycle <= 0)
+        fatal("RTV engine '%s': bad configuration",
+              SimObject::name().c_str());
+    retireInterval_ = static_cast<Tick>(std::llround(
+        1e12 / (cfg_.clock_hz * cfg_.events_per_cycle)));
+    stats().addCounter("events", &processed_);
+    stats().addCounter("dropped", &dropped_);
+}
+
+RtvMonitor &
+RtvEngine::addMonitor(std::unique_ptr<RtvMonitor> m)
+{
+    monitors_.push_back(std::move(m));
+    return *monitors_.back();
+}
+
+void
+RtvEngine::feed(const RtvEvent &ev)
+{
+    // Throughput model: the pipeline retires one event per interval;
+    // a burst deeper than the input FIFO would drop events on real
+    // hardware - report it rather than silently keeping up.
+    const Tick start = std::max(ev.when, pipeFreeAt_);
+    const Tick backlog =
+        pipeFreeAt_ > ev.when ? pipeFreeAt_ - ev.when : 0;
+    if (backlog / retireInterval_ > cfg_.fifo_depth) {
+        dropped_.inc();
+        return;
+    }
+    pipeFreeAt_ = start + retireInterval_;
+    processed_.inc();
+    for (auto &m : monitors_)
+        m->step(ev);
+}
+
+void
+RtvEngine::finish()
+{
+    for (auto &m : monitors_)
+        m->finish(now());
+}
+
+std::vector<std::string>
+RtvEngine::violations() const
+{
+    std::vector<std::string> out;
+    for (const auto &m : monitors_)
+        out.insert(out.end(), m->violations().begin(),
+                   m->violations().end());
+    return out;
+}
+
+bool
+RtvEngine::clean() const
+{
+    for (const auto &m : monitors_)
+        if (!m->clean())
+            return false;
+    return true;
+}
+
+void
+RtvEngine::attachEciTap(eci::EciFabric &fabric)
+{
+    fabric.setTap([this](Tick when, const eci::EciMsg &msg) {
+        RtvEvent ev;
+        ev.when = when;
+        ev.id = static_cast<std::uint32_t>(msg.op);
+        ev.arg = msg.addr;
+        feed(ev);
+    });
+}
+
+} // namespace enzian::trace

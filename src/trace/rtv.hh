@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Hardware runtime verification (paper section 6).
+ *
+ * "...we perform runtime verification of a combined hardware/software
+ * system at scale with zero overhead, by using the FPGA to process
+ * events from the program trace units on the ThunderX-1 cores, and
+ * compiling temporal logic assertions about the behavior of the
+ * hardware, OS, and application software into reconfigurable logic."
+ *
+ * RtvEngine consumes a stream of (tick, event-id, argument) records -
+ * from the CPU's trace units, from an ECI link tap, or from any other
+ * instrumented component - and evaluates a set of compiled temporal
+ * monitors online:
+ *
+ *   Always(p)               every event satisfies p
+ *   Never(p)                no event satisfies p
+ *   Precedes(a, b)          no b before the first a
+ *   ResponseWithin(a, b, d) every a is followed by a b within d ticks
+ *
+ * Monitors are pure state machines (exactly what synthesizes to
+ * logic); the engine also models its fabric throughput so the
+ * "zero overhead" claim is checkable: verification keeps up as long
+ * as the event rate stays below the fabric's events-per-cycle
+ * capacity, and the engine reports when it would have dropped events.
+ */
+
+#ifndef ENZIAN_TRACE_RTV_HH
+#define ENZIAN_TRACE_RTV_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "eci/eci_link.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::trace {
+
+/** One trace event fed to the engine. */
+struct RtvEvent
+{
+    Tick when = 0;
+    std::uint32_t id = 0;
+    std::uint64_t arg = 0;
+};
+
+/** Predicate over events (compiled comparator in the fabric). */
+using RtvPred = std::function<bool(const RtvEvent &)>;
+
+/** A compiled temporal monitor. */
+class RtvMonitor
+{
+  public:
+    explicit RtvMonitor(std::string name) : name_(std::move(name)) {}
+    virtual ~RtvMonitor() = default;
+
+    /** Process one event; record violations internally. */
+    virtual void step(const RtvEvent &ev) = 0;
+
+    /** End-of-stream check (liveness-style obligations). */
+    virtual void finish(Tick /* end */) {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+    bool clean() const { return violations_.empty(); }
+
+  protected:
+    void
+    fail(Tick when, const std::string &why)
+    {
+        violations_.push_back(
+            format("[%s @ %.3f us] %s", name_.c_str(),
+                   units::toMicros(when), why.c_str()));
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::string> violations_;
+};
+
+/** Always(p): every event satisfies p. */
+class AlwaysMonitor : public RtvMonitor
+{
+  public:
+    AlwaysMonitor(std::string name, RtvPred p);
+    void step(const RtvEvent &ev) override;
+
+  private:
+    RtvPred pred_;
+};
+
+/** Never(p): no event satisfies p. */
+class NeverMonitor : public RtvMonitor
+{
+  public:
+    NeverMonitor(std::string name, RtvPred p);
+    void step(const RtvEvent &ev) override;
+
+  private:
+    RtvPred pred_;
+};
+
+/** Precedes(a, b): no b-event before the first a-event. */
+class PrecedesMonitor : public RtvMonitor
+{
+  public:
+    PrecedesMonitor(std::string name, RtvPred a, RtvPred b);
+    void step(const RtvEvent &ev) override;
+
+  private:
+    RtvPred a_;
+    RtvPred b_;
+    bool seenA_ = false;
+};
+
+/** ResponseWithin(a, b, d): every a followed by b within d ticks. */
+class ResponseWithinMonitor : public RtvMonitor
+{
+  public:
+    ResponseWithinMonitor(std::string name, RtvPred trigger,
+                          RtvPred response, Tick deadline);
+    void step(const RtvEvent &ev) override;
+    void finish(Tick end) override;
+
+  private:
+    void expire(Tick now);
+
+    RtvPred trigger_;
+    RtvPred response_;
+    Tick deadline_;
+    std::deque<Tick> outstanding_; // trigger ticks awaiting response
+};
+
+/** The fabric verification engine. */
+class RtvEngine : public SimObject
+{
+  public:
+    /** Engine configuration. */
+    struct Config
+    {
+        /** Fabric clock (Hz). */
+        double clock_hz = 250e6;
+        /** Events the compiled pipeline retires per cycle. */
+        double events_per_cycle = 1.0;
+        /** Input FIFO depth before events would be dropped. */
+        std::uint64_t fifo_depth = 4096;
+    };
+
+    RtvEngine(std::string name, EventQueue &eq, const Config &cfg);
+
+    /** Install a monitor; the engine owns it. */
+    RtvMonitor &addMonitor(std::unique_ptr<RtvMonitor> m);
+
+    /** Feed one event (functionally exact, throughput-modelled). */
+    void feed(const RtvEvent &ev);
+
+    /** Run end-of-stream obligations. */
+    void finish();
+
+    /** Collected violations across all monitors. */
+    std::vector<std::string> violations() const;
+    bool clean() const;
+
+    /** Events that arrived faster than the pipeline could retire. */
+    std::uint64_t eventsDropped() const { return dropped_.value(); }
+    std::uint64_t eventsProcessed() const { return processed_.value(); }
+
+    /**
+     * Tap an ECI fabric: every protocol message becomes an event with
+     * id = opcode and arg = line address - the "detailed cache
+     * tracing" instrument of paper section 3.
+     */
+    void attachEciTap(eci::EciFabric &fabric);
+
+  private:
+    Config cfg_;
+    std::vector<std::unique_ptr<RtvMonitor>> monitors_;
+    Tick pipeFreeAt_ = 0;
+    Tick retireInterval_;
+    Counter processed_;
+    Counter dropped_;
+};
+
+} // namespace enzian::trace
+
+#endif // ENZIAN_TRACE_RTV_HH

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the vision pipeline: functional correctness of the
+ * RGB2Y/quantize/blur stages, bit-exactness of the FPGA
+ * data-reduction pipeline against the software reference, and the
+ * Figure 11 kernel calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "accel/frame.hh"
+#include "accel/rgb2y_pipeline.hh"
+#include "accel/vision_pipeline.hh"
+#include "platform/enzian_machine.hh"
+#include "platform/platform_factory.hh"
+
+namespace enzian::accel {
+namespace {
+
+TEST(Frame, DeterministicGeneration)
+{
+    Frame a = makeFrame(1, 0, 64, 32);
+    Frame b = makeFrame(1, 0, 64, 32);
+    EXPECT_EQ(a.rgba, b.rgba);
+    Frame c = makeFrame(2, 0, 64, 32);
+    EXPECT_NE(a.rgba, c.rgba);
+}
+
+TEST(Frame, GeometryAndPreload)
+{
+    Frame f = makeFrame(1, 3, 128, 16);
+    EXPECT_EQ(f.pixels(), 128u * 16u);
+    EXPECT_EQ(f.bytes(), 128u * 16u * 4u);
+    mem::BackingStore store(1 << 20);
+    preloadFrame(store, 0x100, f);
+    std::vector<std::uint8_t> back(f.bytes());
+    store.read(0x100, back.data(), back.size());
+    EXPECT_EQ(back, f.rgba);
+}
+
+TEST(Rgb2y, KnownValues)
+{
+    // Pure white -> 255; pure black -> 0; BT.601 weights.
+    const std::uint8_t rgba[12] = {255, 255, 255, 0, 0, 0,
+                                   0,   0,   255, 0, 0, 0};
+    std::uint8_t y[3];
+    rgb2yReference(rgba, 3, y);
+    EXPECT_EQ(y[0], 255);
+    EXPECT_EQ(y[1], 0);
+    EXPECT_EQ(y[2], 76); // pure red: (77*255) >> 8
+}
+
+TEST(Rgb2y, GreenWeighsMost)
+{
+    const std::uint8_t r[4] = {200, 0, 0, 0};
+    const std::uint8_t g[4] = {0, 200, 0, 0};
+    const std::uint8_t b[4] = {0, 0, 200, 0};
+    std::uint8_t yr, yg, yb;
+    rgb2yReference(r, 1, &yr);
+    rgb2yReference(g, 1, &yg);
+    rgb2yReference(b, 1, &yb);
+    EXPECT_GT(yg, yr);
+    EXPECT_GT(yr, yb);
+}
+
+TEST(Quantize4, PackUnpackRoundTrip)
+{
+    std::uint8_t y[8] = {0x00, 0x10, 0x20, 0x30, 0xff, 0xef, 0x7f, 0x80};
+    std::uint8_t packed[4];
+    quantize4Reference(y, 8, packed);
+    std::uint8_t back[8];
+    unpack4(packed, 8, back);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(back[i], y[i] & 0xf0); // top nibble preserved
+}
+
+TEST(Quantize4, OddPixelCount)
+{
+    std::uint8_t y[3] = {0xab, 0xcd, 0xef};
+    std::uint8_t packed[2] = {0, 0};
+    quantize4Reference(y, 3, packed);
+    EXPECT_EQ(packed[0], 0xac);
+    EXPECT_EQ(packed[1], 0xe0);
+}
+
+TEST(Blur, UniformImageIsFixedPoint)
+{
+    std::vector<std::uint8_t> y(64 * 64, 160);
+    std::vector<std::uint8_t> out(y.size());
+    gaussianBlur3x3(y.data(), 64, 64, out.data());
+    for (auto v : out)
+        EXPECT_EQ(v, 160);
+}
+
+TEST(Blur, SmoothsAnImpulse)
+{
+    std::vector<std::uint8_t> y(9 * 9, 0);
+    y[4 * 9 + 4] = 160;
+    std::vector<std::uint8_t> out(y.size());
+    gaussianBlur3x3(y.data(), 9, 9, out.data());
+    EXPECT_EQ(out[4 * 9 + 4], 40);     // 160*4/16
+    EXPECT_EQ(out[4 * 9 + 5], 20);     // 160*2/16
+    EXPECT_EQ(out[3 * 9 + 3], 10);     // 160*1/16
+    EXPECT_EQ(out[0], 0);
+}
+
+TEST(Sobel, FlatFieldHasNoEdges)
+{
+    std::vector<std::uint8_t> y(32 * 32, 100);
+    std::vector<std::uint8_t> out(y.size());
+    sobelEdge(y.data(), 32, 32, out.data());
+    for (auto v : out)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Sobel, VerticalEdgeDetected)
+{
+    std::vector<std::uint8_t> y(8 * 8, 0);
+    for (int r = 0; r < 8; ++r)
+        for (int c = 4; c < 8; ++c)
+            y[r * 8 + c] = 200;
+    std::vector<std::uint8_t> out(y.size());
+    sobelEdge(y.data(), 8, 8, out.data());
+    EXPECT_GT(out[2 * 8 + 4], 100);
+    EXPECT_EQ(out[2 * 8 + 1], 0);
+}
+
+TEST(Fig11Kernels, ReproduceTable1AndThroughputGains)
+{
+    EventQueue eq;
+    cpu::Core core("c", eq);
+    const auto none = core.run(fig11Kernel(Reduction::None), 1 << 20);
+    const auto y8 = core.run(fig11Kernel(Reduction::Y8), 1 << 20);
+    const auto y4 = core.run(fig11Kernel(Reduction::Y4), 1 << 20);
+
+    // Baseline: ~33 Mpx/s/core (paper section 5.4).
+    EXPECT_NEAR(none.itemRate / 1e6, 33.0, 1.5);
+    // Gains: +39% (8bpp), +33% (4bpp).
+    EXPECT_NEAR(y8.itemRate / none.itemRate, 1.39, 0.05);
+    EXPECT_NEAR(y4.itemRate / none.itemRate, 1.33, 0.05);
+    // Table 1 row 1: memory stalls per cycle.
+    EXPECT_NEAR(none.pmu.memStallsPerCycle(), 0.025, 0.004);
+    EXPECT_NEAR(y8.pmu.memStallsPerCycle(), 0.005, 0.002);
+    EXPECT_NEAR(y4.pmu.memStallsPerCycle(), 0.005, 0.002);
+    // Table 1 row 2: cycles per L1 refill (paper 1.84k/5.16k/10.5k;
+    // shape: each variant several times the previous).
+    EXPECT_NEAR(none.pmu.cyclesPerL1Refill(), 1840, 250);
+    EXPECT_NEAR(y8.pmu.cyclesPerL1Refill(), 5160, 700);
+    EXPECT_NEAR(y4.pmu.cyclesPerL1Refill(), 10500, 1700);
+}
+
+TEST(Rgb2yLineSource, BitExactAgainstSoftwareReference)
+{
+    platform::EnzianMachine::Config cfg =
+        platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 64ull << 20;
+    cfg.fpga_dram_bytes = 64ull << 20;
+    platform::EnzianMachine m(cfg);
+
+    // Small frame preloaded in FPGA DRAM.
+    Frame frame = makeFrame(9, 0, 256, 8);
+    const Addr in_base = mem::AddressMap::fpgaDramBase;
+    preloadFrame(m.fpgaMem().store(), 0, frame);
+
+    Rgb2yLineSource::Config pcfg;
+    pcfg.reduction = Reduction::Y8;
+    pcfg.input_base = in_base;
+    pcfg.view_base = in_base + (16ull << 20);
+    pcfg.view_size = frame.pixels();
+    Rgb2yLineSource src(m.fpgaMem(), m.map(), m.fpga().clock(), pcfg);
+    m.fpgaHome().setLineSource(&src);
+
+    // CPU reads the whole luminance view coherently over ECI.
+    std::vector<std::uint8_t> view(frame.pixels());
+    std::uint32_t done = 0;
+    const std::uint64_t lines = frame.pixels() / cache::lineSize;
+    for (std::uint64_t l = 0; l < lines; ++l) {
+        m.cpuRemote().readLine(pcfg.view_base + l * cache::lineSize,
+                               view.data() + l * cache::lineSize,
+                               [&](Tick) { ++done; });
+    }
+    m.eventq().run();
+    ASSERT_EQ(done, lines);
+
+    std::vector<std::uint8_t> expect(frame.pixels());
+    rgb2yReference(frame.rgba.data(), frame.pixels(), expect.data());
+    EXPECT_EQ(view, expect);
+    EXPECT_EQ(src.linesTransformed(), lines);
+}
+
+TEST(Rgb2yLineSource, Y4PacksTwoPixelsPerByte)
+{
+    platform::EnzianMachine::Config cfg =
+        platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 64ull << 20;
+    cfg.fpga_dram_bytes = 64ull << 20;
+    platform::EnzianMachine m(cfg);
+
+    Frame frame = makeFrame(10, 0, 256, 4);
+    preloadFrame(m.fpgaMem().store(), 0, frame);
+
+    Rgb2yLineSource::Config pcfg;
+    pcfg.reduction = Reduction::Y4;
+    pcfg.input_base = mem::AddressMap::fpgaDramBase;
+    pcfg.view_base = mem::AddressMap::fpgaDramBase + (16ull << 20);
+    pcfg.view_size = frame.pixels() / 2;
+    Rgb2yLineSource src(m.fpgaMem(), m.map(), m.fpga().clock(), pcfg);
+    m.fpgaHome().setLineSource(&src);
+
+    std::vector<std::uint8_t> packed(frame.pixels() / 2);
+    std::uint32_t done = 0;
+    const std::uint64_t lines = packed.size() / cache::lineSize;
+    for (std::uint64_t l = 0; l < lines; ++l) {
+        m.cpuRemote().readLine(pcfg.view_base + l * cache::lineSize,
+                               packed.data() + l * cache::lineSize,
+                               [&](Tick) { ++done; });
+    }
+    m.eventq().run();
+    ASSERT_EQ(done, lines);
+
+    std::vector<std::uint8_t> y(frame.pixels());
+    rgb2yReference(frame.rgba.data(), frame.pixels(), y.data());
+    std::vector<std::uint8_t> expect(frame.pixels() / 2);
+    quantize4Reference(y.data(), frame.pixels(), expect.data());
+    EXPECT_EQ(packed, expect);
+}
+
+TEST(Rgb2yLineSource, PassthroughOutsideView)
+{
+    platform::EnzianMachine::Config cfg =
+        platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 64ull << 20;
+    cfg.fpga_dram_bytes = 64ull << 20;
+    platform::EnzianMachine m(cfg);
+
+    Rgb2yLineSource::Config pcfg;
+    pcfg.reduction = Reduction::Y8;
+    pcfg.input_base = mem::AddressMap::fpgaDramBase;
+    pcfg.view_base = mem::AddressMap::fpgaDramBase + (16ull << 20);
+    pcfg.view_size = 4096;
+    Rgb2yLineSource src(m.fpgaMem(), m.map(), m.fpga().clock(), pcfg);
+    m.fpgaHome().setLineSource(&src);
+
+    // Ordinary lines still read/write normally through the source.
+    std::vector<std::uint8_t> data(cache::lineSize, 0x5a);
+    bool wrote = false;
+    m.cpuRemote().writeLineUncached(mem::AddressMap::fpgaDramBase,
+                                    data.data(),
+                                    [&](Tick) { wrote = true; });
+    m.eventq().run();
+    ASSERT_TRUE(wrote);
+    std::uint8_t back[cache::lineSize];
+    m.fpgaMem().store().read(0, back, cache::lineSize);
+    EXPECT_EQ(std::memcmp(back, data.data(), cache::lineSize), 0);
+    EXPECT_EQ(src.linesTransformed(), 0u);
+}
+
+TEST(SoftwarePipeline, EndToEndRuns)
+{
+    Frame f = makeFrame(3, 1, 64, 48);
+    auto blurred = softwarePipeline(f);
+    EXPECT_EQ(blurred.size(), f.pixels());
+    // Output should have real variation (not all-zero / constant).
+    const auto [mn, mx] =
+        std::minmax_element(blurred.begin(), blurred.end());
+    EXPECT_NE(*mn, *mx);
+}
+
+TEST(InterconnectBytes, MatchVariants)
+{
+    EXPECT_DOUBLE_EQ(interconnectBytesPerPixel(Reduction::None), 4.0);
+    EXPECT_DOUBLE_EQ(interconnectBytesPerPixel(Reduction::Y8), 1.0);
+    EXPECT_DOUBLE_EQ(interconnectBytesPerPixel(Reduction::Y4), 0.5);
+    EXPECT_EQ(pixelsPerLine(Reduction::None), 32u);
+    EXPECT_EQ(pixelsPerLine(Reduction::Y8), 128u);
+    EXPECT_EQ(pixelsPerLine(Reduction::Y4), 256u);
+    EXPECT_EQ(burstBytesPerLine(Reduction::Y4), 1024u);
+}
+
+} // namespace
+} // namespace enzian::accel

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for base: rng, stats, units, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/units.hh"
+
+namespace enzian {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.gaussian(5.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(21);
+    Rng child(a.fork());
+    Rng childCopy(Rng(21).fork());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child.next(), childCopy.next());
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AccumulatorMoments)
+{
+    Accumulator a;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        a.sample(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_NEAR(a.variance(), 1.25, 1e-12);
+}
+
+TEST(Stats, HistogramBucketsAndQuantiles)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    for (std::size_t b = 0; b < h.buckets(); ++b)
+        EXPECT_EQ(h.bucketCount(b), 10u);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Stats, HistogramOverUnderflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1);
+    h.sample(11);
+    h.sample(5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Stats, StatGroupDump)
+{
+    Counter c;
+    c.inc(7);
+    StatGroup g("grp");
+    g.addCounter("events", &c);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "grp.events 7\n");
+}
+
+TEST(Units, TimeConversions)
+{
+    EXPECT_EQ(units::ns(1), 1000u);
+    EXPECT_EQ(units::us(1), 1000000u);
+    EXPECT_EQ(units::sec(1), 1000000000000ull);
+    EXPECT_DOUBLE_EQ(units::toMicros(units::us(3)), 3.0);
+}
+
+TEST(Units, TransferTicks)
+{
+    // 1 GiB/s moving 1 GiB takes 1 second.
+    EXPECT_EQ(units::transferTicks(units::GiB, units::giBps(1.0)),
+              units::psPerSec);
+    // Tiny transfers still take at least one tick.
+    EXPECT_GE(units::transferTicks(1, 1e15), 1u);
+    EXPECT_EQ(units::transferTicks(0, 1e9), 0u);
+}
+
+TEST(Units, RateConversions)
+{
+    EXPECT_DOUBLE_EQ(units::gbps(8.0), 1e9);
+    EXPECT_NEAR(units::toGbps(units::gbps(100.0)), 100.0, 1e-9);
+    EXPECT_NEAR(units::toGiBps(units::giBps(12.0)), 12.0, 1e-9);
+}
+
+TEST(Logging, FormatBasics)
+{
+    EXPECT_EQ(format("x=%d s=%s", 3, "hi"), "x=3 s=hi");
+    EXPECT_EQ(format("%llu", 18446744073709551615ull),
+              "18446744073709551615");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 1), "boom 1");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LoggingDeathTest, AssertMacro)
+{
+    EXPECT_DEATH(ENZIAN_ASSERT(1 == 2, "math broke %d", 5),
+                 "math broke 5");
+}
+
+} // namespace
+} // namespace enzian

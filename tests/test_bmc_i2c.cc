@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the I2C bus, PMBus encodings, and the regulator model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmc/i2c_bus.hh"
+#include "bmc/pmbus.hh"
+#include "bmc/regulator.hh"
+
+namespace enzian::bmc {
+namespace {
+
+/** Trivial device: one register file byte-addressed by command. */
+class ToyDevice : public I2cDevice
+{
+  public:
+    const std::string &deviceName() const override { return name_; }
+
+    bool
+    i2cWrite(const std::vector<std::uint8_t> &data) override
+    {
+        if (data.empty())
+            return false;
+        lastCmd_ = data[0];
+        if (data.size() > 1)
+            regs_[data[0]] = data[1];
+        return true;
+    }
+
+    std::vector<std::uint8_t>
+    i2cRead(std::size_t len) override
+    {
+        std::vector<std::uint8_t> out;
+        for (std::size_t i = 0; i < len; ++i)
+            out.push_back(regs_[lastCmd_] + static_cast<std::uint8_t>(i));
+        return out;
+    }
+
+  private:
+    std::string name_ = "toy";
+    std::uint8_t lastCmd_ = 0;
+    std::map<std::uint8_t, std::uint8_t> regs_;
+};
+
+TEST(I2cBus, WriteReadRoundTrip)
+{
+    EventQueue eq;
+    I2cBus bus("i2c", eq, I2cBus::Config{});
+    ToyDevice dev;
+    bus.attach(0x50, &dev);
+    EXPECT_TRUE(bus.transfer(0x50, {0x10, 0x42}, 0).acked);
+    auto r = bus.transfer(0x50, {0x10}, 1);
+    ASSERT_TRUE(r.acked);
+    EXPECT_EQ(r.data[0], 0x42);
+}
+
+TEST(I2cBus, MissingDeviceNaks)
+{
+    EventQueue eq;
+    I2cBus bus("i2c", eq, I2cBus::Config{});
+    EXPECT_FALSE(bus.transfer(0x33, {0x00}, 1).acked);
+    EXPECT_EQ(bus.naks(), 1u);
+}
+
+TEST(I2cBus, TransactionTimingMatchesClockAndOverhead)
+{
+    EventQueue eq;
+    I2cBus::Config cfg;
+    cfg.clock_hz = 400e3;
+    cfg.driver_overhead_us = 100.0;
+    I2cBus bus("i2c", eq, cfg);
+    // write 3 bytes + read 2: bits = 1+9 + 27 + 1+9+18 + 1 = 66
+    const Tick t = bus.transactionTime(3, 2);
+    EXPECT_NEAR(units::toMicros(t), 66.0 / 0.4 + 100.0, 1.0);
+}
+
+TEST(I2cBus, BackToBackTransactionsSerialize)
+{
+    EventQueue eq;
+    I2cBus bus("i2c", eq, I2cBus::Config{});
+    ToyDevice dev;
+    bus.attach(0x20, &dev);
+    const Tick t1 = bus.transfer(0x20, {0x01}, 1).done;
+    const Tick t2 = bus.transfer(0x20, {0x01}, 1).done;
+    EXPECT_NEAR(static_cast<double>(t2), 2.0 * static_cast<double>(t1),
+                static_cast<double>(t1) * 0.01);
+}
+
+TEST(I2cBusDeathTest, DuplicateAddressFatal)
+{
+    EventQueue eq;
+    I2cBus bus("i2c", eq, I2cBus::Config{});
+    ToyDevice a, b;
+    bus.attach(0x20, &a);
+    EXPECT_EXIT(bus.attach(0x20, &b), ::testing::ExitedWithCode(1),
+                "already occupied");
+}
+
+/** LINEAR11 round-trips across magnitudes. */
+class Linear11Test : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(Linear11Test, RoundTripWithinPrecision)
+{
+    const double v = GetParam();
+    const double back = linear11Decode(linear11Encode(v));
+    const double tol = std::max(std::abs(v) * 0.002, 1e-4);
+    EXPECT_NEAR(back, v, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, Linear11Test,
+                         ::testing::Values(0.0, 0.001, 0.6, 0.98, 1.2,
+                                           3.3, 12.0, 55.5, 160.0,
+                                           -5.25, 1000.0));
+
+TEST(Linear16, RoundTrip)
+{
+    for (double v : {0.0, 0.6, 0.85, 0.98, 1.2, 2.5, 3.3, 12.0}) {
+        const double back = linear16Decode(
+            linear16Encode(v, voutModeExponent), voutModeExponent);
+        EXPECT_NEAR(back, v, 0.001);
+    }
+}
+
+class RegulatorTest : public ::testing::Test
+{
+  protected:
+    RegulatorTest()
+        : bus("i2c", eq, I2cBus::Config{}), master(bus),
+          reg("vdd", eq, makeConfig())
+    {
+        bus.attach(0x20, &reg);
+        reg.setLoad([this]() { return load; });
+    }
+
+    static Regulator::Config
+    makeConfig()
+    {
+        Regulator::Config cfg;
+        cfg.address = 0x20;
+        cfg.vout_nominal = 0.98;
+        cfg.iout_max = 160.0;
+        cfg.ramp_ms = 4.0;
+        return cfg;
+    }
+
+    EventQueue eq;
+    I2cBus bus;
+    PmbusMaster master;
+    Regulator reg;
+    double load = 0.0;
+};
+
+TEST_F(RegulatorTest, OffByDefault)
+{
+    EXPECT_FALSE(reg.powerGood());
+    EXPECT_DOUBLE_EQ(reg.vout(), 0.0);
+    EXPECT_TRUE(reg.faults() & statusOff);
+}
+
+TEST_F(RegulatorTest, EnableRampsToNominal)
+{
+    ASSERT_TRUE(master.writeByte(0x20, PmbusCmd::Operation,
+                                 operationOn));
+    EXPECT_FALSE(reg.powerGood()); // still ramping
+    eq.runUntil(units::ms(2));
+    EXPECT_GT(reg.vout(), 0.1);
+    EXPECT_LT(reg.vout(), 0.98);
+    eq.runUntil(units::ms(5));
+    EXPECT_TRUE(reg.powerGood());
+    EXPECT_DOUBLE_EQ(reg.vout(), 0.98);
+}
+
+TEST_F(RegulatorTest, ReadbackThroughPmbus)
+{
+    master.writeByte(0x20, PmbusCmd::Operation, operationOn);
+    eq.runUntil(units::ms(10));
+    load = 100.0;
+    auto v = master.readWord(0x20, PmbusCmd::ReadVout);
+    auto i = master.readWord(0x20, PmbusCmd::ReadIout);
+    auto t = master.readWord(0x20, PmbusCmd::ReadTemperature1);
+    ASSERT_TRUE(v && i && t);
+    EXPECT_NEAR(linear16Decode(*v, voutModeExponent), 0.98, 0.001);
+    EXPECT_NEAR(linear11Decode(*i), 100.0, 0.5);
+    EXPECT_GT(linear11Decode(*t), 35.0); // above ambient under load
+}
+
+TEST_F(RegulatorTest, OverCurrentFaultsAndLatches)
+{
+    master.writeByte(0x20, PmbusCmd::Operation, operationOn);
+    eq.runUntil(units::ms(10));
+    load = 200.0; // above the 160 A limit
+    auto i = master.readWord(0x20, PmbusCmd::ReadIout);
+    ASSERT_TRUE(i.has_value());
+    EXPECT_TRUE(reg.faults() & statusIoutOc);
+    EXPECT_FALSE(reg.powerGood());
+    EXPECT_DOUBLE_EQ(reg.vout(), 0.0);
+    // CLEAR_FAULTS recovers the latch.
+    load = 10.0;
+    master.sendCommand(0x20, PmbusCmd::ClearFaults);
+    master.writeByte(0x20, PmbusCmd::Operation, operationOn);
+    eq.runUntil(units::ms(20));
+    EXPECT_TRUE(reg.powerGood());
+}
+
+TEST_F(RegulatorTest, OverVoltageCommandFaults)
+{
+    master.writeByte(0x20, PmbusCmd::Operation, operationOn);
+    eq.runUntil(units::ms(10));
+    // Command 1.5 V on a 0.98 V rail: OVP (limit 1.15x nominal).
+    master.writeWord(0x20, PmbusCmd::VoutCommand,
+                     linear16Encode(1.5, voutModeExponent));
+    EXPECT_TRUE(reg.faults() & statusVoutOv);
+    EXPECT_DOUBLE_EQ(reg.vout(), 0.0);
+}
+
+TEST_F(RegulatorTest, MarginAdjustWithinLimits)
+{
+    master.writeByte(0x20, PmbusCmd::Operation, operationOn);
+    eq.runUntil(units::ms(10));
+    // Undervolting experiments (paper section 4.3): small margins OK.
+    master.writeWord(0x20, PmbusCmd::VoutCommand,
+                     linear16Encode(0.92, voutModeExponent));
+    EXPECT_EQ(reg.faults(), 0u);
+    EXPECT_NEAR(reg.vout(), 0.92, 0.001);
+}
+
+TEST_F(RegulatorTest, StatusWordReadable)
+{
+    auto s = master.readWord(0x20, PmbusCmd::StatusWord);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(*s & statusOff);
+}
+
+TEST_F(RegulatorTest, InjectedFaultVisible)
+{
+    master.writeByte(0x20, PmbusCmd::Operation, operationOn);
+    eq.runUntil(units::ms(10));
+    reg.injectFault(statusTemp);
+    EXPECT_FALSE(reg.powerGood());
+    auto s = master.readWord(0x20, PmbusCmd::StatusWord);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_TRUE(*s & statusTemp);
+}
+
+} // namespace
+} // namespace enzian::bmc

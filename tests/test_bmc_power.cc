@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the power model and telemetry service.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bmc/bmc.hh"
+#include "bmc/power_model.hh"
+#include "platform/params.hh"
+
+namespace enzian::bmc {
+namespace {
+
+TEST(PowerModel, OffMeansZero)
+{
+    PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.cpuPower(), 0.0);
+    EXPECT_DOUBLE_EQ(pm.dramPower(0), 0.0);
+    EXPECT_DOUBLE_EQ(pm.fpgaPower(), 0.0);
+    EXPECT_GT(pm.bmcPower(), 0.0); // BMC always on
+}
+
+TEST(PowerModel, CpuScalesWithCores)
+{
+    PowerModel pm;
+    pm.setCpuOn(true);
+    const double idle = pm.cpuPower();
+    pm.setActiveCores(48);
+    EXPECT_NEAR(pm.cpuPower() - idle, 48 * pm.config().cpu_per_core_w,
+                1e-9);
+}
+
+TEST(PowerModel, SpikeAddsTransientPower)
+{
+    PowerModel pm;
+    pm.setCpuOn(true);
+    const double base = pm.cpuPower();
+    pm.setCpuSpike(true);
+    EXPECT_NEAR(pm.cpuPower() - base, pm.config().cpu_poweron_spike_w,
+                1e-9);
+}
+
+TEST(PowerModel, FpgaActivityStaircase)
+{
+    PowerModel pm;
+    pm.setFpgaOn(true);
+    EXPECT_NEAR(pm.fpgaPower(), pm.config().fpga_unconfigured_w, 1e-9);
+    pm.setFpgaConfigured(true);
+    const double idle = pm.fpgaPower();
+    pm.setFpgaActivity(1.0);
+    EXPECT_NEAR(pm.fpgaPower(), idle + pm.config().fpga_dynamic_w,
+                1e-9);
+    // Full burn lands in the paper's ~170 W ballpark.
+    EXPECT_GT(pm.fpgaPower(), 150.0);
+    EXPECT_LT(pm.fpgaPower(), 200.0);
+}
+
+TEST(PowerModel, DramActivityBounded)
+{
+    PowerModel pm;
+    pm.setCpuOn(true);
+    pm.setDramActivity(0, 0.5);
+    EXPECT_NEAR(pm.dramPower(0),
+                pm.config().dram_idle_w + 0.5 * pm.config().dram_active_w,
+                1e-9);
+    EXPECT_EXIT(pm.setDramActivity(0, 1.5),
+                ::testing::ExitedWithCode(1), "activity");
+}
+
+TEST(PowerModel, TotalSumsComponents)
+{
+    PowerModel pm;
+    pm.setCpuOn(true);
+    pm.setFpgaOn(true);
+    pm.setFpgaConfigured(true);
+    EXPECT_NEAR(pm.totalPower(),
+                pm.cpuPower() + pm.dramPower(0) + pm.dramPower(1) +
+                    pm.fpgaPower() + pm.bmcPower(),
+                1e-9);
+}
+
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    TelemetryTest() : bmc("bmc", eq) {}
+
+    EventQueue eq;
+    Bmc bmc;
+};
+
+TEST_F(TelemetryTest, SamplesAtConfiguredPeriod)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    eq.runUntil(bmc.cpuPowerUp() + units::ms(1));
+    bmc.power().setCpuOn(true);
+    bmc.power().setActiveCores(48);
+
+    bmc.telemetry().watch("CPU", 0x20);
+    bmc.telemetry().start(units::ms(20));
+    eq.runUntil(eq.now() + units::sec(1));
+    bmc.telemetry().stop();
+    eq.run();
+
+    const auto &samples = bmc.telemetry().samples();
+    // ~50 sweeps of one rail in a second.
+    EXPECT_NEAR(static_cast<double>(samples.size()), 50.0, 3.0);
+    const auto *latest = bmc.telemetry().latest("CPU");
+    ASSERT_NE(latest, nullptr);
+    EXPECT_NEAR(latest->volts, 0.98, 0.01);
+    EXPECT_GT(latest->watts, 50.0); // 48 active cores
+}
+
+TEST_F(TelemetryTest, CsvDumpWellFormed)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    bmc.telemetry().watch("STBY", 0x10);
+    bmc.telemetry().start(units::ms(20));
+    eq.runUntil(eq.now() + units::ms(100));
+    bmc.telemetry().stop();
+    eq.run();
+    std::ostringstream os;
+    bmc.telemetry().dumpCsv(os);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("time_s,rail,volts,amps,watts,temp_c"),
+              std::string::npos);
+    EXPECT_NE(csv.find("STBY"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, QueryOccupiesTheBus)
+{
+    // Each rail sample issues three PMBus reads; the paper's ~5 ms
+    // per-regulator query dominates achievable sweep rates.
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    const auto before = bmc.bus().transactions();
+    bmc.telemetry().watch("CPU", 0x20);
+    bmc.telemetry().start(units::ms(20));
+    eq.runUntil(eq.now() + units::ms(50));
+    bmc.telemetry().stop();
+    eq.run();
+    EXPECT_GE(bmc.bus().transactions() - before, 3u * 2u);
+}
+
+} // namespace
+} // namespace enzian::bmc

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for declarative power sequencing and the BMC power domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmc/bmc.hh"
+#include "bmc/sequence_solver.hh"
+
+namespace enzian::bmc {
+namespace {
+
+TEST(SequenceSolver, RespectsDependencies)
+{
+    SequenceSolver s;
+    s.addRail({"A", {}, 2.0, 1.0});
+    s.addRail({"B", {"A"}, 2.0, 1.0});
+    s.addRail({"C", {"B"}, 2.0, 1.0});
+    auto up = s.powerUpSequence();
+    ASSERT_EQ(up.size(), 3u);
+    EXPECT_EQ(up[0].rail, "A");
+    EXPECT_EQ(up[1].rail, "B");
+    EXPECT_EQ(up[2].rail, "C");
+    EXPECT_DOUBLE_EQ(up[0].at_ms, 0.0);
+    EXPECT_DOUBLE_EQ(up[1].at_ms, 3.0); // A's ramp + settle
+    EXPECT_DOUBLE_EQ(up[2].at_ms, 6.0);
+}
+
+TEST(SequenceSolver, DiamondDependency)
+{
+    SequenceSolver s;
+    s.addRail({"root", {}, 1.0, 1.0});
+    s.addRail({"left", {"root"}, 5.0, 1.0});
+    s.addRail({"right", {"root"}, 1.0, 1.0});
+    s.addRail({"sink", {"left", "right"}, 1.0, 1.0});
+    auto up = s.powerUpSequence();
+    // sink starts only after the slower branch (left) settles.
+    double sink_at = -1, left_at = -1;
+    for (const auto &st : up) {
+        if (st.rail == "sink")
+            sink_at = st.at_ms;
+        if (st.rail == "left")
+            left_at = st.at_ms;
+    }
+    EXPECT_GE(sink_at, left_at + 6.0);
+}
+
+TEST(SequenceSolver, IndependentRailsStartTogether)
+{
+    SequenceSolver s;
+    s.addRail({"X", {}, 1.0, 1.0});
+    s.addRail({"Y", {}, 1.0, 1.0});
+    auto up = s.powerUpSequence();
+    EXPECT_DOUBLE_EQ(up[0].at_ms, 0.0);
+    EXPECT_DOUBLE_EQ(up[1].at_ms, 0.0);
+}
+
+TEST(SequenceSolver, ValidatorAcceptsSolvedSchedule)
+{
+    SequenceSolver s;
+    s.addRail({"A", {}, 2.0, 1.0});
+    s.addRail({"B", {"A"}, 2.0, 1.0});
+    std::string err;
+    EXPECT_TRUE(s.validate(s.powerUpSequence(), err)) << err;
+}
+
+TEST(SequenceSolver, ValidatorRejectsEarlyStart)
+{
+    SequenceSolver s;
+    s.addRail({"A", {}, 2.0, 1.0});
+    s.addRail({"B", {"A"}, 2.0, 1.0});
+    std::vector<SequenceStep> bad = {{"A", 0.0}, {"B", 1.0}};
+    std::string err;
+    EXPECT_FALSE(s.validate(bad, err));
+    EXPECT_NE(err.find("before"), std::string::npos);
+}
+
+TEST(SequenceSolver, ValidatorRejectsMissingAndDuplicateRails)
+{
+    SequenceSolver s;
+    s.addRail({"A", {}, 1.0, 1.0});
+    s.addRail({"B", {}, 1.0, 1.0});
+    std::string err;
+    EXPECT_FALSE(s.validate({{"A", 0.0}}, err));
+    EXPECT_FALSE(s.validate({{"A", 0.0}, {"A", 5.0}}, err));
+}
+
+TEST(SequenceSolver, PowerDownReversesOrder)
+{
+    SequenceSolver s;
+    s.addRail({"A", {}, 2.0, 1.0});
+    s.addRail({"B", {"A"}, 2.0, 1.0});
+    auto down = s.powerDownSequence();
+    ASSERT_EQ(down.size(), 2u);
+    EXPECT_EQ(down[0].rail, "B");
+    EXPECT_EQ(down[1].rail, "A");
+    EXPECT_GT(down[1].at_ms, down[0].at_ms);
+}
+
+TEST(SequenceSolverDeathTest, CycleIsFatal)
+{
+    SequenceSolver s;
+    s.addRail({"A", {"B"}, 1.0, 1.0});
+    s.addRail({"B", {"A"}, 1.0, 1.0});
+    EXPECT_EXIT(s.powerUpSequence(), ::testing::ExitedWithCode(1),
+                "cycle");
+}
+
+TEST(SequenceSolverDeathTest, DanglingDependencyFatal)
+{
+    SequenceSolver s;
+    s.addRail({"A", {"ghost"}, 1.0, 1.0});
+    EXPECT_EXIT(s.powerUpSequence(), ::testing::ExitedWithCode(1),
+                "undeclared");
+}
+
+class BmcTest : public ::testing::Test
+{
+  protected:
+    BmcTest() : bmc("bmc", eq) {}
+
+    EventQueue eq;
+    Bmc bmc;
+};
+
+TEST_F(BmcTest, HasTwentyFiveRegulators)
+{
+    EXPECT_EQ(bmc.regulatorCount(), 25u);
+    EXPECT_EQ(bmc.solver().railCount(), 25u);
+}
+
+TEST_F(BmcTest, CommonPowerUpBringsStandbyRails)
+{
+    const Tick settled = bmc.commonPowerUp();
+    eq.runUntil(settled + units::ms(1));
+    EXPECT_TRUE(bmc.domainUp(Domain::Standby));
+    EXPECT_TRUE(bmc.regulator("P3V3_STBY").powerGood());
+    EXPECT_TRUE(bmc.regulator("P2V5_CLK").powerGood());
+    EXPECT_FALSE(bmc.regulator("VDD_CORE").powerGood());
+}
+
+TEST_F(BmcTest, CpuDomainSequencedAfterStandby)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    const Tick settled = bmc.cpuPowerUp();
+    eq.runUntil(settled + units::ms(1));
+    EXPECT_TRUE(bmc.domainUp(Domain::Cpu));
+    for (const char *rail :
+         {"VDD_CORE", "VDD_09", "P1V8_CPU", "VDD_DDR_C01",
+          "VTT_DDR_C23"}) {
+        EXPECT_TRUE(bmc.regulator(rail).powerGood()) << rail;
+    }
+}
+
+TEST_F(BmcTest, CpuPowerDownDropsRails)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    eq.runUntil(bmc.cpuPowerUp() + units::ms(1));
+    const Tick down = bmc.cpuPowerDown();
+    eq.runUntil(down + units::ms(60));
+    EXPECT_FALSE(bmc.regulator("VDD_CORE").powerGood());
+    EXPECT_FALSE(bmc.domainUp(Domain::Cpu));
+    // Standby untouched.
+    EXPECT_TRUE(bmc.regulator("P3V3_STBY").powerGood());
+}
+
+TEST_F(BmcTest, FpgaDomainIndependentOfCpu)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    eq.runUntil(bmc.fpgaPowerUp() + units::ms(1));
+    EXPECT_TRUE(bmc.regulator("VCCINT").powerGood());
+    EXPECT_TRUE(bmc.regulator("MGTAVTT").powerGood());
+    EXPECT_FALSE(bmc.regulator("VDD_CORE").powerGood());
+}
+
+TEST_F(BmcTest, DomainBeforeStandbyIsFatal)
+{
+    EXPECT_EXIT(bmc.cpuPowerUp(), ::testing::ExitedWithCode(1),
+                "before common_power_up");
+}
+
+TEST_F(BmcTest, PrintCurrentAllListsEveryRail)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    const std::string table = bmc.printCurrentAll();
+    for (const auto &rail : bmc.railNames())
+        EXPECT_NE(table.find(rail), std::string::npos) << rail;
+}
+
+TEST_F(BmcTest, SolvedFullTreeValidates)
+{
+    std::string err;
+    EXPECT_TRUE(bmc.solver().validate(bmc.solver().powerUpSequence(),
+                                      err))
+        << err;
+}
+
+} // namespace
+} // namespace enzian::bmc
+
+namespace enzian::bmc {
+namespace {
+
+class BmcCycleTest : public ::testing::Test
+{
+  protected:
+    BmcCycleTest() : bmc("bmc", eq) {}
+
+    EventQueue eq;
+    Bmc bmc;
+};
+
+TEST_F(BmcCycleTest, FullPowerCycleRestoresAllDomains)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    eq.runUntil(bmc.cpuPowerUp() + units::ms(1));
+    eq.runUntil(bmc.fpgaPowerUp() + units::ms(1));
+    ASSERT_TRUE(bmc.regulator("VDD_CORE").powerGood());
+    ASSERT_TRUE(bmc.regulator("VCCINT").powerGood());
+
+    // Drop and restore both compute domains.
+    eq.runUntil(bmc.cpuPowerDown() + units::ms(60));
+    eq.runUntil(bmc.fpgaPowerDown() + units::ms(60));
+    EXPECT_FALSE(bmc.regulator("VDD_CORE").powerGood());
+    EXPECT_FALSE(bmc.regulator("VCCINT").powerGood());
+    EXPECT_TRUE(bmc.regulator("P3V3_STBY").powerGood());
+
+    eq.runUntil(bmc.cpuPowerUp() + units::ms(1));
+    eq.runUntil(bmc.fpgaPowerUp() + units::ms(1));
+    EXPECT_TRUE(bmc.regulator("VDD_CORE").powerGood());
+    EXPECT_TRUE(bmc.regulator("VCCINT").powerGood());
+    EXPECT_TRUE(bmc.domainUp(Domain::Cpu));
+    EXPECT_TRUE(bmc.domainUp(Domain::Fpga));
+}
+
+TEST_F(BmcCycleTest, FaultedRailIgnoresEnableUntilCleared)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    // Inject a latched over-current on VDD_CORE, then attempt the
+    // CPU sequence: the faulted regulator must stay down (a short on
+    // a >150 A rail is exactly the hazard of section 4.2).
+    bmc.regulator("VDD_CORE").injectFault(statusIoutOc);
+    eq.runUntil(bmc.cpuPowerUp() + units::ms(1));
+    EXPECT_FALSE(bmc.regulator("VDD_CORE").powerGood());
+    // Downstream rails sequenced anyway in open-loop firmware - the
+    // telemetry is how the operator notices; STATUS_WORD reports it.
+    auto status =
+        bmc.pmbus().readWord(0x20, PmbusCmd::StatusWord);
+    eq.run();
+    ASSERT_TRUE(status.has_value());
+    EXPECT_TRUE(*status & statusIoutOc);
+
+    // Clear and retry: the rail recovers.
+    bmc.pmbus().sendCommand(0x20, PmbusCmd::ClearFaults);
+    eq.runUntil(bmc.cpuPowerUp() + units::ms(1));
+    EXPECT_TRUE(bmc.regulator("VDD_CORE").powerGood());
+}
+
+TEST_F(BmcCycleTest, TelemetrySeesAFaultedRailAsDead)
+{
+    eq.runUntil(bmc.commonPowerUp() + units::ms(1));
+    eq.runUntil(bmc.fpgaPowerUp() + units::ms(1));
+    bmc.power().setFpgaOn(true);
+    bmc.power().setFpgaConfigured(true);
+    bmc.telemetry().watch("FPGA", 0x30);
+    bmc.telemetry().start(units::ms(20));
+    eq.runUntil(eq.now() + units::ms(100));
+    bmc.regulator("VCCINT").injectFault(statusVoutOv);
+    eq.runUntil(eq.now() + units::ms(100));
+    bmc.telemetry().stop();
+    eq.run();
+    const auto *last = bmc.telemetry().latest("FPGA");
+    ASSERT_NE(last, nullptr);
+    EXPECT_DOUBLE_EQ(last->volts, 0.0);
+    EXPECT_DOUBLE_EQ(last->watts, 0.0);
+    // Earlier samples saw the healthy rail.
+    EXPECT_GT(bmc.telemetry().samples().front().volts, 0.8);
+}
+
+} // namespace
+} // namespace enzian::bmc

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the boot sequencer: functional memory tests and the
+ * Figure 12 scenario end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/boot_sequencer.hh"
+#include "platform/platform_factory.hh"
+
+namespace enzian::platform {
+namespace {
+
+TEST(Memtests, AllPassOnHealthyMemory)
+{
+    mem::BackingStore store(64 << 20);
+    EXPECT_TRUE(BootSequencer::dataBusTest(store, 0x1000));
+    EXPECT_TRUE(BootSequencer::addressBusTest(store, 0, 16 << 20));
+    EXPECT_TRUE(BootSequencer::marchingRowsTest(store, 0x2000,
+                                                1 << 20));
+    EXPECT_TRUE(
+        BootSequencer::randomDataTest(store, 0x2000, 1 << 20, 99));
+}
+
+TEST(Memtests, RandomDataDetectsCorruption)
+{
+    // Write the pattern, corrupt one word, verify with a fresh pass:
+    // the test re-generates and re-writes, so emulate a latent fault
+    // by checking the verify path directly.
+    mem::BackingStore store(1 << 20);
+    Rng w(7);
+    for (std::uint64_t i = 0; i < (1 << 20) / 8; ++i)
+        store.store<std::uint64_t>(i * 8, w.next());
+    store.store<std::uint64_t>(4096, 0xdead); // corrupt
+    Rng r(7);
+    bool ok = true;
+    for (std::uint64_t i = 0; i < (1 << 20) / 8; ++i) {
+        if (store.load<std::uint64_t>(i * 8) != r.next()) {
+            ok = false;
+            break;
+        }
+    }
+    EXPECT_FALSE(ok);
+}
+
+class BootScenario : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        EnzianMachine::Config cfg = enzianDefaultConfig();
+        cfg.cpu_dram_bytes = 2ull << 30;
+        cfg.fpga_dram_bytes = 1ull << 30;
+        machine = new EnzianMachine(cfg);
+        seq = new BootSequencer(*machine);
+        seq->runFullSequence();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete seq;
+        delete machine;
+        seq = nullptr;
+        machine = nullptr;
+    }
+
+    static EnzianMachine *machine;
+    static BootSequencer *seq;
+};
+
+EnzianMachine *BootScenario::machine = nullptr;
+BootSequencer *BootScenario::seq = nullptr;
+
+TEST_F(BootScenario, AllMemtestsPass)
+{
+    EXPECT_TRUE(seq->memtests().allPassed());
+}
+
+TEST_F(BootScenario, PhasesCoverTheTimeline)
+{
+    const auto &phases = seq->phases();
+    ASSERT_GE(phases.size(), 10u);
+    EXPECT_EQ(phases.front().name, "idle");
+    // Phase names from Figure 12 all present.
+    auto has = [&](const std::string &n) {
+        for (const auto &p : phases)
+            if (p.name == n)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("BDK DRAM check"));
+    EXPECT_TRUE(has("Data bus test"));
+    EXPECT_TRUE(has("Address bus test"));
+    EXPECT_TRUE(has("memtest: marching rows"));
+    EXPECT_TRUE(has("memtest: random data"));
+    EXPECT_TRUE(has("FPGA power burn"));
+}
+
+TEST_F(BootScenario, TelemetryCoversTheRun)
+{
+    const auto &samples = machine->bmc().telemetry().samples();
+    // 4 rails every 20 ms over ~255 s => ~51000 samples.
+    EXPECT_GT(samples.size(), 40000u);
+    EXPECT_LT(samples.size(), 60000u);
+}
+
+double
+meanPowerIn(const std::vector<bmc::TelemetrySample> &samples,
+            const std::string &rail, double t0, double t1)
+{
+    double sum = 0;
+    int n = 0;
+    for (const auto &s : samples) {
+        const double t = units::toSeconds(s.when);
+        if (s.rail == rail && t >= t0 && t < t1) {
+            sum += s.watts;
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+TEST_F(BootScenario, CpuPowerFollowsThePhases)
+{
+    const auto &s = machine->bmc().telemetry().samples();
+    // Before CPU on: zero. The VDD_CORE rail carries ~72% of package
+    // power at 0.98 V.
+    EXPECT_NEAR(meanPowerIn(s, "CPU", 10.0, 17.0), 0.0, 0.5);
+    const double memtest = meanPowerIn(s, "CPU", 70.0, 100.0);
+    const double idle = meanPowerIn(s, "CPU", 162.0, 169.0);
+    EXPECT_GT(memtest, 60.0);
+    EXPECT_LT(memtest, 110.0);
+    EXPECT_LT(idle, memtest - 30.0); // cores idle
+    // After power-down: zero again.
+    EXPECT_NEAR(meanPowerIn(s, "CPU", 175.0, 177.0), 0.0, 0.5);
+}
+
+TEST_F(BootScenario, PowerOnSpikeVisible)
+{
+    const auto &s = machine->bmc().telemetry().samples();
+    const double spike = meanPowerIn(s, "CPU", 18.3, 19.8);
+    const double after = meanPowerIn(s, "CPU", 21.0, 23.0);
+    EXPECT_GT(spike, after + 30.0);
+}
+
+TEST_F(BootScenario, FpgaBurnStaircaseRises)
+{
+    const auto &s = machine->bmc().telemetry().samples();
+    const double idle = meanPowerIn(s, "FPGA", 15.0, 17.0);
+    const double early = meanPowerIn(s, "FPGA", 180.0, 190.0);
+    const double late = meanPowerIn(s, "FPGA", 230.0, 237.0);
+    EXPECT_GT(early, idle);
+    EXPECT_GT(late, early + 40.0);
+    // Full burn lands near the paper's ~120 W on VCCINT (70% of
+    // ~170 W total FPGA power).
+    EXPECT_GT(late, 90.0);
+    EXPECT_LT(late, 140.0);
+    // And back to idle afterwards.
+    const double cooled = meanPowerIn(s, "FPGA", 239.0, 245.0);
+    EXPECT_LT(cooled, 25.0);
+}
+
+TEST_F(BootScenario, DramPowerTracksMemtestActivity)
+{
+    const auto &s = machine->bmc().telemetry().samples();
+    const double before = meanPowerIn(s, "DRAM0", 10.0, 17.0);
+    const double during = meanPowerIn(s, "DRAM0", 70.0, 100.0);
+    const double after = meanPowerIn(s, "DRAM0", 175.0, 177.0);
+    EXPECT_NEAR(before, 0.0, 0.5);
+    EXPECT_GT(during, 10.0);
+    EXPECT_NEAR(after, 0.0, 0.5);
+    // Both groups behave alike.
+    EXPECT_NEAR(meanPowerIn(s, "DRAM1", 70.0, 100.0), during, 3.0);
+}
+
+} // namespace
+} // namespace enzian::platform

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit and property tests for the MOESI cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "cache/cache.hh"
+#include "cache/moesi.hh"
+
+namespace enzian::cache {
+namespace {
+
+Cache::Config
+smallConfig()
+{
+    Cache::Config cfg;
+    cfg.size_bytes = 4 * 1024; // 32 lines
+    cfg.ways = 4;              // 8 sets
+    return cfg;
+}
+
+std::vector<std::uint8_t>
+pattern(std::uint8_t seed)
+{
+    std::vector<std::uint8_t> d(lineSize);
+    for (std::size_t i = 0; i < d.size(); ++i)
+        d[i] = static_cast<std::uint8_t>(seed + i);
+    return d;
+}
+
+TEST(Moesi, StatePredicates)
+{
+    EXPECT_FALSE(canRead(MoesiState::Invalid));
+    EXPECT_TRUE(canRead(MoesiState::Shared));
+    EXPECT_TRUE(canWrite(MoesiState::Modified));
+    EXPECT_TRUE(canWrite(MoesiState::Exclusive));
+    EXPECT_FALSE(canWrite(MoesiState::Shared));
+    EXPECT_FALSE(canWrite(MoesiState::Owned));
+    EXPECT_TRUE(isDirty(MoesiState::Modified));
+    EXPECT_TRUE(isDirty(MoesiState::Owned));
+    EXPECT_FALSE(isDirty(MoesiState::Exclusive));
+}
+
+/** Property sweep: the full pairwise MOESI compatibility matrix. */
+class MoesiCompatTest
+    : public ::testing::TestWithParam<
+          std::tuple<MoesiState, MoesiState>>
+{
+};
+
+TEST_P(MoesiCompatTest, MatrixIsSymmetricAndSound)
+{
+    const auto [a, b] = GetParam();
+    EXPECT_EQ(compatible(a, b), compatible(b, a));
+    // Never two concurrent writers, never a writer beside a reader.
+    if (canWrite(a) && b != MoesiState::Invalid) {
+        EXPECT_FALSE(compatible(a, b));
+    }
+    // Invalid coexists with everything.
+    if (a == MoesiState::Invalid) {
+        EXPECT_TRUE(compatible(a, b));
+    }
+    // S+S and O+S are legal.
+    if (a == MoesiState::Shared && b == MoesiState::Shared) {
+        EXPECT_TRUE(compatible(a, b));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, MoesiCompatTest,
+    ::testing::Combine(
+        ::testing::Values(MoesiState::Invalid, MoesiState::Shared,
+                          MoesiState::Exclusive, MoesiState::Owned,
+                          MoesiState::Modified),
+        ::testing::Values(MoesiState::Invalid, MoesiState::Shared,
+                          MoesiState::Exclusive, MoesiState::Owned,
+                          MoesiState::Modified)));
+
+TEST(Moesi, LineAlignment)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(127), 0u);
+    EXPECT_EQ(lineAlign(128), 128u);
+    EXPECT_TRUE(isLineAligned(256));
+    EXPECT_FALSE(isLineAligned(257));
+}
+
+TEST(Cache, MissThenHit)
+{
+    EventQueue eq;
+    Cache c("l2", eq, smallConfig());
+    EXPECT_EQ(c.access(0x1000), nullptr);
+    EXPECT_EQ(c.misses(), 1u);
+    c.fill(0x1000, MoesiState::Shared, pattern(1).data());
+    EXPECT_NE(c.access(0x1000), nullptr);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, DataRoundTrip)
+{
+    EventQueue eq;
+    Cache c("l2", eq, smallConfig());
+    const auto d = pattern(9);
+    c.fill(0x2000, MoesiState::Exclusive, d.data());
+    std::uint8_t back[lineSize];
+    c.readData(0x2000, back, lineSize);
+    EXPECT_EQ(std::memcmp(back, d.data(), lineSize), 0);
+
+    const std::uint32_t word = 0xabcd1234;
+    c.writeData(0x2000 + 16, &word, sizeof(word));
+    std::uint32_t got = 0;
+    c.readData(0x2000 + 16, &got, sizeof(got));
+    EXPECT_EQ(got, word);
+}
+
+TEST(Cache, LruEvictsColdestWay)
+{
+    EventQueue eq;
+    Cache::Config cfg = smallConfig(); // 8 sets x 4 ways
+    Cache c("l2", eq, cfg);
+    // Four lines mapping to set 0 (stride = sets * lineSize = 1024).
+    const Addr stride = c.sets() * lineSize;
+    for (Addr i = 0; i < 4; ++i)
+        c.fill(i * stride, MoesiState::Shared, pattern(0).data());
+    // Touch line 0 so line 1 becomes the LRU victim.
+    c.access(0);
+    auto ev = c.fill(4 * stride, MoesiState::Shared, pattern(0).data());
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->addr, stride);
+}
+
+TEST(Cache, DirtyEvictionCarriesData)
+{
+    EventQueue eq;
+    Cache c("l2", eq, smallConfig());
+    const Addr stride = c.sets() * lineSize;
+    const auto d = pattern(5);
+    c.fill(0, MoesiState::Modified, d.data());
+    for (Addr i = 1; i <= 4; ++i) {
+        auto ev = c.fill(i * stride, MoesiState::Shared,
+                         pattern(0).data());
+        if (ev) {
+            EXPECT_EQ(ev->addr, 0u);
+            EXPECT_EQ(ev->state, MoesiState::Modified);
+            EXPECT_EQ(std::memcmp(ev->data.data(), d.data(), lineSize),
+                      0);
+            return;
+        }
+    }
+    FAIL() << "expected an eviction";
+}
+
+TEST(Cache, InvalidateReturnsDirtyDataOnly)
+{
+    EventQueue eq;
+    Cache c("l2", eq, smallConfig());
+    c.fill(0x100, MoesiState::Shared, pattern(1).data());
+    EXPECT_FALSE(c.invalidate(0x100).has_value());
+    EXPECT_EQ(c.probe(0x100), MoesiState::Invalid);
+
+    c.fill(0x200, MoesiState::Modified, pattern(2).data());
+    auto ev = c.invalidate(0x200);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->state, MoesiState::Modified);
+}
+
+TEST(Cache, SetStateTransitions)
+{
+    EventQueue eq;
+    Cache c("l2", eq, smallConfig());
+    c.fill(0x300, MoesiState::Exclusive, pattern(3).data());
+    c.setState(0x300, MoesiState::Owned);
+    EXPECT_EQ(c.probe(0x300), MoesiState::Owned);
+    c.setState(0x300, MoesiState::Invalid);
+    EXPECT_EQ(c.probe(0x300), MoesiState::Invalid);
+}
+
+TEST(Cache, ForEachLineVisitsAllValid)
+{
+    EventQueue eq;
+    Cache c("l2", eq, smallConfig());
+    c.fill(0x000, MoesiState::Shared, pattern(0).data());
+    c.fill(0x480, MoesiState::Modified, pattern(1).data());
+    std::set<Addr> seen;
+    c.forEachLine([&](Addr a, const LineFrame &) { seen.insert(a); });
+    EXPECT_EQ(seen, (std::set<Addr>{0x000, 0x480}));
+}
+
+TEST(Cache, RefillUpdatesExistingLine)
+{
+    EventQueue eq;
+    Cache c("l2", eq, smallConfig());
+    c.fill(0x500, MoesiState::Shared, pattern(1).data());
+    auto ev = c.fill(0x500, MoesiState::Exclusive, pattern(2).data());
+    EXPECT_FALSE(ev.has_value());
+    EXPECT_EQ(c.probe(0x500), MoesiState::Exclusive);
+    std::uint8_t b = 0;
+    c.readData(0x500, &b, 1);
+    EXPECT_EQ(b, 2);
+}
+
+TEST(CacheDeathTest, BadGeometryFatal)
+{
+    EventQueue eq;
+    Cache::Config cfg;
+    cfg.size_bytes = 1000; // not divisible by ways*lineSize
+    cfg.ways = 4;
+    EXPECT_EXIT(Cache("bad", eq, cfg), ::testing::ExitedWithCode(1),
+                "divisible");
+}
+
+} // namespace
+} // namespace enzian::cache

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the core/cluster timing model and PMU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "cpu/core_cluster.hh"
+
+namespace enzian::cpu {
+namespace {
+
+StreamKernel
+simpleKernel()
+{
+    StreamKernel k;
+    k.compute_cycles_per_item = 50.0;
+    k.instructions_per_item = 40.0;
+    k.items_per_line = 32.0;
+    k.refill_latency_ns = 100.0; // 200 cycles at 2 GHz
+    k.prefetch_coverage = 0.5;   // 100 exposed cycles per refill
+    k.interconnect_bytes_per_item = 4.0;
+    return k;
+}
+
+TEST(Pmu, DerivedRatios)
+{
+    PmuSample s;
+    s.cycles = 1000;
+    s.instructions = 500;
+    s.memStallCycles = 25;
+    s.l1Refills = 10;
+    EXPECT_DOUBLE_EQ(s.memStallsPerCycle(), 0.025);
+    EXPECT_DOUBLE_EQ(s.cyclesPerL1Refill(), 100.0);
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.5);
+}
+
+TEST(Pmu, AggregationAcrossCores)
+{
+    PmuSample a, b;
+    a.cycles = b.cycles = 100;
+    a.l1Refills = 3;
+    b.l1Refills = 4;
+    a += b;
+    EXPECT_EQ(a.cycles, 200u);
+    EXPECT_EQ(a.l1Refills, 7u);
+}
+
+TEST(Core, CyclesPerItemDecomposition)
+{
+    EventQueue eq;
+    Core core("c", eq);
+    const auto r = core.run(simpleKernel(), 32000);
+    // exposed stall = (1-0.5)*200/32 = 3.125 cyc/item; total 53.125.
+    EXPECT_NEAR(static_cast<double>(r.pmu.cycles), 53.125 * 32000,
+                100.0);
+    EXPECT_NEAR(static_cast<double>(r.pmu.memStallCycles),
+                3.125 * 32000, 10.0);
+    EXPECT_EQ(r.pmu.l1Refills, 1000u);
+    EXPECT_NEAR(r.itemRate, 2e9 / 53.125, 1e5);
+}
+
+TEST(Core, PerfectPrefetchEliminatesStalls)
+{
+    EventQueue eq;
+    Core core("c", eq);
+    StreamKernel k = simpleKernel();
+    k.prefetch_coverage = 1.0;
+    const auto r = core.run(k, 1000);
+    EXPECT_EQ(r.pmu.memStallCycles, 0u);
+    EXPECT_NEAR(r.itemRate, 2e9 / 50.0, 1e5);
+}
+
+TEST(Core, InterconnectRateFollowsItemRate)
+{
+    EventQueue eq;
+    Core core("c", eq);
+    const auto r = core.run(simpleKernel(), 1000);
+    EXPECT_NEAR(r.interconnectRate, r.itemRate * 4.0, 1.0);
+}
+
+TEST(Cluster, LinearScalingWithoutCeiling)
+{
+    EventQueue eq;
+    CoreCluster cluster("cl", eq, 48);
+    const auto k = simpleKernel();
+    const auto r1 = cluster.runParallel(k, 1, 48000, 0);
+    const auto r48 = cluster.runParallel(k, 48, 48000, 0);
+    EXPECT_NEAR(r48.itemRate / r1.itemRate, 48.0, 0.5);
+    EXPECT_FALSE(r48.bandwidthBound);
+}
+
+TEST(Cluster, BandwidthCeilingCapsThroughput)
+{
+    EventQueue eq;
+    CoreCluster cluster("cl", eq, 48);
+    const auto k = simpleKernel();
+    const auto free_run = cluster.runParallel(k, 48, 480000, 0);
+    const double ceiling = free_run.interconnectRate / 2.0;
+    const auto capped = cluster.runParallel(k, 48, 480000, ceiling);
+    EXPECT_TRUE(capped.bandwidthBound);
+    EXPECT_NEAR(capped.interconnectRate, ceiling, ceiling * 0.02);
+    EXPECT_NEAR(capped.itemRate, free_run.itemRate / 2.0,
+                free_run.itemRate * 0.02);
+    // Waiting shows up as extra stall cycles.
+    EXPECT_GT(capped.pmu.memStallCycles, free_run.pmu.memStallCycles);
+}
+
+TEST(Cluster, UnevenItemSplitStillCountsAll)
+{
+    EventQueue eq;
+    CoreCluster cluster("cl", eq, 7);
+    const auto r = cluster.runParallel(simpleKernel(), 7, 100, 0);
+    // 100 items over 7 cores; all items accounted in the PMU refills.
+    EXPECT_NEAR(static_cast<double>(r.pmu.instructions), 4000.0, 50.0);
+}
+
+TEST(ClusterDeathTest, BadActiveCountPanics)
+{
+    EventQueue eq;
+    CoreCluster cluster("cl", eq, 4);
+    EXPECT_DEATH(cluster.runParallel(simpleKernel(), 5, 10, 0),
+                 "active core count");
+}
+
+} // namespace
+} // namespace enzian::cpu

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit and property tests for ECI messages and the serialization
+ * format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "eci/eci_msg.hh"
+#include "eci/eci_serialize.hh"
+
+namespace enzian::eci {
+namespace {
+
+const Opcode allOpcodes[] = {
+    Opcode::RLDD, Opcode::RLDX,  Opcode::RLDI,  Opcode::RSTT,
+    Opcode::RUPG, Opcode::RWBD,  Opcode::REVC,  Opcode::PEMD,
+    Opcode::PACK, Opcode::PNAK,  Opcode::SINV,  Opcode::SFWD,
+    Opcode::SACKI, Opcode::SACKS, Opcode::IOBLD, Opcode::IOBST,
+    Opcode::IOBACK, Opcode::IPI,
+};
+
+EciMsg
+sampleMsg(Opcode op)
+{
+    EciMsg m;
+    m.op = op;
+    m.src = mem::NodeId::Fpga;
+    m.dst = mem::NodeId::Cpu;
+    m.tid = 0xbeef;
+    m.addr = 0x123456780;
+    m.grant = Grant::Exclusive;
+    m.ioLen = 4;
+    m.ioData = 0x1122334455667788ull;
+    for (std::size_t i = 0; i < m.line.size(); ++i)
+        m.line[i] = static_cast<std::uint8_t>(i * 3);
+    return m;
+}
+
+/** Round-trip every opcode through the wire format. */
+class SerializeRoundTrip : public ::testing::TestWithParam<Opcode>
+{
+};
+
+TEST_P(SerializeRoundTrip, PreservesFields)
+{
+    const EciMsg m = sampleMsg(GetParam());
+    const auto bytes = serialize(m);
+    EXPECT_EQ(bytes.size(), m.wireBytes());
+    std::size_t consumed = 0;
+    auto back = deserialize(bytes.data(), bytes.size(), consumed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(back->op, m.op);
+    EXPECT_EQ(back->src, m.src);
+    EXPECT_EQ(back->dst, m.dst);
+    EXPECT_EQ(back->tid, m.tid);
+    EXPECT_EQ(back->addr, m.addr);
+    if (m.op == Opcode::PEMD) {
+        EXPECT_EQ(back->grant, m.grant);
+    }
+    if (carriesLine(m.op)) {
+        EXPECT_EQ(back->line, m.line);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, SerializeRoundTrip,
+                         ::testing::ValuesIn(allOpcodes));
+
+TEST(EciMsg, VcAssignmentsMatchSpec)
+{
+    EXPECT_EQ(vcOf(Opcode::RLDD), Vc::Request);
+    EXPECT_EQ(vcOf(Opcode::RLDX), Vc::Request);
+    EXPECT_EQ(vcOf(Opcode::PEMD), Vc::Data);
+    EXPECT_EQ(vcOf(Opcode::RWBD), Vc::Data);
+    EXPECT_EQ(vcOf(Opcode::RSTT), Vc::Data);
+    EXPECT_EQ(vcOf(Opcode::PACK), Vc::Response);
+    EXPECT_EQ(vcOf(Opcode::SINV), Vc::Snoop);
+    EXPECT_EQ(vcOf(Opcode::SACKI), Vc::SnoopResp);
+    EXPECT_EQ(vcOf(Opcode::IOBLD), Vc::Io);
+    EXPECT_EQ(vcOf(Opcode::IPI), Vc::Ipi);
+}
+
+TEST(EciMsg, WireSizes)
+{
+    EciMsg req = sampleMsg(Opcode::RLDD);
+    EXPECT_EQ(req.wireBytes(), headerBytes);
+    EciMsg data = sampleMsg(Opcode::PEMD);
+    EXPECT_EQ(data.wireBytes(), headerBytes + cache::lineSize);
+}
+
+TEST(EciMsg, ToStringMentionsOpcodeAndNodes)
+{
+    const std::string s = sampleMsg(Opcode::RLDX).toString();
+    EXPECT_NE(s.find("RLDX"), std::string::npos);
+    EXPECT_NE(s.find("fpga->cpu"), std::string::npos);
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    auto bytes = serialize(sampleMsg(Opcode::RLDD));
+    bytes[0] ^= 0xff;
+    std::size_t consumed = 0;
+    EXPECT_FALSE(
+        deserialize(bytes.data(), bytes.size(), consumed).has_value());
+}
+
+TEST(Serialize, RejectsTruncatedHeader)
+{
+    auto bytes = serialize(sampleMsg(Opcode::RLDD));
+    std::size_t consumed = 0;
+    EXPECT_FALSE(deserialize(bytes.data(), headerBytes - 1, consumed)
+                     .has_value());
+}
+
+TEST(Serialize, RejectsTruncatedPayload)
+{
+    auto bytes = serialize(sampleMsg(Opcode::PEMD));
+    std::size_t consumed = 0;
+    EXPECT_FALSE(deserialize(bytes.data(), bytes.size() - 1, consumed)
+                     .has_value());
+}
+
+TEST(Serialize, RejectsVcMismatch)
+{
+    auto bytes = serialize(sampleMsg(Opcode::RLDD));
+    bytes[7] = static_cast<std::uint8_t>(Vc::Data); // wrong circuit
+    std::size_t consumed = 0;
+    EXPECT_FALSE(
+        deserialize(bytes.data(), bytes.size(), consumed).has_value());
+}
+
+TEST(Serialize, RejectsBadOpcode)
+{
+    auto bytes = serialize(sampleMsg(Opcode::RLDD));
+    bytes[4] = 0xee;
+    std::size_t consumed = 0;
+    EXPECT_FALSE(
+        deserialize(bytes.data(), bytes.size(), consumed).has_value());
+}
+
+TEST(Serialize, SnoopResponseDataFlag)
+{
+    EciMsg m = sampleMsg(Opcode::SACKI);
+    m.hasData = false;
+    auto bytes = serialize(m);
+    std::size_t consumed = 0;
+    auto back = deserialize(bytes.data(), bytes.size(), consumed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_FALSE(back->hasData);
+}
+
+TEST(Serialize, StreamOfMessagesParsesSequentially)
+{
+    std::vector<std::uint8_t> stream;
+    for (Opcode op : {Opcode::RLDD, Opcode::PEMD, Opcode::PACK})
+        serializeTo(sampleMsg(op), stream);
+    std::size_t off = 0;
+    std::vector<Opcode> seen;
+    while (off < stream.size()) {
+        std::size_t consumed = 0;
+        auto m = deserialize(stream.data() + off, stream.size() - off,
+                             consumed);
+        ASSERT_TRUE(m.has_value());
+        seen.push_back(m->op);
+        off += consumed;
+    }
+    EXPECT_EQ(seen, (std::vector<Opcode>{Opcode::RLDD, Opcode::PEMD,
+                                         Opcode::PACK}));
+}
+
+} // namespace
+} // namespace enzian::eci
+
+namespace enzian::eci {
+namespace {
+
+/** Property: deserialize never crashes or over-reads on fuzz input. */
+TEST(SerializeFuzz, RandomBuffersAreRejectedSafely)
+{
+    Rng rng(0xf022);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> buf(rng.below(200) + 1);
+        for (auto &b : buf)
+            b = static_cast<std::uint8_t>(rng.next());
+        std::size_t consumed = 0;
+        auto msg = deserialize(buf.data(), buf.size(), consumed);
+        if (msg) {
+            // Anything accepted must be internally consistent.
+            EXPECT_LE(consumed, buf.size());
+            EXPECT_EQ(msg->vc(), vcOf(msg->op));
+        }
+    }
+}
+
+/** Property: bit-flipping a valid message never breaks the parser. */
+TEST(SerializeFuzz, BitFlippedMessagesParseOrRejectCleanly)
+{
+    Rng rng(99);
+    EciMsg m;
+    m.op = Opcode::PEMD;
+    m.src = mem::NodeId::Fpga;
+    m.dst = mem::NodeId::Cpu;
+    m.tid = 5;
+    m.addr = 0x1000;
+    auto bytes = serialize(m);
+    for (int trial = 0; trial < 2000; ++trial) {
+        auto mut = bytes;
+        mut[rng.below(mut.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+        std::size_t consumed = 0;
+        auto parsed = deserialize(mut.data(), mut.size(), consumed);
+        if (parsed) {
+            EXPECT_LE(consumed, mut.size());
+        }
+    }
+}
+
+} // namespace
+} // namespace enzian::eci

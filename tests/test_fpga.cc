@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the FPGA fabric, bitstream registry, and Coyote shell.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/bitstream.hh"
+#include "fpga/fabric.hh"
+#include "fpga/shell.hh"
+
+namespace enzian::fpga {
+namespace {
+
+TEST(Bitstream, RegistryContainsEvaluationImages)
+{
+    for (const char *name :
+         {"eci-bench", "coyote-shell", "tcp-stack", "strom-rdma",
+          "gbdt-1engine", "gbdt-2engine", "rgb2y-8bpp", "rgb2y-4bpp",
+          "power-burn"}) {
+        const Bitstream &b = findBitstream(name);
+        EXPECT_EQ(b.name, name);
+        EXPECT_GE(b.clock_hz, 200e6);
+        EXPECT_LE(b.clock_hz, 300e6);
+    }
+}
+
+TEST(BitstreamDeathTest, UnknownNameFatal)
+{
+    EXPECT_EXIT(findBitstream("nope"), ::testing::ExitedWithCode(1),
+                "unknown bitstream");
+}
+
+TEST(Fabric, LoadSwitchesClock)
+{
+    EventQueue eq;
+    Fabric f("fab", eq, Fabric::Config{});
+    f.loadBitstream(findBitstream("eci-bench"));
+    EXPECT_NEAR(f.clock().frequencyHz(), 300e6, 1.0);
+    EXPECT_TRUE(f.eciReady());
+    f.loadBitstream(findBitstream("power-burn"));
+    EXPECT_NEAR(f.clock().frequencyHz(), 200e6, 1.0);
+    EXPECT_FALSE(f.eciReady()); // burn image has no ECI layers
+}
+
+TEST(Fabric, ProgrammingTakesTime)
+{
+    EventQueue eq;
+    Fabric f("fab", eq, Fabric::Config{});
+    const Tick done = f.loadBitstream(findBitstream("coyote-shell"));
+    EXPECT_NEAR(units::toSeconds(done), 8.0, 0.01);
+}
+
+TEST(Fabric, RegionActivityAveraging)
+{
+    EventQueue eq;
+    Fabric f("fab", eq, Fabric::Config{});
+    EXPECT_EQ(f.regionCount(), 24u);
+    EXPECT_DOUBLE_EQ(f.meanActivity(), 0.0);
+    for (std::uint32_t i = 0; i < 12; ++i)
+        f.setRegionActivity(i, 1.0);
+    EXPECT_NEAR(f.meanActivity(), 0.5, 1e-9);
+    f.setAllActivity(0.25);
+    EXPECT_NEAR(f.meanActivity(), 0.25, 1e-9);
+}
+
+TEST(FabricDeathTest, BadActivityFatal)
+{
+    EventQueue eq;
+    Fabric f("fab", eq, Fabric::Config{});
+    EXPECT_EXIT(f.setRegionActivity(0, 2.0),
+                ::testing::ExitedWithCode(1), "activity");
+}
+
+class ShellTest : public ::testing::Test
+{
+  protected:
+    ShellTest()
+        : fabric("fab", eq, Fabric::Config{}),
+          shell("shell", eq, fabric, Shell::Config{})
+    {
+        fabric.loadBitstream(findBitstream("coyote-shell"));
+    }
+
+    EventQueue eq;
+    Fabric fabric;
+    Shell shell;
+};
+
+TEST_F(ShellTest, LoadAppOccupiesSlot)
+{
+    EXPECT_FALSE(shell.occupied(0));
+    shell.loadApp(0, "gbdt");
+    EXPECT_TRUE(shell.occupied(0));
+    EXPECT_EQ(shell.vfpga(0).appName(), "gbdt");
+    EXPECT_EQ(shell.reconfigurations(), 1u);
+}
+
+TEST_F(ShellTest, PartialReconfigTakesTime)
+{
+    const Tick done = shell.loadApp(1, "strom");
+    EXPECT_GT(done, 0u);
+    EXPECT_LT(units::toSeconds(done), 1.0); // much less than full prog
+}
+
+TEST_F(ShellTest, VfpgaTranslationAndProtection)
+{
+    shell.loadApp(0, "app");
+    Vfpga &v = shell.vfpga(0);
+    v.map(0x1000, 0x40000, 0x2000, /*writable=*/true);
+    v.map(0x8000, 0x90000, 0x1000, /*writable=*/false);
+
+    EXPECT_EQ(v.translate(0x1000, false), 0x40000u);
+    EXPECT_EQ(v.translate(0x1abc, true), 0x40abcu);
+    EXPECT_EQ(v.translate(0x8010, false), 0x90010u);
+
+    Addr p = 0;
+    EXPECT_FALSE(v.translateOrFault(0x8010, true, p)); // read-only
+    EXPECT_FALSE(v.translateOrFault(0x3000, false, p)); // unmapped
+    EXPECT_FALSE(v.translateOrFault(0x8fff + 1, false, p)); // past end
+}
+
+TEST_F(ShellTest, MappingOverlapRejected)
+{
+    shell.loadApp(0, "app");
+    Vfpga &v = shell.vfpga(0);
+    v.map(0x1000, 0x40000, 0x2000, true);
+    EXPECT_EXIT(v.map(0x1800, 0x50000, 0x100, true),
+                ::testing::ExitedWithCode(1), "overlaps");
+}
+
+TEST_F(ShellTest, UnmapRemovesTranslation)
+{
+    shell.loadApp(0, "app");
+    Vfpga &v = shell.vfpga(0);
+    v.map(0x1000, 0x40000, 0x1000, true);
+    v.unmap(0x1000);
+    Addr p = 0;
+    EXPECT_FALSE(v.translateOrFault(0x1000, false, p));
+}
+
+TEST_F(ShellTest, IsolationBetweenVfpgas)
+{
+    shell.loadApp(0, "a");
+    shell.loadApp(1, "b");
+    shell.vfpga(0).map(0x1000, 0x40000, 0x1000, true);
+    Addr p = 0;
+    EXPECT_FALSE(shell.vfpga(1).translateOrFault(0x1000, false, p));
+}
+
+TEST_F(ShellTest, ServicesRegistry)
+{
+    int service = 42;
+    shell.registerService("tcp", &service);
+    EXPECT_EQ(shell.findService("tcp"), &service);
+    EXPECT_EQ(shell.findService("rdma"), nullptr);
+}
+
+TEST_F(ShellTest, LoadWithoutShellBitstreamFatal)
+{
+    fabric.loadBitstream(findBitstream("eci-bench")); // not a shell
+    EXPECT_EXIT(shell.loadApp(0, "app"), ::testing::ExitedWithCode(1),
+                "shell bitstream");
+}
+
+} // namespace
+} // namespace enzian::fpga
+
+#include "fpga/scheduler.hh"
+
+namespace enzian::fpga {
+namespace {
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    SchedulerTest()
+        : fabric("fab", eq, Fabric::Config{}),
+          shell("shell", eq, fabric, Shell::Config{})
+    {
+        fabric.loadBitstream(findBitstream("coyote-shell"));
+    }
+
+    VfpgaScheduler
+    makeSched(SchedPolicy policy, Tick quantum = units::ms(10.0))
+    {
+        VfpgaScheduler::Config cfg;
+        cfg.policy = policy;
+        cfg.quantum = quantum;
+        return VfpgaScheduler("sched", eq, shell, cfg);
+    }
+
+    EventQueue eq;
+    Fabric fabric;
+    Shell shell;
+};
+
+TEST_F(SchedulerTest, SpatialMultiplexingRunsJobsConcurrently)
+{
+    auto sched = makeSched(SchedPolicy::Fifo);
+    Tick t1 = 0, t2 = 0;
+    sched.submit("a", units::sec(1.0), [&](Tick t) { t1 = t; });
+    sched.submit("b", units::sec(1.0), [&](Tick t) { t2 = t; });
+    EXPECT_EQ(sched.running(), 2u); // 4 slots, both placed at once
+    eq.run();
+    // Concurrent: both finish around 1 s + 0.35 s reconfiguration,
+    // not 2.7 s serialized.
+    EXPECT_LT(units::toSeconds(t1), 1.5);
+    EXPECT_LT(units::toSeconds(t2), 1.5);
+    EXPECT_EQ(sched.jobsCompleted(), 2u);
+}
+
+TEST_F(SchedulerTest, QueuesBeyondSlotCount)
+{
+    auto sched = makeSched(SchedPolicy::Fifo);
+    int done = 0;
+    for (int i = 0; i < 6; ++i) // 4 slots
+        sched.submit("app" + std::to_string(i), units::ms(10),
+                     [&](Tick) { ++done; });
+    EXPECT_EQ(sched.running(), 4u);
+    EXPECT_EQ(sched.queued(), 2u);
+    eq.run();
+    EXPECT_EQ(done, 6);
+    EXPECT_EQ(sched.preemptions(), 0u); // FIFO runs to completion
+}
+
+TEST_F(SchedulerTest, RoundRobinPreemptsLongJobs)
+{
+    auto sched = makeSched(SchedPolicy::RoundRobin, units::sec(0.5));
+    Tick long_done = 0, short_done = 0;
+    // Fill all four slots with long jobs, then submit a short one.
+    for (int i = 0; i < 4; ++i)
+        sched.submit("long" + std::to_string(i), units::sec(5.0),
+                     [&](Tick t) { long_done = std::max(long_done, t); });
+    sched.submit("short", units::sec(0.4), [&](Tick t) {
+        short_done = t;
+    });
+    eq.run();
+    EXPECT_GT(sched.preemptions(), 0u);
+    // The short job did not wait for a 5 s job to finish.
+    EXPECT_LT(short_done, long_done);
+    EXPECT_LT(units::toSeconds(short_done), 2.5);
+    EXPECT_EQ(sched.jobsCompleted(), 5u);
+}
+
+TEST_F(SchedulerTest, NoPointlessPreemptionWhenQueueEmpty)
+{
+    auto sched = makeSched(SchedPolicy::RoundRobin, units::ms(1));
+    bool done = false;
+    sched.submit("only", units::ms(50), [&](Tick) { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sched.preemptions(), 0u);
+    // Only the initial placement paid reconfiguration.
+    EXPECT_NEAR(units::toSeconds(sched.reconfigTime()), 0.35, 0.01);
+}
+
+TEST_F(SchedulerTest, ReconfigurationTaxAccumulates)
+{
+    auto sched = makeSched(SchedPolicy::RoundRobin, units::sec(0.2));
+    int done = 0;
+    for (int i = 0; i < 8; ++i)
+        sched.submit("j" + std::to_string(i), units::sec(0.5),
+                     [&](Tick) { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 8);
+    // Every placement (initial + after preemption) pays 0.35 s.
+    const double expected_min =
+        0.35 * (8 + sched.preemptions());
+    EXPECT_NEAR(units::toSeconds(sched.reconfigTime()), expected_min,
+                0.35);
+}
+
+} // namespace
+} // namespace enzian::fpga

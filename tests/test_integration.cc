@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Cross-module integration tests: whole-machine scenarios that
+ * exercise the shell, protocol, accelerators, tracing, and BMC
+ * together.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "accel/frame.hh"
+#include "accel/rgb2y_pipeline.hh"
+#include "accel/vision_pipeline.hh"
+#include "platform/enzian_machine.hh"
+#include "platform/platform_factory.hh"
+#include "trace/checker.hh"
+#include "trace/decoder.hh"
+
+namespace enzian {
+namespace {
+
+using mem::AddressMap;
+using platform::EnzianMachine;
+
+EnzianMachine::Config
+smallConfig()
+{
+    auto cfg = platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 64ull << 20;
+    cfg.fpga_dram_bytes = 64ull << 20;
+    return cfg;
+}
+
+TEST(Integration, CoyoteStyleAppLifecycle)
+{
+    EnzianMachine m(smallConfig());
+    m.loadBitstream("coyote-shell");
+    m.shell().loadApp(0, "gbdt");
+
+    // The shell maps a vFPGA window onto FPGA DRAM; the app address
+    // space is virtual.
+    auto &v = m.shell().vfpga(0);
+    v.map(0x0, 0x100000, 1 << 20, true);
+    const Addr paddr = v.translate(0x4000, true);
+    EXPECT_EQ(paddr, 0x104000u);
+
+    // CPU writes into the app's buffer through ECI coherently.
+    std::vector<std::uint8_t> data(cache::lineSize, 0x3c);
+    bool done = false;
+    m.cpuRemote().writeLineUncached(AddressMap::fpgaDramBase + paddr,
+                                    data.data(),
+                                    [&](Tick) { done = true; });
+    m.eventq().run();
+    ASSERT_TRUE(done);
+    std::uint8_t back[cache::lineSize];
+    m.fpgaMem().store().read(paddr, back, cache::lineSize);
+    EXPECT_EQ(std::memcmp(back, data.data(), cache::lineSize), 0);
+}
+
+TEST(Integration, TracedVisionPipelineIsProtocolClean)
+{
+    EnzianMachine m(smallConfig());
+    trace::EciTrace tr;
+    tr.attach(m.fabric());
+
+    accel::Frame frame = accel::makeFrame(5, 0, 512, 4);
+    accel::preloadFrame(m.fpgaMem().store(), 0, frame);
+    accel::Rgb2yLineSource::Config pcfg;
+    pcfg.reduction = accel::Reduction::Y8;
+    pcfg.input_base = AddressMap::fpgaDramBase;
+    pcfg.view_base = AddressMap::fpgaDramBase + (16ull << 20);
+    pcfg.view_size = frame.pixels();
+    accel::Rgb2yLineSource src(m.fpgaMem(), m.map(), m.fpga().clock(),
+                               pcfg);
+    m.fpgaHome().setLineSource(&src);
+
+    std::vector<std::uint8_t> y(frame.pixels());
+    std::uint32_t done = 0;
+    for (std::uint64_t l = 0; l < y.size() / cache::lineSize; ++l) {
+        m.cpuRemote().readLine(pcfg.view_base + l * cache::lineSize,
+                               y.data() + l * cache::lineSize,
+                               [&](Tick) { ++done; });
+    }
+    m.eventq().run();
+    ASSERT_EQ(done, y.size() / cache::lineSize);
+
+    // The blur stage consumes the hardware-produced luminance.
+    std::vector<std::uint8_t> blurred(y.size());
+    accel::gaussianBlur3x3(y.data(), frame.width, frame.height,
+                           blurred.data());
+    // Same as the pure-software pipeline output.
+    EXPECT_EQ(blurred, accel::softwarePipeline(frame));
+
+    // And the ECI conversation was protocol-clean.
+    trace::ProtocolChecker checker;
+    checker.check(tr);
+    checker.finalize();
+    EXPECT_TRUE(checker.clean())
+        << (checker.violations().empty() ? ""
+                                         : checker.violations()[0]);
+}
+
+TEST(Integration, TraceSerializationSurvivesRealWorkload)
+{
+    EnzianMachine m(smallConfig());
+    trace::EciTrace tr;
+    tr.attach(m.fabric());
+    std::uint32_t done = 0;
+    for (int i = 0; i < 16; ++i) {
+        m.fpgaRemote().readLineUncached(static_cast<Addr>(i) * 128,
+                                        nullptr,
+                                        [&](Tick) { ++done; });
+    }
+    m.eventq().run();
+    ASSERT_EQ(done, 16u);
+
+    auto bytes = tr.toBytes();
+    trace::EciTrace back;
+    ASSERT_TRUE(back.fromBytes(bytes));
+    EXPECT_EQ(back.size(), tr.size());
+    const auto sum = trace::summarize(back);
+    EXPECT_EQ(sum.byOpcode.at("RLDI"), 16u);
+    EXPECT_EQ(sum.byOpcode.at("PEMD"), 16u);
+}
+
+TEST(Integration, LaneDialDownStillCoherentJustSlower)
+{
+    // The BDK can bring ECI up with 4 lanes instead of 12 per link
+    // (paper section 4.4); everything still works, only slower.
+    auto run = [](std::uint32_t lanes) {
+        auto cfg = smallConfig();
+        cfg.link.lanes = lanes;
+        EnzianMachine m(cfg);
+        Tick last = 0;
+        std::uint32_t done = 0;
+        const int n = 64;
+        for (int i = 0; i < n; ++i) {
+            m.fpgaRemote().readLineUncached(
+                static_cast<Addr>(i) * 128, nullptr, [&](Tick t) {
+                    ++done;
+                    last = std::max(last, t);
+                });
+        }
+        m.eventq().run();
+        EXPECT_EQ(done, static_cast<std::uint32_t>(n));
+        return last;
+    };
+    EXPECT_GT(run(4), run(12));
+}
+
+TEST(Integration, BalancePolicySweepAllComplete)
+{
+    for (auto policy :
+         {eci::BalancePolicy::SingleLink, eci::BalancePolicy::RoundRobin,
+          eci::BalancePolicy::AddressHash,
+          eci::BalancePolicy::LeastLoaded}) {
+        auto cfg = smallConfig();
+        cfg.policy = policy;
+        EnzianMachine m(cfg);
+        std::uint32_t done = 0;
+        for (int i = 0; i < 100; ++i) {
+            std::vector<std::uint8_t> d(cache::lineSize,
+                                        static_cast<std::uint8_t>(i));
+            m.fpgaRemote().writeLineUncached(
+                static_cast<Addr>(i) * 128, d.data(),
+                [&](Tick) { ++done; });
+        }
+        m.eventq().run();
+        EXPECT_EQ(done, 100u) << toString(policy);
+        // Functional spot check.
+        std::uint8_t back[cache::lineSize];
+        m.cpuMem().store().read(99 * 128, back, cache::lineSize);
+        EXPECT_EQ(back[0], 99);
+    }
+}
+
+TEST(Integration, IoDoorbellDrivenDmaPattern)
+{
+    // The classic shell pattern: CPU writes a doorbell in the FPGA
+    // I/O window; the "FPGA app" reacts by reading a descriptor from
+    // host memory over ECI.
+    EnzianMachine m(smallConfig());
+
+    // Descriptor in host memory.
+    struct Desc
+    {
+        std::uint64_t addr;
+        std::uint64_t len;
+    } desc{0x8000, 128};
+    m.cpuMem().store().write(0x4000, &desc, sizeof(desc));
+    std::vector<std::uint8_t> payload(cache::lineSize, 0x77);
+    m.cpuMem().store().write(0x8000, payload.data(), payload.size());
+
+    bool transferred = false;
+    eci::IoDevice doorbell;
+    doorbell.write = [&](Addr, std::uint64_t desc_addr, std::uint32_t) {
+        // FPGA fetches the descriptor, then the payload, both over ECI.
+        auto buf = std::make_shared<std::vector<std::uint8_t>>(
+            cache::lineSize);
+        m.fpgaRemote().readLineUncached(
+            cache::lineAlign(desc_addr), buf->data(), [&, buf](Tick) {
+                Desc d;
+                std::memcpy(&d, buf->data(), sizeof(d));
+                auto pay = std::make_shared<
+                    std::vector<std::uint8_t>>(cache::lineSize);
+                m.fpgaRemote().readLineUncached(
+                    d.addr, pay->data(), [&, pay](Tick) {
+                        m.fpgaMem().store().write(0x0, pay->data(),
+                                                  cache::lineSize);
+                        transferred = true;
+                    });
+            });
+    };
+    doorbell.read = [](Addr, std::uint32_t) { return 0ull; };
+    m.fpgaIo().map("doorbell", 0x0, 0x8, doorbell);
+
+    bool rung = false;
+    m.cpuRemote().ioWrite(0x0, 0x4000, 8, [&](Tick) { rung = true; });
+    m.eventq().run();
+    EXPECT_TRUE(rung);
+    EXPECT_TRUE(transferred);
+    std::uint8_t back[cache::lineSize];
+    m.fpgaMem().store().read(0, back, cache::lineSize);
+    EXPECT_EQ(back[0], 0x77);
+}
+
+TEST(Integration, StressManyLinesRandomMix)
+{
+    EnzianMachine m(smallConfig());
+    Rng rng(2024);
+    trace::EciTrace tr;
+    tr.attach(m.fabric());
+    std::uint32_t done = 0, expected = 0;
+    for (int i = 0; i < 500; ++i) {
+        const Addr cpu_line = rng.below(1 << 18) * cache::lineSize %
+                              (32ull << 20);
+        const Addr fpga_line =
+            AddressMap::fpgaDramBase +
+            rng.below(1 << 18) * cache::lineSize % (32ull << 20);
+        std::vector<std::uint8_t> d(cache::lineSize,
+                                    static_cast<std::uint8_t>(i));
+        switch (rng.below(4)) {
+          case 0:
+            m.cpuRemote().readLine(fpga_line, nullptr,
+                                   [&](Tick) { ++done; });
+            break;
+          case 1:
+            m.cpuRemote().writeLine(fpga_line, d.data(),
+                                    [&](Tick) { ++done; });
+            break;
+          case 2:
+            m.fpgaRemote().readLineUncached(cpu_line, nullptr,
+                                            [&](Tick) { ++done; });
+            break;
+          case 3:
+            m.fpgaRemote().writeLineUncached(cpu_line, d.data(),
+                                             [&](Tick) { ++done; });
+            break;
+        }
+        ++expected;
+    }
+    m.eventq().run();
+    EXPECT_EQ(done, expected);
+    trace::ProtocolChecker checker;
+    checker.check(tr);
+    checker.finalize();
+    EXPECT_TRUE(checker.clean())
+        << (checker.violations().empty() ? ""
+                                         : checker.violations()[0]);
+}
+
+} // namespace
+} // namespace enzian

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the runtime-verification engine: monitor semantics,
+ * end-of-stream obligations, throughput/drop modelling, and live
+ * checking of real ECI traffic (the "test harness" partitioning of
+ * paper section 3 / the section 6 use-case).
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/enzian_machine.hh"
+#include "platform/platform_factory.hh"
+#include "trace/rtv.hh"
+
+namespace enzian::trace {
+namespace {
+
+RtvEvent
+ev(Tick when, std::uint32_t id, std::uint64_t arg = 0)
+{
+    return RtvEvent{when, id, arg};
+}
+
+RtvPred
+idIs(std::uint32_t id)
+{
+    return [id](const RtvEvent &e) { return e.id == id; };
+}
+
+class EngineFixture : public ::testing::Test
+{
+  protected:
+    EngineFixture() : engine("rtv", eq, RtvEngine::Config{}) {}
+
+    EventQueue eq;
+    RtvEngine engine;
+};
+
+TEST_F(EngineFixture, AlwaysHoldsAndFails)
+{
+    auto &m = engine.addMonitor(std::make_unique<AlwaysMonitor>(
+        "arg-nonzero",
+        [](const RtvEvent &e) { return e.arg != 0; }));
+    engine.feed(ev(10, 1, 5));
+    engine.feed(ev(20, 1, 7));
+    EXPECT_TRUE(m.clean());
+    engine.feed(ev(30, 1, 0));
+    EXPECT_FALSE(m.clean());
+    EXPECT_EQ(m.violations().size(), 1u);
+}
+
+TEST_F(EngineFixture, NeverFlagsForbiddenEvent)
+{
+    auto &m = engine.addMonitor(
+        std::make_unique<NeverMonitor>("no-panic", idIs(99)));
+    engine.feed(ev(10, 1));
+    EXPECT_TRUE(m.clean());
+    engine.feed(ev(20, 99));
+    EXPECT_FALSE(m.clean());
+}
+
+TEST_F(EngineFixture, PrecedesOrderingBothWays)
+{
+    auto &good = engine.addMonitor(std::make_unique<PrecedesMonitor>(
+        "init-before-use", idIs(1), idIs(2)));
+    engine.feed(ev(10, 1)); // init
+    engine.feed(ev(20, 2)); // use
+    EXPECT_TRUE(good.clean());
+
+    RtvEngine engine2("rtv2", eq, RtvEngine::Config{});
+    auto &bad = engine2.addMonitor(std::make_unique<PrecedesMonitor>(
+        "init-before-use", idIs(1), idIs(2)));
+    engine2.feed(ev(10, 2)); // use before init
+    EXPECT_FALSE(bad.clean());
+}
+
+TEST_F(EngineFixture, ResponseWithinDeadlineMet)
+{
+    auto &m = engine.addMonitor(
+        std::make_unique<ResponseWithinMonitor>(
+            "req-gets-rsp", idIs(1), idIs(2), units::us(1)));
+    engine.feed(ev(units::ns(100), 1));
+    engine.feed(ev(units::ns(600), 2));
+    engine.finish();
+    EXPECT_TRUE(m.clean());
+}
+
+TEST_F(EngineFixture, ResponseWithinDeadlineMissed)
+{
+    auto &m = engine.addMonitor(
+        std::make_unique<ResponseWithinMonitor>(
+            "req-gets-rsp", idIs(1), idIs(2), units::ns(500)));
+    engine.feed(ev(units::ns(100), 1));
+    engine.feed(ev(units::us(2), 2)); // too late
+    EXPECT_FALSE(m.clean());
+}
+
+TEST_F(EngineFixture, ResponseOutstandingAtEndOfStream)
+{
+    auto &m = engine.addMonitor(
+        std::make_unique<ResponseWithinMonitor>(
+            "req-gets-rsp", idIs(1), idIs(2), units::us(1)));
+    engine.feed(ev(units::ns(100), 1));
+    engine.finish();
+    EXPECT_FALSE(m.clean());
+}
+
+TEST_F(EngineFixture, MultipleOutstandingTriggersFifoMatch)
+{
+    auto &m = engine.addMonitor(
+        std::make_unique<ResponseWithinMonitor>(
+            "pairs", idIs(1), idIs(2), units::us(10)));
+    engine.feed(ev(units::ns(100), 1));
+    engine.feed(ev(units::ns(200), 1));
+    engine.feed(ev(units::ns(300), 2));
+    engine.feed(ev(units::ns(400), 2));
+    engine.finish();
+    EXPECT_TRUE(m.clean());
+}
+
+TEST_F(EngineFixture, ThroughputKeepsUpAtLineRate)
+{
+    // 250 MHz x 1 event/cycle = 250 M events/s; feed below that.
+    engine.addMonitor(std::make_unique<NeverMonitor>(
+        "nothing", [](const RtvEvent &) { return false; }));
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        engine.feed(ev(i * units::ns(8), 1)); // 125 M/s
+    EXPECT_EQ(engine.eventsDropped(), 0u);
+    EXPECT_EQ(engine.eventsProcessed(), 10000u);
+}
+
+TEST_F(EngineFixture, OverdrivenEngineReportsDrops)
+{
+    RtvEngine::Config cfg;
+    cfg.clock_hz = 1e6; // deliberately tiny: 1 M events/s
+    cfg.fifo_depth = 16;
+    RtvEngine slow("slow", eq, cfg);
+    slow.addMonitor(std::make_unique<NeverMonitor>(
+        "nothing", [](const RtvEvent &) { return false; }));
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        slow.feed(ev(i, 1)); // effectively infinite rate
+    EXPECT_GT(slow.eventsDropped(), 0u);
+    EXPECT_LT(slow.eventsProcessed(), 1000u);
+}
+
+TEST(RtvEci, LiveProtocolPropertyOnRealTraffic)
+{
+    // Compile "every RLDI is answered by a PEMD within 5 us" into the
+    // engine and tap the live fabric while a workload runs.
+    auto cfg = platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 64ull << 20;
+    cfg.fpga_dram_bytes = 64ull << 20;
+    platform::EnzianMachine m(cfg);
+    RtvEngine engine("rtv", m.eventq(), RtvEngine::Config{});
+    auto &resp = engine.addMonitor(
+        std::make_unique<ResponseWithinMonitor>(
+            "rldi-answered",
+            idIs(static_cast<std::uint32_t>(eci::Opcode::RLDI)),
+            idIs(static_cast<std::uint32_t>(eci::Opcode::PEMD)),
+            units::us(5)));
+    auto &never = engine.addMonitor(std::make_unique<NeverMonitor>(
+        "no-nak",
+        idIs(static_cast<std::uint32_t>(eci::Opcode::PNAK))));
+    engine.attachEciTap(m.fabric());
+
+    std::uint32_t done = 0;
+    for (int i = 0; i < 64; ++i) {
+        m.fpgaRemote().readLineUncached(
+            static_cast<Addr>(i) * cache::lineSize, nullptr,
+            [&](Tick) { ++done; });
+    }
+    m.eventq().run();
+    engine.finish();
+    ASSERT_EQ(done, 64u);
+    EXPECT_TRUE(resp.clean())
+        << (resp.violations().empty() ? "" : resp.violations()[0]);
+    EXPECT_TRUE(never.clean());
+    EXPECT_EQ(engine.eventsProcessed(), 128u); // 64 RLDI + 64 PEMD
+}
+
+} // namespace
+} // namespace enzian::trace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the event kernel and clock domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&]() { order.push_back(3); });
+    eq.schedule(100, [&]() { order.push_back(1); });
+    eq.schedule(200, [&]() { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(50, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSuppressesEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    const EventId id = eq.schedule(10, [&]() { ran = true; });
+    eq.cancel(id);
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RunUntilAdvancesTime)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(100, [&]() { ++count; });
+    eq.schedule(500, [&]() { ++count; });
+    EXPECT_EQ(eq.runUntil(200), 1u);
+    EXPECT_EQ(eq.now(), 200u);
+    EXPECT_EQ(count, 1);
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 5)
+            eq.scheduleDelta(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, DeltaSchedulesRelativeToNow)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.schedule(100, [&]() {
+        eq.scheduleDelta(25, [&]() { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 125u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, []() {}), "in the past");
+}
+
+TEST(EventQueue, CountsSchedulingActivity)
+{
+    EventQueue eq;
+    eq.schedule(1, []() {});
+    eq.schedule(2, []() {});
+    eq.run();
+    EXPECT_EQ(eq.eventsScheduled(), 2u);
+    EXPECT_EQ(eq.eventsExecuted(), 2u);
+}
+
+TEST(ClockDomain, PeriodAndConversions)
+{
+    ClockDomain clk("t", 1e9); // 1 GHz -> 1000 ps
+    EXPECT_EQ(clk.period(), 1000u);
+    EXPECT_EQ(clk.cyclesToTicks(5), 5000u);
+    EXPECT_EQ(clk.ticksToCycles(5000), 5u);
+    EXPECT_EQ(clk.ticksToCycles(5001), 6u); // rounds up
+}
+
+TEST(ClockDomain, FrequencyChange)
+{
+    ClockDomain clk("fpga", 200e6);
+    EXPECT_EQ(clk.period(), 5000u);
+    clk.setFrequencyHz(300e6);
+    EXPECT_NEAR(static_cast<double>(clk.period()), 3333.0, 1.0);
+}
+
+TEST(ClockDomainDeathTest, ZeroFrequencyFatal)
+{
+    EXPECT_EXIT(ClockDomain("bad", 0.0),
+                ::testing::ExitedWithCode(1), "frequency");
+}
+
+TEST(SimObject, NameAndStats)
+{
+    EventQueue eq;
+    SimObject obj("a.b.c", eq);
+    EXPECT_EQ(obj.name(), "a.b.c");
+    EXPECT_EQ(obj.stats().name(), "a.b.c");
+    EXPECT_EQ(obj.now(), 0u);
+}
+
+} // namespace
+} // namespace enzian

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the NVMe device model and the smart storage controller
+ * (in-storage scan offload + DRAM block cache).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "platform/params.hh"
+#include "storage/smart_storage.hh"
+
+namespace enzian::storage {
+namespace {
+
+class StorageFixture : public ::testing::Test
+{
+  protected:
+    StorageFixture()
+        : device("ssd", eq, NvmeDevice::Config{}),
+          fpga_mem("fpga.mem", eq, 256ull << 20, 4,
+                   platform::params::fpgaDramConfig()),
+          ctrl("smart", eq, device, fpga_mem,
+               SmartStorageController::Config{})
+    {
+    }
+
+    EventQueue eq;
+    NvmeDevice device;
+    mem::MemoryController fpga_mem;
+    SmartStorageController ctrl;
+};
+
+TEST_F(StorageFixture, DeviceReadWriteRoundTrip)
+{
+    std::vector<std::uint8_t> block(blockBytes);
+    for (std::size_t i = 0; i < block.size(); ++i)
+        block[i] = static_cast<std::uint8_t>(i * 3);
+    bool wrote = false;
+    Tick w_at = 0;
+    device.write(7, 1, block.data(), [&](Tick t) {
+        wrote = true;
+        w_at = t;
+    });
+    eq.run();
+    ASSERT_TRUE(wrote);
+    // Flash program latency dominates: ~500 us.
+    EXPECT_NEAR(units::toMicros(w_at), 500.0, 60.0);
+
+    std::vector<std::uint8_t> back(blockBytes);
+    bool read_done = false;
+    Tick r_at = 0;
+    const Tick t0 = eq.now();
+    device.read(7, 1, back.data(), [&](Tick t) {
+        read_done = true;
+        r_at = t - t0;
+    });
+    eq.run();
+    ASSERT_TRUE(read_done);
+    EXPECT_EQ(back, block);
+    EXPECT_NEAR(units::toMicros(r_at), 80.0, 20.0);
+}
+
+TEST_F(StorageFixture, DeviceChannelsOverlapCommands)
+{
+    // 8 concurrent 4K reads on 8 channels finish ~together, far
+    // faster than 8x serial latency.
+    std::vector<std::vector<std::uint8_t>> bufs(
+        8, std::vector<std::uint8_t>(blockBytes));
+    Tick last = 0;
+    int done = 0;
+    for (int i = 0; i < 8; ++i) {
+        device.read(static_cast<std::uint64_t>(i) * 16, 1,
+                    bufs[static_cast<std::size_t>(i)].data(),
+                    [&](Tick t) {
+                        ++done;
+                        last = std::max(last, t);
+                    });
+    }
+    eq.run();
+    ASSERT_EQ(done, 8);
+    EXPECT_LT(units::toMicros(last), 2.0 * 80.0 + 20.0);
+}
+
+TEST_F(StorageFixture, DeviceBoundsChecked)
+{
+    std::uint8_t b[blockBytes];
+    EXPECT_DEATH(device.read(device.blockCount(), 1, b, [](Tick) {}),
+                 "past capacity");
+}
+
+TEST_F(StorageFixture, DramEmulatedDeviceIsFast)
+{
+    NvmeDevice nvm("nvm", eq,
+                   NvmeDevice::dramEmulated(1ull << 30));
+    std::uint8_t b[blockBytes] = {};
+    Tick r_at = 0;
+    nvm.read(0, 1, b, [&](Tick t) { r_at = t; });
+    eq.run();
+    EXPECT_LT(units::toMicros(r_at), 5.0);
+}
+
+TEST_F(StorageFixture, CacheHitsServeFromDram)
+{
+    std::vector<std::uint8_t> block(blockBytes, 0x3e);
+    device.media().write(42 * blockBytes, block.data(), blockBytes);
+
+    std::vector<std::uint8_t> out(blockBytes);
+    Tick miss_t = 0, hit_t = 0;
+    bool first = false;
+    ctrl.readBlock(42, out.data(), [&](Tick t) {
+        miss_t = t;
+        first = true;
+    });
+    eq.run();
+    ASSERT_TRUE(first);
+    EXPECT_EQ(out[0], 0x3e);
+    EXPECT_EQ(ctrl.cacheMisses(), 1u);
+
+    const Tick t0 = eq.now();
+    bool second = false;
+    ctrl.readBlock(42, out.data(), [&](Tick t) {
+        hit_t = t - t0;
+        second = true;
+    });
+    eq.run();
+    ASSERT_TRUE(second);
+    EXPECT_EQ(ctrl.cacheHits(), 1u);
+    // DRAM-class vs flash-class latency.
+    EXPECT_LT(units::toMicros(hit_t), 5.0);
+    EXPECT_GT(units::toMicros(miss_t), 50.0);
+}
+
+TEST_F(StorageFixture, WriteThroughUpdatesCacheAndMedia)
+{
+    std::vector<std::uint8_t> v1(blockBytes, 0x01);
+    std::vector<std::uint8_t> v2(blockBytes, 0x02);
+    std::vector<std::uint8_t> out(blockBytes);
+    bool done1 = false;
+    device.media().write(5 * blockBytes, v1.data(), blockBytes);
+    ctrl.readBlock(5, out.data(), [&](Tick) { done1 = true; });
+    eq.run();
+    ASSERT_TRUE(done1);
+
+    bool wrote = false;
+    ctrl.writeBlock(5, v2.data(), [&](Tick) { wrote = true; });
+    eq.run();
+    ASSERT_TRUE(wrote);
+    bool done2 = false;
+    ctrl.readBlock(5, out.data(), [&](Tick) { done2 = true; });
+    eq.run();
+    ASSERT_TRUE(done2);
+    EXPECT_EQ(out[0], 0x02); // cache hit sees the new data
+    std::uint8_t media_now[blockBytes];
+    device.media().read(5 * blockBytes, media_now, blockBytes);
+    EXPECT_EQ(media_now[0], 0x02); // media too
+}
+
+TEST_F(StorageFixture, CacheEvictsLruWhenFull)
+{
+    std::vector<std::uint8_t> out(blockBytes);
+    const std::uint64_t n = 1024 + 8; // cache_blocks default = 1024
+    int done = 0;
+    for (std::uint64_t lba = 0; lba < n; ++lba) {
+        ctrl.readBlock(lba, out.data(), [&](Tick) { ++done; });
+        eq.run();
+    }
+    EXPECT_EQ(done, static_cast<int>(n));
+    // Block 0 was evicted: reading it again misses.
+    const auto misses_before = ctrl.cacheMisses();
+    ctrl.readBlock(0, out.data(), [](Tick) {});
+    eq.run();
+    EXPECT_EQ(ctrl.cacheMisses(), misses_before + 1);
+}
+
+TEST_F(StorageFixture, InStorageScanFindsRecords)
+{
+    // 64-byte records; key at offset 0; plant 3 matches.
+    constexpr std::uint32_t rec = 64;
+    const std::uint64_t blocks = 64; // 256 KiB
+    std::vector<std::uint8_t> data(blocks * blockBytes, 0);
+    const std::uint64_t records = data.size() / rec;
+    for (std::uint64_t r = 0; r < records; ++r) {
+        const std::uint64_t k = (r % 1000 == 7) ? 0xfeed : r;
+        std::memcpy(&data[r * rec], &k, 8);
+    }
+    device.media().write(0, data.data(), data.size());
+
+    ScanResult result;
+    bool done = false;
+    ctrl.scan(0, blocks, rec, 0, 0xfeed, 100,
+              [&](Tick, ScanResult r) {
+                  result = std::move(r);
+                  done = true;
+              });
+    eq.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(result.records_scanned, records);
+    EXPECT_EQ(result.matches, (records + 999 - 7) / 1000);
+    EXPECT_EQ(result.rows.size(), result.matches * rec);
+    // The offload shipped a tiny fraction of the data.
+    EXPECT_LT(result.bytes_to_host, data.size() / 100);
+    std::uint64_t k = 0;
+    std::memcpy(&k, result.rows.data(), 8);
+    EXPECT_EQ(k, 0xfeedu);
+}
+
+TEST_F(StorageFixture, ScanBoundsResults)
+{
+    constexpr std::uint32_t rec = 64;
+    std::vector<std::uint8_t> data(4 * blockBytes, 0);
+    const std::uint64_t key = 0xaa;
+    for (std::uint64_t r = 0; r < data.size() / rec; ++r)
+        std::memcpy(&data[r * rec], &key, 8);
+    device.media().write(0, data.data(), data.size());
+
+    ScanResult result;
+    bool done = false;
+    ctrl.scan(0, 4, rec, 0, key, 10, [&](Tick, ScanResult r) {
+        result = std::move(r);
+        done = true;
+    });
+    eq.run();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(result.matches, data.size() / rec);
+    EXPECT_EQ(result.rows.size(), 10u * rec); // capped
+}
+
+} // namespace
+} // namespace enzian::storage

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ecidump: command-line decoder for ECI trace captures.
+ *
+ * The interoperability story of paper section 4.1: traces written by
+ * any tool in the ecosystem (the simulator, an FPGA ILA exporter, the
+ * Wireshark plugin) share one serialization format; this utility
+ * decodes, summarizes, and checks them.
+ *
+ * Usage:
+ *   ecidump <trace.ecit>            decode to text
+ *   ecidump --summary <trace.ecit>  per-opcode/VC summary
+ *   ecidump --check <trace.ecit>    run the protocol checker
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "trace/checker.hh"
+#include "trace/decoder.hh"
+#include "trace/eci_pcap.hh"
+
+using namespace enzian;
+
+int
+main(int argc, char **argv)
+{
+    bool summary = false, check = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--summary") == 0)
+            summary = true;
+        else if (std::strcmp(argv[i], "--check") == 0)
+            check = true;
+        else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: ecidump [--summary] [--check] "
+                        "<trace.ecit>\n");
+            return 0;
+        } else {
+            path = argv[i];
+        }
+    }
+    if (!path) {
+        std::fprintf(stderr, "ecidump: no trace file given "
+                             "(--help for usage)\n");
+        return 2;
+    }
+
+    trace::EciTrace tr;
+    tr.load(path);
+
+    if (check) {
+        trace::ProtocolChecker checker;
+        checker.check(tr);
+        checker.finalize();
+        if (checker.clean()) {
+            std::printf("%s: %zu messages, protocol-clean\n", path,
+                        tr.size());
+            return 0;
+        }
+        std::printf("%s: %zu violations\n", path,
+                    checker.violations().size());
+        for (const auto &v : checker.violations())
+            std::printf("  %s\n", v.c_str());
+        return 1;
+    }
+    if (summary) {
+        trace::dumpSummary(trace::summarize(tr), std::cout);
+        return 0;
+    }
+    trace::dumpText(tr, std::cout);
+    return 0;
+}
