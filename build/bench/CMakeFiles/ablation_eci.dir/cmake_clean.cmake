@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eci.dir/ablation_eci.cc.o"
+  "CMakeFiles/ablation_eci.dir/ablation_eci.cc.o.d"
+  "ablation_eci"
+  "ablation_eci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

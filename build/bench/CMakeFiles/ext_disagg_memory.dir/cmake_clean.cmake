@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_disagg_memory.dir/ext_disagg_memory.cc.o"
+  "CMakeFiles/ext_disagg_memory.dir/ext_disagg_memory.cc.o.d"
+  "ext_disagg_memory"
+  "ext_disagg_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_disagg_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

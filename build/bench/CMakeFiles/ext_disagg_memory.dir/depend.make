@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_disagg_memory.
+# This may be replaced when dependencies are built.

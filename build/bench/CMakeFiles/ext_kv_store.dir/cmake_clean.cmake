@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_kv_store.dir/ext_kv_store.cc.o"
+  "CMakeFiles/ext_kv_store.dir/ext_kv_store.cc.o.d"
+  "ext_kv_store"
+  "ext_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_undervolt.dir/ext_undervolt.cc.o"
+  "CMakeFiles/ext_undervolt.dir/ext_undervolt.cc.o.d"
+  "ext_undervolt"
+  "ext_undervolt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_undervolt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

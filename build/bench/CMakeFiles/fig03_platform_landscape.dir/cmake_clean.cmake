@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_platform_landscape.dir/fig03_platform_landscape.cc.o"
+  "CMakeFiles/fig03_platform_landscape.dir/fig03_platform_landscape.cc.o.d"
+  "fig03_platform_landscape"
+  "fig03_platform_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_platform_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_platform_landscape.
+# This may be replaced when dependencies are built.

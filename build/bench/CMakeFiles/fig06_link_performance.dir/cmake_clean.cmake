@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_link_performance.dir/fig06_link_performance.cc.o"
+  "CMakeFiles/fig06_link_performance.dir/fig06_link_performance.cc.o.d"
+  "fig06_link_performance"
+  "fig06_link_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_link_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

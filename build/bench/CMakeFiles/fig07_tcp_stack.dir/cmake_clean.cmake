@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tcp_stack.dir/fig07_tcp_stack.cc.o"
+  "CMakeFiles/fig07_tcp_stack.dir/fig07_tcp_stack.cc.o.d"
+  "fig07_tcp_stack"
+  "fig07_tcp_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tcp_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

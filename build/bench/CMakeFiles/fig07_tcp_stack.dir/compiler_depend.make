@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_tcp_stack.
+# This may be replaced when dependencies are built.

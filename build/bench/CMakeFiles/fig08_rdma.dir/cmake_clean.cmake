@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rdma.dir/fig08_rdma.cc.o"
+  "CMakeFiles/fig08_rdma.dir/fig08_rdma.cc.o.d"
+  "fig08_rdma"
+  "fig08_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_gbdt.dir/fig09_gbdt.cc.o"
+  "CMakeFiles/fig09_gbdt.dir/fig09_gbdt.cc.o.d"
+  "fig09_gbdt"
+  "fig09_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memory_controller.dir/fig11_memory_controller.cc.o"
+  "CMakeFiles/fig11_memory_controller.dir/fig11_memory_controller.cc.o.d"
+  "fig11_memory_controller"
+  "fig11_memory_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

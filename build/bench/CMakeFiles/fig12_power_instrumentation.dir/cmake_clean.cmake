@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_power_instrumentation.dir/fig12_power_instrumentation.cc.o"
+  "CMakeFiles/fig12_power_instrumentation.dir/fig12_power_instrumentation.cc.o.d"
+  "fig12_power_instrumentation"
+  "fig12_power_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_power_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artifact_workflow.dir/artifact_workflow.cpp.o"
+  "CMakeFiles/artifact_workflow.dir/artifact_workflow.cpp.o.d"
+  "artifact_workflow"
+  "artifact_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artifact_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

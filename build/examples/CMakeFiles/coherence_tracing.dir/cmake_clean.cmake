@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_tracing.dir/coherence_tracing.cpp.o"
+  "CMakeFiles/coherence_tracing.dir/coherence_tracing.cpp.o.d"
+  "coherence_tracing"
+  "coherence_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_memory_controller.dir/custom_memory_controller.cpp.o"
+  "CMakeFiles/custom_memory_controller.dir/custom_memory_controller.cpp.o.d"
+  "custom_memory_controller"
+  "custom_memory_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_memory_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

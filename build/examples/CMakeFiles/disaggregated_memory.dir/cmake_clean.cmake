@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregated_memory.dir/disaggregated_memory.cpp.o"
+  "CMakeFiles/disaggregated_memory.dir/disaggregated_memory.cpp.o.d"
+  "disaggregated_memory"
+  "disaggregated_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

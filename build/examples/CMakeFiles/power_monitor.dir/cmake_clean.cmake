@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_monitor.dir/power_monitor.cpp.o"
+  "CMakeFiles/power_monitor.dir/power_monitor.cpp.o.d"
+  "power_monitor"
+  "power_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

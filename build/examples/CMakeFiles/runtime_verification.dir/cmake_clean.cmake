@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_verification.dir/runtime_verification.cpp.o"
+  "CMakeFiles/runtime_verification.dir/runtime_verification.cpp.o.d"
+  "runtime_verification"
+  "runtime_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

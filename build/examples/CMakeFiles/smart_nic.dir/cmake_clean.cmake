@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_nic.dir/smart_nic.cpp.o"
+  "CMakeFiles/smart_nic.dir/smart_nic.cpp.o.d"
+  "smart_nic"
+  "smart_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_storage.dir/smart_storage.cpp.o"
+  "CMakeFiles/smart_storage.dir/smart_storage.cpp.o.d"
+  "smart_storage"
+  "smart_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/frame.cc" "src/CMakeFiles/enzian_accel.dir/accel/frame.cc.o" "gcc" "src/CMakeFiles/enzian_accel.dir/accel/frame.cc.o.d"
+  "/root/repo/src/accel/gbdt.cc" "src/CMakeFiles/enzian_accel.dir/accel/gbdt.cc.o" "gcc" "src/CMakeFiles/enzian_accel.dir/accel/gbdt.cc.o.d"
+  "/root/repo/src/accel/gbdt_engine.cc" "src/CMakeFiles/enzian_accel.dir/accel/gbdt_engine.cc.o" "gcc" "src/CMakeFiles/enzian_accel.dir/accel/gbdt_engine.cc.o.d"
+  "/root/repo/src/accel/kv_store.cc" "src/CMakeFiles/enzian_accel.dir/accel/kv_store.cc.o" "gcc" "src/CMakeFiles/enzian_accel.dir/accel/kv_store.cc.o.d"
+  "/root/repo/src/accel/rgb2y_pipeline.cc" "src/CMakeFiles/enzian_accel.dir/accel/rgb2y_pipeline.cc.o" "gcc" "src/CMakeFiles/enzian_accel.dir/accel/rgb2y_pipeline.cc.o.d"
+  "/root/repo/src/accel/vision_pipeline.cc" "src/CMakeFiles/enzian_accel.dir/accel/vision_pipeline.cc.o" "gcc" "src/CMakeFiles/enzian_accel.dir/accel/vision_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_eci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_accel.dir/accel/frame.cc.o"
+  "CMakeFiles/enzian_accel.dir/accel/frame.cc.o.d"
+  "CMakeFiles/enzian_accel.dir/accel/gbdt.cc.o"
+  "CMakeFiles/enzian_accel.dir/accel/gbdt.cc.o.d"
+  "CMakeFiles/enzian_accel.dir/accel/gbdt_engine.cc.o"
+  "CMakeFiles/enzian_accel.dir/accel/gbdt_engine.cc.o.d"
+  "CMakeFiles/enzian_accel.dir/accel/kv_store.cc.o"
+  "CMakeFiles/enzian_accel.dir/accel/kv_store.cc.o.d"
+  "CMakeFiles/enzian_accel.dir/accel/rgb2y_pipeline.cc.o"
+  "CMakeFiles/enzian_accel.dir/accel/rgb2y_pipeline.cc.o.d"
+  "CMakeFiles/enzian_accel.dir/accel/vision_pipeline.cc.o"
+  "CMakeFiles/enzian_accel.dir/accel/vision_pipeline.cc.o.d"
+  "libenzian_accel.a"
+  "libenzian_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_base.dir/base/logging.cc.o"
+  "CMakeFiles/enzian_base.dir/base/logging.cc.o.d"
+  "CMakeFiles/enzian_base.dir/base/rng.cc.o"
+  "CMakeFiles/enzian_base.dir/base/rng.cc.o.d"
+  "CMakeFiles/enzian_base.dir/base/stats.cc.o"
+  "CMakeFiles/enzian_base.dir/base/stats.cc.o.d"
+  "libenzian_base.a"
+  "libenzian_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

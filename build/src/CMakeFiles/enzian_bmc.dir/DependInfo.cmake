@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmc/bmc.cc" "src/CMakeFiles/enzian_bmc.dir/bmc/bmc.cc.o" "gcc" "src/CMakeFiles/enzian_bmc.dir/bmc/bmc.cc.o.d"
+  "/root/repo/src/bmc/i2c_bus.cc" "src/CMakeFiles/enzian_bmc.dir/bmc/i2c_bus.cc.o" "gcc" "src/CMakeFiles/enzian_bmc.dir/bmc/i2c_bus.cc.o.d"
+  "/root/repo/src/bmc/pmbus.cc" "src/CMakeFiles/enzian_bmc.dir/bmc/pmbus.cc.o" "gcc" "src/CMakeFiles/enzian_bmc.dir/bmc/pmbus.cc.o.d"
+  "/root/repo/src/bmc/power_model.cc" "src/CMakeFiles/enzian_bmc.dir/bmc/power_model.cc.o" "gcc" "src/CMakeFiles/enzian_bmc.dir/bmc/power_model.cc.o.d"
+  "/root/repo/src/bmc/regulator.cc" "src/CMakeFiles/enzian_bmc.dir/bmc/regulator.cc.o" "gcc" "src/CMakeFiles/enzian_bmc.dir/bmc/regulator.cc.o.d"
+  "/root/repo/src/bmc/sequence_solver.cc" "src/CMakeFiles/enzian_bmc.dir/bmc/sequence_solver.cc.o" "gcc" "src/CMakeFiles/enzian_bmc.dir/bmc/sequence_solver.cc.o.d"
+  "/root/repo/src/bmc/telemetry.cc" "src/CMakeFiles/enzian_bmc.dir/bmc/telemetry.cc.o" "gcc" "src/CMakeFiles/enzian_bmc.dir/bmc/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

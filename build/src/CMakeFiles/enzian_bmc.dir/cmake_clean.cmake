@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_bmc.dir/bmc/bmc.cc.o"
+  "CMakeFiles/enzian_bmc.dir/bmc/bmc.cc.o.d"
+  "CMakeFiles/enzian_bmc.dir/bmc/i2c_bus.cc.o"
+  "CMakeFiles/enzian_bmc.dir/bmc/i2c_bus.cc.o.d"
+  "CMakeFiles/enzian_bmc.dir/bmc/pmbus.cc.o"
+  "CMakeFiles/enzian_bmc.dir/bmc/pmbus.cc.o.d"
+  "CMakeFiles/enzian_bmc.dir/bmc/power_model.cc.o"
+  "CMakeFiles/enzian_bmc.dir/bmc/power_model.cc.o.d"
+  "CMakeFiles/enzian_bmc.dir/bmc/regulator.cc.o"
+  "CMakeFiles/enzian_bmc.dir/bmc/regulator.cc.o.d"
+  "CMakeFiles/enzian_bmc.dir/bmc/sequence_solver.cc.o"
+  "CMakeFiles/enzian_bmc.dir/bmc/sequence_solver.cc.o.d"
+  "CMakeFiles/enzian_bmc.dir/bmc/telemetry.cc.o"
+  "CMakeFiles/enzian_bmc.dir/bmc/telemetry.cc.o.d"
+  "libenzian_bmc.a"
+  "libenzian_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

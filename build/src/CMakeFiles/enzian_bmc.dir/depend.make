@@ -1,0 +1,2 @@
+# Empty dependencies file for enzian_bmc.
+# This may be replaced when dependencies are built.

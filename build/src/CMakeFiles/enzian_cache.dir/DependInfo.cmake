@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/enzian_cache.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/enzian_cache.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/moesi.cc" "src/CMakeFiles/enzian_cache.dir/cache/moesi.cc.o" "gcc" "src/CMakeFiles/enzian_cache.dir/cache/moesi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/enzian_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/enzian_cache.dir/cache/moesi.cc.o"
+  "CMakeFiles/enzian_cache.dir/cache/moesi.cc.o.d"
+  "libenzian_cache.a"
+  "libenzian_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

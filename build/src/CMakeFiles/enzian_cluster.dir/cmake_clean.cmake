@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_cluster.dir/cluster/disagg_memory.cc.o"
+  "CMakeFiles/enzian_cluster.dir/cluster/disagg_memory.cc.o.d"
+  "CMakeFiles/enzian_cluster.dir/cluster/eci_bridge.cc.o"
+  "CMakeFiles/enzian_cluster.dir/cluster/eci_bridge.cc.o.d"
+  "CMakeFiles/enzian_cluster.dir/cluster/enzian_cluster.cc.o"
+  "CMakeFiles/enzian_cluster.dir/cluster/enzian_cluster.cc.o.d"
+  "libenzian_cluster.a"
+  "libenzian_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

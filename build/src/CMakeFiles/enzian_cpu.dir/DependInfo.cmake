@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/enzian_cpu.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/enzian_cpu.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/core_cluster.cc" "src/CMakeFiles/enzian_cpu.dir/cpu/core_cluster.cc.o" "gcc" "src/CMakeFiles/enzian_cpu.dir/cpu/core_cluster.cc.o.d"
+  "/root/repo/src/cpu/pmu.cc" "src/CMakeFiles/enzian_cpu.dir/cpu/pmu.cc.o" "gcc" "src/CMakeFiles/enzian_cpu.dir/cpu/pmu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

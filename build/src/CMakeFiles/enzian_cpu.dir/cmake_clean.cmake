@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_cpu.dir/cpu/core.cc.o"
+  "CMakeFiles/enzian_cpu.dir/cpu/core.cc.o.d"
+  "CMakeFiles/enzian_cpu.dir/cpu/core_cluster.cc.o"
+  "CMakeFiles/enzian_cpu.dir/cpu/core_cluster.cc.o.d"
+  "CMakeFiles/enzian_cpu.dir/cpu/pmu.cc.o"
+  "CMakeFiles/enzian_cpu.dir/cpu/pmu.cc.o.d"
+  "libenzian_cpu.a"
+  "libenzian_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for enzian_cpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eci/eci_link.cc" "src/CMakeFiles/enzian_eci.dir/eci/eci_link.cc.o" "gcc" "src/CMakeFiles/enzian_eci.dir/eci/eci_link.cc.o.d"
+  "/root/repo/src/eci/eci_msg.cc" "src/CMakeFiles/enzian_eci.dir/eci/eci_msg.cc.o" "gcc" "src/CMakeFiles/enzian_eci.dir/eci/eci_msg.cc.o.d"
+  "/root/repo/src/eci/eci_serialize.cc" "src/CMakeFiles/enzian_eci.dir/eci/eci_serialize.cc.o" "gcc" "src/CMakeFiles/enzian_eci.dir/eci/eci_serialize.cc.o.d"
+  "/root/repo/src/eci/home_agent.cc" "src/CMakeFiles/enzian_eci.dir/eci/home_agent.cc.o" "gcc" "src/CMakeFiles/enzian_eci.dir/eci/home_agent.cc.o.d"
+  "/root/repo/src/eci/io_space.cc" "src/CMakeFiles/enzian_eci.dir/eci/io_space.cc.o" "gcc" "src/CMakeFiles/enzian_eci.dir/eci/io_space.cc.o.d"
+  "/root/repo/src/eci/remote_agent.cc" "src/CMakeFiles/enzian_eci.dir/eci/remote_agent.cc.o" "gcc" "src/CMakeFiles/enzian_eci.dir/eci/remote_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_eci.dir/eci/eci_link.cc.o"
+  "CMakeFiles/enzian_eci.dir/eci/eci_link.cc.o.d"
+  "CMakeFiles/enzian_eci.dir/eci/eci_msg.cc.o"
+  "CMakeFiles/enzian_eci.dir/eci/eci_msg.cc.o.d"
+  "CMakeFiles/enzian_eci.dir/eci/eci_serialize.cc.o"
+  "CMakeFiles/enzian_eci.dir/eci/eci_serialize.cc.o.d"
+  "CMakeFiles/enzian_eci.dir/eci/home_agent.cc.o"
+  "CMakeFiles/enzian_eci.dir/eci/home_agent.cc.o.d"
+  "CMakeFiles/enzian_eci.dir/eci/io_space.cc.o"
+  "CMakeFiles/enzian_eci.dir/eci/io_space.cc.o.d"
+  "CMakeFiles/enzian_eci.dir/eci/remote_agent.cc.o"
+  "CMakeFiles/enzian_eci.dir/eci/remote_agent.cc.o.d"
+  "libenzian_eci.a"
+  "libenzian_eci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_eci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bitstream.cc" "src/CMakeFiles/enzian_fpga.dir/fpga/bitstream.cc.o" "gcc" "src/CMakeFiles/enzian_fpga.dir/fpga/bitstream.cc.o.d"
+  "/root/repo/src/fpga/fabric.cc" "src/CMakeFiles/enzian_fpga.dir/fpga/fabric.cc.o" "gcc" "src/CMakeFiles/enzian_fpga.dir/fpga/fabric.cc.o.d"
+  "/root/repo/src/fpga/scheduler.cc" "src/CMakeFiles/enzian_fpga.dir/fpga/scheduler.cc.o" "gcc" "src/CMakeFiles/enzian_fpga.dir/fpga/scheduler.cc.o.d"
+  "/root/repo/src/fpga/shell.cc" "src/CMakeFiles/enzian_fpga.dir/fpga/shell.cc.o" "gcc" "src/CMakeFiles/enzian_fpga.dir/fpga/shell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_eci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_fpga.dir/fpga/bitstream.cc.o"
+  "CMakeFiles/enzian_fpga.dir/fpga/bitstream.cc.o.d"
+  "CMakeFiles/enzian_fpga.dir/fpga/fabric.cc.o"
+  "CMakeFiles/enzian_fpga.dir/fpga/fabric.cc.o.d"
+  "CMakeFiles/enzian_fpga.dir/fpga/scheduler.cc.o"
+  "CMakeFiles/enzian_fpga.dir/fpga/scheduler.cc.o.d"
+  "CMakeFiles/enzian_fpga.dir/fpga/shell.cc.o"
+  "CMakeFiles/enzian_fpga.dir/fpga/shell.cc.o.d"
+  "libenzian_fpga.a"
+  "libenzian_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/enzian_mem.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/enzian_mem.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/enzian_mem.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/enzian_mem.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/dram_channel.cc" "src/CMakeFiles/enzian_mem.dir/mem/dram_channel.cc.o" "gcc" "src/CMakeFiles/enzian_mem.dir/mem/dram_channel.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/CMakeFiles/enzian_mem.dir/mem/memory_controller.cc.o" "gcc" "src/CMakeFiles/enzian_mem.dir/mem/memory_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_mem.dir/mem/address_map.cc.o"
+  "CMakeFiles/enzian_mem.dir/mem/address_map.cc.o.d"
+  "CMakeFiles/enzian_mem.dir/mem/backing_store.cc.o"
+  "CMakeFiles/enzian_mem.dir/mem/backing_store.cc.o.d"
+  "CMakeFiles/enzian_mem.dir/mem/dram_channel.cc.o"
+  "CMakeFiles/enzian_mem.dir/mem/dram_channel.cc.o.d"
+  "CMakeFiles/enzian_mem.dir/mem/memory_controller.cc.o"
+  "CMakeFiles/enzian_mem.dir/mem/memory_controller.cc.o.d"
+  "libenzian_mem.a"
+  "libenzian_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bump_in_wire.cc" "src/CMakeFiles/enzian_net.dir/net/bump_in_wire.cc.o" "gcc" "src/CMakeFiles/enzian_net.dir/net/bump_in_wire.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/CMakeFiles/enzian_net.dir/net/ethernet.cc.o" "gcc" "src/CMakeFiles/enzian_net.dir/net/ethernet.cc.o.d"
+  "/root/repo/src/net/rdma_engine.cc" "src/CMakeFiles/enzian_net.dir/net/rdma_engine.cc.o" "gcc" "src/CMakeFiles/enzian_net.dir/net/rdma_engine.cc.o.d"
+  "/root/repo/src/net/rnic_model.cc" "src/CMakeFiles/enzian_net.dir/net/rnic_model.cc.o" "gcc" "src/CMakeFiles/enzian_net.dir/net/rnic_model.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/CMakeFiles/enzian_net.dir/net/switch.cc.o" "gcc" "src/CMakeFiles/enzian_net.dir/net/switch.cc.o.d"
+  "/root/repo/src/net/tcp_stack.cc" "src/CMakeFiles/enzian_net.dir/net/tcp_stack.cc.o" "gcc" "src/CMakeFiles/enzian_net.dir/net/tcp_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_net.dir/net/bump_in_wire.cc.o"
+  "CMakeFiles/enzian_net.dir/net/bump_in_wire.cc.o.d"
+  "CMakeFiles/enzian_net.dir/net/ethernet.cc.o"
+  "CMakeFiles/enzian_net.dir/net/ethernet.cc.o.d"
+  "CMakeFiles/enzian_net.dir/net/rdma_engine.cc.o"
+  "CMakeFiles/enzian_net.dir/net/rdma_engine.cc.o.d"
+  "CMakeFiles/enzian_net.dir/net/rnic_model.cc.o"
+  "CMakeFiles/enzian_net.dir/net/rnic_model.cc.o.d"
+  "CMakeFiles/enzian_net.dir/net/switch.cc.o"
+  "CMakeFiles/enzian_net.dir/net/switch.cc.o.d"
+  "CMakeFiles/enzian_net.dir/net/tcp_stack.cc.o"
+  "CMakeFiles/enzian_net.dir/net/tcp_stack.cc.o.d"
+  "libenzian_net.a"
+  "libenzian_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_pcie.dir/pcie/dma_engine.cc.o"
+  "CMakeFiles/enzian_pcie.dir/pcie/dma_engine.cc.o.d"
+  "CMakeFiles/enzian_pcie.dir/pcie/pcie_link.cc.o"
+  "CMakeFiles/enzian_pcie.dir/pcie/pcie_link.cc.o.d"
+  "CMakeFiles/enzian_pcie.dir/pcie/tlp.cc.o"
+  "CMakeFiles/enzian_pcie.dir/pcie/tlp.cc.o.d"
+  "libenzian_pcie.a"
+  "libenzian_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

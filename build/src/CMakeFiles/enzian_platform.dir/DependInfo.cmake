@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/bdk.cc" "src/CMakeFiles/enzian_platform.dir/platform/bdk.cc.o" "gcc" "src/CMakeFiles/enzian_platform.dir/platform/bdk.cc.o.d"
+  "/root/repo/src/platform/boot_sequencer.cc" "src/CMakeFiles/enzian_platform.dir/platform/boot_sequencer.cc.o" "gcc" "src/CMakeFiles/enzian_platform.dir/platform/boot_sequencer.cc.o.d"
+  "/root/repo/src/platform/device_tree.cc" "src/CMakeFiles/enzian_platform.dir/platform/device_tree.cc.o" "gcc" "src/CMakeFiles/enzian_platform.dir/platform/device_tree.cc.o.d"
+  "/root/repo/src/platform/enzian_machine.cc" "src/CMakeFiles/enzian_platform.dir/platform/enzian_machine.cc.o" "gcc" "src/CMakeFiles/enzian_platform.dir/platform/enzian_machine.cc.o.d"
+  "/root/repo/src/platform/link_models.cc" "src/CMakeFiles/enzian_platform.dir/platform/link_models.cc.o" "gcc" "src/CMakeFiles/enzian_platform.dir/platform/link_models.cc.o.d"
+  "/root/repo/src/platform/params.cc" "src/CMakeFiles/enzian_platform.dir/platform/params.cc.o" "gcc" "src/CMakeFiles/enzian_platform.dir/platform/params.cc.o.d"
+  "/root/repo/src/platform/platform_factory.cc" "src/CMakeFiles/enzian_platform.dir/platform/platform_factory.cc.o" "gcc" "src/CMakeFiles/enzian_platform.dir/platform/platform_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_eci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

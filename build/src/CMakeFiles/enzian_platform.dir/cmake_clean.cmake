@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_platform.dir/platform/bdk.cc.o"
+  "CMakeFiles/enzian_platform.dir/platform/bdk.cc.o.d"
+  "CMakeFiles/enzian_platform.dir/platform/boot_sequencer.cc.o"
+  "CMakeFiles/enzian_platform.dir/platform/boot_sequencer.cc.o.d"
+  "CMakeFiles/enzian_platform.dir/platform/device_tree.cc.o"
+  "CMakeFiles/enzian_platform.dir/platform/device_tree.cc.o.d"
+  "CMakeFiles/enzian_platform.dir/platform/enzian_machine.cc.o"
+  "CMakeFiles/enzian_platform.dir/platform/enzian_machine.cc.o.d"
+  "CMakeFiles/enzian_platform.dir/platform/link_models.cc.o"
+  "CMakeFiles/enzian_platform.dir/platform/link_models.cc.o.d"
+  "CMakeFiles/enzian_platform.dir/platform/params.cc.o"
+  "CMakeFiles/enzian_platform.dir/platform/params.cc.o.d"
+  "CMakeFiles/enzian_platform.dir/platform/platform_factory.cc.o"
+  "CMakeFiles/enzian_platform.dir/platform/platform_factory.cc.o.d"
+  "libenzian_platform.a"
+  "libenzian_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

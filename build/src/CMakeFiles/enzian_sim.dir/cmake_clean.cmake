@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_sim.dir/sim/clock_domain.cc.o"
+  "CMakeFiles/enzian_sim.dir/sim/clock_domain.cc.o.d"
+  "CMakeFiles/enzian_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/enzian_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/enzian_sim.dir/sim/sim_object.cc.o"
+  "CMakeFiles/enzian_sim.dir/sim/sim_object.cc.o.d"
+  "libenzian_sim.a"
+  "libenzian_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_storage.dir/storage/nvme_device.cc.o"
+  "CMakeFiles/enzian_storage.dir/storage/nvme_device.cc.o.d"
+  "CMakeFiles/enzian_storage.dir/storage/smart_storage.cc.o"
+  "CMakeFiles/enzian_storage.dir/storage/smart_storage.cc.o.d"
+  "libenzian_storage.a"
+  "libenzian_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/checker.cc" "src/CMakeFiles/enzian_trace.dir/trace/checker.cc.o" "gcc" "src/CMakeFiles/enzian_trace.dir/trace/checker.cc.o.d"
+  "/root/repo/src/trace/decoder.cc" "src/CMakeFiles/enzian_trace.dir/trace/decoder.cc.o" "gcc" "src/CMakeFiles/enzian_trace.dir/trace/decoder.cc.o.d"
+  "/root/repo/src/trace/eci_pcap.cc" "src/CMakeFiles/enzian_trace.dir/trace/eci_pcap.cc.o" "gcc" "src/CMakeFiles/enzian_trace.dir/trace/eci_pcap.cc.o.d"
+  "/root/repo/src/trace/rtv.cc" "src/CMakeFiles/enzian_trace.dir/trace/rtv.cc.o" "gcc" "src/CMakeFiles/enzian_trace.dir/trace/rtv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_eci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

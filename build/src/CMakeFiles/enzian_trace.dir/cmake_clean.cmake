@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enzian_trace.dir/trace/checker.cc.o"
+  "CMakeFiles/enzian_trace.dir/trace/checker.cc.o.d"
+  "CMakeFiles/enzian_trace.dir/trace/decoder.cc.o"
+  "CMakeFiles/enzian_trace.dir/trace/decoder.cc.o.d"
+  "CMakeFiles/enzian_trace.dir/trace/eci_pcap.cc.o"
+  "CMakeFiles/enzian_trace.dir/trace/eci_pcap.cc.o.d"
+  "CMakeFiles/enzian_trace.dir/trace/rtv.cc.o"
+  "CMakeFiles/enzian_trace.dir/trace/rtv.cc.o.d"
+  "libenzian_trace.a"
+  "libenzian_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enzian_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_gbdt.dir/test_accel_gbdt.cc.o"
+  "CMakeFiles/test_accel_gbdt.dir/test_accel_gbdt.cc.o.d"
+  "test_accel_gbdt"
+  "test_accel_gbdt.pdb"
+  "test_accel_gbdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_kv.dir/test_accel_kv.cc.o"
+  "CMakeFiles/test_accel_kv.dir/test_accel_kv.cc.o.d"
+  "test_accel_kv"
+  "test_accel_kv.pdb"
+  "test_accel_kv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_vision.dir/test_accel_vision.cc.o"
+  "CMakeFiles/test_accel_vision.dir/test_accel_vision.cc.o.d"
+  "test_accel_vision"
+  "test_accel_vision.pdb"
+  "test_accel_vision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmc_i2c.dir/test_bmc_i2c.cc.o"
+  "CMakeFiles/test_bmc_i2c.dir/test_bmc_i2c.cc.o.d"
+  "test_bmc_i2c"
+  "test_bmc_i2c.pdb"
+  "test_bmc_i2c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmc_i2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bmc_i2c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmc_power.dir/test_bmc_power.cc.o"
+  "CMakeFiles/test_bmc_power.dir/test_bmc_power.cc.o.d"
+  "test_bmc_power"
+  "test_bmc_power.pdb"
+  "test_bmc_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

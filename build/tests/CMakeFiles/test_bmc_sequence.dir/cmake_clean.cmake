@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmc_sequence.dir/test_bmc_sequence.cc.o"
+  "CMakeFiles/test_bmc_sequence.dir/test_bmc_sequence.cc.o.d"
+  "test_bmc_sequence"
+  "test_bmc_sequence.pdb"
+  "test_bmc_sequence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmc_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boot.dir/test_boot.cc.o"
+  "CMakeFiles/test_boot.dir/test_boot.cc.o.d"
+  "test_boot"
+  "test_boot.pdb"
+  "test_boot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

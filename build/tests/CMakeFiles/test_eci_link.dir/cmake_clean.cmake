@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eci_link.dir/test_eci_link.cc.o"
+  "CMakeFiles/test_eci_link.dir/test_eci_link.cc.o.d"
+  "test_eci_link"
+  "test_eci_link.pdb"
+  "test_eci_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eci_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_eci_link.
+# This may be replaced when dependencies are built.

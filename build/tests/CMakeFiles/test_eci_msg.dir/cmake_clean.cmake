@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eci_msg.dir/test_eci_msg.cc.o"
+  "CMakeFiles/test_eci_msg.dir/test_eci_msg.cc.o.d"
+  "test_eci_msg"
+  "test_eci_msg.pdb"
+  "test_eci_msg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eci_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eci_protocol.dir/test_eci_protocol.cc.o"
+  "CMakeFiles/test_eci_protocol.dir/test_eci_protocol.cc.o.d"
+  "test_eci_protocol"
+  "test_eci_protocol.pdb"
+  "test_eci_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eci_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_extras.dir/test_net_extras.cc.o"
+  "CMakeFiles/test_net_extras.dir/test_net_extras.cc.o.d"
+  "test_net_extras"
+  "test_net_extras.pdb"
+  "test_net_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net_rdma.cc" "tests/CMakeFiles/test_net_rdma.dir/test_net_rdma.cc.o" "gcc" "tests/CMakeFiles/test_net_rdma.dir/test_net_rdma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/enzian_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_eci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/enzian_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

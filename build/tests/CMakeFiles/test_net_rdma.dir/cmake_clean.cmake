@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_rdma.dir/test_net_rdma.cc.o"
+  "CMakeFiles/test_net_rdma.dir/test_net_rdma.cc.o.d"
+  "test_net_rdma"
+  "test_net_rdma.pdb"
+  "test_net_rdma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_tcp.dir/test_net_tcp.cc.o"
+  "CMakeFiles/test_net_tcp.dir/test_net_tcp.cc.o.d"
+  "test_net_tcp"
+  "test_net_tcp.pdb"
+  "test_net_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcie.dir/test_pcie.cc.o"
+  "CMakeFiles/test_pcie.dir/test_pcie.cc.o.d"
+  "test_pcie"
+  "test_pcie.pdb"
+  "test_pcie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

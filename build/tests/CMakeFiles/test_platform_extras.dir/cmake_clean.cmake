@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_extras.dir/test_platform_extras.cc.o"
+  "CMakeFiles/test_platform_extras.dir/test_platform_extras.cc.o.d"
+  "test_platform_extras"
+  "test_platform_extras.pdb"
+  "test_platform_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

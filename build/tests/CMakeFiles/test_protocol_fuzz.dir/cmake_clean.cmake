@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_fuzz.dir/test_protocol_fuzz.cc.o"
+  "CMakeFiles/test_protocol_fuzz.dir/test_protocol_fuzz.cc.o.d"
+  "test_protocol_fuzz"
+  "test_protocol_fuzz.pdb"
+  "test_protocol_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

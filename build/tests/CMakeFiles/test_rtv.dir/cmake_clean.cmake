@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtv.dir/test_rtv.cc.o"
+  "CMakeFiles/test_rtv.dir/test_rtv.cc.o.d"
+  "test_rtv"
+  "test_rtv.pdb"
+  "test_rtv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

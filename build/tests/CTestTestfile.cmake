@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_eci_msg[1]_include.cmake")
+include("/root/repo/build/tests/test_eci_link[1]_include.cmake")
+include("/root/repo/build/tests/test_eci_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_pcie[1]_include.cmake")
+include("/root/repo/build/tests/test_net_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_net_rdma[1]_include.cmake")
+include("/root/repo/build/tests/test_fpga[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_accel_gbdt[1]_include.cmake")
+include("/root/repo/build/tests/test_accel_vision[1]_include.cmake")
+include("/root/repo/build/tests/test_bmc_i2c[1]_include.cmake")
+include("/root/repo/build/tests/test_bmc_sequence[1]_include.cmake")
+include("/root/repo/build/tests/test_bmc_power[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_boot[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_accel_kv[1]_include.cmake")
+include("/root/repo/build/tests/test_rtv[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_platform_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_net_extras[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecidump.dir/ecidump.cc.o"
+  "CMakeFiles/ecidump.dir/ecidump.cc.o.d"
+  "ecidump"
+  "ecidump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecidump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

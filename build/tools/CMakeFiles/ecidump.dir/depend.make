@@ -1,0 +1,2 @@
+# Empty dependencies file for ecidump.
+# This may be replaced when dependencies are built.
