@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "base/logging.hh"
+#include "eci/protocol_kernel.hh"
 
 namespace enzian::eci {
 
@@ -77,16 +78,16 @@ HomeAgent::sendAt(Tick when, const EciMsg &msg)
     if (when <= now()) {
         fabric_.send(msg);
     } else {
-        EciMsg copy = msg;
         eventq().schedule(
-            when, [this, copy]() { fabric_.send(copy); }, "home-send");
+            when, [this, copy = msg]() { fabric_.send(copy); },
+            "home-send");
     }
 }
 
 bool
 HomeAgent::acquireLine(Addr line, std::function<void()> retry)
 {
-    if (busy_.count(line)) {
+    if (busy_.contains(line)) {
         deferred_[line].push_back(std::move(retry));
         return false;
     }
@@ -126,9 +127,8 @@ HomeAgent::handle(const EciMsg &msg)
       case Opcode::RUPG:
       case Opcode::RWBD:
       case Opcode::REVC: {
-        EciMsg copy = msg;
         if (!acquireLine(cache::lineAlign(msg.addr),
-                         [this, copy]() { handle(copy); }))
+                         [this, copy = msg]() { handle(copy); }))
             return;
         process(msg);
         return;
@@ -205,51 +205,42 @@ HomeAgent::serveRead(const EciMsg &msg, bool exclusive, bool allocate)
     rsp->tid = msg.tid;
     rsp->addr = line;
 
-    bool local_had_copy = false;
+    // The grant, directory and local-copy decisions all come from the
+    // pure kernel (shared with the model checker); the engine applies
+    // them before the (possibly asynchronous) data fetch so the
+    // protocol state is stable by the time any later request for this
+    // line is deferred behind us.
+    const MoesiState local =
+        localCache_ ? localCache_->probe(line) : MoesiState::Invalid;
+    const proto::HomeReadStep step =
+        proto::homeRead(local, remoteState(line), exclusive, allocate);
+
+    const bool local_had_copy = local != MoesiState::Invalid;
     bool local_flush = false;
     std::vector<std::uint8_t> flush_data;
-    if (localCache_) {
-        const MoesiState ls = localCache_->probe(line);
-        if (ls != MoesiState::Invalid) {
-            local_had_copy = true;
-            localCache_->readData(line, rsp->line.data(),
-                                  cache::lineSize);
-            if (exclusive) {
-                // Requester takes ownership; flush our dirty data to
-                // the source and drop the copy.
-                auto ev = localCache_->invalidate(line);
-                if (ev) {
-                    local_flush = true;
-                    flush_data = std::move(ev->data);
-                }
-            } else if (cache::isDirty(ls) ||
-                       ls == MoesiState::Exclusive) {
-                // Keep an owned copy; we remain responsible for the
-                // dirty data.
-                localCache_->setState(line, MoesiState::Owned);
+    if (local_had_copy) {
+        localCache_->readData(line, rsp->line.data(),
+                              cache::lineSize);
+        switch (step.localAction) {
+          case proto::LocalAction::Invalidate: {
+            auto ev = localCache_->invalidate(line);
+            if (ev && step.flushLocalDirty) {
+                local_flush = true;
+                flush_data = std::move(ev->data);
             }
+            break;
+          }
+          case proto::LocalAction::DowngradeOwned:
+            localCache_->setState(line, step.localAfter);
+            break;
+          case proto::LocalAction::Keep:
+            break;
         }
     }
 
-    // Grant and directory state are decided before the (possibly
-    // asynchronous) data fetch so the protocol state is stable by the
-    // time any later request for this line is deferred behind us.
-    const MoesiState dir_state = remoteState(line);
-    if (exclusive) {
-        rsp->grant = Grant::Exclusive;
-    } else if (!local_had_copy && dir_state == MoesiState::Invalid &&
-               allocate) {
-        // No other copy anywhere: grant Exclusive so the requester can
-        // write without an upgrade (standard MOESI optimization).
-        rsp->grant = Grant::Exclusive;
-    } else {
-        rsp->grant = Grant::Shared;
-    }
-    if (allocate) {
-        dir_[line] = rsp->grant == Grant::Exclusive
-                         ? MoesiState::Exclusive
-                         : MoesiState::Shared;
-    }
+    rsp->grant = step.grant;
+    if (allocate)
+        dir_[line] = step.dirAfter;
 
     auto complete = [this, rsp, line](Tick ready) {
         sendAt(ready, *rsp);
@@ -315,17 +306,19 @@ HomeAgent::serveUpgrade(const EciMsg &msg)
     const Addr line = cache::lineAlign(msg.addr);
     const Tick t0 = now() + dirLatency_;
 
-    ENZIAN_ASSERT(remoteState(line) == MoesiState::Shared,
-                  "RUPG for line %llx with remote state %s",
+    const MoesiState local =
+        localCache_ ? localCache_->probe(line) : MoesiState::Invalid;
+    const proto::HomeUpgradeStep step =
+        proto::homeUpgrade(local, remoteState(line));
+    ENZIAN_ASSERT(step.legal,
+                  "RUPG for line %llx with remote state %s, home %s",
                   static_cast<unsigned long long>(line),
-                  cache::toString(remoteState(line)));
-    if (localCache_) {
-        const MoesiState ls = localCache_->probe(line);
-        ENZIAN_ASSERT(!cache::canWrite(ls),
-                      "upgrade while home holds %s", cache::toString(ls));
+                  cache::toString(remoteState(line)),
+                  cache::toString(local));
+    if (localCache_ &&
+        step.localAction == proto::LocalAction::Invalidate)
         localCache_->invalidate(line);
-    }
-    dir_[line] = MoesiState::Modified;
+    dir_[line] = step.dirAfter;
 
     EciMsg rsp;
     rsp.op = Opcode::PACK;
@@ -343,12 +336,12 @@ HomeAgent::serveWriteBack(const EciMsg &msg)
     const Addr line = cache::lineAlign(msg.addr);
     const Tick t0 = now() + dirLatency_;
 
-    const MoesiState dir_state = remoteState(line);
-    ENZIAN_ASSERT(cache::isDirty(dir_state) ||
-                      dir_state == MoesiState::Exclusive,
+    const proto::HomeWritebackStep step =
+        proto::homeWriteback(remoteState(line));
+    ENZIAN_ASSERT(step.legal,
                   "RWBD for line %llx with remote state %s",
                   static_cast<unsigned long long>(line),
-                  cache::toString(dir_state));
+                  cache::toString(remoteState(line)));
     dir_.erase(line);
 
     EciMsg rsp;
@@ -358,6 +351,14 @@ HomeAgent::serveWriteBack(const EciMsg &msg)
     rsp.tid = msg.tid;
     rsp.addr = line;
 
+    if (!step.commitData) {
+        // The writeback lost a race with a home-initiated SINV: the
+        // home's own write was serialized after the eviction, so the
+        // payload is stale and must not reach memory.
+        sendAt(t0, rsp);
+        finishLine(line);
+        return;
+    }
     if (source_->posted()) {
         source_->writeLine(t0, line, msg.line.data(), [](Tick) {});
         sendAt(t0 + units::ns(20.0), rsp);
@@ -394,14 +395,11 @@ HomeAgent::localRead(Addr line, std::uint8_t *out, Done done)
             localRead(line, out, std::move(done));
         }))
         return;
-    // Wrap the completion so the line frees when the access retires.
-    done = [this, line, done = std::move(done)](Tick t) {
-        done(t);
-        finishLine(line);
-    };
     const MoesiState rs = remoteState(line);
-    if (cache::canWrite(rs) || rs == MoesiState::Owned) {
-        // Remote holds the freshest copy: snoop-forward it.
+    if (proto::homeLocalReadSnoop(rs) == proto::SnoopKind::Forward) {
+        // Remote holds the freshest copy: snoop-forward it. The
+        // pending snoop keeps the raw completion; the snoop-response
+        // handler frees the line (or retries on a snoop miss).
         EciMsg snp;
         snp.op = Opcode::SFWD;
         snp.src = node_;
@@ -414,6 +412,11 @@ HomeAgent::localRead(Addr line, std::uint8_t *out, Done done)
         sendAt(now() + dirLatency_, snp);
         return;
     }
+    // Wrap the completion so the line frees when the access retires.
+    done = [this, line, done = std::move(done)](Tick t) {
+        done(t);
+        finishLine(line);
+    };
     // Local cache copy (if any) is valid; otherwise the source.
     if (localCache_ &&
         localCache_->probe(line) != MoesiState::Invalid) {
@@ -451,12 +454,9 @@ HomeAgent::localWrite(Addr line, const std::uint8_t *data, Done done)
             localWrite(line, data_copy.data(), std::move(done));
         }))
         return;
-    done = [this, line, done = std::move(done)](Tick t) {
-        done(t);
-        finishLine(line);
-    };
     const MoesiState rs = remoteState(line);
-    if (rs != MoesiState::Invalid) {
+    if (proto::homeLocalWriteSnoop(rs) ==
+        proto::SnoopKind::Invalidate) {
         EciMsg snp;
         snp.op = Opcode::SINV;
         snp.src = node_;
@@ -474,6 +474,11 @@ HomeAgent::localWrite(Addr line, const std::uint8_t *data, Done done)
         sendAt(now() + dirLatency_, snp);
         return;
     }
+    // Wrap the completion so the line frees when the access retires.
+    done = [this, line, done = std::move(done)](Tick t) {
+        done(t);
+        finishLine(line);
+    };
     if (localCache_)
         localCache_->invalidate(line);
     source_->writeLine(now() + dirLatency_, line, data,
@@ -500,19 +505,25 @@ HomeAgent::handleSnoopResponse(const EciMsg &msg)
     PendingSnoop p = std::move(it->second);
     pendingSnoops_.erase(it);
 
-    auto finish = [this](Done done, Tick when) {
+    // The pending snoop holds the raw completion; deliver it and then
+    // free the line so deferred traffic can proceed.
+    auto finish = [this, line = p.line](Done done, Tick when) {
+        auto fin = [this, line, done = std::move(done)](Tick t) {
+            done(t);
+            finishLine(line);
+        };
         if (when <= now()) {
-            done(when);
+            fin(when);
         } else {
             eventq().schedule(
-                when, [done, when]() { done(when); }, "snoop-done");
+                when, [fin, when]() { fin(when); }, "snoop-done");
         }
     };
 
     if (msg.op == Opcode::SACKS) {
         // Remote downgraded M/E -> S and forwarded the data; the data
         // becomes clean at home.
-        dir_[p.line] = MoesiState::Shared;
+        dir_[p.line] = proto::homeSnoopResponse(msg.op);
         if (p.out)
             std::memcpy(p.out, msg.line.data(), cache::lineSize);
         auto data = std::make_shared<std::array<
@@ -525,10 +536,10 @@ HomeAgent::handleSnoopResponse(const EciMsg &msg)
         return;
     }
 
-    // SACKI: remote invalidated; dirty data (if any) rides along but a
-    // pending local write supersedes it.
-    dir_.erase(p.line);
+    // SACKI answering a local write: the remote invalidated; dirty
+    // data (if any) rides along but the pending write supersedes it.
     if (p.invalidate) {
+        dir_.erase(p.line);
         if (localCache_)
             localCache_->invalidate(p.line);
         auto data = std::make_shared<std::vector<std::uint8_t>>(
@@ -540,9 +551,10 @@ HomeAgent::handleSnoopResponse(const EciMsg &msg)
             });
         return;
     }
-    // Read path got an invalidation ack; it carries data only if the
-    // remote copy was dirty.
+    // SACKI answering a read snoop. With data: the remote invalidated
+    // a dirty copy and forwarded it (reordering-tolerant path).
     if (msg.hasData) {
+        dir_.erase(p.line);
         if (p.out)
             std::memcpy(p.out, msg.line.data(), cache::lineSize);
         auto data = std::make_shared<std::array<
@@ -552,15 +564,18 @@ HomeAgent::handleSnoopResponse(const EciMsg &msg)
             [finish, done = std::move(p.done), data](Tick durable) {
                 finish(done, durable);
             });
-    } else if (p.out) {
-        source_->readLine(
-            now(), p.line, p.out,
-            [finish, done = std::move(p.done)](Tick ready) {
-                finish(done, ready);
-            });
-    } else {
-        finish(std::move(p.done), now());
+        return;
     }
+    // Snoop miss: the SFWD found nothing because the remote evicted
+    // concurrently and its RWBD/REVC is in flight toward us. Leave
+    // the directory alone (the eviction will clear it), queue a retry
+    // of the local read behind any already-deferred traffic, and free
+    // the line so the eviction can drain first.
+    deferred_[p.line].push_back([this, line = p.line, out = p.out,
+                                 done = std::move(p.done)]() mutable {
+        localRead(line, out, std::move(done));
+    });
+    finishLine(p.line);
 }
 
 void

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Pure ECI/MOESI transition kernels (implementation).
+ */
+
+#include "eci/protocol_kernel.hh"
+
+namespace enzian::eci::proto {
+
+using cache::MoesiState;
+
+HomeReadStep
+homeRead(MoesiState local, MoesiState dir, bool exclusive,
+         bool allocate)
+{
+    HomeReadStep step;
+    const bool local_had_copy = local != MoesiState::Invalid;
+
+    step.localAction = LocalAction::Keep;
+    step.localAfter = local;
+    step.flushLocalDirty = false;
+    if (local_had_copy) {
+        if (exclusive) {
+            // Requester takes ownership; the home flushes its dirty
+            // data to the source and drops the copy.
+            step.localAction = LocalAction::Invalidate;
+            step.localAfter = MoesiState::Invalid;
+            step.flushLocalDirty = cache::isDirty(local);
+        } else if (cache::isDirty(local) ||
+                   local == MoesiState::Exclusive) {
+            // Keep an owned copy; the home stays responsible for the
+            // dirty data.
+            step.localAction = LocalAction::DowngradeOwned;
+            step.localAfter = MoesiState::Owned;
+        }
+    }
+
+    if (exclusive) {
+        step.grant = Grant::Exclusive;
+    } else if (!local_had_copy && dir == MoesiState::Invalid &&
+               allocate) {
+        // No other copy anywhere: grant Exclusive so the requester can
+        // write without an upgrade (standard MOESI optimization).
+        step.grant = Grant::Exclusive;
+    } else {
+        step.grant = Grant::Shared;
+    }
+
+    step.dirAfter = dir;
+    if (allocate) {
+        step.dirAfter = step.grant == Grant::Exclusive
+                            ? MoesiState::Exclusive
+                            : MoesiState::Shared;
+    }
+    return step;
+}
+
+HomeUpgradeStep
+homeUpgrade(MoesiState local, MoesiState dir)
+{
+    HomeUpgradeStep step;
+    // An RUPG is issued from Shared; directory Invalid means a
+    // home-initiated SINV raced ahead and already consumed the
+    // requester's copy — the full-line write payload lets the home
+    // grant Modified regardless. A writable home copy beside a remote
+    // sharer would already have been incoherent.
+    step.legal = (dir == MoesiState::Shared ||
+                  dir == MoesiState::Invalid) &&
+                 !cache::canWrite(local);
+    step.dirAfter = step.legal ? MoesiState::Modified : dir;
+    step.localAction = local != MoesiState::Invalid
+                           ? LocalAction::Invalidate
+                           : LocalAction::Keep;
+    return step;
+}
+
+HomeWritebackStep
+homeWriteback(MoesiState dir)
+{
+    HomeWritebackStep step;
+    if (cache::isDirty(dir) || dir == MoesiState::Exclusive) {
+        step.legal = true;
+        step.commitData = true;
+        step.dirAfter = MoesiState::Invalid;
+        return step;
+    }
+    // Directory Invalid: a home-initiated SINV raced with this
+    // writeback; the home's own (later-serialized) write supersedes
+    // the payload, which must be dropped, not committed.
+    step.legal = dir == MoesiState::Invalid;
+    step.commitData = false;
+    step.dirAfter = dir;
+    return step;
+}
+
+MoesiState
+homeEvict()
+{
+    return MoesiState::Invalid;
+}
+
+SnoopKind
+homeLocalReadSnoop(MoesiState dir)
+{
+    // Remote holds the freshest copy: snoop-forward it.
+    if (cache::canWrite(dir) || dir == MoesiState::Owned)
+        return SnoopKind::Forward;
+    return SnoopKind::None;
+}
+
+SnoopKind
+homeLocalWriteSnoop(MoesiState dir)
+{
+    return dir != MoesiState::Invalid ? SnoopKind::Invalidate
+                                      : SnoopKind::None;
+}
+
+MoesiState
+homeSnoopResponse(Opcode ack)
+{
+    return ack == Opcode::SACKS ? MoesiState::Shared
+                                : MoesiState::Invalid;
+}
+
+MoesiState
+remoteFillState(Grant g)
+{
+    return g == Grant::Exclusive ? MoesiState::Exclusive
+                                 : MoesiState::Shared;
+}
+
+RemoteWriteStep
+remoteWrite(MoesiState s)
+{
+    RemoteWriteStep step;
+    step.hit = cache::canWrite(s);
+    step.stateAfter = step.hit ? MoesiState::Modified : s;
+    step.request = (s == MoesiState::Shared || s == MoesiState::Owned)
+                       ? Opcode::RUPG
+                       : Opcode::RLDX;
+    return step;
+}
+
+Opcode
+remoteEvict(MoesiState s)
+{
+    return cache::isDirty(s) ? Opcode::RWBD : Opcode::REVC;
+}
+
+RemoteSnoopStep
+remoteSnoop(MoesiState s, Opcode snoop)
+{
+    RemoteSnoopStep step;
+    if (snoop == Opcode::SFWD && s != MoesiState::Invalid) {
+        step.hit = true;
+        step.response = Opcode::SACKS;
+        step.stateAfter = MoesiState::Shared;
+        step.hasData = true;
+        return step;
+    }
+    // SINV, or an SFWD that missed (concurrent eviction in flight):
+    // the ack carries data iff the dropped copy was dirty.
+    step.hit = s != MoesiState::Invalid;
+    step.response = Opcode::SACKI;
+    step.stateAfter = MoesiState::Invalid;
+    step.hasData = cache::isDirty(s);
+    return step;
+}
+
+} // namespace enzian::eci::proto

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Pure ECI/MOESI transition kernels.
+ *
+ * Every protocol *decision* the two engines make — which grant a home
+ * read returns, what happens to the home node's own cached copy, which
+ * request a remote write must issue, how a snoop is answered — lives
+ * here as a side-effect-free function of MOESI state. The event-driven
+ * engines (eci::HomeAgent, eci::RemoteAgent) call these kernels and
+ * then perform the timing, queuing and data movement; the exhaustive
+ * model checker (verif::Model, driven by tools/ecicheck) calls the
+ * *same* kernels to enumerate the reachable state space. One source of
+ * truth: a protocol change that alters a kernel is immediately
+ * re-verified, and a checker result is a statement about the shipped
+ * engines, not about a hand-maintained copy of the protocol.
+ *
+ * Kernels that can be handed an illegal input (a writeback from a
+ * non-owner, an upgrade race) report it through a `legal` flag instead
+ * of asserting, so the checker can classify the dead state; the
+ * engines assert on `!legal` exactly where they used to.
+ */
+
+#ifndef ENZIAN_ECI_PROTOCOL_KERNEL_HH
+#define ENZIAN_ECI_PROTOCOL_KERNEL_HH
+
+#include "cache/moesi.hh"
+#include "eci/eci_msg.hh"
+
+namespace enzian::eci::proto {
+
+/** What a home-side step does to the home node's own cached copy. */
+enum class LocalAction : std::uint8_t {
+    Keep,           ///< leave the local copy untouched
+    Invalidate,     ///< drop the local copy
+    DowngradeOwned, ///< keep the copy but fall back to Owned
+};
+
+/** Decision for serving RLDD / RLDX / RLDI at the home node. */
+struct HomeReadStep
+{
+    Grant grant;                    ///< permission carried by the PEMD
+    cache::MoesiState dirAfter;     ///< directory state after the grant
+    LocalAction localAction;        ///< effect on the home's own copy
+    cache::MoesiState localAfter;   ///< home cache state after the step
+    bool flushLocalDirty;           ///< invalidated copy was dirty;
+                                    ///< home must push it to the source
+};
+
+/**
+ * Serve a coherent read at the home node.
+ *
+ * @param local home node's own cache state for the line
+ * @param dir directory state tracked for the remote node
+ * @param exclusive RLDX (true) vs RLDD/RLDI (false)
+ * @param allocate requester will cache the line (RLDD/RLDX)
+ */
+HomeReadStep homeRead(cache::MoesiState local, cache::MoesiState dir,
+                      bool exclusive, bool allocate);
+
+/** Decision for serving RUPG at the home node. */
+struct HomeUpgradeStep
+{
+    bool legal;                   ///< directory state permitted the RUPG
+    cache::MoesiState dirAfter;   ///< Modified when legal
+    LocalAction localAction;      ///< home copy is invalidated
+};
+
+/**
+ * Serve an S->M upgrade. Legal from directory state Shared, and from
+ * Invalid: a home-initiated SINV can race with an in-flight RUPG (the
+ * snoop consumes the requester's Shared copy before the deferred
+ * upgrade is processed). Because an ECI cached write carries the full
+ * new line, the home can still grant Modified — the requester installs
+ * its complete write payload rather than upgrading the (gone) copy.
+ */
+HomeUpgradeStep homeUpgrade(cache::MoesiState local,
+                            cache::MoesiState dir);
+
+/** Decision for serving RWBD (dirty writeback) at the home node. */
+struct HomeWritebackStep
+{
+    bool legal;                 ///< requester owned the line, or the
+                                ///< writeback lost a race (see below)
+    bool commitData;            ///< write the payload to the source
+    cache::MoesiState dirAfter; ///< Invalid when legal
+};
+
+/**
+ * Serve a dirty writeback. Legal from remote M, O or E (data is
+ * committed), and from Invalid *without* committing data: a
+ * home-initiated SINV can race with an in-flight RWBD, in which case
+ * the home's own write was serialized after the eviction and the
+ * writeback payload is stale.
+ */
+HomeWritebackStep homeWriteback(cache::MoesiState dir);
+
+/** Directory state after a clean-eviction notice (REVC). */
+cache::MoesiState homeEvict();
+
+/** Which snoop (if any) a home-initiated access must send first. */
+enum class SnoopKind : std::uint8_t {
+    None,       ///< no remote copy stands in the way
+    Forward,    ///< SFWD: downgrade the remote owner and fetch data
+    Invalidate, ///< SINV: invalidate the remote copy
+};
+
+/** Snoop needed before the home node reads its own line locally. */
+SnoopKind homeLocalReadSnoop(cache::MoesiState dir);
+
+/** Snoop needed before the home node writes its own line locally. */
+SnoopKind homeLocalWriteSnoop(cache::MoesiState dir);
+
+/** Directory state after a snoop response (SACKS or SACKI). */
+cache::MoesiState homeSnoopResponse(Opcode ack);
+
+/** Cache state a remote fill installs for the given grant. */
+cache::MoesiState remoteFillState(Grant g);
+
+/** Decision for a coherent cached write at the remote node. */
+struct RemoteWriteStep
+{
+    bool hit;                      ///< write completes locally
+    cache::MoesiState stateAfter;  ///< Modified on a hit
+    Opcode request;                ///< RUPG or RLDX when !hit
+};
+
+/** Classify a remote cached write against the current line state. */
+RemoteWriteStep remoteWrite(cache::MoesiState s);
+
+/** Request opcode a remote eviction must emit (RWBD or REVC). */
+Opcode remoteEvict(cache::MoesiState s);
+
+/** Decision for answering a snoop at the remote node. */
+struct RemoteSnoopStep
+{
+    bool hit;                     ///< snoop found a resident copy
+    Opcode response;              ///< SACKS or SACKI
+    cache::MoesiState stateAfter; ///< remote cache state after the ack
+    bool hasData;                 ///< the ack carries the line payload
+};
+
+/**
+ * Answer a home-initiated snoop (SFWD or SINV) from remote state @p s.
+ * An SFWD that finds nothing resident (the holder evicted
+ * concurrently; its RWBD/REVC is in flight toward the home) is a
+ * snoop miss answered with a clean SACKI — the home must let the
+ * in-flight eviction drain and retry its local access.
+ */
+RemoteSnoopStep remoteSnoop(cache::MoesiState s, Opcode snoop);
+
+} // namespace enzian::eci::proto
+
+#endif // ENZIAN_ECI_PROTOCOL_KERNEL_HH

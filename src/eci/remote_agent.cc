@@ -9,6 +9,7 @@
 
 #include "base/logging.hh"
 #include "eci/home_agent.hh"
+#include "eci/protocol_kernel.hh"
 
 namespace enzian::eci {
 
@@ -158,11 +159,12 @@ RemoteAgent::writeLine(Addr line, const std::uint8_t *data, Done done)
         });
         return;
     }
-    const MoesiState s = cache_->probe(line);
-    if (cache::canWrite(s)) {
+    const proto::RemoteWriteStep step =
+        proto::remoteWrite(cache_->probe(line));
+    if (step.hit) {
         cache_->access(line); // bump LRU
         cache_->writeData(line, data, cache::lineSize);
-        cache_->setState(line, MoesiState::Modified);
+        cache_->setState(line, step.stateAfter);
         hits_.inc();
         const Tick ready = now() + units::ns(cfg_.hit_latency_ns);
         eventq().schedule(
@@ -172,26 +174,16 @@ RemoteAgent::writeLine(Addr line, const std::uint8_t *data, Done done)
     }
     std::vector<std::uint8_t> payload(data, data + cache::lineSize);
     markLineBusy(line);
-    if (s == MoesiState::Shared || s == MoesiState::Owned) {
-        submit([this, line, payload = std::move(payload),
-                done = std::move(done)]() mutable {
-            Txn t;
-            t.kind = Kind::Upgrade;
-            t.line = line;
-            t.data = std::move(payload);
-            t.done = std::move(done);
-            sendRequest(Opcode::RUPG, line, std::move(t));
-        });
-        return;
-    }
-    submit([this, line, payload = std::move(payload),
+    submit([this, line, op = step.request,
+            payload = std::move(payload),
             done = std::move(done)]() mutable {
         Txn t;
-        t.kind = Kind::CachedWriteMiss;
+        t.kind = op == Opcode::RUPG ? Kind::Upgrade
+                                    : Kind::CachedWriteMiss;
         t.line = line;
         t.data = std::move(payload);
         t.done = std::move(done);
-        sendRequest(Opcode::RLDX, line, std::move(t));
+        sendRequest(op, line, std::move(t));
     });
 }
 
@@ -290,7 +282,7 @@ RemoteAgent::handleEviction(cache::Eviction ev)
 {
     if (map_.homeOf(ev.addr) != peer_)
         return; // locally-homed victims are the home agent's business
-    if (cache::isDirty(ev.state)) {
+    if (proto::remoteEvict(ev.state) == Opcode::RWBD) {
         markLineBusy(ev.addr);
         Txn t;
         t.kind = Kind::WriteBack;
@@ -368,9 +360,7 @@ RemoteAgent::completeFill(std::uint32_t tid, const EciMsg &msg)
     switch (txn.kind) {
       case Kind::CachedRead: {
         if (cache_) {
-            const MoesiState st = msg.grant == Grant::Exclusive
-                                      ? MoesiState::Exclusive
-                                      : MoesiState::Shared;
+            const MoesiState st = proto::remoteFillState(msg.grant);
             auto ev = cache_->fill(txn.line, st, msg.line.data());
             if (txn.invalAfterFill)
                 cache_->invalidate(txn.line);
@@ -420,29 +410,29 @@ RemoteAgent::handleSnoop(const EciMsg &msg)
     rsp.tid = msg.tid;
     rsp.addr = line;
 
-    if (msg.op == Opcode::SFWD) {
-        ENZIAN_ASSERT(cache_, "SFWD at cacheless node");
-        const MoesiState s = cache_->probe(line);
-        ENZIAN_ASSERT(s != MoesiState::Invalid,
-                      "SFWD for non-resident line %llx",
-                      static_cast<unsigned long long>(line));
-        rsp.op = Opcode::SACKS;
+    const MoesiState s =
+        cache_ ? cache_->probe(line) : MoesiState::Invalid;
+    const proto::RemoteSnoopStep step = proto::remoteSnoop(s, msg.op);
+
+    if (step.response == Opcode::SACKS) {
+        ENZIAN_ASSERT(cache_, "SFWD hit at cacheless node");
+        rsp.op = step.response;
         cache_->readData(line, rsp.line.data(), cache::lineSize);
-        cache_->setState(line, MoesiState::Shared);
-        rsp.hasData = true;
+        cache_->setState(line, step.stateAfter);
+        rsp.hasData = step.hasData;
         fabric_.send(rsp);
         return;
     }
 
-    // SINV
-    rsp.op = Opcode::SACKI;
+    // SINV, or an SFWD that missed because our eviction is in flight.
+    rsp.op = step.response;
     rsp.hasData = false;
     if (cache_) {
         auto dirty = cache_->invalidate(line);
         if (dirty) {
             std::memcpy(rsp.line.data(), dirty->data.data(),
                         cache::lineSize);
-            rsp.hasData = true;
+            rsp.hasData = step.hasData;
         }
     }
     // If a fill for this line is in flight, remember to drop it on
@@ -472,10 +462,20 @@ RemoteAgent::handle(const EciMsg &msg)
         txns_.erase(it);
         if (txn.kind == Kind::Upgrade) {
             ENZIAN_ASSERT(cache_, "upgrade without cache");
-            cache_->access(txn.line);
-            cache_->writeData(txn.line, txn.data.data(),
-                              cache::lineSize);
-            cache_->setState(txn.line, MoesiState::Modified);
+            if (cache_->probe(txn.line) == MoesiState::Invalid) {
+                // A racing SINV consumed our Shared copy before the
+                // upgrade was granted; the write carries the full
+                // line, so install it fresh as Modified.
+                auto ev = cache_->fill(txn.line, MoesiState::Modified,
+                                       txn.data.data());
+                if (ev)
+                    handleEviction(std::move(*ev));
+            } else {
+                cache_->access(txn.line);
+                cache_->writeData(txn.line, txn.data.data(),
+                                  cache::lineSize);
+                cache_->setState(txn.line, MoesiState::Modified);
+            }
         }
         if (txn.done)
             txn.done(now());

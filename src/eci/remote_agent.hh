@@ -138,7 +138,7 @@ class RemoteAgent : public SimObject
      * completes (hardware MSHRs coalesce such requests; issuing two
      * upgrades for one line is a protocol violation).
      */
-    bool lineBusy(Addr line) const { return busyLines_.count(line); }
+    bool lineBusy(Addr line) const { return busyLines_.contains(line); }
     void markLineBusy(Addr line) { busyLines_.insert(line); }
     void releaseLine(Addr line);
     void parkOnLine(Addr line, std::function<void()> retry);

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Exhaustive model exploration (implementation).
+ */
+
+#include "verif/explorer.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "verif/invariants.hh"
+
+namespace enzian::verif {
+
+using cache::MoesiState;
+
+namespace {
+
+/** Hard cap: the single-line model has a few thousand states; hitting
+ *  this means the model itself regressed. */
+constexpr std::size_t maxStates = 1u << 20;
+
+struct Node
+{
+    State state;
+    /** Predecessor node id (BFS tree), or -1 for initial states. */
+    std::int64_t pred = -1;
+    /** Label of the edge from pred. */
+    std::string predLabel;
+    /** Successor node ids (for the reverse-reachability fixpoint we
+     *  keep forward edges and invert on the fly). */
+    std::vector<std::size_t> succ;
+};
+
+std::vector<std::string>
+traceTo(const std::vector<Node> &nodes, std::size_t id)
+{
+    std::vector<std::string> labels;
+    for (std::int64_t cur = static_cast<std::int64_t>(id);
+         nodes[static_cast<std::size_t>(cur)].pred >= 0;
+         cur = nodes[static_cast<std::size_t>(cur)].pred) {
+        labels.push_back(nodes[static_cast<std::size_t>(cur)].predLabel);
+    }
+    std::reverse(labels.begin(), labels.end());
+    return labels;
+}
+
+void
+addViolation(std::vector<Violation> &out, std::size_t cap,
+             std::string what, const std::vector<Node> &nodes,
+             std::size_t id, const std::string *extraLabel = nullptr)
+{
+    if (out.size() >= cap)
+        return;
+    Violation v;
+    v.what = std::move(what);
+    v.state = nodes[id].state.toString();
+    v.trace = traceTo(nodes, id);
+    if (extraLabel)
+        v.trace.push_back(*extraLabel);
+    out.push_back(std::move(v));
+}
+
+const char *
+stableName(MoesiState s)
+{
+    return cache::toString(s);
+}
+
+/** Mark every node that can reach a node in @p target (reverse BFS
+ *  over the explored graph). */
+std::vector<bool>
+canReach(const std::vector<Node> &nodes,
+         const std::vector<bool> &target)
+{
+    // Invert the forward edges once.
+    std::vector<std::vector<std::size_t>> pred(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (std::size_t s : nodes[i].succ)
+            pred[s].push_back(i);
+    }
+    std::vector<bool> mark(nodes.size(), false);
+    std::deque<std::size_t> work;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (target[i]) {
+            mark[i] = true;
+            work.push_back(i);
+        }
+    }
+    while (!work.empty()) {
+        const std::size_t cur = work.front();
+        work.pop_front();
+        for (std::size_t p : pred[cur]) {
+            if (!mark[p]) {
+                mark[p] = true;
+                work.push_back(p);
+            }
+        }
+    }
+    return mark;
+}
+
+} // namespace
+
+std::string
+Violation::toString() const
+{
+    std::string s = what + "\n  at: " + state;
+    if (!trace.empty()) {
+        s += "\n  run:";
+        for (const std::string &l : trace)
+            s += "\n    " + l;
+    }
+    return s;
+}
+
+std::string
+Report::toString() const
+{
+    std::string s =
+        format("%llu states, %llu transitions, max %zu in flight\n",
+               static_cast<unsigned long long>(states),
+               static_cast<unsigned long long>(transitions),
+               maxInFlight);
+    auto section = [&s](const char *name,
+                        const std::vector<Violation> &vs) {
+        s += format("%s: %zu\n", name, vs.size());
+        for (const Violation &v : vs)
+            s += v.toString() + "\n";
+    };
+    section("invariant violations", violations);
+    section("deadlocks", deadlocks);
+    section("liveness violations", livenessViolations);
+    section("dirty-drain violations", dirtyTraps);
+    s += "stable quiescent (home/dir/remote) reached:";
+    for (const std::string &t : stableReached)
+        s += " " + t;
+    s += "\nnever quiescent:";
+    for (const std::string &t : stableUnreached)
+        s += " " + t;
+    s += "\n";
+    return s;
+}
+
+Report
+explore(const Options &opt, std::size_t maxViolationsPerKind)
+{
+    const Model model(opt);
+    Report rep;
+
+    std::vector<Node> nodes;
+    std::unordered_map<std::string, std::size_t> ids;
+    std::deque<std::size_t> frontier;
+
+    auto intern = [&](const State &s) -> std::pair<std::size_t, bool> {
+        const std::string key = s.key();
+        auto it = ids.find(key);
+        if (it != ids.end())
+            return {it->second, false};
+        ENZIAN_ASSERT(nodes.size() < maxStates,
+                      "model state explosion: > %zu states", maxStates);
+        const std::size_t id = nodes.size();
+        nodes.push_back(Node{s, -1, {}, {}});
+        ids.emplace(key, id);
+        return {id, true};
+    };
+
+    for (const State &s : model.initialStates()) {
+        auto [id, fresh] = intern(s);
+        if (fresh)
+            frontier.push_back(id);
+    }
+
+    // Forward BFS with on-the-fly state and transition checks.
+    while (!frontier.empty()) {
+        const std::size_t cur = frontier.front();
+        frontier.pop_front();
+        // nodes may reallocate while expanding; copy what we need.
+        const State state = nodes[cur].state;
+
+        for (const std::string &v : checkState(state)) {
+            addViolation(rep.violations, maxViolationsPerKind, v,
+                         nodes, cur);
+        }
+        rep.maxInFlight = std::max(
+            rep.maxInFlight, state.toHome.size() + state.toRemote.size());
+
+        const std::vector<Transition> succs = model.successors(state);
+        if (succs.empty() && !state.quiescent()) {
+            addViolation(rep.deadlocks, maxViolationsPerKind,
+                         "deadlock: pending work but no enabled "
+                         "transition",
+                         nodes, cur);
+        }
+        for (const Transition &t : succs) {
+            ++rep.transitions;
+            auto [nid, fresh] = intern(t.to);
+            nodes[cur].succ.push_back(nid);
+            if (fresh) {
+                nodes[nid].pred = static_cast<std::int64_t>(cur);
+                nodes[nid].predLabel = t.label;
+                frontier.push_back(nid);
+            }
+            for (const std::string &v : t.violations) {
+                addViolation(rep.violations, maxViolationsPerKind,
+                             v, nodes, cur, &t.label);
+            }
+        }
+    }
+    rep.states = nodes.size();
+
+    // Liveness: every state must be able to reach quiescence.
+    std::vector<bool> quiescent(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        quiescent[i] = nodes[i].state.quiescent();
+    const std::vector<bool> live = canReach(nodes, quiescent);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!live[i]) {
+            addViolation(rep.livenessViolations, maxViolationsPerKind,
+                         "quiescence unreachable", nodes, i);
+        }
+    }
+
+    // Dirty-drain: a dirty remote copy must be able to reach a
+    // quiescent state with the copy gone (its data moved home; silent
+    // drops along the way are caught by the transition checks).
+    std::vector<bool> drained(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        drained[i] = quiescent[i] &&
+                     !cache::isDirty(nodes[i].state.remote);
+    }
+    const std::vector<bool> drains = canReach(nodes, drained);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (cache::isDirty(nodes[i].state.remote) && !drains[i]) {
+            addViolation(rep.dirtyTraps, maxViolationsPerKind,
+                         format("dirty remote copy (%s) can never "
+                                "drain home",
+                                cache::toString(nodes[i].state.remote)),
+                         nodes, i);
+        }
+    }
+
+    // Stable-state coverage at quiescent states.
+    std::vector<std::string> reached;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!quiescent[i])
+            continue;
+        const State &s = nodes[i].state;
+        std::string triple = format("%s/%s/%s", stableName(s.home),
+                                    stableName(s.dir),
+                                    stableName(s.remote));
+        if (std::find(reached.begin(), reached.end(), triple) ==
+            reached.end()) {
+            reached.push_back(triple);
+        }
+    }
+    std::sort(reached.begin(), reached.end());
+    rep.stableReached = reached;
+    for (MoesiState h :
+         {MoesiState::Invalid, MoesiState::Shared,
+          MoesiState::Exclusive, MoesiState::Owned,
+          MoesiState::Modified}) {
+        for (MoesiState d :
+             {MoesiState::Invalid, MoesiState::Shared,
+              MoesiState::Exclusive, MoesiState::Owned,
+              MoesiState::Modified}) {
+            for (MoesiState r :
+                 {MoesiState::Invalid, MoesiState::Shared,
+                  MoesiState::Exclusive, MoesiState::Owned,
+                  MoesiState::Modified}) {
+                std::string triple =
+                    format("%s/%s/%s", stableName(h), stableName(d),
+                           stableName(r));
+                if (std::find(reached.begin(), reached.end(),
+                              triple) == reached.end()) {
+                    rep.stableUnreached.push_back(std::move(triple));
+                }
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace enzian::verif

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Runtime coherence-invariant monitor.
+ *
+ * Bridges the static checker and the timed simulation: the monitor
+ * taps the ECI fabric, feeds every message through the replay-based
+ * trace::ProtocolChecker, and — when given hooks into the live
+ * machine — cross-checks the *actual* cache and directory state of
+ * the line each message touches against the same invariants
+ * (invariants.hh) the exhaustive model checker enforces.
+ *
+ * It can also replay a previously captured EciTrace offline, so a
+ * trace recorded on one run (or decoded from the capture format) can
+ * be re-judged without re-running the simulation.
+ */
+
+#ifndef ENZIAN_VERIF_INVARIANT_MONITOR_HH
+#define ENZIAN_VERIF_INVARIANT_MONITOR_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "eci/eci_link.hh"
+#include "eci/home_agent.hh"
+#include "mem/address_map.hh"
+#include "trace/checker.hh"
+#include "trace/eci_pcap.hh"
+
+namespace enzian::verif {
+
+/** Live coherence monitor over a running Enzian machine. */
+class InvariantMonitor
+{
+  public:
+    /**
+     * Pointers into the live machine; any of them may be null, which
+     * simply disables the corresponding cross-check (a trace-only
+     * replay uses no hooks at all).
+     */
+    struct Hooks
+    {
+        cache::Cache *cpuCache = nullptr;
+        cache::Cache *fpgaCache = nullptr;
+        /** Home agent of the CPU node (tracks the FPGA's copies). */
+        const eci::HomeAgent *cpuHome = nullptr;
+        /** Home agent of the FPGA node (tracks the CPU's copies). */
+        const eci::HomeAgent *fpgaHome = nullptr;
+        const mem::AddressMap *map = nullptr;
+    };
+
+    InvariantMonitor() = default;
+    explicit InvariantMonitor(const Hooks &hooks) : hooks_(hooks) {}
+
+    /**
+     * Install this monitor as the fabric's trace tap. Note the fabric
+     * has a single tap slot: to combine with EciTrace capture, attach
+     * the trace and forward to observe() from your own tap, or replay
+     * the trace afterwards.
+     */
+    void attach(eci::EciFabric &fabric);
+
+    /** Feed one message (composable with other taps). */
+    void observe(Tick when, const eci::EciMsg &msg);
+
+    /** Replay an entire captured trace through the monitor. */
+    void replay(const trace::EciTrace &trace);
+
+    /**
+     * Sweep every resident line of both caches (hooks permitting) and
+     * cross-check SWMR + directory coverage machine-wide. Call at a
+     * quiescent point, e.g. the end of a test.
+     */
+    void checkAllLines();
+
+    /** End-of-run check: no request may remain unanswered. */
+    void finalize();
+
+    /** All violations: the trace checker's plus the live checks'. */
+    std::vector<std::string> violations() const;
+    bool clean() const { return violations().empty(); }
+
+    /** Messages observed so far. */
+    std::uint64_t observed() const { return observed_; }
+
+  private:
+    void checkLine(Tick when, Addr line);
+    cache::MoesiState probe(cache::Cache *c, Addr line) const;
+
+    Hooks hooks_;
+    trace::ProtocolChecker checker_;
+    std::vector<std::string> liveViolations_;
+    std::uint64_t observed_ = 0;
+};
+
+} // namespace enzian::verif
+
+#endif // ENZIAN_VERIF_INVARIANT_MONITOR_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Protocol invariants (implementation).
+ */
+
+#include "verif/invariants.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::verif {
+
+using cache::MoesiState;
+
+std::optional<std::string>
+checkSwmr(MoesiState a, MoesiState b)
+{
+    if (cache::compatible(a, b))
+        return std::nullopt;
+    return format("SWMR violation: incompatible copies %s / %s",
+                  cache::toString(a), cache::toString(b));
+}
+
+std::optional<std::string>
+checkDirCoverage(MoesiState actualRemote, MoesiState dir)
+{
+    if (!cache::canWrite(actualRemote) || cache::canWrite(dir))
+        return std::nullopt;
+    return format("directory lost track of a writable remote copy: "
+                  "remote=%s but dir=%s",
+                  cache::toString(actualRemote), cache::toString(dir));
+}
+
+std::vector<std::string>
+checkState(const State &s)
+{
+    std::vector<std::string> out;
+    if (auto v = checkSwmr(s.home, s.remote))
+        out.push_back(std::move(*v));
+    if (auto v = checkDirCoverage(s.remote, s.dir))
+        out.push_back(std::move(*v));
+    if (s.quiescent() && s.dir != s.remote &&
+        !(s.dir == MoesiState::Exclusive &&
+          s.remote == MoesiState::Modified)) {
+        out.push_back(format(
+            "quiescent directory disagreement: dir=%s remote=%s",
+            cache::toString(s.dir), cache::toString(s.remote)));
+    }
+    return out;
+}
+
+} // namespace enzian::verif

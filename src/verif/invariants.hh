@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Protocol invariants shared by the exhaustive checker and the
+ * runtime monitor.
+ *
+ * The checks are deliberately tiny predicates over MOESI states so
+ * the same code judges an abstract model state, a live simulation
+ * snapshot, and a replayed trace.
+ */
+
+#ifndef ENZIAN_VERIF_INVARIANTS_HH
+#define ENZIAN_VERIF_INVARIANTS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/moesi.hh"
+#include "verif/model.hh"
+
+namespace enzian::verif {
+
+/**
+ * Single-writer-multiple-reader: the two nodes' copies of one line
+ * must be MOESI-compatible (no writable copy may coexist with any
+ * other valid copy). Returns a description of the violation, or
+ * std::nullopt if the pair is fine.
+ */
+std::optional<std::string> checkSwmr(cache::MoesiState a,
+                                     cache::MoesiState b);
+
+/**
+ * Directory coverage: if the remote actually holds a writable copy,
+ * the home's directory entry must grant write permission too —
+ * otherwise the home will serve stale data without snooping. (The
+ * silent E->M upgrade makes dir=E / remote=M legal.)
+ */
+std::optional<std::string>
+checkDirCoverage(cache::MoesiState actualRemote,
+                 cache::MoesiState dir);
+
+/**
+ * All per-state invariants over one abstract model state: SWMR,
+ * directory coverage, and — in quiescent states — exact directory
+ * agreement (dir == remote, modulo the silent E->M upgrade).
+ */
+std::vector<std::string> checkState(const State &s);
+
+} // namespace enzian::verif
+
+#endif // ENZIAN_VERIF_INVARIANTS_HH
