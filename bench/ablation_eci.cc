@@ -21,6 +21,14 @@ using namespace enzian::bench;
 
 namespace {
 
+/** Shared report; each benchmark adds its simulated-throughput point. */
+BenchReport &
+report()
+{
+    static BenchReport rep("ablation_eci");
+    return rep;
+}
+
 double
 runWorkload(platform::EnzianMachine::Config cfg,
             std::uint64_t transfer = 16384, std::uint32_t runs = 100)
@@ -44,6 +52,7 @@ BM_BalancePolicy(benchmark::State &state)
     }
     state.counters["sim_GiBps"] = gib;
     state.SetLabel(toString(policy));
+    report().add(format("balance_%s_gibps", toString(policy)), gib);
 }
 
 void
@@ -58,6 +67,9 @@ BM_LaneCount(benchmark::State &state)
         benchmark::DoNotOptimize(gib);
     }
     state.counters["sim_GiBps"] = gib;
+    report().add(format("lanes_%lld_gibps",
+                        static_cast<long long>(state.range(0))),
+                 gib);
 }
 
 void
@@ -73,6 +85,9 @@ BM_MshrDepth(benchmark::State &state)
         benchmark::DoNotOptimize(gib);
     }
     state.counters["sim_GiBps"] = gib;
+    report().add(format("mshr_%lld_gibps",
+                        static_cast<long long>(state.range(0))),
+                 gib);
 }
 
 void
@@ -91,6 +106,9 @@ BM_FabricClock(benchmark::State &state)
         benchmark::DoNotOptimize(gib);
     }
     state.counters["sim_GiBps"] = gib;
+    report().add(format("fabric_%lldmhz_gibps",
+                        static_cast<long long>(state.range(0))),
+                 gib);
 }
 
 BENCHMARK(BM_BalancePolicy)->DenseRange(0, 3)->Iterations(1);
@@ -101,4 +119,14 @@ BENCHMARK(BM_FabricClock)->Arg(200)->Arg(250)->Arg(300)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    report().write();
+    return 0;
+}

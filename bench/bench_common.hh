@@ -13,16 +13,86 @@
 #define ENZIAN_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
+#include "obs/json.hh"
 #include "platform/enzian_machine.hh"
 #include "platform/platform_factory.hh"
 
 namespace enzian::bench {
+
+/**
+ * Machine-readable companion to a bench's text output: named scalar
+ * metrics accumulated during the run and written as
+ * `BENCH_<name>.json` (into $ENZIAN_BENCH_DIR if set, else the
+ * working directory) when the report goes out of scope. This is what
+ * the perf trajectory ingests; the text tables stay for humans.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+    ~BenchReport() { write(); }
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    /** Record one metric; insertion order is preserved in the file. */
+    void add(const std::string &metric, double value)
+    {
+        metrics_.emplace_back(metric, value);
+    }
+
+    /** Destination path for the JSON document. */
+    std::string path() const
+    {
+        const char *dir = std::getenv("ENZIAN_BENCH_DIR");
+        std::string p =
+            dir && *dir ? std::string(dir) + "/" : std::string();
+        return p + "BENCH_" + name_ + ".json";
+    }
+
+    /** Write the report now (idempotent; the dtor calls this too). */
+    void write()
+    {
+        if (written_)
+            return;
+        written_ = true;
+        const std::string file = path();
+        std::ofstream f(file, std::ios::trunc);
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         file.c_str());
+            return;
+        }
+        f << "{\n  " << obs::json::quote("bench") << ": "
+          << obs::json::quote(name_) << ",\n  "
+          << obs::json::quote("metrics") << ": {";
+        bool first = true;
+        for (const auto &[metric, value] : metrics_) {
+            f << (first ? "\n" : ",\n") << "    "
+              << obs::json::quote(metric) << ": "
+              << obs::json::number(value);
+            first = false;
+        }
+        f << "\n  }\n}\n";
+        std::fprintf(stderr, "bench: wrote %s (%zu metrics)\n",
+                     file.c_str(), metrics_.size());
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    bool written_ = false;
+};
 
 /** Print a section header for a figure. */
 inline void

@@ -24,6 +24,7 @@ main()
 {
     bench::header(
         "Extension: disaggregated memory, pushdown vs full read");
+    bench::BenchReport rep("ext_disagg_memory");
 
     constexpr std::uint32_t row = 16;
     constexpr std::uint64_t rows = 1u << 20;
@@ -86,6 +87,10 @@ main()
                     units::toMicros(read_t), wire / 1024.0,
                     static_cast<double>(full.size()) /
                         static_cast<double>(wire));
+        const std::string key = format("sel_%g", sel);
+        rep.add(key + "_pushdown_us", units::toMicros(scan_t));
+        rep.add(key + "_fullread_us", units::toMicros(read_t));
+        rep.add(key + "_wire_kib", wire / 1024.0);
     }
     std::printf("\nShape check: at low selectivity pushdown wins on "
                 "both wall time and (dramatically) data moved; at "

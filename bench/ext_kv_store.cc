@@ -21,6 +21,7 @@ int
 main()
 {
     header("Extension: FPGA-resident key-value store (KV-Direct)");
+    BenchReport rep("ext_kv_store");
 
     for (const double get_frac : {0.50, 0.95, 1.00}) {
         auto mcfg = platform::enzianDefaultConfig();
@@ -91,6 +92,11 @@ main()
                     get_frac * 100, mops, lat_us.mean(), lat_us.max(),
                     static_cast<double>(server.probes()) /
                         static_cast<double>(ops + keys));
+        const std::string key =
+            format("get%.0f", get_frac * 100);
+        rep.add(key + "_mops", mops);
+        rep.add(key + "_mean_lat_us", lat_us.mean());
+        rep.add(key + "_max_lat_us", lat_us.max());
     }
     std::printf("\nShape check: line-rate-limited small-op service "
                 "from the fabric with single-digit-microsecond "

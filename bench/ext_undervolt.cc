@@ -26,6 +26,7 @@ int
 main()
 {
     header("Extension: VDD_CORE undervolting study");
+    BenchReport rep("ext_undervolt");
 
     // Per-chip critical voltages (guardband model).
     Rng chip_rng(0x5afe);
@@ -77,6 +78,10 @@ main()
         std::printf("%9.3fV %9.1f%% %11.1fW %10.1f%% %7d/%d\n", vout,
                     (v_nom - vout) / v_nom * 100.0, p,
                     (p_nom - p) / p_nom * 100.0, stable, chips);
+        const std::string key = format("vout_%.0fmv", vout * 1000.0);
+        rep.add(key + "_cpu_w", p);
+        rep.add(key + "_saving_pct", (p_nom - p) / p_nom * 100.0);
+        rep.add(key + "_stable_chips", stable);
     }
     std::printf("\nShape check: ~2%% power saving per 1%% undervolt "
                 "until the per-chip guardband (~0.87 V +/- 12 mV) is "

@@ -31,10 +31,15 @@ fpgaDramTransfer(platform::EnzianMachine &m)
 }
 
 void
-row(const char *name, double lat_us, double bw_gib, bool reference)
+row(BenchReport &rep, const char *key, const char *name, double lat_us,
+    double bw_gib, bool reference)
 {
     std::printf("%-28s %10.2f %10.1f   %s\n", name, lat_us, bw_gib,
                 reference ? "(cited reference)" : "(measured here)");
+    if (!reference) {
+        rep.add(std::string(key) + "_latency_us", lat_us);
+        rep.add(std::string(key) + "_bw_gib", bw_gib);
+    }
 }
 
 } // namespace
@@ -43,10 +48,12 @@ int
 main()
 {
     header("Figure 3: CPU-FPGA landscape, latency vs bandwidth");
+    BenchReport rep("fig03_platform_landscape");
     std::printf("%-28s %10s %10s\n", "platform", "lat_us", "BW_GiB/s");
 
     for (const auto &p : platform::fig3ReferencePoints())
-        row(p.name.c_str(), p.latency_us, p.bandwidth_gib, true);
+        row(rep, "", p.name.c_str(), p.latency_us, p.bandwidth_gib,
+            true);
 
     // Enzian, one ECI link.
     {
@@ -58,7 +65,8 @@ main()
         auto m2 = makeBenchMachine(cfg);
         const double bw = measureThroughputGiB(
             m2->eventq(), 16384, 300, 8, eciTransfer(*m2, true));
-        row("Enzian (1 ECI link)", lat, bw, false);
+        row(rep, "enzian_1link", "Enzian (1 ECI link)", lat, bw,
+            false);
     }
     // Enzian, full ECI (both links, hardware-style balancing).
     {
@@ -70,7 +78,8 @@ main()
         auto m2 = makeBenchMachine(cfg);
         const double bw = measureThroughputGiB(
             m2->eventq(), 16384, 300, 8, eciTransfer(*m2, true));
-        row("Enzian (full ECI)", lat, bw, false);
+        row(rep, "enzian_full_eci", "Enzian (full ECI)", lat, bw,
+            false);
     }
     // Enzian FPGA-side DRAM.
     {
@@ -80,7 +89,7 @@ main()
         auto m2 = makeBenchMachine(platform::enzianDefaultConfig());
         const double bw = measureThroughputGiB(
             m2->eventq(), 1 << 20, 100, 4, fpgaDramTransfer(*m2));
-        row("Enzian DRAM", lat, bw, false);
+        row(rep, "enzian_dram", "Enzian DRAM", lat, bw, false);
     }
     // Measured PCIe card for scale (Alveo u250, Gen3 x16).
     {
@@ -91,7 +100,8 @@ main()
         const double bw = measureThroughputGiB(*sys2.eq, 1 << 20, 100,
                                                4,
                                                dmaTransfer(sys2, true));
-        row("Alveo u250 PCIe (measured)", lat, bw, false);
+        row(rep, "alveo_u250_pcie", "Alveo u250 PCIe (measured)",
+            lat, bw, false);
     }
     std::printf("\nShape check: Enzian's coherent link sits in the "
                 "sub-microsecond latency regime of QPI/UPI systems\n"

@@ -20,6 +20,7 @@ int
 main()
 {
     header("Figure 6: ECI (one link) vs PCIe x16 Gen3");
+    BenchReport rep("fig06_link_performance");
     std::printf("%8s %12s %12s %12s %12s %12s %12s %12s %12s\n",
                 "size_B", "EnzRD_us", "EnzWR_us", "AlvRD_us",
                 "AlvWR_us", "EnzRD_GiB", "EnzWR_GiB", "AlvRD_GiB",
@@ -52,6 +53,15 @@ main()
             ++idx;
         }
         // Column order: Enzian RD, Enzian WR, Alveo RD, Alveo WR.
+        const char *cols[] = {"enzian_rd", "enzian_wr", "alveo_wr",
+                              "alveo_rd"};
+        for (int c = 0; c < 4; ++c) {
+            const std::string key =
+                format("%s_%lluB", cols[c],
+                       static_cast<unsigned long long>(size));
+            rep.add(key + "_latency_us", lat[c]);
+            rep.add(key + "_bw_gib", thr[c]);
+        }
         std::printf("%8llu %12.3f %12.3f %12.3f %12.3f %12.2f %12.2f "
                     "%12.2f %12.2f\n",
                     static_cast<unsigned long long>(size), lat[0],
@@ -73,6 +83,8 @@ main()
         std::printf("\n2-socket ThunderX-1 reference: %.0f ns latency, "
                     "%.1f GiB/s (paper: ~150 ns, 19 GiB/s)\n",
                     lat_ns, thr);
+        rep.add("thunderx_latency_ns", lat_ns);
+        rep.add("thunderx_bw_gib", thr);
     }
     return 0;
 }

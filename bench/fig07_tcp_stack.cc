@@ -91,18 +91,28 @@ int
 main()
 {
     header("Figure 7: FPGA TCP (Enzian) vs Linux kernel stack");
+    BenchReport rep("fig07_tcp_stack");
     std::printf("%9s %12s %12s %14s %14s %14s\n", "size_KB",
                 "Enz_lat_us", "Lnx_lat_us", "Enz1f_Gbps",
                 "Lnx1f_Gbps", "Lnx4f_Gbps");
     for (std::uint32_t p = 1; p <= 10; ++p) {
         const std::uint64_t kb = 1ull << p;
         const std::uint64_t bytes = kb * 1000; // paper axis is KB
+        const double enz_lat = pingPongUs(true, bytes);
+        const double lnx_lat = pingPongUs(false, bytes);
+        const double enz_1f = streamGbps(true, bytes, 1);
+        const double lnx_1f = streamGbps(false, bytes, 1);
+        const double lnx_4f = streamGbps(false, bytes, 4);
         std::printf("%9llu %12.1f %12.1f %14.1f %14.1f %14.1f\n",
-                    static_cast<unsigned long long>(kb),
-                    pingPongUs(true, bytes), pingPongUs(false, bytes),
-                    streamGbps(true, bytes, 1),
-                    streamGbps(false, bytes, 1),
-                    streamGbps(false, bytes, 4));
+                    static_cast<unsigned long long>(kb), enz_lat,
+                    lnx_lat, enz_1f, lnx_1f, lnx_4f);
+        const std::string sz =
+            format("%lluKB", static_cast<unsigned long long>(kb));
+        rep.add("enzian_lat_us_" + sz, enz_lat);
+        rep.add("linux_lat_us_" + sz, lnx_lat);
+        rep.add("enzian_1flow_gbps_" + sz, enz_1f);
+        rep.add("linux_1flow_gbps_" + sz, lnx_1f);
+        rep.add("linux_4flow_gbps_" + sz, lnx_4f);
     }
     std::printf("\nShape check: the FPGA stack saturates ~100 Gb/s "
                 "with one flow (MTU 2 KiB); the Linux stack needs 4 "

@@ -101,6 +101,7 @@ int
 main()
 {
     header("Figure 8: RDMA performance");
+    BenchReport rep("fig08_rdma");
     const char *kinds[] = {"alveo-dram", "alveo-host", "mellanox-host",
                            "enzian-dram", "enzian-host"};
     for (const bool write : {false, true}) {
@@ -122,6 +123,14 @@ main()
                     *thr_rig.eq, size, 150, 8,
                     thr_rig.transfer(write));
                 std::printf(" %14.2f %15.2f", lat, thr);
+                std::string key = format(
+                    "%s_%s_%lluB", k, write ? "write" : "read",
+                    static_cast<unsigned long long>(size));
+                for (char &c : key)
+                    if (c == '-')
+                        c = '_';
+                rep.add(key + "_lat_us", lat);
+                rep.add(key + "_gib", thr);
             }
             std::printf("\n");
         }

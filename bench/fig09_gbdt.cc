@@ -19,6 +19,7 @@ int
 main()
 {
     header("Figure 9: GBDT inference throughput (Mtuples/s)");
+    BenchReport rep("fig09_gbdt");
     auto ensemble = accel::makeEnsemble(
         0xd7ee5, platform::params::gbdtTrees,
         platform::params::gbdtDepth, platform::params::gbdtFeatures);
@@ -55,6 +56,8 @@ main()
         std::printf("%-12s %12.1f %12.1f   (paper: %.0f / %.0f)\n",
                     name.c_str(), mtps[0], mtps[1], paper[row][0],
                     paper[row][1]);
+        rep.add(name + "_1engine_mtps", mtps[0]);
+        rep.add(name + "_2engine_mtps", mtps[1]);
         ++row;
     }
     std::printf("\nShape check: Enzian outperforms all boards because "

@@ -64,6 +64,7 @@ int
 main()
 {
     header("Figure 11: pipeline throughput vs active cores");
+    BenchReport rep("fig11_memory_controller");
     verifyHardwareView();
 
     auto m = makeBenchMachine(platform::enzianDefaultConfig());
@@ -91,6 +92,13 @@ main()
         std::printf("%6u %10.3f %10.3f %10.3f %12.2f %12.2f %12.2f\n",
                     cores, gpx[0], gpx[1], gpx[2], gib[0], gib[1],
                     gib[2]);
+        const char *reductions[] = {"none", "y8", "y4"};
+        for (int c = 0; c < 3; ++c) {
+            const std::string key =
+                format("%s_%uc", reductions[c], cores);
+            rep.add(key + "_gpx", gpx[c]);
+            rep.add(key + "_interconnect_gib", gib[c]);
+        }
     }
 
     std::printf("\nTable 1: pipeline PMU counts (48 threads)\n");
@@ -114,6 +122,13 @@ main()
                 "10.50)\n",
                 "Cycles per L1 refill (/1e3)", refill_kcycles[0],
                 refill_kcycles[1], refill_kcycles[2]);
+    const char *reductions[] = {"none", "y8", "y4"};
+    for (int c = 0; c < 3; ++c) {
+        rep.add(format("%s_48c_mem_stalls_per_cycle", reductions[c]),
+                stalls[c]);
+        rep.add(format("%s_48c_cycles_per_l1_refill_k", reductions[c]),
+                refill_kcycles[c]);
+    }
     std::printf("\nShape check: linear scaling to 48 cores; hardware "
                 "RGB2Y lifts per-core throughput ~39%% (8bpp) / ~33%% "
                 "(4bpp) while cutting interconnect bandwidth ~3x/6x.\n");

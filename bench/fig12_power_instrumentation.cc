@@ -13,11 +13,13 @@
  * annotations and memtest verdicts.
  */
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <map>
 
+#include "bench_common.hh"
 #include "platform/boot_sequencer.hh"
-#include "platform/platform_factory.hh"
 
 using namespace enzian;
 
@@ -26,6 +28,7 @@ main()
 {
     std::printf("\n=== Figure 12: boot / diagnostic / stress power "
                 "trace ===\n");
+    bench::BenchReport rep("fig12_power_instrumentation");
     auto cfg = platform::enzianDefaultConfig();
     cfg.cpu_dram_bytes = 2ull << 30;
     cfg.fpga_dram_bytes = 1ull << 30;
@@ -33,6 +36,11 @@ main()
     platform::BootSequencer seq(machine);
     seq.runFullSequence();
 
+    rep.add("memtests_passed",
+            static_cast<double>(seq.memtests().dram_check) +
+                seq.memtests().data_bus + seq.memtests().address_bus +
+                seq.memtests().marching_rows +
+                seq.memtests().random_data);
     std::printf("\nmemtests: dram_check=%s data_bus=%s address_bus=%s "
                 "marching_rows=%s random_data=%s\n",
                 seq.memtests().dram_check ? "PASS" : "FAIL",
@@ -75,6 +83,22 @@ main()
     std::printf("\ntelemetry samples: %zu (4 rails @ 20 ms over the "
                 "run)\n",
                 samples.size());
+    rep.add("telemetry_samples", static_cast<double>(samples.size()));
+    rep.add("run_seconds", units::toSeconds(machine.now()));
+    std::map<std::string, std::pair<double, double>> peak_mean;
+    for (const auto &s2 : samples) {
+        auto &[peak, sum] = peak_mean[s2.rail];
+        peak = std::max(peak, s2.watts);
+        sum += s2.watts;
+    }
+    for (const auto &[rail, pm] : peak_mean) {
+        std::string key = rail;
+        for (char &c : key)
+            c = static_cast<char>(std::tolower(c));
+        rep.add(key + "_peak_w", pm.first);
+        rep.add(key + "_mean_w",
+                pm.second / static_cast<double>(samples.size() / 4));
+    }
     std::printf("Shape check: CPU power-on spike, elevated CPU+DRAM "
                 "power through the memtests, CPU-off step, and the "
                 "24-step FPGA power-burn staircase.\n");

@@ -12,9 +12,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "obs/span_tracer.hh"
 #include "platform/enzian_machine.hh"
 #include "platform/platform_factory.hh"
 #include "trace/checker.hh"
@@ -71,6 +73,20 @@ main()
     loaded.load("/tmp/enzian_example.ecit");
     std::printf("serialization round trip: %zu -> %zu records\n",
                 tr.size(), loaded.size());
+
+    // And out to Perfetto: render the capture as Chrome-trace JSON
+    // (per-VC instant tracks plus a wire-bytes counter), loadable in
+    // https://ui.perfetto.dev or chrome://tracing. `ecidump --chrome`
+    // does the same from the command line.
+    {
+        obs::SpanTracer viz;
+        trace::toChromeTrace(loaded, viz);
+        std::ofstream f("/tmp/enzian_coherence_trace.json");
+        viz.writeChromeJson(f);
+        std::printf("Perfetto trace: /tmp/enzian_coherence_trace.json "
+                    "(%zu messages)\n",
+                    loaded.size());
+    }
 
     // Now corrupt the trace: drop the response to the first request.
     trace::EciTrace corrupted;

@@ -61,6 +61,31 @@ format(const char *fmt, ...)
 }
 
 void
+vlogPrefixed(LogLevel level, const char *prefix, const char *fmt,
+             va_list ap)
+{
+    if (g_level > level)
+        return;
+    const char *tag = "info: ";
+    switch (level) {
+      case LogLevel::Debug:
+        tag = "debug: ";
+        break;
+      case LogLevel::Info:
+        tag = "info: ";
+        break;
+      case LogLevel::Warn:
+        tag = "warn: ";
+        break;
+      case LogLevel::Error:
+        tag = "error: ";
+        break;
+    }
+    std::string msg = vformat(fmt, ap);
+    std::fprintf(stderr, "%s%s%s\n", tag, prefix, msg.c_str());
+}
+
+void
 inform(const char *fmt, ...)
 {
     if (g_level > LogLevel::Info)

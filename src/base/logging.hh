@@ -54,6 +54,15 @@ void panic(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 [[noreturn]]
 void fatal(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Emit a message at @p level with @p prefix between the severity tag
+ * and the text (e.g. "info: [1200 ns enzian.eci.link0] ..."); used by
+ * SimObject::logInfo and friends to make interleaved multi-component
+ * logs attributable. Respects the minimum level like inform()/warn().
+ */
+void vlogPrefixed(LogLevel level, const char *prefix, const char *fmt,
+                  va_list ap);
+
 /** Format a printf-style string into a std::string. */
 std::string vformat(const char *fmt, va_list ap);
 

@@ -90,15 +90,27 @@ Histogram::reset()
 }
 
 void
-StatGroup::addCounter(const std::string &name, const Counter *c)
+StatGroup::addCounter(const std::string &name, Counter *c)
 {
     counters_.emplace_back(name, c);
 }
 
 void
-StatGroup::addAccumulator(const std::string &name, const Accumulator *a)
+StatGroup::addGauge(const std::string &name, Gauge *g)
+{
+    gauges_.emplace_back(name, g);
+}
+
+void
+StatGroup::addAccumulator(const std::string &name, Accumulator *a)
 {
     accums_.emplace_back(name, a);
+}
+
+void
+StatGroup::addHistogram(const std::string &name, Histogram *h)
+{
+    hists_.emplace_back(name, h);
 }
 
 void
@@ -106,12 +118,33 @@ StatGroup::dump(std::ostream &os) const
 {
     for (const auto &[n, c] : counters_)
         os << name_ << '.' << n << ' ' << c->value() << '\n';
+    for (const auto &[n, g] : gauges_)
+        os << name_ << '.' << n << ' ' << g->value() << '\n';
     for (const auto &[n, a] : accums_) {
         os << name_ << '.' << n << ".count " << a->count() << '\n';
         os << name_ << '.' << n << ".mean " << a->mean() << '\n';
         os << name_ << '.' << n << ".min " << a->min() << '\n';
         os << name_ << '.' << n << ".max " << a->max() << '\n';
     }
+    for (const auto &[n, h] : hists_) {
+        os << name_ << '.' << n << ".count " << h->count() << '\n';
+        os << name_ << '.' << n << ".p50 " << h->quantile(0.50) << '\n';
+        os << name_ << '.' << n << ".p90 " << h->quantile(0.90) << '\n';
+        os << name_ << '.' << n << ".p99 " << h->quantile(0.99) << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (const auto &[n, c] : counters_)
+        c->reset();
+    for (const auto &[n, g] : gauges_)
+        g->reset();
+    for (const auto &[n, a] : accums_)
+        a->reset();
+    for (const auto &[n, h] : hists_)
+        h->reset();
 }
 
 } // namespace enzian

@@ -1,9 +1,10 @@
 /**
  * @file
- * Lightweight statistics collection: scalar counters, min/max/mean
- * accumulators, and fixed-bucket histograms. Components expose their
- * counters through a StatGroup so tests and benches can read and dump
- * them uniformly.
+ * Lightweight statistics collection: scalar counters, gauges,
+ * min/max/mean accumulators, and fixed-bucket histograms. Components
+ * expose their counters through a StatGroup so tests, benches, and the
+ * global obs::Registry can read, dump, export, and reset them
+ * uniformly.
  */
 
 #ifndef ENZIAN_BASE_STATS_HH
@@ -30,6 +31,23 @@ class Counter
 
   private:
     std::uint64_t value_ = 0;
+};
+
+/** Last-value gauge for levels that move both ways (depth, rate, V). */
+class Gauge
+{
+  public:
+    /** Set the current level. */
+    void set(double v) { value_ = v; }
+    /** Adjust the current level by @p d (may be negative). */
+    void add(double d) { value_ += d; }
+    /** Current level. */
+    double value() const { return value_; }
+    /** Reset to zero. */
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
 };
 
 /** Accumulates samples and reports count/sum/min/max/mean/variance. */
@@ -96,26 +114,58 @@ class Histogram
 
 /**
  * Named collection of statistics for one component; supports a
- * human-readable dump. Registration stores pointers, so registered
- * stats must outlive the group.
+ * human-readable dump, group-wide reset, and typed iteration (used by
+ * the global obs::Registry for machine-readable exports). Registration
+ * stores pointers, so registered stats must outlive the group.
  */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
-    void addCounter(const std::string &name, const Counter *c);
-    void addAccumulator(const std::string &name, const Accumulator *a);
+    void addCounter(const std::string &name, Counter *c);
+    void addGauge(const std::string &name, Gauge *g);
+    void addAccumulator(const std::string &name, Accumulator *a);
+    void addHistogram(const std::string &name, Histogram *h);
 
-    /** Write "group.stat value" lines to @p os. */
+    /**
+     * Write "group.stat value" lines to @p os. Accumulators expand to
+     * .count/.mean/.min/.max, histograms to .count/.p50/.p90/.p99.
+     */
     void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic to its initial state. */
+    void resetAll();
 
     const std::string &name() const { return name_; }
 
+    // Typed access for exporters.
+    const std::vector<std::pair<std::string, Counter *>> &
+    counters() const
+    {
+        return counters_;
+    }
+    const std::vector<std::pair<std::string, Gauge *>> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::vector<std::pair<std::string, Accumulator *>> &
+    accumulators() const
+    {
+        return accums_;
+    }
+    const std::vector<std::pair<std::string, Histogram *>> &
+    histograms() const
+    {
+        return hists_;
+    }
+
   private:
     std::string name_;
-    std::vector<std::pair<std::string, const Counter *>> counters_;
-    std::vector<std::pair<std::string, const Accumulator *>> accums_;
+    std::vector<std::pair<std::string, Counter *>> counters_;
+    std::vector<std::pair<std::string, Gauge *>> gauges_;
+    std::vector<std::pair<std::string, Accumulator *>> accums_;
+    std::vector<std::pair<std::string, Histogram *>> hists_;
 };
 
 } // namespace enzian

@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::cpu {
 
@@ -23,6 +24,13 @@ CoreCluster::CoreCluster(std::string name, EventQueue &eq,
             SimObject::name() + ".core" + std::to_string(i), eq,
             clock_hz));
     }
+    stats().addCounter("runs", &runs_);
+    stats().addGauge("pmu_cycles", &pmuCycles_);
+    stats().addGauge("pmu_instructions", &pmuInstructions_);
+    stats().addGauge("pmu_mem_stall_cycles", &pmuMemStalls_);
+    stats().addGauge("pmu_l1_refills", &pmuL1Refills_);
+    stats().addGauge("pmu_l2_remote_refills", &pmuL2RemoteRefills_);
+    stats().addGauge("pmu_ipc", &pmuIpc_);
 }
 
 ClusterResult
@@ -69,6 +77,16 @@ CoreCluster::runParallel(const StreamKernel &k, std::uint32_t active,
     out.itemRate =
         secs > 0 ? static_cast<double>(items) / secs : 0.0;
     out.interconnectRate = out.itemRate * k.interconnect_bytes_per_item;
+
+    runs_.inc();
+    pmuCycles_.set(static_cast<double>(out.pmu.cycles));
+    pmuInstructions_.set(static_cast<double>(out.pmu.instructions));
+    pmuMemStalls_.set(static_cast<double>(out.pmu.memStallCycles));
+    pmuL1Refills_.set(static_cast<double>(out.pmu.l1Refills));
+    pmuL2RemoteRefills_.set(
+        static_cast<double>(out.pmu.l2RemoteRefills));
+    pmuIpc_.set(out.pmu.ipc());
+    ENZIAN_SPAN(name(), "run_parallel", now(), now() + longest);
     return out;
 }
 

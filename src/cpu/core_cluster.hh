@@ -59,6 +59,18 @@ class CoreCluster : public SimObject
 
   private:
     std::vector<std::unique_ptr<Core>> cores_;
+
+    // PMU exposure: the aggregate counters of the most recent
+    // runParallel(), published as gauges so registry snapshots carry
+    // the Table-1 quantities. Mutable because runParallel() is
+    // logically const (it does not change the cluster's configuration).
+    mutable Counter runs_;
+    mutable Gauge pmuCycles_;
+    mutable Gauge pmuInstructions_;
+    mutable Gauge pmuMemStalls_;
+    mutable Gauge pmuL1Refills_;
+    mutable Gauge pmuL2RemoteRefills_;
+    mutable Gauge pmuIpc_;
 };
 
 } // namespace enzian::cpu

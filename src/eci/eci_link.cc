@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::eci {
 
@@ -17,6 +18,14 @@ EciLink::EciLink(std::string name, EventQueue &eq, const Config &cfg)
     recomputeBandwidth();
     stats().addCounter("messages", &msgs_);
     stats().addCounter("bytes", &bytes_);
+    stats().addAccumulator("latency_ns", &latency_);
+    stats().addAccumulator("ser_wait_ns", &serWait_);
+    stats().addHistogram("latency_hist_ns", &latencyHist_);
+    for (std::uint32_t vc = 0; vc < vcCount; ++vc) {
+        stats().addAccumulator(
+            format("vc_%s_latency_ns", toString(static_cast<Vc>(vc))),
+            &vcLatency_[vc]);
+    }
 }
 
 void
@@ -70,6 +79,13 @@ EciLink::send(const EciMsg &msg)
     busFreeAt_[dir] = start + stream;
     const Tick delivery = start + stream + units::ns(cfg_.wire_latency_ns)
                           + procLatency(msg.dst);
+
+    const double lat_ns = units::toNanos(delivery - now());
+    latency_.sample(lat_ns);
+    latencyHist_.sample(lat_ns);
+    serWait_.sample(units::toNanos(start - ser_ready));
+    vcLatency_[static_cast<std::size_t>(vcOf(msg.op))].sample(lat_ns);
+    ENZIAN_SPAN(name(), toString(msg.op), start, delivery);
 
     Handler &h = handlers_[static_cast<std::size_t>(msg.dst)];
     ENZIAN_ASSERT(h, "no receiver registered for node %s on %s",

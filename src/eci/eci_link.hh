@@ -77,6 +77,14 @@ class EciLink : public SimObject
     /** Tick the given direction's serializer frees up. */
     Tick busFreeAt(mem::NodeId src_node) const;
 
+    /** End-to-end message latency (send to delivery), in ns. */
+    const Accumulator &latency() const { return latency_; }
+    /** Latency accumulator for one VC, in ns. */
+    const Accumulator &vcLatency(Vc vc) const
+    {
+        return vcLatency_[static_cast<std::size_t>(vc)];
+    }
+
   private:
     void recomputeBandwidth();
     Tick procLatency(mem::NodeId node) const;
@@ -89,6 +97,13 @@ class EciLink : public SimObject
     Tap tap_;
     Counter msgs_;
     Counter bytes_;
+    /** Send-to-delivery latency (ns), overall and per VC. */
+    Accumulator latency_;
+    std::array<Accumulator, vcCount> vcLatency_;
+    /** Same distribution with quantiles, for tail reporting. */
+    Histogram latencyHist_{0.0, 4000.0, 80};
+    /** Time spent waiting for the serializer (queueing), ns. */
+    Accumulator serWait_;
 };
 
 /** Policy for spreading traffic over the two links. */

@@ -10,6 +10,30 @@
 namespace enzian::eci {
 
 const char *
+toString(Vc vc)
+{
+    switch (vc) {
+      case Vc::Request:
+        return "request";
+      case Vc::Response:
+        return "response";
+      case Vc::Data:
+        return "data";
+      case Vc::Snoop:
+        return "snoop";
+      case Vc::SnoopResp:
+        return "snoop_resp";
+      case Vc::Io:
+        return "io";
+      case Vc::Ipi:
+        return "ipi";
+      case Vc::VcCount:
+        break;
+    }
+    return "?";
+}
+
+const char *
 toString(Opcode op)
 {
     switch (op) {

@@ -42,6 +42,9 @@ enum class Vc : std::uint8_t {
 /** Number of VCs. */
 constexpr std::uint32_t vcCount = static_cast<std::uint32_t>(Vc::VcCount);
 
+/** Readable VC name ("request", "data", ...). */
+const char *toString(Vc vc);
+
 /** ECI message opcodes. */
 enum class Opcode : std::uint8_t {
     // Requests (requester -> home)

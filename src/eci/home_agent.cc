@@ -10,6 +10,7 @@
 
 #include "base/logging.hh"
 #include "eci/protocol_kernel.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::eci {
 
@@ -51,6 +52,17 @@ HomeAgent::HomeAgent(std::string name, EventQueue &eq, mem::NodeId node,
 {
     stats().addCounter("requests_served", &served_);
     stats().addCounter("snoops_sent", &snoops_);
+    stats().addCounter("deferrals", &deferrals_);
+    stats().addAccumulator("service_ns", &service_);
+    stats().addAccumulator("busy_lines", &occupancy_);
+}
+
+void
+HomeAgent::recordService([[maybe_unused]] const char *op, Tick t_req,
+                         Tick done_at)
+{
+    service_.sample(units::toNanos(done_at - t_req));
+    ENZIAN_SPAN(name(), op, t_req, done_at);
 }
 
 void
@@ -88,10 +100,12 @@ bool
 HomeAgent::acquireLine(Addr line, std::function<void()> retry)
 {
     if (busy_.contains(line)) {
+        deferrals_.inc();
         deferred_[line].push_back(std::move(retry));
         return false;
     }
     busy_.insert(line);
+    occupancy_.sample(static_cast<double>(busy_.size()));
     return true;
 }
 
@@ -183,6 +197,7 @@ HomeAgent::process(const EciMsg &msg)
         rsp.dst = msg.src;
         rsp.tid = msg.tid;
         rsp.addr = line;
+        recordService("REVC", now(), now() + dirLatency_);
         sendAt(now() + dirLatency_, rsp);
         finishLine(line);
         return;
@@ -196,6 +211,8 @@ void
 HomeAgent::serveRead(const EciMsg &msg, bool exclusive, bool allocate)
 {
     const Addr line = cache::lineAlign(msg.addr);
+    const Tick t_req = now();
+    const char *op_name = eci::toString(msg.op);
     const Tick t0 = now() + dirLatency_;
 
     auto rsp = std::make_shared<EciMsg>();
@@ -242,7 +259,8 @@ HomeAgent::serveRead(const EciMsg &msg, bool exclusive, bool allocate)
     if (allocate)
         dir_[line] = step.dirAfter;
 
-    auto complete = [this, rsp, line](Tick ready) {
+    auto complete = [this, rsp, line, t_req, op_name](Tick ready) {
+        recordService(op_name, t_req, ready);
         sendAt(ready, *rsp);
         finishLine(line);
     };
@@ -281,11 +299,13 @@ HomeAgent::serveUncachedWrite(const EciMsg &msg)
     rsp.tid = msg.tid;
     rsp.addr = line;
 
+    const Tick t_req = now();
     if (source_->posted()) {
         // Posted: acknowledged once the home engine accepts the data;
         // DRAM occupancy still advances. This is why Figure 6 shows
         // slightly higher write than read throughput.
         source_->writeLine(t0, line, msg.line.data(), [](Tick) {});
+        recordService("RSTT", t_req, t0 + units::ns(20.0));
         sendAt(t0 + units::ns(20.0), rsp);
         finishLine(line);
         return;
@@ -294,7 +314,8 @@ HomeAgent::serveUncachedWrite(const EciMsg &msg)
     // true durability point, and the line stays busy meanwhile so a
     // subsequent read cannot overtake the write.
     source_->writeLine(t0, line, msg.line.data(),
-                       [this, rsp, line](Tick durable) {
+                       [this, rsp, line, t_req](Tick durable) {
+                           recordService("RSTT", t_req, durable);
                            sendAt(durable, rsp);
                            finishLine(line);
                        });
@@ -326,6 +347,7 @@ HomeAgent::serveUpgrade(const EciMsg &msg)
     rsp.dst = msg.src;
     rsp.tid = msg.tid;
     rsp.addr = line;
+    recordService("RUPG", now(), t0);
     sendAt(t0, rsp);
     finishLine(line);
 }
@@ -351,22 +373,26 @@ HomeAgent::serveWriteBack(const EciMsg &msg)
     rsp.tid = msg.tid;
     rsp.addr = line;
 
+    const Tick t_req = now();
     if (!step.commitData) {
         // The writeback lost a race with a home-initiated SINV: the
         // home's own write was serialized after the eviction, so the
         // payload is stale and must not reach memory.
+        recordService("RWBD", t_req, t0);
         sendAt(t0, rsp);
         finishLine(line);
         return;
     }
     if (source_->posted()) {
         source_->writeLine(t0, line, msg.line.data(), [](Tick) {});
+        recordService("RWBD", t_req, t0 + units::ns(20.0));
         sendAt(t0 + units::ns(20.0), rsp);
         finishLine(line);
         return;
     }
     source_->writeLine(t0, line, msg.line.data(),
-                       [this, rsp, line](Tick durable) {
+                       [this, rsp, line, t_req](Tick durable) {
+                           recordService("RWBD", t_req, durable);
                            sendAt(durable, rsp);
                            finishLine(line);
                        });

@@ -169,6 +169,12 @@ class HomeAgent : public SimObject
     /** Send @p msg once @p when arrives. */
     void sendAt(Tick when, const EciMsg &msg);
 
+    /**
+     * Record one served request for stats and span tracing: @p t_req
+     * is the arrival tick, @p done_at the tick the response leaves.
+     */
+    void recordService(const char *op, Tick t_req, Tick done_at);
+
     mem::NodeId node_;
     mem::NodeId peer_;
     const mem::AddressMap &map_;
@@ -195,6 +201,12 @@ class HomeAgent : public SimObject
 
     Counter served_;
     Counter snoops_;
+    /** Requests that found their line busy and had to queue. */
+    Counter deferrals_;
+    /** Arrival-to-response service time per request, ns. */
+    Accumulator service_;
+    /** Concurrently-busy lines, sampled at each acquire. */
+    Accumulator occupancy_;
 };
 
 } // namespace enzian::eci

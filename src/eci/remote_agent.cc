@@ -10,6 +10,7 @@
 #include "base/logging.hh"
 #include "eci/home_agent.hh"
 #include "eci/protocol_kernel.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::eci {
 
@@ -27,6 +28,9 @@ RemoteAgent::RemoteAgent(std::string name, EventQueue &eq,
         fatal("remote agent '%s': zero MSHRs", SimObject::name().c_str());
     stats().addCounter("local_hits", &hits_);
     stats().addCounter("requests", &reqs_);
+    stats().addCounter("pnaks", &pnaks_);
+    stats().addAccumulator("rtt_ns", &rtt_);
+    stats().addAccumulator("outstanding", &outstanding_);
 }
 
 RemoteAgent::RemoteAgent(std::string name, EventQueue &eq,
@@ -96,9 +100,19 @@ RemoteAgent::sendRequest(Opcode op, Addr line, Txn txn,
     msg.addr = line;
     if (payload)
         std::memcpy(msg.line.data(), payload, cache::lineSize);
+    txn.start = now();
+    txn.op = op;
     txns_.emplace(tid, std::move(txn));
+    outstanding_.sample(static_cast<double>(txns_.size()));
     reqs_.inc();
     fabric_.send(msg);
+}
+
+void
+RemoteAgent::recordCompletion(const Txn &txn)
+{
+    rtt_.sample(units::toNanos(now() - txn.start));
+    ENZIAN_SPAN(name(), eci::toString(txn.op), txn.start, now());
 }
 
 void
@@ -225,6 +239,8 @@ RemoteAgent::ioRead(Addr offset, std::uint32_t len, IoDone done)
         Txn t;
         t.kind = Kind::Io;
         t.iodone = std::move(done);
+        t.start = now();
+        t.op = Opcode::IOBLD;
         const std::uint32_t tid = newTid();
         EciMsg msg;
         msg.op = Opcode::IOBLD;
@@ -250,6 +266,8 @@ RemoteAgent::ioWrite(Addr offset, std::uint64_t data, std::uint32_t len,
         t.iodone = [done = std::move(done)](Tick tick, std::uint64_t) {
             done(tick);
         };
+        t.start = now();
+        t.op = Opcode::IOBST;
         const std::uint32_t tid = newTid();
         EciMsg msg;
         msg.op = Opcode::IOBST;
@@ -356,6 +374,7 @@ RemoteAgent::completeFill(std::uint32_t tid, const EciMsg &msg)
     ENZIAN_ASSERT(it != txns_.end(), "PEMD with unknown tid %u", tid);
     Txn txn = std::move(it->second);
     txns_.erase(it);
+    recordCompletion(txn);
 
     switch (txn.kind) {
       case Kind::CachedRead: {
@@ -460,6 +479,7 @@ RemoteAgent::handle(const EciMsg &msg)
                       msg.tid);
         Txn txn = std::move(it->second);
         txns_.erase(it);
+        recordCompletion(txn);
         if (txn.kind == Kind::Upgrade) {
             ENZIAN_ASSERT(cache_, "upgrade without cache");
             if (cache_->probe(txn.line) == MoesiState::Invalid) {
@@ -492,8 +512,9 @@ RemoteAgent::handle(const EciMsg &msg)
                       msg.tid);
         Txn txn = std::move(it->second);
         txns_.erase(it);
-        warn("%s: PNAK for line %llx, retrying", name().c_str(),
-             static_cast<unsigned long long>(txn.line));
+        pnaks_.inc();
+        logWarn("PNAK for line %llx, retrying",
+                static_cast<unsigned long long>(txn.line));
         // Simplified retry: reissue as an uncached read.
         readLineUncached(txn.line, txn.out, std::move(txn.done));
         releaseSlot();
@@ -509,6 +530,7 @@ RemoteAgent::handle(const EciMsg &msg)
                       msg.tid);
         Txn txn = std::move(it->second);
         txns_.erase(it);
+        recordCompletion(txn);
         if (txn.iodone)
             txn.iodone(now(), msg.ioData);
         releaseSlot();

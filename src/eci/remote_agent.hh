@@ -124,6 +124,8 @@ class RemoteAgent : public SimObject
         Done done;
         IoDone iodone;
         bool invalAfterFill = false; // SINV raced with our fill
+        Tick start = 0;              // request issue tick
+        Opcode op = Opcode::RLDD;    // request opcode (span label)
     };
 
     /** Launch or queue an operation needing an MSHR slot. */
@@ -146,6 +148,8 @@ class RemoteAgent : public SimObject
     std::uint32_t newTid();
     void sendRequest(Opcode op, Addr line, Txn txn,
                      const std::uint8_t *payload = nullptr);
+    /** Record RTT stats and the request span for a finished txn. */
+    void recordCompletion(const Txn &txn);
     void completeFill(std::uint32_t tid, const EciMsg &msg);
     void handleSnoop(const EciMsg &msg);
     /** Dispose of a victim line evicted by a fill. */
@@ -167,6 +171,12 @@ class RemoteAgent : public SimObject
 
     Counter hits_;
     Counter reqs_;
+    /** Requests NAKed by the home and retried. */
+    Counter pnaks_;
+    /** Request-to-completion round trip, ns. */
+    Accumulator rtt_;
+    /** In-flight transactions (MSHR occupancy), sampled per issue. */
+    Accumulator outstanding_;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include "fpga/scheduler.hh"
 
 #include "base/logging.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::fpga {
 
@@ -30,6 +31,8 @@ VfpgaScheduler::VfpgaScheduler(std::string name, EventQueue &eq,
     slots_.resize(shell_.slotCount());
     stats().addCounter("jobs_completed", &completed_);
     stats().addCounter("preemptions", &preempted_);
+    stats().addAccumulator("queue_depth", &queueDepth_);
+    stats().addAccumulator("slice_ns", &sliceNs_);
 }
 
 std::uint64_t
@@ -43,6 +46,7 @@ VfpgaScheduler::submit(const std::string &app, Tick runtime,
     job.remaining = runtime;
     job.done = std::move(done);
     queue_.push_back(std::move(job));
+    queueDepth_.sample(static_cast<double>(queue_.size()));
     const std::uint64_t id = nextJob_++;
     dispatch();
     return id;
@@ -79,6 +83,10 @@ VfpgaScheduler::start(std::uint32_t slot, FpgaJob job)
     // Loading the app into the region is a partial reconfiguration.
     const Tick ready = shell_.loadApp(slot, job.app);
     reconfigTime_ += ready - now();
+    if (ready > now()) {
+        ENZIAN_SPAN(format("%s.slot%u", name().c_str(), slot),
+                    "reconfig", now(), ready);
+    }
     s.job = std::move(job);
     s.sliceStart = ready;
 
@@ -96,6 +104,9 @@ VfpgaScheduler::onSliceEnd(std::uint32_t slot)
     Slot &s = slots_[slot];
     ENZIAN_ASSERT(s.busy, "slice end on idle slot %u", slot);
     const Tick ran = now() - s.sliceStart;
+    sliceNs_.sample(units::toNanos(ran));
+    ENZIAN_SPAN(format("%s.slot%u", name().c_str(), slot),
+                s.job.app.c_str(), s.sliceStart, now());
     s.job.remaining = s.job.remaining > ran ? s.job.remaining - ran : 0;
 
     if (s.job.remaining == 0) {

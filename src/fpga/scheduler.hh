@@ -99,6 +99,10 @@ class VfpgaScheduler : public SimObject
     Tick reconfigTime_ = 0;
     Counter completed_;
     Counter preempted_;
+    /** Queue depth sampled at each submit. */
+    Accumulator queueDepth_;
+    /** Executed slice length per slot occupancy, ns. */
+    Accumulator sliceNs_;
 };
 
 } // namespace enzian::fpga

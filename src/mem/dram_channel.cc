@@ -9,6 +9,7 @@
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::mem {
 
@@ -25,6 +26,9 @@ DramChannel::DramChannel(std::string name, EventQueue &eq,
               SimObject::name().c_str());
     stats().addCounter("requests", &reqs_);
     stats().addCounter("bytes", &bytes_);
+    stats().addAccumulator("latency_ns", &latency_);
+    stats().addAccumulator("queue_wait_ns", &queueWait_);
+    stats().addHistogram("latency_hist_ns", &latencyHist_);
 }
 
 Tick
@@ -37,7 +41,13 @@ DramChannel::access(Tick when, std::uint64_t bytes)
     const Tick start = std::max(when, busFreeAt_);
     const Tick stream = units::transferTicks(bytes, effBw_);
     busFreeAt_ = start + stream;
-    return start + accessLatency_ + stream;
+    const Tick done = start + accessLatency_ + stream;
+    const double lat_ns = units::toNanos(done - when);
+    latency_.sample(lat_ns);
+    latencyHist_.sample(lat_ns);
+    queueWait_.sample(units::toNanos(start - when));
+    ENZIAN_SPAN(name(), "burst", start, done);
+    return done;
 }
 
 DramSystem::DramSystem(std::string name, EventQueue &eq,

@@ -57,6 +57,11 @@ class DramChannel : public SimObject
     std::uint64_t bytesServed() const { return bytes_.value(); }
     std::uint64_t requests() const { return reqs_.value(); }
 
+    /** Request-to-last-byte latency per access, in ns. */
+    const Accumulator &latency() const { return latency_; }
+    /** Time spent queued behind the data bus, in ns. */
+    const Accumulator &queueWait() const { return queueWait_; }
+
   private:
     Config cfg_;
     double peakBw_;
@@ -65,6 +70,9 @@ class DramChannel : public SimObject
     Tick busFreeAt_ = 0;
     Counter reqs_;
     Counter bytes_;
+    Accumulator latency_;
+    Accumulator queueWait_;
+    Histogram latencyHist_{0.0, 1000.0, 50};
 };
 
 /**

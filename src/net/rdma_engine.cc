@@ -13,6 +13,7 @@
 #include <mutex>
 
 #include "base/logging.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::net {
 
@@ -140,6 +141,8 @@ RdmaTarget::RdmaTarget(std::string name, EventQueue &eq, Switch &sw,
                         onFrame(when, payload, Switch::userOf(tag));
                     });
     stats().addCounter("requests_served", &served_);
+    stats().addCounter("bytes", &bytes_);
+    stats().addAccumulator("service_ns", &service_);
 }
 
 void
@@ -156,11 +159,15 @@ RdmaTarget::serve(std::uint32_t req_id)
 {
     served_.inc();
     auto req = std::make_shared<WireRequest>(takeRequest(req_id));
+    bytes_.inc(req->len);
+    const Tick t0 = now();
     if (req->op == RdmaOp::Read) {
         auto buf =
             std::make_shared<std::vector<std::uint8_t>>(req->len);
         mem_.read(req->off, buf->data(), req->len,
-                  [this, req, buf, req_id](Tick) {
+                  [this, req, buf, req_id, t0](Tick t) {
+                      service_.sample(units::toNanos(t - t0));
+                      ENZIAN_SPAN(name(), "read", t0, t);
                       g_responses[req_id] = std::move(*buf);
                       sw_.sendFrom(cfg_.port,
                                    req->len + rdmaHeaderBytes,
@@ -169,7 +176,9 @@ RdmaTarget::serve(std::uint32_t req_id)
                   });
     } else {
         mem_.write(req->off, req->data.data(), req->len,
-                   [this, req, req_id](Tick) {
+                   [this, req, req_id, t0](Tick t) {
+                       service_.sample(units::toNanos(t - t0));
+                       ENZIAN_SPAN(name(), "write", t0, t);
                        sw_.sendFrom(cfg_.port, rdmaHeaderBytes,
                                     Switch::makeTag(req->srcPort,
                                                     req_id));

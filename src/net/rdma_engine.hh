@@ -165,6 +165,9 @@ class RdmaTarget : public SimObject
     MemoryPath &mem_;
     Config cfg_;
     Counter served_;
+    Counter bytes_;
+    /** Dispatch-to-memory-completion service time, ns. */
+    Accumulator service_;
 };
 
 /** The initiator-side request generator (the paper's VCU118). */

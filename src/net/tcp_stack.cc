@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::net {
 
@@ -25,6 +26,9 @@ TcpStack::TcpStack(std::string name, EventQueue &eq, Switch &sw,
                     });
     stats().addCounter("segments_tx", &segsTx_);
     stats().addCounter("segments_rx", &segsRx_);
+    stats().addCounter("bytes_tx", &bytesTx_);
+    stats().addCounter("bytes_rx", &bytesRx_);
+    stats().addAccumulator("send_latency_ns", &sendLatency_);
 }
 
 std::uint32_t
@@ -68,7 +72,7 @@ TcpStack::send(std::uint32_t flow_id, std::uint64_t bytes, Done done)
                           "tcp-empty-send");
         return;
     }
-    it->second.jobs.push_back(SendJob{bytes, 0, std::move(done)});
+    it->second.jobs.push_back(SendJob{bytes, 0, std::move(done), now()});
     pump(flow_id);
 }
 
@@ -112,6 +116,7 @@ TcpStack::pump(std::uint32_t flow_id)
         job.unacked += seg;
         f.inflight += seg;
         segsTx_.inc();
+        bytesTx_.inc(seg);
         sw_.sendFrom(cfg_.port, seg + tcpHeaderBytes,
                      Switch::makeTag(f.remotePort,
                                      makeUser(kindData, flow_id, seg)));
@@ -142,6 +147,7 @@ TcpStack::onData(std::uint32_t flow_id, std::uint64_t len)
     ENZIAN_ASSERT(flows_.count(flow_id), "data for unknown flow %u",
                   flow_id);
     segsRx_.inc();
+    bytesRx_.inc(len);
 
     // Receive-side processing, then ack and deliver to the app.
     const Tick done_rx = now() + rxCost(len);
@@ -185,6 +191,8 @@ TcpStack::onAck(std::uint32_t flow_id, std::uint64_t len)
         credit -= take;
         if (job.remaining == 0 && job.unacked == 0) {
             Done done = std::move(job.done);
+            sendLatency_.sample(units::toNanos(now() - job.start));
+            ENZIAN_SPAN(name(), "send", job.start, now());
             f.jobs.pop_front();
             if (done)
                 done(now());

@@ -97,6 +97,7 @@ class TcpStack : public SimObject
         std::uint64_t remaining;
         std::uint64_t unacked;
         Done done;
+        Tick start = 0; // submit tick, for latency stats and spans
     };
 
     struct Flow
@@ -137,6 +138,10 @@ class TcpStack : public SimObject
     Tick pipeFreeAt_ = 0;
     Counter segsTx_;
     Counter segsRx_;
+    Counter bytesTx_;
+    Counter bytesRx_;
+    /** Submit-to-last-ack latency per send job, ns. */
+    Accumulator sendLatency_;
 };
 
 /** Configuration of the Enzian FPGA TCP stack at @p fpga_clock_hz. */

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * JSON writer helpers and parser.
+ */
+
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace enzian::obs::json {
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+quote(std::string_view s)
+{
+    return "\"" + escape(s) + "\"";
+}
+
+std::string
+number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // %.17g round-trips any double; trim to the shortest form that
+    // still parses back exactly.
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    return buf;
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+namespace {
+
+/** Recursive-descent parser state. */
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error = {};
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                            text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error.empty())
+            error = why + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (atEnd() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("bad literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd())
+                return fail("dangling escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("short \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // Encode the code point as UTF-8 (surrogate pairs are
+                // not combined; we never emit them).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos;
+        if (!atEnd() && peek() == '-')
+            ++pos;
+        while (!atEnd() &&
+               (std::isdigit(static_cast<unsigned char>(peek())) ||
+                peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                peek() == '+' || peek() == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("empty number");
+        const std::string tok(text.substr(start, pos - start));
+        char *end = nullptr;
+        out.num = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            return fail("malformed number");
+        out.type = Value::Type::Number;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': {
+            ++pos;
+            out.type = Value::Type::Object;
+            skipWs();
+            if (!atEnd() && peek() == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!expect(':'))
+                    return false;
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (atEnd())
+                    return fail("unterminated object");
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                return expect('}');
+            }
+          }
+          case '[': {
+            ++pos;
+            out.type = Value::Type::Array;
+            skipWs();
+            if (!atEnd() && peek() == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                out.arr.push_back(std::move(v));
+                skipWs();
+                if (atEnd())
+                    return fail("unterminated array");
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                return expect(']');
+            }
+          }
+          case '"':
+            out.type = Value::Type::String;
+            return parseString(out.str);
+          case 't':
+            out.type = Value::Type::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.type = Value::Type::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.type = Value::Type::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+};
+
+} // namespace
+
+bool
+parse(std::string_view text, Value &out, std::string *err)
+{
+    Parser p{.text = text};
+    out = Value();
+    if (!p.parseValue(out)) {
+        if (err)
+            *err = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (!p.atEnd()) {
+        if (err)
+            *err = "trailing garbage at offset " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+} // namespace enzian::obs::json

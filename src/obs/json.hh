@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer.
+ *
+ * The exporters (registry snapshots, Chrome traces, bench reports)
+ * need correct string escaping, and the tests need to parse what was
+ * written back to prove it is well-formed. Rather than pull in a
+ * dependency, this is a tiny writer helper plus a strict
+ * recursive-descent parser covering the JSON we emit (objects,
+ * arrays, strings with escapes, numbers, booleans, null).
+ */
+
+#ifndef ENZIAN_OBS_JSON_HH
+#define ENZIAN_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace enzian::obs::json {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string escape(std::string_view s);
+
+/** Quote and escape: returns "\"...\"". */
+std::string quote(std::string_view s);
+
+/**
+ * Render a double the way JSON requires: finite values with enough
+ * precision to round-trip, non-finite values as null (JSON has no
+ * Inf/NaN).
+ */
+std::string number(double v);
+
+/** A parsed JSON document node. */
+struct Value
+{
+    enum class Type : std::uint8_t {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Value> arr;
+    /** Object members in document order (duplicates preserved). */
+    std::vector<std::pair<std::string, Value>> obj;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+    bool isNumber() const { return type == Type::Number; }
+
+    /** First member named @p key, or nullptr. Object nodes only. */
+    const Value *find(std::string_view key) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage rejected).
+ *
+ * @param err optional; receives a human-readable reason on failure.
+ * @return true on success, with the document in @p out.
+ */
+bool parse(std::string_view text, Value &out, std::string *err = nullptr);
+
+} // namespace enzian::obs::json
+
+#endif // ENZIAN_OBS_JSON_HH

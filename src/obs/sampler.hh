@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Interval sampler: periodic registry snapshots as a time series.
+ *
+ * Schedules snapshot events on the simulation's own event queue, so
+ * samples land at exact sim-time intervals regardless of host speed —
+ * the simulator equivalent of a node_exporter scrape loop. Each point
+ * keeps the full snapshot; the CSV writer emits per-interval deltas
+ * (rates), the JSON writer emits both.
+ *
+ * The sampler schedules a bounded number of events up front
+ * (run(until)) rather than self-rescheduling forever, so
+ * EventQueue::run() — which drains the queue — still terminates.
+ *
+ * Header-only: lives above base/stats but below sim in the library
+ * graph, so it borrows the EventQueue type from the caller's side.
+ */
+
+#ifndef ENZIAN_OBS_SAMPLER_HH
+#define ENZIAN_OBS_SAMPLER_HH
+
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "sim/event_queue.hh"
+
+namespace enzian::obs {
+
+/** Periodic snapshot recorder over one Registry. */
+class Sampler
+{
+  public:
+    /** One recorded point. */
+    struct Point
+    {
+        Tick at = 0;
+        Snapshot total;
+    };
+
+    /**
+     * @param reg registry to snapshot (e.g. Registry::global())
+     * @param eq event queue supplying sim time
+     * @param interval sampling period in ticks (> 0)
+     */
+    Sampler(Registry &reg, EventQueue &eq, Tick interval)
+        : reg_(reg), eq_(eq), interval_(interval)
+    {
+        if (interval_ == 0)
+            fatal("sampler: zero interval");
+    }
+
+    /**
+     * Number of periodic samples a run from @p from to @p until
+     * takes: one per whole interval boundary in (from, until].
+     */
+    static std::uint64_t
+    expectedSamples(Tick from, Tick until, Tick interval)
+    {
+        return until > from ? (until - from) / interval : 0;
+    }
+
+    /**
+     * Schedule snapshots every interval from now() until @p until
+     * (inclusive when it falls on a boundary). Call before running
+     * the workload; events interleave with the simulation's own.
+     */
+    void
+    run(Tick until)
+    {
+        const Tick from = eq_.now();
+        const std::uint64_t n = expectedSamples(from, until, interval_);
+        for (std::uint64_t i = 1; i <= n; ++i) {
+            eq_.schedule(
+                from + i * interval_, [this]() { sampleNow(); },
+                "obs-sample");
+        }
+    }
+
+    /** Take one snapshot immediately at the current sim time. */
+    void
+    sampleNow()
+    {
+        points_.push_back(Point{eq_.now(), reg_.snapshot()});
+    }
+
+    const std::vector<Point> &points() const { return points_; }
+    std::uint64_t samplesTaken() const { return points_.size(); }
+    void clear() { points_.clear(); }
+
+    /**
+     * CSV time series of per-interval deltas: header row
+     * "tick_ps,<stat>,..." over the union of stat names, then one row
+     * per point with the change since the previous point (first row
+     * is the change since zero).
+     */
+    void
+    writeCsv(std::ostream &os) const
+    {
+        std::set<std::string> keys;
+        for (const Point &p : points_)
+            for (const auto &[k, v] : p.total)
+                keys.insert(k);
+        os << "tick_ps";
+        for (const std::string &k : keys)
+            os << ',' << k;
+        os << '\n';
+        const Snapshot empty;
+        const Snapshot *prev = &empty;
+        for (const Point &p : points_) {
+            const Snapshot d = diff(p.total, *prev);
+            os << p.at;
+            for (const std::string &k : keys) {
+                auto it = d.find(k);
+                os << ',' << (it == d.end() ? 0.0 : it->second);
+            }
+            os << '\n';
+            prev = &p.total;
+        }
+    }
+
+    /**
+     * JSON time series: {"interval_ps":..,"points":[{"tick":..,
+     * "total":{...},"delta":{...}},...]} with hierarchical stat
+     * objects as in Registry::exportJson.
+     */
+    void
+    writeJson(std::ostream &os) const
+    {
+        os << "{\"interval_ps\":" << interval_ << ",\"points\":[";
+        const Snapshot empty;
+        const Snapshot *prev = &empty;
+        bool first = true;
+        for (const Point &p : points_) {
+            os << (first ? "" : ",") << "{\"tick\":" << p.at
+               << ",\"total\":";
+            Registry::exportJson(p.total, os);
+            os << ",\"delta\":";
+            Registry::exportJson(diff(p.total, *prev), os);
+            os << "}";
+            prev = &p.total;
+            first = false;
+        }
+        os << "]}\n";
+    }
+
+  private:
+    Registry &reg_;
+    EventQueue &eq_;
+    Tick interval_;
+    std::vector<Point> points_;
+};
+
+} // namespace enzian::obs
+
+#endif // ENZIAN_OBS_SAMPLER_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * SpanTracer implementation.
+ */
+
+#include "obs/span_tracer.hh"
+
+#include <fstream>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace enzian::obs {
+
+SpanTracer &
+SpanTracer::global()
+{
+    static SpanTracer instance;
+    return instance;
+}
+
+std::uint32_t
+SpanTracer::trackId(std::string_view track)
+{
+    auto it = trackIds_.find(std::string(track));
+    if (it != trackIds_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(tracks_.size());
+    tracks_.emplace_back(track);
+    trackIds_.emplace(tracks_.back(), id);
+    return id;
+}
+
+void
+SpanTracer::complete(std::string_view track, std::string_view name,
+                     Tick start, Tick end)
+{
+    if (events_.size() >= limit_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(Event{trackId(track), 'X', start,
+                            end >= start ? end - start : 0, 0.0,
+                            std::string(name)});
+}
+
+void
+SpanTracer::instant(std::string_view track, std::string_view name,
+                    Tick at)
+{
+    if (events_.size() >= limit_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(
+        Event{trackId(track), 'i', at, 0, 0.0, std::string(name)});
+}
+
+void
+SpanTracer::counter(std::string_view track, std::string_view name,
+                    Tick at, double value)
+{
+    if (events_.size() >= limit_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(
+        Event{trackId(track), 'C', at, 0, value, std::string(name)});
+}
+
+void
+SpanTracer::clear()
+{
+    events_.clear();
+    tracks_.clear();
+    trackIds_.clear();
+    dropped_ = 0;
+}
+
+void
+SpanTracer::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    // Thread-name metadata gives each track its swim lane label.
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        os << (first ? "" : ",")
+           << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << i + 1
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+           << json::quote(tracks_[i]) << "}}";
+        first = false;
+    }
+    for (const Event &e : events_) {
+        // Chrome trace timestamps are microseconds; ticks are ps.
+        const double ts = units::toMicros(e.ts);
+        os << (first ? "" : ",") << "{\"ph\":\"" << e.ph
+           << "\",\"pid\":1,\"tid\":" << e.track + 1
+           << ",\"ts\":" << json::number(ts)
+           << ",\"name\":" << json::quote(e.name);
+        if (e.ph == 'X')
+            os << ",\"dur\":" << json::number(units::toMicros(e.dur));
+        else if (e.ph == 'i')
+            os << ",\"s\":\"t\"";
+        else if (e.ph == 'C')
+            os << ",\"args\":{\"value\":" << json::number(e.value)
+               << "}";
+        os << "}";
+        first = false;
+    }
+    os << "]}\n";
+}
+
+void
+SpanTracer::save(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        fatal("span tracer: cannot open '%s' for writing",
+              path.c_str());
+    writeChromeJson(f);
+    if (!f.good())
+        fatal("span tracer: error writing '%s'", path.c_str());
+}
+
+} // namespace enzian::obs

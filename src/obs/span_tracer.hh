@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Transaction span tracing with Chrome-trace / Perfetto JSON output.
+ *
+ * Components record spans (an interval of sim time on a named track),
+ * instants, and counter samples; the tracer renders them in the Chrome
+ * trace-event format (load in chrome://tracing or ui.perfetto.dev).
+ * Tracks map to Chrome threads via thread_name metadata, so each
+ * component — an ECI link direction, a DRAM channel, a vFPGA slot, a
+ * TCP stack — gets its own swim lane. Timestamps are sim ticks
+ * converted to the format's microseconds.
+ *
+ * Cost discipline: tracing is off by default, every recording call is
+ * behind a one-load enabled() check (the ENZIAN_SPAN_* macros inline
+ * it), and building with -DENZIAN_NO_SPANS compiles the macros out
+ * entirely for instrumentation-free binaries.
+ */
+
+#ifndef ENZIAN_OBS_SPAN_TRACER_HH
+#define ENZIAN_OBS_SPAN_TRACER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace enzian::obs {
+
+/** Records timed spans and writes Chrome trace JSON. */
+class SpanTracer
+{
+  public:
+    SpanTracer() = default;
+
+    SpanTracer(const SpanTracer &) = delete;
+    SpanTracer &operator=(const SpanTracer &) = delete;
+
+    /** The process-wide tracer the instrumentation macros target. */
+    static SpanTracer &global();
+
+    /** Turn recording on/off (off by default). */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Cap on stored events; recording beyond it drops events (counted
+     * in droppedEvents()) instead of growing without bound.
+     */
+    void setEventLimit(std::size_t limit) { limit_ = limit; }
+
+    /** Record a complete span [start, end] on @p track. */
+    void complete(std::string_view track, std::string_view name,
+                  Tick start, Tick end);
+
+    /** Record an instantaneous event. */
+    void instant(std::string_view track, std::string_view name,
+                 Tick at);
+
+    /** Record a counter-track sample (renders as a filled graph). */
+    void counter(std::string_view track, std::string_view name,
+                 Tick at, double value);
+
+    std::size_t eventCount() const { return events_.size(); }
+    std::size_t trackCount() const { return tracks_.size(); }
+    std::uint64_t droppedEvents() const { return dropped_; }
+
+    /** Track names in creation order. */
+    const std::vector<std::string> &tracks() const { return tracks_; }
+
+    /** Drop all recorded events and tracks. */
+    void clear();
+
+    /**
+     * Write the Chrome trace-event JSON document: a traceEvents array
+     * of "X"/"i"/"C" events plus thread_name metadata naming each
+     * track, all under pid 1.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** writeChromeJson() to @p path; fatal() on I/O errors. */
+    void save(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::uint32_t track;
+        char ph;        // 'X' complete, 'i' instant, 'C' counter
+        Tick ts;
+        Tick dur;       // 'X' only
+        double value;   // 'C' only
+        std::string name;
+    };
+
+    std::uint32_t trackId(std::string_view track);
+
+    bool enabled_ = false;
+    std::size_t limit_ = 1u << 20;
+    std::uint64_t dropped_ = 0;
+    std::vector<std::string> tracks_;
+    std::unordered_map<std::string, std::uint32_t> trackIds_;
+    std::vector<Event> events_;
+};
+
+} // namespace enzian::obs
+
+/**
+ * Instrumentation macros: free when tracing is disabled at runtime,
+ * gone entirely with -DENZIAN_NO_SPANS. Arguments are not evaluated
+ * unless the tracer is enabled.
+ */
+#ifndef ENZIAN_NO_SPANS
+#define ENZIAN_SPAN(track, name, start, end)                              \
+    do {                                                                  \
+        auto &enz_tracer_ = ::enzian::obs::SpanTracer::global();          \
+        if (enz_tracer_.enabled())                                        \
+            enz_tracer_.complete((track), (name), (start), (end));        \
+    } while (0)
+#define ENZIAN_SPAN_INSTANT(track, name, at)                              \
+    do {                                                                  \
+        auto &enz_tracer_ = ::enzian::obs::SpanTracer::global();          \
+        if (enz_tracer_.enabled())                                        \
+            enz_tracer_.instant((track), (name), (at));                   \
+    } while (0)
+#define ENZIAN_SPAN_COUNTER(track, name, at, value)                       \
+    do {                                                                  \
+        auto &enz_tracer_ = ::enzian::obs::SpanTracer::global();          \
+        if (enz_tracer_.enabled())                                        \
+            enz_tracer_.counter((track), (name), (at), (value));          \
+    } while (0)
+#else
+#define ENZIAN_SPAN(track, name, start, end) do { } while (0)
+#define ENZIAN_SPAN_INSTANT(track, name, at) do { } while (0)
+#define ENZIAN_SPAN_COUNTER(track, name, at, value) do { } while (0)
+#endif
+
+#endif // ENZIAN_OBS_SPAN_TRACER_HH

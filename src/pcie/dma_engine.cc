@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::pcie {
 
@@ -19,6 +20,8 @@ DmaEngine::DmaEngine(std::string name, EventQueue &eq, PcieLink &link,
       host_(host), device_(device)
 {
     stats().addCounter("transfers", &xfers_);
+    stats().addCounter("bytes", &bytes_);
+    stats().addAccumulator("latency_ns", &latency_);
 }
 
 Tick
@@ -67,6 +70,9 @@ DmaEngine::transfer(Addr src_off, Addr dst_off, std::uint64_t len,
     const Tick complete =
         std::max(src_done, std::max(wire_done, dst_done));
     engineFreeAt_ = std::max(engineFreeAt_, start);
+    bytes_.inc(len);
+    latency_.sample(units::toNanos(complete - now()));
+    ENZIAN_SPAN(name(), to_host ? "d2h" : "h2d", now(), complete);
 
     eventq().schedule(
         complete, [done = std::move(done), complete]() { done(complete); },

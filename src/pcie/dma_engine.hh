@@ -77,6 +77,9 @@ class DmaEngine : public SimObject
     mem::MemoryController &device_;
     Tick engineFreeAt_ = 0;
     Counter xfers_;
+    Counter bytes_;
+    /** Submit-to-completion latency per transfer, ns. */
+    Accumulator latency_;
 };
 
 } // namespace enzian::pcie

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Mixed observability demo workload.
+ *
+ * Drives one EnzianMachine through a short scenario touching every
+ * instrumented subsystem — coherent ECI traffic (CPU<->FPGA reads,
+ * writes, and an upgrade), DRAM bursts on both nodes, a TCP stream
+ * between two FPGA stacks through a switch, and time-sliced vFPGA
+ * jobs — so a registry snapshot and a span trace taken afterwards
+ * cover ECI, memory, network, and FPGA components in one run. Used by
+ * the enzstat tool and the observability tests; the components the
+ * demo creates (switch, TCP stacks, scheduler) live as long as the
+ * demo object so their stats stay registered.
+ */
+
+#ifndef ENZIAN_PLATFORM_OBS_DEMO_HH
+#define ENZIAN_PLATFORM_OBS_DEMO_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "fpga/scheduler.hh"
+#include "net/switch.hh"
+#include "net/tcp_stack.hh"
+#include "platform/enzian_machine.hh"
+
+namespace enzian::platform {
+
+/** The demo workload; see file comment. */
+class ObsDemo
+{
+  public:
+    /** Attaches demo components to @p m's event queue. */
+    explicit ObsDemo(EnzianMachine &m);
+    ~ObsDemo();
+
+    ObsDemo(const ObsDemo &) = delete;
+    ObsDemo &operator=(const ObsDemo &) = delete;
+
+    /** Run the whole scenario to completion (drains the queue). */
+    void run();
+
+    /** Lines moved over ECI (reads + writes, both directions). */
+    std::uint64_t eciLines() const { return eciLines_; }
+    /** Payload bytes delivered over the TCP stream. */
+    std::uint64_t tcpBytes() const;
+    /** vFPGA jobs completed. */
+    std::uint64_t fpgaJobs() const;
+
+    fpga::VfpgaScheduler &scheduler() { return *sched_; }
+
+  private:
+    EnzianMachine &m_;
+    std::unique_ptr<net::Switch> switch_;
+    std::unique_ptr<net::TcpStack> tcpA_;
+    std::unique_ptr<net::TcpStack> tcpB_;
+    std::unique_ptr<fpga::VfpgaScheduler> sched_;
+    std::uint32_t flow_ = 0;
+    std::uint64_t eciLines_ = 0;
+};
+
+} // namespace enzian::platform
+
+#endif // ENZIAN_PLATFORM_OBS_DEMO_HH

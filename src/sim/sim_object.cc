@@ -5,13 +5,69 @@
 
 #include "sim/sim_object.hh"
 
+#include <cstdarg>
+
+#include "base/logging.hh"
+#include "obs/registry.hh"
+
 namespace enzian {
 
 SimObject::SimObject(std::string name, EventQueue &eq)
     : name_(std::move(name)), eq_(eq), stats_(name_)
 {
+    obs::Registry::global().add(&stats_);
 }
 
-SimObject::~SimObject() = default;
+SimObject::~SimObject()
+{
+    obs::Registry::global().remove(&stats_);
+}
+
+namespace {
+
+/** "[<tick> ns <name>] " prefix for attributable log lines. */
+std::string
+logPrefix(Tick now, const std::string &name)
+{
+    return format("[%.0f ns %s] ", units::toNanos(now), name.c_str());
+}
+
+} // namespace
+
+void
+SimObject::logInfo(const char *fmt, ...) const
+{
+    if (logLevel() > LogLevel::Info)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlogPrefixed(LogLevel::Info, logPrefix(now(), name_).c_str(), fmt,
+                 ap);
+    va_end(ap);
+}
+
+void
+SimObject::logWarn(const char *fmt, ...) const
+{
+    if (logLevel() > LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlogPrefixed(LogLevel::Warn, logPrefix(now(), name_).c_str(), fmt,
+                 ap);
+    va_end(ap);
+}
+
+void
+SimObject::logDebug(const char *fmt, ...) const
+{
+    if (logLevel() > LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vlogPrefixed(LogLevel::Debug, logPrefix(now(), name_).c_str(), fmt,
+                 ap);
+    va_end(ap);
+}
 
 } // namespace enzian

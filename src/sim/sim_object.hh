@@ -15,7 +15,10 @@ namespace enzian {
 
 /**
  * A named component bound to an event queue. Subclasses register
- * statistics in their constructor via stats().
+ * statistics in their constructor via stats(); the stat group is
+ * automatically published in the global obs::Registry for the
+ * component's lifetime, so every component is visible in registry
+ * snapshots and exports without extra wiring.
  */
 class SimObject
 {
@@ -38,6 +41,19 @@ class SimObject
     /** Mutable stat group for registration by subclasses. */
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
+
+    /**
+     * Component-attributed logging: like inform()/warn()/logDebug()
+     * but prefixed with the current sim-time tick (in ns) and this
+     * component's name, so interleaved multi-component output reads
+     * as a coherent timeline.
+     */
+    void logInfo(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+    void logWarn(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
+    void logDebug(const char *fmt, ...) const
+        __attribute__((format(printf, 2, 3)));
 
   private:
     std::string name_;

@@ -70,4 +70,18 @@ dumpSummary(const TraceSummary &s, std::ostream &os)
         os << "  " << op << ": " << n << '\n';
 }
 
+void
+toChromeTrace(const EciTrace &trace, obs::SpanTracer &tracer)
+{
+    std::uint64_t bytes = 0;
+    for (const auto &rec : trace.records()) {
+        const std::string track =
+            std::string("eci.vc.") + eci::toString(rec.msg.vc());
+        tracer.instant(track, eci::toString(rec.msg.op), rec.when);
+        bytes += rec.msg.wireBytes();
+        tracer.counter("eci.wire", "bytes", rec.when,
+                       static_cast<double>(bytes));
+    }
+}
+
 } // namespace enzian::trace

@@ -14,6 +14,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/span_tracer.hh"
 #include "trace/eci_pcap.hh"
 
 namespace enzian::trace {
@@ -40,6 +41,15 @@ TraceSummary summarize(const EciTrace &trace);
 
 /** Write a summary table. */
 void dumpSummary(const TraceSummary &s, std::ostream &os);
+
+/**
+ * Render a capture into @p tracer as Chrome-trace events: one instant
+ * per message on a per-VC track (named after the opcode, so Perfetto
+ * shows the protocol conversation per virtual circuit) plus a
+ * cumulative wire-bytes counter track. Pair with
+ * SpanTracer::writeChromeJson() to get a loadable trace file.
+ */
+void toChromeTrace(const EciTrace &trace, obs::SpanTracer &tracer);
 
 } // namespace enzian::trace
 

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Observability layer tests: JSON writer/parser, registry
+ * registration and teardown, snapshot/diff, exports, interval
+ * sampler, span tracer (including Chrome-trace JSON parsed back), and
+ * the whole-machine demo scenario the acceptance criteria name.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "obs/sampler.hh"
+#include "obs/span_tracer.hh"
+#include "platform/obs_demo.hh"
+#include "platform/platform_factory.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, EscapeCoversQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(json::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, NumberRendersFinitelyAndNullsNonFinite)
+{
+    EXPECT_EQ(json::number(0.0), "0");
+    EXPECT_EQ(json::number(NAN), "null");
+    EXPECT_EQ(json::number(INFINITY), "null");
+    // Round-trip precision.
+    json::Value v;
+    ASSERT_TRUE(json::parse(json::number(0.1), v));
+    EXPECT_DOUBLE_EQ(v.num, 0.1);
+}
+
+TEST(Json, ParserRoundTripsEscapedStrings)
+{
+    const std::string nasty = "he said \"hi\\there\"\n\x02";
+    json::Value v;
+    ASSERT_TRUE(json::parse("{\"k\": " + json::quote(nasty) + "}", v));
+    ASSERT_TRUE(v.isObject());
+    ASSERT_NE(v.find("k"), nullptr);
+    EXPECT_EQ(v.find("k")->str, nasty);
+}
+
+TEST(Json, ParserRejectsTrailingGarbage)
+{
+    json::Value v;
+    std::string err;
+    EXPECT_FALSE(json::parse("{\"a\":1} extra", v, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+// ------------------------------------------------------------ Registry
+
+TEST(Registry, AddRemoveAndSortedGroups)
+{
+    Registry reg;
+    Counter c1, c2;
+    StatGroup g1("zeta"), g2("alpha");
+    g1.addCounter("events", &c1);
+    g2.addCounter("events", &c2);
+    reg.add(&g1);
+    reg.add(&g2);
+    EXPECT_EQ(reg.groupCount(), 2u);
+    auto groups = reg.groups();
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0]->name(), "alpha"); // sorted by name
+    EXPECT_EQ(groups[1]->name(), "zeta");
+    reg.remove(&g1);
+    EXPECT_EQ(reg.groupCount(), 1u);
+    reg.remove(&g1); // no-op
+    EXPECT_EQ(reg.groupCount(), 1u);
+}
+
+TEST(Registry, SimObjectAutoRegistersForItsLifetime)
+{
+    Registry &reg = Registry::global();
+    const std::size_t before = reg.groupCount();
+    {
+        EventQueue eq;
+        SimObject obj("test.autoreg.obj", eq);
+        Counter hits;
+        obj.stats().addCounter("hits", &hits);
+        hits.inc(3);
+        EXPECT_EQ(reg.groupCount(), before + 1);
+        Snapshot snap = reg.snapshot();
+        ASSERT_TRUE(snap.count("test.autoreg.obj.hits"));
+        EXPECT_DOUBLE_EQ(snap["test.autoreg.obj.hits"], 3.0);
+    }
+    // Destruction deregisters; a stale pointer here would crash the
+    // next snapshot.
+    EXPECT_EQ(reg.groupCount(), before);
+    Snapshot snap = reg.snapshot();
+    EXPECT_FALSE(snap.count("test.autoreg.obj.hits"));
+}
+
+TEST(Registry, SnapshotFlattensEveryStatKind)
+{
+    Registry reg;
+    Counter c;
+    Gauge g;
+    Accumulator a;
+    Histogram h(0.0, 100.0, 10);
+    StatGroup grp("comp");
+    grp.addCounter("ops", &c);
+    grp.addGauge("level", &g);
+    grp.addAccumulator("lat", &a);
+    grp.addHistogram("dist", &h);
+    reg.add(&grp);
+    c.inc(7);
+    g.set(-2.5);
+    a.sample(10.0);
+    a.sample(30.0);
+    h.sample(55.0);
+
+    Snapshot s = reg.snapshot();
+    EXPECT_DOUBLE_EQ(s["comp.ops"], 7.0);
+    EXPECT_DOUBLE_EQ(s["comp.level"], -2.5);
+    EXPECT_DOUBLE_EQ(s["comp.lat.count"], 2.0);
+    EXPECT_DOUBLE_EQ(s["comp.lat.mean"], 20.0);
+    EXPECT_DOUBLE_EQ(s["comp.lat.min"], 10.0);
+    EXPECT_DOUBLE_EQ(s["comp.lat.max"], 30.0);
+    EXPECT_DOUBLE_EQ(s["comp.dist.count"], 1.0);
+    EXPECT_NEAR(s["comp.dist.p50"], 55.0, 10.0);
+}
+
+TEST(Registry, DiffKeepsNewKeysAndDropsGoneOnes)
+{
+    Snapshot older{{"a", 10.0}, {"gone", 5.0}};
+    Snapshot newer{{"a", 25.0}, {"fresh", 3.0}};
+    Snapshot d = diff(newer, older);
+    EXPECT_DOUBLE_EQ(d["a"], 15.0);
+    EXPECT_DOUBLE_EQ(d["fresh"], 3.0);
+    EXPECT_FALSE(d.count("gone"));
+}
+
+TEST(Registry, ResetAllZeroesEveryGroup)
+{
+    Registry reg;
+    Counter c;
+    Accumulator a;
+    StatGroup grp("comp");
+    grp.addCounter("ops", &c);
+    grp.addAccumulator("lat", &a);
+    reg.add(&grp);
+    c.inc(9);
+    a.sample(4.0);
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Registry, JsonExportNestsOnDotsAndParsesBack)
+{
+    Registry reg;
+    Counter c;
+    StatGroup grp("node.eci.link0");
+    grp.addCounter("messages", &c);
+    reg.add(&grp);
+    c.inc(42);
+
+    std::ostringstream os;
+    reg.exportJson(os);
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), v, &err)) << err;
+    const json::Value *node = v.find("node");
+    ASSERT_NE(node, nullptr);
+    const json::Value *eci = node->find("eci");
+    ASSERT_NE(eci, nullptr);
+    const json::Value *link = eci->find("link0");
+    ASSERT_NE(link, nullptr);
+    const json::Value *msgs = link->find("messages");
+    ASSERT_NE(msgs, nullptr);
+    EXPECT_DOUBLE_EQ(msgs->num, 42.0);
+}
+
+TEST(Registry, JsonExportEscapesHostileNames)
+{
+    Registry reg;
+    Counter c;
+    StatGroup grp("weird\"name\\x");
+    grp.addCounter("a\nb", &c);
+    reg.add(&grp);
+
+    std::ostringstream os;
+    reg.exportJson(os);
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), v, &err)) << err;
+    ASSERT_NE(v.find("weird\"name\\x"), nullptr);
+    EXPECT_NE(v.find("weird\"name\\x")->find("a\nb"), nullptr);
+}
+
+TEST(Registry, PrometheusNameSanitizesAndExportHasTypes)
+{
+    EXPECT_EQ(Registry::prometheusName("a.b-c.d ns"),
+              "enzian_a_b_c_d_ns");
+
+    Registry reg;
+    Counter c;
+    Gauge g;
+    StatGroup grp("node.link");
+    grp.addCounter("messages", &c);
+    grp.addGauge("depth", &g);
+    reg.add(&grp);
+    c.inc(5);
+    g.set(2.0);
+
+    std::ostringstream os;
+    reg.exportPrometheus(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# TYPE enzian_node_link_messages counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("enzian_node_link_messages 5"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE enzian_node_link_depth gauge"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------- Sampler
+
+TEST(Sampler, ExpectedSamplesMath)
+{
+    EXPECT_EQ(Sampler::expectedSamples(0, 1000, 100), 10u);
+    EXPECT_EQ(Sampler::expectedSamples(0, 1050, 100), 10u);
+    EXPECT_EQ(Sampler::expectedSamples(0, 99, 100), 0u);
+    EXPECT_EQ(Sampler::expectedSamples(500, 500, 100), 0u);
+    EXPECT_EQ(Sampler::expectedSamples(500, 400, 100), 0u);
+    EXPECT_EQ(Sampler::expectedSamples(250, 1000, 250), 3u);
+}
+
+TEST(Sampler, SamplesAtExactIntervalsAndCsvHasDeltas)
+{
+    Registry reg;
+    Counter work;
+    StatGroup grp("w");
+    grp.addCounter("done", &work);
+    reg.add(&grp);
+
+    EventQueue eq;
+    // Workload: one unit of work every 10 ns for 100 ns.
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(units::ns(10.0 * i), [&]() { work.inc(); });
+
+    Sampler sampler(reg, eq, units::ns(25.0));
+    sampler.run(units::ns(100.0));
+    eq.run();
+
+    ASSERT_EQ(sampler.samplesTaken(), 4u);
+    EXPECT_EQ(sampler.points()[0].at, units::ns(25.0));
+    EXPECT_EQ(sampler.points()[3].at, units::ns(100.0));
+    // Totals are cumulative at each boundary...
+    EXPECT_DOUBLE_EQ(sampler.points()[0].total.at("w.done"), 2.0);
+    EXPECT_DOUBLE_EQ(sampler.points()[3].total.at("w.done"), 10.0);
+
+    // ...and the CSV rows carry per-interval deltas.
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "tick_ps,w.done");
+    std::getline(is, line);
+    EXPECT_EQ(line, std::to_string(units::ns(25.0)) + ",2");
+    std::getline(is, line); // 50 ns: +3 (30,40,50)
+    EXPECT_EQ(line, std::to_string(units::ns(50.0)) + ",3");
+}
+
+TEST(Sampler, JsonSeriesParsesBack)
+{
+    Registry reg;
+    Counter c;
+    StatGroup grp("w");
+    grp.addCounter("n", &c);
+    reg.add(&grp);
+    EventQueue eq;
+    eq.schedule(units::ns(10.0), [&]() { c.inc(4); });
+    Sampler sampler(reg, eq, units::ns(20.0));
+    sampler.run(units::ns(40.0));
+    eq.run();
+
+    std::ostringstream os;
+    sampler.writeJson(os);
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), v, &err)) << err;
+    const json::Value *points = v.find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->arr.size(), 2u);
+    const json::Value *total = points->arr[0].find("total");
+    ASSERT_NE(total, nullptr);
+    EXPECT_DOUBLE_EQ(total->find("w")->find("n")->num, 4.0);
+}
+
+// ---------------------------------------------------------- SpanTracer
+
+/** Parse tracer output and return tid -> thread name. */
+std::map<double, std::string>
+trackNames(const json::Value &doc)
+{
+    std::map<double, std::string> names;
+    const json::Value *events = doc.find("traceEvents");
+    EXPECT_NE(events, nullptr);
+    for (const json::Value &e : events->arr) {
+        const json::Value *ph = e.find("ph");
+        if (ph && ph->str == "M") {
+            const json::Value *args = e.find("args");
+            EXPECT_NE(args, nullptr) << "metadata without args";
+            if (args)
+                names[e.find("tid")->num] = args->find("name")->str;
+        }
+    }
+    return names;
+}
+
+TEST(SpanTracer, DisabledByDefaultAndMacroRespectsIt)
+{
+    SpanTracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    // Direct calls record unconditionally (used by converters)...
+    tracer.complete("t", "op", units::ns(1.0), units::ns(2.0));
+    EXPECT_EQ(tracer.eventCount(), 1u);
+    // ...while the macro path checks the global tracer's flag.
+    SpanTracer &g = SpanTracer::global();
+    g.clear();
+    g.setEnabled(false);
+    const std::size_t before = g.eventCount();
+    ENZIAN_SPAN("t", "op", units::ns(1.0), units::ns(2.0));
+    EXPECT_EQ(g.eventCount(), before);
+}
+
+TEST(SpanTracer, ChromeJsonParsesBackWithAllPhases)
+{
+    SpanTracer tracer;
+    tracer.complete("comp.a", "read", units::us(1.0), units::us(3.0));
+    tracer.instant("comp.b", "irq", units::us(2.0));
+    tracer.counter("comp.c", "depth", units::us(2.5), 7.0);
+
+    std::ostringstream os;
+    tracer.writeChromeJson(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+
+    auto names = trackNames(doc);
+    EXPECT_EQ(names.size(), 3u);
+
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool saw_x = false, saw_i = false, saw_c = false;
+    for (const json::Value &e : events->arr) {
+        const std::string &ph = e.find("ph")->str;
+        if (ph == "X") {
+            saw_x = true;
+            EXPECT_DOUBLE_EQ(e.find("ts")->num, 1.0); // microseconds
+            EXPECT_DOUBLE_EQ(e.find("dur")->num, 2.0);
+            EXPECT_EQ(e.find("name")->str, "read");
+        } else if (ph == "i") {
+            saw_i = true;
+            EXPECT_DOUBLE_EQ(e.find("ts")->num, 2.0);
+        } else if (ph == "C") {
+            saw_c = true;
+            EXPECT_EQ(e.find("name")->str, "depth");
+            EXPECT_DOUBLE_EQ(e.find("args")->find("value")->num, 7.0);
+        }
+    }
+    EXPECT_TRUE(saw_x);
+    EXPECT_TRUE(saw_i);
+    EXPECT_TRUE(saw_c);
+}
+
+TEST(SpanTracer, EventLimitDropsInsteadOfGrowing)
+{
+    SpanTracer tracer;
+    tracer.setEventLimit(2);
+    for (int i = 0; i < 5; ++i)
+        tracer.instant("t", "e", units::ns(1.0 * i));
+    EXPECT_EQ(tracer.eventCount(), 2u);
+    EXPECT_EQ(tracer.droppedEvents(), 3u);
+    tracer.clear();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.trackCount(), 0u);
+}
+
+TEST(SpanTracer, EscapesHostileTrackAndEventNames)
+{
+    SpanTracer tracer;
+    tracer.instant("trk\"x\\y", "ev\nz", units::ns(5.0));
+    std::ostringstream os;
+    tracer.writeChromeJson(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    auto names = trackNames(doc);
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names.begin()->second, "trk\"x\\y");
+}
+
+// -------------------------------------------- whole-machine scenario
+
+/** Subsystem classes covered by a snapshot's dotted names. */
+std::set<std::string>
+subsystemsOf(const Snapshot &snap)
+{
+    static const char *const classes[] = {".eci.", ".mem.", ".net.",
+                                          ".fpga.", ".cpu.", ".bmc."};
+    std::set<std::string> seen;
+    for (const auto &[key, value] : snap)
+        for (const char *cls : classes)
+            if (key.find(cls) != std::string::npos)
+                seen.insert(cls);
+    return seen;
+}
+
+TEST(ObsDemo, TraceCoversComponentsAndSnapshotCoversSubsystems)
+{
+    SpanTracer &tracer = SpanTracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    auto cfg = platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 128ull << 20;
+    cfg.fpga_dram_bytes = 128ull << 20;
+    cfg.bitstream = "coyote-shell";
+    platform::EnzianMachine m(cfg);
+    platform::ObsDemo demo(m);
+    demo.run();
+    tracer.setEnabled(false);
+
+    EXPECT_GT(demo.eciLines(), 0u);
+    EXPECT_GT(demo.tcpBytes(), 0u);
+    EXPECT_GT(demo.fpgaJobs(), 0u);
+
+    // The Chrome trace parses back and covers >= 4 distinct component
+    // classes: ECI links, DRAM channels, the network, and the FPGA
+    // scheduler slots.
+    std::ostringstream os;
+    tracer.writeChromeJson(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+    std::set<std::string> component_classes;
+    for (const auto &[tid, track] : trackNames(doc)) {
+        if (track.find(".eci.") != std::string::npos)
+            component_classes.insert("eci");
+        if (track.find(".mem.") != std::string::npos)
+            component_classes.insert("mem");
+        if (track.find(".net.") != std::string::npos)
+            component_classes.insert("net");
+        if (track.find(".fpga.") != std::string::npos)
+            component_classes.insert("fpga");
+    }
+    EXPECT_GE(trackNames(doc).size(), 4u);
+    EXPECT_EQ(component_classes.size(), 4u)
+        << "trace must cover ECI, mem, net, and FPGA tracks";
+
+    // The registry snapshot spans >= 6 subsystems with live values.
+    Snapshot snap = Registry::global().snapshot();
+    EXPECT_GE(subsystemsOf(snap).size(), 6u);
+    EXPECT_GT(snap.at(m.config().name + ".eci.link0.messages"), 0.0);
+    EXPECT_GT(snap.at(m.config().name + ".net.tcp0.bytes_tx"), 0.0);
+    EXPECT_GT(snap.at(m.config().name + ".fpga.sched.jobs_completed"),
+              0.0);
+    EXPECT_GT(
+        snap.at(m.config().name + ".cpu.remote.rtt_ns.count"), 0.0);
+
+    tracer.clear();
+}
+
+TEST(ObsDemo, SamplerProducesTimeSeriesOverTheScenario)
+{
+    auto cfg = platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 128ull << 20;
+    cfg.fpga_dram_bytes = 128ull << 20;
+    cfg.bitstream = "coyote-shell";
+    platform::EnzianMachine m(cfg);
+    platform::ObsDemo demo(m);
+
+    Sampler sampler(Registry::global(), m.eventq(), units::ms(100.0));
+    sampler.run(m.now() + units::ms(2000.0));
+    demo.run();
+
+    EXPECT_GE(sampler.samplesTaken(), 10u);
+    // Activity shows up in the series: the last sample's cumulative
+    // ECI message count is positive.
+    const auto &last = sampler.points().back().total;
+    EXPECT_GT(last.at(m.config().name + ".eci.link0.messages"), 0.0);
+}
+
+} // namespace
+} // namespace enzian::obs

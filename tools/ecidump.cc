@@ -11,12 +11,14 @@
  *   ecidump <trace.ecit>            decode to text
  *   ecidump --summary <trace.ecit>  per-opcode/VC summary
  *   ecidump --check <trace.ecit>    run the protocol checker
+ *   ecidump --chrome <trace.ecit>   Chrome/Perfetto trace JSON to stdout
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 
+#include "obs/span_tracer.hh"
 #include "trace/checker.hh"
 #include "trace/decoder.hh"
 #include "trace/eci_pcap.hh"
@@ -26,16 +28,18 @@ using namespace enzian;
 int
 main(int argc, char **argv)
 {
-    bool summary = false, check = false;
+    bool summary = false, check = false, chrome = false;
     const char *path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--summary") == 0)
             summary = true;
         else if (std::strcmp(argv[i], "--check") == 0)
             check = true;
+        else if (std::strcmp(argv[i], "--chrome") == 0)
+            chrome = true;
         else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("usage: ecidump [--summary] [--check] "
-                        "<trace.ecit>\n");
+                        "[--chrome] <trace.ecit>\n");
             return 0;
         } else {
             path = argv[i];
@@ -64,6 +68,12 @@ main(int argc, char **argv)
         for (const auto &v : checker.violations())
             std::printf("  %s\n", v.c_str());
         return 1;
+    }
+    if (chrome) {
+        obs::SpanTracer tracer;
+        trace::toChromeTrace(tr, tracer);
+        tracer.writeChromeJson(std::cout);
+        return 0;
     }
     if (summary) {
         trace::dumpSummary(trace::summarize(tr), std::cout);
