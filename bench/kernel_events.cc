@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Pure event-kernel throughput: how many events per second the DES
+ * kernel can schedule, dispatch and cancel, with no model attached.
+ *
+ * Every reproduced figure runs through sim::EventQueue, so dispatch
+ * cost is the floor on simulator speed. Three mixes:
+ *
+ *  - dispatch: N periodic actors, each handler re-arms itself (the
+ *    link-pacing / TCP-pump / scheduler-slice shape). This is the
+ *    hot-path mix the kernel is optimized for.
+ *  - oneshot: schedule-then-drain batches of fresh lambdas at random
+ *    offsets (the request/response shape of the protocol agents).
+ *  - cancel: schedule batches, cancel half before they run (timeout
+ *    shape), drain the rest; includes stale cancels of already-run
+ *    ids, which must be no-ops.
+ *
+ * Emits BENCH_kernel_events.json via bench_common.hh; CI guards
+ * events-per-second against bench/baselines/kernel_events_floor.json.
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+#include <queue>
+#include <unordered_set>
+
+#include "base/rng.hh"
+
+using namespace enzian;
+using namespace enzian::bench;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * The pre-overhaul kernel (std::priority_queue of std::function +
+ * lazy-cancellation hash set), kept verbatim inside the bench so the
+ * speedup is measured in-process, against the same box and load —
+ * wall-clock ratios across separate runs are too noisy to gate CI on.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return now_; }
+
+    std::uint64_t
+    schedule(Tick when, Callback cb)
+    {
+        const std::uint64_t id = nextId_++;
+        queue_.push(Pending{when, id, std::move(cb)});
+        return id;
+    }
+
+    std::uint64_t
+    scheduleDelta(Tick delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    void cancel(std::uint64_t id) { cancelled_.insert(id); }
+
+    bool
+    runOne()
+    {
+        while (!queue_.empty()) {
+            Pending ev = queue_.top();
+            queue_.pop();
+            if (auto it = cancelled_.find(ev.id);
+                it != cancelled_.end()) {
+                cancelled_.erase(it);
+                continue;
+            }
+            now_ = ev.when;
+            ev.cb();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    run()
+    {
+        while (runOne()) {
+        }
+    }
+
+  private:
+    struct Pending
+    {
+        Tick when;
+        std::uint64_t id;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Pending &a, const Pending &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+    Tick now_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::priority_queue<Pending, std::vector<Pending>, Later> queue_;
+    std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/**
+ * Dispatch-heavy mix: @p actors periodic self-rescheduling reusable
+ * events (the link-pacing / TCP-pump shape after the kernel
+ * overhaul), run until @p total dispatches.
+ */
+double
+runDispatchMix(std::uint64_t actors, std::uint64_t total)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::vector<std::unique_ptr<Event>> evs;
+    evs.reserve(actors);
+    for (std::uint64_t i = 0; i < actors; ++i) {
+        auto ev = std::make_unique<Event>();
+        Event *self = ev.get();
+        ev->init(
+            eq,
+            [&fired, total, self, i]() {
+                if (++fired < total)
+                    self->scheduleDelta(100 + (i % 7));
+            },
+            "bench-actor");
+        ev->schedule(i % 97);
+        evs.push_back(std::move(ev));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    eq.run();
+    const double secs = secondsSince(t0);
+    if (fired < total)
+        fatal("dispatch mix fired %llu of %llu",
+              static_cast<unsigned long long>(fired),
+              static_cast<unsigned long long>(total));
+    return static_cast<double>(fired) / secs;
+}
+
+/**
+ * The same mix on @p eq with the pre-overhaul idiom — a fresh
+ * function object copied into the queue per occurrence. Runs on
+ * either kernel, so it doubles as the legacy-vs-new A/B probe.
+ */
+template <typename Queue>
+double
+runDispatchLambdaMix(Queue &eq, std::uint64_t actors,
+                     std::uint64_t total)
+{
+    std::uint64_t fired = 0;
+    std::vector<std::function<void()>> handlers(actors);
+    for (std::uint64_t i = 0; i < actors; ++i) {
+        handlers[i] = [&eq, &fired, &handlers, total, i]() {
+            if (++fired < total)
+                eq.scheduleDelta(100 + (i % 7), handlers[i]);
+        };
+    }
+    for (std::uint64_t i = 0; i < actors; ++i)
+        eq.schedule(i % 97, handlers[i]);
+    const auto t0 = std::chrono::steady_clock::now();
+    eq.run();
+    const double secs = secondsSince(t0);
+    if (fired < total)
+        fatal("dispatch mix fired %llu of %llu",
+              static_cast<unsigned long long>(fired),
+              static_cast<unsigned long long>(total));
+    return static_cast<double>(fired) / secs;
+}
+
+/** Legacy kernel running the one-shot mix. */
+double
+runLegacyOneshotMix(std::uint64_t batch, std::uint64_t rounds)
+{
+    LegacyEventQueue eq;
+    Rng rng(42);
+    std::uint64_t fired = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::uint64_t i = 0; i < batch; ++i)
+            eq.scheduleDelta(rng.below(1000), [&fired]() { ++fired; });
+        eq.run();
+    }
+    const double secs = secondsSince(t0);
+    if (fired != batch * rounds)
+        fatal("legacy oneshot fired %llu",
+              static_cast<unsigned long long>(fired));
+    return static_cast<double>(fired) / secs;
+}
+
+/** Legacy kernel running the cancel mix. */
+double
+runLegacyCancelMix(std::uint64_t batch, std::uint64_t rounds)
+{
+    LegacyEventQueue eq;
+    Rng rng(1337);
+    std::uint64_t fired = 0;
+    std::vector<std::uint64_t> ids(batch);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::uint64_t i = 0; i < batch; ++i) {
+            ids[i] = eq.scheduleDelta(rng.below(1000),
+                                      [&fired]() { ++fired; });
+        }
+        for (std::uint64_t i = 0; i < batch; i += 2)
+            eq.cancel(ids[i]);
+        eq.run();
+    }
+    const double secs = secondsSince(t0);
+    if (fired != batch / 2 * rounds)
+        fatal("legacy cancel fired %llu",
+              static_cast<unsigned long long>(fired));
+    return static_cast<double>(batch * rounds) / secs;
+}
+
+/** One-shot mix: batches of fresh lambdas at seeded random offsets. */
+double
+runOneshotMix(std::uint64_t batch, std::uint64_t rounds)
+{
+    EventQueue eq;
+    Rng rng(42);
+    std::uint64_t fired = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::uint64_t i = 0; i < batch; ++i) {
+            eq.scheduleDelta(rng.below(1000),
+                             [&fired]() { ++fired; }, "bench-oneshot");
+        }
+        eq.run();
+    }
+    const double secs = secondsSince(t0);
+    if (fired != batch * rounds)
+        fatal("oneshot mix fired %llu of %llu",
+              static_cast<unsigned long long>(fired),
+              static_cast<unsigned long long>(batch * rounds));
+    return static_cast<double>(fired) / secs;
+}
+
+/**
+ * Cancel mix: schedule a batch, cancel every other event (plus a
+ * stale cancel of an already-executed id), drain the remainder.
+ * Counts scheduled events per second (work = schedule + cancel +
+ * dispatch of survivors).
+ */
+double
+runCancelMix(std::uint64_t batch, std::uint64_t rounds)
+{
+    EventQueue eq;
+    Rng rng(1337);
+    std::uint64_t fired = 0;
+    std::vector<EventId> ids(batch);
+    EventId stale = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::uint64_t i = 0; i < batch; ++i) {
+            ids[i] = eq.scheduleDelta(rng.below(1000),
+                                      [&fired]() { ++fired; },
+                                      "bench-cancel");
+        }
+        for (std::uint64_t i = 0; i < batch; i += 2)
+            eq.cancel(ids[i]);
+        if (stale)
+            eq.cancel(stale); // already executed: must be a no-op
+        eq.run();
+        stale = ids[1];
+    }
+    const double secs = secondsSince(t0);
+    if (fired != batch / 2 * rounds)
+        fatal("cancel mix fired %llu, expected %llu",
+              static_cast<unsigned long long>(fired),
+              static_cast<unsigned long long>(batch / 2 * rounds));
+    return static_cast<double>(batch * rounds) / secs;
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Event kernel throughput (no model attached)");
+    BenchReport rep("kernel_events");
+
+    // Interleave legacy and new kernels, best of kReps, so the
+    // reported speedups are ratios between same-box, same-load runs.
+    //
+    // 64 actors is the representative live-event set (the fig06/07
+    // benches keep tens of events in flight); 1024 is a stress point
+    // where pure heap depth dominates both kernels.
+    constexpr int kReps = 3;
+    constexpr std::uint64_t kActorsTypical = 64;
+    constexpr std::uint64_t kActorsStress = 1024;
+    constexpr std::uint64_t kDispatchTotal = 2'000'000;
+    constexpr std::uint64_t kBatch = 4096;
+    constexpr std::uint64_t kRounds = 300;
+
+    double dispatch = 0, legacy_dispatch = 0, lambda = 0;
+    double dispatch1k = 0, legacy_dispatch1k = 0;
+    double oneshot = 0, legacy_oneshot = 0;
+    double cancel = 0, legacy_cancel = 0;
+    for (int r = 0; r < kReps; ++r) {
+        {
+            LegacyEventQueue lq;
+            legacy_dispatch = std::max(
+                legacy_dispatch,
+                runDispatchLambdaMix(lq, kActorsTypical,
+                                     kDispatchTotal));
+        }
+        dispatch = std::max(dispatch, runDispatchMix(kActorsTypical,
+                                                     kDispatchTotal));
+        {
+            EventQueue nq;
+            lambda = std::max(lambda,
+                              runDispatchLambdaMix(nq, kActorsTypical,
+                                                   kDispatchTotal));
+        }
+        {
+            LegacyEventQueue lq;
+            legacy_dispatch1k = std::max(
+                legacy_dispatch1k,
+                runDispatchLambdaMix(lq, kActorsStress,
+                                     kDispatchTotal));
+        }
+        dispatch1k = std::max(dispatch1k,
+                              runDispatchMix(kActorsStress,
+                                             kDispatchTotal));
+        legacy_oneshot =
+            std::max(legacy_oneshot, runLegacyOneshotMix(kBatch,
+                                                         kRounds));
+        oneshot = std::max(oneshot, runOneshotMix(kBatch, kRounds));
+        legacy_cancel =
+            std::max(legacy_cancel, runLegacyCancelMix(kBatch,
+                                                       kRounds));
+        cancel = std::max(cancel, runCancelMix(kBatch, kRounds));
+    }
+
+    std::printf("%-26s %10s %10s %8s\n", "mix (M events/s)", "legacy",
+                "new", "speedup");
+    std::printf("%-26s %10.2f %10.2f %7.2fx\n", "dispatch (64 actors)",
+                legacy_dispatch / 1e6, dispatch / 1e6,
+                dispatch / legacy_dispatch);
+    std::printf("%-26s %10.2f %10.2f %7.2fx\n",
+                "dispatch (fresh lambda)", legacy_dispatch / 1e6,
+                lambda / 1e6, lambda / legacy_dispatch);
+    std::printf("%-26s %10.2f %10.2f %7.2fx\n",
+                "dispatch (1024 actors)", legacy_dispatch1k / 1e6,
+                dispatch1k / 1e6, dispatch1k / legacy_dispatch1k);
+    std::printf("%-26s %10.2f %10.2f %7.2fx\n",
+                "oneshot schedule+drain", legacy_oneshot / 1e6,
+                oneshot / 1e6, oneshot / legacy_oneshot);
+    std::printf("%-26s %10.2f %10.2f %7.2fx\n", "schedule+cancel half",
+                legacy_cancel / 1e6, cancel / 1e6,
+                cancel / legacy_cancel);
+
+    rep.add("dispatch_eps", dispatch);
+    rep.add("legacy_dispatch_eps", legacy_dispatch);
+    rep.add("dispatch_speedup", dispatch / legacy_dispatch);
+    rep.add("dispatch_lambda_eps", lambda);
+    rep.add("dispatch1024_eps", dispatch1k);
+    rep.add("legacy_dispatch1024_eps", legacy_dispatch1k);
+    rep.add("dispatch1024_speedup", dispatch1k / legacy_dispatch1k);
+    rep.add("oneshot_eps", oneshot);
+    rep.add("legacy_oneshot_eps", legacy_oneshot);
+    rep.add("oneshot_speedup", oneshot / legacy_oneshot);
+    rep.add("cancel_eps", cancel);
+    rep.add("legacy_cancel_eps", legacy_cancel);
+    rep.add("cancel_speedup", cancel / legacy_cancel);
+
+    return 0;
+}

@@ -66,15 +66,27 @@ Histogram::quantile(double q) const
     if (count_ == 0)
         return 0.0;
     q = std::clamp(q, 0.0, 1.0);
-    const double target = q * static_cast<double>(count_);
+    // Rank of the quantile sample (1-based, nearest rank). Targeting
+    // a rank rather than a fractional count keeps exact cumulative
+    // boundaries inside the bucket that actually holds the sample:
+    // the old fractional form returned the previous bucket's upper
+    // edge there, which on sparse histograms lands arbitrarily far
+    // below the containing bucket.
+    const double target = std::min(
+        std::floor(q * static_cast<double>(count_)) + 1.0,
+        static_cast<double>(count_));
     double running = static_cast<double>(underflow_);
     if (running >= target)
         return lo_;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         const double next = running + static_cast<double>(counts_[i]);
         if (next >= target && counts_[i] > 0) {
-            const double frac = (target - running) /
-                                static_cast<double>(counts_[i]);
+            // Interpolate within this bucket only; the clamp pins the
+            // result to [lower edge, upper edge] of the bucket that
+            // contains the target rank.
+            const double frac = std::clamp(
+                (target - running) / static_cast<double>(counts_[i]),
+                0.0, 1.0);
             return lo_ + (static_cast<double>(i) + frac) * width_;
         }
         running = next;

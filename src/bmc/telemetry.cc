@@ -14,6 +14,7 @@ Telemetry::Telemetry(std::string name, EventQueue &eq,
                      PmbusMaster &master)
     : SimObject(std::move(name), eq), master_(master)
 {
+    sweepEv_.init(eq, [this]() { sweep(); }, "telemetry-sweep");
 }
 
 void
@@ -29,7 +30,7 @@ Telemetry::start(Tick period)
         fatal("telemetry period of zero");
     period_ = period;
     running_ = true;
-    eventq().scheduleDelta(0, [this]() { sweep(); }, "telemetry-sweep");
+    sweepEv_.reschedule(now());
 }
 
 void
@@ -51,8 +52,7 @@ Telemetry::sweep()
         s.watts = s.volts * s.amps;
         samples_.push_back(std::move(s));
     }
-    eventq().scheduleDelta(period_, [this]() { sweep(); },
-                           "telemetry-sweep");
+    sweepEv_.scheduleDelta(period_);
 }
 
 void

@@ -76,6 +76,8 @@ class Telemetry : public SimObject
     std::vector<TelemetrySample> samples_;
     Tick period_ = 0;
     bool running_ = false;
+    /** Reusable sweep event (one slot for the service's lifetime). */
+    Event sweepEv_;
 };
 
 } // namespace enzian::bmc

@@ -16,6 +16,10 @@ EciLink::EciLink(std::string name, EventQueue &eq, const Config &cfg)
     : SimObject(std::move(name), eq), cfg_(cfg)
 {
     recomputeBandwidth();
+    for (std::size_t dir = 0; dir < deliverQ_.size(); ++dir) {
+        deliverQ_[dir].ev.init(
+            eq, [this, dir] { deliverNext(dir); }, "eci-deliver");
+    }
     stats().addCounter("messages", &msgs_);
     stats().addCounter("bytes", &bytes_);
     stats().addAccumulator("latency_ns", &latency_);
@@ -90,13 +94,39 @@ EciLink::send(const EciMsg &msg)
     Handler &h = handlers_[static_cast<std::size_t>(msg.dst)];
     ENZIAN_ASSERT(h, "no receiver registered for node %s on %s",
                   mem::toString(msg.dst), name().c_str());
-    EciMsg copy = msg;
-    eventq().schedule(
-        delivery, [this, copy]() mutable {
-            handlers_[static_cast<std::size_t>(copy.dst)](copy);
-        },
-        "eci-deliver");
+
+    // The serializer is FIFO per direction, so deliveries land in
+    // order; append to the direction's queue and let its one reusable
+    // event drain it. Fall back to a one-shot for the (src == dst)
+    // corner where the receiver-side latency breaks monotonicity.
+    DeliveryQueue &q = deliverQ_[dir];
+    if (!q.fifo.empty() && delivery < q.fifo.back().first) {
+        EciMsg copy = msg;
+        eventq().schedule(
+            delivery, [this, copy]() {
+                handlers_[static_cast<std::size_t>(copy.dst)](copy);
+            },
+            "eci-deliver-ooo");
+        return delivery;
+    }
+    q.fifo.emplace_back(delivery, msg);
+    if (!q.ev.scheduled())
+        q.ev.schedule(q.fifo.front().first);
     return delivery;
+}
+
+void
+EciLink::deliverNext(std::size_t dir)
+{
+    DeliveryQueue &q = deliverQ_[dir];
+    ENZIAN_ASSERT(!q.fifo.empty(), "delivery event with empty queue");
+    const EciMsg msg = q.fifo.front().second;
+    q.fifo.pop_front();
+    // Re-arm before invoking the handler: it may send() more traffic
+    // in this direction, which appends behind the current front.
+    if (!q.fifo.empty())
+        q.ev.schedule(q.fifo.front().first);
+    handlers_[static_cast<std::size_t>(msg.dst)](msg);
 }
 
 const char *

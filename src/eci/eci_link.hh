@@ -15,8 +15,10 @@
 #define ENZIAN_ECI_ECI_LINK_HH
 
 #include <array>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "eci/eci_msg.hh"
@@ -88,12 +90,26 @@ class EciLink : public SimObject
   private:
     void recomputeBandwidth();
     Tick procLatency(mem::NodeId node) const;
+    void deliverNext(std::size_t dir);
+
+    /**
+     * Per-direction delivery pipeline. The serializer is FIFO, so
+     * deliveries in one direction are monotone in time; instead of a
+     * fresh heap entry (and lambda allocation) per message, queued
+     * messages ride a deque drained by one reusable Event.
+     */
+    struct DeliveryQueue
+    {
+        std::deque<std::pair<Tick, EciMsg>> fifo;
+        Event ev;
+    };
 
     Config cfg_;
     double effBw_ = 0;
     /** Serializer occupancy per direction, indexed by source node. */
     std::array<Tick, 2> busFreeAt_{0, 0};
     std::array<Handler, 2> handlers_;
+    std::array<DeliveryQueue, 2> deliverQ_;
     Tap tap_;
     Counter msgs_;
     Counter bytes_;

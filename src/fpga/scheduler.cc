@@ -29,6 +29,10 @@ VfpgaScheduler::VfpgaScheduler(std::string name, EventQueue &eq,
     if (cfg_.policy == SchedPolicy::RoundRobin && cfg_.quantum == 0)
         fatal("scheduler '%s': zero quantum", SimObject::name().c_str());
     slots_.resize(shell_.slotCount());
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+        slots_[i].sliceEv.init(eq, [this, i]() { onSliceEnd(i); },
+                               "vfpga-slice");
+    }
     stats().addCounter("jobs_completed", &completed_);
     stats().addCounter("preemptions", &preempted_);
     stats().addAccumulator("queue_depth", &queueDepth_);
@@ -93,9 +97,7 @@ VfpgaScheduler::start(std::uint32_t slot, FpgaJob job)
     Tick slice = s.job.remaining;
     if (cfg_.policy == SchedPolicy::RoundRobin)
         slice = std::min(slice, cfg_.quantum);
-    s.event = eventq().schedule(
-        ready + slice, [this, slot]() { onSliceEnd(slot); },
-        "vfpga-slice");
+    s.sliceEv.schedule(ready + slice);
 }
 
 void
@@ -125,9 +127,7 @@ VfpgaScheduler::onSliceEnd(std::uint32_t slot)
         if (cfg_.policy == SchedPolicy::RoundRobin)
             slice = std::min(slice, cfg_.quantum);
         s.sliceStart = now();
-        s.event = eventq().scheduleDelta(
-            slice, [this, slot]() { onSliceEnd(slot); },
-            "vfpga-slice");
+        s.sliceEv.scheduleDelta(slice);
         return;
     }
     preempted_.inc();

@@ -81,7 +81,8 @@ class VfpgaScheduler : public SimObject
     {
         bool busy = false;
         FpgaJob job;
-        EventId event = 0; // completion / preemption event
+        /** Reusable completion / preemption event. */
+        Event sliceEv;
         Tick sliceStart = 0;
     };
 

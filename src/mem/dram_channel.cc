@@ -24,8 +24,10 @@ DramChannel::DramChannel(std::string name, EventQueue &eq,
     if (effBw_ <= 0)
         fatal("DRAM channel '%s': non-positive bandwidth",
               SimObject::name().c_str());
+    refreshEv_.init(eq, [this]() { onRefresh(); }, "dram-refresh");
     stats().addCounter("requests", &reqs_);
     stats().addCounter("bytes", &bytes_);
+    stats().addCounter("refreshes", &refreshes_);
     stats().addAccumulator("latency_ns", &latency_);
     stats().addAccumulator("queue_wait_ns", &queueWait_);
     stats().addHistogram("latency_hist_ns", &latencyHist_);
@@ -48,6 +50,32 @@ DramChannel::access(Tick when, std::uint64_t bytes)
     queueWait_.sample(units::toNanos(start - when));
     ENZIAN_SPAN(name(), "burst", start, done);
     return done;
+}
+
+void
+DramChannel::enableRefresh(Tick until, Tick period, Tick penalty)
+{
+    if (period == 0)
+        fatal("DRAM channel '%s': zero refresh period",
+              name().c_str());
+    refreshPeriod_ = period;
+    refreshPenalty_ = penalty;
+    refreshUntil_ = until;
+    const Tick first = now() + period;
+    if (first <= until)
+        refreshEv_.reschedule(first);
+}
+
+void
+DramChannel::onRefresh()
+{
+    // tRFC: all banks are busy refreshing, so the data bus extends
+    // past any in-flight burst by the refresh penalty.
+    refreshes_.inc();
+    busFreeAt_ = std::max(busFreeAt_, now()) + refreshPenalty_;
+    const Tick next = now() + refreshPeriod_;
+    if (next <= refreshUntil_)
+        refreshEv_.schedule(next);
 }
 
 DramSystem::DramSystem(std::string name, EventQueue &eq,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "base/units.hh"
 #include "sim/sim_object.hh"
 
 namespace enzian::mem {
@@ -48,6 +49,18 @@ class DramChannel : public SimObject
      */
     Tick access(Tick when, std::uint64_t bytes);
 
+    /**
+     * Opt-in refresh modeling: every @p period (DDR4 tREFI, 7.8 us)
+     * the channel blocks the data bus for @p penalty (tRFC) until
+     * @p until. Bounded, not self-perpetuating, so EventQueue::run()
+     * still drains. Driven by one reusable self-rescheduling event.
+     */
+    void enableRefresh(Tick until,
+                       Tick period = units::us(7.8),
+                       Tick penalty = units::ns(350.0));
+
+    std::uint64_t refreshes() const { return refreshes_.value(); }
+
     /** Effective sustainable bandwidth in bytes/s. */
     double effectiveBandwidth() const { return effBw_; }
 
@@ -63,13 +76,21 @@ class DramChannel : public SimObject
     const Accumulator &queueWait() const { return queueWait_; }
 
   private:
+    void onRefresh();
+
     Config cfg_;
     double peakBw_;
     double effBw_;
     Tick accessLatency_;
     Tick busFreeAt_ = 0;
+    /** Refresh parameters (active when refreshUntil_ > 0). */
+    Tick refreshPeriod_ = 0;
+    Tick refreshPenalty_ = 0;
+    Tick refreshUntil_ = 0;
+    Event refreshEv_;
     Counter reqs_;
     Counter bytes_;
+    Counter refreshes_;
     Accumulator latency_;
     Accumulator queueWait_;
     Histogram latencyHist_{0.0, 1000.0, 50};

@@ -35,12 +35,15 @@ std::uint32_t
 TcpStack::connect(TcpStack &remote)
 {
     const std::uint32_t id = nextFlow_++;
-    Flow mine;
+    Flow &mine = flows_.try_emplace(id).first->second;
     mine.remotePort = remote.cfg_.port;
-    flows_.emplace(id, mine);
-    Flow theirs;
+    mine.pumpEv.init(eventq(), [this, id]() { pump(id); },
+                     "tcp-pump");
+    Flow &theirs = remote.flows_.try_emplace(id).first->second;
     theirs.remotePort = cfg_.port;
-    remote.flows_.emplace(id, theirs);
+    theirs.pumpEv.init(remote.eventq(),
+                       [rs = &remote, id]() { rs->pump(id); },
+                       "tcp-pump");
     return id;
 }
 
@@ -80,16 +83,9 @@ void
 TcpStack::schedulePump(std::uint32_t flow_id, Tick when)
 {
     Flow &f = flows_.at(flow_id);
-    if (f.pumpScheduled)
+    if (f.pumpEv.scheduled())
         return;
-    f.pumpScheduled = true;
-    eventq().schedule(
-        std::max(when, now()),
-        [this, flow_id]() {
-            flows_.at(flow_id).pumpScheduled = false;
-            pump(flow_id);
-        },
-        "tcp-pump");
+    f.pumpEv.schedule(std::max(when, now()));
 }
 
 void

@@ -107,7 +107,9 @@ class TcpStack : public SimObject
         std::deque<SendJob> jobs;
         std::uint64_t received = 0;
         Tick txFreeAt = 0; // per-flow pipeline availability
-        bool pumpScheduled = false;
+        /** Reusable pump event; re-armed whenever the pipeline or
+         *  window forces the flow to wait. */
+        Event pumpEv;
     };
 
     /** Message kinds on the wire. */

@@ -8,9 +8,10 @@
  * keeps the full snapshot; the CSV writer emits per-interval deltas
  * (rates), the JSON writer emits both.
  *
- * The sampler schedules a bounded number of events up front
- * (run(until)) rather than self-rescheduling forever, so
- * EventQueue::run() — which drains the queue — still terminates.
+ * The sampler drives itself with one reusable self-rescheduling
+ * event that stops re-arming past the run(until) bound, so
+ * EventQueue::run() — which drains the queue — still terminates and
+ * an N-sample run costs one event slot instead of N heap entries.
  *
  * Header-only: lives above base/stats but below sim in the library
  * graph, so it borrows the EventQueue type from the caller's side.
@@ -65,20 +66,22 @@ class Sampler
     }
 
     /**
-     * Schedule snapshots every interval from now() until @p until
-     * (inclusive when it falls on a boundary). Call before running
-     * the workload; events interleave with the simulation's own.
+     * Sample every interval from now() until @p until (inclusive
+     * when it falls on a boundary). Call before running the
+     * workload; the samples interleave with the simulation's own
+     * events. A second call re-bases the series from the new now().
      */
     void
     run(Tick until)
     {
         const Tick from = eq_.now();
         const std::uint64_t n = expectedSamples(from, until, interval_);
-        for (std::uint64_t i = 1; i <= n; ++i) {
-            eq_.schedule(
-                from + i * interval_, [this]() { sampleNow(); },
-                "obs-sample");
-        }
+        if (n == 0)
+            return;
+        stop_ = from + n * interval_;
+        if (!ev_.valid())
+            ev_.init(eq_, [this]() { onSample(); }, "obs-sample");
+        ev_.reschedule(from + interval_);
     }
 
     /** Take one snapshot immediately at the current sim time. */
@@ -149,9 +152,20 @@ class Sampler
     }
 
   private:
+    void
+    onSample()
+    {
+        sampleNow();
+        const Tick next = eq_.now() + interval_;
+        if (next <= stop_)
+            ev_.schedule(next);
+    }
+
     Registry &reg_;
     EventQueue &eq_;
     Tick interval_;
+    Tick stop_ = 0;
+    Event ev_;
     std::vector<Point> points_;
 };
 

@@ -133,6 +133,74 @@ TEST(Stats, HistogramOverUnderflow)
     EXPECT_EQ(h.count(), 3u);
 }
 
+// Regression: on sparse histograms the old interpolation could
+// return a value below the lower edge of the bucket that actually
+// contains the quantile sample — underflow (or earlier buckets)
+// pushed the running total past the fractional target, e.g. p50 of
+// {5x underflow, 5x bucket-9} came back as lo_. Every quantile must
+// land inside its containing bucket.
+TEST(Stats, HistogramSparseQuantileStaysInContainingBucket)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 5; ++i)
+        h.sample(-1.0); // underflow
+    for (int i = 0; i < 5; ++i)
+        h.sample(95.0); // bucket 9: [90, 100)
+    // Ranks 6..10 are the bucket-9 samples; p50 (rank 6) onward must
+    // report within [90, 100], not lo_.
+    EXPECT_GE(h.quantile(0.5), 90.0);
+    EXPECT_LE(h.quantile(0.5), 100.0);
+    EXPECT_GE(h.quantile(0.9), 90.0);
+    EXPECT_LE(h.quantile(0.9), 100.0);
+    EXPECT_GE(h.quantile(0.99), 90.0);
+    EXPECT_LE(h.quantile(0.99), 100.0);
+    // p25 (rank 3) is an underflow sample: pinned to the low edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0);
+}
+
+TEST(Stats, HistogramSparseQuantileEmptyBucketGap)
+{
+    // Two samples with eight empty buckets between them. The median
+    // sample (nearest rank 2 of 2) lives in bucket 9; the old code
+    // reported bucket 0's upper edge instead.
+    Histogram h(0.0, 100.0, 10);
+    h.sample(5.0);
+    h.sample(95.0);
+    EXPECT_GE(h.quantile(0.5), 90.0);
+    EXPECT_LE(h.quantile(0.5), 100.0);
+    EXPECT_GE(h.quantile(0.99), 90.0);
+    // p10 (rank 1) is the bucket-0 sample.
+    EXPECT_GE(h.quantile(0.1), 0.0);
+    EXPECT_LE(h.quantile(0.1), 10.0);
+}
+
+TEST(Stats, HistogramSingleSampleQuantiles)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.sample(95.0);
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_GE(h.quantile(q), 90.0) << "q=" << q;
+        EXPECT_LE(h.quantile(q), 100.0) << "q=" << q;
+    }
+}
+
+TEST(Stats, HistogramQuantileMonotoneAndOverflowPinned)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(15.0);
+    h.sample(95.0);
+    h.sample(1000.0); // overflow
+    double prev = h.quantile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double cur = h.quantile(q);
+        EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
+        prev = cur;
+    }
+    // The overflow sample is the max rank: reported as hi_.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
 TEST(Stats, StatGroupDump)
 {
     Counter c;

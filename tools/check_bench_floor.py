@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Guard bench metrics against a checked-in baseline floor.
+
+Usage: check_bench_floor.py BENCH_<name>.json bench/baselines/<name>_floor.json
+
+The floor file holds per-metric baselines plus a relative tolerance;
+a metric regressing more than the tolerance below its baseline fails
+the check (exit 1). Metrics in the bench output but not in the floor
+file are ignored; metrics in the floor file but missing from the
+bench output fail (a silently dropped metric is a regression too).
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(sys.argv[1], encoding="utf-8") as f:
+        bench = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        floor = json.load(f)
+
+    metrics = bench.get("metrics", {})
+    tolerance = float(floor.get("tolerance", 0.20))
+    baselines = floor["baselines"]
+
+    failed = False
+    for name, baseline in sorted(baselines.items()):
+        limit = float(baseline) * (1.0 - tolerance)
+        value = metrics.get(name)
+        if value is None:
+            print(f"FAIL {name}: missing from {sys.argv[1]}")
+            failed = True
+            continue
+        verdict = "ok" if value >= limit else "FAIL"
+        print(f"{verdict:4s} {name}: {value:.3g} "
+              f"(baseline {baseline:.3g}, floor {limit:.3g})")
+        if value < limit:
+            failed = True
+
+    if failed:
+        print(f"bench floor check failed for {bench.get('bench', '?')}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
