@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "obs/span_tracer.hh"
 
 namespace enzian::bmc {
 
@@ -36,6 +37,8 @@ Bmc::Bmc(std::string name, EventQueue &eq)
         SimObject::name() + ".telemetry", eq, *master_);
     buildRails();
     wireLoads();
+    stats().addCounter("rail_glitches", &railGlitches_);
+    stats().addCounter("rail_recoveries", &railRecoveries_);
 }
 
 void
@@ -183,7 +186,7 @@ Bmc::domainUp(Domain d) const
 }
 
 Tick
-Bmc::executeSequence(Domain d, bool up)
+Bmc::executeSequence(Domain d, bool up, Tick base)
 {
     // Solve over the domain's rails only; cross-domain requirements
     // must already be satisfied.
@@ -212,9 +215,9 @@ Bmc::executeSequence(Domain d, bool up)
 
     const auto schedule =
         up ? sub.powerUpSequence() : sub.powerDownSequence();
-    Tick settled = now();
+    Tick settled = base;
     for (const auto &step : schedule) {
-        const Tick at = now() + units::ms(step.at_ms);
+        const Tick at = base + units::ms(step.at_ms);
         const std::uint8_t addr = regulator(step.rail).config().address;
         eventq().schedule(
             at,
@@ -236,7 +239,7 @@ Bmc::executeSequence(Domain d, bool up)
 Tick
 Bmc::commonPowerUp()
 {
-    return executeSequence(Domain::Standby, true);
+    return executeSequence(Domain::Standby, true, now());
 }
 
 Tick
@@ -244,13 +247,13 @@ Bmc::cpuPowerUp()
 {
     if (!domainUp(Domain::Standby))
         fatal("cpu_power_up before common_power_up");
-    return executeSequence(Domain::Cpu, true);
+    return executeSequence(Domain::Cpu, true, now());
 }
 
 Tick
 Bmc::cpuPowerDown()
 {
-    return executeSequence(Domain::Cpu, false);
+    return executeSequence(Domain::Cpu, false, now());
 }
 
 Tick
@@ -258,13 +261,59 @@ Bmc::fpgaPowerUp()
 {
     if (!domainUp(Domain::Standby))
         fatal("fpga_power_up before common_power_up");
-    return executeSequence(Domain::Fpga, true);
+    return executeSequence(Domain::Fpga, true, now());
 }
 
 Tick
 Bmc::fpgaPowerDown()
 {
-    return executeSequence(Domain::Fpga, false);
+    return executeSequence(Domain::Fpga, false, now());
+}
+
+Tick
+Bmc::injectRailGlitch(const std::string &rail)
+{
+    const auto dit =
+        std::find_if(defs_.begin(), defs_.end(),
+                     [&](const RailDef &x) { return x.name == rail; });
+    if (dit == defs_.end())
+        fatal("unknown rail '%s'", rail.c_str());
+    const Domain d = dit->domain;
+    railGlitches_.inc();
+    logWarn("rail %s glitched (VOUT_OV); power-cycling the %s domain",
+            rail.c_str(), bmc::toString(d));
+    const Tick t0 = now();
+    regulator(rail).injectFault(statusVoutOv);
+
+    // Emergency-drop the whole domain in dependency-safe (reverse
+    // topological) order, exactly as a planned power-down would.
+    const Tick down = executeSequence(d, false, t0);
+
+    // Once everything is off, clear the latched fault on the tripped
+    // part so its next OPERATION-on is honoured...
+    const std::uint8_t addr = regulator(rail).config().address;
+    eventq().schedule(
+        down,
+        [this, addr]() {
+            master_->writeByte(addr, PmbusCmd::ClearFaults, 0);
+        },
+        "bmc-glitch-clear");
+
+    // ...and run a fresh solver power-up sequence strictly after the
+    // clear (the nudge keeps the ordering independent of same-tick
+    // event tie-breaking).
+    const Tick up =
+        executeSequence(d, true, down + units::ns(100.0));
+    eventq().schedule(
+        up,
+        [this, rail, d, t0, up]() {
+            railRecoveries_.inc();
+            ENZIAN_SPAN(name(), "rail-glitch-recovery", t0, up);
+            logInfo("rail %s recovered; %s domain back up",
+                    rail.c_str(), bmc::toString(d));
+        },
+        "bmc-glitch-recovered");
+    return up;
 }
 
 std::string

@@ -85,6 +85,24 @@ class Bmc : public SimObject
     bool domainUp(Domain d) const;
 
     /**
+     * Fault injection: a transient over-voltage glitch on @p rail
+     * trips its regulator (VOUT_OV latched, output disabled). The BMC
+     * reacts the way the real power manager does: emergency
+     * power-down of the rail's domain in dependency-safe order,
+     * CLEAR_FAULTS on the tripped part, then a fresh power-up
+     * sequence through the solver.
+     *
+     * @return tick at which the domain is settled again
+     */
+    Tick injectRailGlitch(const std::string &rail);
+
+    std::uint64_t railGlitches() const { return railGlitches_.value(); }
+    std::uint64_t railRecoveries() const
+    {
+        return railRecoveries_.value();
+    }
+
+    /**
      * The artifact's print_current_all(): read every rail over PMBus
      * and render a table. Occupies the bus for real.
      */
@@ -104,7 +122,8 @@ class Bmc : public SimObject
 
     void buildRails();
     void wireLoads();
-    Tick executeSequence(Domain d, bool up);
+    /** Run a power sequence; steps are scheduled relative to @p base. */
+    Tick executeSequence(Domain d, bool up, Tick base);
 
     std::unique_ptr<I2cBus> bus_;
     std::unique_ptr<PmbusMaster> master_;
@@ -115,6 +134,8 @@ class Bmc : public SimObject
     std::vector<std::string> names_;
     std::map<std::string, std::unique_ptr<Regulator>> regs_;
     bool domainUp_[3] = {false, false, false};
+    Counter railGlitches_;
+    Counter railRecoveries_;
 };
 
 } // namespace enzian::bmc

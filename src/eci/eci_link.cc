@@ -22,6 +22,12 @@ EciLink::EciLink(std::string name, EventQueue &eq, const Config &cfg)
     }
     stats().addCounter("messages", &msgs_);
     stats().addCounter("bytes", &bytes_);
+    stats().addCounter("fault_dropped", &dropped_);
+    stats().addCounter("fault_corrupted", &corrupted_);
+    stats().addCounter("lane_failures", &laneFails_);
+    stats().addCounter("link_flaps", &flaps_);
+    stats().addCounter("retrains", &retrains_);
+    stats().addCounter("credits_reconciled", &creditsReconciled_);
     stats().addAccumulator("latency_ns", &latency_);
     stats().addAccumulator("ser_wait_ns", &serWait_);
     stats().addHistogram("latency_hist_ns", &latencyHist_);
@@ -70,6 +76,11 @@ Tick
 EciLink::send(const EciMsg &msg)
 {
     const auto dir = static_cast<std::size_t>(msg.src);
+    if (fault_) {
+        const FaultAction act = fault_(now(), msg);
+        if (act != FaultAction::Deliver)
+            return sendFaulted(msg, act);
+    }
     msgs_.inc();
     bytes_.inc(msg.wireBytes());
     if (tap_)
@@ -113,6 +124,80 @@ EciLink::send(const EciMsg &msg)
     if (!q.ev.scheduled())
         q.ev.schedule(q.fifo.front().first);
     return delivery;
+}
+
+Tick
+EciLink::sendFaulted(const EciMsg &msg, FaultAction act)
+{
+    // The bits still went out: the serializer is occupied as usual.
+    // A corrupted message reaches the far side but fails its CRC and
+    // is discarded there, which is operationally identical to a drop;
+    // we account the two separately. Neither reaches the tap — a real
+    // capture would never see the message arrive.
+    msgs_.inc();
+    bytes_.inc(msg.wireBytes());
+    const Tick ser_ready = now() + procLatency(msg.src);
+    const auto dir = static_cast<std::size_t>(msg.src);
+    const Tick start = std::max(ser_ready, busFreeAt_[dir]);
+    const Tick stream = units::transferTicks(msg.wireBytes(), effBw_);
+    busFreeAt_[dir] = start + stream;
+    if (act == FaultAction::Drop) {
+        dropped_.inc();
+        ENZIAN_SPAN(name(), "fault-drop", start, start + stream);
+    } else {
+        corrupted_.inc();
+        ENZIAN_SPAN(name(), "fault-corrupt", start, start + stream);
+    }
+    return start + stream;
+}
+
+void
+EciLink::failLanes(std::uint32_t n)
+{
+    laneFails_.inc();
+    const std::uint32_t survivors = cfg_.lanes > n ? cfg_.lanes - n : 1;
+    logWarn("lane failure: %u lane(s) down, retraining to %u lanes", n,
+            survivors);
+    setLanes(survivors);
+    beginRetrain(units::ns(cfg_.retrain_ns));
+}
+
+void
+EciLink::restoreLanes(std::uint32_t lanes)
+{
+    logInfo("restoring link to %u lanes", lanes);
+    setLanes(lanes);
+    beginRetrain(units::ns(cfg_.retrain_ns));
+}
+
+void
+EciLink::flap(Tick down_time)
+{
+    flaps_.inc();
+    // Everything in flight is lost; the credit machinery reconciles
+    // (the agents' retry timers re-issue the requests).
+    std::uint64_t lost = 0;
+    for (auto &q : deliverQ_) {
+        lost += q.fifo.size();
+        q.fifo.clear();
+        q.ev.cancel();
+    }
+    creditsReconciled_.inc(lost);
+    logWarn("link flap: down %.1f us, %llu message(s) lost",
+            units::toNanos(down_time) / 1e3,
+            static_cast<unsigned long long>(lost));
+    beginRetrain(down_time + units::ns(cfg_.retrain_ns));
+}
+
+void
+EciLink::beginRetrain(Tick duration)
+{
+    retrains_.inc();
+    retrainEndsAt_ = std::max(retrainEndsAt_, now() + duration);
+    // No traffic serializes until the lanes are aligned again.
+    for (auto &free_at : busFreeAt_)
+        free_at = std::max(free_at, retrainEndsAt_);
+    ENZIAN_SPAN(name(), "retrain", now(), retrainEndsAt_);
 }
 
 void

@@ -45,12 +45,29 @@ class EciLink : public SimObject
         double cpu_proc_ns = 60.0;
         /** FPGA-side protocol engine processing latency (ns). */
         double fpga_proc_ns = 150.0;
+        /** Lane retrain duration after a lane failure or flap (ns). */
+        double retrain_ns = 25000.0;
     };
 
     /** Delivery callback invoked at the receiving node. */
     using Handler = std::function<void(const EciMsg &)>;
     /** Trace tap observing every message with its send tick. */
     using Tap = std::function<void(Tick, const EciMsg &)>;
+
+    /** Verdict of a fault filter for one message. */
+    enum class FaultAction : std::uint8_t {
+        Deliver, ///< no fault: normal delivery
+        Drop,    ///< message vanishes on the wire
+        Corrupt, ///< CRC failure at the receiver: detected, discarded
+    };
+
+    /**
+     * Fault filter consulted for every send. Dropped and corrupted
+     * messages still occupy the serializer (the bits went out) but are
+     * never delivered and never reach the trace tap — the checker only
+     * sees what a real capture would.
+     */
+    using FaultFilter = std::function<FaultAction(Tick, const EciMsg &)>;
 
     EciLink(std::string name, EventQueue &eq, const Config &cfg);
 
@@ -59,6 +76,9 @@ class EciLink : public SimObject
 
     /** Install a trace tap (pass nullptr to remove). */
     void setTap(Tap tap) { tap_ = std::move(tap); }
+
+    /** Install a fault filter (pass nullptr to remove). */
+    void setFaultFilter(FaultFilter f) { fault_ = std::move(f); }
 
     /**
      * Send @p msg; schedules delivery at the destination handler.
@@ -72,10 +92,40 @@ class EciLink : public SimObject
     /** Change the active lane count (BDK dial-up/down). */
     void setLanes(std::uint32_t lanes);
 
+    /**
+     * Fail @p n lanes: the link retrains, then runs derated on the
+     * surviving lanes (never below one). Bandwidth degrades
+     * proportionally, preserving the Fig 6 curve shape.
+     */
+    void failLanes(std::uint32_t n);
+
+    /** Bring the link back to @p lanes lanes (retrains first). */
+    void restoreLanes(std::uint32_t lanes);
+
+    /**
+     * Link flap: the link is down for @p down_time, in-flight messages
+     * in both directions are lost (credits reconciled), then the link
+     * retrains before carrying traffic again.
+     */
+    void flap(Tick down_time);
+
+    /** True while a retrain blocks the serializers. */
+    bool retraining() const { return retrainEndsAt_ > now(); }
+
     std::uint32_t lanes() const { return cfg_.lanes; }
 
     std::uint64_t messagesSent() const { return msgs_.value(); }
     std::uint64_t bytesSent() const { return bytes_.value(); }
+    std::uint64_t messagesDropped() const { return dropped_.value(); }
+    std::uint64_t messagesCorrupted() const { return corrupted_.value(); }
+    std::uint64_t laneFailures() const { return laneFails_.value(); }
+    std::uint64_t linkFlaps() const { return flaps_.value(); }
+    std::uint64_t retrains() const { return retrains_.value(); }
+    /** Messages lost in flight during flaps (credit reconciliation). */
+    std::uint64_t creditsReconciled() const
+    {
+        return creditsReconciled_.value();
+    }
     /** Tick the given direction's serializer frees up. */
     Tick busFreeAt(mem::NodeId src_node) const;
 
@@ -91,6 +141,8 @@ class EciLink : public SimObject
     void recomputeBandwidth();
     Tick procLatency(mem::NodeId node) const;
     void deliverNext(std::size_t dir);
+    Tick sendFaulted(const EciMsg &msg, FaultAction act);
+    void beginRetrain(Tick duration);
 
     /**
      * Per-direction delivery pipeline. The serializer is FIFO, so
@@ -111,8 +163,17 @@ class EciLink : public SimObject
     std::array<Handler, 2> handlers_;
     std::array<DeliveryQueue, 2> deliverQ_;
     Tap tap_;
+    FaultFilter fault_;
+    /** Tick the current retrain (if any) completes. */
+    Tick retrainEndsAt_ = 0;
     Counter msgs_;
     Counter bytes_;
+    Counter dropped_;
+    Counter corrupted_;
+    Counter laneFails_;
+    Counter flaps_;
+    Counter retrains_;
+    Counter creditsReconciled_;
     /** Send-to-delivery latency (ns), overall and per VC. */
     Accumulator latency_;
     std::array<Accumulator, vcCount> vcLatency_;

@@ -5,6 +5,7 @@
 
 #include "eci/home_agent.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 
@@ -13,6 +14,13 @@
 #include "obs/span_tracer.hh"
 
 namespace enzian::eci {
+
+namespace {
+
+/** Bound on the home's reply cache (LRU evicted past this). */
+constexpr std::size_t replayCap = 4096;
+
+} // namespace
 
 using cache::MoesiState;
 
@@ -53,8 +61,21 @@ HomeAgent::HomeAgent(std::string name, EventQueue &eq, mem::NodeId node,
     stats().addCounter("requests_served", &served_);
     stats().addCounter("snoops_sent", &snoops_);
     stats().addCounter("deferrals", &deferrals_);
+    stats().addCounter("responses_replayed", &replays_);
+    stats().addCounter("duplicate_requests", &dupReqs_);
+    stats().addCounter("snoop_retries", &snoopRetries_);
+    stats().addCounter("duplicate_snoop_responses", &dupSnoopRsps_);
     stats().addAccumulator("service_ns", &service_);
     stats().addAccumulator("busy_lines", &occupancy_);
+}
+
+void
+HomeAgent::enableRecovery(double snoop_timeout_us,
+                          std::uint32_t max_retries)
+{
+    recovery_ = true;
+    snoopTimeout_ = units::us(snoop_timeout_us);
+    maxRetries_ = max_retries;
 }
 
 void
@@ -87,6 +108,8 @@ HomeAgent::remoteState(Addr line) const
 void
 HomeAgent::sendAt(Tick when, const EciMsg &msg)
 {
+    if (recovery_)
+        recordResponse(msg);
     if (when <= now()) {
         fabric_.send(msg);
     } else {
@@ -94,6 +117,43 @@ HomeAgent::sendAt(Tick when, const EciMsg &msg)
             when, [this, copy = msg]() { fabric_.send(copy); },
             "home-send");
     }
+}
+
+void
+HomeAgent::recordResponse(const EciMsg &msg)
+{
+    // Only responses are cached for replay; snoops have their own
+    // retry timer on our side.
+    if (msg.op != Opcode::PEMD && msg.op != Opcode::PACK &&
+        msg.op != Opcode::PNAK && msg.op != Opcode::IOBACK)
+        return;
+    inflightReq_.erase(msg.tid);
+    if (replay_.size() >= replayCap && !replayOrder_.empty()) {
+        replay_.erase(replayOrder_.front());
+        replayOrder_.pop_front();
+    }
+    if (replay_.emplace(msg.tid, msg).second)
+        replayOrder_.push_back(msg.tid);
+}
+
+bool
+HomeAgent::isDuplicateRequest(const EciMsg &msg)
+{
+    auto cached = replay_.find(msg.tid);
+    if (cached != replay_.end()) {
+        // Already answered: the response was lost; replay it.
+        replays_.inc();
+        sendAt(now() + dirLatency_, cached->second);
+        return true;
+    }
+    if (inflightReq_.contains(msg.tid)) {
+        // Still being served (possibly deferred behind a busy line);
+        // the eventual response satisfies the retry too.
+        dupReqs_.inc();
+        return true;
+    }
+    inflightReq_.insert(msg.tid);
+    return false;
 }
 
 bool
@@ -140,19 +200,19 @@ HomeAgent::handle(const EciMsg &msg)
       case Opcode::RSTT:
       case Opcode::RUPG:
       case Opcode::RWBD:
-      case Opcode::REVC: {
-        if (!acquireLine(cache::lineAlign(msg.addr),
-                         [this, copy = msg]() { handle(copy); }))
+      case Opcode::REVC:
+        if (recovery_ && isDuplicateRequest(msg))
             return;
-        process(msg);
+        handleRequest(msg);
         return;
-      }
       case Opcode::SACKI:
       case Opcode::SACKS:
         handleSnoopResponse(msg);
         return;
       case Opcode::IOBLD:
       case Opcode::IOBST:
+        if (recovery_ && isDuplicateRequest(msg))
+            return;
         serveIo(msg);
         return;
       case Opcode::IPI:
@@ -163,6 +223,18 @@ HomeAgent::handle(const EciMsg &msg)
         panic("home agent received unexpected %s",
               msg.toString().c_str());
     }
+}
+
+void
+HomeAgent::handleRequest(const EciMsg &msg)
+{
+    // Past the duplicate filter: deferred retries re-enter here, not
+    // handle(), so a queued original is never mistaken for its own
+    // duplicate.
+    if (!acquireLine(cache::lineAlign(msg.addr),
+                     [this, copy = msg]() { handleRequest(copy); }))
+        return;
+    process(msg);
 }
 
 void
@@ -433,9 +505,11 @@ HomeAgent::localRead(Addr line, std::uint8_t *out, Done done)
         snp.tid = nextSnoopTid_++;
         snp.addr = line;
         pendingSnoops_[snp.tid] =
-            PendingSnoop{line, false, std::move(done), out, {}};
+            PendingSnoop{line, false, std::move(done), out, {}, snp};
         snoops_.inc();
         sendAt(now() + dirLatency_, snp);
+        if (recovery_)
+            armSnoopRetry(snp.tid);
         return;
     }
     // Wrap the completion so the line frees when the access retires.
@@ -495,9 +569,12 @@ HomeAgent::localWrite(Addr line, const std::uint8_t *data, Done done)
         p.done = std::move(done);
         p.out = nullptr;
         p.wdata.assign(data, data + cache::lineSize);
+        p.msg = snp;
         pendingSnoops_[snp.tid] = std::move(p);
         snoops_.inc();
         sendAt(now() + dirLatency_, snp);
+        if (recovery_)
+            armSnoopRetry(snp.tid);
         return;
     }
     // Wrap the completion so the line frees when the access retires.
@@ -523,11 +600,46 @@ HomeAgent::localWrite(Addr line, const std::uint8_t *data, Done done)
 }
 
 void
+HomeAgent::armSnoopRetry(std::uint32_t tid)
+{
+    auto it = pendingSnoops_.find(tid);
+    if (it == pendingSnoops_.end())
+        return;
+    PendingSnoop &p = it->second;
+    const Tick delay = snoopTimeout_
+                       << std::min<std::uint32_t>(p.attempts, 5);
+    p.retryEv = eventq().scheduleDelta(
+        delay,
+        [this, tid]() {
+            auto pit = pendingSnoops_.find(tid);
+            if (pit == pendingSnoops_.end())
+                return; // answered while the event was in flight
+            PendingSnoop &ps = pit->second;
+            ++ps.attempts;
+            ENZIAN_ASSERT(ps.attempts <= maxRetries_,
+                          "snoop tid %u unanswered after %u retries "
+                          "(livelock?)",
+                          tid, ps.attempts);
+            snoopRetries_.inc();
+            fabric_.send(ps.msg);
+            armSnoopRetry(tid);
+        },
+        "home-snoop-retry");
+}
+
+void
 HomeAgent::handleSnoopResponse(const EciMsg &msg)
 {
     auto it = pendingSnoops_.find(msg.tid);
+    if (it == pendingSnoops_.end() && recovery_) {
+        // A retried snoop crossed its original's response; the first
+        // answer already completed the transaction.
+        dupSnoopRsps_.inc();
+        return;
+    }
     ENZIAN_ASSERT(it != pendingSnoops_.end(),
                   "snoop response with unknown tid %u", msg.tid);
+    eventq().cancel(it->second.retryEv);
     PendingSnoop p = std::move(it->second);
     pendingSnoops_.erase(it);
 

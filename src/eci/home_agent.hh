@@ -115,6 +115,19 @@ class HomeAgent : public SimObject
     /** Set the IPI delivery handler (vector number argument). */
     void setIpiHandler(std::function<void(std::uint32_t)> h);
 
+    /**
+     * Turn on the loss-recovery path: duplicate requests are detected
+     * and answered from a bounded reply cache (requesters retry with
+     * the same tid), and outgoing snoops are retried with exponential
+     * backoff until their response arrives. Off by default — the
+     * happy path pays nothing.
+     *
+     * @param snoop_timeout_us initial snoop retry timeout
+     * @param max_retries livelock guard: panic past this many retries
+     */
+    void enableRecovery(double snoop_timeout_us,
+                        std::uint32_t max_retries = 16);
+
     /** Entry point for messages addressed to this node's home side. */
     void handle(const EciMsg &msg);
 
@@ -136,6 +149,17 @@ class HomeAgent : public SimObject
 
     std::uint64_t requestsServed() const { return served_.value(); }
     std::uint64_t snoopsSent() const { return snoops_.value(); }
+    /** Responses replayed from the reply cache (recovery mode). */
+    std::uint64_t responsesReplayed() const { return replays_.value(); }
+    /** Duplicate requests dropped while the original was in flight. */
+    std::uint64_t duplicateRequests() const { return dupReqs_.value(); }
+    /** Snoops re-sent after a timeout (recovery mode). */
+    std::uint64_t snoopRetries() const { return snoopRetries_.value(); }
+    /** Duplicate snoop responses ignored (recovery mode). */
+    std::uint64_t duplicateSnoopResponses() const
+    {
+        return dupSnoopRsps_.value();
+    }
 
   private:
     struct PendingSnoop
@@ -145,9 +169,17 @@ class HomeAgent : public SimObject
         Done done;
         std::uint8_t *out;               // localRead destination
         std::vector<std::uint8_t> wdata; // localWrite payload
+        /** Copy of the snoop for retransmission (recovery mode). */
+        EciMsg msg{};
+        EventId retryEv = 0;
+        std::uint32_t attempts = 0;
     };
 
     void process(const EciMsg &msg);
+    void handleRequest(const EciMsg &msg);
+    bool isDuplicateRequest(const EciMsg &msg);
+    void recordResponse(const EciMsg &msg);
+    void armSnoopRetry(std::uint32_t tid);
     void finishLine(Addr line);
     /**
      * Per-line transaction serialization: remote requests AND
@@ -196,11 +228,25 @@ class HomeAgent : public SimObject
     std::unordered_map<std::uint32_t, PendingSnoop> pendingSnoops_;
     std::uint32_t nextSnoopTid_ = 1;
 
+    /** Loss-recovery machinery; inert unless enableRecovery() ran. */
+    bool recovery_ = false;
+    Tick snoopTimeout_ = 0;
+    std::uint32_t maxRetries_ = 16;
+    /** Requests accepted but not yet answered (dedup set). */
+    std::unordered_set<std::uint32_t> inflightReq_;
+    /** Bounded LRU cache of sent responses, replayed on retries. */
+    std::unordered_map<std::uint32_t, EciMsg> replay_;
+    std::deque<std::uint32_t> replayOrder_;
+
     /** Directory lookup / pipeline latency of this engine. */
     Tick dirLatency_;
 
     Counter served_;
     Counter snoops_;
+    Counter replays_;
+    Counter dupReqs_;
+    Counter snoopRetries_;
+    Counter dupSnoopRsps_;
     /** Requests that found their line busy and had to queue. */
     Counter deferrals_;
     /** Arrival-to-response service time per request, ns. */

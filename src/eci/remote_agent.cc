@@ -5,6 +5,7 @@
 
 #include "eci/remote_agent.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/logging.hh"
@@ -29,8 +30,51 @@ RemoteAgent::RemoteAgent(std::string name, EventQueue &eq,
     stats().addCounter("local_hits", &hits_);
     stats().addCounter("requests", &reqs_);
     stats().addCounter("pnaks", &pnaks_);
+    stats().addCounter("retries", &retries_);
+    stats().addCounter("duplicate_responses", &dupRsps_);
     stats().addAccumulator("rtt_ns", &rtt_);
     stats().addAccumulator("outstanding", &outstanding_);
+}
+
+void
+RemoteAgent::enableRecovery(double timeout_us,
+                            std::uint32_t max_retries)
+{
+    retryTimeout_ = units::us(timeout_us);
+    maxRetries_ = max_retries;
+}
+
+void
+RemoteAgent::armRetry(std::uint32_t tid)
+{
+    auto it = txns_.find(tid);
+    if (it == txns_.end())
+        return;
+    Txn &t = it->second;
+    const Tick delay =
+        retryTimeout_ << std::min<std::uint32_t>(t.attempts, 5);
+    t.retryEv = eventq().scheduleDelta(
+        delay, [this, tid]() { onRetryTimeout(tid); }, "eci-req-retry");
+}
+
+void
+RemoteAgent::onRetryTimeout(std::uint32_t tid)
+{
+    auto it = txns_.find(tid);
+    if (it == txns_.end())
+        return; // completed while the timeout event was in flight
+    Txn &t = it->second;
+    ++t.attempts;
+    ENZIAN_ASSERT(t.attempts <= maxRetries_,
+                  "request tid %u unanswered after %u retries "
+                  "(livelock?)",
+                  tid, t.attempts);
+    retries_.inc();
+    // Same tid on purpose: the home deduplicates in-flight requests
+    // and replays cached responses, so a duplicate is harmless while
+    // a fresh tid would double-apply the operation.
+    fabric_.send(*t.resend);
+    armRetry(tid);
 }
 
 RemoteAgent::RemoteAgent(std::string name, EventQueue &eq,
@@ -102,10 +146,14 @@ RemoteAgent::sendRequest(Opcode op, Addr line, Txn txn,
         std::memcpy(msg.line.data(), payload, cache::lineSize);
     txn.start = now();
     txn.op = op;
-    txns_.emplace(tid, std::move(txn));
+    auto it = txns_.emplace(tid, std::move(txn)).first;
     outstanding_.sample(static_cast<double>(txns_.size()));
     reqs_.inc();
     fabric_.send(msg);
+    if (retryTimeout_) {
+        it->second.resend = std::make_unique<EciMsg>(msg);
+        armRetry(tid);
+    }
 }
 
 void
@@ -249,9 +297,13 @@ RemoteAgent::ioRead(Addr offset, std::uint32_t len, IoDone done)
         msg.tid = tid;
         msg.addr = offset;
         msg.ioLen = len;
-        txns_.emplace(tid, std::move(t));
+        auto it = txns_.emplace(tid, std::move(t)).first;
         reqs_.inc();
         fabric_.send(msg);
+        if (retryTimeout_) {
+            it->second.resend = std::make_unique<EciMsg>(msg);
+            armRetry(tid);
+        }
     });
 }
 
@@ -277,9 +329,13 @@ RemoteAgent::ioWrite(Addr offset, std::uint64_t data, std::uint32_t len,
         msg.addr = offset;
         msg.ioLen = len;
         msg.ioData = data;
-        txns_.emplace(tid, std::move(t));
+        auto it = txns_.emplace(tid, std::move(t)).first;
         reqs_.inc();
         fabric_.send(msg);
+        if (retryTimeout_) {
+            it->second.resend = std::make_unique<EciMsg>(msg);
+            armRetry(tid);
+        }
     });
 }
 
@@ -371,7 +427,14 @@ void
 RemoteAgent::completeFill(std::uint32_t tid, const EciMsg &msg)
 {
     auto it = txns_.find(tid);
+    if (it == txns_.end() && retryTimeout_) {
+        // Our retry raced the original's response; the first copy
+        // already completed this transaction.
+        dupRsps_.inc();
+        return;
+    }
     ENZIAN_ASSERT(it != txns_.end(), "PEMD with unknown tid %u", tid);
+    eventq().cancel(it->second.retryEv);
     Txn txn = std::move(it->second);
     txns_.erase(it);
     recordCompletion(txn);
@@ -475,8 +538,13 @@ RemoteAgent::handle(const EciMsg &msg)
         return;
       case Opcode::PACK: {
         auto it = txns_.find(msg.tid);
+        if (it == txns_.end() && retryTimeout_) {
+            dupRsps_.inc();
+            return;
+        }
         ENZIAN_ASSERT(it != txns_.end(), "PACK with unknown tid %u",
                       msg.tid);
+        eventq().cancel(it->second.retryEv);
         Txn txn = std::move(it->second);
         txns_.erase(it);
         recordCompletion(txn);
@@ -508,8 +576,13 @@ RemoteAgent::handle(const EciMsg &msg)
       case Opcode::PNAK: {
         // Retry after a small backoff.
         auto it = txns_.find(msg.tid);
+        if (it == txns_.end() && retryTimeout_) {
+            dupRsps_.inc();
+            return;
+        }
         ENZIAN_ASSERT(it != txns_.end(), "PNAK with unknown tid %u",
                       msg.tid);
+        eventq().cancel(it->second.retryEv);
         Txn txn = std::move(it->second);
         txns_.erase(it);
         pnaks_.inc();
@@ -526,8 +599,13 @@ RemoteAgent::handle(const EciMsg &msg)
         return;
       case Opcode::IOBACK: {
         auto it = txns_.find(msg.tid);
+        if (it == txns_.end() && retryTimeout_) {
+            dupRsps_.inc();
+            return;
+        }
         ENZIAN_ASSERT(it != txns_.end(), "IOBACK with unknown tid %u",
                       msg.tid);
+        eventq().cancel(it->second.retryEv);
         Txn txn = std::move(it->second);
         txns_.erase(it);
         recordCompletion(txn);

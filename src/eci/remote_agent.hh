@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -56,6 +57,20 @@ class RemoteAgent : public SimObject
 
     /** Attach a local cache; cached ops allocate into it. */
     void attachCache(cache::Cache *c) { cache_ = c; }
+
+    /**
+     * Turn on the loss-recovery path: every request keeps a resend
+     * copy and a retry timer with exponential backoff; a lost request
+     * or response is re-sent with the SAME tid (the home deduplicates
+     * and replays its response). Off by default — the happy path pays
+     * one null pointer per transaction.
+     *
+     * @param timeout_us initial retry timeout (should exceed the
+     *        worst-case request round trip)
+     * @param max_retries livelock guard: panic past this many retries
+     */
+    void enableRecovery(double timeout_us,
+                        std::uint32_t max_retries = 16);
 
     /**
      * Coherent cached read of a peer-homed line. On a local hit the
@@ -102,6 +117,10 @@ class RemoteAgent : public SimObject
 
     std::uint64_t hitsLocal() const { return hits_.value(); }
     std::uint64_t requestsSent() const { return reqs_.value(); }
+    /** Requests re-sent after a timeout (recovery mode). */
+    std::uint64_t retriesSent() const { return retries_.value(); }
+    /** Responses for already-completed tids ignored (recovery mode). */
+    std::uint64_t duplicateResponses() const { return dupRsps_.value(); }
 
   private:
     enum class Kind : std::uint8_t {
@@ -126,6 +145,11 @@ class RemoteAgent : public SimObject
         bool invalAfterFill = false; // SINV raced with our fill
         Tick start = 0;              // request issue tick
         Opcode op = Opcode::RLDD;    // request opcode (span label)
+        /** Resend copy + retry timer; populated in recovery mode
+         *  only, so the default path stays one pointer wide. */
+        std::unique_ptr<EciMsg> resend;
+        EventId retryEv = 0;
+        std::uint32_t attempts = 0;
     };
 
     /** Launch or queue an operation needing an MSHR slot. */
@@ -148,6 +172,9 @@ class RemoteAgent : public SimObject
     std::uint32_t newTid();
     void sendRequest(Opcode op, Addr line, Txn txn,
                      const std::uint8_t *payload = nullptr);
+    /** (Re-)arm the retry timer of transaction @p tid. */
+    void armRetry(std::uint32_t tid);
+    void onRetryTimeout(std::uint32_t tid);
     /** Record RTT stats and the request span for a finished txn. */
     void recordCompletion(const Txn &txn);
     void completeFill(std::uint32_t tid, const EciMsg &msg);
@@ -169,10 +196,18 @@ class RemoteAgent : public SimObject
     std::unordered_map<Addr, std::deque<std::function<void()>>>
         lineWaiters_;
 
+    /** Retry timeout; 0 = recovery off. */
+    Tick retryTimeout_ = 0;
+    std::uint32_t maxRetries_ = 16;
+
     Counter hits_;
     Counter reqs_;
     /** Requests NAKed by the home and retried. */
     Counter pnaks_;
+    /** Timeout-driven retransmissions (recovery mode). */
+    Counter retries_;
+    /** Duplicate responses ignored (recovery mode). */
+    Counter dupRsps_;
     /** Request-to-completion round trip, ns. */
     Accumulator rtt_;
     /** In-flight transactions (MSHR occupancy), sampled per issue. */

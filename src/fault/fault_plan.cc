@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Fault plan parsing, rendering, and seeded random generation.
+ */
+
+#include "fault/fault_plan.hh"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "base/rng.hh"
+
+namespace enzian::fault {
+
+namespace {
+
+struct KindName
+{
+    FaultKind kind;
+    const char *name;
+};
+
+constexpr std::array<KindName, faultKindCount> kindNames = {{
+    {FaultKind::EciLaneFail, "eci-lane-fail"},
+    {FaultKind::EciLinkFlap, "eci-link-flap"},
+    {FaultKind::EciMsgDrop, "eci-msg-drop"},
+    {FaultKind::EciMsgCorrupt, "eci-msg-corrupt"},
+    {FaultKind::DramEccCorrectable, "dram-ecc-correctable"},
+    {FaultKind::DramEccUncorrectable, "dram-ecc-uncorrectable"},
+    {FaultKind::NetLoss, "net-loss"},
+    {FaultKind::NetReorder, "net-reorder"},
+    {FaultKind::RdmaDrop, "rdma-drop"},
+    {FaultKind::BmcRailGlitch, "bmc-rail-glitch"},
+}};
+
+double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+} // namespace
+
+const char *
+toString(FaultKind k)
+{
+    for (const auto &kn : kindNames) {
+        if (kn.kind == k)
+            return kn.name;
+    }
+    return "unknown";
+}
+
+std::optional<FaultKind>
+faultKindFromString(std::string_view s)
+{
+    for (const auto &kn : kindNames) {
+        if (s == kn.name)
+            return kn.kind;
+    }
+    return std::nullopt;
+}
+
+bool
+FaultSpec::probabilistic() const
+{
+    switch (kind) {
+      case FaultKind::EciMsgDrop:
+      case FaultKind::EciMsgCorrupt:
+      case FaultKind::DramEccCorrectable:
+      case FaultKind::DramEccUncorrectable:
+      case FaultKind::NetLoss:
+      case FaultKind::NetReorder:
+      case FaultKind::RdmaDrop:
+        return true;
+      case FaultKind::EciLaneFail:
+      case FaultKind::EciLinkFlap:
+      case FaultKind::BmcRailGlitch:
+        return false;
+    }
+    return false;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    char buf[192];
+    // %.6f renders microseconds to picosecond precision (Tick is
+    // integer ps) and %.17g round-trips doubles exactly, so a dumped
+    // plan reproduces the original injection schedule bit-for-bit.
+    std::snprintf(buf, sizeof(buf),
+                  "fault kind=%s at_us=%.6f until_us=%.6f prob=%.17g "
+                  "param=%.17g target=%u",
+                  fault::toString(kind), ticksToUs(at), ticksToUs(until),
+                  prob, param, target);
+    return buf;
+}
+
+std::optional<FaultPlan>
+FaultPlan::parse(std::istream &in, std::string &error)
+{
+    FaultPlan plan;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word))
+            continue; // blank / comment-only line
+        if (word == "seed") {
+            if (!(ls >> plan.seed)) {
+                error = "line " + std::to_string(lineno) +
+                        ": expected integer after 'seed'";
+                return std::nullopt;
+            }
+            continue;
+        }
+        if (word != "fault") {
+            error = "line " + std::to_string(lineno) +
+                    ": unknown directive '" + word + "'";
+            return std::nullopt;
+        }
+        FaultSpec spec;
+        bool haveKind = false;
+        std::string kv;
+        while (ls >> kv) {
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos) {
+                error = "line " + std::to_string(lineno) +
+                        ": expected key=value, got '" + kv + "'";
+                return std::nullopt;
+            }
+            const std::string key = kv.substr(0, eq);
+            const std::string val = kv.substr(eq + 1);
+            if (key == "kind") {
+                const auto k = faultKindFromString(val);
+                if (!k) {
+                    error = "line " + std::to_string(lineno) +
+                            ": unknown fault kind '" + val + "'";
+                    return std::nullopt;
+                }
+                spec.kind = *k;
+                haveKind = true;
+                continue;
+            }
+            char *end = nullptr;
+            const double num = std::strtod(val.c_str(), &end);
+            if (end == val.c_str() || *end != '\0') {
+                error = "line " + std::to_string(lineno) + ": bad value '" +
+                        val + "' for key '" + key + "'";
+                return std::nullopt;
+            }
+            if (key == "at_us") {
+                spec.at = units::us(num);
+            } else if (key == "until_us") {
+                spec.until = units::us(num);
+            } else if (key == "prob") {
+                spec.prob = num;
+            } else if (key == "param") {
+                spec.param = num;
+            } else if (key == "target") {
+                spec.target = static_cast<std::uint32_t>(num);
+            } else {
+                error = "line " + std::to_string(lineno) +
+                        ": unknown key '" + key + "'";
+                return std::nullopt;
+            }
+        }
+        if (!haveKind) {
+            error = "line " + std::to_string(lineno) +
+                    ": fault directive needs kind=...";
+            return std::nullopt;
+        }
+        if (spec.prob < 0.0 || spec.prob > 1.0) {
+            error = "line " + std::to_string(lineno) +
+                    ": prob must be in [0, 1]";
+            return std::nullopt;
+        }
+        plan.faults.push_back(spec);
+    }
+    return plan;
+}
+
+std::optional<FaultPlan>
+FaultPlan::parseFile(const std::string &path, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    return parse(in, error);
+}
+
+FaultPlan
+FaultPlan::random(std::uint64_t seed, double horizon_us)
+{
+    // A dedicated generator stream: plan shape must not depend on (or
+    // perturb) the injection-time draws, which use the subsystem
+    // streams forked from the same seed.
+    Rng rng(seed ^ 0xc4a05f4d13aa9137ull);
+    FaultPlan plan;
+    plan.seed = seed;
+    const auto nfaults = 2 + rng.below(4); // 2..5
+    for (std::uint64_t i = 0; i < nfaults; ++i) {
+        FaultSpec spec;
+        spec.kind = static_cast<FaultKind>(rng.below(faultKindCount));
+        // Probabilistic windows start somewhere in the first half of
+        // the horizon and close before it ends, so recovery has time
+        // to drain before the scenario's quiescent check.
+        const double start_us = rng.uniform(1.0, horizon_us * 0.5);
+        const double end_us = rng.uniform(start_us, horizon_us);
+        spec.at = units::us(start_us);
+        spec.until = units::us(end_us);
+        switch (spec.kind) {
+          case FaultKind::EciLaneFail:
+            spec.param = 1.0 + static_cast<double>(rng.below(4)); // lanes
+            spec.target = static_cast<std::uint32_t>(rng.below(2)); // link
+            break;
+          case FaultKind::EciLinkFlap:
+            spec.param = rng.uniform(2.0, 10.0); // down-time us
+            spec.target = static_cast<std::uint32_t>(rng.below(2));
+            break;
+          case FaultKind::EciMsgDrop:
+          case FaultKind::EciMsgCorrupt:
+            spec.prob = rng.uniform(0.01, 0.08);
+            break;
+          case FaultKind::DramEccCorrectable:
+            spec.prob = rng.uniform(0.01, 0.2);
+            spec.target = static_cast<std::uint32_t>(rng.below(2)); // node
+            break;
+          case FaultKind::DramEccUncorrectable:
+            spec.prob = rng.uniform(0.005, 0.05);
+            spec.target = static_cast<std::uint32_t>(rng.below(2));
+            break;
+          case FaultKind::NetLoss:
+            spec.prob = rng.uniform(0.02, 0.15);
+            break;
+          case FaultKind::NetReorder:
+            spec.prob = rng.uniform(0.02, 0.15);
+            spec.param = rng.uniform(5.0, 40.0); // reorder delay us
+            break;
+          case FaultKind::RdmaDrop:
+            spec.prob = rng.uniform(0.02, 0.12);
+            break;
+          case FaultKind::BmcRailGlitch:
+            spec.target = static_cast<std::uint32_t>(rng.below(2));
+            break;
+        }
+        plan.faults.push_back(spec);
+    }
+    return plan;
+}
+
+bool
+FaultPlan::hasKind(FaultKind k) const
+{
+    for (const auto &f : faults) {
+        if (f.kind == k)
+            return true;
+    }
+    return false;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::string out = "seed " + std::to_string(seed) + "\n";
+    for (const auto &f : faults)
+        out += f.toString() + "\n";
+    return out;
+}
+
+} // namespace enzian::fault

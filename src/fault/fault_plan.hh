@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fault plans: the declarative description of a fault-injection run.
+ *
+ * A FaultPlan is a seed plus a list of FaultSpecs. Each spec names a
+ * fault kind (the taxonomy spans the subsystems a real Enzian breaks
+ * in: ECI lanes and links, protocol messages, DRAM ECC, the Ethernet
+ * path, and power rails), a one-shot injection tick or a probabilistic
+ * window, and kind-specific magnitude/target fields. Plans are plain
+ * data: they can be parsed from a small text spec (tools/enzchaos),
+ * generated pseudo-randomly from a seed (the chaos soak test), and
+ * rendered back to text.
+ *
+ * Determinism contract: a plan + seed fully determines every injection
+ * decision. The injector derives one RNG stream per subsystem by
+ * mixing the plan seed with a fixed subsystem ordinal, so enabling a
+ * fault in one subsystem never perturbs another subsystem's draws.
+ */
+
+#ifndef ENZIAN_FAULT_FAULT_PLAN_HH
+#define ENZIAN_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace enzian::fault {
+
+/** The fault taxonomy. */
+enum class FaultKind : std::uint8_t {
+    EciLaneFail = 0,      ///< fail `param` lanes of link `target`
+    EciLinkFlap,          ///< link `target` down for `param` us
+    EciMsgDrop,           ///< drop ECI messages with prob in window
+    EciMsgCorrupt,        ///< corrupt (CRC-kill) with prob in window
+    DramEccCorrectable,   ///< correctable ECC hits on node `target`
+    DramEccUncorrectable, ///< uncorrectable ECC hits on node `target`
+    NetLoss,              ///< drop TCP segments/acks with prob
+    NetReorder,           ///< delay TCP segments with prob
+    RdmaDrop,             ///< drop RDMA requests/responses with prob
+    BmcRailGlitch,        ///< glitch power rail index `target`
+};
+
+/** Number of fault kinds (for per-kind accounting arrays). */
+constexpr std::size_t faultKindCount = 10;
+
+/** Readable kind name ("eci-msg-drop", ...). */
+const char *toString(FaultKind k);
+
+/** Parse a kind name; nullopt if unknown. */
+std::optional<FaultKind> faultKindFromString(std::string_view s);
+
+/** One fault declaration. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::EciMsgDrop;
+    /** Injection tick (one-shot kinds) or window start. */
+    Tick at = 0;
+    /** Window end for probabilistic kinds (0 = whole run). */
+    Tick until = 0;
+    /** Per-event probability (probabilistic kinds). */
+    double prob = 0.0;
+    /** Kind-specific magnitude (lanes to fail, flap down-time us). */
+    double param = 0.0;
+    /** Kind-specific target (link index, node 0/1, rail index). */
+    std::uint32_t target = 0;
+
+    /** True for kinds whose effect is a per-event probability. */
+    bool probabilistic() const;
+
+    /** One-line rendering, parseable back by FaultPlan::parse. */
+    std::string toString() const;
+};
+
+/** A seeded set of fault declarations. */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+    std::vector<FaultSpec> faults;
+
+    /**
+     * Parse a plan from text: one directive per line, '#' comments.
+     *
+     *   seed 42
+     *   fault kind=eci-msg-drop prob=0.05 at_us=10 until_us=300
+     *   fault kind=eci-lane-fail param=3 target=0 at_us=50
+     *
+     * @param error set to a human-readable reason on failure
+     */
+    static std::optional<FaultPlan> parse(std::istream &in,
+                                          std::string &error);
+
+    /** Parse from a file path. */
+    static std::optional<FaultPlan> parseFile(const std::string &path,
+                                              std::string &error);
+
+    /**
+     * Deterministic pseudo-random plan for chaos soaking: 2..5 faults
+     * drawn from the full taxonomy, windows confined to the first
+     * @p horizon_us so recovery always completes before the run
+     * drains.
+     */
+    static FaultPlan random(std::uint64_t seed,
+                            double horizon_us = 300.0);
+
+    /** True if any spec has kind @p k. */
+    bool hasKind(FaultKind k) const;
+
+    /** Render the plan in the parse() format. */
+    std::string toString() const;
+};
+
+} // namespace enzian::fault
+
+#endif // ENZIAN_FAULT_FAULT_PLAN_HH

@@ -28,6 +28,10 @@ DramChannel::DramChannel(std::string name, EventQueue &eq,
     stats().addCounter("requests", &reqs_);
     stats().addCounter("bytes", &bytes_);
     stats().addCounter("refreshes", &refreshes_);
+    stats().addCounter("ecc_correctable", &eccCorrectable_);
+    stats().addCounter("ecc_uncorrectable", &eccUncorrectable_);
+    stats().addCounter("ecc_scrubs", &eccScrubs_);
+    stats().addCounter("ecc_retries", &eccRetries_);
     stats().addAccumulator("latency_ns", &latency_);
     stats().addAccumulator("queue_wait_ns", &queueWait_);
     stats().addHistogram("latency_hist_ns", &latencyHist_);
@@ -43,12 +47,52 @@ DramChannel::access(Tick when, std::uint64_t bytes)
     const Tick start = std::max(when, busFreeAt_);
     const Tick stream = units::transferTicks(bytes, effBw_);
     busFreeAt_ = start + stream;
-    const Tick done = start + accessLatency_ + stream;
+    Tick done = start + accessLatency_ + stream;
     const double lat_ns = units::toNanos(done - when);
     latency_.sample(lat_ns);
     latencyHist_.sample(lat_ns);
     queueWait_.sample(units::toNanos(start - when));
     ENZIAN_SPAN(name(), "burst", start, done);
+    if (eccRng_)
+        done = applyEcc(done, bytes);
+    return done;
+}
+
+void
+DramChannel::armEcc(Rng *rng, const EccConfig &ecc)
+{
+    eccRng_ = rng;
+    ecc_ = ecc;
+}
+
+Tick
+DramChannel::applyEcc(Tick done, std::uint64_t bytes)
+{
+    // One draw per access keeps the stream independent of burst size.
+    const double p = eccRng_->uniform();
+    if (p < ecc_.uncorrectable_prob) {
+        // Uncorrectable: the controller replays the whole burst after
+        // a recovery stall. The retry succeeds (the model injects
+        // timing, never silent corruption).
+        eccUncorrectable_.inc();
+        eccRetries_.inc();
+        const Tick restart = busFreeAt_ + ecc_.retry_penalty;
+        const Tick stream = units::transferTicks(bytes, effBw_);
+        busFreeAt_ = restart + stream;
+        done = restart + accessLatency_ + stream;
+        ENZIAN_SPAN(name(), "ecc-retry", restart, done);
+        return done;
+    }
+    if (p < ecc_.uncorrectable_prob + ecc_.correctable_prob) {
+        // Correctable flip: data is fixed in flight; a demand scrub
+        // writes the corrected line back, briefly extending the bus.
+        eccCorrectable_.inc();
+        eccScrubs_.inc();
+        busFreeAt_ += ecc_.scrub_penalty;
+        done += ecc_.scrub_penalty;
+        ENZIAN_SPAN(name(), "ecc-scrub", done - ecc_.scrub_penalty,
+                    done);
+    }
     return done;
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/rng.hh"
 #include "base/stats.hh"
 #include "base/units.hh"
 #include "sim/sim_object.hh"
@@ -40,6 +41,19 @@ class DramChannel : public SimObject
         double efficiency = 0.80;
     };
 
+    /** ECC fault-injection parameters (all off by default). */
+    struct EccConfig
+    {
+        /** Per-access probability of a correctable flip. */
+        double correctable_prob = 0.0;
+        /** Per-access probability of an uncorrectable error. */
+        double uncorrectable_prob = 0.0;
+        /** Extra bus time to scrub after a corrected flip. */
+        Tick scrub_penalty = units::ns(120.0);
+        /** Bus stall before the retried burst of an uncorrectable. */
+        Tick retry_penalty = units::ns(400.0);
+    };
+
     DramChannel(std::string name, EventQueue &eq, const Config &cfg);
 
     /**
@@ -48,6 +62,26 @@ class DramChannel : public SimObject
      * when the last byte is available.
      */
     Tick access(Tick when, std::uint64_t bytes);
+
+    /**
+     * Arm ECC error injection drawing from @p rng (nullptr disarms).
+     * A correctable error costs a scrub penalty; an uncorrectable one
+     * forces a full retried burst. Timing-only: the retry always
+     * succeeds, so data integrity is preserved — the faults show up
+     * as latency tails and in the error accounting.
+     */
+    void armEcc(Rng *rng, const EccConfig &ecc);
+
+    std::uint64_t eccCorrectable() const
+    {
+        return eccCorrectable_.value();
+    }
+    std::uint64_t eccUncorrectable() const
+    {
+        return eccUncorrectable_.value();
+    }
+    std::uint64_t eccScrubs() const { return eccScrubs_.value(); }
+    std::uint64_t eccRetries() const { return eccRetries_.value(); }
 
     /**
      * Opt-in refresh modeling: every @p period (DDR4 tREFI, 7.8 us)
@@ -77,6 +111,7 @@ class DramChannel : public SimObject
 
   private:
     void onRefresh();
+    Tick applyEcc(Tick done, std::uint64_t bytes);
 
     Config cfg_;
     double peakBw_;
@@ -88,9 +123,16 @@ class DramChannel : public SimObject
     Tick refreshPenalty_ = 0;
     Tick refreshUntil_ = 0;
     Event refreshEv_;
+    /** ECC injection stream; nullptr = no injection (the default). */
+    Rng *eccRng_ = nullptr;
+    EccConfig ecc_;
     Counter reqs_;
     Counter bytes_;
     Counter refreshes_;
+    Counter eccCorrectable_;
+    Counter eccUncorrectable_;
+    Counter eccScrubs_;
+    Counter eccRetries_;
     Accumulator latency_;
     Accumulator queueWait_;
     Histogram latencyHist_{0.0, 1000.0, 50};

@@ -9,8 +9,10 @@
 
 #include "net/rdma_engine.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <optional>
 
 #include "base/logging.hh"
 #include "obs/span_tracer.hh"
@@ -22,17 +24,31 @@ namespace {
 std::uint32_t g_next_req_id = 1;
 std::unordered_map<std::uint32_t, RdmaTarget::WireRequest> g_requests;
 
-RdmaTarget::WireRequest
+/**
+ * Claim the metadata for @p id, or nullopt if the initiator has
+ * already abandoned it (timeout-based recovery re-issues under a
+ * fresh id and forgets the old one).
+ */
+std::optional<RdmaTarget::WireRequest>
 takeRequest(std::uint32_t id)
 {
     auto it = g_requests.find(id);
-    ENZIAN_ASSERT(it != g_requests.end(), "unknown RDMA request %u", id);
+    if (it == g_requests.end())
+        return std::nullopt;
     RdmaTarget::WireRequest req = std::move(it->second);
     g_requests.erase(it);
     return req;
 }
 
 std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> g_responses;
+
+/** Forget everything the registries hold about an abandoned id. */
+void
+dropRegistryEntries(std::uint32_t id)
+{
+    g_requests.erase(id);
+    g_responses.erase(id);
+}
 
 } // namespace
 
@@ -142,7 +158,16 @@ RdmaTarget::RdmaTarget(std::string name, EventQueue &eq, Switch &sw,
                     });
     stats().addCounter("requests_served", &served_);
     stats().addCounter("bytes", &bytes_);
+    stats().addCounter("stale_requests", &staleReqs_);
+    stats().addCounter("fault_responses_dropped", &rspsDropped_);
     stats().addAccumulator("service_ns", &service_);
+}
+
+void
+RdmaTarget::setFaults(Rng *rng, double response_drop_prob)
+{
+    faultRng_ = rng;
+    rspDropProb_ = response_drop_prob;
 }
 
 void
@@ -157,8 +182,15 @@ RdmaTarget::onFrame(Tick, std::uint64_t, std::uint64_t user)
 void
 RdmaTarget::serve(std::uint32_t req_id)
 {
+    auto taken = takeRequest(req_id);
+    if (!taken) {
+        // The initiator timed out and abandoned this id before we got
+        // to it; the retry arrives under a fresh id.
+        staleReqs_.inc();
+        return;
+    }
     served_.inc();
-    auto req = std::make_shared<WireRequest>(takeRequest(req_id));
+    auto req = std::make_shared<WireRequest>(std::move(*taken));
     bytes_.inc(req->len);
     const Tick t0 = now();
     if (req->op == RdmaOp::Read) {
@@ -169,6 +201,14 @@ RdmaTarget::serve(std::uint32_t req_id)
                       service_.sample(units::toNanos(t - t0));
                       ENZIAN_SPAN(name(), "read", t0, t);
                       g_responses[req_id] = std::move(*buf);
+                      if (faultRng_ && rspDropProb_ > 0.0 &&
+                          faultRng_->chance(rspDropProb_)) {
+                          // Lost on the wire; the payload entry is
+                          // reclaimed when the initiator abandons
+                          // this id on timeout.
+                          rspsDropped_.inc();
+                          return;
+                      }
                       sw_.sendFrom(cfg_.port,
                                    req->len + rdmaHeaderBytes,
                                    Switch::makeTag(req->srcPort,
@@ -179,6 +219,11 @@ RdmaTarget::serve(std::uint32_t req_id)
                    [this, req, req_id, t0](Tick t) {
                        service_.sample(units::toNanos(t - t0));
                        ENZIAN_SPAN(name(), "write", t0, t);
+                       if (faultRng_ && rspDropProb_ > 0.0 &&
+                           faultRng_->chance(rspDropProb_)) {
+                           rspsDropped_.inc();
+                           return;
+                       }
                        sw_.sendFrom(cfg_.port, rdmaHeaderBytes,
                                     Switch::makeTag(req->srcPort,
                                                     req_id));
@@ -197,36 +242,108 @@ RdmaInitiator::RdmaInitiator(std::string name, EventQueue &eq,
                            std::uint64_t tag) {
                         onFrame(when, payload, Switch::userOf(tag));
                     });
+    stats().addCounter("retries", &retries_);
+    stats().addCounter("fault_requests_dropped", &reqsDropped_);
+    stats().addCounter("stale_completions", &staleCompletions_);
+}
+
+void
+RdmaInitiator::enableRecovery(double timeout_us,
+                              std::uint32_t max_retries)
+{
+    recoveryTimeout_ = units::us(timeout_us);
+    maxRetries_ = max_retries;
+}
+
+void
+RdmaInitiator::setFaults(Rng *rng, double request_drop_prob)
+{
+    ENZIAN_ASSERT(recoveryTimeout_ || !rng || request_drop_prob == 0.0,
+                  "request drops without recovery would hang");
+    faultRng_ = rng;
+    reqDropProb_ = request_drop_prob;
 }
 
 void
 RdmaInitiator::read(Addr off, std::uint8_t *dst, std::uint64_t len,
                     Done done)
 {
-    RdmaTarget::WireRequest req;
-    req.op = RdmaOp::Read;
-    req.off = off;
-    req.len = len;
-    req.srcPort = port_;
-    const std::uint32_t id = RdmaTarget::registerRequest(std::move(req));
-    pending_[id] = Pending{dst, std::move(done)};
-    sw_.sendFrom(port_, rdmaHeaderBytes, Switch::makeTag(targetPort_, id));
+    Pending p;
+    p.dst = dst;
+    p.done = std::move(done);
+    p.op = RdmaOp::Read;
+    p.off = off;
+    p.len = len;
+    issue(std::move(p));
 }
 
 void
 RdmaInitiator::write(Addr off, const std::uint8_t *src, std::uint64_t len,
                      Done done)
 {
+    Pending p;
+    p.done = std::move(done);
+    p.op = RdmaOp::Write;
+    p.off = off;
+    p.len = len;
+    p.data.assign(src, src + len);
+    issue(std::move(p));
+}
+
+void
+RdmaInitiator::issue(Pending p)
+{
     RdmaTarget::WireRequest req;
-    req.op = RdmaOp::Write;
-    req.off = off;
-    req.len = len;
+    req.op = p.op;
+    req.off = p.off;
+    req.len = p.len;
     req.srcPort = port_;
-    req.data.assign(src, src + len);
+    if (p.op == RdmaOp::Write) {
+        if (recoveryTimeout_)
+            req.data = p.data; // keep the payload for retries
+        else
+            req.data = std::move(p.data);
+    }
     const std::uint32_t id = RdmaTarget::registerRequest(std::move(req));
-    pending_[id] = Pending{nullptr, std::move(done)};
-    sw_.sendFrom(port_, len + rdmaHeaderBytes,
-                 Switch::makeTag(targetPort_, id));
+    if (recoveryTimeout_) {
+        const Tick delay =
+            recoveryTimeout_ << std::min<std::uint32_t>(p.attempts, 4);
+        p.retryEv = eventq().scheduleDelta(
+            delay, [this, id]() { onTimeout(id); }, "rdma-retry");
+    }
+    const std::uint64_t frame =
+        (p.op == RdmaOp::Write ? p.len : 0) + rdmaHeaderBytes;
+    pending_.emplace(id, std::move(p));
+    // A dropped request never reaches the wire, but the bookkeeping
+    // above stays intact so the timeout recovers it.
+    if (faultRng_ && reqDropProb_ > 0.0 &&
+        faultRng_->chance(reqDropProb_)) {
+        reqsDropped_.inc();
+        return;
+    }
+    sw_.sendFrom(port_, frame, Switch::makeTag(targetPort_, id));
+}
+
+void
+RdmaInitiator::onTimeout(std::uint32_t id)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return; // completed; stale timer
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    ++p.attempts;
+    ENZIAN_ASSERT(p.attempts <= maxRetries_,
+                  "RDMA request %u unanswered after %u retries "
+                  "(livelock?)",
+                  id, p.attempts - 1);
+    retries_.inc();
+    // Abandon the old wire id entirely: whatever the registries still
+    // hold for it is dead, and any late completion is detectably
+    // stale. The retry runs under a fresh id so a slow serve of the
+    // old attempt can never satisfy (or corrupt) the new one.
+    dropRegistryEntries(id);
+    issue(std::move(p));
 }
 
 void
@@ -234,10 +351,17 @@ RdmaInitiator::onFrame(Tick when, std::uint64_t, std::uint64_t user)
 {
     const auto id = static_cast<std::uint32_t>(user);
     auto it = pending_.find(id);
+    if (it == pending_.end() && recoveryTimeout_) {
+        // A late completion of an attempt we already abandoned.
+        staleCompletions_.inc();
+        g_responses.erase(id);
+        return;
+    }
     ENZIAN_ASSERT(it != pending_.end(), "RDMA completion for unknown %u",
                   id);
     Pending p = std::move(it->second);
     pending_.erase(it);
+    eventq().cancel(p.retryEv);
     if (p.dst) {
         auto rit = g_responses.find(id);
         ENZIAN_ASSERT(rit != g_responses.end(),

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/rng.hh"
 #include "eci/remote_agent.hh"
 #include "net/switch.hh"
 #include "pcie/dma_engine.hh"
@@ -143,6 +144,20 @@ class RdmaTarget : public SimObject
 
     std::uint64_t requestsServed() const { return served_.value(); }
 
+    /**
+     * Inject response-loss faults drawing from @p rng (nullptr
+     * disarms): a served request's completion frame is dropped on the
+     * wire with @p response_drop_prob, leaving recovery to the
+     * initiator's timeout/retry machinery.
+     */
+    void setFaults(Rng *rng, double response_drop_prob);
+
+    std::uint64_t staleRequests() const { return staleReqs_.value(); }
+    std::uint64_t responsesDropped() const
+    {
+        return rspsDropped_.value();
+    }
+
     /** @internal registry shared with initiators (same process). */
     struct WireRequest
     {
@@ -164,8 +179,13 @@ class RdmaTarget : public SimObject
     Switch &sw_;
     MemoryPath &mem_;
     Config cfg_;
+    /** Response-drop fault stream; nullptr = no faults. */
+    Rng *faultRng_ = nullptr;
+    double rspDropProb_ = 0.0;
     Counter served_;
     Counter bytes_;
+    Counter staleReqs_;
+    Counter rspsDropped_;
     /** Dispatch-to-memory-completion service time, ns. */
     Accumulator service_;
 };
@@ -186,18 +206,64 @@ class RdmaInitiator : public SimObject
     void write(Addr off, const std::uint8_t *src, std::uint64_t len,
                Done done);
 
+    /**
+     * Arm timeout-based recovery: an unanswered request is abandoned
+     * after @p timeout_us (with exponential backoff per attempt) and
+     * re-issued under a FRESH wire id, so a late completion of the old
+     * attempt can never be mistaken for the retry's. Must be enabled
+     * before faults are injected anywhere on the RDMA path.
+     */
+    void enableRecovery(double timeout_us, std::uint32_t max_retries = 12);
+
+    /**
+     * Inject request-loss faults on this initiator drawing from
+     * @p rng (nullptr disarms). Requires enableRecovery() when
+     * @p request_drop_prob > 0 — there is no other loss recovery.
+     */
+    void setFaults(Rng *rng, double request_drop_prob);
+
+    std::uint64_t retriesSent() const { return retries_.value(); }
+    std::uint64_t requestsDropped() const
+    {
+        return reqsDropped_.value();
+    }
+    std::uint64_t staleCompletions() const
+    {
+        return staleCompletions_.value();
+    }
+
   private:
+    struct Pending
+    {
+        std::uint8_t *dst = nullptr;
+        Done done;
+        // -- recovery-mode state (unused when recovery is off) -----
+        RdmaOp op = RdmaOp::Read;
+        Addr off = 0;
+        std::uint64_t len = 0;
+        std::vector<std::uint8_t> data; // write payload kept for retry
+        EventId retryEv = 0;
+        std::uint32_t attempts = 0;
+    };
+
     void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
+    /** Register the wire request for @p p and put it on the wire. */
+    void issue(Pending p);
+    void onTimeout(std::uint32_t id);
 
     Switch &sw_;
     std::uint32_t port_;
     std::uint32_t targetPort_;
-    struct Pending
-    {
-        std::uint8_t *dst;
-        Done done;
-    };
     std::unordered_map<std::uint32_t, Pending> pending_;
+    /** Retry timeout (0 = recovery off, the default). */
+    Tick recoveryTimeout_ = 0;
+    std::uint32_t maxRetries_ = 12;
+    /** Request-drop fault stream; nullptr = no faults. */
+    Rng *faultRng_ = nullptr;
+    double reqDropProb_ = 0.0;
+    Counter retries_;
+    Counter reqsDropped_;
+    Counter staleCompletions_;
 };
 
 } // namespace enzian::net

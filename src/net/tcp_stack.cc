@@ -12,6 +12,43 @@
 
 namespace enzian::net {
 
+namespace {
+
+/**
+ * Sequenced segments carry a 32-bit wire id in the frame user field;
+ * the id resolves to the (seq, len) pair here. Entries are erased on
+ * delivery; fault-dropped segments are never registered, so the
+ * registry only ever holds frames in flight.
+ */
+struct WireSeg
+{
+    std::uint64_t seq;
+    std::uint64_t len; // 0 for cumulative acks (seq = ack point)
+};
+
+std::uint32_t g_next_seg_id = 1;
+std::unordered_map<std::uint32_t, WireSeg> g_segs;
+
+std::uint32_t
+registerSeg(std::uint64_t seq, std::uint64_t len)
+{
+    const std::uint32_t id = g_next_seg_id++;
+    g_segs.emplace(id, WireSeg{seq, len});
+    return id;
+}
+
+WireSeg
+takeSeg(std::uint32_t id)
+{
+    auto it = g_segs.find(id);
+    ENZIAN_ASSERT(it != g_segs.end(), "unknown wire segment %u", id);
+    WireSeg seg = it->second;
+    g_segs.erase(it);
+    return seg;
+}
+
+} // namespace
+
 TcpStack::TcpStack(std::string name, EventQueue &eq, Switch &sw,
                    const Config &cfg)
     : SimObject(std::move(name), eq), sw_(sw), cfg_(cfg),
@@ -28,7 +65,35 @@ TcpStack::TcpStack(std::string name, EventQueue &eq, Switch &sw,
     stats().addCounter("segments_rx", &segsRx_);
     stats().addCounter("bytes_tx", &bytesTx_);
     stats().addCounter("bytes_rx", &bytesRx_);
+    stats().addCounter("retransmits", &retransmits_);
+    stats().addCounter("rto_firings", &rtos_);
+    stats().addCounter("duplicate_acks", &dupAcks_);
+    stats().addCounter("duplicate_segments", &dupSegs_);
+    stats().addCounter("out_of_order_segments", &oooSegs_);
+    stats().addCounter("fault_segments_dropped", &segsDropped_);
+    stats().addCounter("fault_segments_reordered", &segsReordered_);
     stats().addAccumulator("send_latency_ns", &sendLatency_);
+}
+
+void
+TcpStack::enableReliable(double rto_us)
+{
+    ENZIAN_ASSERT(flows_.empty(),
+                  "enableReliable after flows were opened");
+    reliable_ = true;
+    rto_ = units::us(rto_us);
+}
+
+void
+TcpStack::setLossFaults(Rng *rng, double drop_prob,
+                        double reorder_prob, double reorder_delay_us)
+{
+    ENZIAN_ASSERT(reliable_ || !rng || drop_prob == 0.0,
+                  "loss faults on the lossless wire format would hang");
+    faultRng_ = rng;
+    dropProb_ = drop_prob;
+    reorderProb_ = reorder_prob;
+    reorderDelay_ = units::us(reorder_delay_us);
 }
 
 std::uint32_t
@@ -44,6 +109,15 @@ TcpStack::connect(TcpStack &remote)
     theirs.pumpEv.init(remote.eventq(),
                        [rs = &remote, id]() { rs->pump(id); },
                        "tcp-pump");
+    if (reliable_) {
+        ENZIAN_ASSERT(remote.reliable_,
+                      "reliable flow against a plain-format peer");
+        mine.rtoEv.init(eventq(), [this, id]() { onRto(id); },
+                        "tcp-rto");
+        theirs.rtoEv.init(remote.eventq(),
+                          [rs = &remote, id]() { rs->onRto(id); },
+                          "tcp-rto");
+    }
     return id;
 }
 
@@ -113,10 +187,92 @@ TcpStack::pump(std::uint32_t flow_id)
         f.inflight += seg;
         segsTx_.inc();
         bytesTx_.inc(seg);
-        sw_.sendFrom(cfg_.port, seg + tcpHeaderBytes,
-                     Switch::makeTag(f.remotePort,
-                                     makeUser(kindData, flow_id, seg)));
+        if (reliable_) {
+            const std::uint64_t seq = f.txNext;
+            f.txNext += seg;
+            f.sendQ.emplace_back(seq, seg);
+            xmitData(flow_id, f, seq, seg);
+            armRto(flow_id);
+        } else {
+            sw_.sendFrom(cfg_.port, seg + tcpHeaderBytes,
+                         Switch::makeTag(f.remotePort,
+                                         makeUser(kindData, flow_id,
+                                                  seg)));
+        }
     }
+}
+
+void
+TcpStack::xmitData(std::uint32_t flow_id, Flow &f, std::uint64_t seq,
+                   std::uint64_t len)
+{
+    // The drop decision comes first so a lost segment never enters
+    // the wire registry.
+    if (faultRng_ && dropProb_ > 0.0 && faultRng_->chance(dropProb_)) {
+        segsDropped_.inc();
+        return;
+    }
+    const std::uint32_t id = registerSeg(seq, len);
+    const std::uint64_t tag = Switch::makeTag(
+        f.remotePort, makeUser(kindDataSeq, flow_id, id));
+    const std::uint64_t frame = len + tcpHeaderBytes;
+    if (faultRng_ && reorderProb_ > 0.0 &&
+        faultRng_->chance(reorderProb_)) {
+        segsReordered_.inc();
+        eventq().scheduleDelta(
+            reorderDelay_,
+            [this, frame, tag]() { sw_.sendFrom(cfg_.port, frame, tag); },
+            "tcp-reorder");
+        return;
+    }
+    sw_.sendFrom(cfg_.port, frame, tag);
+}
+
+void
+TcpStack::sendCumAck(std::uint32_t flow_id, Flow &f)
+{
+    // Cumulative acks are drop-able too: the next one repairs it.
+    if (faultRng_ && dropProb_ > 0.0 && faultRng_->chance(dropProb_)) {
+        segsDropped_.inc();
+        return;
+    }
+    const std::uint32_t id = registerSeg(f.rxExpected, 0);
+    sw_.sendFrom(cfg_.port, tcpHeaderBytes,
+                 Switch::makeTag(f.remotePort,
+                                 makeUser(kindAckSeq, flow_id, id)));
+}
+
+void
+TcpStack::armRto(std::uint32_t flow_id)
+{
+    Flow &f = flows_.at(flow_id);
+    if (f.sendQ.empty()) {
+        f.rtoEv.cancel();
+        return;
+    }
+    if (f.rtoEv.scheduled())
+        return;
+    f.rtoEv.scheduleDelta(rto_
+                          << std::min<std::uint32_t>(f.rtoBackoff, 6));
+}
+
+void
+TcpStack::onRto(std::uint32_t flow_id)
+{
+    Flow &f = flows_.at(flow_id);
+    if (f.sendQ.empty())
+        return;
+    ++f.rtoBackoff;
+    ENZIAN_ASSERT(f.rtoBackoff < 64,
+                  "flow %u: retransmission not making progress",
+                  flow_id);
+    rtos_.inc();
+    retransmits_.inc();
+    // Go-back-N on the oldest unacked segment; the cumulative ack it
+    // provokes re-opens the window for everything after it.
+    const auto [seq, len] = f.sendQ.front();
+    xmitData(flow_id, f, seq, len);
+    armRto(flow_id);
 }
 
 void
@@ -128,13 +284,98 @@ TcpStack::onFrame(Tick when, std::uint64_t payload, std::uint64_t user)
         (user >> 32) & 0xfffff);
     const std::uint64_t len = user & 0xffffffffull;
     (void)when;
-    if (kind == kindData)
+    if (kind == kindData) {
         onData(flow_id, len);
-    else if (kind == kindAck)
+    } else if (kind == kindAck) {
         onAck(flow_id, len);
-    else
+    } else if (kind == kindDataSeq) {
+        const WireSeg seg = takeSeg(static_cast<std::uint32_t>(len));
+        onDataSeq(flow_id, seg.seq, seg.len);
+    } else if (kind == kindAckSeq) {
+        const WireSeg seg = takeSeg(static_cast<std::uint32_t>(len));
+        onAckSeq(flow_id, seg.seq);
+    } else {
         panic("TCP frame with bad kind %llu",
               static_cast<unsigned long long>(kind));
+    }
+}
+
+void
+TcpStack::onDataSeq(std::uint32_t flow_id, std::uint64_t seq,
+                    std::uint64_t len)
+{
+    ENZIAN_ASSERT(flows_.count(flow_id), "data for unknown flow %u",
+                  flow_id);
+    segsRx_.inc();
+    const Tick done_rx = now() + rxCost(len);
+    eventq().schedule(
+        done_rx,
+        [this, flow_id, seq, len]() {
+            Flow &fl = flows_.at(flow_id);
+            const std::uint64_t before = fl.rxExpected;
+            if (seq + len <= fl.rxExpected) {
+                // Already have all of it: a retransmission whose
+                // original ack got lost.
+                dupSegs_.inc();
+            } else if (seq > fl.rxExpected) {
+                // Hole before it: hold for reassembly.
+                oooSegs_.inc();
+                fl.ooo.emplace(seq, len);
+            } else {
+                fl.rxExpected = seq + len;
+                // Drain any held segments made contiguous.
+                auto it = fl.ooo.begin();
+                while (it != fl.ooo.end() &&
+                       it->first <= fl.rxExpected) {
+                    fl.rxExpected = std::max(fl.rxExpected,
+                                             it->first + it->second);
+                    it = fl.ooo.erase(it);
+                }
+            }
+            const std::uint64_t delivered = fl.rxExpected - before;
+            if (delivered > 0) {
+                fl.received += delivered;
+                bytesRx_.inc(delivered);
+                if (receiveCb_) {
+                    eventq().scheduleDelta(
+                        units::ns(cfg_.app_latency_ns),
+                        [this, flow_id, delivered]() {
+                            receiveCb_(flow_id, delivered);
+                        },
+                        "tcp-app-deliver");
+                }
+            }
+            // Every arrival provokes a cumulative ack; duplicates let
+            // the sender notice loss sooner and survive lost acks.
+            sendCumAck(flow_id, fl);
+        },
+        "tcp-rx-seq");
+}
+
+void
+TcpStack::onAckSeq(std::uint32_t flow_id, std::uint64_t cum)
+{
+    auto it = flows_.find(flow_id);
+    ENZIAN_ASSERT(it != flows_.end(), "ack for unknown flow %u",
+                  flow_id);
+    Flow &f = it->second;
+    if (cum <= f.ackedTo) {
+        dupAcks_.inc();
+        return;
+    }
+    const std::uint64_t newly = cum - f.ackedTo;
+    f.ackedTo = cum;
+    f.rtoBackoff = 0;
+    while (!f.sendQ.empty() &&
+           f.sendQ.front().first + f.sendQ.front().second <= cum) {
+        f.sendQ.pop_front();
+    }
+    f.rtoEv.cancel();
+    armRto(flow_id);
+    // Each byte is counted into inflight exactly once (first
+    // transmission) and acked exactly once (cumulative point is
+    // monotone), so the plain-format accounting applies unchanged.
+    onAck(flow_id, newly);
 }
 
 void

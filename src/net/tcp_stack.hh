@@ -26,8 +26,10 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <unordered_map>
 
+#include "base/rng.hh"
 #include "net/switch.hh"
 
 namespace enzian::net {
@@ -73,6 +75,28 @@ class TcpStack : public SimObject
     void setReceiveCallback(ReceiveCb cb) { receiveCb_ = std::move(cb); }
 
     /**
+     * Switch this stack to the sequenced/reliable wire format:
+     * segments carry sequence numbers, the receiver acks cumulatively
+     * and holds out-of-order arrivals, and a per-flow retransmission
+     * timer with exponential backoff recovers lost segments. Must be
+     * called before connect(), and on BOTH ends of every flow. The
+     * default (lossless-fabric) format is untouched when this is off.
+     */
+    void enableReliable(double rto_us = 150.0);
+
+    /**
+     * Inject loss/reorder faults on this stack's transmit side,
+     * drawing from @p rng (nullptr disarms). Requires the reliable
+     * mode when @p drop_prob > 0 — the plain format has no
+     * retransmission and would hang.
+     *
+     * @param reorder_delay_us extra delay a reordered segment incurs
+     */
+    void setLossFaults(Rng *rng, double drop_prob,
+                       double reorder_prob,
+                       double reorder_delay_us = 20.0);
+
+    /**
      * Open a flow to @p remote (handshake not modeled).
      * @return flow id valid at both stacks.
      */
@@ -90,6 +114,19 @@ class TcpStack : public SimObject
     const Config &config() const { return cfg_; }
 
     std::uint64_t segmentsSent() const { return segsTx_.value(); }
+    std::uint64_t retransmits() const { return retransmits_.value(); }
+    std::uint64_t rtoFirings() const { return rtos_.value(); }
+    std::uint64_t duplicateAcks() const { return dupAcks_.value(); }
+    std::uint64_t duplicateSegments() const { return dupSegs_.value(); }
+    std::uint64_t outOfOrderSegments() const { return oooSegs_.value(); }
+    std::uint64_t segmentsDropped() const
+    {
+        return segsDropped_.value();
+    }
+    std::uint64_t segmentsReordered() const
+    {
+        return segsReordered_.value();
+    }
 
   private:
     struct SendJob
@@ -110,10 +147,28 @@ class TcpStack : public SimObject
         /** Reusable pump event; re-armed whenever the pipeline or
          *  window forces the flow to wait. */
         Event pumpEv;
+
+        // -- reliable-mode state (unused in the default format) ----
+        std::uint64_t txNext = 0;  // next byte sequence to send
+        std::uint64_t ackedTo = 0; // cumulative ack received
+        /** Unacked segments (seq, len), oldest first. */
+        std::deque<std::pair<std::uint64_t, std::uint64_t>> sendQ;
+        std::uint32_t rtoBackoff = 0;
+        Event rtoEv;
+        std::uint64_t rxExpected = 0; // next in-order byte expected
+        /** Out-of-order arrivals held for reassembly: seq -> len. */
+        std::map<std::uint64_t, std::uint64_t> ooo;
     };
 
     /** Message kinds on the wire. */
-    enum : std::uint64_t { kindData = 1, kindAck = 2 };
+    enum : std::uint64_t {
+        kindData = 1,
+        kindAck = 2,
+        /** Sequenced variants (reliable mode); the 32-bit field is a
+         *  wire-segment id resolving to (seq, len). */
+        kindDataSeq = 3,
+        kindAckSeq = 4,
+    };
 
     static std::uint64_t
     makeUser(std::uint64_t kind, std::uint32_t flow, std::uint64_t len)
@@ -128,6 +183,17 @@ class TcpStack : public SimObject
     void onData(std::uint32_t flow_id, std::uint64_t len);
     void onAck(std::uint32_t flow_id, std::uint64_t len);
 
+    // -- reliable-mode machinery ----------------------------------
+    /** Transmit (or fault-drop/reorder) one sequenced segment. */
+    void xmitData(std::uint32_t flow_id, Flow &f, std::uint64_t seq,
+                  std::uint64_t len);
+    void sendCumAck(std::uint32_t flow_id, Flow &f);
+    void armRto(std::uint32_t flow_id);
+    void onRto(std::uint32_t flow_id);
+    void onDataSeq(std::uint32_t flow_id, std::uint64_t seq,
+                   std::uint64_t len);
+    void onAckSeq(std::uint32_t flow_id, std::uint64_t cum);
+
     Tick txCost(std::uint64_t payload) const;
     Tick rxCost(std::uint64_t payload) const;
 
@@ -138,10 +204,25 @@ class TcpStack : public SimObject
     std::uint32_t nextFlow_;
     /** Shared-pipeline availability (FPGA stack). */
     Tick pipeFreeAt_ = 0;
+    /** Reliable mode (sequence numbers + RTO); off by default. */
+    bool reliable_ = false;
+    Tick rto_ = 0;
+    /** Fault injection stream; nullptr = no faults. */
+    Rng *faultRng_ = nullptr;
+    double dropProb_ = 0.0;
+    double reorderProb_ = 0.0;
+    Tick reorderDelay_ = 0;
     Counter segsTx_;
     Counter segsRx_;
     Counter bytesTx_;
     Counter bytesRx_;
+    Counter retransmits_;
+    Counter rtos_;
+    Counter dupAcks_;
+    Counter dupSegs_;
+    Counter oooSegs_;
+    Counter segsDropped_;
+    Counter segsReordered_;
     /** Submit-to-last-ack latency per send job, ns. */
     Accumulator sendLatency_;
 };

@@ -63,6 +63,14 @@ ProtocolChecker::observe(const TraceRecord &rec)
       case Opcode::IOBST: {
         auto key = std::make_pair(src, m.tid);
         if (outstanding_.count(key)) {
+            if (retryTolerant_) {
+                // A retransmission of an in-flight request: do not
+                // re-apply its state transitions (an RWBD already
+                // moved the line to Invalid; replaying the dirty-state
+                // check would false-fail).
+                ++retransmits_;
+                return;
+            }
             fail(rec, format("tid %u reused while outstanding", m.tid));
         }
         outstanding_[key] = m.op;
@@ -90,6 +98,11 @@ ProtocolChecker::observe(const TraceRecord &rec)
         auto key = std::make_pair(dst, m.tid);
         auto it = outstanding_.find(key);
         if (it == outstanding_.end()) {
+            if (retryTolerant_) {
+                // A replayed response whose original already matched.
+                ++dupResponses_;
+                return;
+            }
             fail(rec, format("response without outstanding request"));
             return;
         }
@@ -119,8 +132,13 @@ ProtocolChecker::observe(const TraceRecord &rec)
       case Opcode::SINV:
       case Opcode::SFWD: {
         auto key = std::make_pair(src, m.tid);
-        if (snoops_.count(key))
+        if (snoops_.count(key)) {
+            if (retryTolerant_) {
+                ++retransmits_;
+                return;
+            }
             fail(rec, format("snoop tid %u reused", m.tid));
+        }
         snoops_[key] = m.op;
         return;
       }
@@ -129,6 +147,10 @@ ProtocolChecker::observe(const TraceRecord &rec)
         auto key = std::make_pair(dst, m.tid);
         auto it = snoops_.find(key);
         if (it == snoops_.end()) {
+            if (retryTolerant_) {
+                ++dupResponses_;
+                return;
+            }
             fail(rec, "snoop response without outstanding snoop");
             return;
         }

@@ -37,6 +37,21 @@ namespace enzian::trace {
 class ProtocolChecker
 {
   public:
+    /**
+     * Tolerate retransmission artifacts: duplicate request tids,
+     * responses with no outstanding request (a retry raced its
+     * original's reply), reused snoop tids, and duplicate snoop
+     * responses are counted instead of flagged. Used when checking
+     * traces captured under fault injection, where the recovery path
+     * legitimately re-sends messages with the same tid.
+     */
+    void setRetryTolerant(bool on) { retryTolerant_ = on; }
+
+    /** Duplicate requests/snoops tolerated (retry-tolerant mode). */
+    std::uint64_t retransmits() const { return retransmits_; }
+    /** Unmatched responses tolerated (retry-tolerant mode). */
+    std::uint64_t duplicateResponses() const { return dupResponses_; }
+
     /** Feed one message (in trace order). */
     void observe(const TraceRecord &rec);
 
@@ -72,6 +87,9 @@ class ProtocolChecker
     /** Outstanding snoops keyed by (home node, tid). */
     std::map<std::pair<int, std::uint32_t>, eci::Opcode> snoops_;
     std::vector<std::string> violations_;
+    bool retryTolerant_ = false;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t dupResponses_ = 0;
 };
 
 } // namespace enzian::trace

@@ -60,6 +60,14 @@ class InvariantMonitor
      */
     void attach(eci::EciFabric &fabric);
 
+    /**
+     * Tolerate retransmission artifacts (duplicate tids, replayed
+     * responses) in the underlying protocol checker. Required when
+     * monitoring a run with message-loss fault injection, where the
+     * agents' recovery path legitimately re-sends with the same tid.
+     */
+    void setRetryTolerant(bool on) { checker_.setRetryTolerant(on); }
+
     /** Feed one message (composable with other taps). */
     void observe(Tick when, const eci::EciMsg &msg);
 

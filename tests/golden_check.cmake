@@ -1,0 +1,25 @@
+# Runs one bench binary with ENZIAN_BENCH_DIR pointed at a scratch
+# directory and compares the metric JSON it emits against the
+# checked-in golden copy, byte for byte. Used by the golden_* ctest
+# entries to enforce that the fault-injection hooks are zero-overhead
+# (and zero-perturbation) when no plan is armed.
+#
+# Expected -D variables: BENCH (binary), METRICS (file name the bench
+# writes), GOLDEN (checked-in reference), WORK_DIR (scratch).
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(COMMAND ${CMAKE_COMMAND} -E env
+                        "ENZIAN_BENCH_DIR=${WORK_DIR}" "${BENCH}"
+                RESULT_VARIABLE bench_rc
+                OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} exited with ${bench_rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORK_DIR}/${METRICS}" "${GOLDEN}"
+                RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR
+            "${METRICS} diverges from golden ${GOLDEN}: the run is no "
+            "longer bit-identical with faults disabled")
+endif()

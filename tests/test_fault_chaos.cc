@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Chaos soak: randomized seeded fault schedules against a small
+ * EnzianMachine with the coherence invariant monitor attached. Every
+ * seed must finish with zero invariant violations, every acked write
+ * readable, and all side traffic delivered — i.e. every recoverable
+ * fault actually recovered.
+ *
+ * A companion determinism regression runs the same plan + seed twice
+ * and requires bit-identical observability output; heavier schedules
+ * live in test_fault_soak.cc under the `soak` ctest label.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/chaos_scenario.hh"
+#include "fault/fault_plan.hh"
+
+namespace enzian::fault {
+namespace {
+
+/** One small-footprint chaos run; returns the result for asserts. */
+ChaosResult
+runSeed(std::uint64_t seed)
+{
+    const FaultPlan plan = FaultPlan::random(seed);
+    ChaosConfig cfg;
+    cfg.seed = seed;
+    cfg.ops = 60;
+    cfg.lines = 8;
+    cfg.with_net = true;
+    cfg.with_rdma = true;
+    cfg.with_bmc = false;
+    return runChaos(plan, cfg);
+}
+
+TEST(FaultChaos, HundredRandomSchedulesSurvive)
+{
+    std::uint64_t total_injected = 0;
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        const ChaosResult r = runSeed(seed);
+        ASSERT_TRUE(r.ok)
+            << "seed " << seed << ": " << r.violations.front()
+            << "\nplan:\n"
+            << FaultPlan::random(seed).toString() << "\n"
+            << r.report;
+        EXPECT_EQ(r.opsCompleted, r.opsIssued) << "seed " << seed;
+        total_injected += r.faultsInjected;
+    }
+    // The taxonomy must actually fire across the sweep.
+    EXPECT_GT(total_injected, 100u);
+}
+
+TEST(FaultChaos, SamePlanAndSeedIsBitIdentical)
+{
+    const FaultPlan plan = FaultPlan::random(17);
+    ChaosConfig cfg;
+    cfg.seed = 17;
+    cfg.ops = 80;
+    cfg.lines = 8;
+    const ChaosResult a = runChaos(plan, cfg);
+    const ChaosResult b = runChaos(plan, cfg);
+    ASSERT_TRUE(a.ok) << a.violations.front();
+    ASSERT_TRUE(b.ok) << b.violations.front();
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.opsIssued, b.opsIssued);
+    EXPECT_EQ(a.report, b.report);
+    // The full stats registry — every counter, accumulator and
+    // histogram in the machine — must match byte-for-byte.
+    ASSERT_FALSE(a.registryJson.empty());
+    EXPECT_EQ(a.registryJson, b.registryJson);
+}
+
+TEST(FaultChaos, FaultFreePlanIsQuietAndClean)
+{
+    FaultPlan plan;
+    plan.seed = 23;
+    ChaosConfig cfg;
+    cfg.seed = 23;
+    cfg.ops = 80;
+    cfg.lines = 8;
+    const ChaosResult r = runChaos(plan, cfg);
+    ASSERT_TRUE(r.ok) << r.violations.front();
+    EXPECT_EQ(r.faultsInjected, 0u);
+    // And fault-free runs are deterministic too.
+    const ChaosResult r2 = runChaos(plan, cfg);
+    EXPECT_EQ(r.registryJson, r2.registryJson);
+}
+
+TEST(FaultChaos, EciLossPlanForcesRetries)
+{
+    FaultPlan plan;
+    plan.seed = 3;
+    FaultSpec s;
+    s.kind = FaultKind::EciMsgDrop;
+    s.prob = 0.05;
+    s.at = units::us(2.0);
+    s.until = 0; // whole run
+    plan.faults.push_back(s);
+    ChaosConfig cfg;
+    cfg.seed = 3;
+    cfg.ops = 120;
+    cfg.lines = 8;
+    cfg.with_net = false;
+    cfg.with_rdma = false;
+    const ChaosResult r = runChaos(plan, cfg);
+    ASSERT_TRUE(r.ok) << r.violations.front();
+    EXPECT_GT(r.faultsInjected, 0u);
+    EXPECT_EQ(r.opsCompleted, r.opsIssued);
+}
+
+} // namespace
+} // namespace enzian::fault

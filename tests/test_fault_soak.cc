@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Heavy chaos soak (ctest label `soak`): longer schedules, more
+ * traffic, BMC rail glitches in the mix. The base run keeps CI-sized
+ * seed counts; the nightly soak job scales up via ENZIAN_CHAOS_SEEDS
+ * (a multiplier on the seed count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fault/chaos_scenario.hh"
+#include "fault/fault_plan.hh"
+
+namespace enzian::fault {
+namespace {
+
+std::uint64_t
+seedMultiplier()
+{
+    const char *env = std::getenv("ENZIAN_CHAOS_SEEDS");
+    if (!env || !*env)
+        return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 1;
+}
+
+TEST(FaultSoak, HeavySchedulesWithFullSideTraffic)
+{
+    const std::uint64_t seeds = 4 * seedMultiplier();
+    for (std::uint64_t i = 0; i < seeds; ++i) {
+        // Offset the seed space away from the quick chaos sweep.
+        const std::uint64_t seed = 1000 + i;
+        const FaultPlan plan = FaultPlan::random(seed, 600.0);
+        ChaosConfig cfg;
+        cfg.seed = seed;
+        cfg.ops = 400;
+        cfg.lines = 32;
+        cfg.with_net = true;
+        cfg.with_rdma = true;
+        cfg.with_bmc = false;
+        const ChaosResult r = runChaos(plan, cfg);
+        ASSERT_TRUE(r.ok)
+            << "seed " << seed << ": " << r.violations.front()
+            << "\nplan:\n"
+            << plan.toString() << "\n"
+            << r.report;
+        EXPECT_EQ(r.opsCompleted, r.opsIssued) << "seed " << seed;
+    }
+}
+
+TEST(FaultSoak, RailGlitchesUnderCoherentLoad)
+{
+    const std::uint64_t seeds = 2 * seedMultiplier();
+    for (std::uint64_t i = 0; i < seeds; ++i) {
+        const std::uint64_t seed = 2000 + i;
+        FaultPlan plan = FaultPlan::random(seed);
+        FaultSpec glitch;
+        glitch.kind = FaultKind::BmcRailGlitch;
+        glitch.at = units::us(20.0);
+        glitch.target = static_cast<std::uint32_t>(i);
+        plan.faults.push_back(glitch);
+        ChaosConfig cfg;
+        cfg.seed = seed;
+        cfg.ops = 150;
+        cfg.lines = 16;
+        cfg.with_net = false;
+        cfg.with_rdma = false;
+        cfg.with_bmc = true;
+        const ChaosResult r = runChaos(plan, cfg);
+        ASSERT_TRUE(r.ok)
+            << "seed " << seed << ": " << r.violations.front()
+            << "\nplan:\n"
+            << plan.toString() << "\n"
+            << r.report;
+    }
+}
+
+} // namespace
+} // namespace enzian::fault

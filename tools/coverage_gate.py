@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage report + floor gate over an lcov trace.
+
+Reads an lcov .info file (as produced by `lcov --capture`), aggregates
+DA: line records per source directory, prints a coverage table, and
+enforces minimum line-coverage floors on selected directories. Used by
+the CI coverage job; no dependencies beyond the standard library.
+
+Usage:
+    coverage_gate.py coverage.info [--min DIR=PCT ...] [--prefix P]
+
+    --min src/fault=80   fail (exit 1) if src/fault is below 80% lines
+    --prefix /root/repo  strip this prefix from SF: paths first
+"""
+
+import argparse
+import collections
+import os
+import sys
+
+
+def parse_info(path):
+    """Return {source_file: {line: max_hits}} from an lcov trace."""
+    per_file = collections.defaultdict(dict)
+    current = None
+    with open(path, encoding="utf-8", errors="replace") as f:
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                current = line[3:]
+            elif line == "end_of_record":
+                current = None
+            elif current and line.startswith("DA:"):
+                try:
+                    lineno_s, hits_s = line[3:].split(",")[:2]
+                    lineno, hits = int(lineno_s), int(hits_s)
+                except ValueError:
+                    continue
+                prev = per_file[current].get(lineno, 0)
+                per_file[current][lineno] = max(prev, hits)
+    return per_file
+
+
+def directory_of(source, prefix):
+    if prefix and source.startswith(prefix):
+        source = source[len(prefix):].lstrip("/")
+    return os.path.dirname(source) or "."
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("info", help="lcov .info trace")
+    ap.add_argument("--min", action="append", default=[],
+                    metavar="DIR=PCT",
+                    help="minimum line coverage for a directory")
+    ap.add_argument("--prefix", default="",
+                    help="path prefix to strip from SF: records")
+    args = ap.parse_args()
+
+    floors = {}
+    for spec in args.min:
+        try:
+            d, pct = spec.rsplit("=", 1)
+            floors[d.rstrip("/")] = float(pct)
+        except ValueError:
+            ap.error(f"bad --min spec '{spec}' (want DIR=PCT)")
+
+    per_file = parse_info(args.info)
+    if not per_file:
+        print(f"coverage_gate: no records in {args.info}",
+              file=sys.stderr)
+        return 1
+
+    hit = collections.Counter()
+    total = collections.Counter()
+    for source, lines in per_file.items():
+        d = directory_of(source, args.prefix)
+        total[d] += len(lines)
+        hit[d] += sum(1 for h in lines.values() if h > 0)
+
+    width = max(len(d) for d in total)
+    print(f"{'directory'.ljust(width)}    lines     hit   cover")
+    for d in sorted(total):
+        pct = 100.0 * hit[d] / total[d] if total[d] else 0.0
+        print(f"{d.ljust(width)}  {total[d]:7d} {hit[d]:7d} "
+              f"{pct:6.1f}%")
+
+    failed = False
+    for d, floor in sorted(floors.items()):
+        if total[d] == 0:
+            print(f"coverage_gate: no lines recorded for '{d}'",
+                  file=sys.stderr)
+            failed = True
+            continue
+        pct = 100.0 * hit[d] / total[d]
+        status = "OK" if pct >= floor else "FAIL"
+        print(f"gate {d}: {pct:.1f}% (floor {floor:.0f}%) {status}")
+        if pct < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
