@@ -29,6 +29,22 @@
 namespace enzian::bench {
 
 /**
+ * Thread count requested via ENZIAN_THREADS (0 = unset = the classic
+ * single-queue machine). Every bench binary honors it through
+ * makeBenchMachine(), and BenchReport stamps it into the metrics JSON
+ * so a scaling sweep's artifacts are self-describing.
+ */
+inline std::uint32_t
+envThreads()
+{
+    const char *s = std::getenv("ENZIAN_THREADS");
+    if (!s || !*s)
+        return 0;
+    const long v = std::strtol(s, nullptr, 10);
+    return v > 0 ? static_cast<std::uint32_t>(v) : 0;
+}
+
+/**
  * Machine-readable companion to a bench's text output: named scalar
  * metrics accumulated during the run and written as
  * `BENCH_<name>.json` (into $ENZIAN_BENCH_DIR if set, else the
@@ -74,8 +90,13 @@ class BenchReport
             return;
         }
         f << "{\n  " << obs::json::quote("bench") << ": "
-          << obs::json::quote(name_) << ",\n  "
-          << obs::json::quote("metrics") << ": {";
+          << obs::json::quote(name_) << ",\n  ";
+        // Only stamped when explicitly requested, so default runs
+        // stay byte-identical to their golden files.
+        if (envThreads() > 0)
+            f << obs::json::quote("threads") << ": " << envThreads()
+              << ",\n  ";
+        f << obs::json::quote("metrics") << ": {";
         bool first = true;
         for (const auto &[metric, value] : metrics_) {
             f << (first ? "\n" : ",\n") << "    "
@@ -157,12 +178,68 @@ measureThroughputGiB(EventQueue &eq, std::uint64_t bytes,
            static_cast<double>(units::GiB);
 }
 
-/** Fresh small-memory Enzian for a measurement. */
+/**
+ * Latency of one transfer on a quiet machine (microseconds); drives
+ * the domain scheduler when the machine is parallel.
+ */
+inline double
+measureLatencyUs(platform::EnzianMachine &m, std::uint64_t bytes,
+                 const TransferFn &fn)
+{
+    const Tick start = m.now();
+    Tick end = 0;
+    bool done = false;
+    fn(bytes, [&](Tick t) {
+        end = t;
+        done = true;
+    });
+    m.run();
+    if (!done)
+        fatal("bench transfer never completed");
+    return units::toMicros(end - start);
+}
+
+/** Machine-driving variant of measureThroughputGiB (GiB/s). */
+inline double
+measureThroughputGiB(platform::EnzianMachine &m, std::uint64_t bytes,
+                     std::uint32_t runs, std::uint32_t inflight,
+                     const TransferFn &fn)
+{
+    const Tick start = m.now();
+    Tick last = 0;
+    std::uint32_t issued = 0, completed = 0;
+    std::function<void()> issue = [&]() {
+        if (issued >= runs)
+            return;
+        ++issued;
+        fn(bytes, [&](Tick t) {
+            last = std::max(last, t);
+            ++completed;
+            issue();
+        });
+    };
+    for (std::uint32_t i = 0; i < inflight && i < runs; ++i)
+        issue();
+    m.run();
+    if (completed != runs)
+        fatal("bench completed %u of %u transfers", completed, runs);
+    const double secs = units::toSeconds(last - start);
+    return static_cast<double>(bytes) * runs / secs /
+           static_cast<double>(units::GiB);
+}
+
+/**
+ * Fresh small-memory Enzian for a measurement. ENZIAN_THREADS turns
+ * the machine parallel unless the caller already chose a mode.
+ */
 inline std::unique_ptr<platform::EnzianMachine>
 makeBenchMachine(platform::EnzianMachine::Config cfg)
 {
     cfg.cpu_dram_bytes = 256ull << 20;
     cfg.fpga_dram_bytes = 256ull << 20;
+    if (cfg.threads == 0 && !cfg.shared_scheduler &&
+        !cfg.shared_eventq)
+        cfg.threads = envThreads();
     return std::make_unique<platform::EnzianMachine>(cfg);
 }
 

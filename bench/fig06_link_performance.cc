@@ -35,10 +35,10 @@ main()
             auto cfg = platform::enzianDefaultConfig();
             cfg.policy = eci::BalancePolicy::SingleLink; // one link
             auto m = makeBenchMachine(cfg);
-            lat[idx] = measureLatencyUs(m->eventq(), size,
+            lat[idx] = measureLatencyUs(*m, size,
                                         eciTransfer(*m, write));
             auto m2 = makeBenchMachine(cfg);
-            thr[idx] = measureThroughputGiB(m2->eventq(), size, 200, 4,
+            thr[idx] = measureThroughputGiB(*m2, size, 200, 4,
                                             eciTransfer(*m2, write));
             ++idx;
         }
@@ -75,11 +75,11 @@ main()
         auto cfg = platform::twoSocketThunderXConfig();
         auto m = makeBenchMachine(cfg);
         const double lat_ns =
-            measureLatencyUs(m->eventq(), 128, eciTransfer(*m, false)) *
+            measureLatencyUs(*m, 128, eciTransfer(*m, false)) *
             1000.0;
         auto m2 = makeBenchMachine(cfg);
         const double thr = measureThroughputGiB(
-            m2->eventq(), 16384, 400, 8, eciTransfer(*m2, true));
+            *m2, 16384, 400, 8, eciTransfer(*m2, true));
         std::printf("\n2-socket ThunderX-1 reference: %.0f ns latency, "
                     "%.1f GiB/s (paper: ~150 ns, 19 GiB/s)\n",
                     lat_ns, thr);

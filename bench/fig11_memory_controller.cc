@@ -47,7 +47,7 @@ verifyHardwareView()
                                 hw.data() + l * cache::lineSize,
                                 [&](Tick) { ++done; });
     }
-    m->eventq().run();
+    m->run();
     std::vector<std::uint8_t> sw(frame.pixels());
     accel::rgb2yReference(frame.rgba.data(), frame.pixels(),
                           sw.data());

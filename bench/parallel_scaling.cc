@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Parallel simulation scaling: events/sec vs worker thread count.
+ *
+ * Two Enzian machines (four timing domains) share one conservative
+ * domain scheduler and run a fig06-style bidirectional ECI workload:
+ * each machine's CPU streams cached writes into FPGA-homed lines
+ * while its FPGA streams uncached reads of CPU memory, with a fixed
+ * number of transfers in flight per direction. The identical workload
+ * runs at 1, 2 and 4 threads; simulated end time and event count must
+ * match bit-for-bit (conservative PDES is deterministic), only wall
+ * time may differ. Emits BENCH_parallel_scaling.json with events/sec
+ * per thread count and the t2/t4 speedups the CI floor guards.
+ *
+ * Note: speedups here reflect the host the bench runs on; on a
+ * single-core container every thread count measures ~1x.
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+
+#include "sim/domain_scheduler.hh"
+
+using namespace enzian;
+using namespace enzian::bench;
+
+namespace {
+
+constexpr std::uint32_t kOpsPerDirection = 60000;
+constexpr std::uint32_t kInflight = 512;
+constexpr std::uint32_t kPoolLines = 4096;
+
+struct RunResult
+{
+    double wallMs = 0.0;
+    std::uint64_t events = 0;
+    Tick simEnd = 0;
+};
+
+/**
+ * One self-reissuing direction of traffic. All bookkeeping lives in
+ * the domain the completions fire on (CPU domain for cpuRemote ops,
+ * FPGA domain for fpgaRemote ops), so no state crosses threads.
+ */
+struct Direction
+{
+    std::uint32_t issued = 0;
+    std::uint32_t completed = 0;
+    std::function<void()> issue;
+};
+
+void
+startTraffic(platform::EnzianMachine &m, Direction &cpu_dir,
+             Direction &fpga_dir)
+{
+    static std::vector<std::uint8_t> payload(cache::lineSize, 0xa5);
+
+    cpu_dir.issue = [&m, &cpu_dir]() {
+        if (cpu_dir.issued >= kOpsPerDirection)
+            return;
+        const std::uint32_t i = cpu_dir.issued++ % kPoolLines;
+        const Addr line = mem::AddressMap::fpgaDramBase +
+                          static_cast<Addr>(i) * cache::lineSize;
+        m.cpuRemote().writeLine(line, payload.data(),
+                                [&cpu_dir](Tick) {
+                                    ++cpu_dir.completed;
+                                    cpu_dir.issue();
+                                });
+    };
+    fpga_dir.issue = [&m, &fpga_dir]() {
+        if (fpga_dir.issued >= kOpsPerDirection)
+            return;
+        const std::uint32_t i = fpga_dir.issued++ % kPoolLines;
+        const Addr line = static_cast<Addr>(i) * cache::lineSize;
+        m.fpgaRemote().readLineUncached(line, nullptr,
+                                        [&fpga_dir](Tick) {
+                                            ++fpga_dir.completed;
+                                            fpga_dir.issue();
+                                        });
+    };
+    for (std::uint32_t i = 0; i < kInflight; ++i) {
+        cpu_dir.issue();
+        fpga_dir.issue();
+    }
+}
+
+RunResult
+runAt(std::uint32_t threads)
+{
+    auto cfg = platform::enzianDefaultConfig();
+    // Deep request pipelining: more live transactions per epoch means
+    // more work between barriers, which is what the threads share.
+    cfg.remote_agent.max_outstanding = kInflight;
+    const Tick lookahead = eci::EciLink::minCrossLatency(cfg.link);
+    sim::DomainScheduler sched("par.sched", lookahead, threads);
+
+    cfg.shared_scheduler = &sched;
+    cfg.name = "par0";
+    auto m0 = makeBenchMachine(cfg);
+    cfg.name = "par1";
+    auto m1 = makeBenchMachine(cfg);
+
+    Direction dirs[4];
+    startTraffic(*m0, dirs[0], dirs[1]);
+    startTraffic(*m1, dirs[2], dirs[3]);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    sched.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    for (const auto &d : dirs) {
+        if (d.completed != kOpsPerDirection)
+            fatal("scaling bench: %u of %u transfers completed",
+                  d.completed, kOpsPerDirection);
+    }
+    RunResult r;
+    r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0)
+                   .count();
+    r.events = sched.eventsExecuted();
+    r.simEnd = sched.now();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Parallel scaling: shared-scheduler ECI workload");
+    BenchReport rep("parallel_scaling");
+
+    const std::uint32_t counts[] = {1, 2, 4};
+    RunResult res[3];
+    std::printf("%8s %14s %12s %12s\n", "threads", "events", "wall_ms",
+                "events/s");
+    for (int i = 0; i < 3; ++i) {
+        res[i] = runAt(counts[i]);
+        const double eps = res[i].events / (res[i].wallMs / 1e3);
+        std::printf("%8u %14llu %12.1f %12.3g\n", counts[i],
+                    static_cast<unsigned long long>(res[i].events),
+                    res[i].wallMs, eps);
+        rep.add(format("eps_t%u", counts[i]), eps);
+        rep.add(format("wall_ms_t%u", counts[i]), res[i].wallMs);
+    }
+    // Determinism: the same simulation must have happened each time.
+    for (int i = 1; i < 3; ++i) {
+        if (res[i].events != res[0].events ||
+            res[i].simEnd != res[0].simEnd) {
+            fatal("scaling bench diverged at %u threads: %llu events "
+                  "@ %llu vs %llu @ %llu",
+                  counts[i],
+                  static_cast<unsigned long long>(res[i].events),
+                  static_cast<unsigned long long>(res[i].simEnd),
+                  static_cast<unsigned long long>(res[0].events),
+                  static_cast<unsigned long long>(res[0].simEnd));
+        }
+    }
+    rep.add("events_total", static_cast<double>(res[0].events));
+    rep.add("speedup_t2", res[0].wallMs / res[1].wallMs);
+    rep.add("speedup_t4", res[0].wallMs / res[2].wallMs);
+    std::printf("\nspeedup: t2 %.2fx, t4 %.2fx (identical simulation: "
+                "%llu events to t=%llu at every thread count)\n",
+                res[0].wallMs / res[1].wallMs,
+                res[0].wallMs / res[2].wallMs,
+                static_cast<unsigned long long>(res[0].events),
+                static_cast<unsigned long long>(res[0].simEnd));
+    return 0;
+}

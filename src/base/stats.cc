@@ -25,6 +25,27 @@ Accumulator::sample(double v)
     m2_ += delta * (v - mean_);
 }
 
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(count_);
+    const auto nb = static_cast<double>(other.count_);
+    const double n = na + nb;
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    mean_ += delta * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 Accumulator::stddev() const
 {
@@ -58,6 +79,19 @@ Histogram::sample(double v)
             idx = counts_.size() - 1; // fp edge case at hi_
         ++counts_[idx];
     }
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    ENZIAN_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                      counts_.size() == other.counts_.size(),
+                  "histogram merge with mismatched shape");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    count_ += other.count_;
 }
 
 double

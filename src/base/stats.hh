@@ -57,6 +57,14 @@ class Accumulator
     /** Record one sample. */
     void sample(double v);
 
+    /**
+     * Fold another accumulator's samples into this one, as if every
+     * sample of @p other had been recorded here. Variance combines via
+     * the parallel Welford formula (Chan et al.), so merging staged
+     * per-thread accumulators in a fixed order is deterministic.
+     */
+    void merge(const Accumulator &other);
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -90,6 +98,12 @@ class Histogram
 
     /** Record one sample. */
     void sample(double v);
+
+    /**
+     * Add another histogram's buckets into this one. Both histograms
+     * must have identical bounds and bucket counts.
+     */
+    void merge(const Histogram &other);
 
     std::uint64_t count() const { return count_; }
     std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }

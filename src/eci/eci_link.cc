@@ -9,6 +9,7 @@
 
 #include "base/logging.hh"
 #include "obs/span_tracer.hh"
+#include "sim/domain_scheduler.hh"
 
 namespace enzian::eci {
 
@@ -20,22 +21,116 @@ EciLink::EciLink(std::string name, EventQueue &eq, const Config &cfg)
         deliverQ_[dir].ev.init(
             eq, [this, dir] { deliverNext(dir); }, "eci-deliver");
     }
-    stats().addCounter("messages", &msgs_);
-    stats().addCounter("bytes", &bytes_);
-    stats().addCounter("fault_dropped", &dropped_);
-    stats().addCounter("fault_corrupted", &corrupted_);
+    stats().addCounter("messages", &agg_.msgs);
+    stats().addCounter("bytes", &agg_.bytes);
+    stats().addCounter("fault_dropped", &agg_.dropped);
+    stats().addCounter("fault_corrupted", &agg_.corrupted);
     stats().addCounter("lane_failures", &laneFails_);
     stats().addCounter("link_flaps", &flaps_);
     stats().addCounter("retrains", &retrains_);
     stats().addCounter("credits_reconciled", &creditsReconciled_);
-    stats().addAccumulator("latency_ns", &latency_);
-    stats().addAccumulator("ser_wait_ns", &serWait_);
-    stats().addHistogram("latency_hist_ns", &latencyHist_);
+    stats().addAccumulator("latency_ns", &agg_.latency);
+    stats().addAccumulator("ser_wait_ns", &agg_.serWait);
+    stats().addHistogram("latency_hist_ns", &agg_.hist);
     for (std::uint32_t vc = 0; vc < vcCount; ++vc) {
         stats().addAccumulator(
             format("vc_%s_latency_ns", toString(static_cast<Vc>(vc))),
-            &vcLatency_[vc]);
+            &agg_.vcLatency[vc]);
     }
+}
+
+Tick
+EciLink::minCrossLatency(const Config &cfg)
+{
+    // Same sum in both directions: sender engine + wire + receiver
+    // engine. Stream (serialization) time is excluded — it only adds
+    // latency, so excluding it stays conservative.
+    return units::ns(cfg.cpu_proc_ns + cfg.wire_latency_ns +
+                     cfg.fpga_proc_ns);
+}
+
+void
+EciLink::bindDomains(sim::DomainScheduler &sched,
+                     sim::TimingDomain &cpu_domain,
+                     sim::TimingDomain &fpga_domain)
+{
+    ENZIAN_ASSERT(sched.lookahead() <= minCrossLatency(cfg_),
+                  "scheduler lookahead exceeds the latency floor of "
+                  "link '%s'",
+                  name().c_str());
+    ENZIAN_ASSERT(!stage_, "link '%s' already bound to domains",
+                  name().c_str());
+    stage_ = std::make_unique<std::array<TxStats, 2>>();
+    const auto cpu = static_cast<std::size_t>(mem::NodeId::Cpu);
+    const auto fpga = static_cast<std::size_t>(mem::NodeId::Fpga);
+    dirClock_[cpu] = &cpu_domain.queue();
+    dirClock_[fpga] = &fpga_domain.queue();
+    dirChan_[cpu] = &sched.channel(cpu_domain, fpga_domain);
+    dirChan_[fpga] = &sched.channel(fpga_domain, cpu_domain);
+    sched.addBarrierTask([this] { foldDomainState(); });
+}
+
+void
+EciLink::TxStats::foldInto(TxStats &agg)
+{
+    agg.msgs.inc(msgs.value());
+    agg.bytes.inc(bytes.value());
+    agg.dropped.inc(dropped.value());
+    agg.corrupted.inc(corrupted.value());
+    agg.latency.merge(latency);
+    agg.serWait.merge(serWait);
+    agg.hist.merge(hist);
+    for (std::size_t vc = 0; vc < vcLatency.size(); ++vc)
+        agg.vcLatency[vc].merge(vcLatency[vc]);
+    msgs.reset();
+    bytes.reset();
+    dropped.reset();
+    corrupted.reset();
+    latency.reset();
+    serWait.reset();
+    hist.reset();
+    for (auto &a : vcLatency)
+        a.reset();
+}
+
+void
+EciLink::foldDomainState()
+{
+    // Direction 0 (CPU-sourced) folds first, always: the aggregate is
+    // then independent of which thread ran which domain.
+    (*stage_)[0].foldInto(agg_);
+    (*stage_)[1].foldInto(agg_);
+    flushTaps();
+}
+
+void
+EciLink::flushTaps()
+{
+    auto &a = tapStage_[0];
+    auto &b = tapStage_[1];
+    if (a.empty() && b.empty())
+        return;
+    if (tap_) {
+        // Each stage is sorted by send tick already (sends within a
+        // domain are monotone); merge with ties broken toward
+        // direction 0 for a fixed observation order.
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < a.size() || j < b.size()) {
+            const bool take_a =
+                j >= b.size() ||
+                (i < a.size() && a[i].first <= b[j].first);
+            if (take_a) {
+                tap_(a[i].first, a[i].second);
+                ++i;
+            } else {
+                tap_(b[j].first, b[j].second);
+                ++j;
+            }
+        }
+    }
+    a.clear();
+    b.clear();
 }
 
 void
@@ -69,38 +164,56 @@ EciLink::procLatency(mem::NodeId node) const
 Tick
 EciLink::busFreeAt(mem::NodeId src_node) const
 {
-    return busFreeAt_[static_cast<std::size_t>(src_node)];
+    return busFreeAt_[static_cast<std::size_t>(src_node)].v;
+}
+
+EciLink::TxTiming
+EciLink::txTiming(Tick tnow, const EciMsg &msg)
+{
+    // Sender-side processing, then wait for the serializer, stream the
+    // message out, cross the wire, then receiver-side processing.
+    const auto dir = static_cast<std::size_t>(msg.src);
+    TxTiming t;
+    t.serReady = tnow + procLatency(msg.src);
+    t.start = std::max(t.serReady, busFreeAt_[dir].v);
+    t.stream = units::transferTicks(msg.wireBytes(), effBw_);
+    busFreeAt_[dir].v = t.start + t.stream;
+    t.delivery = t.start + t.stream + units::ns(cfg_.wire_latency_ns) +
+                 procLatency(msg.dst);
+    return t;
+}
+
+void
+EciLink::recordTx(std::size_t dir, Tick tnow, const EciMsg &msg,
+                  const TxTiming &t)
+{
+    TxStats &s = txStats(dir);
+    s.msgs.inc();
+    s.bytes.inc(msg.wireBytes());
+    const double lat_ns = units::toNanos(t.delivery - tnow);
+    s.latency.sample(lat_ns);
+    s.hist.sample(lat_ns);
+    s.serWait.sample(units::toNanos(t.start - t.serReady));
+    s.vcLatency[static_cast<std::size_t>(vcOf(msg.op))].sample(lat_ns);
 }
 
 Tick
 EciLink::send(const EciMsg &msg)
 {
+    if (stage_)
+        return sendDomain(msg);
     const auto dir = static_cast<std::size_t>(msg.src);
     if (fault_) {
         const FaultAction act = fault_(now(), msg);
         if (act != FaultAction::Deliver)
-            return sendFaulted(msg, act);
+            return sendFaulted(now(), msg, act);
     }
-    msgs_.inc();
-    bytes_.inc(msg.wireBytes());
     if (tap_)
         tap_(now(), msg);
 
-    // Sender-side processing, then wait for the serializer, stream the
-    // message out, cross the wire, then receiver-side processing.
-    const Tick ser_ready = now() + procLatency(msg.src);
-    const Tick start = std::max(ser_ready, busFreeAt_[dir]);
-    const Tick stream = units::transferTicks(msg.wireBytes(), effBw_);
-    busFreeAt_[dir] = start + stream;
-    const Tick delivery = start + stream + units::ns(cfg_.wire_latency_ns)
-                          + procLatency(msg.dst);
-
-    const double lat_ns = units::toNanos(delivery - now());
-    latency_.sample(lat_ns);
-    latencyHist_.sample(lat_ns);
-    serWait_.sample(units::toNanos(start - ser_ready));
-    vcLatency_[static_cast<std::size_t>(vcOf(msg.op))].sample(lat_ns);
-    ENZIAN_SPAN(name(), toString(msg.op), start, delivery);
+    const TxTiming t = txTiming(now(), msg);
+    recordTx(dir, now(), msg, t);
+    ENZIAN_SPAN(name(), toString(msg.op), t.start, t.delivery);
 
     Handler &h = handlers_[static_cast<std::size_t>(msg.dst)];
     ENZIAN_ASSERT(h, "no receiver registered for node %s on %s",
@@ -111,41 +224,84 @@ EciLink::send(const EciMsg &msg)
     // event drain it. Fall back to a one-shot for the (src == dst)
     // corner where the receiver-side latency breaks monotonicity.
     DeliveryQueue &q = deliverQ_[dir];
-    if (!q.fifo.empty() && delivery < q.fifo.back().first) {
+    if (!q.fifo.empty() && t.delivery < q.fifo.back().first) {
         EciMsg copy = msg;
         eventq().schedule(
-            delivery, [this, copy]() {
+            t.delivery, [this, copy]() {
                 handlers_[static_cast<std::size_t>(copy.dst)](copy);
             },
             "eci-deliver-ooo");
-        return delivery;
+        return t.delivery;
     }
-    q.fifo.emplace_back(delivery, msg);
+    q.fifo.emplace_back(t.delivery, msg);
     if (!q.ev.scheduled())
         q.ev.schedule(q.fifo.front().first);
-    return delivery;
+    return t.delivery;
 }
 
 Tick
-EciLink::sendFaulted(const EciMsg &msg, FaultAction act)
+EciLink::sendDomain(const EciMsg &msg)
+{
+    // Parallel path: time comes from the sending direction's domain
+    // clock, statistics go to that direction's stage, and delivery
+    // crosses through the scheduler's mailbox so the destination
+    // domain schedules it at the epoch barrier.
+    const auto dir = static_cast<std::size_t>(msg.src);
+    const Tick tnow = dirClock_[dir]->now();
+    if (fault_) {
+        const FaultAction act = fault_(tnow, msg);
+        if (act != FaultAction::Deliver)
+            return sendFaulted(tnow, msg, act);
+    }
+    if (tap_)
+        tapStage_[dir].emplace_back(tnow, msg);
+
+    const TxTiming t = txTiming(tnow, msg);
+    recordTx(dir, tnow, msg, t);
+    ENZIAN_SPAN(name(), toString(msg.op), t.start, t.delivery);
+
+    Handler &h = handlers_[static_cast<std::size_t>(msg.dst)];
+    ENZIAN_ASSERT(h, "no receiver registered for node %s on %s",
+                  mem::toString(msg.dst), name().c_str());
+
+    const EciMsg copy = msg;
+    if (msg.dst == msg.src) {
+        // Loopback stays inside the sending domain.
+        dirClock_[dir]->schedule(
+            t.delivery,
+            [this, copy]() {
+                handlers_[static_cast<std::size_t>(copy.dst)](copy);
+            },
+            "eci-deliver-local");
+        return t.delivery;
+    }
+    dirChan_[dir]->push(t.delivery, [this, copy]() {
+        handlers_[static_cast<std::size_t>(copy.dst)](copy);
+    });
+    return t.delivery;
+}
+
+Tick
+EciLink::sendFaulted(Tick tnow, const EciMsg &msg, FaultAction act)
 {
     // The bits still went out: the serializer is occupied as usual.
     // A corrupted message reaches the far side but fails its CRC and
     // is discarded there, which is operationally identical to a drop;
     // we account the two separately. Neither reaches the tap — a real
     // capture would never see the message arrive.
-    msgs_.inc();
-    bytes_.inc(msg.wireBytes());
-    const Tick ser_ready = now() + procLatency(msg.src);
     const auto dir = static_cast<std::size_t>(msg.src);
-    const Tick start = std::max(ser_ready, busFreeAt_[dir]);
+    TxStats &s = txStats(dir);
+    s.msgs.inc();
+    s.bytes.inc(msg.wireBytes());
+    const Tick ser_ready = tnow + procLatency(msg.src);
+    const Tick start = std::max(ser_ready, busFreeAt_[dir].v);
     const Tick stream = units::transferTicks(msg.wireBytes(), effBw_);
-    busFreeAt_[dir] = start + stream;
+    busFreeAt_[dir].v = start + stream;
     if (act == FaultAction::Drop) {
-        dropped_.inc();
+        s.dropped.inc();
         ENZIAN_SPAN(name(), "fault-drop", start, start + stream);
     } else {
-        corrupted_.inc();
+        s.corrupted.inc();
         ENZIAN_SPAN(name(), "fault-corrupt", start, start + stream);
     }
     return start + stream;
@@ -196,7 +352,7 @@ EciLink::beginRetrain(Tick duration)
     retrainEndsAt_ = std::max(retrainEndsAt_, now() + duration);
     // No traffic serializes until the lanes are aligned again.
     for (auto &free_at : busFreeAt_)
-        free_at = std::max(free_at, retrainEndsAt_);
+        free_at.v = std::max(free_at.v, retrainEndsAt_);
     ENZIAN_SPAN(name(), "retrain", now(), retrainEndsAt_);
 }
 
@@ -258,6 +414,16 @@ EciFabric::setTap(EciLink::Tap tap)
         l->setTap(tap);
 }
 
+void
+EciFabric::bindDomains(sim::DomainScheduler &sched,
+                       sim::TimingDomain &cpu_domain,
+                       sim::TimingDomain &fpga_domain)
+{
+    domainMode_ = true;
+    for (auto &l : links_)
+        l->bindDomains(sched, cpu_domain, fpga_domain);
+}
+
 std::uint32_t
 EciFabric::pickLink(const EciMsg &msg)
 {
@@ -268,6 +434,10 @@ EciFabric::pickLink(const EciMsg &msg)
       case BalancePolicy::SingleLink:
         return 0;
       case BalancePolicy::RoundRobin:
+        // Domain mode: one counter per direction so the two sending
+        // domains never share mutable state.
+        if (domainMode_)
+            return rrDir_[static_cast<std::size_t>(msg.src)]++ % n;
         return rr_++ % n;
       case BalancePolicy::AddressHash: {
         // Mix the line address so striding patterns spread evenly.

@@ -24,6 +24,12 @@
 #include "eci/eci_msg.hh"
 #include "sim/sim_object.hh"
 
+namespace enzian::sim {
+class CrossDomainChannel;
+class DomainScheduler;
+class TimingDomain;
+} // namespace enzian::sim
+
 namespace enzian::eci {
 
 /** One 12-lane (configurable) full-duplex ECI link. */
@@ -71,6 +77,29 @@ class EciLink : public SimObject
 
     EciLink(std::string name, EventQueue &eq, const Config &cfg);
 
+    /**
+     * Minimum cross-node latency any message on a link with @p cfg
+     * can experience: sender processing + wire flight + receiver
+     * processing (the serializer stream time comes on top). This is
+     * the conservative lookahead bound parallel simulation relies on.
+     */
+    static Tick minCrossLatency(const Config &cfg);
+
+    /**
+     * Switch the link into parallel domain mode: each direction reads
+     * time from its source domain's clock, deliveries cross through
+     * the scheduler's channels, and per-direction staged statistics
+     * and trace taps are folded/flushed deterministically at every
+     * epoch barrier. Must be called before the scheduler starts.
+     * Lane-failure/flap/retrain APIs are not supported in this mode.
+     */
+    void bindDomains(sim::DomainScheduler &sched,
+                     sim::TimingDomain &cpu_domain,
+                     sim::TimingDomain &fpga_domain);
+
+    /** True once bindDomains() has been called. */
+    bool domainMode() const { return stage_ != nullptr; }
+
     /** Register the message handler for node @p node. */
     void setReceiver(mem::NodeId node, Handler h);
 
@@ -114,10 +143,16 @@ class EciLink : public SimObject
 
     std::uint32_t lanes() const { return cfg_.lanes; }
 
-    std::uint64_t messagesSent() const { return msgs_.value(); }
-    std::uint64_t bytesSent() const { return bytes_.value(); }
-    std::uint64_t messagesDropped() const { return dropped_.value(); }
-    std::uint64_t messagesCorrupted() const { return corrupted_.value(); }
+    std::uint64_t messagesSent() const { return agg_.msgs.value(); }
+    std::uint64_t bytesSent() const { return agg_.bytes.value(); }
+    std::uint64_t messagesDropped() const
+    {
+        return agg_.dropped.value();
+    }
+    std::uint64_t messagesCorrupted() const
+    {
+        return agg_.corrupted.value();
+    }
     std::uint64_t laneFailures() const { return laneFails_.value(); }
     std::uint64_t linkFlaps() const { return flaps_.value(); }
     std::uint64_t retrains() const { return retrains_.value(); }
@@ -130,19 +165,61 @@ class EciLink : public SimObject
     Tick busFreeAt(mem::NodeId src_node) const;
 
     /** End-to-end message latency (send to delivery), in ns. */
-    const Accumulator &latency() const { return latency_; }
+    const Accumulator &latency() const { return agg_.latency; }
     /** Latency accumulator for one VC, in ns. */
     const Accumulator &vcLatency(Vc vc) const
     {
-        return vcLatency_[static_cast<std::size_t>(vc)];
+        return agg_.vcLatency[static_cast<std::size_t>(vc)];
     }
 
   private:
+    /** Ticks computed for one transmission. */
+    struct TxTiming
+    {
+        Tick serReady;
+        Tick start;
+        Tick stream;
+        Tick delivery;
+    };
+
+    /**
+     * Per-direction transmission statistics. In single-queue mode
+     * every send samples agg_ directly; in domain mode each direction
+     * samples its own stage (touched only by the source domain's
+     * thread) and the stages fold into agg_ at every epoch barrier,
+     * direction 0 first — a fixed order, so the folded values are
+     * bit-identical for any thread count.
+     */
+    struct TxStats
+    {
+        Counter msgs;
+        Counter bytes;
+        Counter dropped;
+        Counter corrupted;
+        Accumulator latency;
+        Accumulator serWait;
+        Histogram hist{0.0, 4000.0, 80};
+        std::array<Accumulator, vcCount> vcLatency;
+
+        /** Move this stage's samples into @p agg and reset it. */
+        void foldInto(TxStats &agg);
+    };
+
     void recomputeBandwidth();
     Tick procLatency(mem::NodeId node) const;
     void deliverNext(std::size_t dir);
-    Tick sendFaulted(const EciMsg &msg, FaultAction act);
+    Tick sendDomain(const EciMsg &msg);
+    Tick sendFaulted(Tick tnow, const EciMsg &msg, FaultAction act);
     void beginRetrain(Tick duration);
+    TxTiming txTiming(Tick tnow, const EciMsg &msg);
+    void recordTx(std::size_t dir, Tick tnow, const EciMsg &msg,
+                  const TxTiming &t);
+    TxStats &txStats(std::size_t dir)
+    {
+        return stage_ ? (*stage_)[dir] : agg_;
+    }
+    void foldDomainState();
+    void flushTaps();
 
     /**
      * Per-direction delivery pipeline. The serializer is FIFO, so
@@ -156,31 +233,40 @@ class EciLink : public SimObject
         Event ev;
     };
 
+    /** Cache-line-isolated per-direction serializer occupancy, so
+     *  two domain threads sending concurrently don't false-share. */
+    struct alignas(64) DirTick
+    {
+        Tick v = 0;
+    };
+
     Config cfg_;
     double effBw_ = 0;
     /** Serializer occupancy per direction, indexed by source node. */
-    std::array<Tick, 2> busFreeAt_{0, 0};
+    std::array<DirTick, 2> busFreeAt_;
     std::array<Handler, 2> handlers_;
     std::array<DeliveryQueue, 2> deliverQ_;
     Tap tap_;
     FaultFilter fault_;
     /** Tick the current retrain (if any) completes. */
     Tick retrainEndsAt_ = 0;
-    Counter msgs_;
-    Counter bytes_;
-    Counter dropped_;
-    Counter corrupted_;
     Counter laneFails_;
     Counter flaps_;
     Counter retrains_;
     Counter creditsReconciled_;
-    /** Send-to-delivery latency (ns), overall and per VC. */
-    Accumulator latency_;
-    std::array<Accumulator, vcCount> vcLatency_;
-    /** Same distribution with quantiles, for tail reporting. */
-    Histogram latencyHist_{0.0, 4000.0, 80};
-    /** Time spent waiting for the serializer (queueing), ns. */
-    Accumulator serWait_;
+    /** Aggregate tx statistics (the registered/reported view). */
+    TxStats agg_;
+
+    // --- parallel domain mode state (null/empty in legacy mode) ----
+    /** Per-direction staged stats; allocation doubles as the flag. */
+    std::unique_ptr<std::array<TxStats, 2>> stage_;
+    /** Source-domain clock per direction (indexed by msg.src). */
+    std::array<EventQueue *, 2> dirClock_{nullptr, nullptr};
+    /** Outbound mailbox per direction (indexed by msg.src). */
+    std::array<sim::CrossDomainChannel *, 2> dirChan_{nullptr,
+                                                     nullptr};
+    /** Per-direction buffered tap events, flushed at barriers. */
+    std::array<std::vector<std::pair<Tick, EciMsg>>, 2> tapStage_;
 };
 
 /** Policy for spreading traffic over the two links. */
@@ -211,6 +297,16 @@ class EciFabric : public SimObject
     /** Install a trace tap on all links. */
     void setTap(EciLink::Tap tap);
 
+    /**
+     * Switch every link into parallel domain mode (see
+     * EciLink::bindDomains). Round-robin balancing becomes
+     * per-direction so each domain picks links without sharing a
+     * counter.
+     */
+    void bindDomains(sim::DomainScheduler &sched,
+                     sim::TimingDomain &cpu_domain,
+                     sim::TimingDomain &fpga_domain);
+
     /** Send through the link selected by the policy. */
     Tick send(const EciMsg &msg);
 
@@ -231,7 +327,10 @@ class EciFabric : public SimObject
 
     std::vector<std::unique_ptr<EciLink>> links_;
     BalancePolicy policy_;
+    bool domainMode_ = false;
     std::uint32_t rr_ = 0;
+    /** Per-direction round-robin counters for domain mode. */
+    std::array<std::uint32_t, 2> rrDir_{0, 0};
 };
 
 } // namespace enzian::eci

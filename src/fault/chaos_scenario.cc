@@ -18,6 +18,7 @@
 #include "net/tcp_stack.hh"
 #include "obs/registry.hh"
 #include "platform/enzian_machine.hh"
+#include "sim/domain_scheduler.hh"
 #include "verif/invariant_monitor.hh"
 
 namespace enzian::fault {
@@ -46,20 +47,46 @@ struct Pool
     Addr lineAt(std::uint32_t i) const { return base + i * lineBytes; }
 };
 
-} // namespace
-
+/**
+ * The shared scenario body. @p par switches on parallel domain mode:
+ * the machine is sharded, FPGA-side traffic and its completions cross
+ * through the scheduler's mailboxes, and the verification sweep keeps
+ * per-domain accumulators merged in fixed order afterwards. The
+ * legacy (par == false) path is byte-for-byte the classic scenario.
+ */
 ChaosResult
-runChaos(const FaultPlan &plan, const ChaosConfig &cfg)
+runChaosImpl(const FaultPlan &plan, const ChaosConfig &cfg_in,
+             std::uint32_t threads, bool par)
 {
     ChaosResult result;
+    ChaosConfig cfg = cfg_in;
+    if (par) {
+        // Side traffic drives FPGA DRAM / the BMC from CPU-domain
+        // events; not domain-safe, so parallel runs shed it.
+        cfg.with_net = false;
+        cfg.with_rdma = false;
+        cfg.with_bmc = false;
+    }
 
     platform::EnzianMachine::Config mc;
     mc.cpu_dram_bytes = 64ull << 20;
     mc.fpga_dram_bytes = 64ull << 20;
     mc.cores = 4;
     mc.name = "chaos";
+    mc.threads = par ? std::max(threads, 1u) : 0;
     platform::EnzianMachine m(mc);
     EventQueue &eq = m.eventq();
+    EventQueue &feq = m.fpgaEventq();
+
+    sim::DomainScheduler *sched = m.scheduler();
+    sim::CrossDomainChannel *toFpga = nullptr;
+    sim::CrossDomainChannel *toCpu = nullptr;
+    Tick cross = 0;
+    if (par) {
+        toFpga = &sched->channel(sched->domain(0), sched->domain(1));
+        toCpu = &sched->channel(sched->domain(1), sched->domain(0));
+        cross = sched->lookahead();
+    }
 
     verif::InvariantMonitor::Hooks hooks;
     hooks.cpuCache = &m.l2();
@@ -110,6 +137,8 @@ runChaos(const FaultPlan &plan, const ChaosConfig &cfg)
     }
     if (cfg.with_bmc)
         inj.attachBmc(m.bmc());
+    if (par)
+        inj.bindDomains(*sched);
     inj.arm();
 
     // Three pools, each with exactly one writer so the last issued
@@ -144,12 +173,40 @@ runChaos(const FaultPlan &plan, const ChaosConfig &cfg)
         return -1;
     };
 
+    const Tick gap = units::ns(350.0);
+    // Parallel mode: FPGA-side issues hop into the FPGA domain, and
+    // their completions hop back, so pool bookkeeping stays CPU-local.
+    // Both hops must respect the channels' lookahead floor.
+    const Tick hop = std::max(gap, cross);
+
     auto issueWrite = [&](Pool &p, std::uint32_t i, int role) {
         p.inflight[i] = true;
         const Addr line = p.lineAt(i);
         const std::uint32_t v = ++p.version[i];
         auto buf = std::make_shared<std::vector<std::uint8_t>>(lineBytes);
         fillPattern(buf->data(), line, v);
+        if (par && role != 0) {
+            auto done = [&p, i, &completed, buf, toCpu, &feq,
+                         cross](Tick) {
+                toCpu->push(feq.now() + cross,
+                            [&p, i, &completed]() {
+                                p.inflight[i] = false;
+                                ++completed;
+                            });
+            };
+            if (role == 1) {
+                toFpga->push(eq.now() + hop, [&m, line, buf, done]() {
+                    m.fpgaHome().localWrite(line, buf->data(), done);
+                });
+            } else {
+                toFpga->push(eq.now() + hop, [&m, line, buf, done]() {
+                    m.fpgaRemote().writeLineUncached(line, buf->data(),
+                                                     done);
+                });
+            }
+            ++issued;
+            return;
+        }
         auto done = [&p, i, &completed, buf](Tick) {
             p.inflight[i] = false;
             ++completed;
@@ -178,7 +235,6 @@ runChaos(const FaultPlan &plan, const ChaosConfig &cfg)
         ++issued;
     };
 
-    const Tick gap = units::ns(350.0);
     std::function<void(std::uint32_t)> step =
         [&](std::uint32_t remaining) {
             if (remaining == 0)
@@ -284,32 +340,39 @@ runChaos(const FaultPlan &plan, const ChaosConfig &cfg)
         }
     }
 
-    eq.run();
+    m.run();
 
     // Quiescent data-integrity sweep: every line a write was acked on
     // must read back the last issued pattern through its home agent
     // (which snoops any cached copy, so this sees the coherent truth).
+    // In parallel mode the FPGA-homed reads complete on the FPGA
+    // domain, so they get their own accumulators, merged after the
+    // run in fixed order (CPU first) for thread-count determinism.
     std::uint32_t checksLeft = 0;
+    std::uint32_t fpgaChecksLeft = 0;
+    std::vector<std::string> fpgaMismatches;
     auto verifyPool = [&](Pool &p, bool fpga_homed) {
         for (std::uint32_t i = 0; i < cfg.lines; ++i) {
             if (p.version[i] == 0)
                 continue;
-            ++checksLeft;
+            const bool onFpga = fpga_homed && par;
+            auto &mis = onFpga ? fpgaMismatches : mismatches;
+            auto &left = onFpga ? fpgaChecksLeft : checksLeft;
+            ++left;
             const Addr line = p.lineAt(i);
             const std::uint32_t v = p.version[i];
             auto got =
                 std::make_shared<std::vector<std::uint8_t>>(lineBytes);
-            auto done = [&mismatches, &checksLeft, line, v,
-                         got](Tick) {
+            auto done = [&mis, &left, line, v, got](Tick) {
                 std::uint8_t want[lineBytes];
                 fillPattern(want, line, v);
                 if (std::memcmp(want, got->data(), lineBytes) != 0) {
                     std::ostringstream os;
                     os << "data mismatch at line 0x" << std::hex << line
                        << std::dec << " (version " << v << ")";
-                    mismatches.push_back(os.str());
+                    mis.push_back(os.str());
                 }
-                --checksLeft;
+                --left;
             };
             if (fpga_homed)
                 m.fpgaHome().localRead(line, got->data(), done);
@@ -320,13 +383,15 @@ runChaos(const FaultPlan &plan, const ChaosConfig &cfg)
     verifyPool(poolA, true);
     verifyPool(poolB, true);
     verifyPool(poolC, false);
-    eq.run();
-    if (checksLeft != 0)
+    m.run();
+    mismatches.insert(mismatches.end(), fpgaMismatches.begin(),
+                      fpgaMismatches.end());
+    if (checksLeft + fpgaChecksLeft != 0)
         mismatches.push_back("verification reads did not all complete");
 
     bool flushed = false;
     m.cpuRemote().flushAll([&flushed](Tick) { flushed = true; });
-    eq.run();
+    m.run();
     if (!flushed)
         mismatches.push_back("flushAll did not complete");
 
@@ -362,6 +427,35 @@ runChaos(const FaultPlan &plan, const ChaosConfig &cfg)
     }
     result.ok = result.violations.empty();
     return result;
+}
+
+} // namespace
+
+ChaosResult
+runChaos(const FaultPlan &plan, const ChaosConfig &cfg)
+{
+    return runChaosImpl(plan, cfg, 0, false);
+}
+
+bool
+planParallelSafe(const FaultPlan &plan)
+{
+    for (const auto &s : plan.faults) {
+        if (!FaultInjector::kindDomainSafe(s.kind))
+            return false;
+    }
+    return true;
+}
+
+ChaosResult
+runChaosParallel(const FaultPlan &plan, const ChaosConfig &cfg,
+                 std::uint32_t threads)
+{
+    if (!planParallelSafe(plan)) {
+        fatal("runChaosParallel: plan contains fault kinds that are "
+              "not domain-safe (only ECI msg drop/corrupt are)");
+    }
+    return runChaosImpl(plan, cfg, threads, true);
 }
 
 } // namespace enzian::fault

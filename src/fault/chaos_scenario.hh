@@ -63,6 +63,26 @@ struct ChaosResult
 /** Run one chaos scenario to completion. */
 ChaosResult runChaos(const FaultPlan &plan, const ChaosConfig &cfg);
 
+/**
+ * True when every fault in @p plan injects without touching state
+ * shared across timing domains (ECI message drop/corrupt only);
+ * required by runChaosParallel().
+ */
+bool planParallelSafe(const FaultPlan &plan);
+
+/**
+ * Run the chaos scenario on a machine sharded into parallel timing
+ * domains (threads >= 1; 1 runs the same domain semantics
+ * sequentially). FPGA-side traffic crosses into the FPGA domain
+ * through the scheduler's mailboxes, and side traffic (net/rdma/bmc)
+ * is forced off because it drives FPGA DRAM from the CPU domain. The
+ * result — including the captured registry JSON — is bit-identical
+ * for every thread count.
+ */
+ChaosResult runChaosParallel(const FaultPlan &plan,
+                             const ChaosConfig &cfg,
+                             std::uint32_t threads);
+
 } // namespace enzian::fault
 
 #endif // ENZIAN_FAULT_CHAOS_SCENARIO_HH

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "sim/domain_scheduler.hh"
 
 namespace enzian::fault {
 
@@ -107,17 +108,50 @@ FaultInjector::eciFilter(Tick t, const eci::EciMsg &msg)
     // IPIs have no retry path, so loss injection exempts them.
     if (msg.op == eci::Opcode::IPI)
         return eci::EciLink::FaultAction::Deliver;
+    // In domain mode the filter runs concurrently from both domains;
+    // each draws only from its own direction's stream and stages its
+    // counts for the barrier fold.
+    const auto dir = static_cast<std::size_t>(msg.src);
+    Rng &rng = domainMode_ ? eciDirRng_[dir] : eciRng_;
     for (const auto &s : eciMsgSpecs_) {
         if (t < s.at || (s.until != 0 && t >= s.until))
             continue;
-        if (eciRng_.chance(s.prob)) {
-            count(s.kind);
+        if (rng.chance(s.prob)) {
+            if (domainMode_)
+                ++stagedCounts_[dir][static_cast<std::size_t>(s.kind)];
+            else
+                count(s.kind);
             return s.kind == FaultKind::EciMsgDrop
                        ? eci::EciLink::FaultAction::Drop
                        : eci::EciLink::FaultAction::Corrupt;
         }
     }
     return eci::EciLink::FaultAction::Deliver;
+}
+
+void
+FaultInjector::bindDomains(sim::DomainScheduler &sched)
+{
+    ENZIAN_ASSERT(!armed_, "bindDomains() must precede arm()");
+    domainMode_ = true;
+    eciDirRng_[0] = Rng(streamSeed(plan_.seed, 16));
+    eciDirRng_[1] = Rng(streamSeed(plan_.seed, 17));
+    sched.addBarrierTask([this] { foldDomainCounts(); });
+}
+
+void
+FaultInjector::foldDomainCounts()
+{
+    // Fixed fold order (direction 0 then 1) so the shared counters
+    // are identical for every thread count.
+    for (auto &dir : stagedCounts_) {
+        for (std::size_t k = 0; k < faultKindCount; ++k) {
+            if (dir[k] != 0) {
+                injected_[k].inc(dir[k]);
+                dir[k] = 0;
+            }
+        }
+    }
 }
 
 void
@@ -190,6 +224,18 @@ FaultInjector::arm()
 {
     ENZIAN_ASSERT(!armed_, "FaultInjector armed twice");
     armed_ = true;
+    if (domainMode_) {
+        // Every other kind mutates state shared across domains (DRAM
+        // RNG, link retrain clocks, BMC sequencing) from timeline
+        // events on one domain's queue — not safe in parallel runs.
+        for (const auto &s : plan_.faults) {
+            if (!kindDomainSafe(s.kind)) {
+                fatal("fault kind '%s' cannot be armed in parallel "
+                      "domain mode (only ECI msg drop/corrupt can)",
+                      toString(s.kind));
+            }
+        }
+    }
     Tick bmcAt = 0;
     bool haveGlitch = false;
     for (const auto &s : plan_.faults) {

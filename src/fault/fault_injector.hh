@@ -37,6 +37,10 @@
 #include "net/rdma_engine.hh"
 #include "net/tcp_stack.hh"
 
+namespace enzian::sim {
+class DomainScheduler;
+} // namespace enzian::sim
+
 namespace enzian::fault {
 
 /** Executes a FaultPlan against an attached machine. */
@@ -80,6 +84,27 @@ class FaultInjector : public SimObject
      */
     void attachBmc(bmc::Bmc &bmc);
 
+    /**
+     * Parallel domain mode: ECI message faults draw from one RNG
+     * stream per link direction (each touched only by its source
+     * domain) and stage their injection counts per direction, folded
+     * into the reported counters at every epoch barrier — so counts
+     * and draws are bit-identical for any thread count. Only
+     * domain-local fault kinds (EciMsgDrop / EciMsgCorrupt) may be
+     * armed in this mode; arm() rejects the rest. Call before arm().
+     */
+    void bindDomains(sim::DomainScheduler &sched);
+
+    /** True when bindDomains() has switched to per-direction streams. */
+    bool domainMode() const { return domainMode_; }
+
+    /** Can @p k inject without cross-domain shared state? */
+    static bool kindDomainSafe(FaultKind k)
+    {
+        return k == FaultKind::EciMsgDrop ||
+               k == FaultKind::EciMsgCorrupt;
+    }
+
     /** Schedule every fault in the plan. Call once, after attaching. */
     void arm();
 
@@ -108,9 +133,11 @@ class FaultInjector : public SimObject
     void scheduleBmcPowerUp(Tick at);
     void runNextGlitch(std::size_t i);
     void count(FaultKind k) { injected_[static_cast<std::size_t>(k)].inc(); }
+    void foldDomainCounts();
 
     FaultPlan plan_;
     bool armed_ = false;
+    bool domainMode_ = false;
 
     /** Per-subsystem streams forked from the plan seed. */
     Rng eciRng_;
@@ -118,6 +145,15 @@ class FaultInjector : public SimObject
     Rng netRng_;
     Rng rdmaRng_;
     Rng bmcRng_;
+    /**
+     * Domain mode: one ECI stream per link direction (index =
+     * source node), touched only by that direction's source domain,
+     * plus per-direction staged injection counts folded into the
+     * shared counters at epoch barriers (dir 0 first, then dir 1).
+     */
+    std::array<Rng, 2> eciDirRng_;
+    std::array<std::array<std::uint64_t, faultKindCount>, 2>
+        stagedCounts_{};
 
     // Attached subsystems (null = not attached).
     eci::EciFabric *fabric_ = nullptr;

@@ -35,6 +35,7 @@ void
 SpanTracer::complete(std::string_view track, std::string_view name,
                      Tick start, Tick end)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (events_.size() >= limit_) {
         ++dropped_;
         return;
@@ -48,6 +49,7 @@ void
 SpanTracer::instant(std::string_view track, std::string_view name,
                     Tick at)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (events_.size() >= limit_) {
         ++dropped_;
         return;
@@ -60,6 +62,7 @@ void
 SpanTracer::counter(std::string_view track, std::string_view name,
                     Tick at, double value)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (events_.size() >= limit_) {
         ++dropped_;
         return;
@@ -71,6 +74,7 @@ SpanTracer::counter(std::string_view track, std::string_view name,
 void
 SpanTracer::clear()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
     tracks_.clear();
     trackIds_.clear();

@@ -14,12 +14,20 @@
  * behind a one-load enabled() check (the ENZIAN_SPAN_* macros inline
  * it), and building with -DENZIAN_NO_SPANS compiles the macros out
  * entirely for instrumentation-free binaries.
+ *
+ * Thread safety: recording calls take an internal mutex so domain
+ * worker threads (sim::DomainScheduler) may trace concurrently; the
+ * enabled flag is atomic so the hot-path check stays lock-free.
+ * Readers (writeChromeJson, counts) are only safe while no simulation
+ * is running, which is how every caller uses them.
  */
 
 #ifndef ENZIAN_OBS_SPAN_TRACER_HH
 #define ENZIAN_OBS_SPAN_TRACER_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -43,8 +51,14 @@ class SpanTracer
     static SpanTracer &global();
 
     /** Turn recording on/off (off by default). */
-    void setEnabled(bool on) { enabled_ = on; }
-    bool enabled() const { return enabled_; }
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Cap on stored events; recording beyond it drops events (counted
@@ -97,7 +111,8 @@ class SpanTracer
 
     std::uint32_t trackId(std::string_view track);
 
-    bool enabled_ = false;
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
     std::size_t limit_ = 1u << 20;
     std::uint64_t dropped_ = 0;
     std::vector<std::string> tracks_;

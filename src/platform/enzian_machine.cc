@@ -7,6 +7,7 @@
 
 #include "base/logging.hh"
 #include "fpga/bitstream.hh"
+#include "sim/domain_scheduler.hh"
 
 namespace enzian::platform {
 
@@ -18,11 +19,42 @@ EnzianMachine::Config::Config()
 
 EnzianMachine::EnzianMachine(const Config &cfg) : cfg_(cfg)
 {
-    if (cfg_.shared_eventq) {
+    if (cfg_.threads > 0 || cfg_.shared_scheduler) {
+        if (cfg_.shared_eventq) {
+            fatal("machine '%s': shared_eventq and parallel domains "
+                  "are mutually exclusive",
+                  cfg_.name.c_str());
+        }
+        // The epoch length is the platform's own latency floor:
+        // nothing can cross the ECI faster than engine + wire +
+        // engine, so an epoch that long can never miss a message.
+        const Tick lookahead = eci::EciLink::minCrossLatency(cfg_.link);
+        if (cfg_.shared_scheduler) {
+            schedPtr_ = cfg_.shared_scheduler;
+            if (schedPtr_->lookahead() > lookahead) {
+                fatal("machine '%s': shared scheduler lookahead %llu "
+                      "exceeds this machine's link floor %llu",
+                      cfg_.name.c_str(),
+                      static_cast<unsigned long long>(
+                          schedPtr_->lookahead()),
+                      static_cast<unsigned long long>(lookahead));
+            }
+        } else {
+            sched_ = std::make_unique<sim::DomainScheduler>(
+                cfg_.name + ".sched", lookahead, cfg_.threads);
+            schedPtr_ = sched_.get();
+        }
+        cpuDomain_ = &schedPtr_->addDomain(cfg_.name + ".cpu");
+        fpgaDomain_ = &schedPtr_->addDomain(cfg_.name + ".fpga");
+        eqPtr_ = &cpuDomain_->queue();
+        fpgaEqPtr_ = &fpgaDomain_->queue();
+    } else if (cfg_.shared_eventq) {
         eqPtr_ = cfg_.shared_eventq;
+        fpgaEqPtr_ = eqPtr_;
     } else {
         eq_ = std::make_unique<EventQueue>();
         eqPtr_ = eq_.get();
+        fpgaEqPtr_ = eqPtr_;
     }
     map_ = std::make_unique<mem::AddressMap>(cfg_.cpu_dram_bytes,
                                              cfg_.fpga_dram_bytes);
@@ -31,7 +63,7 @@ EnzianMachine::EnzianMachine(const Config &cfg) : cfg_(cfg)
         cfg_.name + ".cpu.mem", *eqPtr_, cfg_.cpu_dram_bytes,
         params::cpuDramChannels, params::cpuDramConfig());
     fpgaMem_ = std::make_unique<mem::MemoryController>(
-        cfg_.name + ".fpga.mem", *eqPtr_, cfg_.fpga_dram_bytes,
+        cfg_.name + ".fpga.mem", *fpgaEqPtr_, cfg_.fpga_dram_bytes,
         params::fpgaDramChannels, params::fpgaDramConfig());
 
     cache::Cache::Config l2cfg;
@@ -41,6 +73,8 @@ EnzianMachine::EnzianMachine(const Config &cfg) : cfg_(cfg)
 
     fabric_ = std::make_unique<eci::EciFabric>(
         cfg_.name + ".eci", *eqPtr_, cfg_.link, cfg_.links, cfg_.policy);
+    if (schedPtr_)
+        fabric_->bindDomains(*schedPtr_, *cpuDomain_, *fpgaDomain_);
 
     cpuIoSpace_ = std::make_unique<eci::IoSpace>();
     fpgaIoSpace_ = std::make_unique<eci::IoSpace>();
@@ -49,14 +83,14 @@ EnzianMachine::EnzianMachine(const Config &cfg) : cfg_(cfg)
         cfg_.name + ".cpu.home", *eqPtr_, mem::NodeId::Cpu, *map_, *cpuMem_,
         *fabric_);
     fpgaHome_ = std::make_unique<eci::HomeAgent>(
-        cfg_.name + ".fpga.home", *eqPtr_, mem::NodeId::Fpga, *map_, *fpgaMem_,
-        *fabric_);
+        cfg_.name + ".fpga.home", *fpgaEqPtr_, mem::NodeId::Fpga, *map_,
+        *fpgaMem_, *fabric_);
     cpuRemote_ = std::make_unique<eci::RemoteAgent>(
         cfg_.name + ".cpu.remote", *eqPtr_, mem::NodeId::Cpu, *map_, *fabric_,
         cfg_.remote_agent);
     fpgaRemote_ = std::make_unique<eci::RemoteAgent>(
-        cfg_.name + ".fpga.remote", *eqPtr_, mem::NodeId::Fpga, *map_, *fabric_,
-        cfg_.remote_agent);
+        cfg_.name + ".fpga.remote", *fpgaEqPtr_, mem::NodeId::Fpga, *map_,
+        *fabric_, cfg_.remote_agent);
 
     // The CPU's L2 caches its own node's lines (snooped by the home
     // agent) and, in cached mode, remote FPGA-homed lines too.
@@ -77,13 +111,13 @@ EnzianMachine::EnzianMachine(const Config &cfg) : cfg_(cfg)
                          });
 
     fpga::Fabric::Config fab_cfg;
-    fpga_ = std::make_unique<fpga::Fabric>(cfg_.name + ".fpga.fabric", *eqPtr_,
-                                           fab_cfg);
+    fpga_ = std::make_unique<fpga::Fabric>(cfg_.name + ".fpga.fabric",
+                                           *fpgaEqPtr_, fab_cfg);
     fpga_->loadBitstream(fpga::findBitstream(cfg_.bitstream));
 
     fpga::Shell::Config shell_cfg;
-    shell_ = std::make_unique<fpga::Shell>(cfg_.name + ".fpga.shell", *eqPtr_,
-                                           *fpga_, shell_cfg);
+    shell_ = std::make_unique<fpga::Shell>(cfg_.name + ".fpga.shell",
+                                           *fpgaEqPtr_, *fpga_, shell_cfg);
 
     cluster_ = std::make_unique<cpu::CoreCluster>(
         cfg_.name + ".cpu.cluster", *eqPtr_, cfg_.cores, params::cpuClockHz);
@@ -92,6 +126,19 @@ EnzianMachine::EnzianMachine(const Config &cfg) : cfg_(cfg)
 }
 
 EnzianMachine::~EnzianMachine() = default;
+
+std::uint64_t
+EnzianMachine::run()
+{
+    return schedPtr_ ? schedPtr_->run() : eqPtr_->run();
+}
+
+std::uint64_t
+EnzianMachine::runUntil(Tick limit)
+{
+    return schedPtr_ ? schedPtr_->runUntil(limit)
+                     : eqPtr_->runUntil(limit);
+}
 
 void
 EnzianMachine::dumpStats(std::ostream &os)

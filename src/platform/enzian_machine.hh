@@ -24,6 +24,11 @@
 #include "fpga/shell.hh"
 #include "platform/params.hh"
 
+namespace enzian::sim {
+class DomainScheduler;
+class TimingDomain;
+} // namespace enzian::sim
+
 namespace enzian::platform {
 
 /** The simulated machine. */
@@ -52,9 +57,30 @@ class EnzianMachine
         /**
          * Optional externally owned event queue; machines in a
          * cluster share one so their timelines interleave. When
-         * null the machine owns its queue.
+         * null the machine owns its queue. Mutually exclusive with
+         * parallel domain mode (threads / shared_scheduler).
          */
         EventQueue *shared_eventq = nullptr;
+        /**
+         * Parallel simulation: > 0 shards the machine into a CPU
+         * timing domain and an FPGA timing domain run by a
+         * conservative-PDES scheduler on this many threads. The
+         * epoch lookahead derives from the ECI link config
+         * (eci::EciLink::minCrossLatency). threads == 1 uses the
+         * same domain semantics sequentially, so results are
+         * bit-identical across all thread counts. 0 (default) is
+         * the classic single-queue machine.
+         */
+        std::uint32_t threads = 0;
+        /**
+         * Optional externally owned scheduler; several machines may
+         * join one scheduler so all their domains run under a single
+         * epoch loop (the scaling bench does this). Must outlive the
+         * machine, and its lookahead must not exceed this machine's
+         * link latency floor. Implies domain mode regardless of
+         * `threads`.
+         */
+        sim::DomainScheduler *shared_scheduler = nullptr;
         /** Instance name prefix (must be unique in a cluster). */
         std::string name = "enzian";
 
@@ -68,8 +94,25 @@ class EnzianMachine
     EnzianMachine &operator=(const EnzianMachine &) = delete;
 
     // --- kernel ------------------------------------------------------
+    /** The CPU domain's queue (the only queue in legacy mode). */
     EventQueue &eventq() { return *eqPtr_; }
+    /** The FPGA domain's queue; == eventq() in legacy mode. */
+    EventQueue &fpgaEventq() { return *fpgaEqPtr_; }
     Tick now() const { return eqPtr_->now(); }
+
+    /** True when the machine runs as parallel timing domains. */
+    bool parallel() const { return schedPtr_ != nullptr; }
+    /** The domain scheduler, or null in legacy mode. */
+    sim::DomainScheduler *scheduler() { return schedPtr_; }
+
+    /**
+     * Run the simulation to completion: the domain scheduler in
+     * parallel mode (which drives every machine sharing it),
+     * otherwise the event queue. @return events executed.
+     */
+    std::uint64_t run();
+    /** Run the simulation up to @p limit. @return events executed. */
+    std::uint64_t runUntil(Tick limit);
 
     // --- memory system -------------------------------------------------
     mem::AddressMap &map() { return *map_; }
@@ -109,8 +152,16 @@ class EnzianMachine
 
   private:
     Config cfg_;
+    /** Owned scheduler (domain mode without shared_scheduler).
+     *  Declared before every component so the domains' queues are
+     *  destroyed last. */
+    std::unique_ptr<sim::DomainScheduler> sched_;
+    sim::DomainScheduler *schedPtr_ = nullptr;
+    sim::TimingDomain *cpuDomain_ = nullptr;
+    sim::TimingDomain *fpgaDomain_ = nullptr;
     std::unique_ptr<EventQueue> eq_; ///< owned unless shared
     EventQueue *eqPtr_ = nullptr;
+    EventQueue *fpgaEqPtr_ = nullptr;
     std::unique_ptr<mem::AddressMap> map_;
     std::unique_ptr<mem::MemoryController> cpuMem_;
     std::unique_ptr<mem::MemoryController> fpgaMem_;

@@ -29,8 +29,10 @@ ObsDemo::ObsDemo(EnzianMachine &m) : m_(m)
     fpga::VfpgaScheduler::Config sched_cfg;
     sched_cfg.policy = fpga::SchedPolicy::RoundRobin;
     sched_cfg.quantum = units::ms(50.0);
+    // The vFPGA scheduler drives the shell, so on a parallel machine
+    // it must live in the FPGA timing domain.
     sched_ = std::make_unique<fpga::VfpgaScheduler>(
-        base + ".fpga.sched", m_.eventq(), m_.shell(), sched_cfg);
+        base + ".fpga.sched", m_.fpgaEventq(), m_.shell(), sched_cfg);
 }
 
 ObsDemo::~ObsDemo() = default;
@@ -50,20 +52,20 @@ ObsDemo::run()
         const Addr fpga_line = mem::AddressMap::fpgaDramBase +
                                static_cast<Addr>(i) * cache::lineSize;
         m_.cpuRemote().writeLine(fpga_line, buf,
-                                 [this](Tick) { ++eciLines_; });
+                                 [this](Tick) { ++eciLinesCpu_; });
         const Addr cpu_line =
             static_cast<Addr>(i) * cache::lineSize;
         m_.fpgaRemote().readLineUncached(
-            cpu_line, nullptr, [this](Tick) { ++eciLines_; });
+            cpu_line, nullptr, [this](Tick) { ++eciLinesFpga_; });
     }
-    m_.eventq().run();
+    m_.run();
     for (std::uint32_t i = 0; i < lines; ++i) {
         const Addr fpga_line = mem::AddressMap::fpgaDramBase +
                                static_cast<Addr>(i) * cache::lineSize;
         m_.cpuRemote().readLine(fpga_line, nullptr,
-                                [this](Tick) { ++eciLines_; });
+                                [this](Tick) { ++eciLinesCpu_; });
     }
-    m_.eventq().run();
+    m_.run();
 
     // --- network: one 256 KiB TCP stream through the switch ----------
     tcpA_->send(flow_, 256 * 1024, [](Tick) {});
@@ -74,7 +76,7 @@ ObsDemo::run()
         sched_->submit("obs-app" + std::to_string(j % 3),
                        units::ms(80.0), nullptr);
     }
-    m_.eventq().run();
+    m_.run();
 
     // --- CPU: a short stream kernel so the PMU gauges are live -------
     cpu::StreamKernel k;

@@ -41,7 +41,10 @@ class ObsDemo
     void run();
 
     /** Lines moved over ECI (reads + writes, both directions). */
-    std::uint64_t eciLines() const { return eciLines_; }
+    std::uint64_t eciLines() const
+    {
+        return eciLinesCpu_ + eciLinesFpga_;
+    }
     /** Payload bytes delivered over the TCP stream. */
     std::uint64_t tcpBytes() const;
     /** vFPGA jobs completed. */
@@ -56,7 +59,11 @@ class ObsDemo
     std::unique_ptr<net::TcpStack> tcpB_;
     std::unique_ptr<fpga::VfpgaScheduler> sched_;
     std::uint32_t flow_ = 0;
-    std::uint64_t eciLines_ = 0;
+    /** Split per completion domain: CPU-issued ops complete on the
+     *  CPU domain, FPGA-issued ones on the FPGA domain, so a parallel
+     *  machine never has two threads bumping one counter. */
+    std::uint64_t eciLinesCpu_ = 0;
+    std::uint64_t eciLinesFpga_ = 0;
 };
 
 } // namespace enzian::platform

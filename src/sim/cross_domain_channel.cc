@@ -1,0 +1,38 @@
+/**
+ * @file
+ * CrossDomainChannel implementation.
+ */
+
+#include "sim/cross_domain_channel.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::sim {
+
+void
+CrossDomainChannel::push(Tick when, EventFn fn)
+{
+    // The conservative-lookahead invariant: delivery must be far
+    // enough in the future that the destination domain cannot already
+    // have simulated past it when the barrier drains this channel.
+    ENZIAN_ASSERT(when >= srcq_.now() + lookahead_,
+                  "cross-domain push violates lookahead: when=%llu "
+                  "src now=%llu lookahead=%llu",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(srcq_.now()),
+                  static_cast<unsigned long long>(lookahead_));
+    items_.push_back(Item{when, std::move(fn)});
+}
+
+std::uint64_t
+CrossDomainChannel::drain()
+{
+    const auto n = static_cast<std::uint64_t>(items_.size());
+    for (Item &it : items_)
+        dstq_.schedule(it.when, std::move(it.fn));
+    items_.clear();
+    forwarded_ += n;
+    return n;
+}
+
+} // namespace enzian::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Timestamped mailbox carrying events between timing domains.
+ *
+ * A CrossDomainChannel is the only legal way for activity in one
+ * timing domain to cause activity in another while a parallel
+ * simulation is running (see DomainScheduler). It is single-producer
+ * (events executing in the source domain) / single-consumer (the
+ * barrier coordinator), so the hot path is a plain vector append with
+ * no atomics: the epoch barrier's acquire/release handshake provides
+ * the happens-before edge between producer and consumer.
+ *
+ * Conservative-lookahead contract: every push must carry a delivery
+ * timestamp at least `lookahead` ticks after the source domain's
+ * current time. Because an epoch never spans more than `lookahead`
+ * ticks, a message pushed during an epoch always delivers after that
+ * epoch's end, so draining channels only at barriers can never
+ * deliver an event into a domain's past.
+ */
+
+#ifndef ENZIAN_SIM_CROSS_DOMAIN_CHANNEL_HH
+#define ENZIAN_SIM_CROSS_DOMAIN_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/units.hh"
+#include "sim/event_queue.hh"
+
+namespace enzian::sim {
+
+class DomainScheduler;
+
+/** SPSC mailbox for cross-domain event delivery (see file comment). */
+class CrossDomainChannel
+{
+  public:
+    CrossDomainChannel(const CrossDomainChannel &) = delete;
+    CrossDomainChannel &operator=(const CrossDomainChannel &) = delete;
+
+    /**
+     * Enqueue @p fn for execution in the destination domain at
+     * absolute time @p when. Must only be called from the source
+     * domain (or from outside the simulation while it is stopped),
+     * and @p when must be >= source now() + lookahead.
+     */
+    void push(Tick when, EventFn fn);
+
+    /** Messages currently queued (consumer/stopped-world only). */
+    std::size_t size() const { return items_.size(); }
+
+    /** Total messages ever forwarded through the barrier drain. */
+    std::uint64_t messagesForwarded() const { return forwarded_; }
+
+    std::uint32_t srcDomainId() const { return srcId_; }
+    std::uint32_t dstDomainId() const { return dstId_; }
+
+  private:
+    friend class DomainScheduler;
+
+    CrossDomainChannel(EventQueue &srcq, EventQueue &dstq,
+                       std::uint32_t src_id, std::uint32_t dst_id,
+                       Tick lookahead)
+        : srcq_(srcq), dstq_(dstq), srcId_(src_id), dstId_(dst_id),
+          lookahead_(lookahead)
+    {
+    }
+
+    /**
+     * Schedule every queued item into the destination queue, in push
+     * (= source schedule) order. Barrier coordinator only.
+     * @return number of items forwarded.
+     */
+    std::uint64_t drain();
+
+    struct Item
+    {
+        Tick when;
+        EventFn fn;
+    };
+
+    EventQueue &srcq_;
+    EventQueue &dstq_;
+    std::uint32_t srcId_;
+    std::uint32_t dstId_;
+    Tick lookahead_;
+    std::vector<Item> items_;
+    std::uint64_t forwarded_ = 0;
+};
+
+} // namespace enzian::sim
+
+#endif // ENZIAN_SIM_CROSS_DOMAIN_CHANNEL_HH

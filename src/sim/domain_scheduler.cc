@@ -1,0 +1,321 @@
+/**
+ * @file
+ * DomainScheduler implementation.
+ *
+ * Handshake protocol. The coordinator (whichever thread called run())
+ * publishes an epoch by storing the epoch end tick and bumping
+ * epochGen_ with release order; workers wait for the bump with
+ * acquire order, claim domains from nextDomain_ (relaxed fetch_add —
+ * assignment order does not affect the simulation, only which thread
+ * runs which independent domain), run each claimed queue to the epoch
+ * end, and signal completion on doneCount_ with acq_rel. The
+ * coordinator participates in the claiming itself, then waits for
+ * doneCount_ to reach the worker count. The release/acquire pairs on
+ * epochGen_ and doneCount_ are the only synchronization the queues
+ * and channels need: between them exactly one thread touches any
+ * given domain, and between epochs only the coordinator runs.
+ *
+ * Waiting is spin-then-yield-then-futex: a short pause loop for the
+ * common case where the other side arrives within microseconds, a
+ * yield loop so an oversubscribed host (fewer cores than threads)
+ * makes progress, then C++20 atomic wait/notify so an idle worker
+ * sleeps properly between epochs.
+ */
+
+#include "sim/domain_scheduler.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "obs/registry.hh"
+
+namespace enzian::sim {
+
+namespace {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+constexpr int kSpinIters = 256;
+constexpr int kYieldIters = 1024;
+
+} // namespace
+
+DomainScheduler::DomainScheduler(std::string name, Tick lookahead,
+                                 std::uint32_t threads)
+    : stats_(std::move(name)), lookahead_(lookahead),
+      threads_(threads == 0 ? 1 : threads)
+{
+    ENZIAN_ASSERT(lookahead_ > 0,
+                  "domain scheduler needs a positive lookahead");
+    stats_.addCounter("epochs", &epochs_);
+    stats_.addCounter("cross_msgs", &crossMsgs_);
+    stats_.addAccumulator("epoch_imbalance", &imbalance_);
+    obs::Registry::global().add(&stats_);
+}
+
+DomainScheduler::~DomainScheduler()
+{
+    stopWorkers();
+    obs::Registry::global().remove(&stats_);
+}
+
+TimingDomain &
+DomainScheduler::addDomain(const std::string &name)
+{
+    ENZIAN_ASSERT(!started_, "addDomain after the scheduler started");
+    const auto id = static_cast<std::uint32_t>(domains_.size());
+    auto *d = new TimingDomain(name, id);
+    domains_.emplace_back(d);
+    stats_.addCounter("d" + std::to_string(id) + "_events",
+                      &d->events_);
+    stats_.addCounter("d" + std::to_string(id) + "_stalls",
+                      &d->stalls_);
+    return *d;
+}
+
+CrossDomainChannel &
+DomainScheduler::channel(TimingDomain &src, TimingDomain &dst)
+{
+    ENZIAN_ASSERT(&src != &dst, "channel to own domain");
+    for (auto &ch : channels_) {
+        if (ch->srcDomainId() == src.id() &&
+            ch->dstDomainId() == dst.id())
+            return *ch;
+    }
+    ENZIAN_ASSERT(!started_,
+                  "channel creation after the scheduler started");
+    channels_.emplace_back(new CrossDomainChannel(
+        src.queue(), dst.queue(), src.id(), dst.id(), lookahead_));
+    return *channels_.back();
+}
+
+void
+DomainScheduler::addBarrierTask(std::function<void()> fn)
+{
+    ENZIAN_ASSERT(!started_,
+                  "barrier task registration after the scheduler "
+                  "started");
+    barrierTasks_.push_back(std::move(fn));
+}
+
+Tick
+DomainScheduler::minNextTick()
+{
+    Tick next = EventQueue::kNoEventTick;
+    for (auto &d : domains_)
+        next = std::min(next, d->eq_.nextEventTick());
+    return next;
+}
+
+void
+DomainScheduler::startWorkers()
+{
+    if (started_)
+        return;
+    started_ = true;
+    // Rebuild the drain order: (destination id, source id) regardless
+    // of channel creation order, so the barrier merge is a property
+    // of the domain graph alone.
+    drainOrder_.clear();
+    for (auto &ch : channels_)
+        drainOrder_.push_back(ch.get());
+    std::sort(drainOrder_.begin(), drainOrder_.end(),
+              [](const CrossDomainChannel *a,
+                 const CrossDomainChannel *b) {
+                  if (a->dstDomainId() != b->dstDomainId())
+                      return a->dstDomainId() < b->dstDomainId();
+                  return a->srcDomainId() < b->srcDomainId();
+              });
+    // Never more participants than domains; the coordinator is one.
+    const auto cap = static_cast<std::uint32_t>(
+        std::max<std::size_t>(domains_.size(), 1));
+    const std::uint32_t participants = std::min(threads_, cap);
+    for (std::uint32_t i = 1; i < participants; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+DomainScheduler::stopWorkers()
+{
+    if (workers_.empty())
+        return;
+    stop_.store(true, std::memory_order_release);
+    epochGen_.fetch_add(1, std::memory_order_release);
+    epochGen_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+void
+DomainScheduler::runClaimedDomains()
+{
+    const auto n = static_cast<std::uint32_t>(domains_.size());
+    for (;;) {
+        const std::uint32_t i =
+            nextDomain_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            break;
+        TimingDomain &d = *domains_[i];
+        d.epochExecuted_ = d.eq_.runUntil(epochEnd_);
+    }
+}
+
+void
+DomainScheduler::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Wait for the next epoch publication (gen > seen).
+        std::uint64_t g = epochGen_.load(std::memory_order_acquire);
+        int spins = 0;
+        while (g == seen) {
+            if (spins < kSpinIters) {
+                ++spins;
+                cpuRelax();
+            } else if (spins < kSpinIters + kYieldIters) {
+                ++spins;
+                std::this_thread::yield();
+            } else {
+                epochGen_.wait(g, std::memory_order_acquire);
+            }
+            g = epochGen_.load(std::memory_order_acquire);
+        }
+        seen = g;
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        runClaimedDomains();
+        doneCount_.fetch_add(1, std::memory_order_acq_rel);
+        doneCount_.notify_all();
+    }
+}
+
+void
+DomainScheduler::executeEpoch(Tick end)
+{
+    epochEnd_ = end;
+    if (workers_.empty()) {
+        // Sequential mode (threads == 1): identical epoch semantics,
+        // domains run in id order on the caller.
+        for (auto &d : domains_)
+            d->epochExecuted_ = d->eq_.runUntil(end);
+        return;
+    }
+    nextDomain_.store(0, std::memory_order_relaxed);
+    doneCount_.store(0, std::memory_order_relaxed);
+    epochGen_.fetch_add(1, std::memory_order_release);
+    epochGen_.notify_all();
+    runClaimedDomains();
+    const auto want = static_cast<std::uint32_t>(workers_.size());
+    std::uint32_t done = doneCount_.load(std::memory_order_acquire);
+    int spins = 0;
+    while (done < want) {
+        if (spins < kSpinIters) {
+            ++spins;
+            cpuRelax();
+        } else if (spins < kSpinIters + kYieldIters) {
+            ++spins;
+            std::this_thread::yield();
+        } else {
+            doneCount_.wait(done, std::memory_order_acquire);
+        }
+        done = doneCount_.load(std::memory_order_acquire);
+    }
+}
+
+void
+DomainScheduler::barrier()
+{
+    std::uint64_t crossed = 0;
+    for (CrossDomainChannel *ch : drainOrder_)
+        crossed += ch->drain();
+    crossMsgs_.inc(crossed);
+    for (auto &task : barrierTasks_)
+        task();
+
+    epochs_.inc();
+    std::uint64_t epochTotal = 0;
+    std::uint64_t lo = ~std::uint64_t{0};
+    std::uint64_t hi = 0;
+    for (auto &d : domains_) {
+        const std::uint64_t e = d->epochExecuted_;
+        d->events_.inc(e);
+        if (e == 0)
+            d->stalls_.inc();
+        epochTotal += e;
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+    }
+    totalEvents_ += epochTotal;
+    if (epochTotal > 0) {
+        const double mean = static_cast<double>(epochTotal) /
+                            static_cast<double>(domains_.size());
+        imbalance_.sample(static_cast<double>(hi - lo) / mean);
+    }
+}
+
+std::uint64_t
+DomainScheduler::runLoop(Tick limit, bool bounded)
+{
+    ENZIAN_ASSERT(!domains_.empty(), "scheduler has no domains");
+    startWorkers();
+    const std::uint64_t before = totalEvents_;
+    // Harness code running between epochs (e.g. a bench issuing the
+    // first transfers before run()) may send straight into a channel;
+    // drain those so the loop's first minNextTick() can see them.
+    // Inside the loop every barrier leaves the channels empty.
+    {
+        std::uint64_t crossed = 0;
+        for (CrossDomainChannel *ch : drainOrder_)
+            crossed += ch->drain();
+        crossMsgs_.inc(crossed);
+    }
+    for (;;) {
+        const Tick next = minNextTick();
+        if (next == EventQueue::kNoEventTick)
+            break;
+        if (bounded && next > limit)
+            break;
+        // Closed epoch [next, next + L - 1]: any cross-domain message
+        // sent inside it delivers at >= send + L > epoch end.
+        Tick end = next + (lookahead_ - 1);
+        if (end < next) // saturate on overflow
+            end = EventQueue::kNoEventTick - 1;
+        if (bounded && end > limit)
+            end = limit;
+        executeEpoch(end);
+        now_ = end;
+        barrier();
+    }
+    if (bounded && limit > now_) {
+        // Nothing pending up to the limit; advance every clock.
+        for (auto &d : domains_)
+            d->eq_.runUntil(limit);
+        now_ = limit;
+    }
+    return totalEvents_ - before;
+}
+
+std::uint64_t
+DomainScheduler::run()
+{
+    return runLoop(0, false);
+}
+
+std::uint64_t
+DomainScheduler::runUntil(Tick limit)
+{
+    return runLoop(limit, true);
+}
+
+} // namespace enzian::sim

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Conservative parallel discrete-event scheduler (PDES).
+ *
+ * The platform is sharded into timing domains — each a TimingDomain
+ * owning its own EventQueue and the SimObjects bound to it (the CPU
+ * cluster, caches and DRAM in one; the FPGA, home agent and
+ * accelerators in another). Domains only interact through ECI links,
+ * whose serialization + flight latency gives a guaranteed lower bound
+ * on cross-domain reaction time: the conservative lookahead L.
+ *
+ * The scheduler runs the domains in lockstep epochs of length L
+ * (CHESSY-style coupling over MGSim-style component DES):
+ *
+ *   1. T = min over domains of the next pending event tick.
+ *   2. Every domain independently runs its queue up to T + L - 1;
+ *      with worker threads, domains are claimed from a shared atomic
+ *      index so any thread may run any domain.
+ *   3. Barrier: cross-domain messages (timestamped, at least L in
+ *      the future — see CrossDomainChannel) are drained into their
+ *      destination queues in a fixed merge order (destination domain
+ *      id, then source domain id, then push order; the destination
+ *      queue then orders by timestamp and insertion sequence), and
+ *      registered barrier tasks (stats folds, tap flushes) run on the
+ *      coordinator.
+ *
+ * Because the epoch never outruns the lookahead, no domain can
+ * receive an event in its past, and because the barrier merge order
+ * is fixed, the event interleaving — and therefore every simulated
+ * timestamp and statistic — is bit-identical regardless of thread
+ * count. Synchronization is a spin-then-wait epoch generation /
+ * completion-count handshake; the release/acquire pair on those
+ * atomics is what publishes queue and channel state between threads.
+ */
+
+#ifndef ENZIAN_SIM_DOMAIN_SCHEDULER_HH
+#define ENZIAN_SIM_DOMAIN_SCHEDULER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/units.hh"
+#include "sim/cross_domain_channel.hh"
+#include "sim/event_queue.hh"
+
+namespace enzian::sim {
+
+class DomainScheduler;
+
+/**
+ * One shard of the simulated platform: an EventQueue plus whatever
+ * SimObjects were constructed against it. Created via
+ * DomainScheduler::addDomain(); identified by a dense id in creation
+ * order.
+ */
+class TimingDomain
+{
+  public:
+    TimingDomain(const TimingDomain &) = delete;
+    TimingDomain &operator=(const TimingDomain &) = delete;
+
+    EventQueue &queue() { return eq_; }
+    const EventQueue &queue() const { return eq_; }
+    const std::string &name() const { return name_; }
+    std::uint32_t id() const { return id_; }
+
+    /** Events executed in this domain over the whole run. */
+    std::uint64_t eventsExecuted() const { return events_.value(); }
+
+  private:
+    friend class DomainScheduler;
+
+    TimingDomain(std::string name, std::uint32_t id)
+        : name_(std::move(name)), id_(id)
+    {
+    }
+
+    std::string name_;
+    std::uint32_t id_;
+    EventQueue eq_;
+    /** Events run in the current epoch; written by the worker that
+     *  ran the domain, read by the coordinator after the barrier
+     *  handshake. */
+    std::uint64_t epochExecuted_ = 0;
+    Counter events_;
+    Counter stalls_;
+};
+
+/** Epoch-synchronized conservative PDES driver (see file comment). */
+class DomainScheduler
+{
+  public:
+    /**
+     * @param name stat-group name ("<machine>.sched" by convention).
+     * @param lookahead minimum cross-domain latency in ticks; must be
+     *        > 0. Derive it from the platform (e.g.
+     *        eci::EciLink::minCrossLatency), never hard-code it.
+     * @param threads total threads participating in epoch execution,
+     *        including the caller of run(); 0 is treated as 1.
+     */
+    DomainScheduler(std::string name, Tick lookahead,
+                    std::uint32_t threads);
+    ~DomainScheduler();
+
+    DomainScheduler(const DomainScheduler &) = delete;
+    DomainScheduler &operator=(const DomainScheduler &) = delete;
+
+    /** Create a new timing domain. Must precede the first run. */
+    TimingDomain &addDomain(const std::string &name);
+
+    std::size_t domainCount() const { return domains_.size(); }
+    TimingDomain &domain(std::size_t i) { return *domains_[i]; }
+
+    /**
+     * Get-or-create the mailbox carrying events from @p src to
+     * @p dst. Channel creation must precede the first run; pushes are
+     * legal from the source domain while running.
+     */
+    CrossDomainChannel &channel(TimingDomain &src, TimingDomain &dst);
+
+    /**
+     * Register a function to run on the coordinator thread at every
+     * epoch barrier, after channels are drained, in registration
+     * order. Used for deterministic folds of per-domain staged state
+     * (stats, taps) while all workers are quiescent.
+     */
+    void addBarrierTask(std::function<void()> fn);
+
+    /** Run epochs until every domain queue drains. @return events. */
+    std::uint64_t run();
+
+    /**
+     * Run epochs until simulated time @p limit, then advance every
+     * domain to @p limit. @return events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Simulated time every domain has reached (between runs). */
+    Tick now() const { return now_; }
+
+    Tick lookahead() const { return lookahead_; }
+    std::uint32_t threads() const { return threads_; }
+    const std::string &name() const { return stats_.name(); }
+
+    std::uint64_t epochs() const { return epochs_.value(); }
+    std::uint64_t eventsExecuted() const { return totalEvents_; }
+
+  private:
+    std::uint64_t runLoop(Tick limit, bool bounded);
+    void executeEpoch(Tick end);
+    void runClaimedDomains();
+    void workerLoop();
+    void startWorkers();
+    void stopWorkers();
+    void barrier();
+    Tick minNextTick();
+
+    StatGroup stats_;
+    Tick lookahead_;
+    std::uint32_t threads_;
+    Tick now_ = 0;
+    bool started_ = false;
+
+    std::vector<std::unique_ptr<TimingDomain>> domains_;
+    std::vector<std::unique_ptr<CrossDomainChannel>> channels_;
+    /** channels_ sorted by (dst id, src id); rebuilt at run start. */
+    std::vector<CrossDomainChannel *> drainOrder_;
+    std::vector<std::function<void()>> barrierTasks_;
+
+    // Epoch handshake (see workerLoop for the protocol).
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> epochGen_{0};
+    std::atomic<std::uint32_t> nextDomain_{0};
+    std::atomic<std::uint32_t> doneCount_{0};
+    std::atomic<bool> stop_{false};
+    Tick epochEnd_ = 0;
+
+    std::uint64_t totalEvents_ = 0;
+    Counter epochs_;
+    Counter crossMsgs_;
+    Accumulator imbalance_;
+};
+
+} // namespace enzian::sim
+
+#endif // ENZIAN_SIM_DOMAIN_SCHEDULER_HH

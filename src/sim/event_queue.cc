@@ -251,6 +251,13 @@ EventQueue::runUntil(Tick limit)
     return n;
 }
 
+Tick
+EventQueue::nextEventTick()
+{
+    const Node *top = peekLive();
+    return top != nullptr ? top->when : kNoEventTick;
+}
+
 std::uint64_t
 EventQueue::run()
 {

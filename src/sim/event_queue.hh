@@ -229,6 +229,16 @@ class EventQueue
     /** Run until the queue drains. @return number executed. */
     std::uint64_t run();
 
+    /** Sentinel returned by nextEventTick() when no live event exists. */
+    static constexpr Tick kNoEventTick = ~Tick{0};
+
+    /**
+     * Timestamp of the earliest live event without executing it, or
+     * kNoEventTick when the queue is empty. Pops stale cancelled
+     * residue off the heap top as a side effect.
+     */
+    Tick nextEventTick();
+
     /** True when no runnable events remain (exact). */
     bool empty() const { return live_ == 0; }
 

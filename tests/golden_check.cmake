@@ -2,24 +2,42 @@
 # directory and compares the metric JSON it emits against the
 # checked-in golden copy, byte for byte. Used by the golden_* ctest
 # entries to enforce that the fault-injection hooks are zero-overhead
-# (and zero-perturbation) when no plan is armed.
+# (and zero-perturbation) when no plan is armed — and, with THREADS
+# set, that the parallel timing-domain machine reproduces the same
+# simulation bit-for-bit at any thread count.
 #
 # Expected -D variables: BENCH (binary), METRICS (file name the bench
-# writes), GOLDEN (checked-in reference), WORK_DIR (scratch).
+# writes), GOLDEN (checked-in reference), WORK_DIR (scratch), and
+# optionally THREADS (run the bench with ENZIAN_THREADS=<n>; the
+# self-describing "threads" line it adds to the JSON is stripped
+# before comparing, every other byte must match).
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
-execute_process(COMMAND ${CMAKE_COMMAND} -E env
-                        "ENZIAN_BENCH_DIR=${WORK_DIR}" "${BENCH}"
+set(bench_env "ENZIAN_BENCH_DIR=${WORK_DIR}")
+if(DEFINED THREADS)
+    list(APPEND bench_env "ENZIAN_THREADS=${THREADS}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ${bench_env}
+                        "${BENCH}"
                 RESULT_VARIABLE bench_rc
                 OUTPUT_QUIET)
 if(NOT bench_rc EQUAL 0)
     message(FATAL_ERROR "${BENCH} exited with ${bench_rc}")
 endif()
+set(produced "${WORK_DIR}/${METRICS}")
+if(DEFINED THREADS)
+    file(STRINGS "${produced}" metric_lines)
+    list(FILTER metric_lines EXCLUDE REGEX "^  \"threads\": ")
+    list(JOIN metric_lines "\n" stripped)
+    set(produced "${WORK_DIR}/stripped_${METRICS}")
+    file(WRITE "${produced}" "${stripped}\n")
+endif()
 execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
-                        "${WORK_DIR}/${METRICS}" "${GOLDEN}"
+                        "${produced}" "${GOLDEN}"
                 RESULT_VARIABLE cmp_rc)
 if(NOT cmp_rc EQUAL 0)
     message(FATAL_ERROR
             "${METRICS} diverges from golden ${GOLDEN}: the run is no "
-            "longer bit-identical with faults disabled")
+            "longer bit-identical (faults disabled, "
+            "threads=${THREADS})")
 endif()

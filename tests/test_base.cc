@@ -110,6 +110,67 @@ TEST(Stats, AccumulatorMoments)
     EXPECT_NEAR(a.variance(), 1.25, 1e-12);
 }
 
+TEST(Stats, AccumulatorMergeMatchesSequentialSampling)
+{
+    // Parallel Welford combine: folding per-domain accumulators must
+    // reproduce the single-stream moments exactly enough that the
+    // exported stats do not depend on how samples were partitioned.
+    Accumulator whole, partA, partB;
+    for (int i = 0; i < 100; ++i) {
+        const double v = 0.37 * i - 11.0;
+        whole.sample(v);
+        (i % 3 == 0 ? partA : partB).sample(v);
+    }
+    partA.merge(partB);
+    EXPECT_EQ(partA.count(), whole.count());
+    EXPECT_DOUBLE_EQ(partA.sum(), whole.sum());
+    EXPECT_DOUBLE_EQ(partA.min(), whole.min());
+    EXPECT_DOUBLE_EQ(partA.max(), whole.max());
+    EXPECT_NEAR(partA.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(partA.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Stats, AccumulatorMergeEmptySides)
+{
+    Accumulator a, b, empty;
+    a.sample(3.0);
+    a.sample(5.0);
+    // Merging an empty accumulator is a no-op...
+    Accumulator acopy = a;
+    acopy.merge(empty);
+    EXPECT_EQ(acopy.count(), 2u);
+    EXPECT_DOUBLE_EQ(acopy.mean(), 4.0);
+    // ...and merging into an empty one adopts the other side whole.
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(b.min(), 3.0);
+    EXPECT_DOUBLE_EQ(b.max(), 5.0);
+}
+
+TEST(Stats, HistogramMergeAddsBuckets)
+{
+    Histogram a(0.0, 100.0, 10), b(0.0, 100.0, 10);
+    for (int i = 0; i < 50; ++i)
+        a.sample(i + 0.5);
+    for (int i = 50; i < 100; ++i)
+        b.sample(i + 0.5);
+    b.sample(-1.0);
+    b.sample(200.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 102u);
+    for (std::size_t i = 0; i < a.buckets(); ++i)
+        EXPECT_EQ(a.bucketCount(i), 10u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Stats, HistogramMergeShapeMismatchDies)
+{
+    Histogram a(0.0, 100.0, 10), b(0.0, 50.0, 10);
+    EXPECT_DEATH(a.merge(b), "mismatched shape");
+}
+
 TEST(Stats, HistogramBucketsAndQuantiles)
 {
     Histogram h(0.0, 100.0, 10);

@@ -19,6 +19,11 @@
  *   enzchaos --no-net            skip TCP side traffic
  *   enzchaos --no-rdma           skip RDMA side traffic
  *   enzchaos --with-bmc          attach the BMC for rail glitches
+ *   enzchaos --threads N         run the machine as parallel timing
+ *                                domains on N threads (also honors
+ *                                ENZIAN_THREADS; needs a domain-safe
+ *                                plan, else falls back to the legacy
+ *                                single-queue run with a warning)
  *   enzchaos --dump-plan         print the effective plan and exit
  *   enzchaos --json [FILE]       also dump the full stats registry JSON
  */
@@ -46,7 +51,8 @@ usage()
                  "[--lines N]\n"
                  "                [--traffic-seed N] [--no-net] "
                  "[--no-rdma] [--with-bmc]\n"
-                 "                [--dump-plan] [--json [FILE]]\n");
+                 "                [--threads N] [--dump-plan] "
+                 "[--json [FILE]]\n");
     std::exit(2);
 }
 
@@ -75,6 +81,11 @@ main(int argc, char **argv)
     bool dump_plan = false;
     bool want_json = false;
     std::string json_path;
+    std::uint32_t threads = 0;
+    if (const char *env = std::getenv("ENZIAN_THREADS");
+        env && *env)
+        threads = static_cast<std::uint32_t>(
+            std::strtoul(env, nullptr, 10));
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -104,6 +115,9 @@ main(int argc, char **argv)
             cfg.with_rdma = false;
         } else if (!std::strcmp(arg, "--with-bmc")) {
             cfg.with_bmc = true;
+        } else if (!std::strcmp(arg, "--threads") && i + 1 < argc) {
+            threads = static_cast<std::uint32_t>(
+                parseU64(argv[++i], "threads"));
         } else if (!std::strcmp(arg, "--dump-plan")) {
             dump_plan = true;
         } else if (!std::strcmp(arg, "--json")) {
@@ -136,7 +150,20 @@ main(int argc, char **argv)
     for (const auto &s : plan->faults)
         std::printf("  %s\n", s.toString().c_str());
 
-    const fault::ChaosResult r = fault::runChaos(*plan, cfg);
+    if (threads > 0 && !fault::planParallelSafe(*plan)) {
+        std::fprintf(stderr,
+                     "enzchaos: plan is not domain-safe (only ECI "
+                     "msg drop/corrupt can run in parallel); "
+                     "falling back to the single-queue machine\n");
+        threads = 0;
+    }
+    if (threads > 0)
+        std::printf("parallel: %u thread(s), timing-domain machine\n",
+                    threads);
+
+    const fault::ChaosResult r =
+        threads > 0 ? fault::runChaosParallel(*plan, cfg, threads)
+                    : fault::runChaos(*plan, cfg);
 
     std::printf("\n%s\n", r.report.c_str());
     std::printf("ops: %llu issued, %llu completed\n",
