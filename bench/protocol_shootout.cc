@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Protocol / LLC-policy shootout: the same synchronization-shaped
+ * workloads run under every registered coherence table, and the same
+ * capacity-contention stream run under every LLC policy.
+ *
+ * Part 1 drives the full timed machine (CPU remote agent vs FPGA
+ * home agent, read-allocate on so a resident home copy exists for
+ * update protocols to refresh) through three classic sharing
+ * patterns and counts ECI messages per operation with a fabric tap
+ * (taps chain, so this coexists with any monitor):
+ *
+ *  - lock: both sides read-then-write one line (acquire/release
+ *    ping-pong) — the invalidation-heavy worst case.
+ *  - false-sharing: both sides blindly write one line they never
+ *    read — update protocols (dragon) pay a payload per write but
+ *    avoid refetch round-trips.
+ *  - producer-consumer: one side writes, the other reads — the
+ *    pattern write-update protocols are built for.
+ *
+ * Messages per operation is a deterministic property of the protocol
+ * table, not of the host machine, so the floors are tight.
+ *
+ * Part 2 replays a fixed interleaved access stream (a resident local
+ * working set + a remote streaming scan) against the standalone L2
+ * model under lru / way-partition / adaptive and reports the local
+ * stream's hit rate: partitioning must isolate the local set from
+ * the scan.
+ *
+ * Emits BENCH_protocol_shootout.json; CI guards it against
+ * bench/baselines/protocol_shootout_floor.json. EXPERIMENTS.md
+ * explains how to regenerate the table.
+ */
+
+#include "bench_common.hh"
+
+#include <cstring>
+#include <map>
+
+#include "cache/cache.hh"
+#include "eci/protocol_table.hh"
+
+using namespace enzian;
+using namespace enzian::bench;
+
+namespace {
+
+/** Run the queue until @p flag is set. */
+void
+runUntilDone(EventQueue &eq, const bool &flag)
+{
+    for (int i = 0; i < 1000000 && !flag; ++i) {
+        if (!eq.runOne())
+            break;
+    }
+    ENZIAN_ASSERT(flag, "operation never completed");
+}
+
+struct ShapeResult
+{
+    double msgsPerOp;
+    double usPerOp;
+};
+
+enum class Shape { Lock, FalseSharing, ProducerConsumer };
+
+const char *
+toString(Shape s)
+{
+    switch (s) {
+      case Shape::Lock:
+        return "lock";
+      case Shape::FalseSharing:
+        return "false_sharing";
+      case Shape::ProducerConsumer:
+        return "producer_consumer";
+    }
+    return "?";
+}
+
+/**
+ * Run @p rounds of one sharing shape; count fabric messages.
+ *
+ * The contended line is CPU-homed: the CPU home agent fronts the L2
+ * (so a resident home copy exists for update protocols to refresh)
+ * and the FPGA remote agent caches the line across the fabric — the
+ * direction where the protocol tables genuinely diverge. The first
+ * few rounds are warmup; only the steady state is measured.
+ */
+ShapeResult
+runShape(const std::string &protocol, Shape shape, int rounds)
+{
+    platform::EnzianMachine::Config cfg =
+        platform::enzianDefaultConfig();
+    cfg.cpu_dram_bytes = 64ull << 20;
+    cfg.fpga_dram_bytes = 64ull << 20;
+    cfg.protocol = protocol;
+    cfg.home_read_allocate = true; // keep a resident home copy
+    cfg.name = "shootout";
+    platform::EnzianMachine m(cfg);
+    cache::Cache fpgaCache("shootout.fpga.cache", m.fpgaEventq(),
+                           cache::Cache::Config{});
+    m.fpgaRemote().attachCache(&fpgaCache);
+
+    std::uint64_t msgs = 0;
+    m.fabric().addTap(
+        [&](Tick, const eci::EciMsg &) { ++msgs; });
+
+    const Addr line = 0x20000; // CPU-homed
+    std::uint8_t buf[cache::lineSize] = {};
+
+    EventQueue &eq = m.eventq();
+    std::uint64_t ops = 0;
+
+    auto fpgaRead = [&]() {
+        bool done = false;
+        m.fpgaRemote().readLine(line, buf, [&](Tick) { done = true; });
+        runUntilDone(eq, done);
+        ++ops;
+    };
+    auto fpgaWrite = [&]() {
+        bool done = false;
+        m.fpgaRemote().writeLine(line, buf,
+                                 [&](Tick) { done = true; });
+        runUntilDone(eq, done);
+        ++ops;
+    };
+    auto cpuRead = [&]() {
+        bool done = false;
+        m.cpuHome().localRead(line, buf, [&](Tick) { done = true; });
+        runUntilDone(eq, done);
+        ++ops;
+    };
+    auto cpuWrite = [&]() {
+        bool done = false;
+        m.cpuHome().localWrite(line, buf, [&](Tick) { done = true; });
+        runUntilDone(eq, done);
+        ++ops;
+    };
+
+    Tick t0 = 0;
+    for (int r = -4; r < rounds; ++r) {
+        if (r == 0) { // warmup done; measure the steady state
+            msgs = 0;
+            ops = 0;
+            t0 = eq.now();
+        }
+        switch (shape) {
+          case Shape::Lock:
+            fpgaRead();
+            fpgaWrite();
+            cpuRead();
+            cpuWrite();
+            break;
+          case Shape::FalseSharing:
+            fpgaWrite();
+            cpuWrite();
+            break;
+          case Shape::ProducerConsumer:
+            fpgaWrite();
+            cpuRead();
+            break;
+        }
+    }
+    const double us = units::toMicros(eq.now() - t0);
+    return ShapeResult{static_cast<double>(msgs) /
+                           static_cast<double>(ops),
+                       us / static_cast<double>(ops)};
+}
+
+/**
+ * Local-stream hit rate for one LLC policy: an 8-line resident set
+ * (one way's worth of a 4-way x 8-set cache, so even the adaptive
+ * policy's 1-way floor can hold it) interleaved with a remote scan
+ * that never reuses a line but misses 4x as often.
+ */
+double
+localHitRate(cache::ReplPolicy policy)
+{
+    EventQueue eq;
+    cache::Cache::Config cfg;
+    cfg.size_bytes = 4 * 1024; // 4 ways x 8 sets
+    cfg.ways = 4;
+    cfg.policy = policy;
+    cfg.adapt_epoch = 64;
+    cache::Cache c("llc", eq, cfg);
+
+    std::uint8_t zero[cache::lineSize] = {};
+    std::uint64_t localRefs = 0, localHits = 0;
+    for (int i = 0; i < 4096; ++i) {
+        const Addr local = (static_cast<Addr>(i) % 8) * 128;
+        ++localRefs;
+        if (c.access(local)) {
+            ++localHits;
+        } else {
+            c.fill(local, cache::MoesiState::Shared, zero,
+                   cache::ownerLocal);
+        }
+        // The scan runs 4x hotter than the local stream, so under
+        // global LRU the resident set is steadily flushed.
+        for (int k = 0; k < 4; ++k) {
+            const Addr remote =
+                0x100000 +
+                static_cast<Addr>(i * 4 + k) * 128; // never reused
+            if (!c.access(remote)) {
+                c.fill(remote, cache::MoesiState::Shared, zero,
+                       cache::ownerRemote);
+            }
+        }
+    }
+    return static_cast<double>(localHits) /
+           static_cast<double>(localRefs);
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchReport report("protocol_shootout");
+    header("Protocol shootout: ECI messages per operation");
+
+    std::printf("%-18s", "shape");
+    for (const auto *p : eci::proto::allProtocols())
+        std::printf(" %10s", p->name());
+    std::printf("\n");
+    std::map<std::string, double> msgsPerOp;
+    for (Shape shape : {Shape::Lock, Shape::FalseSharing,
+                        Shape::ProducerConsumer}) {
+        std::printf("%-18s", toString(shape));
+        for (const auto *p : eci::proto::allProtocols()) {
+            const ShapeResult r = runShape(p->name(), shape, 50);
+            std::printf(" %10.2f", r.msgsPerOp);
+            const std::string key = std::string(toString(shape)) +
+                                    "_" + p->name();
+            msgsPerOp[key] = r.msgsPerOp;
+            report.add(key + "_msgs_per_op", r.msgsPerOp);
+        }
+        std::printf("  msgs/op\n");
+    }
+    // Higher-is-better derived metric for the CI floor check: how
+    // many times fewer messages the write-update protocol needs on
+    // the pattern it is built for.
+    const double advantage = msgsPerOp["producer_consumer_moesi"] /
+                             msgsPerOp["producer_consumer_dragon"];
+    std::printf("\ndragon producer-consumer advantage: %.2fx fewer "
+                "messages than moesi\n",
+                advantage);
+    report.add("producer_consumer_update_advantage", advantage);
+
+    header("LLC policy: local hit rate under a remote scan");
+    for (cache::ReplPolicy policy :
+         {cache::ReplPolicy::Lru, cache::ReplPolicy::WayPartition,
+          cache::ReplPolicy::Adaptive}) {
+        const double hr = localHitRate(policy);
+        std::printf("%-18s %6.1f%%\n", cache::toString(policy),
+                    hr * 100.0);
+        std::string name = cache::toString(policy);
+        for (auto &ch : name) {
+            if (ch == '-')
+                ch = '_';
+        }
+        report.add("llc_local_hitrate_" + name, hr);
+    }
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Model-checker throughput: states explored per second, with and
+ * without reductions, at one and several BFS workers.
+ *
+ * The verification workflow (ecicheck over every protocol x mutation
+ * in CI) is bounded by raw exploration speed, so this bench guards
+ * it the same way kernel_events guards the DES kernel. Reported
+ * metrics:
+ *
+ *  - explore_sps_t1 / explore_sps_t4: states per second on the
+ *    two-line MOESI product space (symmetry + POR on) with 1 and 4
+ *    worker threads. Absolute, machine-dependent — the floor file
+ *    keeps conservative CI-class baselines.
+ *  - reduction_pct: percentage of states the reductions remove from
+ *    the unreduced two-line space. A property of the algorithm, not
+ *    the machine; it regresses only if symmetry/POR break.
+ *
+ * Emits BENCH_verif_explore.json via bench_common.hh; CI guards the
+ * metrics against bench/baselines/verif_explore_floor.json.
+ */
+
+#include "bench_common.hh"
+
+#include <chrono>
+
+#include "verif/explorer.hh"
+
+using namespace enzian;
+using namespace enzian::bench;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Explore repeatedly for >= ~0.5 s; return states per second. */
+double
+statesPerSecond(const verif::Options &opt)
+{
+    // Warm-up run (page-faults the allocator, sizes the tables).
+    std::uint64_t states = verif::explore(opt).states;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t explored = 0;
+    int reps = 0;
+    do {
+        explored += verif::explore(opt).states;
+        ++reps;
+    } while (secondsSince(t0) < 0.5);
+    (void)states;
+    return static_cast<double>(explored) / secondsSince(t0);
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchReport report("verif_explore");
+    header("Model-checker throughput (two-line MOESI product space)");
+
+    verif::Options opt;
+    opt.lines = 2;
+    opt.symmetry = true;
+    opt.por = true;
+
+    opt.threads = 1;
+    const double t1 = statesPerSecond(opt);
+    opt.threads = 4;
+    const double t4 = statesPerSecond(opt);
+
+    verif::Options full = opt;
+    full.symmetry = false;
+    full.por = false;
+    full.threads = 1;
+    const verif::Report reduced = verif::explore(opt);
+    const verif::Report unreduced = verif::explore(full);
+    const double reduction =
+        100.0 * (1.0 - static_cast<double>(reduced.states) /
+                           static_cast<double>(unreduced.states));
+
+    std::printf("%-28s %12.0f states/s\n", "sym+por, 1 thread", t1);
+    std::printf("%-28s %12.0f states/s\n", "sym+por, 4 threads", t4);
+    std::printf("%-28s %8llu -> %llu states (%.1f%% fewer)\n",
+                "reduction",
+                static_cast<unsigned long long>(unreduced.states),
+                static_cast<unsigned long long>(reduced.states),
+                reduction);
+
+    report.add("explore_sps_t1", t1);
+    report.add("explore_sps_t4", t4);
+    report.add("reduction_pct", reduction);
+    return 0;
+}

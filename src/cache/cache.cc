@@ -25,6 +25,14 @@ Cache::Cache(std::string name, EventQueue &eq, const Config &cfg)
         fatal("cache '%s': set count %u not a power of two",
               SimObject::name().c_str(), sets_);
     frames_.resize(static_cast<std::size_t>(sets_) * cfg_.ways);
+    if (cfg_.policy != ReplPolicy::Lru) {
+        WayAllocator::Config acfg;
+        acfg.ways = cfg_.ways;
+        acfg.partitions = cfg_.partitions;
+        acfg.policy = cfg_.policy;
+        acfg.adapt_epoch = cfg_.adapt_epoch;
+        alloc_ = std::make_unique<WayAllocator>(acfg);
+    }
     stats().addCounter("hits", &hits_);
     stats().addCounter("misses", &misses_);
     stats().addCounter("evictions", &evictions_);
@@ -84,7 +92,8 @@ Cache::access(Addr addr)
 }
 
 std::optional<Eviction>
-Cache::fill(Addr addr, MoesiState state, const std::uint8_t *data)
+Cache::fill(Addr addr, MoesiState state, const std::uint8_t *data,
+            std::uint32_t owner)
 {
     addr = lineAlign(addr);
     ENZIAN_ASSERT(state != MoesiState::Invalid, "fill with Invalid");
@@ -98,10 +107,15 @@ Cache::fill(Addr addr, MoesiState state, const std::uint8_t *data)
         return std::nullopt;
     }
 
+    if (alloc_)
+        alloc_->recordMiss(owner);
+
     const std::size_t base =
         static_cast<std::size_t>(setIndex(addr)) * cfg_.ways;
     LineFrame *victim = nullptr;
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (alloc_ && !alloc_->mayAllocate(owner, w))
+            continue;
         LineFrame &f = frames_[base + w];
         if (!f.valid()) {
             victim = &f;
@@ -110,6 +124,7 @@ Cache::fill(Addr addr, MoesiState state, const std::uint8_t *data)
         if (!victim || f.lastUse < victim->lastUse)
             victim = &f;
     }
+    ENZIAN_ASSERT(victim, "owner %u owns no way", owner);
 
     std::optional<Eviction> evicted;
     if (victim->valid()) {
@@ -128,6 +143,21 @@ Cache::fill(Addr addr, MoesiState state, const std::uint8_t *data)
     else
         victim->data.assign(lineSize, 0);
     return evicted;
+}
+
+bool
+Cache::hasFreeFrame(Addr addr, std::uint32_t owner) const
+{
+    addr = lineAlign(addr);
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(addr)) * cfg_.ways;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (alloc_ && !alloc_->mayAllocate(owner, w))
+            continue;
+        if (!frames_[base + w].valid())
+            return true;
+    }
+    return false;
 }
 
 void

@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "base/stats.hh"
+#include "cache/llc_policy.hh"
 #include "cache/moesi.hh"
 #include "sim/sim_object.hh"
 
@@ -45,11 +47,19 @@ struct Eviction
 class Cache : public SimObject
 {
   public:
-    /** Geometry configuration. */
+    /** Geometry and policy configuration. */
     struct Config
     {
         std::uint64_t size_bytes = 16 * 1024 * 1024; // ThunderX-1 L2
         std::uint32_t ways = 16;
+        /** Victim selection: Lru ignores owners entirely;
+         *  WayPartition / Adaptive restrict each fill's victim to
+         *  the ways owned by the filling class (llc_policy.hh). */
+        ReplPolicy policy = ReplPolicy::Lru;
+        /** Owner classes when partitioned (0 = local, 1 = remote). */
+        std::uint32_t partitions = 2;
+        /** Adaptive epoch length in misses. */
+        std::uint64_t adapt_epoch = 1024;
     };
 
     Cache(std::string name, EventQueue &eq, const Config &cfg);
@@ -65,10 +75,21 @@ class Cache : public SimObject
 
     /**
      * Install a line with @p state and @p data (lineSize bytes).
+     * Under a partitioned policy the victim is chosen among the ways
+     * owned by @p owner; lookups are unrestricted, so foreign-owned
+     * residents simply age out.
      * @return the victim line if a valid line had to be evicted.
      */
     std::optional<Eviction> fill(Addr addr, MoesiState state,
-                                 const std::uint8_t *data);
+                                 const std::uint8_t *data,
+                                 std::uint32_t owner = 0);
+
+    /**
+     * True when a fill of @p addr by @p owner would find an invalid
+     * frame (i.e. would not evict a valid line). Lets callers that
+     * cannot handle an Eviction allocate opportunistically.
+     */
+    bool hasFreeFrame(Addr addr, std::uint32_t owner = 0) const;
 
     /** Change the state of a resident line. @pre line is resident. */
     void setState(Addr addr, MoesiState state);
@@ -89,6 +110,9 @@ class Cache : public SimObject
     std::uint32_t sets() const { return sets_; }
     std::uint32_t ways() const { return cfg_.ways; }
 
+    /** The way allocator, or nullptr under plain LRU. */
+    const WayAllocator *allocator() const { return alloc_.get(); }
+
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t evictions() const { return evictions_.value(); }
@@ -103,6 +127,7 @@ class Cache : public SimObject
     std::uint32_t sets_;
     std::uint64_t useClock_ = 0;
     std::vector<LineFrame> frames_; // sets_ x ways, row-major
+    std::unique_ptr<WayAllocator> alloc_; // null under plain LRU
     Counter hits_;
     Counter misses_;
     Counter evictions_;

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * LLC way-allocation policies (implementation).
+ */
+
+#include "cache/llc_policy.hh"
+
+#include "base/logging.hh"
+
+namespace enzian::cache {
+
+const char *
+toString(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru:
+        return "lru";
+      case ReplPolicy::WayPartition:
+        return "way-partition";
+      case ReplPolicy::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+WayAllocator::WayAllocator(const Config &cfg) : cfg_(cfg)
+{
+    ENZIAN_ASSERT(cfg_.partitions >= 1, "no owner classes");
+    ENZIAN_ASSERT(cfg_.ways >= cfg_.partitions,
+                  "fewer ways (%u) than owner classes (%u)", cfg_.ways,
+                  cfg_.partitions);
+    ownerOf_.resize(cfg_.ways);
+    // Even contiguous split; remainders go to the low owners.
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        ownerOf_[w] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(w) * cfg_.partitions) /
+            cfg_.ways);
+    }
+    epochMisses_.assign(cfg_.partitions, 0);
+}
+
+void
+WayAllocator::recordMiss(std::uint32_t owner)
+{
+    if (cfg_.policy != ReplPolicy::Adaptive)
+        return;
+    epochMisses_[clampOwner(owner)]++;
+    if (++epochTotal_ >= cfg_.adapt_epoch) {
+        rebalance();
+        epochMisses_.assign(cfg_.partitions, 0);
+        epochTotal_ = 0;
+    }
+}
+
+std::uint32_t
+WayAllocator::waysOf(std::uint32_t owner) const
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t o : ownerOf_)
+        n += o == clampOwner(owner) ? 1 : 0;
+    return n;
+}
+
+void
+WayAllocator::rebalance()
+{
+    // Pressure = misses per owned way this epoch. Move ONE way from
+    // the least- to the most-pressured owner; a single way per epoch
+    // keeps the partition stable under noisy workloads.
+    std::uint32_t loser = 0, winner = 0;
+    double lo = 0, hi = 0;
+    for (std::uint32_t o = 0; o < cfg_.partitions; ++o) {
+        const std::uint32_t ways = waysOf(o);
+        const double pressure =
+            static_cast<double>(epochMisses_[o]) / ways;
+        // Loser ties break toward the owner with more ways, so a
+        // symmetric load drifts back to an even split.
+        if (o == 0 || pressure < lo ||
+            (pressure == lo && ways > waysOf(loser))) {
+            loser = o;
+            lo = pressure;
+        }
+        if (o == 0 || pressure > hi) {
+            winner = o;
+            hi = pressure;
+        }
+    }
+    if (winner == loser || waysOf(loser) <= 1)
+        return; // nothing to move, or the loser is at its floor
+    // Donate the loser's last-owned way (highest index).
+    for (std::uint32_t w = cfg_.ways; w-- > 0;) {
+        if (ownerOf_[w] == loser) {
+            ownerOf_[w] = winner;
+            ++rebalances_;
+            return;
+        }
+    }
+}
+
+} // namespace enzian::cache

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * LLC replacement-domain policies: way partitioning and adaptive
+ * repartitioning.
+ *
+ * The Enzian CPU's shared L2 serves two traffic classes at once: the
+ * CPU node's own lines (snooped by the home agent) and peer-homed
+ * lines allocated by the remote agent (cached mode). Under plain LRU
+ * a streaming remote workload can evict the entire local working set.
+ * The WayAllocator assigns each way of every set to one owner class:
+ *
+ *  - WayPartition: a static even split — hard isolation, no
+ *    interference, possibly wasted capacity;
+ *  - Adaptive: the split starts even and migrates one way per epoch
+ *    toward the owner with the higher miss rate per owned way, never
+ *    shrinking an owner below one way — utility-based repartitioning
+ *    in the spirit of UCP, cheap enough for a simulator hot path.
+ *
+ * The allocator only constrains *victim selection*; lookups hit in
+ * any way, so a repartition never invalidates resident lines (they
+ * age out of the ways they no longer own).
+ */
+
+#ifndef ENZIAN_CACHE_LLC_POLICY_HH
+#define ENZIAN_CACHE_LLC_POLICY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace enzian::cache {
+
+/** Victim-selection policy of a shared cache. */
+enum class ReplPolicy : std::uint8_t {
+    Lru,          ///< classic global LRU, no ownership
+    WayPartition, ///< static even way split between owners
+    Adaptive,     ///< way split migrates toward the missier owner
+};
+
+/** Readable policy name. */
+const char *toString(ReplPolicy p);
+
+/** Conventional owner classes for the shared L2. */
+constexpr std::uint32_t ownerLocal = 0;  ///< CPU-node-homed lines
+constexpr std::uint32_t ownerRemote = 1; ///< peer-homed lines
+
+/** Way-to-owner map with optional adaptive rebalancing. */
+class WayAllocator
+{
+  public:
+    struct Config
+    {
+        std::uint32_t ways = 16;
+        /** Owner classes sharing the cache (>= 1). */
+        std::uint32_t partitions = 2;
+        ReplPolicy policy = ReplPolicy::WayPartition;
+        /** Adaptive only: total misses per rebalance epoch. */
+        std::uint64_t adapt_epoch = 1024;
+    };
+
+    explicit WayAllocator(const Config &cfg);
+
+    /** May @p owner allocate (pick its victim) in way @p way? */
+    bool mayAllocate(std::uint32_t owner, std::uint32_t way) const
+    {
+        return ownerOf_[way] == clampOwner(owner);
+    }
+
+    /** Account one miss; Adaptive rebalances on epoch boundaries. */
+    void recordMiss(std::uint32_t owner);
+
+    /** Ways currently owned by @p owner. */
+    std::uint32_t waysOf(std::uint32_t owner) const;
+
+    /** Epoch rebalances that actually moved a way. */
+    std::uint64_t rebalances() const { return rebalances_; }
+
+    std::uint32_t partitions() const { return cfg_.partitions; }
+
+  private:
+    std::uint32_t clampOwner(std::uint32_t owner) const
+    {
+        return owner < cfg_.partitions ? owner : cfg_.partitions - 1;
+    }
+    void rebalance();
+
+    Config cfg_;
+    std::vector<std::uint32_t> ownerOf_; ///< way -> owner class
+    std::vector<std::uint64_t> epochMisses_;
+    std::uint64_t epochTotal_ = 0;
+    std::uint64_t rebalances_ = 0;
+};
+
+} // namespace enzian::cache
+
+#endif // ENZIAN_CACHE_LLC_POLICY_HH

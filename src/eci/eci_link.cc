@@ -110,7 +110,7 @@ EciLink::flushTaps()
     auto &b = tapStage_[1];
     if (a.empty() && b.empty())
         return;
-    if (tap_) {
+    if (!taps_.empty()) {
         // Each stage is sorted by send tick already (sends within a
         // domain are monotone); merge with ties broken toward
         // direction 0 for a fixed observation order.
@@ -120,13 +120,13 @@ EciLink::flushTaps()
             const bool take_a =
                 j >= b.size() ||
                 (i < a.size() && a[i].first <= b[j].first);
-            if (take_a) {
-                tap_(a[i].first, a[i].second);
+            const auto &e = take_a ? a[i] : b[j];
+            for (const Tap &t : taps_)
+                t(e.first, e.second);
+            if (take_a)
                 ++i;
-            } else {
-                tap_(b[j].first, b[j].second);
+            else
                 ++j;
-            }
         }
     }
     a.clear();
@@ -208,8 +208,8 @@ EciLink::send(const EciMsg &msg)
         if (act != FaultAction::Deliver)
             return sendFaulted(now(), msg, act);
     }
-    if (tap_)
-        tap_(now(), msg);
+    for (const Tap &tap : taps_)
+        tap(now(), msg);
 
     const TxTiming t = txTiming(now(), msg);
     recordTx(dir, now(), msg, t);
@@ -253,7 +253,7 @@ EciLink::sendDomain(const EciMsg &msg)
         if (act != FaultAction::Deliver)
             return sendFaulted(tnow, msg, act);
     }
-    if (tap_)
+    if (!taps_.empty())
         tapStage_[dir].emplace_back(tnow, msg);
 
     const TxTiming t = txTiming(tnow, msg);
@@ -412,6 +412,13 @@ EciFabric::setTap(EciLink::Tap tap)
 {
     for (auto &l : links_)
         l->setTap(tap);
+}
+
+void
+EciFabric::addTap(EciLink::Tap tap)
+{
+    for (auto &l : links_)
+        l->addTap(tap);
 }
 
 void

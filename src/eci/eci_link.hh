@@ -103,8 +103,31 @@ class EciLink : public SimObject
     /** Register the message handler for node @p node. */
     void setReceiver(mem::NodeId node, Handler h);
 
-    /** Install a trace tap (pass nullptr to remove). */
-    void setTap(Tap tap) { tap_ = std::move(tap); }
+    /**
+     * Install a trace tap, replacing any existing taps (pass nullptr
+     * to remove all). Prefer addTap() — observers that setTap()
+     * silently disconnect each other.
+     */
+    void setTap(Tap tap)
+    {
+        taps_.clear();
+        if (tap)
+            taps_.push_back(std::move(tap));
+    }
+
+    /**
+     * Append a trace tap, keeping any already installed. Taps fire in
+     * attach order for every observed message, so e.g. an
+     * InvariantMonitor and a pcap trace can watch the same fabric.
+     */
+    void addTap(Tap tap)
+    {
+        if (tap)
+            taps_.push_back(std::move(tap));
+    }
+
+    /** Number of attached taps. */
+    std::size_t tapCount() const { return taps_.size(); }
 
     /** Install a fault filter (pass nullptr to remove). */
     void setFaultFilter(FaultFilter f) { fault_ = std::move(f); }
@@ -246,7 +269,7 @@ class EciLink : public SimObject
     std::array<DirTick, 2> busFreeAt_;
     std::array<Handler, 2> handlers_;
     std::array<DeliveryQueue, 2> deliverQ_;
-    Tap tap_;
+    std::vector<Tap> taps_; ///< fire in attach order
     FaultFilter fault_;
     /** Tick the current retrain (if any) completes. */
     Tick retrainEndsAt_ = 0;
@@ -294,8 +317,11 @@ class EciFabric : public SimObject
     /** Register receiver on all links. */
     void setReceiver(mem::NodeId node, EciLink::Handler h);
 
-    /** Install a trace tap on all links. */
+    /** Install a trace tap on all links, replacing existing taps. */
     void setTap(EciLink::Tap tap);
+
+    /** Append a trace tap on all links (chains with existing taps). */
+    void addTap(EciLink::Tap tap);
 
     /**
      * Switch every link into parallel domain mode (see

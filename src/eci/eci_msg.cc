@@ -73,6 +73,8 @@ toString(Opcode op)
         return "IOBACK";
       case Opcode::IPI:
         return "IPI";
+      case Opcode::RUPD:
+        return "RUPD";
     }
     return "?";
 }
@@ -92,6 +94,7 @@ vcOf(Opcode op)
         return Vc::Response;
       case Opcode::RSTT:
       case Opcode::RWBD:
+      case Opcode::RUPD:
       case Opcode::PEMD:
         return Vc::Data;
       case Opcode::SINV:
@@ -116,6 +119,7 @@ carriesLine(Opcode op)
     switch (op) {
       case Opcode::RSTT:
       case Opcode::RWBD:
+      case Opcode::RUPD:
       case Opcode::PEMD:
       case Opcode::SACKI:
       case Opcode::SACKS:

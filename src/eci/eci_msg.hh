@@ -71,6 +71,11 @@ enum class Opcode : std::uint8_t {
     IOBACK,    ///< I/O completion (read data / write ack)
     // Interrupts
     IPI,       ///< inter-processor interrupt
+    // Update-protocol extension (appended so the wire encodings of
+    // the base opcodes stay stable)
+    RUPD,      ///< full-line write-update for S->M (carries data);
+               ///< used by update-based protocol tables instead of
+               ///< RUPG, letting the home refresh shared copies
 };
 
 /** Readable opcode mnemonic. */
@@ -82,7 +87,7 @@ Vc vcOf(Opcode op);
 /** True if the opcode carries a full cache line of payload. */
 bool carriesLine(Opcode op);
 
-/** Permission grant carried by a PEMD. */
+/** Permission grant carried by a PEMD or an upgrade PACK. */
 enum class Grant : std::uint8_t { Shared = 0, Exclusive, Owned };
 
 /** One ECI message. */
@@ -97,7 +102,7 @@ struct EciMsg
     std::uint32_t tid = 0;
     /** Line-aligned address (coherent ops) or I/O address. */
     Addr addr = 0;
-    /** Permission grant (PEMD only). */
+    /** Permission grant (PEMD, and PACK answering RUPG/RUPD). */
     Grant grant = Grant::Shared;
     /** I/O access size in bytes (IOBLD/IOBST/IOBACK), or IPI vector. */
     std::uint32_t ioLen = 0;

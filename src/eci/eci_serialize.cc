@@ -46,7 +46,7 @@ get64(const std::uint8_t *p)
 bool
 validOpcode(std::uint8_t op)
 {
-    return op <= static_cast<std::uint8_t>(Opcode::IPI);
+    return op <= static_cast<std::uint8_t>(Opcode::RUPD);
 }
 
 } // namespace
@@ -60,7 +60,7 @@ serializeTo(const EciMsg &msg, std::vector<std::uint8_t> &out)
     out.push_back(static_cast<std::uint8_t>(msg.dst));
     out.push_back(static_cast<std::uint8_t>(msg.vc()));
     put32(out, msg.tid);
-    if (msg.op == Opcode::PEMD)
+    if (msg.op == Opcode::PEMD || msg.op == Opcode::PACK)
         put32(out, static_cast<std::uint32_t>(msg.grant));
     else if (msg.op == Opcode::SACKI || msg.op == Opcode::SACKS)
         put32(out, msg.hasData ? 1 : 0);
@@ -102,7 +102,7 @@ deserialize(const std::uint8_t *data, std::size_t len,
     if (data[7] != static_cast<std::uint8_t>(vcOf(msg.op)))
         return std::nullopt; // VC must match the opcode's circuit
     msg.tid = get32(data + 8);
-    if (msg.op == Opcode::PEMD)
+    if (msg.op == Opcode::PEMD || msg.op == Opcode::PACK)
         msg.grant = static_cast<Grant>(get32(data + 12));
     else if (msg.op == Opcode::SACKI || msg.op == Opcode::SACKS)
         msg.hasData = get32(data + 12) != 0;

@@ -199,6 +199,7 @@ HomeAgent::handle(const EciMsg &msg)
       case Opcode::RLDI:
       case Opcode::RSTT:
       case Opcode::RUPG:
+      case Opcode::RUPD:
       case Opcode::RWBD:
       case Opcode::REVC:
         if (recovery_ && isDuplicateRequest(msg))
@@ -255,6 +256,7 @@ HomeAgent::process(const EciMsg &msg)
         serveUncachedWrite(msg);
         return;
       case Opcode::RUPG:
+      case Opcode::RUPD:
         serveUpgrade(msg);
         return;
       case Opcode::RWBD:
@@ -302,7 +304,7 @@ HomeAgent::serveRead(const EciMsg &msg, bool exclusive, bool allocate)
     const MoesiState local =
         localCache_ ? localCache_->probe(line) : MoesiState::Invalid;
     const proto::HomeReadStep step =
-        proto::homeRead(local, remoteState(line), exclusive, allocate);
+        table_->homeRead(local, remoteState(line), exclusive, allocate);
 
     const bool local_had_copy = local != MoesiState::Invalid;
     bool local_flush = false;
@@ -320,6 +322,17 @@ HomeAgent::serveRead(const EciMsg &msg, bool exclusive, bool allocate)
             break;
           }
           case proto::LocalAction::DowngradeOwned:
+            localCache_->setState(line, step.localAfter);
+            break;
+          case proto::LocalAction::DowngradeShared:
+            // MESI: the dirty data flushes to the source before the
+            // copy is held clean-Shared (the read response already
+            // carries it to the requester).
+            if (step.flushLocalDirty) {
+                local_flush = true;
+                flush_data.assign(rsp->line.begin(),
+                                  rsp->line.end());
+            }
             localCache_->setState(line, step.localAfter);
             break;
           case proto::LocalAction::Keep:
@@ -402,15 +415,33 @@ HomeAgent::serveUpgrade(const EciMsg &msg)
     const MoesiState local =
         localCache_ ? localCache_->probe(line) : MoesiState::Invalid;
     const proto::HomeUpgradeStep step =
-        proto::homeUpgrade(local, remoteState(line));
+        table_->homeUpgrade(local, remoteState(line));
     ENZIAN_ASSERT(step.legal,
-                  "RUPG for line %llx with remote state %s, home %s",
+                  "%s for line %llx with remote state %s, home %s",
+                  eci::toString(msg.op),
                   static_cast<unsigned long long>(line),
                   cache::toString(remoteState(line)),
                   cache::toString(local));
-    if (localCache_ &&
-        step.localAction == proto::LocalAction::Invalidate)
-        localCache_->invalidate(line);
+    if (localCache_ && local != MoesiState::Invalid) {
+        switch (step.localAction) {
+          case proto::LocalAction::Invalidate:
+            localCache_->invalidate(line);
+            break;
+          case proto::LocalAction::DowngradeShared:
+            // Update protocol: the RUPD payload refreshes the
+            // surviving copy (superseding even dirty local data).
+            if (step.updateData)
+                localCache_->writeData(line, msg.line.data(),
+                                       cache::lineSize);
+            localCache_->setState(line, MoesiState::Shared);
+            break;
+          case proto::LocalAction::DowngradeOwned:
+            localCache_->setState(line, MoesiState::Owned);
+            break;
+          case proto::LocalAction::Keep:
+            break;
+        }
+    }
     dir_[line] = step.dirAfter;
 
     EciMsg rsp;
@@ -419,7 +450,8 @@ HomeAgent::serveUpgrade(const EciMsg &msg)
     rsp.dst = msg.src;
     rsp.tid = msg.tid;
     rsp.addr = line;
-    recordService("RUPG", now(), t0);
+    rsp.grant = step.grant;
+    recordService(eci::toString(msg.op), now(), t0);
     sendAt(t0, rsp);
     finishLine(line);
 }
@@ -431,7 +463,7 @@ HomeAgent::serveWriteBack(const EciMsg &msg)
     const Tick t0 = now() + dirLatency_;
 
     const proto::HomeWritebackStep step =
-        proto::homeWriteback(remoteState(line));
+        table_->homeWriteback(remoteState(line));
     ENZIAN_ASSERT(step.legal,
                   "RWBD for line %llx with remote state %s",
                   static_cast<unsigned long long>(line),
@@ -471,6 +503,21 @@ HomeAgent::serveWriteBack(const EciMsg &msg)
 }
 
 void
+HomeAgent::maybeAllocateLocal(Addr line, const std::uint8_t *data)
+{
+    if (!readAllocate_ || !localCache_ || !data)
+        return;
+    if (localCache_->probe(line) != MoesiState::Invalid)
+        return;
+    // Never force an eviction: the home agent has no writeback path
+    // for foreign-owned victims, so only a free frame is used.
+    if (!localCache_->hasFreeFrame(line, cache::ownerLocal))
+        return;
+    localCache_->fill(line, MoesiState::Shared, data,
+                      cache::ownerLocal);
+}
+
+void
 HomeAgent::localRead(Addr line, std::uint8_t *out, Done done)
 {
     line = cache::lineAlign(line);
@@ -494,7 +541,10 @@ HomeAgent::localRead(Addr line, std::uint8_t *out, Done done)
         }))
         return;
     const MoesiState rs = remoteState(line);
-    if (proto::homeLocalReadSnoop(rs) == proto::SnoopKind::Forward) {
+    const MoesiState lrs =
+        localCache_ ? localCache_->probe(line) : MoesiState::Invalid;
+    if (table_->homeLocalReadSnoop(lrs, rs) ==
+        proto::SnoopKind::Forward) {
         // Remote holds the freshest copy: snoop-forward it. The
         // pending snoop keeps the raw completion; the snoop-response
         // handler frees the line (or retries on a snoop miss).
@@ -528,7 +578,9 @@ HomeAgent::localRead(Addr line, std::uint8_t *out, Done done)
         return;
     }
     source_->readLine(now() + dirLatency_, line, out,
-                      [this, done = std::move(done)](Tick ready) {
+                      [this, line, out,
+                       done = std::move(done)](Tick ready) {
+                          maybeAllocateLocal(line, out);
                           if (ready <= now()) {
                               done(ready);
                           } else {
@@ -555,7 +607,7 @@ HomeAgent::localWrite(Addr line, const std::uint8_t *data, Done done)
         }))
         return;
     const MoesiState rs = remoteState(line);
-    if (proto::homeLocalWriteSnoop(rs) ==
+    if (table_->homeLocalWriteSnoop(rs) ==
         proto::SnoopKind::Invalidate) {
         EciMsg snp;
         snp.op = Opcode::SINV;
@@ -661,9 +713,10 @@ HomeAgent::handleSnoopResponse(const EciMsg &msg)
     if (msg.op == Opcode::SACKS) {
         // Remote downgraded M/E -> S and forwarded the data; the data
         // becomes clean at home.
-        dir_[p.line] = proto::homeSnoopResponse(msg.op);
+        dir_[p.line] = table_->homeSnoopResponse(msg.op);
         if (p.out)
             std::memcpy(p.out, msg.line.data(), cache::lineSize);
+        maybeAllocateLocal(p.line, msg.line.data());
         auto data = std::make_shared<std::array<
             std::uint8_t, cache::lineSize>>(msg.line);
         source_->writeLine(
@@ -695,6 +748,7 @@ HomeAgent::handleSnoopResponse(const EciMsg &msg)
         dir_.erase(p.line);
         if (p.out)
             std::memcpy(p.out, msg.line.data(), cache::lineSize);
+        maybeAllocateLocal(p.line, msg.line.data());
         auto data = std::make_shared<std::array<
             std::uint8_t, cache::lineSize>>(msg.line);
         source_->writeLine(

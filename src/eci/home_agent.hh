@@ -28,6 +28,7 @@
 #include "cache/cache.hh"
 #include "eci/eci_link.hh"
 #include "eci/io_space.hh"
+#include "eci/protocol_table.hh"
 #include "mem/memory_controller.hh"
 
 namespace enzian::eci {
@@ -108,6 +109,27 @@ class HomeAgent : public SimObject
 
     /** Attach the home node's own cache, snooped for local copies. */
     void attachLocalCache(cache::Cache *c) { localCache_ = c; }
+
+    /**
+     * Read-allocate policy for the local cache: when on, local reads
+     * whose data came from memory or a remote forward also install
+     * the line locally as Shared, so later upgrades find a resident
+     * home copy (the state write-update protocols exploit). Only
+     * allocates into a free frame — the home agent never forces an
+     * eviction it would have to write back. Off by default: reference
+     * timing runs stay untouched.
+     */
+    void setReadAllocate(bool on) { readAllocate_ = on; }
+
+    /** Select the coherence protocol table (default: shipped MOESI).
+     *  Must match the remote agents'; switch only while idle. */
+    void setProtocol(const proto::ProtocolTable *table)
+    {
+        table_ = table;
+    }
+
+    /** The active protocol table. */
+    const proto::ProtocolTable &protocol() const { return *table_; }
 
     /** Attach the node's uncached I/O space. */
     void attachIoSpace(IoSpace *io) { ioSpace_ = io; }
@@ -191,6 +213,9 @@ class HomeAgent : public SimObject
      */
     bool acquireLine(Addr line, std::function<void()> retry);
 
+    /** Install @p data locally as Shared if read-allocate permits. */
+    void maybeAllocateLocal(Addr line, const std::uint8_t *data);
+
     void serveRead(const EciMsg &msg, bool exclusive, bool allocate);
     void serveUncachedWrite(const EciMsg &msg);
     void serveUpgrade(const EciMsg &msg);
@@ -215,7 +240,9 @@ class HomeAgent : public SimObject
     DramLineSource defaultSource_;
     LineSource *source_;
     cache::Cache *localCache_ = nullptr;
+    bool readAllocate_ = false;
     IoSpace *ioSpace_ = nullptr;
+    const proto::ProtocolTable *table_ = &proto::moesiProtocol();
     std::function<void(std::uint32_t)> ipiHandler_;
 
     /** Remote node's directory state per line (absent = Invalid). */

@@ -30,9 +30,12 @@ namespace enzian::eci::proto {
 
 /** What a home-side step does to the home node's own cached copy. */
 enum class LocalAction : std::uint8_t {
-    Keep,           ///< leave the local copy untouched
-    Invalidate,     ///< drop the local copy
-    DowngradeOwned, ///< keep the copy but fall back to Owned
+    Keep,            ///< leave the local copy untouched
+    Invalidate,      ///< drop the local copy
+    DowngradeOwned,  ///< keep the copy but fall back to Owned
+    DowngradeShared, ///< keep the copy but fall back to Shared
+                     ///< (MESI shared read: dirty data flushes first;
+                     ///< Dragon update: payload refreshes the copy)
 };
 
 /** Decision for serving RLDD / RLDX / RLDI at the home node. */
@@ -57,12 +60,18 @@ struct HomeReadStep
 HomeReadStep homeRead(cache::MoesiState local, cache::MoesiState dir,
                       bool exclusive, bool allocate);
 
-/** Decision for serving RUPG at the home node. */
+/** Decision for serving RUPG (or a table's RUPD) at the home node. */
 struct HomeUpgradeStep
 {
     bool legal;                   ///< directory state permitted the RUPG
     cache::MoesiState dirAfter;   ///< Modified when legal
     LocalAction localAction;      ///< home copy is invalidated
+    /** Permission carried by the PACK; Grant::Owned tells the writer
+     *  other copies survive (update protocols). */
+    Grant grant = Grant::Exclusive;
+    /** The request payload refreshes the home's surviving copy
+     *  (update protocols serving RUPD). */
+    bool updateData = false;
 };
 
 /**

@@ -222,7 +222,7 @@ RemoteAgent::writeLine(Addr line, const std::uint8_t *data, Done done)
         return;
     }
     const proto::RemoteWriteStep step =
-        proto::remoteWrite(cache_->probe(line));
+        table_->remoteWrite(cache_->probe(line));
     if (step.hit) {
         cache_->access(line); // bump LRU
         cache_->writeData(line, data, cache::lineSize);
@@ -240,12 +240,17 @@ RemoteAgent::writeLine(Addr line, const std::uint8_t *data, Done done)
             payload = std::move(payload),
             done = std::move(done)]() mutable {
         Txn t;
-        t.kind = op == Opcode::RUPG ? Kind::Upgrade
-                                    : Kind::CachedWriteMiss;
+        t.kind = (op == Opcode::RUPG || op == Opcode::RUPD)
+                     ? Kind::Upgrade
+                     : Kind::CachedWriteMiss;
         t.line = line;
         t.data = std::move(payload);
         t.done = std::move(done);
-        sendRequest(op, line, std::move(t));
+        // An update (RUPD) ships the full new line so the home can
+        // refresh surviving copies; RUPG/RLDX carry no payload.
+        const std::uint8_t *wire =
+            op == Opcode::RUPD ? t.data.data() : nullptr;
+        sendRequest(op, line, std::move(t), wire);
     });
 }
 
@@ -356,7 +361,7 @@ RemoteAgent::handleEviction(cache::Eviction ev)
 {
     if (map_.homeOf(ev.addr) != peer_)
         return; // locally-homed victims are the home agent's business
-    if (proto::remoteEvict(ev.state) == Opcode::RWBD) {
+    if (table_->remoteEvict(ev.state) == Opcode::RWBD) {
         markLineBusy(ev.addr);
         Txn t;
         t.kind = Kind::WriteBack;
@@ -442,8 +447,9 @@ RemoteAgent::completeFill(std::uint32_t tid, const EciMsg &msg)
     switch (txn.kind) {
       case Kind::CachedRead: {
         if (cache_) {
-            const MoesiState st = proto::remoteFillState(msg.grant);
-            auto ev = cache_->fill(txn.line, st, msg.line.data());
+            const MoesiState st = table_->remoteFillState(msg.grant);
+            auto ev = cache_->fill(txn.line, st, msg.line.data(),
+                                   cache::ownerRemote);
             if (txn.invalAfterFill)
                 cache_->invalidate(txn.line);
             if (ev)
@@ -455,8 +461,8 @@ RemoteAgent::completeFill(std::uint32_t tid, const EciMsg &msg)
       }
       case Kind::CachedWriteMiss: {
         ENZIAN_ASSERT(cache_, "write-miss fill without cache");
-        auto ev =
-            cache_->fill(txn.line, MoesiState::Modified, txn.data.data());
+        auto ev = cache_->fill(txn.line, MoesiState::Modified,
+                               txn.data.data(), cache::ownerRemote);
         if (txn.invalAfterFill) {
             // The snoop ordered ahead of our write; push the data home.
             auto dirty = cache_->invalidate(txn.line);
@@ -494,7 +500,7 @@ RemoteAgent::handleSnoop(const EciMsg &msg)
 
     const MoesiState s =
         cache_ ? cache_->probe(line) : MoesiState::Invalid;
-    const proto::RemoteSnoopStep step = proto::remoteSnoop(s, msg.op);
+    const proto::RemoteSnoopStep step = table_->remoteSnoop(s, msg.op);
 
     if (step.response == Opcode::SACKS) {
         ENZIAN_ASSERT(cache_, "SFWD hit at cacheless node");
@@ -550,19 +556,25 @@ RemoteAgent::handle(const EciMsg &msg)
         recordCompletion(txn);
         if (txn.kind == Kind::Upgrade) {
             ENZIAN_ASSERT(cache_, "upgrade without cache");
+            // Grant::Owned (update protocols) keeps the writer in
+            // Owned — other copies survived; anything else makes it
+            // the sole Modified owner.
+            const MoesiState after =
+                table_->remoteUpgradeResult(msg.grant);
             if (cache_->probe(txn.line) == MoesiState::Invalid) {
                 // A racing SINV consumed our Shared copy before the
                 // upgrade was granted; the write carries the full
-                // line, so install it fresh as Modified.
-                auto ev = cache_->fill(txn.line, MoesiState::Modified,
-                                       txn.data.data());
+                // line, so install it fresh.
+                auto ev = cache_->fill(txn.line, after,
+                                       txn.data.data(),
+                                       cache::ownerRemote);
                 if (ev)
                     handleEviction(std::move(*ev));
             } else {
                 cache_->access(txn.line);
                 cache_->writeData(txn.line, txn.data.data(),
                                   cache::lineSize);
-                cache_->setState(txn.line, MoesiState::Modified);
+                cache_->setState(txn.line, after);
             }
         }
         if (txn.done)
@@ -629,6 +641,7 @@ dispatch(HomeAgent &home, RemoteAgent &remote, const EciMsg &msg)
       case Opcode::RLDI:
       case Opcode::RSTT:
       case Opcode::RUPG:
+      case Opcode::RUPD:
       case Opcode::RWBD:
       case Opcode::REVC:
       case Opcode::SACKI:

@@ -25,6 +25,7 @@
 
 #include "cache/cache.hh"
 #include "eci/eci_link.hh"
+#include "eci/protocol_table.hh"
 #include "mem/address_map.hh"
 
 namespace enzian::eci {
@@ -57,6 +58,16 @@ class RemoteAgent : public SimObject
 
     /** Attach a local cache; cached ops allocate into it. */
     void attachCache(cache::Cache *c) { cache_ = c; }
+
+    /** Select the coherence protocol table (default: shipped MOESI).
+     *  Must match the home agents'; switch only while idle. */
+    void setProtocol(const proto::ProtocolTable *table)
+    {
+        table_ = table;
+    }
+
+    /** The active protocol table. */
+    const proto::ProtocolTable &protocol() const { return *table_; }
 
     /**
      * Turn on the loss-recovery path: every request keeps a resend
@@ -186,6 +197,7 @@ class RemoteAgent : public SimObject
     mem::NodeId peer_;
     const mem::AddressMap &map_;
     EciFabric &fabric_;
+    const proto::ProtocolTable *table_ = &proto::moesiProtocol();
     Config cfg_;
     cache::Cache *cache_ = nullptr;
 

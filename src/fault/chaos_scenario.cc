@@ -72,6 +72,7 @@ runChaosImpl(const FaultPlan &plan, const ChaosConfig &cfg_in,
     mc.cpu_dram_bytes = 64ull << 20;
     mc.fpga_dram_bytes = 64ull << 20;
     mc.cores = 4;
+    mc.protocol = cfg.protocol;
     mc.name = "chaos";
     mc.threads = par ? std::max(threads, 1u) : 0;
     platform::EnzianMachine m(mc);

@@ -40,6 +40,11 @@ struct ChaosConfig
     bool with_rdma = true;
     /** Attach the BMC for rail glitches (slow: ~100 ms sim time). */
     bool with_bmc = false;
+    /**
+     * Coherence protocol the machine under chaos runs (any name from
+     * eci::proto::allProtocols()); unknown names are fatal.
+     */
+    std::string protocol = "moesi";
 };
 
 /** Scenario outcome. */

@@ -69,6 +69,9 @@ EnzianMachine::EnzianMachine(const Config &cfg) : cfg_(cfg)
     cache::Cache::Config l2cfg;
     l2cfg.size_bytes = params::cpuL2Bytes;
     l2cfg.ways = 16;
+    l2cfg.policy = cfg_.l2_policy;
+    l2cfg.partitions = 2; // local (home) vs remote-agent fills
+    l2cfg.adapt_epoch = cfg_.l2_adapt_epoch;
     l2_ = std::make_unique<cache::Cache>(cfg_.name + ".cpu.l2", *eqPtr_, l2cfg);
 
     fabric_ = std::make_unique<eci::EciFabric>(
@@ -92,9 +95,24 @@ EnzianMachine::EnzianMachine(const Config &cfg) : cfg_(cfg)
         cfg_.name + ".fpga.remote", *fpgaEqPtr_, mem::NodeId::Fpga, *map_,
         *fabric_, cfg_.remote_agent);
 
+    const eci::proto::ProtocolTable *table =
+        eci::proto::protocolByName(cfg_.protocol);
+    if (!table) {
+        std::string known;
+        for (const auto *p : eci::proto::allProtocols())
+            known += std::string(known.empty() ? "" : ", ") + p->name();
+        fatal("machine '%s': unknown protocol '%s' (registered: %s)",
+              cfg_.name.c_str(), cfg_.protocol.c_str(), known.c_str());
+    }
+    cpuHome_->setProtocol(table);
+    fpgaHome_->setProtocol(table);
+    cpuRemote_->setProtocol(table);
+    fpgaRemote_->setProtocol(table);
+
     // The CPU's L2 caches its own node's lines (snooped by the home
     // agent) and, in cached mode, remote FPGA-homed lines too.
     cpuHome_->attachLocalCache(l2_.get());
+    cpuHome_->setReadAllocate(cfg_.home_read_allocate);
     if (cfg_.cpu_caches_remote)
         cpuRemote_->attachCache(l2_.get());
     cpuHome_->attachIoSpace(cpuIoSpace_.get());

@@ -52,6 +52,28 @@ class EnzianMachine
         eci::RemoteAgent::Config remote_agent;
         /** Attach the L2 to the CPU remote agent (cached mode). */
         bool cpu_caches_remote = true;
+        /**
+         * L2 victim-selection policy. Lru is the classic shared
+         * cache; WayPartition / Adaptive split the ways between
+         * locally-homed fills (home agent, owner 0) and peer-homed
+         * fills (remote agent, owner 1) — see cache/llc_policy.hh.
+         */
+        cache::ReplPolicy l2_policy = cache::ReplPolicy::Lru;
+        /** Adaptive L2 only: misses per repartition epoch. */
+        std::uint64_t l2_adapt_epoch = 1024;
+        /**
+         * CPU home agent read-allocate: local reads that miss the L2
+         * install the line there as Shared (free frames only). Gives
+         * write-update protocols a resident home copy to refresh.
+         * Off by default — reference timing runs are unchanged.
+         */
+        bool home_read_allocate = false;
+        /**
+         * Coherence protocol table for all four agents; one of the
+         * names registered in eci::proto::allProtocols() ("moesi",
+         * "mesi", "dragon"). Unknown names are fatal.
+         */
+        std::string protocol = "moesi";
         /** Initial bitstream loaded into the fabric. */
         std::string bitstream = "eci-bench";
         /**

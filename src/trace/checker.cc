@@ -57,6 +57,7 @@ ProtocolChecker::observe(const TraceRecord &rec)
       case Opcode::RLDI:
       case Opcode::RSTT:
       case Opcode::RUPG:
+      case Opcode::RUPD:
       case Opcode::RWBD:
       case Opcode::REVC:
       case Opcode::IOBLD:
@@ -123,8 +124,14 @@ ProtocolChecker::observe(const TraceRecord &rec)
                 }
             }
         }
-        if (m.op == Opcode::PACK && req == Opcode::RUPG)
-            setState(rec, m.dst, line, MoesiState::Modified);
+        if (m.op == Opcode::PACK &&
+            (req == Opcode::RUPG || req == Opcode::RUPD)) {
+            // Update protocols answer with Grant::Owned when other
+            // copies survive the write.
+            setState(rec, m.dst, line,
+                     m.grant == eci::Grant::Owned ? MoesiState::Owned
+                                                  : MoesiState::Modified);
+        }
         return;
       }
 

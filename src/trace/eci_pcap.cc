@@ -56,7 +56,7 @@ EciTrace::record(Tick when, const eci::EciMsg &msg)
 void
 EciTrace::attach(eci::EciFabric &fabric)
 {
-    fabric.setTap([this](Tick when, const eci::EciMsg &msg) {
+    fabric.addTap([this](Tick when, const eci::EciMsg &msg) {
         record(when, msg);
     });
 }

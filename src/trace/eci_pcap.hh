@@ -46,7 +46,7 @@ class EciTrace
     /** Append a record. */
     void record(Tick when, const eci::EciMsg &msg);
 
-    /** Install this trace as the tap of @p fabric. */
+    /** Attach this trace as a fabric tap (chains with other taps). */
     void attach(eci::EciFabric &fabric);
 
     const std::vector<TraceRecord> &records() const { return records_; }

@@ -158,7 +158,7 @@ RtvEngine::clean() const
 void
 RtvEngine::attachEciTap(eci::EciFabric &fabric)
 {
-    fabric.setTap([this](Tick when, const eci::EciMsg &msg) {
+    fabric.addTap([this](Tick when, const eci::EciMsg &msg) {
         RtvEvent ev;
         ev.when = when;
         ev.id = static_cast<std::uint32_t>(msg.op);

@@ -16,7 +16,15 @@
  *  - coverage: which stable (home, dir, remote) combinations occur in
  *    quiescent states, and which are unreachable.
  *
- * BFS order means every counterexample trace is a shortest path.
+ * Options::lines > 1 explores the product of several lines sharing
+ * the per-direction wires; Options::symmetry and Options::por enable
+ * the (sound) line-permutation and partial-order reductions, and
+ * Options::threads parallelises the level-synchronous BFS with
+ * thread-count-independent results.
+ *
+ * BFS order means every counterexample trace is a shortest path —
+ * exactly shortest without reductions; with symmetry/POR enabled the
+ * trace is still a real run but may not be globally minimal.
  */
 
 #ifndef ENZIAN_VERIF_EXPLORER_HH

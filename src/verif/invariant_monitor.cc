@@ -37,7 +37,7 @@ coherent(Opcode op)
 void
 InvariantMonitor::attach(eci::EciFabric &fabric)
 {
-    fabric.setTap([this](Tick when, const eci::EciMsg &msg) {
+    fabric.addTap([this](Tick when, const eci::EciMsg &msg) {
         observe(when, msg);
     });
 }

@@ -53,10 +53,9 @@ class InvariantMonitor
     explicit InvariantMonitor(const Hooks &hooks) : hooks_(hooks) {}
 
     /**
-     * Install this monitor as the fabric's trace tap. Note the fabric
-     * has a single tap slot: to combine with EciTrace capture, attach
-     * the trace and forward to observe() from your own tap, or replay
-     * the trace afterwards.
+     * Attach this monitor as a fabric trace tap. Taps chain: the
+     * monitor coexists with EciTrace capture or any other observer
+     * attached before or after it (EciFabric::addTap).
      */
     void attach(eci::EciFabric &fabric);
 

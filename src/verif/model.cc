@@ -1,6 +1,6 @@
 /**
  * @file
- * Abstract single-line protocol model (implementation).
+ * Abstract per-line protocol model (implementation).
  */
 
 #include "verif/model.hh"
@@ -14,6 +14,132 @@ using cache::MoesiState;
 using eci::Grant;
 using eci::Opcode;
 namespace proto = eci::proto;
+
+namespace {
+
+/**
+ * Mutation injection: a decorator over the protocol table under test
+ * that mis-applies exactly one decision. Mutations that target wire
+ * behaviour rather than a table decision (DropSnoopInvalidation,
+ * DropWritebackAck) are injected by the model itself.
+ */
+class MutatedTable final : public proto::ProtocolTable
+{
+  public:
+    MutatedTable(const proto::ProtocolTable &base, Mutation m)
+        : base_(base), m_(m)
+    {
+    }
+
+    const char *name() const override { return base_.name(); }
+    const char *description() const override
+    {
+        return base_.description();
+    }
+
+    std::vector<MoesiState>
+    homeStableStates() const override
+    {
+        return base_.homeStableStates();
+    }
+
+    proto::HomeReadStep
+    homeRead(MoesiState local, MoesiState dir, bool exclusive,
+             bool allocate) const override
+    {
+        proto::HomeReadStep step =
+            base_.homeRead(local, dir, exclusive, allocate);
+        if (m_ == Mutation::GrantExclusiveToSharer && !exclusive &&
+            allocate && step.grant == Grant::Shared) {
+            step.grant = Grant::Exclusive;
+            step.dirAfter = MoesiState::Exclusive;
+        }
+        if (m_ == Mutation::SharedReadSkipsFlush &&
+            step.localAction == proto::LocalAction::DowngradeShared) {
+            step.flushLocalDirty = false;
+        }
+        return step;
+    }
+
+    proto::HomeUpgradeStep
+    homeUpgrade(MoesiState local, MoesiState dir) const override
+    {
+        proto::HomeUpgradeStep step = base_.homeUpgrade(local, dir);
+        if (m_ == Mutation::UpgradeKeepsHomeCopy &&
+            step.localAction == proto::LocalAction::Invalidate) {
+            step.localAction = proto::LocalAction::Keep;
+        }
+        if (m_ == Mutation::UpdateLeaksExclusive &&
+            step.grant == Grant::Owned) {
+            step.grant = Grant::Exclusive;
+        }
+        return step;
+    }
+
+    proto::HomeWritebackStep
+    homeWriteback(MoesiState dir) const override
+    {
+        return base_.homeWriteback(dir);
+    }
+
+    MoesiState homeEvict() const override { return base_.homeEvict(); }
+
+    proto::SnoopKind
+    homeLocalReadSnoop(MoesiState local, MoesiState dir) const override
+    {
+        return base_.homeLocalReadSnoop(local, dir);
+    }
+
+    proto::SnoopKind
+    homeLocalWriteSnoop(MoesiState dir) const override
+    {
+        return base_.homeLocalWriteSnoop(dir);
+    }
+
+    MoesiState
+    homeSnoopResponse(Opcode ack) const override
+    {
+        return base_.homeSnoopResponse(ack);
+    }
+
+    MoesiState
+    remoteFillState(Grant g) const override
+    {
+        return base_.remoteFillState(g);
+    }
+
+    proto::RemoteWriteStep
+    remoteWrite(MoesiState s) const override
+    {
+        return base_.remoteWrite(s);
+    }
+
+    MoesiState
+    remoteUpgradeResult(Grant g) const override
+    {
+        return base_.remoteUpgradeResult(g);
+    }
+
+    Opcode
+    remoteEvict(MoesiState s) const override
+    {
+        if (m_ == Mutation::SkipWritebackOnEvict)
+            return Opcode::REVC;
+        return base_.remoteEvict(s);
+    }
+
+    proto::RemoteSnoopStep
+    remoteSnoop(MoesiState s, Opcode snoop) const override
+    {
+        return base_.remoteSnoop(s, snoop);
+    }
+
+  private:
+    const proto::ProtocolTable &base_;
+    Mutation m_;
+};
+
+} // namespace
 
 std::string
 Msg::toString() const
@@ -80,6 +206,10 @@ toString(Mutation m)
         return "drop-snoop-invalidation";
       case Mutation::DropWritebackAck:
         return "drop-writeback-ack";
+      case Mutation::SharedReadSkipsFlush:
+        return "shared-read-skips-flush";
+      case Mutation::UpdateLeaksExclusive:
+        return "update-leaks-exclusive";
     }
     return "?";
 }
@@ -94,6 +224,32 @@ mutationFromString(const std::string &name)
             return m;
     }
     return std::nullopt;
+}
+
+bool
+mutationApplies(Mutation m, const std::string &protocol)
+{
+    switch (m) {
+      case Mutation::None:
+      case Mutation::GrantExclusiveToSharer:
+      case Mutation::SkipWritebackOnEvict:
+      case Mutation::DropSnoopInvalidation:
+      case Mutation::DropWritebackAck:
+        return true;
+      case Mutation::UpgradeKeepsHomeCopy:
+        // Dragon upgrades never invalidate the home copy (that is
+        // the point of the protocol), so there is no decision to
+        // corrupt there.
+        return protocol != "dragon";
+      case Mutation::SharedReadSkipsFlush:
+        // Only MESI downgrades-with-flush on shared reads; MOESI
+        // keeps the dirty copy Owned, no flush exists to skip.
+        return protocol == "mesi";
+      case Mutation::UpdateLeaksExclusive:
+        // Grant::Owned is produced by update upgrades only.
+        return protocol == "dragon";
+    }
+    return false;
 }
 
 std::string
@@ -155,17 +311,32 @@ State::quiescent() const
            !invalAfterFill;
 }
 
+Model::Model(const Options &opt) : opt_(opt)
+{
+    const proto::ProtocolTable *base =
+        proto::protocolByName(opt_.protocol);
+    ENZIAN_ASSERT(base, "unknown protocol '%s'",
+                  opt_.protocol.c_str());
+    if (opt_.mutation != Mutation::None) {
+        mutated_ = std::make_unique<MutatedTable>(*base, opt_.mutation);
+        table_ = mutated_.get();
+    } else {
+        table_ = base;
+    }
+}
+
+Model::~Model() = default;
+
 std::vector<State>
 Model::initialStates() const
 {
     // The home node can legitimately hold its own line in any stable
     // state while the remote holds nothing: S/E/M via ordinary local
-    // caching, O as the residue of a past remote sharing episode
-    // (M -> O downgrade, remote later evicted cleanly).
+    // caching, O (where the table allows it) as the residue of a past
+    // remote sharing episode (M -> O downgrade, remote later evicted
+    // cleanly).
     std::vector<State> init;
-    for (MoesiState h :
-         {MoesiState::Invalid, MoesiState::Shared, MoesiState::Exclusive,
-          MoesiState::Owned, MoesiState::Modified}) {
+    for (MoesiState h : table_->homeStableStates()) {
         State s;
         s.home = h;
         init.push_back(s);
@@ -177,10 +348,16 @@ std::vector<Transition>
 Model::successors(const State &s) const
 {
     std::vector<Transition> out;
-    remoteInitiated(s, out);
-    homeInitiated(s, out);
+    initiations(s, out);
     deliveries(s, out);
     return out;
+}
+
+void
+Model::initiations(const State &s, std::vector<Transition> &out) const
+{
+    remoteInitiated(s, out);
+    homeInitiated(s, out);
 }
 
 void
@@ -222,7 +399,7 @@ Model::remoteInitiated(const State &s,
     }
 
     // Coherent cached write.
-    const proto::RemoteWriteStep w = proto::remoteWrite(s.remote);
+    const proto::RemoteWriteStep w = table_->remoteWrite(s.remote);
     if (w.hit) {
         if (s.remote != w.stateAfter) {
             Transition t;
@@ -235,17 +412,20 @@ Model::remoteInitiated(const State &s,
         Transition t;
         t.label = format("R:write-miss(%s)", eci::toString(w.request));
         t.to = s;
-        t.to.toHome.push_back({w.request, Grant::Shared, false});
-        t.to.rtxn = w.request == Opcode::RUPG ? RemoteTxn::Upgrade
-                                              : RemoteTxn::WriteMiss;
+        // A Dragon RUPD carries the full write payload; RLDX / RUPG
+        // requests are dataless.
+        t.to.toHome.push_back({w.request, Grant::Shared,
+                               w.request == Opcode::RUPD});
+        t.to.rtxn = (w.request == Opcode::RUPG ||
+                     w.request == Opcode::RUPD)
+                        ? RemoteTxn::Upgrade
+                        : RemoteTxn::WriteMiss;
         out.push_back(std::move(t));
     }
 
     // Eviction of a resident line.
     if (s.remote != MoesiState::Invalid) {
-        Opcode op = proto::remoteEvict(s.remote);
-        if (opt_.mutation == Mutation::SkipWritebackOnEvict)
-            op = Opcode::REVC;
+        const Opcode op = table_->remoteEvict(s.remote);
         Transition t;
         t.label = format("R:evict(%s)", eci::toString(op));
         t.to = s;
@@ -270,9 +450,11 @@ Model::homeInitiated(const State &s,
     if (s.hop != HomeOp::None)
         return; // one home-local access at a time per line
 
-    // Home-local read: only protocol-visible when the directory says
-    // the remote owns the freshest copy (SFWD required).
-    if (proto::homeLocalReadSnoop(s.dir) == proto::SnoopKind::Forward) {
+    // Home-local read: only protocol-visible when the table demands a
+    // snoop (the remote holds the freshest copy and no resident home
+    // copy is kept current by updates).
+    if (table_->homeLocalReadSnoop(s.home, s.dir) ==
+        proto::SnoopKind::Forward) {
         Transition t;
         t.label = "H:local-read(SFWD)";
         t.to = s;
@@ -284,7 +466,7 @@ Model::homeInitiated(const State &s,
     // Home-local write: invalidates any remote copy first; otherwise
     // it only drops the home's own copy (the full-line write to the
     // source supersedes its data, dirty or not).
-    if (proto::homeLocalWriteSnoop(s.dir) ==
+    if (table_->homeLocalWriteSnoop(s.dir) ==
         proto::SnoopKind::Invalidate) {
         Transition t;
         t.label = "H:local-write(SINV)";
@@ -325,17 +507,19 @@ Model::processAtHome(State &st, const Msg &m, Transition &t) const
       case Opcode::RLDX: {
         const bool exclusive = m.op == Opcode::RLDX;
         const bool allocate = m.op != Opcode::RLDI;
-        proto::HomeReadStep step =
-            proto::homeRead(st.home, st.dir, exclusive, allocate);
-        if (opt_.mutation == Mutation::GrantExclusiveToSharer &&
-            m.op == Opcode::RLDD && step.grant == Grant::Shared) {
-            step.grant = Grant::Exclusive;
-            step.dirAfter = MoesiState::Exclusive;
-        }
+        const proto::HomeReadStep step =
+            table_->homeRead(st.home, st.dir, exclusive, allocate);
         if (step.localAction == proto::LocalAction::Invalidate &&
             cache::isDirty(st.home) && !step.flushLocalDirty) {
             t.violations.push_back(format(
                 "dirty home copy (%s) dropped serving %s",
+                cache::toString(st.home), eci::toString(m.op)));
+        }
+        if (step.localAction == proto::LocalAction::DowngradeShared &&
+            cache::isDirty(st.home) && !step.flushLocalDirty) {
+            t.violations.push_back(format(
+                "dirty home copy (%s) downgraded without a flush "
+                "serving %s",
                 cache::toString(st.home), eci::toString(m.op)));
         }
         st.home = step.localAfter;
@@ -343,30 +527,40 @@ Model::processAtHome(State &st, const Msg &m, Transition &t) const
         st.toRemote.push_back({Opcode::PEMD, step.grant, true});
         return;
       }
-      case Opcode::RUPG: {
+      case Opcode::RUPG:
+      case Opcode::RUPD: {
         const proto::HomeUpgradeStep step =
-            proto::homeUpgrade(st.home, st.dir);
+            table_->homeUpgrade(st.home, st.dir);
         if (!step.legal) {
             t.violations.push_back(
-                format("illegal RUPG with dir=%s home=%s",
-                       cache::toString(st.dir),
+                format("illegal %s with dir=%s home=%s",
+                       eci::toString(m.op), cache::toString(st.dir),
                        cache::toString(st.home)));
         }
-        if (step.localAction == proto::LocalAction::Invalidate &&
-            opt_.mutation != Mutation::UpgradeKeepsHomeCopy) {
+        switch (step.localAction) {
+          case proto::LocalAction::Invalidate:
             // The requester's full-line write supersedes the home
             // copy's data, so dropping even a dirty copy is sound.
             st.home = MoesiState::Invalid;
+            break;
+          case proto::LocalAction::DowngradeShared:
+            // Update protocols: the RUPD payload refreshed the home
+            // copy, which stays resident and clean.
+            st.home = MoesiState::Shared;
+            break;
+          case proto::LocalAction::Keep:
+          case proto::LocalAction::DowngradeOwned:
+            break;
         }
         st.dir = step.legal ? step.dirAfter : MoesiState::Modified;
-        st.toRemote.push_back({Opcode::PACK, Grant::Shared, false});
+        st.toRemote.push_back({Opcode::PACK, step.grant, false});
         return;
       }
       case Opcode::RWBD: {
         if (opt_.mutation == Mutation::DropWritebackAck)
             return; // home swallows the writeback: no ack, no state
         const proto::HomeWritebackStep step =
-            proto::homeWriteback(st.dir);
+            table_->homeWriteback(st.dir);
         if (!step.legal) {
             t.violations.push_back(format("illegal RWBD with dir=%s",
                                           cache::toString(st.dir)));
@@ -376,7 +570,7 @@ Model::processAtHome(State &st, const Msg &m, Transition &t) const
         return;
       }
       case Opcode::REVC:
-        st.dir = proto::homeEvict();
+        st.dir = table_->homeEvict();
         st.toRemote.push_back({Opcode::PACK, Grant::Shared, false});
         return;
       case Opcode::RSTT:
@@ -407,6 +601,7 @@ Model::deliverToHome(const State &s, std::size_t idx) const
       case Opcode::RLDI:
       case Opcode::RSTT:
       case Opcode::RUPG:
+      case Opcode::RUPD:
       case Opcode::RWBD:
       case Opcode::REVC:
         if (t.to.hop != HomeOp::None) {
@@ -433,16 +628,16 @@ Model::deliverToHome(const State &s, std::size_t idx) const
                 t.violations.push_back(
                     "SACKS answering a write snoop");
             }
-            t.to.dir = proto::homeSnoopResponse(m.op);
+            t.to.dir = table_->homeSnoopResponse(m.op);
         } else if (hop == HomeOp::Write) {
             // The local write proceeds; any forwarded dirty data is
             // superseded by the full-line write.
-            t.to.dir = proto::homeSnoopResponse(m.op);
+            t.to.dir = table_->homeSnoopResponse(m.op);
             t.to.home = MoesiState::Invalid;
         } else if (m.hasData) {
             // Read snoop answered by an invalidation carrying dirty
             // data (reordering-tolerant path).
-            t.to.dir = proto::homeSnoopResponse(m.op);
+            t.to.dir = table_->homeSnoopResponse(m.op);
         } else {
             // Snoop miss: the remote evicted concurrently; leave the
             // directory for the in-flight eviction to clear and let
@@ -479,7 +674,7 @@ Model::deliverToRemote(const State &s, std::size_t idx) const
           case RemoteTxn::Read:
             t.to.remote = t.to.invalAfterFill
                               ? MoesiState::Invalid
-                              : proto::remoteFillState(m.grant);
+                              : table_->remoteFillState(m.grant);
             t.to.invalAfterFill = false;
             t.to.rtxn = RemoteTxn::None;
             return t;
@@ -509,9 +704,11 @@ Model::deliverToRemote(const State &s, std::size_t idx) const
       case Opcode::PACK:
         switch (t.to.rtxn) {
           case RemoteTxn::Upgrade:
-            // Covers both the in-place upgrade and the racing-SINV
-            // fallback where the full write payload is installed.
-            t.to.remote = MoesiState::Modified;
+            // Covers the in-place upgrade, the racing-SINV fallback
+            // where the full write payload is installed, and the
+            // update-grant case (Grant::Owned: sharers survive, the
+            // writer continues dirty but non-exclusive).
+            t.to.remote = table_->remoteUpgradeResult(m.grant);
             t.to.rtxn = RemoteTxn::None;
             return t;
           case RemoteTxn::Writeback:
@@ -528,7 +725,7 @@ Model::deliverToRemote(const State &s, std::size_t idx) const
       case Opcode::SFWD:
       case Opcode::SINV: {
         const proto::RemoteSnoopStep step =
-            proto::remoteSnoop(t.to.remote, m.op);
+            table_->remoteSnoop(t.to.remote, m.op);
         if (opt_.mutation == Mutation::DropSnoopInvalidation &&
             m.op == Opcode::SINV) {
             // Ack the invalidation but keep the copy.

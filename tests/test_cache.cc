@@ -213,5 +213,122 @@ TEST(CacheDeathTest, BadGeometryFatal)
                 "divisible");
 }
 
+// ---------------------------------------------------------------------
+// LLC way-partitioning policies (llc_policy.hh).
+// ---------------------------------------------------------------------
+
+TEST(LlcPolicy, WayPartitionIsolatesOwners)
+{
+    EventQueue eq;
+    Cache::Config cfg = smallConfig(); // 4 ways, 8 sets
+    cfg.policy = ReplPolicy::WayPartition;
+    Cache c("l2", eq, cfg);
+    // Two local lines fill owner 0's half of set 0 (set stride is
+    // 8 * 128 = 0x400 in this geometry).
+    c.fill(0x0000, MoesiState::Modified, pattern(1).data(),
+           ownerLocal);
+    c.fill(0x0400, MoesiState::Modified, pattern(2).data(),
+           ownerLocal);
+    // A remote stream through the same set thrashes only its own
+    // two ways; the local working set survives untouched.
+    for (Addr i = 0; i < 16; ++i) {
+        c.fill(0x0800 + i * 0x400, MoesiState::Shared,
+               pattern(3).data(), ownerRemote);
+    }
+    EXPECT_EQ(c.probe(0x0000), MoesiState::Modified);
+    EXPECT_EQ(c.probe(0x0400), MoesiState::Modified);
+    EXPECT_GE(c.evictions(), 14u); // the remote stream self-evicted
+}
+
+TEST(LlcPolicy, LookupsAndRefillsCrossThePartition)
+{
+    EventQueue eq;
+    Cache::Config cfg = smallConfig();
+    cfg.policy = ReplPolicy::WayPartition;
+    Cache c("l2", eq, cfg);
+    c.fill(0x1000, MoesiState::Shared, pattern(1).data(), ownerLocal);
+    // A foreign owner still hits, and a re-fill over a resident line
+    // updates in place regardless of who owns the way.
+    EXPECT_NE(c.access(0x1000), nullptr);
+    auto ev = c.fill(0x1000, MoesiState::Exclusive, pattern(2).data(),
+                     ownerRemote);
+    EXPECT_FALSE(ev.has_value());
+    EXPECT_EQ(c.probe(0x1000), MoesiState::Exclusive);
+}
+
+TEST(LlcPolicy, AdaptiveMigratesWaysTowardPressure)
+{
+    WayAllocator::Config acfg;
+    acfg.ways = 4;
+    acfg.partitions = 2;
+    acfg.policy = ReplPolicy::Adaptive;
+    acfg.adapt_epoch = 8;
+    WayAllocator a(acfg);
+    EXPECT_EQ(a.waysOf(0), 2u);
+    EXPECT_EQ(a.waysOf(1), 2u);
+    // One epoch of pure owner-1 pressure moves one way across.
+    for (int i = 0; i < 8; ++i)
+        a.recordMiss(1);
+    EXPECT_EQ(a.waysOf(1), 3u);
+    EXPECT_EQ(a.waysOf(0), 1u);
+    EXPECT_EQ(a.rebalances(), 1u);
+}
+
+TEST(LlcPolicy, AdaptiveNeverStarvesAnOwner)
+{
+    WayAllocator::Config acfg;
+    acfg.ways = 4;
+    acfg.partitions = 2;
+    acfg.policy = ReplPolicy::Adaptive;
+    acfg.adapt_epoch = 8;
+    WayAllocator a(acfg);
+    // However one-sided the load, the loser keeps one way.
+    for (int i = 0; i < 8 * 16; ++i)
+        a.recordMiss(1);
+    EXPECT_EQ(a.waysOf(0), 1u);
+    EXPECT_EQ(a.waysOf(1), 3u);
+}
+
+TEST(LlcPolicy, AdaptiveDriftsBackToEvenSplit)
+{
+    WayAllocator::Config acfg;
+    acfg.ways = 4;
+    acfg.partitions = 2;
+    acfg.policy = ReplPolicy::Adaptive;
+    acfg.adapt_epoch = 8;
+    WayAllocator a(acfg);
+    for (int i = 0; i < 8; ++i) // skew toward owner 1
+        a.recordMiss(1);
+    ASSERT_EQ(a.waysOf(1), 3u);
+    // Symmetric misses: per-way pressure is now higher for owner 0
+    // (fewer ways), so the split converges back to even and stays.
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        for (int i = 0; i < 4; ++i) {
+            a.recordMiss(0);
+            a.recordMiss(1);
+        }
+    }
+    EXPECT_EQ(a.waysOf(0), 2u);
+    EXPECT_EQ(a.waysOf(1), 2u);
+}
+
+TEST(LlcPolicy, CacheUnderAdaptivePolicyRepartitions)
+{
+    EventQueue eq;
+    Cache::Config cfg = smallConfig();
+    cfg.policy = ReplPolicy::Adaptive;
+    cfg.adapt_epoch = 16;
+    Cache c("l2", eq, cfg);
+    ASSERT_NE(c.allocator(), nullptr);
+    // A pure remote streaming load grows the remote share.
+    for (Addr i = 0; i < 64; ++i) {
+        c.fill(0x10000 + i * 0x400, MoesiState::Shared,
+               pattern(4).data(), ownerRemote);
+    }
+    EXPECT_EQ(c.allocator()->waysOf(ownerRemote), 3u);
+    EXPECT_EQ(c.allocator()->waysOf(ownerLocal), 1u);
+    EXPECT_GE(c.allocator()->rebalances(), 1u);
+}
+
 } // namespace
 } // namespace enzian::cache

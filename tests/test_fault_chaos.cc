@@ -51,6 +51,30 @@ TEST(FaultChaos, HundredRandomSchedulesSurvive)
     EXPECT_GT(total_injected, 100u);
 }
 
+TEST(FaultChaos, EveryProtocolSurvivesFaultSchedules)
+{
+    // The recovery paths must hold for whichever coherence table the
+    // machine runs, not just the default MOESI.
+    for (const char *protocol : {"moesi", "mesi", "dragon"}) {
+        for (std::uint64_t seed : {3ull, 11ull, 29ull}) {
+            const FaultPlan plan = FaultPlan::random(seed);
+            ChaosConfig cfg;
+            cfg.seed = seed;
+            cfg.ops = 60;
+            cfg.lines = 8;
+            cfg.protocol = protocol;
+            const ChaosResult r = runChaos(plan, cfg);
+            ASSERT_TRUE(r.ok)
+                << protocol << " seed " << seed << ": "
+                << r.violations.front() << "\nplan:\n"
+                << plan.toString() << "\n"
+                << r.report;
+            EXPECT_EQ(r.opsCompleted, r.opsIssued)
+                << protocol << " seed " << seed;
+        }
+    }
+}
+
 TEST(FaultChaos, SamePlanAndSeedIsBitIdentical)
 {
     const FaultPlan plan = FaultPlan::random(17);

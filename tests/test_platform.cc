@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "platform/boot_sequencer.hh"
@@ -134,6 +135,49 @@ TEST(Machine, TwoSocketLatencyBeatsEnzian)
 
 namespace enzian::platform {
 namespace {
+
+TEST(Machine, HomeReadAllocateKeepsResidentCopy)
+{
+    // With home_read_allocate on, a CPU local read whose line lives
+    // dirty on the FPGA pulls the data home AND installs it in the
+    // L2, so the home keeps a resident Shared copy afterwards. Off
+    // (the default), the L2 stays cold — reference runs unchanged.
+    for (const bool knob : {false, true}) {
+        EnzianMachine::Config cfg = enzianDefaultConfig();
+        cfg.cpu_dram_bytes = 16ull << 20;
+        cfg.fpga_dram_bytes = 16ull << 20;
+        cfg.home_read_allocate = knob;
+        EnzianMachine m(cfg);
+        cache::Cache fpgaCache("fpga.cache", m.fpgaEventq(),
+                               cache::Cache::Config{});
+        m.fpgaRemote().attachCache(&fpgaCache);
+
+        const Addr line = 0x20000; // CPU-homed
+        std::uint8_t buf[cache::lineSize];
+        std::memset(buf, 0x5a, sizeof(buf));
+        bool done = false;
+        m.fpgaRemote().writeLine(line, buf, [&](Tick) { done = true; });
+        m.eventq().run();
+        ASSERT_TRUE(done);
+        // The exclusive grant invalidated any home copy.
+        EXPECT_EQ(m.l2().probe(line), cache::MoesiState::Invalid);
+
+        std::uint8_t out[cache::lineSize] = {};
+        done = false;
+        m.cpuHome().localRead(line, out, [&](Tick) { done = true; });
+        m.eventq().run();
+        ASSERT_TRUE(done);
+        EXPECT_EQ(out[0], 0x5a);
+        EXPECT_EQ(m.l2().probe(line), knob
+                                          ? cache::MoesiState::Shared
+                                          : cache::MoesiState::Invalid);
+        if (knob) {
+            std::uint8_t cached[cache::lineSize] = {};
+            m.l2().readData(line, cached, cache::lineSize);
+            EXPECT_EQ(cached[17], 0x5a);
+        }
+    }
+}
 
 TEST(Machine, StatsDumpCoversComponents)
 {

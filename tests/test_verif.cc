@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "eci/protocol_kernel.hh"
@@ -193,12 +194,28 @@ TEST(ModelChecker, UnorderedDeliveryExposesUpgradeSnoopRace)
 
 TEST(ModelChecker, EverySeededMutationIsDetected)
 {
+    for (const char *protocol : {"moesi", "mesi", "dragon"}) {
+        for (verif::Mutation m : verif::allMutations) {
+            if (!verif::mutationApplies(m, protocol))
+                continue;
+            verif::Options opt;
+            opt.protocol = protocol;
+            opt.mutation = m;
+            const verif::Report rep = verif::explore(opt);
+            EXPECT_FALSE(rep.clean())
+                << "mutation " << verif::toString(m)
+                << " went undetected on " << protocol;
+        }
+    }
+}
+
+TEST(ModelChecker, EveryMutationAppliesSomewhere)
+{
     for (verif::Mutation m : verif::allMutations) {
-        verif::Options opt;
-        opt.mutation = m;
-        const verif::Report rep = verif::explore(opt);
-        EXPECT_FALSE(rep.clean())
-            << "mutation " << verif::toString(m) << " went undetected";
+        bool applies = false;
+        for (const char *p : {"moesi", "mesi", "dragon"})
+            applies = applies || verif::mutationApplies(m, p);
+        EXPECT_TRUE(applies) << verif::toString(m);
     }
 }
 
@@ -233,17 +250,139 @@ TEST(ModelChecker, MutationsAreCaughtByTheRightInvariant)
 }
 
 // ---------------------------------------------------------------------
+// Reductions, multi-line product states, and parallel search.
+// ---------------------------------------------------------------------
+
+/** All violation messages of a report, order-normalized. */
+std::vector<std::string>
+sortedWhats(const verif::Report &rep)
+{
+    std::vector<std::string> whats;
+    for (const auto *vs :
+         {&rep.violations, &rep.deadlocks, &rep.livenessViolations,
+          &rep.dirtyTraps}) {
+        for (const verif::Violation &v : *vs)
+            whats.push_back(v.what);
+    }
+    std::sort(whats.begin(), whats.end());
+    return whats;
+}
+
+TEST(ModelChecker, AllProtocolsCleanAtTwoLines)
+{
+    for (const char *protocol : {"moesi", "mesi", "dragon"}) {
+        verif::Options opt;
+        opt.protocol = protocol;
+        opt.lines = 2;
+        opt.symmetry = true;
+        opt.por = true;
+        const verif::Report rep = verif::explore(opt);
+        EXPECT_TRUE(rep.clean())
+            << protocol << ":\n" << rep.toString();
+        EXPECT_GT(rep.states, 1000u) << protocol;
+    }
+}
+
+TEST(ModelChecker, ReductionsPreserveViolationSets)
+{
+    // Soundness: symmetry + POR must report exactly the same set of
+    // violation messages as the unreduced search — on the clean
+    // protocol AND under every applicable seeded bug.
+    for (const char *protocol : {"moesi", "mesi", "dragon"}) {
+        std::vector<verif::Mutation> muts{verif::Mutation::None};
+        for (verif::Mutation m : verif::allMutations) {
+            if (verif::mutationApplies(m, protocol))
+                muts.push_back(m);
+        }
+        for (verif::Mutation m : muts) {
+            verif::Options opt;
+            opt.protocol = protocol;
+            opt.mutation = m;
+            opt.por = true; // single line: symmetry is the identity
+            const verif::Report red = verif::explore(opt);
+            opt.por = false;
+            const verif::Report full = verif::explore(opt);
+            EXPECT_EQ(sortedWhats(red), sortedWhats(full))
+                << protocol << " +" << verif::toString(m);
+            EXPECT_LE(red.states, full.states)
+                << protocol << " +" << verif::toString(m);
+        }
+    }
+}
+
+TEST(ModelChecker, ReductionsShrinkTheTwoLineSpace)
+{
+    for (verif::Mutation m :
+         {verif::Mutation::None, verif::Mutation::DropWritebackAck}) {
+        verif::Options opt;
+        opt.lines = 2;
+        opt.mutation = m;
+        opt.symmetry = true;
+        opt.por = true;
+        const verif::Report red = verif::explore(opt);
+        opt.symmetry = false;
+        opt.por = false;
+        const verif::Report full = verif::explore(opt);
+        // The drop must be measurable (we see ~50%), and sound.
+        EXPECT_LT(red.states, (full.states * 3) / 4)
+            << verif::toString(m);
+        EXPECT_EQ(sortedWhats(red), sortedWhats(full))
+            << verif::toString(m);
+    }
+}
+
+TEST(ModelChecker, BfsWitnessIsShortest)
+{
+    // Level-order search ⇒ the first counterexample reported is of
+    // minimal length. This mutation's bug is reachable in 3 steps
+    // (read-miss, deliver RLDD, deliver the bogus E grant).
+    verif::Options opt;
+    opt.mutation = verif::Mutation::GrantExclusiveToSharer;
+    const verif::Report rep = verif::explore(opt);
+    ASSERT_FALSE(rep.violations.empty());
+    EXPECT_EQ(rep.violations.front().trace.size(), 3u);
+    for (const verif::Violation &v : rep.violations)
+        EXPECT_GE(v.trace.size(), rep.violations.front().trace.size());
+}
+
+TEST(ModelChecker, ParallelSearchIsDeterministic)
+{
+    for (verif::Mutation m :
+         {verif::Mutation::None, verif::Mutation::DropWritebackAck}) {
+        verif::Options opt;
+        opt.lines = 2;
+        opt.mutation = m;
+        opt.symmetry = true;
+        opt.por = true;
+        opt.threads = 1;
+        const verif::Report one = verif::explore(opt);
+        opt.threads = 4;
+        const verif::Report four = verif::explore(opt);
+        // Byte-identical reports, not just equal counts.
+        EXPECT_EQ(one.toString(), four.toString())
+            << verif::toString(m);
+        EXPECT_EQ(one.states, four.states);
+        EXPECT_EQ(one.transitions, four.transitions);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Runtime monitor over the full machine.
 // ---------------------------------------------------------------------
 
 class MonitorTest : public ::testing::Test
 {
   protected:
-    MonitorTest()
+    MonitorTest() { rebuild("moesi"); }
+
+    /** Build a fresh machine running @p protocol. */
+    void
+    rebuild(const std::string &protocol)
     {
         EnzianMachine::Config cfg = platform::enzianDefaultConfig();
         cfg.cpu_dram_bytes = 64ull << 20;
         cfg.fpga_dram_bytes = 64ull << 20;
+        cfg.protocol = protocol;
         m = std::make_unique<EnzianMachine>(cfg);
     }
 
@@ -324,6 +463,42 @@ TEST_F(MonitorTest, LiveMonitorCleanOnProtocolWorkload)
     EXPECT_GT(mon.observed(), 10u);
     EXPECT_TRUE(mon.clean())
         << "first violation: " << mon.violations().front();
+}
+
+TEST_F(MonitorTest, EveryProtocolRunsCleanOnTheLiveMachine)
+{
+    // The same timed engines execute whichever table the machine is
+    // configured with; the monitor's invariants are table-agnostic.
+    for (const char *protocol : {"moesi", "mesi", "dragon"}) {
+        rebuild(protocol);
+        verif::InvariantMonitor mon(hooks());
+        mon.attach(m->fabric());
+        workload();
+        mon.checkAllLines();
+        mon.finalize();
+        EXPECT_GT(mon.observed(), 10u) << protocol;
+        EXPECT_TRUE(mon.clean())
+            << protocol
+            << " first violation: " << mon.violations().front();
+    }
+}
+
+TEST_F(MonitorTest, MonitorAndTraceChainOnOneFabric)
+{
+    // Regression: the fabric used to have a single tap slot, so
+    // attaching a capture disconnected the invariant monitor. Both
+    // must observe the complete message stream.
+    verif::InvariantMonitor mon(hooks());
+    trace::EciTrace tr;
+    mon.attach(m->fabric());
+    tr.attach(m->fabric());
+    workload();
+    mon.checkAllLines();
+    mon.finalize();
+    EXPECT_TRUE(mon.clean())
+        << "first violation: " << mon.violations().front();
+    EXPECT_GT(tr.size(), 10u);
+    EXPECT_EQ(mon.observed(), tr.size());
 }
 
 TEST_F(MonitorTest, CapturedTraceReplaysClean)

@@ -1,49 +1,159 @@
 /**
  * @file
  * ecicheck: exhaustive model checker for the simulator's ECI
- * coherence protocol.
+ * coherence protocols.
  *
- * Explores every reachable state of one cache line shared between a
- * home and a remote node, driving the abstract machine with the same
- * pure protocol kernels (eci::proto) the event-driven engines
- * execute, and checks SWMR, directory coverage, dirty-data
- * conservation, deadlock freedom, and quiescence liveness
+ * Explores every reachable state of one or more cache lines shared
+ * between a home and a remote node, driving the abstract machine with
+ * the same pluggable protocol table (eci::proto::ProtocolTable) the
+ * event-driven engines execute, and checks SWMR, directory coverage,
+ * dirty-data conservation, deadlock freedom, and quiescence liveness
  * (src/verif/).
  *
  * Usage:
- *   ecicheck                   check cached + uncached, FIFO links
- *   ecicheck --unordered       model reordering link policies too
- *   ecicheck --mode cached     only the coherent-cached configuration
- *   ecicheck --mutation NAME   inject a seeded bug (must be caught)
- *   ecicheck --list-mutations  print the available seeded bugs
- *   ecicheck --verbose         print coverage and unreached states
+ *   ecicheck                     check cached + uncached, FIFO links
+ *   ecicheck --protocol NAME     select the table (--list-protocols)
+ *   ecicheck --list-protocols    print the registered tables
+ *   ecicheck --unordered         model reordering link policies too
+ *   ecicheck --mode cached       only the coherent-cached configuration
+ *   ecicheck --mutation NAME     inject a seeded bug (must be caught)
+ *   ecicheck --list-mutations    seeded bugs applicable to --protocol
+ *   ecicheck --lines N           explore N concurrent lines (default 1)
+ *   ecicheck --symmetry          canonicalize modulo line permutation
+ *   ecicheck --por               partial-order-reduce pure completions
+ *   ecicheck --threads N         parallel BFS workers (default 1)
+ *   ecicheck --compare-reduction run unreduced and reduced, report the
+ *                                state-count drop, fail on any
+ *                                violation-set mismatch
+ *   ecicheck --max-states N      state-explosion abort threshold
+ *   ecicheck --json              machine-readable summary on stdout
+ *   ecicheck --verbose           print coverage and unreached states
  *
  * Exit status 0 iff every explored configuration is clean (or, with
  * --mutation, nonzero when the bug is detected as it should be).
+ * Usage errors — including unknown protocol or mutation names — exit
+ * with status 2; there is no silent fallback to the default table.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "eci/protocol_table.hh"
 #include "verif/explorer.hh"
 
 using namespace enzian;
 
 namespace {
 
+struct JsonRun
+{
+    std::string config;
+    verif::Report rep;
+    std::uint64_t unreducedStates = 0; // 0 = no comparison ran
+};
+
+std::vector<std::string>
+sortedWhats(const verif::Report &rep)
+{
+    std::vector<std::string> whats;
+    for (const auto *vs :
+         {&rep.violations, &rep.deadlocks, &rep.livenessViolations,
+          &rep.dirtyTraps}) {
+        for (const verif::Violation &v : *vs)
+            whats.push_back(v.what);
+    }
+    std::sort(whats.begin(), whats.end());
+    return whats;
+}
+
 int
-runOne(const verif::Options &opt, const char *what, bool verbose)
+runOne(const verif::Options &opt, const std::string &what,
+       bool verbose, bool compare, bool json,
+       std::vector<JsonRun> &jsonRuns)
 {
     const verif::Report rep = verif::explore(opt);
-    std::printf("%-28s %6llu states %7llu transitions "
-                "max-in-flight %zu : %s\n",
-                what, static_cast<unsigned long long>(rep.states),
-                static_cast<unsigned long long>(rep.transitions),
-                rep.maxInFlight, rep.clean() ? "clean" : "VIOLATIONS");
-    if (!rep.clean() || verbose)
-        std::printf("%s", rep.toString().c_str());
-    return rep.clean() ? 0 : 1;
+    JsonRun jr;
+    jr.config = what;
+    jr.rep = rep;
+    int rc = rep.clean() ? 0 : 1;
+
+    if (!json) {
+        std::printf("%-36s %8llu states %9llu transitions "
+                    "max-in-flight %zu : %s\n",
+                    what.c_str(),
+                    static_cast<unsigned long long>(rep.states),
+                    static_cast<unsigned long long>(rep.transitions),
+                    rep.maxInFlight,
+                    rep.clean() ? "clean" : "VIOLATIONS");
+        if (!rep.clean() || verbose)
+            std::printf("%s", rep.toString().c_str());
+    }
+
+    if (compare) {
+        // Reference run with both reductions off; everything else
+        // (protocol, mutation, ordering, lines) identical.
+        verif::Options full = opt;
+        full.symmetry = false;
+        full.por = false;
+        const verif::Report ref = verif::explore(full);
+        jr.unreducedStates = ref.states;
+        const double drop =
+            ref.states
+                ? 100.0 * (1.0 - static_cast<double>(rep.states) /
+                                     static_cast<double>(ref.states))
+                : 0.0;
+        const bool match = sortedWhats(ref) == sortedWhats(rep);
+        if (!json) {
+            std::printf("%-36s %8llu states unreduced -> %llu "
+                        "reduced (%.1f%% fewer), violation sets %s\n",
+                        (what + " [reduction]").c_str(),
+                        static_cast<unsigned long long>(ref.states),
+                        static_cast<unsigned long long>(rep.states),
+                        drop, match ? "identical" : "DIFFER");
+        }
+        if (!match)
+            rc |= 1;
+    }
+    jsonRuns.push_back(std::move(jr));
+    return rc;
+}
+
+void
+printJson(const std::vector<JsonRun> &runs, const std::string &protocol)
+{
+    std::printf("[\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const JsonRun &r = runs[i];
+        std::printf(
+            "  {\"config\": \"%s\", \"protocol\": \"%s\", "
+            "\"states\": %llu, \"transitions\": %llu, "
+            "\"maxInFlight\": %zu, \"clean\": %s, "
+            "\"violations\": %zu, \"deadlocks\": %zu, "
+            "\"livenessViolations\": %zu, \"dirtyTraps\": %zu",
+            r.config.c_str(), protocol.c_str(),
+            static_cast<unsigned long long>(r.rep.states),
+            static_cast<unsigned long long>(r.rep.transitions),
+            r.rep.maxInFlight, r.rep.clean() ? "true" : "false",
+            r.rep.violations.size(), r.rep.deadlocks.size(),
+            r.rep.livenessViolations.size(), r.rep.dirtyTraps.size());
+        if (r.unreducedStates) {
+            std::printf(", \"unreducedStates\": %llu",
+                        static_cast<unsigned long long>(
+                            r.unreducedStates));
+        }
+        std::printf("}%s\n", i + 1 < runs.size() ? "," : "");
+    }
+    std::printf("]\n");
+}
+
+void
+listProtocols(std::FILE *to)
+{
+    for (const auto *p : eci::proto::allProtocols())
+        std::fprintf(to, "%s\n", p->name());
 }
 
 } // namespace
@@ -51,15 +161,54 @@ runOne(const verif::Options &opt, const char *what, bool verbose)
 int
 main(int argc, char **argv)
 {
-    bool unordered = false, verbose = false;
+    bool unordered = false, verbose = false, json = false;
+    bool symmetry = false, por = false, compare = false;
     std::string mode = "both";
+    std::string protocol = "moesi";
+    unsigned lines = 1, threads = 1;
+    std::size_t maxStates = 0; // 0 = library default
     verif::Mutation mutation = verif::Mutation::None;
+    std::string mutationName;
+
+    auto intArg = [&](int &i, const char *flag,
+                      unsigned long &out) -> bool {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "ecicheck: %s requires a value\n",
+                         flag);
+            return false;
+        }
+        out = std::strtoul(argv[++i], nullptr, 10);
+        return true;
+    };
 
     for (int i = 1; i < argc; ++i) {
+        unsigned long v = 0;
         if (std::strcmp(argv[i], "--unordered") == 0) {
             unordered = true;
         } else if (std::strcmp(argv[i], "--verbose") == 0) {
             verbose = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(argv[i], "--symmetry") == 0) {
+            symmetry = true;
+        } else if (std::strcmp(argv[i], "--por") == 0) {
+            por = true;
+        } else if (std::strcmp(argv[i], "--compare-reduction") == 0) {
+            compare = true;
+            symmetry = true;
+            por = true;
+        } else if (std::strcmp(argv[i], "--lines") == 0) {
+            if (!intArg(i, "--lines", v))
+                return 2;
+            lines = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            if (!intArg(i, "--threads", v))
+                return 2;
+            threads = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--max-states") == 0) {
+            if (!intArg(i, "--max-states", v))
+                return 2;
+            maxStates = v;
         } else if (std::strcmp(argv[i], "--mode") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
@@ -67,6 +216,17 @@ main(int argc, char **argv)
                 return 2;
             }
             mode = argv[++i];
+        } else if (std::strcmp(argv[i], "--protocol") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "ecicheck: --protocol requires a value "
+                             "(--list-protocols)\n");
+                return 2;
+            }
+            protocol = argv[++i];
+        } else if (std::strcmp(argv[i], "--list-protocols") == 0) {
+            listProtocols(stdout);
+            return 0;
         } else if (std::strcmp(argv[i], "--mutation") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
@@ -74,25 +234,23 @@ main(int argc, char **argv)
                              "(--list-mutations)\n");
                 return 2;
             }
-            auto m = verif::mutationFromString(argv[++i]);
-            if (!m) {
-                std::fprintf(stderr,
-                             "ecicheck: unknown mutation '%s' "
-                             "(--list-mutations)\n",
-                             argv[i]);
-                return 2;
-            }
-            mutation = *m;
+            mutationName = argv[++i];
         } else if (std::strcmp(argv[i], "--list-mutations") == 0) {
-            for (verif::Mutation m : verif::allMutations)
-                std::printf("%s\n", verif::toString(m));
-            return 0;
+            // Deferred: filtered by --protocol, which may follow.
+            mutationName = "--list--";
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf(
-                "usage: ecicheck [--unordered] [--mode "
+                "usage: ecicheck [--protocol NAME | "
+                "--list-protocols]\n"
+                "                [--unordered] [--mode "
                 "cached|uncached|both]\n"
                 "                [--mutation NAME | "
-                "--list-mutations] [--verbose]\n");
+                "--list-mutations]\n"
+                "                [--lines N] [--symmetry] [--por] "
+                "[--threads N]\n"
+                "                [--compare-reduction] "
+                "[--max-states N]\n"
+                "                [--json] [--verbose]\n");
             return 0;
         } else {
             std::fprintf(stderr, "ecicheck: unknown option '%s'\n",
@@ -105,23 +263,73 @@ main(int argc, char **argv)
                      mode.c_str());
         return 2;
     }
+    if (!eci::proto::protocolByName(protocol)) {
+        std::fprintf(stderr,
+                     "ecicheck: unknown protocol '%s'; registered "
+                     "protocols are:\n",
+                     protocol.c_str());
+        listProtocols(stderr);
+        return 2;
+    }
+    if (mutationName == "--list--") {
+        for (verif::Mutation m : verif::allMutations) {
+            if (verif::mutationApplies(m, protocol))
+                std::printf("%s\n", verif::toString(m));
+        }
+        return 0;
+    }
+    if (!mutationName.empty()) {
+        auto m = verif::mutationFromString(mutationName);
+        if (!m) {
+            std::fprintf(stderr,
+                         "ecicheck: unknown mutation '%s' "
+                         "(--list-mutations)\n",
+                         mutationName.c_str());
+            return 2;
+        }
+        if (!verif::mutationApplies(*m, protocol)) {
+            std::fprintf(stderr,
+                         "ecicheck: mutation '%s' does not apply to "
+                         "protocol '%s'\n",
+                         mutationName.c_str(), protocol.c_str());
+            return 2;
+        }
+        mutation = *m;
+    }
 
     int rc = 0;
+    std::vector<JsonRun> jsonRuns;
     for (int cached = 1; cached >= 0; --cached) {
         if (cached && mode == "uncached")
             continue;
         if (!cached && mode == "cached")
             continue;
         verif::Options opt;
+        opt.protocol = protocol;
         opt.uncachedRemote = !cached;
         opt.orderedDelivery = !unordered;
         opt.mutation = mutation;
+        opt.lines = lines;
+        opt.symmetry = symmetry;
+        opt.por = por;
+        opt.threads = threads;
+        if (maxStates)
+            opt.maxStates = maxStates;
         std::string what =
-            std::string(cached ? "cached" : "uncached") +
+            protocol + " " + (cached ? "cached" : "uncached") +
             (unordered ? " unordered" : " ordered");
+        if (lines > 1)
+            what += " lines=" + std::to_string(lines);
+        if (symmetry || por) {
+            what += std::string(" [") + (symmetry ? "sym" : "") +
+                    (symmetry && por ? "+" : "") + (por ? "por" : "") +
+                    "]";
+        }
         if (mutation != verif::Mutation::None)
             what += std::string(" +") + verif::toString(mutation);
-        rc |= runOne(opt, what.c_str(), verbose);
+        rc |= runOne(opt, what, verbose, compare, json, jsonRuns);
     }
+    if (json)
+        printJson(jsonRuns, protocol);
     return rc;
 }

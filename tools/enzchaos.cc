@@ -51,8 +51,8 @@ usage()
                  "[--lines N]\n"
                  "                [--traffic-seed N] [--no-net] "
                  "[--no-rdma] [--with-bmc]\n"
-                 "                [--threads N] [--dump-plan] "
-                 "[--json [FILE]]\n");
+                 "                [--protocol NAME] [--threads N] "
+                 "[--dump-plan] [--json [FILE]]\n");
     std::exit(2);
 }
 
@@ -109,6 +109,8 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             cfg.seed = parseU64(argv[++i], "traffic seed");
             traffic_seed_set = true;
+        } else if (!std::strcmp(arg, "--protocol") && i + 1 < argc) {
+            cfg.protocol = argv[++i];
         } else if (!std::strcmp(arg, "--no-net")) {
             cfg.with_net = false;
         } else if (!std::strcmp(arg, "--no-rdma")) {
