@@ -45,6 +45,20 @@ envThreads()
 }
 
 /**
+ * Coherence protocol requested via ENZIAN_PROTOCOL (empty = unset =
+ * the config's default). Mirrors ENZIAN_THREADS: makeBenchMachine()
+ * applies it and BenchReport stamps it into the metrics JSON, so a
+ * protocol shootout's artifacts are self-describing while default
+ * runs stay byte-identical to their golden files.
+ */
+inline std::string
+envProtocol()
+{
+    const char *s = std::getenv("ENZIAN_PROTOCOL");
+    return s && *s ? std::string(s) : std::string();
+}
+
+/**
  * Machine-readable companion to a bench's text output: named scalar
  * metrics accumulated during the run and written as
  * `BENCH_<name>.json` (into $ENZIAN_BENCH_DIR if set, else the
@@ -96,6 +110,9 @@ class BenchReport
         if (envThreads() > 0)
             f << obs::json::quote("threads") << ": " << envThreads()
               << ",\n  ";
+        if (const std::string proto = envProtocol(); !proto.empty())
+            f << obs::json::quote("protocol") << ": "
+              << obs::json::quote(proto) << ",\n  ";
         f << obs::json::quote("metrics") << ": {";
         bool first = true;
         for (const auto &[metric, value] : metrics_) {
@@ -240,6 +257,9 @@ makeBenchMachine(platform::EnzianMachine::Config cfg)
     if (cfg.threads == 0 && !cfg.shared_scheduler &&
         !cfg.shared_eventq)
         cfg.threads = envThreads();
+    if (const std::string proto = envProtocol();
+        !proto.empty() && cfg.protocol == "moesi")
+        cfg.protocol = proto;
     return std::make_unique<platform::EnzianMachine>(cfg);
 }
 

@@ -14,6 +14,8 @@
 #ifndef ENZIAN_ACCEL_GBDT_ENGINE_HH
 #define ENZIAN_ACCEL_GBDT_ENGINE_HH
 
+#include <functional>
+
 #include "accel/gbdt.hh"
 #include "sim/sim_object.hh"
 
@@ -62,6 +64,28 @@ class GbdtEngine : public SimObject
      */
     Result infer(const float *tuples, std::uint64_t count) const;
 
+    /** Completion callback: batch occupied the engine [start, end]. */
+    using ServeDone = std::function<void(Tick start, Tick end)>;
+
+    /**
+     * Queued serving entry point for the load harness: score the
+     * batch functionally (into @p scores_out if non-null) and occupy
+     * the engine for its modeled service time, FIFO behind whatever
+     * is already queued. @p done fires at the completion tick with
+     * the batch's [start, end] occupancy, so callers can split
+     * queue-wait from service time. The engine is a single FIFO
+     * server: serve() may be called at any rate and requests simply
+     * queue (the open-loop generator depends on that).
+     */
+    void serve(const float *tuples, std::uint64_t count,
+               std::vector<float> *scores_out, ServeDone done);
+
+    /** Modeled service seconds for a batch of @p count tuples. */
+    double serviceSeconds(std::uint64_t count) const;
+
+    /** Tick at which the engine next goes idle (serving only). */
+    Tick freeAt() const { return freeAt_; }
+
     /** Bytes of one tuple on the wire. */
     std::uint32_t tupleBytes() const
     {
@@ -71,8 +95,17 @@ class GbdtEngine : public SimObject
     const Config &config() const { return cfg_; }
 
   private:
+    /** Steady-state seconds per tuple (compute vs host link). */
+    double steadyIntervalSeconds(bool *transfer_bound = nullptr) const;
+
     const GbdtEnsemble &ensemble_;
     Config cfg_;
+
+    // Serving-path state: a single FIFO server plus its telemetry.
+    Tick freeAt_ = 0;
+    Counter served_;
+    Accumulator queueWaitNs_;
+    Accumulator serviceNs_;
 };
 
 } // namespace enzian::accel

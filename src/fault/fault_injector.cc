@@ -197,12 +197,13 @@ FaultInjector::applyNetWindows()
 }
 
 void
-FaultInjector::attachRdma(net::RdmaInitiator &ini, net::RdmaTarget &tgt)
+FaultInjector::attachRdma(net::RdmaInitiator &ini, net::RdmaTarget &tgt,
+                          bool abandon_after_retries)
 {
     rdmaIni_ = &ini;
     rdmaTgt_ = &tgt;
     if (plan_.hasKind(FaultKind::RdmaDrop))
-        ini.enableRecovery(rdmaRetryUs, 16);
+        ini.enableRecovery(rdmaRetryUs, 16, abandon_after_retries);
 }
 
 void

@@ -73,8 +73,15 @@ class FaultInjector : public SimObject
      */
     void attachNet(net::TcpStack &a, net::TcpStack &b);
 
-    /** Attach an RDMA initiator/target pair for request/response loss. */
-    void attachRdma(net::RdmaInitiator &ini, net::RdmaTarget &tgt);
+    /**
+     * Attach an RDMA initiator/target pair for request/response loss.
+     * @p abandon_after_retries makes the initiator drop (and count) a
+     * request once retries are exhausted instead of panicking — for
+     * open-loop load harnesses where overload-induced retry storms
+     * are an expected outcome, not a livelock bug.
+     */
+    void attachRdma(net::RdmaInitiator &ini, net::RdmaTarget &tgt,
+                    bool abandon_after_retries = false);
 
     /**
      * Attach the BMC for rail-glitch injection. The injector brings

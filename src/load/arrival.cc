@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Arrival process implementations.
+ */
+
+#include "load/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace enzian::load {
+
+const char *
+toString(ArrivalKind k)
+{
+    switch (k) {
+      case ArrivalKind::Poisson:
+        return "poisson";
+      case ArrivalKind::Mmpp:
+        return "mmpp";
+      case ArrivalKind::Diurnal:
+        return "diurnal";
+    }
+    return "?";
+}
+
+ArrivalKind
+arrivalKindFromString(const std::string &s)
+{
+    if (s == "poisson")
+        return ArrivalKind::Poisson;
+    if (s == "mmpp")
+        return ArrivalKind::Mmpp;
+    if (s == "diurnal")
+        return ArrivalKind::Diurnal;
+    fatal("unknown arrival process '%s' (poisson, mmpp, diurnal)",
+          s.c_str());
+}
+
+namespace {
+
+/** Exponential draw with rate @p lambda_per_tick, in ticks (>= 1). */
+Tick
+expGapTicks(Rng &rng, double lambda_per_sec)
+{
+    // Inverse CDF on (0, 1]; 1-u avoids log(0).
+    const double u = rng.uniform();
+    const double secs = -std::log1p(-u) / lambda_per_sec;
+    const Tick t = units::sec(secs);
+    return t == 0 ? 1 : t;
+}
+
+class PoissonArrivals final : public ArrivalProcess
+{
+  public:
+    explicit PoissonArrivals(const ArrivalConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed)
+    {
+    }
+
+    Tick nextGap() override { return expGapTicks(rng_, cfg_.rate_rps); }
+
+    const ArrivalConfig &config() const override { return cfg_; }
+
+  private:
+    ArrivalConfig cfg_;
+    Rng rng_;
+};
+
+/**
+ * 2-state MMPP with equal mean dwell in each state, so the long-run
+ * mean rate is (lo + hi) / 2 == cfg.rate_rps exactly.
+ */
+class MmppArrivals final : public ArrivalProcess
+{
+  public:
+    explicit MmppArrivals(const ArrivalConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed)
+    {
+        rateLo_ = 2.0 * cfg_.rate_rps / (1.0 + cfg_.mmpp_burst_ratio);
+        rateHi_ = rateLo_ * cfg_.mmpp_burst_ratio;
+        dwellLeft_ = drawDwell();
+    }
+
+    Tick
+    nextGap() override
+    {
+        Tick gap = 0;
+        for (;;) {
+            const Tick g =
+                expGapTicks(rng_, bursty_ ? rateHi_ : rateLo_);
+            if (g <= dwellLeft_) {
+                dwellLeft_ -= g;
+                gap += g;
+                return gap == 0 ? 1 : gap;
+            }
+            // The state switches before this arrival would land; by
+            // memorylessness the residual gap re-draws at the new
+            // state's rate, so just consume the dwell and retry.
+            gap += dwellLeft_;
+            bursty_ = !bursty_;
+            dwellLeft_ = drawDwell();
+        }
+    }
+
+    const ArrivalConfig &config() const override { return cfg_; }
+
+  private:
+    Tick
+    drawDwell()
+    {
+        const double u = rng_.uniform();
+        const double secs =
+            -std::log1p(-u) * units::toSeconds(cfg_.mmpp_dwell);
+        const Tick t = units::sec(secs);
+        return t == 0 ? 1 : t;
+    }
+
+    ArrivalConfig cfg_;
+    Rng rng_;
+    double rateLo_;
+    double rateHi_;
+    bool bursty_ = false;
+    Tick dwellLeft_;
+};
+
+/**
+ * Sinusoidal rate modulation sampled by thinning: candidate arrivals
+ * at the peak rate, each kept with probability lambda(t)/peak. The
+ * mean of lambda over a full period is exactly cfg.rate_rps.
+ */
+class DiurnalArrivals final : public ArrivalProcess
+{
+  public:
+    explicit DiurnalArrivals(const ArrivalConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed)
+    {
+        peak_ = cfg_.rate_rps * (1.0 + cfg_.diurnal_amplitude);
+    }
+
+    Tick
+    nextGap() override
+    {
+        Tick gap = 0;
+        for (;;) {
+            const Tick g = expGapTicks(rng_, peak_);
+            gap += g;
+            phase_ += g;
+            const double frac =
+                static_cast<double>(phase_ % cfg_.diurnal_period) /
+                static_cast<double>(cfg_.diurnal_period);
+            const double lambda =
+                cfg_.rate_rps *
+                (1.0 + cfg_.diurnal_amplitude *
+                           std::sin(2.0 * M_PI * frac));
+            if (rng_.uniform() * peak_ < lambda)
+                return gap == 0 ? 1 : gap;
+        }
+    }
+
+    const ArrivalConfig &config() const override { return cfg_; }
+
+  private:
+    ArrivalConfig cfg_;
+    Rng rng_;
+    double peak_;
+    /** Sim time since the process started (tracks issued gaps). */
+    Tick phase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<ArrivalProcess>
+ArrivalProcess::make(const ArrivalConfig &cfg)
+{
+    if (cfg.rate_rps <= 0.0)
+        fatal("arrival process: rate %.3f rps must be positive",
+              cfg.rate_rps);
+    switch (cfg.kind) {
+      case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrivals>(cfg);
+      case ArrivalKind::Mmpp:
+        if (cfg.mmpp_burst_ratio < 1.0 || cfg.mmpp_dwell == 0)
+            fatal("mmpp arrivals: burst ratio must be >= 1 and dwell "
+                  "nonzero");
+        return std::make_unique<MmppArrivals>(cfg);
+      case ArrivalKind::Diurnal:
+        if (cfg.diurnal_amplitude < 0.0 ||
+            cfg.diurnal_amplitude >= 1.0 || cfg.diurnal_period == 0)
+            fatal("diurnal arrivals: amplitude must be in [0, 1) and "
+                  "period nonzero");
+        return std::make_unique<DiurnalArrivals>(cfg);
+    }
+    fatal("arrival process: bad kind");
+}
+
+} // namespace enzian::load

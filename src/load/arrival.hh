@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Open-loop arrival processes for the serving load generator.
+ *
+ * Each process produces the gap to the next request arrival as a
+ * function of its own seeded RNG stream only — never of service
+ * completions — which is what makes the generator open-loop: a slow
+ * server cannot throttle offered load, so queueing delay shows up in
+ * the latency distribution instead of silently vanishing into a
+ * closed feedback loop.
+ *
+ * Three shapes cover the serving scenarios the ROADMAP asks for:
+ *
+ *  - Poisson: memoryless arrivals at a constant rate, the classic
+ *    baseline.
+ *  - MMPP: a 2-state Markov-modulated Poisson process alternating
+ *    between a quiet and a bursty rate with exponentially distributed
+ *    dwell times; the configured rate is the long-run mean. Sampling
+ *    is exact (no discretization): the exponential's memorylessness
+ *    lets the gap re-draw at each state switch.
+ *  - Diurnal: a sinusoidally rate-modulated Poisson process (a whole
+ *    day compressed into one configurable period), sampled by
+ *    Lewis-Shedler thinning against the peak rate.
+ */
+
+#ifndef ENZIAN_LOAD_ARRIVAL_HH
+#define ENZIAN_LOAD_ARRIVAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/rng.hh"
+#include "base/units.hh"
+
+namespace enzian::load {
+
+/** Arrival process shapes. */
+enum class ArrivalKind : std::uint8_t { Poisson, Mmpp, Diurnal };
+
+/** Short name ("poisson", "mmpp", "diurnal"). */
+const char *toString(ArrivalKind k);
+
+/** Parse a short name; fatal() on unknown names. */
+ArrivalKind arrivalKindFromString(const std::string &s);
+
+/** Arrival process configuration. */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Long-run mean offered rate (requests/second). */
+    double rate_rps = 1000.0;
+    /** RNG stream seed; same seed => same arrival sequence. */
+    std::uint64_t seed = 1;
+    /** MMPP: burst-state rate as a multiple of the quiet rate. */
+    double mmpp_burst_ratio = 9.0;
+    /** MMPP: mean dwell time in each state. */
+    Tick mmpp_dwell = units::us(2000.0);
+    /** Diurnal: modulation depth in [0, 1); peak = rate*(1+A). */
+    double diurnal_amplitude = 0.8;
+    /** Diurnal: one full day's period in sim time. */
+    Tick diurnal_period = units::ms(100.0);
+};
+
+/** A seeded stream of inter-arrival gaps. */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /** Ticks until the next arrival (>= 1). */
+    virtual Tick nextGap() = 0;
+
+    /** The configuration this process was built from. */
+    virtual const ArrivalConfig &config() const = 0;
+
+    /** Build the process @p cfg describes; fatal() on bad configs. */
+    static std::unique_ptr<ArrivalProcess> make(const ArrivalConfig &cfg);
+};
+
+} // namespace enzian::load
+
+#endif // ENZIAN_LOAD_ARRIVAL_HH

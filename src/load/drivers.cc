@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Service driver implementations.
+ */
+
+#include "load/drivers.hh"
+
+#include "base/logging.hh"
+#include "obs/span_tracer.hh"
+
+namespace enzian::load {
+
+GbdtServiceDriver::GbdtServiceDriver(accel::GbdtEngine &engine,
+                                     std::uint64_t batch,
+                                     std::uint64_t tuple_seed)
+    : engine_(engine), batch_(batch)
+{
+    if (batch_ == 0)
+        fatal("gbdt driver: batch must be nonzero");
+    tuples_ = accel::makeTuples(tuple_seed, batch_ * kPoolBatches,
+                                engine_.config().features);
+}
+
+void
+GbdtServiceDriver::issue(const Request &req, Done done)
+{
+    const std::uint64_t slot = req.id % kPoolBatches;
+    const float *batch = tuples_.data() +
+                         slot * batch_ * engine_.config().features;
+    const Tick submit = engine_.now();
+    const bool traced = req.traced;
+    const std::uint64_t id = req.id;
+    engine_.serve(batch, batch_, nullptr,
+                  [done = std::move(done), submit, traced,
+                   id](Tick start, Tick end) {
+                      if (traced) {
+                          const std::string track = requestTrack(id);
+                          ENZIAN_SPAN(track, "queue", submit, start);
+                          ENZIAN_SPAN(track, "service", start, end);
+                      }
+                      done(end);
+                  });
+}
+
+RdmaServiceDriver::RdmaServiceDriver(net::RdmaInitiator &initiator,
+                                     std::uint64_t bytes,
+                                     std::uint64_t region_bytes)
+    : initiator_(initiator), bytes_(bytes), regionBytes_(region_bytes),
+      buf_(bytes)
+{
+    if (bytes_ == 0 || regionBytes_ < bytes_)
+        fatal("rdma driver: need 0 < bytes <= region");
+}
+
+void
+RdmaServiceDriver::issue(const Request &req, Done done)
+{
+    const Addr off = nextOff_;
+    // Cycle line-aligned offsets so successive reads touch fresh
+    // lines (the eci-host path requires the alignment anyway).
+    const std::uint64_t step =
+        (bytes_ + cache::lineSize - 1) / cache::lineSize *
+        cache::lineSize;
+    nextOff_ = (off + step + bytes_ <= regionBytes_) ? off + step : 0;
+
+    const Tick submit = initiator_.now();
+    const bool traced = req.traced;
+    const std::uint64_t id = req.id;
+    initiator_.read(off, buf_.data(), bytes_,
+                    [done = std::move(done), submit, traced,
+                     id](Tick t) {
+                        if (traced)
+                            ENZIAN_SPAN(requestTrack(id), "rdma-read",
+                                        submit, t);
+                        done(t);
+                    });
+}
+
+TcpEchoServiceDriver::TcpEchoServiceDriver(net::TcpStack &client,
+                                           net::TcpStack &server,
+                                           std::uint32_t flows,
+                                           std::uint64_t bytes)
+    : client_(client), server_(server), bytes_(bytes)
+{
+    if (flows == 0 || bytes_ == 0)
+        fatal("tcp echo driver: need flows > 0 and bytes > 0");
+    flows_.resize(flows);
+    for (std::uint32_t i = 0; i < flows; ++i) {
+        flows_[i].flowId = client_.connect(server_);
+        byFlowId_.emplace(flows_[i].flowId, i);
+    }
+    server_.setReceiveCallback(
+        [this](std::uint32_t flow, std::uint64_t n) {
+            onServerRx(flow, n);
+        });
+    client_.setReceiveCallback(
+        [this](std::uint32_t flow, std::uint64_t n) {
+            onClientRx(flow, n);
+        });
+}
+
+void
+TcpEchoServiceDriver::onServerRx(std::uint32_t flow, std::uint64_t n)
+{
+    auto it = byFlowId_.find(flow);
+    if (it == byFlowId_.end())
+        return;
+    FlowState &fs = flows_[it->second];
+    fs.serverRx += n;
+    while (fs.serverRx >= bytes_) {
+        fs.serverRx -= bytes_;
+        server_.send(flow, bytes_, net::TcpStack::Done());
+    }
+}
+
+void
+TcpEchoServiceDriver::onClientRx(std::uint32_t flow, std::uint64_t n)
+{
+    auto it = byFlowId_.find(flow);
+    if (it == byFlowId_.end())
+        return;
+    FlowState &fs = flows_[it->second];
+    fs.clientRx += n;
+    while (fs.clientRx >= bytes_ && !fs.waiting.empty()) {
+        fs.clientRx -= bytes_;
+        Waiter w = std::move(fs.waiting.front());
+        fs.waiting.pop_front();
+        const Tick t = client_.now();
+        if (w.traced)
+            ENZIAN_SPAN(requestTrack(w.id), "tcp-echo", w.submit, t);
+        w.done(t);
+    }
+}
+
+void
+TcpEchoServiceDriver::issue(const Request &req, Done done)
+{
+    FlowState &fs = flows_[req.id % flows_.size()];
+    fs.waiting.push_back(
+        Waiter{req.id, client_.now(), req.traced, std::move(done)});
+    client_.send(fs.flowId, bytes_, net::TcpStack::Done());
+}
+
+} // namespace enzian::load

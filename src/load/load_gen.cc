@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Load generator implementation.
+ */
+
+#include "load/load_gen.hh"
+
+#include "base/logging.hh"
+#include "obs/request_context.hh"
+#include "obs/span_tracer.hh"
+
+namespace enzian::load {
+
+namespace {
+
+/** splitmix64 finalizer: spread request ids over the client space. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+LoadGen::LoadGen(std::string name, EventQueue &eq, ServiceDriver &drv,
+                 obs::SloRecorder &slo, const Config &cfg)
+    : SimObject(std::move(name), eq), drv_(drv), slo_(slo), cfg_(cfg),
+      arrivals_(ArrivalProcess::make(cfg.arrival))
+{
+    if (cfg_.duration == 0 || cfg_.clients == 0)
+        fatal("load gen '%s': need duration > 0 and clients > 0",
+              SimObject::name().c_str());
+    stats().addCounter("offered", &offered_);
+    stats().addCounter("completed", &completed_);
+    stats().addGauge("inflight", &inflight_);
+    arrivalEv_.init(eq, [this]() { onArrival(); }, "loadgen-arrival");
+}
+
+void
+LoadGen::start()
+{
+    stopAt_ = now() + cfg_.duration;
+    const Tick first = now() + arrivals_->nextGap();
+    if (first <= stopAt_)
+        arrivalEv_.schedule(first);
+}
+
+void
+LoadGen::onArrival()
+{
+    const Tick arrival = now();
+    const std::uint64_t id = ++seq_;
+    const bool traced = id <= cfg_.trace_requests;
+
+    Request req;
+    req.id = id;
+    req.client = mix64(id) % cfg_.clients;
+    req.arrival = arrival;
+    req.traced = traced;
+
+    offered_.inc();
+    inflight_.add(1.0);
+
+    if (traced) {
+        const std::string track = requestTrack(id);
+        ENZIAN_SPAN_INSTANT(track, "arrival", arrival);
+        ENZIAN_FLOW_BEGIN(track, "request", arrival, id);
+    }
+
+    {
+        // Publish the flow id for the synchronous part of the issue
+        // path; components stash it in their per-op state.
+        obs::FlowScope scope(traced ? id : 0);
+        drv_.issue(req, [this, id, arrival, traced](Tick t) {
+            completed_.inc();
+            inflight_.add(-1.0);
+            slo_.record(arrival, t);
+            if (traced) {
+                const std::string track = requestTrack(id);
+                ENZIAN_SPAN(track, "request", arrival, t);
+                ENZIAN_FLOW_END(track, "request", t, id);
+            }
+        });
+    }
+
+    // Open loop: the next arrival depends only on the process, never
+    // on completions.
+    const Tick next = arrival + arrivals_->nextGap();
+    if (next <= stopAt_)
+        arrivalEv_.schedule(next);
+}
+
+} // namespace enzian::load

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Open-loop traffic generator.
+ *
+ * Schedules request arrivals from an ArrivalProcess independently of
+ * completions (millions of logical clients are one counter and a
+ * hash, not objects), issues each request through a ServiceDriver,
+ * and records the arrival-to-completion latency into an SloRecorder.
+ * The first `trace_requests` requests are flow-traced: the generator
+ * opens a "req/<id>" Perfetto track, publishes the request id as the
+ * ambient flow id while the driver issues (obs::FlowScope), and closes
+ * the flow at completion — so one request's queue/service/transit
+ * breakdown reads as a single arrow-linked chain in the trace.
+ */
+
+#ifndef ENZIAN_LOAD_LOAD_GEN_HH
+#define ENZIAN_LOAD_LOAD_GEN_HH
+
+#include <memory>
+
+#include "load/arrival.hh"
+#include "load/service_driver.hh"
+#include "obs/slo.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::load {
+
+/** The open-loop generator driving one service. */
+class LoadGen : public SimObject
+{
+  public:
+    struct Config
+    {
+        ArrivalConfig arrival;
+        /** Offered-load duration; arrivals stop after this. */
+        Tick duration = units::ms(50.0);
+        /** Logical client population (id space only, O(1) state). */
+        std::uint64_t clients = 1'000'000;
+        /** Flow-trace the first N requests (0 = tracing off). */
+        std::uint64_t trace_requests = 0;
+    };
+
+    LoadGen(std::string name, EventQueue &eq, ServiceDriver &drv,
+            obs::SloRecorder &slo, const Config &cfg);
+
+    /**
+     * Begin offering load: the first arrival lands one gap after
+     * now(), the last at or before now() + duration. Call once.
+     */
+    void start();
+
+    /** Arrival tick of the last possible request. */
+    Tick stopAt() const { return stopAt_; }
+
+    std::uint64_t offeredCount() const { return offered_.value(); }
+    std::uint64_t completedCount() const { return completed_.value(); }
+    std::uint64_t inflightCount() const
+    {
+        return offered_.value() - completed_.value();
+    }
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    void onArrival();
+
+    ServiceDriver &drv_;
+    obs::SloRecorder &slo_;
+    Config cfg_;
+    std::unique_ptr<ArrivalProcess> arrivals_;
+    Event arrivalEv_;
+    Tick stopAt_ = 0;
+    std::uint64_t seq_ = 0;
+
+    Counter offered_;
+    Counter completed_;
+    Gauge inflight_;
+};
+
+} // namespace enzian::load
+
+#endif // ENZIAN_LOAD_LOAD_GEN_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The common interface between the load generator and a service.
+ *
+ * The generator produces Requests on its arrival process; a
+ * ServiceDriver turns each into real work on a simulated service (a
+ * GBDT inference batch, an RDMA read, a TCP echo round trip) and
+ * reports the completion tick. Drivers must tolerate any issue rate —
+ * open-loop load means requests queue inside the service when it
+ * saturates, which is exactly the regime the SLO harness measures.
+ */
+
+#ifndef ENZIAN_LOAD_SERVICE_DRIVER_HH
+#define ENZIAN_LOAD_SERVICE_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/units.hh"
+
+namespace enzian::load {
+
+/** Perfetto track name for one traced request. */
+inline std::string
+requestTrack(std::uint64_t id)
+{
+    return "req/" + std::to_string(id);
+}
+
+/** One logical request from one of millions of logical clients. */
+struct Request
+{
+    /** Sequence number, 1-based; doubles as the causal flow id. */
+    std::uint64_t id = 0;
+    /** Logical client (hashed from id; clients are O(1) state). */
+    std::uint64_t client = 0;
+    /** Arrival tick (the latency measurement starts here). */
+    Tick arrival = 0;
+    /** Emit per-request spans/flow events for this request. */
+    bool traced = false;
+};
+
+/** Adapts one simulated service to the load generator. */
+class ServiceDriver
+{
+  public:
+    /** Completion callback with the request's completion tick. */
+    using Done = std::function<void(Tick)>;
+
+    virtual ~ServiceDriver() = default;
+
+    /** Start serving @p req; call @p done exactly once when it ends. */
+    virtual void issue(const Request &req, Done done) = 0;
+
+    /** Short label for reports ("gbdt", "rdma", "tcp"). */
+    virtual const char *kind() const = 0;
+};
+
+} // namespace enzian::load
+
+#endif // ENZIAN_LOAD_SERVICE_DRIVER_HH

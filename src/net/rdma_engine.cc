@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "base/logging.hh"
+#include "obs/request_context.hh"
 #include "obs/span_tracer.hh"
 
 namespace enzian::net {
@@ -200,6 +201,7 @@ RdmaTarget::serve(std::uint32_t req_id)
                   [this, req, buf, req_id, t0](Tick t) {
                       service_.sample(units::toNanos(t - t0));
                       ENZIAN_SPAN(name(), "read", t0, t);
+                      ENZIAN_FLOW_STEP(name(), "read", t, req->flowId);
                       g_responses[req_id] = std::move(*buf);
                       if (faultRng_ && rspDropProb_ > 0.0 &&
                           faultRng_->chance(rspDropProb_)) {
@@ -219,6 +221,8 @@ RdmaTarget::serve(std::uint32_t req_id)
                    [this, req, req_id, t0](Tick t) {
                        service_.sample(units::toNanos(t - t0));
                        ENZIAN_SPAN(name(), "write", t0, t);
+                       ENZIAN_FLOW_STEP(name(), "write", t,
+                                        req->flowId);
                        if (faultRng_ && rspDropProb_ > 0.0 &&
                            faultRng_->chance(rspDropProb_)) {
                            rspsDropped_.inc();
@@ -245,14 +249,17 @@ RdmaInitiator::RdmaInitiator(std::string name, EventQueue &eq,
     stats().addCounter("retries", &retries_);
     stats().addCounter("fault_requests_dropped", &reqsDropped_);
     stats().addCounter("stale_completions", &staleCompletions_);
+    stats().addCounter("abandoned", &abandoned_);
 }
 
 void
 RdmaInitiator::enableRecovery(double timeout_us,
-                              std::uint32_t max_retries)
+                              std::uint32_t max_retries,
+                              bool abandon_after_retries)
 {
     recoveryTimeout_ = units::us(timeout_us);
     maxRetries_ = max_retries;
+    abandonAfterRetries_ = abandon_after_retries;
 }
 
 void
@@ -274,6 +281,7 @@ RdmaInitiator::read(Addr off, std::uint8_t *dst, std::uint64_t len,
     p.op = RdmaOp::Read;
     p.off = off;
     p.len = len;
+    p.flowId = obs::currentFlowId();
     issue(std::move(p));
 }
 
@@ -287,6 +295,7 @@ RdmaInitiator::write(Addr off, const std::uint8_t *src, std::uint64_t len,
     p.off = off;
     p.len = len;
     p.data.assign(src, src + len);
+    p.flowId = obs::currentFlowId();
     issue(std::move(p));
 }
 
@@ -298,6 +307,8 @@ RdmaInitiator::issue(Pending p)
     req.off = p.off;
     req.len = p.len;
     req.srcPort = port_;
+    req.flowId = p.flowId;
+    p.issued = now();
     if (p.op == RdmaOp::Write) {
         if (recoveryTimeout_)
             req.data = p.data; // keep the payload for retries
@@ -333,6 +344,14 @@ RdmaInitiator::onTimeout(std::uint32_t id)
     Pending p = std::move(it->second);
     pending_.erase(it);
     ++p.attempts;
+    if (p.attempts > maxRetries_ && abandonAfterRetries_) {
+        // Give up like a real client: the request is lost (never
+        // completed) rather than retried into a saturated wire
+        // forever. Its registry state is dead either way.
+        abandoned_.inc();
+        dropRegistryEntries(id);
+        return;
+    }
     ENZIAN_ASSERT(p.attempts <= maxRetries_,
                   "RDMA request %u unanswered after %u retries "
                   "(livelock?)",
@@ -369,6 +388,8 @@ RdmaInitiator::onFrame(Tick when, std::uint64_t, std::uint64_t user)
         std::memcpy(p.dst, rit->second.data(), rit->second.size());
         g_responses.erase(rit);
     }
+    ENZIAN_SPAN(name(), "req", p.issued, when);
+    ENZIAN_FLOW_STEP(name(), "req", when, p.flowId);
     p.done(when);
 }
 

@@ -167,6 +167,8 @@ class RdmaTarget : public SimObject
         std::uint32_t srcPort;
         std::vector<std::uint8_t> data; // write payload
         std::function<void(Tick, std::vector<std::uint8_t>)> complete;
+        /** Causal flow id of the serving request (0 = untraced). */
+        std::uint64_t flowId = 0;
     };
 
     /** Register an incoming request's metadata (initiator side). */
@@ -212,8 +214,16 @@ class RdmaInitiator : public SimObject
      * re-issued under a FRESH wire id, so a late completion of the old
      * attempt can never be mistaken for the retry's. Must be enabled
      * before faults are injected anywhere on the RDMA path.
+     *
+     * Exhausting @p max_retries panics by default (the chaos runs
+     * treat it as a livelock). With @p abandon_after_retries the
+     * request is dropped and counted instead — what a real client
+     * does under saturation, and what an open-loop load harness
+     * needs: retry storms into an overloaded wire must not take the
+     * process down.
      */
-    void enableRecovery(double timeout_us, std::uint32_t max_retries = 12);
+    void enableRecovery(double timeout_us, std::uint32_t max_retries = 12,
+                        bool abandon_after_retries = false);
 
     /**
      * Inject request-loss faults on this initiator drawing from
@@ -244,6 +254,10 @@ class RdmaInitiator : public SimObject
         std::vector<std::uint8_t> data; // write payload kept for retry
         EventId retryEv = 0;
         std::uint32_t attempts = 0;
+        /** Causal flow id captured at read()/write() time. */
+        std::uint64_t flowId = 0;
+        /** When the current attempt went on the wire. */
+        Tick issued = 0;
     };
 
     void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
@@ -258,12 +272,15 @@ class RdmaInitiator : public SimObject
     /** Retry timeout (0 = recovery off, the default). */
     Tick recoveryTimeout_ = 0;
     std::uint32_t maxRetries_ = 12;
+    /** Give up (and count) instead of panicking at max retries. */
+    bool abandonAfterRetries_ = false;
     /** Request-drop fault stream; nullptr = no faults. */
     Rng *faultRng_ = nullptr;
     double reqDropProb_ = 0.0;
     Counter retries_;
     Counter reqsDropped_;
     Counter staleCompletions_;
+    Counter abandoned_;
 };
 
 } // namespace enzian::net

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/request_context.hh"
 #include "obs/span_tracer.hh"
 
 namespace enzian::net {
@@ -149,7 +150,8 @@ TcpStack::send(std::uint32_t flow_id, std::uint64_t bytes, Done done)
                           "tcp-empty-send");
         return;
     }
-    it->second.jobs.push_back(SendJob{bytes, 0, std::move(done), now()});
+    it->second.jobs.push_back(SendJob{bytes, 0, std::move(done), now(),
+                                      obs::currentFlowId()});
     pump(flow_id);
 }
 
@@ -430,6 +432,7 @@ TcpStack::onAck(std::uint32_t flow_id, std::uint64_t len)
             Done done = std::move(job.done);
             sendLatency_.sample(units::toNanos(now() - job.start));
             ENZIAN_SPAN(name(), "send", job.start, now());
+            ENZIAN_FLOW_STEP(name(), "acked", now(), job.flowId);
             f.jobs.pop_front();
             if (done)
                 done(now());

@@ -135,6 +135,8 @@ class TcpStack : public SimObject
         std::uint64_t unacked;
         Done done;
         Tick start = 0; // submit tick, for latency stats and spans
+        /** Causal flow id captured at send() time (0 = untraced). */
+        std::uint64_t flowId = 0;
     };
 
     struct Flow

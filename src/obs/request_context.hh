@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-request causal context for flow tracing.
+ *
+ * A serving request is born in the load generator, crosses a service
+ * driver, and threads through timed components (the GBDT engine, the
+ * RDMA initiator/target, a TCP stack) before completing. To stitch
+ * those hops into one Perfetto flow without changing every component
+ * signature, the issuing side publishes the request's flow id in an
+ * ambient per-thread slot for the duration of the issue call;
+ * components capture it into their own per-operation state (a TCP
+ * send job, an RDMA pending entry) at the moment work is accepted and
+ * tag their spans with it at completion.
+ *
+ * Id 0 means "not traced": the ENZIAN_FLOW_* macros drop events with
+ * a zero id, so untraced requests cost one thread-local load at issue
+ * and nothing thereafter. The slot is thread-local so parallel domain
+ * workers never observe each other's ids.
+ */
+
+#ifndef ENZIAN_OBS_REQUEST_CONTEXT_HH
+#define ENZIAN_OBS_REQUEST_CONTEXT_HH
+
+#include <cstdint>
+
+namespace enzian::obs {
+
+namespace detail {
+
+inline std::uint64_t &
+flowIdSlot()
+{
+    thread_local std::uint64_t id = 0;
+    return id;
+}
+
+} // namespace detail
+
+/** Flow id of the request currently being issued (0 = none). */
+inline std::uint64_t
+currentFlowId()
+{
+    return detail::flowIdSlot();
+}
+
+/**
+ * RAII scope publishing a request's flow id while its issue path
+ * runs. Nests correctly (the previous id is restored), so a traced
+ * request issued from inside another request's completion callback
+ * keeps both flows intact.
+ */
+class FlowScope
+{
+  public:
+    explicit FlowScope(std::uint64_t id) : prev_(detail::flowIdSlot())
+    {
+        detail::flowIdSlot() = id;
+    }
+
+    ~FlowScope() { detail::flowIdSlot() = prev_; }
+
+    FlowScope(const FlowScope &) = delete;
+    FlowScope &operator=(const FlowScope &) = delete;
+
+  private:
+    std::uint64_t prev_;
+};
+
+} // namespace enzian::obs
+
+#endif // ENZIAN_OBS_REQUEST_CONTEXT_HH

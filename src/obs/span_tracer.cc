@@ -5,6 +5,7 @@
 
 #include "obs/span_tracer.hh"
 
+#include <cstdio>
 #include <fstream>
 
 #include "base/logging.hh"
@@ -41,7 +42,7 @@ SpanTracer::complete(std::string_view track, std::string_view name,
         return;
     }
     events_.push_back(Event{trackId(track), 'X', start,
-                            end >= start ? end - start : 0, 0.0,
+                            end >= start ? end - start : 0, 0.0, 0,
                             std::string(name)});
 }
 
@@ -55,7 +56,7 @@ SpanTracer::instant(std::string_view track, std::string_view name,
         return;
     }
     events_.push_back(
-        Event{trackId(track), 'i', at, 0, 0.0, std::string(name)});
+        Event{trackId(track), 'i', at, 0, 0.0, 0, std::string(name)});
 }
 
 void
@@ -68,7 +69,41 @@ SpanTracer::counter(std::string_view track, std::string_view name,
         return;
     }
     events_.push_back(
-        Event{trackId(track), 'C', at, 0, value, std::string(name)});
+        Event{trackId(track), 'C', at, 0, value, 0, std::string(name)});
+}
+
+void
+SpanTracer::flowEvent(char ph, std::string_view track,
+                      std::string_view name, Tick at, std::uint64_t id)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= limit_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(
+        Event{trackId(track), ph, at, 0, 0.0, id, std::string(name)});
+}
+
+void
+SpanTracer::flowBegin(std::string_view track, std::string_view name,
+                      Tick at, std::uint64_t id)
+{
+    flowEvent('s', track, name, at, id);
+}
+
+void
+SpanTracer::flowStep(std::string_view track, std::string_view name,
+                     Tick at, std::uint64_t id)
+{
+    flowEvent('t', track, name, at, id);
+}
+
+void
+SpanTracer::flowEnd(std::string_view track, std::string_view name,
+                    Tick at, std::uint64_t id)
+{
+    flowEvent('f', track, name, at, id);
 }
 
 void
@@ -101,13 +136,22 @@ SpanTracer::writeChromeJson(std::ostream &os) const
            << "\",\"pid\":1,\"tid\":" << e.track + 1
            << ",\"ts\":" << json::number(ts)
            << ",\"name\":" << json::quote(e.name);
-        if (e.ph == 'X')
+        if (e.ph == 'X') {
             os << ",\"dur\":" << json::number(units::toMicros(e.dur));
-        else if (e.ph == 'i')
+        } else if (e.ph == 'i') {
             os << ",\"s\":\"t\"";
-        else if (e.ph == 'C')
+        } else if (e.ph == 'C') {
             os << ",\"args\":{\"value\":" << json::number(e.value)
                << "}";
+        } else if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+            // Flow events carry the request id; "bp":"e" binds each to
+            // the enclosing slice so Perfetto draws arrows span-to-span.
+            char idbuf[24];
+            std::snprintf(idbuf, sizeof(idbuf), "0x%llx",
+                          static_cast<unsigned long long>(e.id));
+            os << ",\"cat\":\"flow\",\"id\":\"" << idbuf
+               << "\",\"bp\":\"e\"";
+        }
         os << "}";
         first = false;
     }

@@ -78,6 +78,23 @@ class SpanTracer
     void counter(std::string_view track, std::string_view name,
                  Tick at, double value);
 
+    /**
+     * Flow events: stitch spans on different tracks into one causal
+     * arrow chain keyed by @p id (a request's flow id). Perfetto
+     * binds each event to the enclosing slice on its track, so emit
+     * them at a tick covered by the span they annotate. Ids of 0 are
+     * legal here but the ENZIAN_FLOW_* macros filter them out as
+     * "request not traced".
+     */
+    void flowBegin(std::string_view track, std::string_view name,
+                   Tick at, std::uint64_t id);
+    /** An intermediate hop of flow @p id. */
+    void flowStep(std::string_view track, std::string_view name,
+                  Tick at, std::uint64_t id);
+    /** The terminal hop of flow @p id. */
+    void flowEnd(std::string_view track, std::string_view name,
+                 Tick at, std::uint64_t id);
+
     std::size_t eventCount() const { return events_.size(); }
     std::size_t trackCount() const { return tracks_.size(); }
     std::uint64_t droppedEvents() const { return dropped_; }
@@ -102,12 +119,17 @@ class SpanTracer
     struct Event
     {
         std::uint32_t track;
-        char ph;        // 'X' complete, 'i' instant, 'C' counter
+        char ph;        // 'X' complete, 'i' instant, 'C' counter,
+                        // 's'/'t'/'f' flow begin/step/end
         Tick ts;
         Tick dur;       // 'X' only
         double value;   // 'C' only
+        std::uint64_t id; // flow events only
         std::string name;
     };
+
+    void flowEvent(char ph, std::string_view track,
+                   std::string_view name, Tick at, std::uint64_t id);
 
     std::uint32_t trackId(std::string_view track);
 
@@ -146,10 +168,37 @@ class SpanTracer
         if (enz_tracer_.enabled())                                        \
             enz_tracer_.counter((track), (name), (at), (value));          \
     } while (0)
+/* Flow macros additionally drop id 0: "this operation belongs to no
+ * traced request" is the common case and must stay free. The id is
+ * evaluated once, before the track/name expressions. */
+#define ENZIAN_FLOW_BEGIN(track, name, at, id)                            \
+    do {                                                                  \
+        auto &enz_tracer_ = ::enzian::obs::SpanTracer::global();          \
+        const std::uint64_t enz_flow_ = (id);                             \
+        if (enz_flow_ && enz_tracer_.enabled())                           \
+            enz_tracer_.flowBegin((track), (name), (at), enz_flow_);      \
+    } while (0)
+#define ENZIAN_FLOW_STEP(track, name, at, id)                             \
+    do {                                                                  \
+        auto &enz_tracer_ = ::enzian::obs::SpanTracer::global();          \
+        const std::uint64_t enz_flow_ = (id);                             \
+        if (enz_flow_ && enz_tracer_.enabled())                           \
+            enz_tracer_.flowStep((track), (name), (at), enz_flow_);       \
+    } while (0)
+#define ENZIAN_FLOW_END(track, name, at, id)                              \
+    do {                                                                  \
+        auto &enz_tracer_ = ::enzian::obs::SpanTracer::global();          \
+        const std::uint64_t enz_flow_ = (id);                             \
+        if (enz_flow_ && enz_tracer_.enabled())                           \
+            enz_tracer_.flowEnd((track), (name), (at), enz_flow_);        \
+    } while (0)
 #else
 #define ENZIAN_SPAN(track, name, start, end) do { } while (0)
 #define ENZIAN_SPAN_INSTANT(track, name, at) do { } while (0)
 #define ENZIAN_SPAN_COUNTER(track, name, at, value) do { } while (0)
+#define ENZIAN_FLOW_BEGIN(track, name, at, id) do { } while (0)
+#define ENZIAN_FLOW_STEP(track, name, at, id) do { } while (0)
+#define ENZIAN_FLOW_END(track, name, at, id) do { } while (0)
 #endif
 
 #endif // ENZIAN_OBS_SPAN_TRACER_HH

@@ -57,6 +57,17 @@ enzianDefaultConfig()
 }
 
 EnzianMachine::Config
+servingMachineConfig()
+{
+    EnzianMachine::Config cfg;
+    cfg.cpu_dram_bytes = 256ull << 20;
+    cfg.fpga_dram_bytes = 256ull << 20;
+    cfg.cores = 4;
+    cfg.name = "serving";
+    return cfg;
+}
+
+EnzianMachine::Config
 twoSocketThunderXConfig()
 {
     EnzianMachine::Config cfg;

@@ -42,6 +42,14 @@ PcieAccelSystem makePcieAccelerator(const std::string &name);
 EnzianMachine::Config enzianDefaultConfig();
 
 /**
+ * Small-memory Enzian for the serving/load harness: the full machine
+ * topology with simulation-friendly DRAM windows and a small core
+ * count, so a saturation sweep can build a fresh machine per
+ * operating point cheaply.
+ */
+EnzianMachine::Config servingMachineConfig();
+
+/**
  * The 2-socket ThunderX-1 commercial NUMA server of section 5.1:
  * symmetric CPU silicon on both ends, hardware balancing over both
  * links (19 GiB/s, ~150 ns).

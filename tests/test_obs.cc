@@ -14,7 +14,9 @@
 
 #include "obs/json.hh"
 #include "obs/registry.hh"
+#include "obs/request_context.hh"
 #include "obs/sampler.hh"
+#include "obs/slo.hh"
 #include "obs/span_tracer.hh"
 #include "platform/obs_demo.hh"
 #include "platform/platform_factory.hh"
@@ -499,6 +501,202 @@ TEST(ObsDemo, SamplerProducesTimeSeriesOverTheScenario)
     // ECI message count is positive.
     const auto &last = sampler.points().back().total;
     EXPECT_GT(last.at(m.config().name + ".eci.link0.messages"), 0.0);
+}
+
+// ------------------------------------------------------- LogHistogram
+
+TEST(LogHistogram, IndexIsMonotoneAndBucketBoundsContainValues)
+{
+    // Exact below one octave's worth of sub-buckets...
+    for (Tick v = 0; v < LogHistogram::kSubBuckets; ++v)
+        EXPECT_EQ(LogHistogram::index(v), static_cast<std::size_t>(v));
+    // ...log-bucketed above, with every value inside its bucket.
+    std::size_t prev = 0;
+    for (Tick v = 1; v < (Tick{1} << 40); v = v * 3 + 1) {
+        const std::size_t i = LogHistogram::index(v);
+        EXPECT_GE(i, prev);
+        prev = i;
+        EXPECT_GE(v, LogHistogram::bucketLow(i));
+        EXPECT_LT(v,
+                  LogHistogram::bucketLow(i) +
+                      LogHistogram::bucketWidth(i));
+    }
+    EXPECT_LT(LogHistogram::index(~Tick{0}), LogHistogram::kBuckets);
+}
+
+TEST(LogHistogram, QuantileErrorIsBoundedByBucketWidth)
+{
+    LogHistogram h;
+    // 1..10000 us uniformly: quantile(q) should land within one
+    // sub-bucket (~3.2% relative) of the exact answer.
+    for (int i = 1; i <= 10000; ++i)
+        h.record(units::us(static_cast<double>(i)));
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double exact = 10000.0 * q;
+        const double got = units::toMicros(h.quantile(q));
+        EXPECT_NEAR(got, exact, exact * 0.04) << "q=" << q;
+    }
+    // Max is exact, not bucket-quantized.
+    EXPECT_EQ(h.maxValue(), units::us(10000.0));
+    EXPECT_EQ(h.quantile(1.0), units::us(10000.0));
+    EXPECT_NEAR(h.meanTicks(), units::us(5000.5), units::us(0.5));
+}
+
+TEST(LogHistogram, MergeMatchesCombinedRecording)
+{
+    LogHistogram a, b, both;
+    for (int i = 1; i <= 500; ++i) {
+        const Tick v = units::us(static_cast<double>(i * i % 997));
+        ((i % 2) ? a : b).record(v);
+        both.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.maxValue(), both.maxValue());
+    for (double q : {0.25, 0.5, 0.99})
+        EXPECT_EQ(a.quantile(q), both.quantile(q));
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.quantile(0.5), 0u);
+}
+
+// -------------------------------------------------------- SloRecorder
+
+TEST(SloRecorder, WindowsTumbleOnAbsoluteBoundaries)
+{
+    SloRecorder::Config cfg;
+    cfg.window = units::ms(1.0);
+    cfg.slo_latency_us = 100.0;
+    SloRecorder rec(cfg);
+
+    // Two completions in window [1ms, 2ms), one in [3ms, 4ms); the
+    // empty [2ms, 3ms) window must not appear.
+    rec.record(units::ms(1.1), units::ms(1.2)); // 100 us: meets
+    rec.record(units::ms(1.2), units::ms(1.5)); // 300 us: violates
+    rec.record(units::ms(3.0), units::ms(3.05));
+    rec.rollTo(units::ms(4.0));
+
+    ASSERT_EQ(rec.windows().size(), 2u);
+    const auto &w0 = rec.windows()[0];
+    EXPECT_EQ(w0.start, units::ms(1.0));
+    EXPECT_EQ(w0.end, units::ms(2.0));
+    EXPECT_EQ(w0.count, 2u);
+    EXPECT_EQ(w0.violations, 1u);
+    // Burn rate: 50% of requests violated / 1% budget = 50x.
+    EXPECT_NEAR(w0.burn_rate, 50.0, 1e-9);
+    EXPECT_EQ(rec.windows()[1].start, units::ms(3.0));
+    EXPECT_EQ(rec.totalCount(), 3u);
+    EXPECT_EQ(rec.totalViolations(), 1u);
+}
+
+TEST(SloRecorder, SloMetTracksTheConfiguredQuantile)
+{
+    SloRecorder::Config cfg;
+    cfg.slo_latency_us = 100.0;
+    cfg.slo_quantile = 0.90;
+    SloRecorder rec(cfg);
+    // 95 fast, 5 slow: p90 is fast, so the SLO holds even though the
+    // slow tail violates.
+    for (int i = 0; i < 95; ++i)
+        rec.record(0, units::us(10.0));
+    for (int i = 0; i < 5; ++i)
+        rec.record(0, units::us(500.0));
+    rec.rollTo(units::ms(100.0));
+    EXPECT_TRUE(rec.sloMet());
+    EXPECT_EQ(rec.totalViolations(), 5u);
+    // 5% violated / 10% budget = 0.5.
+    EXPECT_NEAR(rec.burnRate(), 0.5, 1e-9);
+    EXPECT_GT(rec.p999Us(), rec.p50Us());
+}
+
+TEST(SloRecorder, RegistersStatsForItsLifetimeAndWritesCsv)
+{
+    const auto count_groups = [] {
+        std::size_t n = 0;
+        for (const StatGroup *g : Registry::global().groups())
+            if (g->name().rfind("load.slo.", 0) == 0)
+                ++n;
+        return n;
+    };
+    const std::size_t before = count_groups();
+    std::ostringstream os;
+    {
+        SloRecorder::Config cfg;
+        cfg.name = "csvtest";
+        cfg.window = units::ms(1.0);
+        SloRecorder rec(cfg);
+        EXPECT_EQ(count_groups(), before + 1);
+        rec.record(units::ms(1.0), units::ms(1.1));
+        rec.rollTo(units::ms(2.0));
+        rec.writeCsv(os);
+    }
+    EXPECT_EQ(count_groups(), before);
+
+    std::istringstream in(os.str());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header.substr(0, 30), "window_start_us,window_end_us,");
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_NE(row.find("1000.000,2000.000,1,"), std::string::npos);
+}
+
+// ------------------------------------------------- request flow tracing
+
+TEST(FlowScope, PublishesAndRestoresTheAmbientId)
+{
+    EXPECT_EQ(currentFlowId(), 0u);
+    {
+        FlowScope outer(7);
+        EXPECT_EQ(currentFlowId(), 7u);
+        {
+            FlowScope inner(9);
+            EXPECT_EQ(currentFlowId(), 9u);
+        }
+        EXPECT_EQ(currentFlowId(), 7u);
+    }
+    EXPECT_EQ(currentFlowId(), 0u);
+}
+
+TEST(SpanTracer, FlowEventsShareAnIdAndParseBack)
+{
+    SpanTracer tracer;
+    tracer.flowBegin("req/1", "request", units::us(1.0), 0xabcd);
+    tracer.flowStep("serving.gbdt", "serve", units::us(2.0), 0xabcd);
+    tracer.flowEnd("req/1", "request", units::us(3.0), 0xabcd);
+
+    std::ostringstream os;
+    tracer.writeChromeJson(os);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::parse(os.str(), doc, &err)) << err;
+
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::string phases;
+    for (const json::Value &e : events->arr) {
+        const std::string &ph = e.find("ph")->str;
+        if (ph != "s" && ph != "t" && ph != "f")
+            continue;
+        phases += ph;
+        EXPECT_EQ(e.find("cat")->str, "flow");
+        EXPECT_EQ(e.find("id")->str, "0xabcd");
+        if (ph == "f")
+            EXPECT_EQ(e.find("bp")->str, "e");
+    }
+    EXPECT_EQ(phases, "stf");
+}
+
+TEST(SpanTracer, FlowMacrosDropIdZero)
+{
+    SpanTracer &g = SpanTracer::global();
+    g.clear();
+    g.setEnabled(true);
+    ENZIAN_FLOW_BEGIN("t", "r", units::us(1.0), 0u);
+    EXPECT_EQ(g.eventCount(), 0u);
+    ENZIAN_FLOW_BEGIN("t", "r", units::us(1.0), 5u);
+    EXPECT_EQ(g.eventCount(), 1u);
+    g.setEnabled(false);
+    g.clear();
 }
 
 } // namespace

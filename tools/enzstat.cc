@@ -14,6 +14,8 @@
  *   enzstat --prom [FILE]        Prometheus text exposition
  *   enzstat --csv  [FILE]        sampled time series (per-interval deltas)
  *   enzstat --trace [FILE]       Chrome/Perfetto span trace JSON
+ *   enzstat --slo  [FILE]        windowed latency-percentile series from
+ *                                a GBDT serving run at half capacity
  *   enzstat --interval-us N      sampling period for --csv (default 50000)
  *
  * FILE defaults to stdout ("-"). Options combine; each export runs
@@ -33,8 +35,11 @@
 #include <iostream>
 #include <string>
 
+#include "load/load_gen.hh"
+#include "load/testbed.hh"
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
+#include "obs/slo.hh"
 #include "obs/span_tracer.hh"
 #include "platform/obs_demo.hh"
 #include "platform/platform_factory.hh"
@@ -77,7 +82,8 @@ int
 main(int argc, char **argv)
 {
     bool json = false, prom = false, csv = false, trace = false;
-    std::string json_path, prom_path, csv_path, trace_path;
+    bool slo = false;
+    std::string json_path, prom_path, csv_path, trace_path, slo_path;
     double interval_us = 50000.0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
@@ -92,6 +98,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--trace") == 0) {
             trace = true;
             trace_path = fileOperand(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--slo") == 0) {
+            slo = true;
+            slo_path = fileOperand(argc, argv, i);
         } else if (std::strcmp(argv[i], "--interval-us") == 0 &&
                    i + 1 < argc) {
             interval_us = std::atof(argv[++i]);
@@ -99,7 +108,8 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: enzstat [--json [FILE]] "
                          "[--prom [FILE]] [--csv [FILE]] "
-                         "[--trace [FILE]] [--interval-us N]\n");
+                         "[--trace [FILE]] [--slo [FILE]] "
+                         "[--interval-us N]\n");
             return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
         }
     }
@@ -150,6 +160,27 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(demo.tcpBytes()),
                  static_cast<unsigned long long>(demo.fpgaJobs()));
 
+    if (slo) {
+        // A second, independent run: Poisson arrivals into the GBDT
+        // serving testbed at half its estimated capacity, reported as
+        // tumbling-window percentile rows.
+        load::ServingTestbed bed(load::TestbedConfig{});
+        obs::SloRecorder::Config sc;
+        sc.window = units::ms(5.0);
+        obs::SloRecorder rec(sc);
+        load::LoadGen::Config lc;
+        lc.arrival.rate_rps = 0.5 * bed.estimatedCapacityRps();
+        lc.duration = units::ms(50.0);
+        load::LoadGen gen("serving.loadgen", bed.eventq(),
+                          bed.driver(), rec, lc);
+        gen.start();
+        bed.run();
+        rec.rollTo(bed.machine().now());
+        writeTo(slo_path, [&](std::ostream &os) {
+            rec.writeCsv(os);
+        });
+    }
+
     obs::Registry &reg = obs::Registry::global();
     if (json)
         writeTo(json_path, [&](std::ostream &os) {
@@ -168,7 +199,7 @@ main(int argc, char **argv)
             tracer.writeChromeJson(os);
         });
 
-    if (!json && !prom && !csv && !trace) {
+    if (!json && !prom && !csv && !trace && !slo) {
         // Default: gem5-style text dump of every registered group.
         for (const StatGroup *g : reg.groups())
             g->dump(std::cout);
