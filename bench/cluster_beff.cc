@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Rack-scale effective bandwidth (b_eff-style): an all-pairs RDMA
+ * write sweep over message sizes on an N-node Enzian cluster.
+ *
+ * Every ordered node pair (i, j) streams one message of each size
+ * concurrently (12 flows on the default 4-node rack), so the switch,
+ * the per-port Ethernet links, and the per-node RDMA engines are all
+ * loaded at once; the aggregate effective bandwidth is total bytes
+ * over the phase makespan, and b_eff is the mean across sizes —
+ * the structure of the HPC Challenge b_eff metric, scoped to one
+ * switch hop.
+ *
+ * The whole sweep runs twice, on a 1-thread and a 4-thread
+ * DomainScheduler, and the stats-registry exports are compared BYTE
+ * FOR BYTE: the rack must simulate identically at any thread count
+ * (epoch lookahead is derived from the topology, never hard-coded).
+ * The CI floor guards the aggregate bandwidth and the determinism
+ * bit.
+ */
+
+#include "bench_common.hh"
+
+#include <array>
+#include <iterator>
+#include <sstream>
+
+#include "cluster/enzian_cluster.hh"
+#include "net/rdma_engine.hh"
+#include "obs/registry.hh"
+#include "sim/domain_scheduler.hh"
+
+using namespace enzian;
+using namespace enzian::bench;
+using namespace enzian::cluster;
+
+namespace {
+
+constexpr std::uint32_t kNodes = 4;
+constexpr std::uint64_t kSizesKiB[] = {4, 32, 256, 1024};
+constexpr std::uint64_t kMaxMsg = 1024 * 1024;
+/** Phase spacing: far beyond any phase's makespan, so each size
+ *  measures a quiet rack. */
+constexpr double kPhaseUs = 5000.0;
+
+struct SweepResult
+{
+    /** Aggregate effective bandwidth per message size (GiB/s). */
+    std::vector<double> aggregateGiB;
+    double beff = 0.0;
+    std::string registryJson;
+    Tick lookahead = 0;
+};
+
+SweepResult
+runSweep(std::uint32_t threads)
+{
+    EnzianCluster::Config cfg;
+    cfg.nodes = kNodes;
+    cfg.threads = threads;
+    EnzianCluster rack(cfg);
+    SweepResult res;
+    res.lookahead = EnzianCluster::deriveLookahead(cfg, rack.topology());
+
+    // Per-node serving target (link 0) and initiator (link 1).
+    std::vector<std::unique_ptr<net::RdmaTarget>> targets;
+    std::vector<std::unique_ptr<net::DirectDramPath>> paths;
+    std::vector<std::unique_ptr<net::RdmaInitiator>> inis;
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+        auto &m = rack.node(n);
+        paths.push_back(
+            std::make_unique<net::DirectDramPath>(m.fpgaMem()));
+        net::RdmaTarget::Config tcfg;
+        tcfg.port = rack.portOf(n, 0);
+        targets.push_back(std::make_unique<net::RdmaTarget>(
+            "beff.t" + std::to_string(n), m.fpgaEventq(),
+            rack.network(), *paths.back(), tcfg));
+        inis.push_back(std::make_unique<net::RdmaInitiator>(
+            "beff.i" + std::to_string(n), m.fpgaEventq(),
+            rack.network(), rack.portOf(n, 1), tcfg.port));
+    }
+
+    // Schedule every phase up front at its absolute start tick;
+    // completion ticks land in per-node traces (single writer per
+    // timing domain).
+    const std::size_t phases = std::size(kSizesKiB);
+    std::vector<std::array<std::vector<Tick>, kNodes>> done(phases);
+    static std::vector<std::uint8_t> payload(kMaxMsg, 0xb7);
+    for (std::size_t s = 0; s < phases; ++s) {
+        const std::uint64_t bytes = kSizesKiB[s] * 1024;
+        const Tick start = units::us((s + 1) * kPhaseUs);
+        for (std::uint32_t i = 0; i < kNodes; ++i) {
+            rack.node(i).fpgaEventq().schedule(start, [&rack, &inis,
+                                                       &done, s, i,
+                                                       bytes]() {
+                for (std::uint32_t j = 0; j < kNodes; ++j) {
+                    if (j == i)
+                        continue;
+                    const Addr off =
+                        (static_cast<Addr>(i) * kNodes + j) * kMaxMsg;
+                    inis[i]->writeTo(rack.portOf(j, 0), off,
+                                     payload.data(), bytes,
+                                     [&done, s, i](Tick t) {
+                                         done[s][i].push_back(t);
+                                     });
+                }
+            });
+        }
+    }
+    rack.run();
+
+    const double pairs = kNodes * (kNodes - 1);
+    for (std::size_t s = 0; s < phases; ++s) {
+        const Tick start = units::us((s + 1) * kPhaseUs);
+        Tick end = 0;
+        std::size_t flows = 0;
+        for (const auto &trace : done[s]) {
+            flows += trace.size();
+            for (const Tick t : trace)
+                end = std::max(end, t);
+        }
+        if (flows != pairs)
+            fatal("phase %zu completed %zu of %.0f flows", s, flows,
+                  pairs);
+        const double bytes_total =
+            pairs * static_cast<double>(kSizesKiB[s] * 1024);
+        res.aggregateGiB.push_back(
+            bytes_total / units::toSeconds(end - start) /
+            static_cast<double>(units::GiB));
+    }
+    for (const double g : res.aggregateGiB)
+        res.beff += g;
+    res.beff /= static_cast<double>(res.aggregateGiB.size());
+
+    std::ostringstream os;
+    obs::Registry::global().exportJson(os);
+    res.registryJson = os.str();
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Rack b_eff: all-pairs RDMA sweep, 4-node cluster");
+    BenchReport rep("cluster_beff");
+
+    const auto r1 = runSweep(1);
+    const auto r4 = runSweep(4);
+    const bool identical = r1.registryJson == r4.registryJson &&
+                           !r1.registryJson.empty();
+
+    std::printf("nodes: %u, all-pairs flows: %u, epoch lookahead: "
+                "%.0f ns (derived)\n\n",
+                kNodes, kNodes * (kNodes - 1),
+                units::toNanos(r1.lookahead));
+    std::printf("%12s %18s\n", "msg_KiB", "aggregate_GiB_s");
+    for (std::size_t s = 0; s < std::size(kSizesKiB); ++s) {
+        std::printf("%12llu %18.2f\n",
+                    static_cast<unsigned long long>(kSizesKiB[s]),
+                    r1.aggregateGiB[s]);
+        rep.add(format("agg_gibs_%lluk",
+                       static_cast<unsigned long long>(kSizesKiB[s])),
+                r1.aggregateGiB[s]);
+    }
+    std::printf("\nb_eff (mean over sizes): %.2f GiB/s\n", r1.beff);
+    std::printf("registry byte-identical at 1 vs 4 threads: %s\n",
+                identical ? "yes" : "NO");
+    rep.add("beff_gibs", r1.beff);
+    rep.add("determinism_ok", identical ? 1.0 : 0.0);
+    rep.add("lookahead_ns", units::toNanos(r1.lookahead));
+    return identical ? 0 : 1;
+}

@@ -46,7 +46,7 @@ main()
         DisaggMemoryServer server("srv", rack.eventq(), rack.network(),
                                   rack.node(0).fpgaMem(), scfg);
         DisaggMemoryClient client("cli", rack.eventq(), rack.network(),
-                                  rack.portOf(1), rack.portOf(0));
+                                  rack.portOf(1), server);
 
         std::vector<std::uint8_t> table(rows * row);
         for (std::uint64_t k = 0; k < rows; ++k)

@@ -37,7 +37,7 @@ main()
     DisaggMemoryServer server("farview", rack.eventq(), rack.network(),
                               rack.node(0).fpgaMem(), scfg);
     DisaggMemoryClient db("db", rack.eventq(), rack.network(),
-                          rack.portOf(1), rack.portOf(0));
+                          rack.portOf(1), server);
 
     // A 1M-row table of {key, payload} pairs in remote memory.
     constexpr std::uint32_t row = 16;
@@ -104,11 +104,10 @@ main()
     eci::DramLineSource fb(rack.node(1).fpgaMem(), rack.node(1).map());
     EciBridgeSource::Config bscfg;
     bscfg.port = rack.portOf(1, 1);
-    bscfg.target_port = tcfg.port;
     bscfg.window_base = mem::AddressMap::fpgaDramBase + (128ull << 20);
     bscfg.window_size = 16ull << 20;
     EciBridgeSource bridge_s("bridge.s", rack.eventq(), rack.network(),
-                             fb, bscfg);
+                             fb, bridge_t, bscfg);
     rack.node(1).fpgaHome().setLineSource(&bridge_s);
 
     std::vector<std::uint8_t> secret(cache::lineSize, 0x42);

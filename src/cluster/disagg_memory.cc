@@ -15,13 +15,17 @@ namespace {
 
 constexpr std::uint32_t headerBytes = 64;
 
-std::uint32_t g_next_id = 1;
-std::unordered_map<std::uint32_t, DisaggMemoryServer::WireRequest>
-    g_requests;
-std::unordered_map<std::uint32_t, std::vector<std::uint8_t>>
-    g_responses;
-
 } // namespace
+
+void
+Predicate::validate(std::uint32_t row_bytes) const
+{
+    if (row_bytes < sizeof(std::uint64_t) ||
+        column_offset > row_bytes - sizeof(std::uint64_t))
+        fatal("pushdown predicate reads 8 bytes at row offset %u, but "
+              "rows are only %u bytes",
+              column_offset, row_bytes);
+}
 
 bool
 Predicate::matches(const std::uint8_t *row) const
@@ -45,23 +49,19 @@ Predicate::matches(const std::uint8_t *row) const
     panic("bad filter op");
 }
 
-std::uint32_t
+std::uint64_t
 DisaggMemoryServer::registerRequest(WireRequest req)
 {
-    const std::uint32_t id = g_next_id++;
-    g_requests.emplace(id, std::move(req));
-    return id;
+    if (req.kind == WireRequest::Kind::ScanFilter)
+        req.pred.validate(req.row_bytes);
+    return requests_.put(std::move(req));
 }
 
 std::vector<std::uint8_t>
-DisaggMemoryServer::takeResponse(std::uint32_t id)
+DisaggMemoryServer::takeResponse(std::uint64_t id)
 {
-    auto it = g_responses.find(id);
-    if (it == g_responses.end())
-        return {};
-    auto out = std::move(it->second);
-    g_responses.erase(it);
-    return out;
+    auto out = responses_.take(id);
+    return out ? std::move(*out) : std::vector<std::uint8_t>{};
 }
 
 DisaggMemoryServer::DisaggMemoryServer(std::string name, EventQueue &eq,
@@ -83,20 +83,19 @@ DisaggMemoryServer::DisaggMemoryServer(std::string name, EventQueue &eq,
 void
 DisaggMemoryServer::onFrame(Tick, std::uint64_t, std::uint64_t user)
 {
-    const auto id = static_cast<std::uint32_t>(user);
+    const std::uint64_t id = user;
     eventq().scheduleDelta(units::ns(cfg_.request_proc_ns),
                            [this, id]() { serve(id); },
                            "disagg-request");
 }
 
 void
-DisaggMemoryServer::serve(std::uint32_t id)
+DisaggMemoryServer::serve(std::uint64_t id)
 {
-    auto it = g_requests.find(id);
-    ENZIAN_ASSERT(it != g_requests.end(), "unknown disagg request %u",
-                  id);
-    WireRequest req = std::move(it->second);
-    g_requests.erase(it);
+    auto taken = requests_.take(id);
+    ENZIAN_ASSERT(taken, "unknown disagg request %llu",
+                  static_cast<unsigned long long>(id));
+    WireRequest req = std::move(*taken);
     served_.inc();
 
     using Kind = WireRequest::Kind;
@@ -110,7 +109,7 @@ DisaggMemoryServer::serve(std::uint32_t id)
                       req.len)
                 .done;
         returned_.inc(req.len);
-        g_responses[id] = std::move(out);
+        responses_.putAt(id, std::move(out));
         eventq().schedule(
             ready,
             [this, id, port = req.srcPort, len = req.len]() {
@@ -141,6 +140,7 @@ DisaggMemoryServer::serve(std::uint32_t id)
             static_cast<std::uint64_t>(req.row_bytes) * req.row_count;
         ENZIAN_ASSERT(req.off + bytes <= cfg_.region_size,
                       "disagg scan out of region");
+        req.pred.validate(req.row_bytes);
         // The scan engine streams rows from DRAM and filters in the
         // fabric: time = max(DRAM stream, engine rate).
         std::vector<std::uint8_t> rows(bytes);
@@ -164,7 +164,7 @@ DisaggMemoryServer::serve(std::uint32_t id)
         scanned_.inc(req.row_count);
         returned_.inc(matches.size());
         const std::uint64_t wire = matches.size() + headerBytes;
-        g_responses[id] = std::move(matches);
+        responses_.putAt(id, std::move(matches));
         eventq().schedule(
             ready,
             [this, id, port = req.srcPort, wire]() {
@@ -181,9 +181,9 @@ DisaggMemoryServer::serve(std::uint32_t id)
 DisaggMemoryClient::DisaggMemoryClient(std::string name, EventQueue &eq,
                                        net::Switch &sw,
                                        std::uint32_t port,
-                                       std::uint32_t server_port)
+                                       DisaggMemoryServer &server)
     : SimObject(std::move(name), eq), sw_(sw), port_(port),
-      serverPort_(server_port)
+      server_(server)
 {
     sw_.setEndpoint(port_,
                     [this](Tick when, std::uint64_t payload,
@@ -201,10 +201,10 @@ DisaggMemoryClient::read(Addr off, std::uint8_t *dst, std::uint64_t len,
     req.off = off;
     req.len = len;
     req.srcPort = port_;
-    const auto id = DisaggMemoryServer::registerRequest(std::move(req));
+    const std::uint64_t id = server_.registerRequest(std::move(req));
     pending_[id] = Pending{dst, std::move(done), {}};
     sw_.sendFrom(port_, headerBytes,
-                 net::Switch::makeTag(serverPort_, id));
+                 net::Switch::makeTag(server_.config().port, id));
 }
 
 void
@@ -216,10 +216,10 @@ DisaggMemoryClient::write(Addr off, const std::uint8_t *src,
     req.off = off;
     req.srcPort = port_;
     req.data.assign(src, src + len);
-    const auto id = DisaggMemoryServer::registerRequest(std::move(req));
+    const std::uint64_t id = server_.registerRequest(std::move(req));
     pending_[id] = Pending{nullptr, std::move(done), {}};
     sw_.sendFrom(port_, len + headerBytes,
-                 net::Switch::makeTag(serverPort_, id));
+                 net::Switch::makeTag(server_.config().port, id));
 }
 
 void
@@ -234,25 +234,26 @@ DisaggMemoryClient::scanFilter(Addr off, std::uint32_t row_bytes,
     req.row_count = row_count;
     req.pred = pred;
     req.srcPort = port_;
-    const auto id = DisaggMemoryServer::registerRequest(std::move(req));
+    const std::uint64_t id = server_.registerRequest(std::move(req));
     Pending p;
     p.scan_done = std::move(done);
     pending_[id] = std::move(p);
     sw_.sendFrom(port_, headerBytes,
-                 net::Switch::makeTag(serverPort_, id));
+                 net::Switch::makeTag(server_.config().port, id));
 }
 
 void
 DisaggMemoryClient::onFrame(Tick when, std::uint64_t payload,
                             std::uint64_t user)
 {
-    const auto id = static_cast<std::uint32_t>(user);
+    const std::uint64_t id = user;
     auto it = pending_.find(id);
     ENZIAN_ASSERT(it != pending_.end(),
-                  "disagg response for unknown id %u", id);
+                  "disagg response for unknown id %llu",
+                  static_cast<unsigned long long>(id));
     Pending p = std::move(it->second);
     pending_.erase(it);
-    auto data = DisaggMemoryServer::takeResponse(id);
+    auto data = server_.takeResponse(id);
     if (p.scan_done) {
         p.scan_done(when, std::move(data), payload);
         return;

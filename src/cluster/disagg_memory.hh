@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/wire_ledger.hh"
 #include "mem/memory_controller.hh"
 #include "net/switch.hh"
 #include "sim/clock_domain.hh"
@@ -49,7 +50,14 @@ struct Predicate
     FilterOp op = FilterOp::Eq;
     std::uint64_t operand = 0;
 
-    /** Evaluate against one row. */
+    /**
+     * Fatal unless the 8-byte column read fits inside a row of
+     * @p row_bytes. Checked when a scan request is registered, so a
+     * bad offset fails loudly instead of reading past the row buffer.
+     */
+    void validate(std::uint32_t row_bytes) const;
+
+    /** Evaluate against one row (validate() must have passed). */
     bool matches(const std::uint8_t *row) const;
 };
 
@@ -84,7 +92,15 @@ class DisaggMemoryServer : public SimObject
     std::uint64_t rowsScanned() const { return scanned_.value(); }
     std::uint64_t bytesReturned() const { return returned_.value(); }
 
-    /** @internal request registry shared with clients. */
+    const Config &config() const { return cfg_; }
+
+    /**
+     * @internal wire record shared with clients. The request and
+     * response ledgers are owned by this server instance — several
+     * servers in one process no longer collide ids or leak each
+     * other's state, and the ledgers are thread-safe under
+     * DomainScheduler.
+     */
     struct WireRequest
     {
         enum class Kind : std::uint8_t { Read, Write, ScanFilter };
@@ -98,12 +114,21 @@ class DisaggMemoryServer : public SimObject
         std::vector<std::uint8_t> data; // Write payload
     };
 
-    static std::uint32_t registerRequest(WireRequest req);
-    static std::vector<std::uint8_t> takeResponse(std::uint32_t id);
+    /**
+     * Register a request; the returned id rides the frame tag.
+     * ScanFilter predicates are bounds-checked here (fatal on a
+     * column read that would run past the row).
+     */
+    std::uint64_t registerRequest(WireRequest req);
+    /** Fetch (and drop) a response payload by id ({} if absent). */
+    std::vector<std::uint8_t> takeResponse(std::uint64_t id);
+
+    /** Requests currently in flight (test introspection). */
+    std::size_t requestsInFlight() const { return requests_.size(); }
 
   private:
     void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
-    void serve(std::uint32_t id);
+    void serve(std::uint64_t id);
 
     net::Switch &sw_;
     mem::MemoryController &mem_;
@@ -111,6 +136,8 @@ class DisaggMemoryServer : public SimObject
     Counter served_;
     Counter scanned_;
     Counter returned_;
+    WireLedger<WireRequest> requests_;
+    WireLedger<std::vector<std::uint8_t>> responses_;
 };
 
 /** Client side: issue reads/writes/pushdown scans to a server. */
@@ -122,9 +149,13 @@ class DisaggMemoryClient : public SimObject
     using ScanDone = std::function<void(
         Tick, std::vector<std::uint8_t>, std::uint64_t)>;
 
+    /**
+     * @param server the serving instance; owns the wire ledgers and
+     *        determines the destination port
+     */
     DisaggMemoryClient(std::string name, EventQueue &eq,
                        net::Switch &sw, std::uint32_t port,
-                       std::uint32_t server_port);
+                       DisaggMemoryServer &server);
 
     /** Read @p len bytes at server offset @p off. */
     void read(Addr off, std::uint8_t *dst, std::uint64_t len,
@@ -155,8 +186,8 @@ class DisaggMemoryClient : public SimObject
 
     net::Switch &sw_;
     std::uint32_t port_;
-    std::uint32_t serverPort_;
-    std::unordered_map<std::uint32_t, Pending> pending_;
+    DisaggMemoryServer &server_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
 };
 
 } // namespace enzian::cluster

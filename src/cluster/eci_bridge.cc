@@ -15,39 +15,13 @@ namespace {
 
 constexpr std::uint32_t bridgeHeaderBytes = 48;
 
-std::uint32_t g_next_op = 1;
-std::unordered_map<std::uint32_t, EciBridgeTarget::WireOp> g_ops;
-std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> g_results;
-
-EciBridgeTarget::WireOp
-takeOp(std::uint32_t id)
-{
-    auto it = g_ops.find(id);
-    ENZIAN_ASSERT(it != g_ops.end(), "unknown bridge op %u", id);
-    auto op = std::move(it->second);
-    g_ops.erase(it);
-    return op;
-}
-
 } // namespace
 
-std::uint32_t
-EciBridgeTarget::registerOp(WireOp op)
-{
-    const std::uint32_t id = g_next_op++;
-    g_ops.emplace(id, std::move(op));
-    return id;
-}
-
 std::vector<std::uint8_t>
-EciBridgeTarget::takeResult(std::uint32_t id)
+EciBridgeTarget::takeResult(std::uint64_t id)
 {
-    auto it = g_results.find(id);
-    if (it == g_results.end())
-        return {};
-    auto out = std::move(it->second);
-    g_results.erase(it);
-    return out;
+    auto out = results_.take(id);
+    return out ? std::move(*out) : std::vector<std::uint8_t>{};
 }
 
 EciBridgeTarget::EciBridgeTarget(std::string name, EventQueue &eq,
@@ -66,11 +40,14 @@ EciBridgeTarget::EciBridgeTarget(std::string name, EventQueue &eq,
 void
 EciBridgeTarget::onFrame(Tick, std::uint64_t, std::uint64_t user)
 {
-    const auto id = static_cast<std::uint32_t>(user);
+    const std::uint64_t id = user;
     eventq().scheduleDelta(
         units::ns(cfg_.proc_ns),
         [this, id]() {
-            auto op = std::make_shared<WireOp>(takeOp(id));
+            auto taken = ops_.take(id);
+            ENZIAN_ASSERT(taken, "unknown bridge op %llu",
+                          static_cast<unsigned long long>(id));
+            auto op = std::make_shared<WireOp>(std::move(*taken));
             served_.inc();
             const Addr line = cfg_.export_base + op->line;
             if (op->write) {
@@ -85,7 +62,7 @@ EciBridgeTarget::onFrame(Tick, std::uint64_t, std::uint64_t user)
                     std::vector<std::uint8_t>>(cache::lineSize);
                 home_.localRead(
                     line, buf->data(), [this, op, buf, id](Tick) {
-                        g_results[id] = std::move(*buf);
+                        results_.putAt(id, std::move(*buf));
                         sw_.sendFrom(
                             cfg_.port,
                             bridgeHeaderBytes + cache::lineSize,
@@ -99,9 +76,10 @@ EciBridgeTarget::onFrame(Tick, std::uint64_t, std::uint64_t user)
 EciBridgeSource::EciBridgeSource(std::string name, EventQueue &eq,
                                  net::Switch &sw,
                                  eci::LineSource &fallback,
+                                 EciBridgeTarget &target,
                                  const Config &cfg)
     : SimObject(std::move(name), eq), sw_(sw), fallback_(fallback),
-      cfg_(cfg)
+      target_(target), cfg_(cfg)
 {
     ENZIAN_ASSERT(cache::isLineAligned(cfg_.window_base),
                   "bridge window must be line aligned");
@@ -126,14 +104,15 @@ EciBridgeSource::readLine(Tick when, Addr addr, std::uint8_t *out,
     op.write = false;
     op.line = addr - cfg_.window_base;
     op.srcPort = cfg_.port;
-    const auto id = EciBridgeTarget::registerOp(std::move(op));
+    const std::uint64_t id = target_.registerOp(std::move(op));
     pending_[id] = Pending{out, std::move(done)};
     // The request leaves when the home pipeline hands it over.
     eventq().schedule(
         std::max(when, now()),
         [this, id]() {
             sw_.sendFrom(cfg_.port, bridgeHeaderBytes,
-                         net::Switch::makeTag(cfg_.target_port, id));
+                         net::Switch::makeTag(target_.config().port,
+                                              id));
         },
         "bridge-read-req");
 }
@@ -152,14 +131,15 @@ EciBridgeSource::writeLine(Tick when, Addr addr,
     op.line = addr - cfg_.window_base;
     op.srcPort = cfg_.port;
     op.data.assign(data, data + cache::lineSize);
-    const auto id = EciBridgeTarget::registerOp(std::move(op));
+    const std::uint64_t id = target_.registerOp(std::move(op));
     pending_[id] = Pending{nullptr, std::move(done)};
     eventq().schedule(
         std::max(when, now()),
         [this, id]() {
             sw_.sendFrom(cfg_.port,
                          bridgeHeaderBytes + cache::lineSize,
-                         net::Switch::makeTag(cfg_.target_port, id));
+                         net::Switch::makeTag(target_.config().port,
+                                              id));
         },
         "bridge-write-req");
 }
@@ -167,14 +147,15 @@ EciBridgeSource::writeLine(Tick when, Addr addr,
 void
 EciBridgeSource::onFrame(Tick when, std::uint64_t, std::uint64_t user)
 {
-    const auto id = static_cast<std::uint32_t>(user);
+    const std::uint64_t id = user;
     auto it = pending_.find(id);
     ENZIAN_ASSERT(it != pending_.end(),
-                  "bridge completion for unknown id %u", id);
+                  "bridge completion for unknown id %llu",
+                  static_cast<unsigned long long>(id));
     Pending p = std::move(it->second);
     pending_.erase(it);
     if (p.out) {
-        auto data = EciBridgeTarget::takeResult(id);
+        auto data = target_.takeResult(id);
         ENZIAN_ASSERT(data.size() == cache::lineSize,
                       "bridge read without payload");
         std::memcpy(p.out, data.data(), cache::lineSize);

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/wire_ledger.hh"
 #include "eci/home_agent.hh"
 #include "net/switch.hh"
 
@@ -57,7 +58,15 @@ class EciBridgeTarget : public SimObject
 
     std::uint64_t linesServed() const { return served_.value(); }
 
-    /** @internal wire registry shared with the source side. */
+    const Config &config() const { return cfg_; }
+
+    /**
+     * @internal wire record shared with the source side. The op and
+     * result ledgers are owned by this target instance — two bridges
+     * in one process (or consecutive tests) can no longer collide ids
+     * or leak each other's state, and the ledgers are thread-safe
+     * under DomainScheduler.
+     */
     struct WireOp
     {
         bool write = false;
@@ -66,8 +75,13 @@ class EciBridgeTarget : public SimObject
         std::vector<std::uint8_t> data; // write payload / read result
     };
 
-    static std::uint32_t registerOp(WireOp op);
-    static std::vector<std::uint8_t> takeResult(std::uint32_t id);
+    /** Register an op from a source; the id rides the frame tag. */
+    std::uint64_t registerOp(WireOp op) { return ops_.put(std::move(op)); }
+    /** Fetch (and drop) a read result by id ({} if absent). */
+    std::vector<std::uint8_t> takeResult(std::uint64_t id);
+
+    /** Ops currently in flight (test introspection). */
+    std::size_t opsInFlight() const { return ops_.size(); }
 
   private:
     void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
@@ -76,6 +90,8 @@ class EciBridgeTarget : public SimObject
     eci::HomeAgent &home_;
     Config cfg_;
     Counter served_;
+    WireLedger<WireOp> ops_;
+    WireLedger<std::vector<std::uint8_t>> results_;
 };
 
 /**
@@ -90,7 +106,6 @@ class EciBridgeSource : public SimObject, public eci::LineSource
     struct Config
     {
         std::uint32_t port = 0;
-        std::uint32_t target_port = 1;
         /** Bridged window in A's physical space (FPGA-homed). */
         Addr window_base = 0;
         std::uint64_t window_size = 0;
@@ -99,9 +114,12 @@ class EciBridgeSource : public SimObject, public eci::LineSource
     /**
      * @param fallback source for addresses outside the window
      *        (normally the machine's DRAM source)
+     * @param target the exporting machine's bridge target; owns the
+     *        wire ledgers and determines the destination port
      */
     EciBridgeSource(std::string name, EventQueue &eq, net::Switch &sw,
-                    eci::LineSource &fallback, const Config &cfg);
+                    eci::LineSource &fallback, EciBridgeTarget &target,
+                    const Config &cfg);
 
     void readLine(Tick when, Addr addr, std::uint8_t *out,
                   Done done) override;
@@ -129,8 +147,9 @@ class EciBridgeSource : public SimObject, public eci::LineSource
 
     net::Switch &sw_;
     eci::LineSource &fallback_;
+    EciBridgeTarget &target_;
     Config cfg_;
-    std::unordered_map<std::uint32_t, Pending> pending_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
     Counter bridged_;
 };
 

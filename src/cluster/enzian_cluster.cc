@@ -5,7 +5,10 @@
 
 #include "cluster/enzian_cluster.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
+#include "sim/domain_scheduler.hh"
 
 namespace enzian::cluster {
 
@@ -16,28 +19,97 @@ EnzianCluster::Config::Config()
     node.fpga_dram_bytes = 256ull << 20;
 }
 
-EnzianCluster::EnzianCluster(const Config &cfg) : cfg_(cfg)
+net::Switch::Config
+EnzianCluster::resolveNetwork(const Config &cfg,
+                              const ClusterTopology &topo)
 {
-    if (cfg_.nodes == 0)
-        fatal("cluster with zero nodes");
-    switch_ = std::make_unique<net::Switch>(
-        "cluster.switch", eq_, cfg_.nodes * cfg_.ports_per_node,
-        cfg_.network);
-    for (std::uint32_t i = 0; i < cfg_.nodes; ++i) {
+    net::Switch::Config net = cfg.network;
+    if (net.port_latency_ns.empty()) {
+        net.port_latency_ns.resize(topo.totalPorts(), 0.0);
+        for (std::uint32_t i = 0; i < topo.nodeCount(); ++i) {
+            for (std::uint32_t l = 0; l < topo.nodes[i].ports; ++l)
+                net.port_latency_ns[topo.portOf(i, l)] =
+                    topo.nodes[i].latency_ns;
+        }
+    }
+    return net;
+}
+
+Tick
+EnzianCluster::deriveLookahead(const Config &cfg,
+                               const ClusterTopology &topo)
+{
+    // The epoch may never outrun the fastest cross-domain path in the
+    // rack: intra-machine that is the ECI engine+wire+engine floor,
+    // cross-machine the shortest cable's Ethernet latency.
+    const net::Switch::Config net = resolveNetwork(cfg, topo);
+    return std::min(
+        eci::EciLink::minCrossLatency(cfg.node.link),
+        net::Switch::minCrossLatency(net, topo.totalPorts()));
+}
+
+EnzianCluster::EnzianCluster(const Config &cfg)
+    : cfg_(cfg), topo_(cfg.topology.nodes.empty()
+                           ? ClusterTopology::uniform(cfg.nodes,
+                                                      cfg.ports_per_node)
+                           : cfg.topology)
+{
+    topo_.validate();
+    const net::Switch::Config net = resolveNetwork(cfg_, topo_);
+
+    if (cfg_.threads > 0) {
+        const Tick lookahead = deriveLookahead(cfg_, topo_);
+        sched_ = std::make_unique<sim::DomainScheduler>(
+            topo_.name + ".sched", lookahead, cfg_.threads);
+        // Domain 0 is the switch fabric; machines add cpu/fpga pairs.
+        netDomain_ = &sched_->addDomain(topo_.name + ".net");
+    }
+
+    for (std::uint32_t i = 0; i < topo_.nodeCount(); ++i) {
         platform::EnzianMachine::Config node_cfg = cfg_.node;
-        node_cfg.shared_eventq = &eq_;
-        node_cfg.name = "enzian" + std::to_string(i);
+        node_cfg.name = topo_.nodes[i].name;
+        if (sched_)
+            node_cfg.shared_scheduler = sched_.get();
+        else
+            node_cfg.shared_eventq = &eq_;
         nodes_.push_back(
             std::make_unique<platform::EnzianMachine>(node_cfg));
     }
+
+    switch_ = std::make_unique<net::Switch>(
+        topo_.name + ".switch",
+        sched_ ? netDomain_->queue() : eq_, topo_.totalPorts(), net);
+
+    if (sched_) {
+        // Each port's endpoint side runs in its owning machine's FPGA
+        // domain; the fabric side runs in the net domain.
+        std::vector<sim::TimingDomain *> port_domains;
+        port_domains.reserve(topo_.totalPorts());
+        for (std::uint32_t p = 0; p < topo_.totalPorts(); ++p)
+            port_domains.push_back(
+                nodes_[topo_.nodeOfPort(p)]->fpgaDomain());
+        switch_->bindDomains(*sched_, *netDomain_, port_domains);
+    }
 }
 
-std::uint32_t
-EnzianCluster::portOf(std::uint32_t i, std::uint32_t link) const
+EnzianCluster::~EnzianCluster() = default;
+
+EventQueue &
+EnzianCluster::eventq()
 {
-    ENZIAN_ASSERT(i < nodes_.size() && link < cfg_.ports_per_node,
-                  "bad node/link %u/%u", i, link);
-    return i * cfg_.ports_per_node + link;
+    return sched_ ? netDomain_->queue() : eq_;
+}
+
+std::uint64_t
+EnzianCluster::run()
+{
+    return sched_ ? sched_->run() : eq_.run();
+}
+
+std::uint64_t
+EnzianCluster::runUntil(Tick limit)
+{
+    return sched_ ? sched_->runUntil(limit) : eq_.runUntil(limit);
 }
 
 } // namespace enzian::cluster

@@ -5,13 +5,23 @@
  * "One reason that Enzian has such large network bandwidth
  * (480 Gb/s) is to enable, e.g., many boards to be connected together
  * into a single, large multiprocessor (with or without cache
- * coherence)". EnzianCluster composes N machines on one shared event
- * queue with their FPGA-side 100 GbE ports cabled into a switch;
- * cluster services (disaggregated memory, the coherence bridge) run
- * on top.
+ * coherence)". EnzianCluster instantiates a ClusterTopology — the
+ * rack is data, not code — cabling every machine's FPGA-side 100 GbE
+ * ports into one switch; cluster services (replicated KV,
+ * disaggregated memory, the coherence bridge) run on top.
  *
- * Switch port convention: machine i owns ports [i*ports_per_node,
- * (i+1)*ports_per_node) - Enzian's FPGA exposes 4 x 100 GbE.
+ * Two execution modes:
+ *  - legacy (threads == 0): every machine shares one EventQueue, as
+ *    before — sequential, single timeline;
+ *  - parallel (threads >= 1): one DomainScheduler runs a network
+ *    timing domain (the switch fabric) plus each machine's CPU and
+ *    FPGA domains; cross-machine frames ride CrossDomainChannels with
+ *    the epoch lookahead derived from the smallest ECI / Ethernet
+ *    latency in the rack (never hard-coded). Results are bit-identical
+ *    at any thread count.
+ *
+ * Switch port convention: node i owns ports [topology().firstPort(i),
+ * firstPort(i) + ports) — Enzian's FPGA exposes 4 x 100 GbE.
  */
 
 #ifndef ENZIAN_CLUSTER_ENZIAN_CLUSTER_HH
@@ -20,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/topology.hh"
 #include "net/switch.hh"
 #include "platform/enzian_machine.hh"
 
@@ -32,21 +43,55 @@ class EnzianCluster
     /** Cluster configuration. */
     struct Config
     {
+        /**
+         * The rack description. When it has no nodes, a uniform
+         * topology of `nodes` x `ports_per_node` is used instead
+         * (the legacy shorthand below).
+         */
+        ClusterTopology topology; ///< default: no nodes (see above)
         std::uint32_t nodes = 2;
         /** 100 GbE ports each node patches into the switch. */
         std::uint32_t ports_per_node = 4;
         /** Per-machine configuration template. */
         platform::EnzianMachine::Config node;
-        /** Switch configuration. */
+        /** Switch configuration (per-node latency overrides are
+         *  derived from the topology on top of this). */
         net::Switch::Config network;
+        /**
+         * Parallel simulation: >= 1 runs the rack on a
+         * DomainScheduler with this many threads (1 = same domain
+         * semantics, sequential). 0 (default) = legacy shared queue.
+         */
+        std::uint32_t threads = 0;
 
         Config();
     };
 
     explicit EnzianCluster(const Config &cfg);
+    ~EnzianCluster();
 
-    EventQueue &eventq() { return eq_; }
+    EnzianCluster(const EnzianCluster &) = delete;
+    EnzianCluster &operator=(const EnzianCluster &) = delete;
+
+    /**
+     * The cluster-wide queue: the legacy shared queue, or the network
+     * domain's queue in parallel mode (usable for scheduling before
+     * the run starts).
+     */
+    EventQueue &eventq();
     net::Switch &network() { return *switch_; }
+
+    /** True when the rack runs as parallel timing domains. */
+    bool parallel() const { return sched_ != nullptr; }
+    /** The rack's scheduler, or null in legacy mode. */
+    sim::DomainScheduler *scheduler() { return sched_.get(); }
+
+    /** Run the whole rack to completion. @return events executed. */
+    std::uint64_t run();
+    /** Run the whole rack up to @p limit. @return events executed. */
+    std::uint64_t runUntil(Tick limit);
+
+    const ClusterTopology &topology() const { return topo_; }
 
     std::uint32_t nodeCount() const
     {
@@ -57,16 +102,35 @@ class EnzianCluster
         return *nodes_.at(i);
     }
 
-    /** First switch port belonging to node @p i. */
-    std::uint32_t portOf(std::uint32_t i, std::uint32_t link = 0) const;
+    /** Switch port @p link of node @p i. */
+    std::uint32_t portOf(std::uint32_t i, std::uint32_t link = 0) const
+    {
+        return topo_.portOf(i, link);
+    }
 
     const Config &config() const { return cfg_; }
 
+    /**
+     * The epoch lookahead a rack with this configuration derives:
+     * min over the ECI link floor and every switch port's Ethernet
+     * latency floor. Exposed so benches can report it.
+     */
+    static Tick deriveLookahead(const Config &cfg,
+                                const ClusterTopology &topo);
+
   private:
+    /** Switch config with per-port latencies from the topology. */
+    static net::Switch::Config
+    resolveNetwork(const Config &cfg, const ClusterTopology &topo);
+
     Config cfg_;
-    EventQueue eq_;
-    std::unique_ptr<net::Switch> switch_;
+    ClusterTopology topo_;
+    EventQueue eq_; ///< legacy shared queue (idle in parallel mode)
+    /** Declared before every component so domain queues die last. */
+    std::unique_ptr<sim::DomainScheduler> sched_;
+    sim::TimingDomain *netDomain_ = nullptr;
     std::vector<std::unique_ptr<platform::EnzianMachine>> nodes_;
+    std::unique_ptr<net::Switch> switch_;
 };
 
 } // namespace enzian::cluster

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Topology description parsing and serialization.
+ */
+
+#include "cluster/topology.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace enzian::cluster {
+
+namespace {
+
+/** Split "key=value" (first '=' wins; value may contain more '='). */
+std::pair<std::string, std::string>
+splitKv(const std::string &tok, int line_no)
+{
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("topology line %d: expected key=value, got '%s'", line_no,
+              tok.c_str());
+    return {tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+std::uint32_t
+parseU32(const std::string &v, const char *key, int line_no)
+{
+    char *end = nullptr;
+    const unsigned long x = std::strtoul(v.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        fatal("topology line %d: %s wants an integer, got '%s'",
+              line_no, key, v.c_str());
+    return static_cast<std::uint32_t>(x);
+}
+
+double
+parseF64(const std::string &v, const char *key, int line_no)
+{
+    char *end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    if (!end || *end != '\0')
+        fatal("topology line %d: %s wants a number, got '%s'", line_no,
+              key, v.c_str());
+    return x;
+}
+
+/** Trim a trailing ".0"-less float for stable round-trips. */
+std::string
+fmtF64(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+} // namespace
+
+ClusterTopology
+ClusterTopology::uniform(std::uint32_t n, std::uint32_t ports_per_node)
+{
+    ClusterTopology topo;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        NodeDesc node;
+        node.name = "enzian" + std::to_string(i);
+        node.ports = ports_per_node;
+        topo.nodes.push_back(std::move(node));
+    }
+    topo.validate();
+    return topo;
+}
+
+ClusterTopology
+ClusterTopology::parse(const std::string &text)
+{
+    ClusterTopology topo;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream toks(line);
+        std::string word;
+        if (!(toks >> word))
+            continue; // blank / comment-only line
+        if (word == "cluster") {
+            std::string tok;
+            while (toks >> tok) {
+                auto [k, v] = splitKv(tok, line_no);
+                if (k == "name")
+                    topo.name = v;
+                else
+                    fatal("topology line %d: unknown cluster key '%s'",
+                          line_no, k.c_str());
+            }
+        } else if (word == "node") {
+            NodeDesc node;
+            node.name = "enzian" + std::to_string(topo.nodes.size());
+            std::string tok;
+            while (toks >> tok) {
+                auto [k, v] = splitKv(tok, line_no);
+                if (k == "name")
+                    node.name = v;
+                else if (k == "ports")
+                    node.ports = parseU32(v, "ports", line_no);
+                else if (k == "latency_ns")
+                    node.latency_ns = parseF64(v, "latency_ns", line_no);
+                else
+                    fatal("topology line %d: unknown node key '%s'",
+                          line_no, k.c_str());
+            }
+            topo.nodes.push_back(std::move(node));
+        } else if (word == "service") {
+            ServiceDesc svc;
+            std::string tok;
+            while (toks >> tok) {
+                auto [k, v] = splitKv(tok, line_no);
+                if (k == "kind")
+                    svc.kind = v;
+                else if (k == "node")
+                    svc.node = parseU32(v, "node", line_no);
+                else if (k == "params")
+                    svc.params = v;
+                else
+                    fatal("topology line %d: unknown service key '%s'",
+                          line_no, k.c_str());
+            }
+            if (svc.kind.empty())
+                fatal("topology line %d: service without a kind",
+                      line_no);
+            topo.services.push_back(std::move(svc));
+        } else {
+            fatal("topology line %d: unknown declaration '%s'", line_no,
+                  word.c_str());
+        }
+    }
+    topo.validate();
+    return topo;
+}
+
+ClusterTopology
+ClusterTopology::parseFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot read topology file '%s'", path.c_str());
+    std::ostringstream text;
+    text << f.rdbuf();
+    return parse(text.str());
+}
+
+std::string
+ClusterTopology::describe() const
+{
+    std::ostringstream os;
+    os << "cluster name=" << name << "\n";
+    for (const NodeDesc &n : nodes) {
+        os << "node name=" << n.name << " ports=" << n.ports;
+        if (n.latency_ns != 0.0)
+            os << " latency_ns=" << fmtF64(n.latency_ns);
+        os << "\n";
+    }
+    for (const ServiceDesc &s : services) {
+        os << "service kind=" << s.kind << " node=" << s.node;
+        if (!s.params.empty())
+            os << " params=" << s.params;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::uint32_t
+ClusterTopology::totalPorts() const
+{
+    std::uint32_t total = 0;
+    for (const NodeDesc &n : nodes)
+        total += n.ports;
+    return total;
+}
+
+std::uint32_t
+ClusterTopology::firstPort(std::uint32_t i) const
+{
+    ENZIAN_ASSERT(i < nodes.size(), "bad node %u of %zu", i,
+                  nodes.size());
+    std::uint32_t first = 0;
+    for (std::uint32_t n = 0; n < i; ++n)
+        first += nodes[n].ports;
+    return first;
+}
+
+std::uint32_t
+ClusterTopology::portOf(std::uint32_t i, std::uint32_t link) const
+{
+    ENZIAN_ASSERT(i < nodes.size() && link < nodes[i].ports,
+                  "bad node/link %u/%u", i, link);
+    return firstPort(i) + link;
+}
+
+std::uint32_t
+ClusterTopology::nodeOfPort(std::uint32_t port) const
+{
+    std::uint32_t first = 0;
+    for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+        if (port < first + nodes[n].ports)
+            return n;
+        first += nodes[n].ports;
+    }
+    panic("port %u beyond the rack's %u ports", port, totalPorts());
+}
+
+double
+ClusterTopology::distanceNs(std::uint32_t a, std::uint32_t b,
+                            double default_ns) const
+{
+    ENZIAN_ASSERT(a < nodes.size() && b < nodes.size(),
+                  "bad node pair %u/%u", a, b);
+    if (a == b)
+        return 0.0;
+    const double la =
+        nodes[a].latency_ns != 0.0 ? nodes[a].latency_ns : default_ns;
+    const double lb =
+        nodes[b].latency_ns != 0.0 ? nodes[b].latency_ns : default_ns;
+    return la + lb;
+}
+
+std::vector<ServiceDesc>
+ClusterTopology::servicesOf(const std::string &kind) const
+{
+    std::vector<ServiceDesc> out;
+    for (const ServiceDesc &s : services)
+        if (s.kind == kind)
+            out.push_back(s);
+    return out;
+}
+
+void
+ClusterTopology::validate() const
+{
+    if (nodes.empty())
+        fatal("topology '%s' has no nodes", name.c_str());
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+        const NodeDesc &n = nodes[i];
+        if (n.ports == 0)
+            fatal("topology '%s': node '%s' has zero ports",
+                  name.c_str(), n.name.c_str());
+        if (n.latency_ns < 0.0)
+            fatal("topology '%s': node '%s' has negative latency",
+                  name.c_str(), n.name.c_str());
+        for (std::uint32_t j = i + 1; j < nodes.size(); ++j)
+            if (n.name == nodes[j].name)
+                fatal("topology '%s': duplicate node name '%s'",
+                      name.c_str(), n.name.c_str());
+    }
+    for (const ServiceDesc &s : services)
+        if (s.node >= nodes.size())
+            fatal("topology '%s': service '%s' placed on node %u of "
+                  "%zu",
+                  name.c_str(), s.kind.c_str(), s.node, nodes.size());
+}
+
+std::string
+serviceParam(const ServiceDesc &svc, const std::string &key)
+{
+    std::istringstream in(svc.params);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+        const auto eq = tok.find('=');
+        if (eq != std::string::npos && tok.substr(0, eq) == key)
+            return tok.substr(eq + 1);
+    }
+    return {};
+}
+
+} // namespace enzian::cluster

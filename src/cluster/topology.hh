@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cluster topology as data.
+ *
+ * The paper's rack-scale argument (sections 3, 6) is that Enzian's
+ * 480 Gb/s of network I/O exists so "many boards [can] be connected
+ * together into a single, large multiprocessor". A rack is therefore
+ * configuration, not code: ClusterTopology describes the nodes, their
+ * switch ports, per-node link latencies (distance), and the services
+ * placed on them, and can be parsed from / serialized to a plain-text
+ * description. EnzianCluster instantiates machines from it;
+ * higher-level services (replicated KV, disaggregated memory) read
+ * their placement from it.
+ *
+ * Text format, one declaration per line ('#' starts a comment):
+ *
+ *   cluster name=rack0
+ *   node name=n0 ports=4 latency_ns=450
+ *   node name=n1 ports=4
+ *   service kind=kv node=0 params=replicas=2,placement=dram
+ *
+ * Unknown keys are fatal (a typo must not silently change a rack).
+ * describe() emits exactly this format, and parse(describe()) is an
+ * identity (round-trip tested).
+ */
+
+#ifndef ENZIAN_CLUSTER_TOPOLOGY_HH
+#define ENZIAN_CLUSTER_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enzian::cluster {
+
+/** One machine in the rack. */
+struct NodeDesc
+{
+    std::string name;
+    /** 100 GbE ports this node patches into the switch. */
+    std::uint32_t ports = 4;
+    /**
+     * One-way cable/PHY latency of this node's links (ns).
+     * 0 = use the switch's default port configuration. Longer cables
+     * model distance: read-from-nearest placement minimizes the sum
+     * of endpoint latencies.
+     */
+    double latency_ns = 0.0;
+};
+
+/** A service placed on a node (interpreted by the service layer). */
+struct ServiceDesc
+{
+    /** Free-form kind tag, e.g. "kv", "disagg", "bridge". */
+    std::string kind;
+    std::uint32_t node = 0;
+    /** Opaque comma-separated key=value parameters. */
+    std::string params;
+};
+
+/**
+ * The rack as data: nodes, their switch ports, service placement.
+ * Port numbering: node i owns the consecutive switch ports
+ * [firstPort(i), firstPort(i) + nodes[i].ports) in declaration order
+ * (nodes may have different port counts).
+ */
+class ClusterTopology
+{
+  public:
+    std::string name = "rack";
+    std::vector<NodeDesc> nodes;
+    std::vector<ServiceDesc> services;
+
+    /** A uniform rack: @p n identical nodes of @p ports_per_node. */
+    static ClusterTopology uniform(std::uint32_t n,
+                                   std::uint32_t ports_per_node);
+
+    /** Parse a textual description; malformed input is fatal. */
+    static ClusterTopology parse(const std::string &text);
+
+    /** Parse a description file; unreadable/malformed is fatal. */
+    static ClusterTopology parseFile(const std::string &path);
+
+    /** Serialize; parse(describe()) round-trips. */
+    std::string describe() const;
+
+    std::uint32_t nodeCount() const
+    {
+        return static_cast<std::uint32_t>(nodes.size());
+    }
+
+    /** Total switch ports over all nodes. */
+    std::uint32_t totalPorts() const;
+
+    /** First switch port belonging to node @p i. */
+    std::uint32_t firstPort(std::uint32_t i) const;
+
+    /** Switch port @p link of node @p i (bad node/link is fatal). */
+    std::uint32_t portOf(std::uint32_t i, std::uint32_t link = 0) const;
+
+    /** Node owning switch port @p port (bad port is fatal). */
+    std::uint32_t nodeOfPort(std::uint32_t port) const;
+
+    /**
+     * Network distance between two nodes: the sum of both endpoints'
+     * one-way link latencies (ns), using @p default_ns where a node
+     * does not override. Same node = 0.
+     */
+    double distanceNs(std::uint32_t a, std::uint32_t b,
+                      double default_ns) const;
+
+    /** Services of @p kind, in declaration order. */
+    std::vector<ServiceDesc> servicesOf(const std::string &kind) const;
+
+    /** Fatal unless the topology is well-formed (>=1 node, ports>0,
+     *  unique node names, service nodes in range). */
+    void validate() const;
+};
+
+/** Look up @p key in a "k=v,k=v" params string ("" if absent). */
+std::string serviceParam(const ServiceDesc &svc, const std::string &key);
+
+} // namespace enzian::cluster
+
+#endif // ENZIAN_CLUSTER_TOPOLOGY_HH

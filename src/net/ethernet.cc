@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "sim/domain_scheduler.hh"
 
 namespace enzian::net {
 
@@ -20,6 +21,33 @@ EthernetLink::EthernetLink(std::string name, EventQueue &eq,
     lineBw_ = cfg_.rate_gbps * 1e9 / 8.0;
     stats().addCounter("bytes_tx_0", &bytes_[0]);
     stats().addCounter("bytes_tx_1", &bytes_[1]);
+}
+
+Tick
+EthernetLink::minCrossLatency(const Config &cfg)
+{
+    // Stream (serialization) time is excluded — it only delays a frame
+    // further, so excluding it stays conservative.
+    return units::ns(cfg.latency_ns);
+}
+
+void
+EthernetLink::bindDomains(sim::DomainScheduler &sched,
+                          sim::TimingDomain &side0_domain,
+                          sim::TimingDomain &side1_domain)
+{
+    ENZIAN_ASSERT(sched.lookahead() <= minCrossLatency(cfg_),
+                  "scheduler lookahead exceeds the latency floor of "
+                  "link '%s'",
+                  name().c_str());
+    ENZIAN_ASSERT(!domainMode(), "link '%s' already bound to domains",
+                  name().c_str());
+    dirClock_[0] = &side0_domain.queue();
+    dirClock_[1] = &side1_domain.queue();
+    if (&side0_domain != &side1_domain) {
+        dirChan_[0] = &sched.channel(side0_domain, side1_domain);
+        dirChan_[1] = &sched.channel(side1_domain, side0_domain);
+    }
 }
 
 void
@@ -47,19 +75,26 @@ EthernetLink::send(PortSide from, std::uint64_t payload,
         payload == 0 ? 1 : (payload + cfg_.mtu - 1) / cfg_.mtu;
     const std::uint64_t wire = payload + frames * frameOverheadBytes;
 
-    const Tick start = std::max(now(), busFreeAt_[from]);
+    // Domain mode: time comes from the sending side's domain clock,
+    // and busFreeAt_[from] has that thread as its single writer.
+    const Tick tnow = dirClock_[from] ? dirClock_[from]->now() : now();
+    const Tick start = std::max(tnow, busFreeAt_[from]);
     const Tick stream = units::transferTicks(wire, lineBw_);
     busFreeAt_[from] = start + stream;
     const Tick delivery = start + stream + units::ns(cfg_.latency_ns);
 
     ENZIAN_ASSERT(handlers_[to], "no receiver on side %u of %s", to,
                   name().c_str());
-    eventq().schedule(
-        delivery,
-        [this, to, delivery, payload, tag]() {
-            handlers_[to](delivery, payload, tag);
-        },
-        "eth-deliver");
+    auto fire = [this, to, delivery, payload, tag]() {
+        handlers_[to](delivery, payload, tag);
+    };
+    if (!dirClock_[from])
+        eventq().schedule(delivery, std::move(fire), "eth-deliver");
+    else if (dirChan_[from])
+        dirChan_[from]->push(delivery, std::move(fire));
+    else // both sides in one domain: deliver locally
+        dirClock_[from]->schedule(delivery, std::move(fire),
+                                  "eth-deliver");
     return delivery;
 }
 

@@ -11,9 +11,16 @@
 #ifndef ENZIAN_NET_ETHERNET_HH
 #define ENZIAN_NET_ETHERNET_HH
 
+#include <array>
 #include <functional>
 
 #include "sim/sim_object.hh"
+
+namespace enzian::sim {
+class CrossDomainChannel;
+class DomainScheduler;
+class TimingDomain;
+} // namespace enzian::sim
 
 namespace enzian::net {
 
@@ -44,6 +51,28 @@ class EthernetLink : public SimObject
 
     EthernetLink(std::string name, EventQueue &eq, const Config &cfg);
 
+    /**
+     * Minimum cross-endpoint latency any frame on a link with @p cfg
+     * can experience: the propagation + PHY delay (serialization time
+     * comes on top). This is the conservative lookahead bound parallel
+     * simulation relies on.
+     */
+    static Tick minCrossLatency(const Config &cfg);
+
+    /**
+     * Switch the link into parallel domain mode: each side reads time
+     * from its own domain's clock and deliveries toward the other side
+     * cross through the scheduler's channels. When both sides live in
+     * the same domain, deliveries stay local. Must be called before
+     * the scheduler starts.
+     */
+    void bindDomains(sim::DomainScheduler &sched,
+                     sim::TimingDomain &side0_domain,
+                     sim::TimingDomain &side1_domain);
+
+    /** True once bindDomains() has been called. */
+    bool domainMode() const { return dirClock_[0] != nullptr; }
+
     /** Register the receiver on @p side (0/1). */
     void setReceiver(PortSide side, Handler h);
 
@@ -71,9 +100,19 @@ class EthernetLink : public SimObject
   private:
     Config cfg_;
     double lineBw_;
+    /** Serializer occupancy per sending side; in domain mode each
+     *  entry is written only by its own side's domain thread. */
     Tick busFreeAt_[2] = {0, 0};
     Handler handlers_[2];
+    /** bytes_[side] likewise has a single writer in domain mode. */
     Counter bytes_[2];
+
+    // --- parallel domain mode state (null in legacy mode) ----------
+    /** Sending side's domain clock, indexed by side. */
+    std::array<EventQueue *, 2> dirClock_{nullptr, nullptr};
+    /** Outbound mailbox toward the other side, indexed by sending
+     *  side; null when both sides share a domain (local delivery). */
+    std::array<sim::CrossDomainChannel *, 2> dirChan_{nullptr, nullptr};
 };
 
 } // namespace enzian::net

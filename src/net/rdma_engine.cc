@@ -11,10 +11,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <mutex>
 #include <optional>
 
 #include "base/logging.hh"
+#include "base/wire_ledger.hh"
 #include "obs/request_context.hh"
 #include "obs/span_tracer.hh"
 
@@ -22,33 +22,34 @@ namespace enzian::net {
 
 namespace {
 
-std::uint32_t g_next_req_id = 1;
-std::unordered_map<std::uint32_t, RdmaTarget::WireRequest> g_requests;
-
 /**
- * Claim the metadata for @p id, or nullopt if the initiator has
- * already abandoned it (timeout-based recovery re-issues under a
- * fresh id and forgets the old one).
+ * Process-wide wire ledgers. Unlike the bridge/disagg services, an
+ * initiator may talk to several targets (and a target to several
+ * initiators), so the ledger is shared rather than instance-owned:
+ * the atomic id counter keeps engines from colliding, the mutex keeps
+ * concurrent timing domains safe, and ids are opaque (they never feed
+ * timing or stats), so determinism is unaffected.
  */
-std::optional<RdmaTarget::WireRequest>
-takeRequest(std::uint32_t id)
+WireLedger<RdmaTarget::WireRequest> &
+requestLedger()
 {
-    auto it = g_requests.find(id);
-    if (it == g_requests.end())
-        return std::nullopt;
-    RdmaTarget::WireRequest req = std::move(it->second);
-    g_requests.erase(it);
-    return req;
+    static WireLedger<RdmaTarget::WireRequest> ledger;
+    return ledger;
 }
 
-std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> g_responses;
-
-/** Forget everything the registries hold about an abandoned id. */
-void
-dropRegistryEntries(std::uint32_t id)
+WireLedger<std::vector<std::uint8_t>> &
+responseLedger()
 {
-    g_requests.erase(id);
-    g_responses.erase(id);
+    static WireLedger<std::vector<std::uint8_t>> ledger;
+    return ledger;
+}
+
+/** Forget everything the ledgers hold about an abandoned id. */
+void
+dropLedgerEntries(std::uint64_t id)
+{
+    requestLedger().erase(id);
+    responseLedger().erase(id);
 }
 
 } // namespace
@@ -140,12 +141,10 @@ PcieHostPath::write(Addr off, const std::uint8_t *src, std::uint64_t len,
                       std::move(done));
 }
 
-std::uint32_t
+std::uint64_t
 RdmaTarget::registerRequest(WireRequest req)
 {
-    const std::uint32_t id = g_next_req_id++;
-    g_requests.emplace(id, std::move(req));
-    return id;
+    return requestLedger().put(std::move(req));
 }
 
 RdmaTarget::RdmaTarget(std::string name, EventQueue &eq, Switch &sw,
@@ -174,16 +173,16 @@ RdmaTarget::setFaults(Rng *rng, double response_drop_prob)
 void
 RdmaTarget::onFrame(Tick, std::uint64_t, std::uint64_t user)
 {
-    const auto req_id = static_cast<std::uint32_t>(user);
+    const std::uint64_t req_id = user;
     eventq().scheduleDelta(units::ns(cfg_.request_proc_ns),
                            [this, req_id]() { serve(req_id); },
                            "rdma-request-proc");
 }
 
 void
-RdmaTarget::serve(std::uint32_t req_id)
+RdmaTarget::serve(std::uint64_t req_id)
 {
-    auto taken = takeRequest(req_id);
+    auto taken = requestLedger().take(req_id);
     if (!taken) {
         // The initiator timed out and abandoned this id before we got
         // to it; the retry arrives under a fresh id.
@@ -202,7 +201,7 @@ RdmaTarget::serve(std::uint32_t req_id)
                       service_.sample(units::toNanos(t - t0));
                       ENZIAN_SPAN(name(), "read", t0, t);
                       ENZIAN_FLOW_STEP(name(), "read", t, req->flowId);
-                      g_responses[req_id] = std::move(*buf);
+                      responseLedger().putAt(req_id, std::move(*buf));
                       if (faultRng_ && rspDropProb_ > 0.0 &&
                           faultRng_->chance(rspDropProb_)) {
                           // Lost on the wire; the payload entry is
@@ -275,9 +274,24 @@ void
 RdmaInitiator::read(Addr off, std::uint8_t *dst, std::uint64_t len,
                     Done done)
 {
+    readFrom(targetPort_, off, dst, len, std::move(done));
+}
+
+void
+RdmaInitiator::write(Addr off, const std::uint8_t *src, std::uint64_t len,
+                     Done done)
+{
+    writeTo(targetPort_, off, src, len, std::move(done));
+}
+
+void
+RdmaInitiator::readFrom(std::uint32_t target_port, Addr off,
+                        std::uint8_t *dst, std::uint64_t len, Done done)
+{
     Pending p;
     p.dst = dst;
     p.done = std::move(done);
+    p.target = target_port;
     p.op = RdmaOp::Read;
     p.off = off;
     p.len = len;
@@ -286,11 +300,13 @@ RdmaInitiator::read(Addr off, std::uint8_t *dst, std::uint64_t len,
 }
 
 void
-RdmaInitiator::write(Addr off, const std::uint8_t *src, std::uint64_t len,
-                     Done done)
+RdmaInitiator::writeTo(std::uint32_t target_port, Addr off,
+                       const std::uint8_t *src, std::uint64_t len,
+                       Done done)
 {
     Pending p;
     p.done = std::move(done);
+    p.target = target_port;
     p.op = RdmaOp::Write;
     p.off = off;
     p.len = len;
@@ -315,7 +331,7 @@ RdmaInitiator::issue(Pending p)
         else
             req.data = std::move(p.data);
     }
-    const std::uint32_t id = RdmaTarget::registerRequest(std::move(req));
+    const std::uint64_t id = RdmaTarget::registerRequest(std::move(req));
     if (recoveryTimeout_) {
         const Tick delay =
             recoveryTimeout_ << std::min<std::uint32_t>(p.attempts, 4);
@@ -324,6 +340,7 @@ RdmaInitiator::issue(Pending p)
     }
     const std::uint64_t frame =
         (p.op == RdmaOp::Write ? p.len : 0) + rdmaHeaderBytes;
+    const std::uint32_t target = p.target;
     pending_.emplace(id, std::move(p));
     // A dropped request never reaches the wire, but the bookkeeping
     // above stays intact so the timeout recovers it.
@@ -332,11 +349,11 @@ RdmaInitiator::issue(Pending p)
         reqsDropped_.inc();
         return;
     }
-    sw_.sendFrom(port_, frame, Switch::makeTag(targetPort_, id));
+    sw_.sendFrom(port_, frame, Switch::makeTag(target, id));
 }
 
 void
-RdmaInitiator::onTimeout(std::uint32_t id)
+RdmaInitiator::onTimeout(std::uint64_t id)
 {
     auto it = pending_.find(id);
     if (it == pending_.end())
@@ -349,44 +366,43 @@ RdmaInitiator::onTimeout(std::uint32_t id)
         // completed) rather than retried into a saturated wire
         // forever. Its registry state is dead either way.
         abandoned_.inc();
-        dropRegistryEntries(id);
+        dropLedgerEntries(id);
         return;
     }
     ENZIAN_ASSERT(p.attempts <= maxRetries_,
-                  "RDMA request %u unanswered after %u retries "
+                  "RDMA request %llu unanswered after %u retries "
                   "(livelock?)",
-                  id, p.attempts - 1);
+                  static_cast<unsigned long long>(id), p.attempts - 1);
     retries_.inc();
-    // Abandon the old wire id entirely: whatever the registries still
+    // Abandon the old wire id entirely: whatever the ledgers still
     // hold for it is dead, and any late completion is detectably
     // stale. The retry runs under a fresh id so a slow serve of the
     // old attempt can never satisfy (or corrupt) the new one.
-    dropRegistryEntries(id);
+    dropLedgerEntries(id);
     issue(std::move(p));
 }
 
 void
 RdmaInitiator::onFrame(Tick when, std::uint64_t, std::uint64_t user)
 {
-    const auto id = static_cast<std::uint32_t>(user);
+    const std::uint64_t id = user;
     auto it = pending_.find(id);
     if (it == pending_.end() && recoveryTimeout_) {
         // A late completion of an attempt we already abandoned.
         staleCompletions_.inc();
-        g_responses.erase(id);
+        responseLedger().erase(id);
         return;
     }
-    ENZIAN_ASSERT(it != pending_.end(), "RDMA completion for unknown %u",
-                  id);
+    ENZIAN_ASSERT(it != pending_.end(),
+                  "RDMA completion for unknown %llu",
+                  static_cast<unsigned long long>(id));
     Pending p = std::move(it->second);
     pending_.erase(it);
     eventq().cancel(p.retryEv);
     if (p.dst) {
-        auto rit = g_responses.find(id);
-        ENZIAN_ASSERT(rit != g_responses.end(),
-                      "read completion without payload");
-        std::memcpy(p.dst, rit->second.data(), rit->second.size());
-        g_responses.erase(rit);
+        auto rsp = responseLedger().take(id);
+        ENZIAN_ASSERT(rsp, "read completion without payload");
+        std::memcpy(p.dst, rsp->data(), rsp->size());
     }
     ENZIAN_SPAN(name(), "req", p.issued, when);
     ENZIAN_FLOW_STEP(name(), "req", when, p.flowId);

@@ -158,7 +158,12 @@ class RdmaTarget : public SimObject
         return rspsDropped_.value();
     }
 
-    /** @internal registry shared with initiators (same process). */
+    /**
+     * @internal wire record shared with initiators (same process).
+     * The process-wide ledger behind it is thread-safe, so initiators
+     * and targets may live in different timing domains; ids are
+     * allocated from one atomic counter, so engines never collide.
+     */
     struct WireRequest
     {
         RdmaOp op;
@@ -172,11 +177,11 @@ class RdmaTarget : public SimObject
     };
 
     /** Register an incoming request's metadata (initiator side). */
-    static std::uint32_t registerRequest(WireRequest req);
+    static std::uint64_t registerRequest(WireRequest req);
 
   private:
     void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
-    void serve(std::uint32_t req_id);
+    void serve(std::uint64_t req_id);
 
     Switch &sw_;
     MemoryPath &mem_;
@@ -207,6 +212,19 @@ class RdmaInitiator : public SimObject
     /** 1-sided write of @p len bytes to target offset @p off. */
     void write(Addr off, const std::uint8_t *src, std::uint64_t len,
                Done done);
+
+    /**
+     * As read(), but against the target on @p target_port instead of
+     * the constructor default — one initiator can serve several
+     * targets (replication fan-out, read-from-nearest placement).
+     * Retries re-issue against the same target.
+     */
+    void readFrom(std::uint32_t target_port, Addr off, std::uint8_t *dst,
+                  std::uint64_t len, Done done);
+
+    /** As write(), but against the target on @p target_port. */
+    void writeTo(std::uint32_t target_port, Addr off,
+                 const std::uint8_t *src, std::uint64_t len, Done done);
 
     /**
      * Arm timeout-based recovery: an unanswered request is abandoned
@@ -247,6 +265,8 @@ class RdmaInitiator : public SimObject
     {
         std::uint8_t *dst = nullptr;
         Done done;
+        /** Destination switch port of this op's target. */
+        std::uint32_t target = 0;
         // -- recovery-mode state (unused when recovery is off) -----
         RdmaOp op = RdmaOp::Read;
         Addr off = 0;
@@ -263,12 +283,12 @@ class RdmaInitiator : public SimObject
     void onFrame(Tick when, std::uint64_t payload, std::uint64_t user);
     /** Register the wire request for @p p and put it on the wire. */
     void issue(Pending p);
-    void onTimeout(std::uint32_t id);
+    void onTimeout(std::uint64_t id);
 
     Switch &sw_;
     std::uint32_t port_;
     std::uint32_t targetPort_;
-    std::unordered_map<std::uint32_t, Pending> pending_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
     /** Retry timeout (0 = recovery off, the default). */
     Tick recoveryTimeout_ = 0;
     std::uint32_t maxRetries_ = 12;

@@ -5,9 +5,25 @@
 
 #include "net/switch.hh"
 
-#include "base/logging.hh"
+#include <algorithm>
+
+#include "sim/domain_scheduler.hh"
 
 namespace enzian::net {
+
+namespace {
+
+EthernetLink::Config
+portConfig(const Switch::Config &cfg, std::uint32_t port_no)
+{
+    EthernetLink::Config pc = cfg.port;
+    if (port_no < cfg.port_latency_ns.size() &&
+        cfg.port_latency_ns[port_no] > 0.0)
+        pc.latency_ns = cfg.port_latency_ns[port_no];
+    return pc;
+}
+
+} // namespace
 
 Switch::Switch(std::string name, EventQueue &eq, std::uint32_t ports,
                const Config &cfg)
@@ -19,7 +35,7 @@ Switch::Switch(std::string name, EventQueue &eq, std::uint32_t ports,
     for (std::uint32_t i = 0; i < ports; ++i) {
         ports_.push_back(std::make_unique<EthernetLink>(
             SimObject::name() + ".port" + std::to_string(i), eq,
-            cfg_.port));
+            portConfig(cfg_, i)));
         // Side 1 of each port link faces the switch fabric: forward
         // arriving frames to the destination port after the
         // store-and-forward delay.
@@ -35,6 +51,37 @@ Switch::Switch(std::string name, EventQueue &eq, std::uint32_t ports,
                     },
                     "switch-forward");
             });
+    }
+}
+
+Tick
+Switch::minCrossLatency(const Config &cfg, std::uint32_t ports)
+{
+    Tick floor = EthernetLink::minCrossLatency(cfg.port);
+    for (std::uint32_t i = 0; i < ports; ++i) {
+        floor = std::min(
+            floor, EthernetLink::minCrossLatency(portConfig(cfg, i)));
+    }
+    return floor;
+}
+
+void
+Switch::bindDomains(sim::DomainScheduler &sched,
+                    sim::TimingDomain &net_domain,
+                    const std::vector<sim::TimingDomain *> &port_domains)
+{
+    ENZIAN_ASSERT(&net_domain.queue() == &eventq(),
+                  "switch '%s' must be constructed on the net "
+                  "domain's queue",
+                  name().c_str());
+    ENZIAN_ASSERT(port_domains.size() == ports_.size(),
+                  "switch '%s': %zu port domains for %zu ports",
+                  name().c_str(), port_domains.size(), ports_.size());
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+        ENZIAN_ASSERT(port_domains[i], "switch '%s': null domain for "
+                      "port %zu",
+                      name().c_str(), i);
+        ports_[i]->bindDomains(sched, *port_domains[i], net_domain);
     }
 }
 

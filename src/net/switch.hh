@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/logging.hh"
 #include "net/ethernet.hh"
 
 namespace enzian::net {
@@ -26,21 +27,38 @@ class Switch : public SimObject
     /** Switch configuration. */
     struct Config
     {
-        /** Per-port link configuration (all ports identical). */
+        /** Per-port link configuration (the common template). */
         EthernetLink::Config port;
         /** Store-and-forward + lookup latency (ns). */
         double forward_ns = 600.0;
+        /**
+         * Optional per-port cable/PHY latency override (ns); entries
+         * <= 0 (and ports beyond the vector) use `port.latency_ns`.
+         * Longer cables model rack distance.
+         */
+        std::vector<double> port_latency_ns;
     };
 
     Switch(std::string name, EventQueue &eq, std::uint32_t ports,
            const Config &cfg);
 
-    /** Compose a message tag addressed to @p dst_port. */
+    /**
+     * Compose a message tag addressed to @p dst_port. The tag packs
+     * dst into bits [56,64) and the user value below; both must fit —
+     * a 300-port rack or a user value spilling into the top byte
+     * would otherwise silently misroute.
+     */
     static std::uint64_t
     makeTag(std::uint32_t dst_port, std::uint64_t user)
     {
-        return (static_cast<std::uint64_t>(dst_port) << 56) |
-               (user & 0x00ffffffffffffffull);
+        ENZIAN_ASSERT(dst_port < (1u << 8),
+                      "switch tag dst %u overflows the 8-bit port "
+                      "field",
+                      dst_port);
+        ENZIAN_ASSERT(user < (1ull << 56),
+                      "switch tag user value 0x%llx overflows 56 bits",
+                      static_cast<unsigned long long>(user));
+        return (static_cast<std::uint64_t>(dst_port) << 56) | user;
     }
     /** Destination port of a tag. */
     static std::uint32_t dstOf(std::uint64_t tag)
@@ -63,6 +81,23 @@ class Switch : public SimObject
 
     /** Register the endpoint receiver on @p port_no. */
     void setEndpoint(std::uint32_t port_no, EthernetLink::Handler h);
+
+    /**
+     * Switch into parallel domain mode: the switch fabric (and every
+     * link's side 1) lives in @p net_domain, and each port's endpoint
+     * side runs in @p port_domains[port]. The switch's own event queue
+     * must be @p net_domain's queue. Must precede the first run.
+     */
+    void bindDomains(sim::DomainScheduler &sched,
+                     sim::TimingDomain &net_domain,
+                     const std::vector<sim::TimingDomain *> &port_domains);
+
+    /**
+     * Minimum cross-machine latency through a switch with @p cfg for
+     * @p ports ports: the smallest one-way link latency (forwarding
+     * delay and serialization come on top).
+     */
+    static Tick minCrossLatency(const Config &cfg, std::uint32_t ports);
 
     /** Send from @p port_no through the switch (tag carries dst). */
     Tick sendFrom(std::uint32_t port_no, std::uint64_t payload,

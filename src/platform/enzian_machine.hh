@@ -126,6 +126,10 @@ class EnzianMachine
     bool parallel() const { return schedPtr_ != nullptr; }
     /** The domain scheduler, or null in legacy mode. */
     sim::DomainScheduler *scheduler() { return schedPtr_; }
+    /** The CPU timing domain, or null in legacy mode. */
+    sim::TimingDomain *cpuDomain() { return cpuDomain_; }
+    /** The FPGA timing domain, or null in legacy mode. */
+    sim::TimingDomain *fpgaDomain() { return fpgaDomain_; }
 
     /**
      * Run the simulation to completion: the domain scheduler in

@@ -65,7 +65,7 @@ class DisaggTest : public ::testing::Test
             cluster->node(0).fpgaMem(), scfg);
         client = std::make_unique<DisaggMemoryClient>(
             "client", cluster->eventq(), cluster->network(),
-            cluster->portOf(1), cluster->portOf(0));
+            cluster->portOf(1), *server);
     }
 
     std::unique_ptr<EnzianCluster> cluster;
@@ -177,12 +177,11 @@ class BridgeTest : public ::testing::Test
                                                          a.map());
         EciBridgeSource::Config scfg;
         scfg.port = cluster->portOf(0);
-        scfg.target_port = tcfg.port;
         scfg.window_base = windowBase();
         scfg.window_size = 16ull << 20;
         source = std::make_unique<EciBridgeSource>(
             "bridge.source", cluster->eventq(), cluster->network(),
-            *fallback, scfg);
+            *fallback, *target, scfg);
         a.fpgaHome().setLineSource(source.get());
     }
 

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the topology-as-data layer: parsing, round-tripping,
+ * port numbering, distance, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.hh"
+
+namespace enzian::cluster {
+namespace {
+
+TEST(Topology, UniformPortNumbering)
+{
+    const auto t = ClusterTopology::uniform(3, 4);
+    EXPECT_EQ(t.nodeCount(), 3u);
+    EXPECT_EQ(t.totalPorts(), 12u);
+    EXPECT_EQ(t.firstPort(0), 0u);
+    EXPECT_EQ(t.firstPort(2), 8u);
+    EXPECT_EQ(t.portOf(1, 3), 7u);
+    EXPECT_EQ(t.nodeOfPort(0), 0u);
+    EXPECT_EQ(t.nodeOfPort(7), 1u);
+    EXPECT_EQ(t.nodeOfPort(11), 2u);
+}
+
+TEST(Topology, HeterogeneousPortNumbering)
+{
+    // Nodes may patch different port counts into the switch.
+    ClusterTopology t;
+    t.nodes.push_back({"a", 2, 0.0});
+    t.nodes.push_back({"b", 4, 0.0});
+    t.nodes.push_back({"c", 1, 0.0});
+    t.validate();
+    EXPECT_EQ(t.totalPorts(), 7u);
+    EXPECT_EQ(t.firstPort(1), 2u);
+    EXPECT_EQ(t.firstPort(2), 6u);
+    EXPECT_EQ(t.portOf(1, 3), 5u);
+    EXPECT_EQ(t.nodeOfPort(1), 0u);
+    EXPECT_EQ(t.nodeOfPort(5), 1u);
+    EXPECT_EQ(t.nodeOfPort(6), 2u);
+}
+
+TEST(Topology, ParseDescribeRoundTrip)
+{
+    const std::string text = "# two-rack-unit test cluster\n"
+                             "cluster name=rack9\n"
+                             "node name=n0 ports=4 latency_ns=450\n"
+                             "node name=n1 ports=2\n"
+                             "node name=far ports=4 latency_ns=2000\n"
+                             "service kind=kv node=0 "
+                             "params=replicas=2,placement=dram\n"
+                             "service kind=disagg node=2\n";
+    const auto t = ClusterTopology::parse(text);
+    EXPECT_EQ(t.name, "rack9");
+    ASSERT_EQ(t.nodeCount(), 3u);
+    EXPECT_EQ(t.nodes[0].name, "n0");
+    EXPECT_DOUBLE_EQ(t.nodes[0].latency_ns, 450.0);
+    EXPECT_EQ(t.nodes[1].ports, 2u);
+    EXPECT_DOUBLE_EQ(t.nodes[1].latency_ns, 0.0);
+    ASSERT_EQ(t.services.size(), 2u);
+    EXPECT_EQ(t.services[0].kind, "kv");
+    EXPECT_EQ(serviceParam(t.services[0], "replicas"), "2");
+    EXPECT_EQ(serviceParam(t.services[0], "placement"), "dram");
+    EXPECT_EQ(serviceParam(t.services[0], "missing"), "");
+
+    // describe() is canonical and parse(describe()) is an identity.
+    const auto again = ClusterTopology::parse(t.describe());
+    EXPECT_EQ(again.describe(), t.describe());
+    EXPECT_EQ(again.nodeCount(), t.nodeCount());
+    EXPECT_EQ(again.services.size(), t.services.size());
+}
+
+TEST(Topology, DefaultNodeNamesAndServicesOf)
+{
+    const auto t = ClusterTopology::parse("node ports=4\n"
+                                          "node ports=4\n"
+                                          "service kind=kv node=1\n");
+    EXPECT_EQ(t.nodes[0].name, "enzian0");
+    EXPECT_EQ(t.nodes[1].name, "enzian1");
+    const auto kv = t.servicesOf("kv");
+    ASSERT_EQ(kv.size(), 1u);
+    EXPECT_EQ(kv[0].node, 1u);
+    EXPECT_TRUE(t.servicesOf("bridge").empty());
+}
+
+TEST(Topology, DistanceSumsEndpointLatencies)
+{
+    ClusterTopology t;
+    t.nodes.push_back({"near", 4, 0.0});  // uses the default
+    t.nodes.push_back({"mid", 4, 500.0});
+    t.nodes.push_back({"far", 4, 2000.0});
+    EXPECT_DOUBLE_EQ(t.distanceNs(0, 0, 450.0), 0.0);
+    EXPECT_DOUBLE_EQ(t.distanceNs(0, 1, 450.0), 950.0);
+    EXPECT_DOUBLE_EQ(t.distanceNs(1, 2, 450.0), 2500.0);
+    EXPECT_DOUBLE_EQ(t.distanceNs(2, 0, 450.0), 2450.0);
+}
+
+TEST(TopologyDeath, MalformedInputIsFatal)
+{
+    // A typo must not silently change a rack.
+    EXPECT_DEATH(ClusterTopology::parse("node prots=4\n"), "prots");
+    EXPECT_DEATH(ClusterTopology::parse("nod name=x\n"), "nod");
+    EXPECT_DEATH(ClusterTopology::parse("node ports=zero\n"), "zero");
+}
+
+TEST(TopologyDeath, ValidateRejectsBadRacks)
+{
+    ClusterTopology empty;
+    EXPECT_DEATH(empty.validate(), "node");
+
+    ClusterTopology dup;
+    dup.nodes.push_back({"a", 4, 0.0});
+    dup.nodes.push_back({"a", 4, 0.0});
+    EXPECT_DEATH(dup.validate(), "a");
+
+    ClusterTopology noports;
+    noports.nodes.push_back({"a", 0, 0.0});
+    EXPECT_DEATH(noports.validate(), "port");
+
+    ClusterTopology badsvc;
+    badsvc.nodes.push_back({"a", 4, 0.0});
+    badsvc.services.push_back({"kv", 7, ""});
+    EXPECT_DEATH(badsvc.validate(), "7");
+
+    const auto t = ClusterTopology::uniform(2, 4);
+    EXPECT_DEATH(t.portOf(2, 0), "node");
+    EXPECT_DEATH(t.portOf(0, 4), "link");
+    EXPECT_DEATH(t.nodeOfPort(8), "port");
+}
+
+} // namespace
+} // namespace enzian::cluster
