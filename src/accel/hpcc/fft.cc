@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Streaming FFT implementation.
+ */
+
+#include "accel/hpcc/fft.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace enzian::accel::hpcc {
+
+namespace {
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::uint32_t
+log2u(std::uint32_t v)
+{
+    std::uint32_t l = 0;
+    while ((1u << l) < v)
+        ++l;
+    return l;
+}
+
+/** Bit-reverse permute each n-point transform in @p buf in place. */
+void
+bitrev(std::complex<float> *buf, std::uint32_t n, std::uint32_t bits,
+       std::uint64_t transforms)
+{
+    for (std::uint64_t t = 0; t < transforms; ++t) {
+        std::complex<float> *x = buf + t * n;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            std::uint32_t r = 0;
+            for (std::uint32_t b = 0; b < bits; ++b)
+                r |= ((i >> b) & 1u) << (bits - 1 - b);
+            if (r > i)
+                std::swap(x[i], x[r]);
+        }
+    }
+}
+
+/** Apply butterfly rank @p s (span m = 2^s) to every transform. */
+void
+butterflyRank(std::complex<float> *buf, std::uint32_t n,
+              std::uint32_t s, std::uint64_t transforms)
+{
+    const std::uint32_t m = 1u << s;
+    const std::uint32_t half = m / 2;
+    for (std::uint64_t t = 0; t < transforms; ++t) {
+        std::complex<float> *x = buf + t * n;
+        for (std::uint32_t k = 0; k < n; k += m) {
+            for (std::uint32_t j = 0; j < half; ++j) {
+                // Twiddle in double, arithmetic in float: matches a
+                // hardware ROM of rounded coefficients.
+                const double ang =
+                    -2.0 * M_PI * static_cast<double>(j) /
+                    static_cast<double>(m);
+                const std::complex<float> w(
+                    static_cast<float>(std::cos(ang)),
+                    static_cast<float>(std::sin(ang)));
+                const std::complex<float> u = x[k + j];
+                const std::complex<float> v = w * x[k + j + half];
+                x[k + j] = u + v;
+                x[k + j + half] = u - v;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::complex<double>>
+dftReference(const std::vector<std::complex<float>> &in)
+{
+    const std::size_t n = in.size();
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc(0.0, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = -2.0 * M_PI *
+                               static_cast<double>(k * j % n) /
+                               static_cast<double>(n);
+            acc += std::complex<double>(in[j].real(), in[j].imag()) *
+                   std::complex<double>(std::cos(ang), std::sin(ang));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+double
+rmsError(const std::vector<std::complex<float>> &got,
+         const std::vector<std::complex<double>> &want)
+{
+    ENZIAN_ASSERT(got.size() == want.size(), "size mismatch");
+    double err2 = 0.0, ref2 = 0.0;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        const std::complex<double> g(got[i].real(), got[i].imag());
+        err2 += std::norm(g - want[i]);
+        ref2 += std::norm(want[i]);
+    }
+    if (ref2 == 0.0)
+        return std::sqrt(err2 / static_cast<double>(got.size()));
+    return std::sqrt(err2 / ref2);
+}
+
+FftPipeline::FftPipeline(std::string name, EventQueue &eq,
+                         const Config &cfg, const Params &p)
+    : Pipeline(std::move(name), eq, cfg), p_(p)
+{
+    ENZIAN_ASSERT(isPow2(p_.n) && p_.n >= 2,
+                  "FFT size must be a power of two >= 2, got %u",
+                  p_.n);
+    ENZIAN_ASSERT(p_.lanes > 0, "FFT needs at least one lane");
+    const std::uint32_t bits = log2u(p_.n);
+    const double ii = 1.0 / static_cast<double>(p_.lanes);
+    const std::uint32_t n = p_.n;
+
+    // Reorder buffer: must hold a full transform before the first
+    // point can leave in bit-reversed order.
+    addStage("bitrev", p_.bitrev_depth + n / p_.lanes, ii,
+             [n, bits](std::vector<std::uint8_t> &buf) {
+                 auto *x = reinterpret_cast<std::complex<float> *>(
+                     buf.data());
+                 bitrev(x, n, bits, buf.size() / (8ull * n));
+             });
+
+    // One pipelined butterfly rank per FFT stage.
+    for (std::uint32_t s = 1; s <= bits; ++s) {
+        addStage("rank" + std::to_string(s), p_.butterfly_depth, ii,
+                 [n, s](std::vector<std::uint8_t> &buf) {
+                     auto *x =
+                         reinterpret_cast<std::complex<float> *>(
+                             buf.data());
+                     butterflyRank(x, n, s, buf.size() / (8ull * n));
+                 });
+    }
+}
+
+std::uint64_t
+FftPipeline::flops(std::uint32_t n)
+{
+    return 5ull * n * log2u(n);
+}
+
+Pipeline::Job
+FftPipeline::makeJob(Addr input, Addr output,
+                     std::uint64_t transforms) const
+{
+    Job job{};
+    job.input = input;
+    job.output = output;
+    job.input_bytes = 8ull * p_.n * transforms;
+    job.output_bytes = job.input_bytes;
+    job.items = static_cast<std::uint64_t>(p_.n) * transforms;
+    return job;
+}
+
+} // namespace enzian::accel::hpcc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Streaming radix-2 FFT accelerator (HPCC "FFT" kernel).
+ *
+ * Models the classic fully-streaming FPGA FFT: a bit-reversal
+ * reorder buffer feeding log2(n) butterfly ranks, each rank a
+ * pipelined array of `lanes` butterfly units consuming `lanes`
+ * complex points per fabric cycle in steady state. The functional
+ * model computes the exact radix-2 DIT FFT rank by rank in the
+ * stage cascade, so the output is the same transform a hardware
+ * implementation would produce (single-precision complex,
+ * interleaved re/im).
+ *
+ * HPCC convention: one n-point transform counts 5 n log2(n) flops.
+ */
+
+#ifndef ENZIAN_ACCEL_HPCC_FFT_HH
+#define ENZIAN_ACCEL_HPCC_FFT_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "accel/pipeline.hh"
+
+namespace enzian::accel::hpcc {
+
+/** O(n^2) reference DFT in double precision (test oracle). */
+std::vector<std::complex<double>>
+dftReference(const std::vector<std::complex<float>> &in);
+
+/** RMS error of @p got against the double-precision oracle @p want,
+ *  normalized by the oracle's RMS magnitude. */
+double rmsError(const std::vector<std::complex<float>> &got,
+                const std::vector<std::complex<double>> &want);
+
+/** The streaming FFT engine. */
+class FftPipeline : public Pipeline
+{
+  public:
+    /** Kernel geometry. */
+    struct Params
+    {
+        /** Transform size in complex points (power of two). */
+        std::uint32_t n = 1024;
+        /** Complex points consumed per cycle in steady state. */
+        std::uint32_t lanes = 8;
+        /** Pipeline depth of one butterfly rank (fabric cycles). */
+        Cycles butterfly_depth = 12;
+        /** Depth of the bit-reversal reorder buffer. */
+        Cycles bitrev_depth = 8;
+    };
+
+    FftPipeline(std::string name, EventQueue &eq, const Config &cfg,
+                const Params &p);
+
+    std::uint32_t n() const { return p_.n; }
+    const Params &params() const { return p_; }
+
+    /** HPCC flop count of one transform: 5 n log2(n). */
+    static std::uint64_t flops(std::uint32_t n);
+
+    /**
+     * Job for one batched run of @p transforms back-to-back
+     * transforms (input/output are interleaved complex float).
+     */
+    Job makeJob(Addr input, Addr output,
+                std::uint64_t transforms = 1) const;
+
+  private:
+    Params p_;
+};
+
+} // namespace enzian::accel::hpcc
+
+#endif // ENZIAN_ACCEL_HPCC_FFT_HH

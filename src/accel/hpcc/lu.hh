@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Blocked LU factorization with partial pivoting (HPCC "HPL" /
+ * LINPACK kernel).
+ *
+ * Models a right-looking blocked LU engine: a panel-factorization
+ * unit (one column block at a time, pivot search over the column),
+ * a row-interchange crossbar (laswp), and a systolic MAC array for
+ * the trailing-matrix update — the stage that dominates and sets
+ * the achievable flop rate at `macs` multiply-accumulates per
+ * fabric cycle. The functional model runs the same blocked
+ * algorithm in single precision, so the produced factors match what
+ * the hardware would compute.
+ *
+ * Output layout: the n*n factors (L unit-lower / U upper, packed in
+ * place, row-major float) followed by n int32 pivot indices.
+ *
+ * HPL convention: one factorization counts (2/3) n^3 flops.
+ */
+
+#ifndef ENZIAN_ACCEL_HPCC_LU_HH
+#define ENZIAN_ACCEL_HPCC_LU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/pipeline.hh"
+
+namespace enzian::accel::hpcc {
+
+/**
+ * Unblocked reference LU with partial pivoting, in place on the
+ * row-major n*n matrix @p a. @p piv receives the n pivot row
+ * indices (piv[k] = row swapped into position k at step k).
+ */
+void luReference(std::vector<float> &a, std::vector<std::int32_t> &piv,
+                 std::uint32_t n);
+
+/**
+ * Solve A x = b given packed factors @p lu and pivots @p piv
+ * (forward/back substitution); returns x.
+ */
+std::vector<float> luSolve(const std::vector<float> &lu,
+                           const std::vector<std::int32_t> &piv,
+                           std::vector<float> b, std::uint32_t n);
+
+/** Max-norm residual ||A x - b|| / (||A|| ||x|| n eps) style check:
+ *  returns ||A x - b||_inf computed in double. */
+double residualInf(const std::vector<float> &a,
+                   const std::vector<float> &x,
+                   const std::vector<float> &b, std::uint32_t n);
+
+/** The blocked LU engine. */
+class LuPipeline : public Pipeline
+{
+  public:
+    /** Kernel geometry. */
+    struct Params
+    {
+        /** Matrix order. */
+        std::uint32_t n = 256;
+        /** Panel width (column-block size). */
+        std::uint32_t block = 32;
+        /** MAC units in the update array (MACs per fabric cycle). */
+        std::uint32_t macs = 64;
+        /** Row elements the interchange crossbar moves per cycle. */
+        std::uint32_t swap_width = 16;
+        /** Depth of the panel-factorization unit. */
+        Cycles panel_depth = 16;
+    };
+
+    LuPipeline(std::string name, EventQueue &eq, const Config &cfg,
+               const Params &p);
+
+    std::uint32_t n() const { return p_.n; }
+    const Params &params() const { return p_; }
+
+    /** HPL flop count: (2/3) n^3 (leading term). */
+    static std::uint64_t flops(std::uint32_t n);
+
+    /** Input bytes of one job: the n*n float matrix. */
+    std::uint64_t inputBytes() const
+    {
+        return 4ull * p_.n * p_.n;
+    }
+
+    /** Output bytes: factors plus the int32 pivot vector. */
+    std::uint64_t outputBytes() const
+    {
+        return inputBytes() + 4ull * p_.n;
+    }
+
+    /** Job factorizing the matrix at @p input into @p output. */
+    Job makeJob(Addr input, Addr output) const;
+
+  private:
+    Params p_;
+};
+
+} // namespace enzian::accel::hpcc
+
+#endif // ENZIAN_ACCEL_HPCC_LU_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Blocked transpose implementation.
+ */
+
+#include "accel/hpcc/transpose.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+#include "obs/span_tracer.hh"
+
+namespace enzian::accel::hpcc {
+
+std::vector<float>
+transposeReference(const std::vector<float> &in, std::uint32_t rows,
+                   std::uint32_t cols)
+{
+    ENZIAN_ASSERT(in.size() >= static_cast<std::size_t>(rows) * cols,
+                  "matrix too small");
+    std::vector<float> out(static_cast<std::size_t>(rows) * cols);
+    for (std::uint32_t r = 0; r < rows; ++r)
+        for (std::uint32_t c = 0; c < cols; ++c)
+            out[static_cast<std::size_t>(c) * rows + r] =
+                in[static_cast<std::size_t>(r) * cols + c];
+    return out;
+}
+
+TransposePipeline::TransposePipeline(std::string name, EventQueue &eq,
+                                     const Config &cfg,
+                                     const Params &p)
+    : Pipeline(std::move(name), eq, cfg), p_(p)
+{
+    ENZIAN_ASSERT(p_.tile > 0 && p_.rows % p_.tile == 0 &&
+                      p_.cols % p_.tile == 0,
+                  "tile must divide rows and cols");
+    ENZIAN_ASSERT(p_.width > 0, "zero crossbar width");
+    const std::uint32_t rows = p_.rows;
+    const std::uint32_t cols = p_.cols;
+    addStage("corner_turn", p_.turn_depth,
+             1.0 / static_cast<double>(p_.width),
+             [rows, cols](std::vector<std::uint8_t> &buf) {
+                 auto *x = reinterpret_cast<float *>(buf.data());
+                 std::vector<float> in(
+                     x, x + static_cast<std::size_t>(rows) * cols);
+                 const auto out = transposeReference(in, rows, cols);
+                 std::memcpy(buf.data(), out.data(),
+                             out.size() * sizeof(float));
+             });
+}
+
+void
+TransposePipeline::ingest(Tick when, const Job &job,
+                          std::vector<std::uint8_t> &buf,
+                          std::function<void(Tick)> done)
+{
+    if (job.input_remote) {
+        Pipeline::ingest(when, job, buf, std::move(done));
+        return;
+    }
+
+    // Tile walk: each tile is one strided access (tile rows of
+    // tile*4 bytes, a full matrix row apart), gathered back into the
+    // row-major batch buffer. All tiles issue at `when`; the DRAM
+    // channels' bus occupancy serializes them.
+    const std::uint32_t tile = p_.tile;
+    const std::uint64_t row_pitch = 4ull * p_.cols;
+    const Addr base = config().map->offsetInRegion(job.input);
+    std::vector<std::uint8_t> tilebuf(4ull * tile * tile);
+    Tick last = when;
+    for (std::uint32_t ti = 0; ti < p_.rows; ti += tile) {
+        for (std::uint32_t tj = 0; tj < p_.cols; tj += tile) {
+            const Addr off = base + ti * row_pitch + 4ull * tj;
+            const auto res = config().mc->readStrided(
+                when, off, 4ull * tile, tile, row_pitch,
+                tilebuf.data());
+            last = std::max(last, res.done);
+            for (std::uint32_t r = 0; r < tile; ++r)
+                std::memcpy(buf.data() + (ti + r) * row_pitch +
+                                4ull * tj,
+                            tilebuf.data() + 4ull * r * tile,
+                            4ull * tile);
+        }
+    }
+    ENZIAN_SPAN(name() + ".ingest", "tile-walk", when, last);
+    ENZIAN_FLOW_STEP(name() + ".ingest", "ingest", when, job.flow_id);
+    done(last);
+}
+
+Pipeline::Job
+TransposePipeline::makeJob(Addr input, Addr output) const
+{
+    Job job{};
+    job.input = input;
+    job.output = output;
+    job.input_bytes = 4ull * p_.rows * p_.cols;
+    job.output_bytes = job.input_bytes;
+    job.items = static_cast<std::uint64_t>(p_.rows) * p_.cols;
+    return job;
+}
+
+} // namespace enzian::accel::hpcc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Blocked all-to-all matrix transpose (HPCC "PTRANS" kernel).
+ *
+ * Models a tile-walking transpose engine: the address generator
+ * reads the source matrix tile by tile — each tile a strided (2D)
+ * DRAM access that pays the per-row activation cost a column walk
+ * incurs — streams the tiles through a corner-turn crossbar, and
+ * writes the transposed matrix back as one dense burst. The kernel
+ * is bandwidth-bound by construction; its figure of merit is GB/s
+ * moved (2 * rows * cols * 4 bytes per run), not flops.
+ *
+ * Host-memory input (job.input_remote) takes the ECI line-pull path
+ * of the base pipeline instead of the strided DRAM walk.
+ */
+
+#ifndef ENZIAN_ACCEL_HPCC_TRANSPOSE_HH
+#define ENZIAN_ACCEL_HPCC_TRANSPOSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/pipeline.hh"
+
+namespace enzian::accel::hpcc {
+
+/** Reference transpose: row-major rows x cols @p in -> cols x rows. */
+std::vector<float> transposeReference(const std::vector<float> &in,
+                                      std::uint32_t rows,
+                                      std::uint32_t cols);
+
+/** The blocked transpose engine. */
+class TransposePipeline : public Pipeline
+{
+  public:
+    /** Kernel geometry. */
+    struct Params
+    {
+        std::uint32_t rows = 256;
+        std::uint32_t cols = 256;
+        /** Square tile edge (must divide rows and cols). */
+        std::uint32_t tile = 64;
+        /** Elements the corner-turn crossbar moves per cycle. */
+        std::uint32_t width = 16;
+        /** Crossbar fill depth. */
+        Cycles turn_depth = 8;
+    };
+
+    TransposePipeline(std::string name, EventQueue &eq,
+                      const Config &cfg, const Params &p);
+
+    const Params &params() const { return p_; }
+
+    /** Bytes moved by one run (read + write). */
+    std::uint64_t bytesMoved() const
+    {
+        return 2ull * 4ull * p_.rows * p_.cols;
+    }
+
+    /** Job transposing the matrix at @p input into @p output. */
+    Job makeJob(Addr input, Addr output) const;
+
+  protected:
+    /** Tile-by-tile strided ingest (local DRAM jobs). */
+    void ingest(Tick when, const Job &job,
+                std::vector<std::uint8_t> &buf,
+                std::function<void(Tick)> done) override;
+
+  private:
+    Params p_;
+};
+
+} // namespace enzian::accel::hpcc
+
+#endif // ENZIAN_ACCEL_HPCC_TRANSPOSE_HH

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Pipeline base implementation.
+ */
+
+#include "accel/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "cache/moesi.hh"
+#include "eci/remote_agent.hh"
+#include "fpga/scheduler.hh"
+#include "fpga/shell.hh"
+#include "obs/request_context.hh"
+#include "obs/span_tracer.hh"
+
+namespace enzian::accel {
+
+Pipeline::Pipeline(std::string name, EventQueue &eq, const Config &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    ENZIAN_ASSERT(cfg_.mc && cfg_.map && cfg_.clock,
+                  "pipeline '%s' needs mc/map/clock",
+                  SimObject::name().c_str());
+    ENZIAN_ASSERT(cfg_.mem_bw > 0, "pipeline '%s': zero memory bw",
+                  SimObject::name().c_str());
+    stats().addCounter("jobs", &jobs_);
+    stats().addCounter("bytes_in", &bytesIn_);
+    stats().addCounter("bytes_out", &bytesOut_);
+    stats().addAccumulator("service_ns", &serviceNs_);
+}
+
+Pipeline::~Pipeline() = default;
+
+void
+Pipeline::addStage(std::string name, Cycles fill_latency,
+                   double cycles_per_item, StageFn fn)
+{
+    ENZIAN_ASSERT(!inflight_ && queue_.empty(),
+                  "stage added to running pipeline '%s'",
+                  SimObject::name().c_str());
+    ENZIAN_ASSERT(cycles_per_item >= 0.0,
+                  "negative initiation interval");
+    Stage s;
+    s.track = SimObject::name() + "." + name;
+    s.name = std::move(name);
+    s.fill = fill_latency;
+    s.ii = cycles_per_item;
+    s.fn = std::move(fn);
+    stages_.push_back(std::move(s));
+    stats().addAccumulator("stage_" + stages_.back().name +
+                               "_busy_cycles",
+                           &stages_.back().busy);
+}
+
+Cycles
+Pipeline::serviceCycles(std::uint64_t items) const
+{
+    Cycles fill = 0;
+    double steady = 0.0;
+    for (const auto &s : stages_) {
+        fill += s.fill;
+        steady = std::max(steady, s.ii * static_cast<double>(items));
+    }
+    return fill + static_cast<Cycles>(std::ceil(steady));
+}
+
+Tick
+Pipeline::serviceTicks(std::uint64_t items) const
+{
+    return cfg_.clock->cyclesToTicks(serviceCycles(items));
+}
+
+Tick
+Pipeline::scheduledTicks(const Job &job) const
+{
+    // Ingest + writeback charged at the sustained DRAM bandwidth
+    // (double buffering overlaps them with compute on real shells,
+    // but the scheduler charges the un-overlapped bound: it has no
+    // visibility into the batch interleaving).
+    const std::uint64_t moved =
+        job.input_bytes + (job.out ? 0 : job.output_bytes);
+    const double xfer_s = static_cast<double>(moved) / cfg_.mem_bw;
+    return units::sec(xfer_s) + serviceTicks(job.items);
+}
+
+double
+Pipeline::stageOccupancy(std::size_t i) const
+{
+    const Accumulator &busy = stages_[i].busy;
+    if (busy.count() == 0)
+        return 0.0;
+    // Each sample is busy cycles of one job; the cascade ran
+    // serviceCycles for that job. Jobs in one pipeline share the
+    // items profile in practice, so mean-over-mean is exact there
+    // and a fair summary otherwise.
+    const double cascade = serviceNs_.mean() *
+                           cfg_.clock->frequencyHz() / 1e9;
+    return cascade > 0.0 ? busy.mean() / cascade : 0.0;
+}
+
+void
+Pipeline::bindSlot(fpga::Shell *shell, std::uint32_t slot)
+{
+    pinShell_ = shell;
+    pinSlot_ = slot;
+}
+
+void
+Pipeline::pin()
+{
+    if (pinShell_)
+        pinShell_->pinSlot(pinSlot_);
+}
+
+void
+Pipeline::unpin()
+{
+    if (pinShell_)
+        pinShell_->unpinSlot(pinSlot_);
+}
+
+void
+Pipeline::process(Tick when, Job job, std::function<void(Tick)> done)
+{
+    ENZIAN_ASSERT(!stages_.empty(), "pipeline '%s' has no stages",
+                  name().c_str());
+    ENZIAN_ASSERT(job.input_bytes > 0, "empty pipeline job");
+    // Jobs issued under an ambient request context inherit its flow
+    // id, stitching the pipeline's stage spans into that request.
+    if (job.flow_id == 0)
+        job.flow_id = obs::currentFlowId();
+    ++backlog_;
+    Pending p{when, std::move(job), std::move(done)};
+    if (cfg_.serialize && inflight_) {
+        queue_.push_back(std::move(p));
+        return;
+    }
+    run(std::move(p));
+}
+
+void
+Pipeline::run(Pending p)
+{
+    const Tick start =
+        cfg_.serialize ? std::max(p.when, freeAt_) : p.when;
+    inflight_ = true;
+    pin();
+    auto buf = std::vector<std::uint8_t>(p.job.input_bytes);
+    // The ingest may resolve synchronously (local DRAM: the
+    // completion tick carries the timing) or via the event queue
+    // (ECI line fills); finish() handles both.
+    auto shared = std::make_shared<Pending>(std::move(p));
+    auto bufp = std::make_shared<std::vector<std::uint8_t>>(
+        std::move(buf));
+    ingest(start, shared->job, *bufp,
+           [this, shared, bufp](Tick t0) {
+               finish(t0, *shared, std::move(*bufp));
+           });
+}
+
+void
+Pipeline::ingest(Tick when, const Job &job,
+                 std::vector<std::uint8_t> &buf,
+                 std::function<void(Tick)> done)
+{
+    if (!job.input_remote) {
+        const Tick t = cfg_.mc
+                           ->read(when,
+                                  cfg_.map->offsetInRegion(job.input),
+                                  buf.data(), buf.size())
+                           .done;
+        ENZIAN_SPAN(name() + ".ingest", "dram-burst", when, t);
+        ENZIAN_FLOW_STEP(name() + ".ingest", "ingest", when,
+                         job.flow_id);
+        done(t);
+        return;
+    }
+
+    // Host-memory ingest: the shell's DMA engine pulls the batch
+    // line by line over ECI (uncached: the batch is read once).
+    ENZIAN_ASSERT(cfg_.remote,
+                  "pipeline '%s': remote ingest without an agent",
+                  name().c_str());
+    ENZIAN_ASSERT(job.input_bytes % cache::lineSize == 0 &&
+                      cache::isLineAligned(job.input),
+                  "remote ingest must be line aligned");
+    const std::uint64_t lines = job.input_bytes / cache::lineSize;
+    auto remaining = std::make_shared<std::uint64_t>(lines);
+    auto last = std::make_shared<Tick>(0);
+    const Tick issued = when;
+    const std::string track = name() + ".ingest";
+    const std::uint64_t flow = job.flow_id;
+    std::uint8_t *base = buf.data();
+    for (std::uint64_t l = 0; l < lines; ++l) {
+        cfg_.remote->readLineUncached(
+            job.input + l * cache::lineSize,
+            base + l * cache::lineSize,
+            [this, remaining, last, issued, track, flow,
+             done](Tick t) {
+                *last = std::max(*last, t);
+                if (--*remaining > 0)
+                    return;
+                ENZIAN_SPAN(track, "eci-pull", issued, *last);
+                ENZIAN_FLOW_STEP(track, "ingest", issued, flow);
+                done(*last);
+            });
+    }
+}
+
+Tick
+Pipeline::writeback(Tick when, const Job &job,
+                    const std::vector<std::uint8_t> &buf)
+{
+    if (job.out) {
+        // Reply-buffer writeback (e.g. an ECI line fill): the
+        // interconnect charges the transfer, not the pipeline.
+        std::memcpy(job.out, buf.data(),
+                    std::min<std::uint64_t>(buf.size(),
+                                            job.output_bytes
+                                                ? job.output_bytes
+                                                : buf.size()));
+        return when;
+    }
+    ENZIAN_ASSERT(job.output_bytes >= buf.size(),
+                  "pipeline '%s': writeback overflows the output "
+                  "region (%zu > %llu)",
+                  name().c_str(), buf.size(),
+                  static_cast<unsigned long long>(job.output_bytes));
+    const Tick t = cfg_.mc
+                       ->write(when,
+                               cfg_.map->offsetInRegion(job.output),
+                               buf.data(), buf.size())
+                       .done;
+    ENZIAN_SPAN(name() + ".writeback", "dram-burst", when, t);
+    return t;
+}
+
+void
+Pipeline::finish(Tick t0, const Pending &p,
+                 std::vector<std::uint8_t> buf)
+{
+    const Job &job = p.job;
+    bytesIn_.inc(job.input_bytes);
+
+    // Stage cascade: functional transforms plus the pipelined timing
+    // model. Stage s starts once the fills of the earlier stages have
+    // drained and is busy for its own fill + ii * items.
+    Tick stage_start = t0;
+    for (auto &s : stages_) {
+        s.fn(buf);
+        const Cycles busy =
+            s.fill + static_cast<Cycles>(std::ceil(
+                         s.ii * static_cast<double>(job.items)));
+        s.busy.sample(static_cast<double>(busy));
+        const Tick end =
+            stage_start + cfg_.clock->cyclesToTicks(busy);
+        ENZIAN_SPAN(s.track, s.name.c_str(), stage_start, end);
+        ENZIAN_FLOW_STEP(s.track, s.name.c_str(), stage_start,
+                         job.flow_id);
+        stage_start += cfg_.clock->cyclesToTicks(s.fill);
+    }
+    const Tick drained = t0 + serviceTicks(job.items);
+    const Tick end = writeback(drained, job, buf);
+    bytesOut_.inc(buf.size());
+    jobs_.inc();
+    serviceNs_.sample(units::toNanos(drained - t0));
+    ENZIAN_FLOW_STEP(name() + ".writeback", "writeback", drained,
+                     job.flow_id);
+
+    freeAt_ = std::max(freeAt_, end);
+    inflight_ = false;
+    unpin();
+    --backlog_;
+    if (p.done)
+        p.done(end);
+    if (cfg_.serialize && !queue_.empty() && !inflight_) {
+        Pending next = std::move(queue_.front());
+        queue_.pop_front();
+        run(std::move(next));
+    }
+}
+
+std::uint64_t
+Pipeline::runUnder(fpga::VfpgaScheduler &sched, Job job,
+                   std::function<void(Tick)> done)
+{
+    ENZIAN_ASSERT(!job.input_remote,
+                  "scheduled jobs ingest local DRAM only");
+    ENZIAN_ASSERT(!stages_.empty(), "pipeline '%s' has no stages",
+                  name().c_str());
+    if (job.flow_id == 0)
+        job.flow_id = obs::currentFlowId();
+    const Tick runtime = scheduledTicks(job);
+    const Tick submitted = now();
+    ++backlog_;
+    return sched.submit(
+        name(), runtime,
+        [this, job, submitted, done = std::move(done)](Tick t) {
+            // Functional compute at completion: the batch's data is
+            // consistent with the fabric having run it, and the
+            // scheduler alone charged the time (incl. preemption).
+            std::vector<std::uint8_t> buf(job.input_bytes);
+            cfg_.mc->store().read(cfg_.map->offsetInRegion(job.input),
+                                  buf.data(), buf.size());
+            bytesIn_.inc(job.input_bytes);
+            for (auto &s : stages_) {
+                s.fn(buf);
+                const Cycles busy =
+                    s.fill +
+                    static_cast<Cycles>(std::ceil(
+                        s.ii * static_cast<double>(job.items)));
+                s.busy.sample(static_cast<double>(busy));
+            }
+            if (job.out) {
+                std::memcpy(job.out, buf.data(), buf.size());
+            } else {
+                ENZIAN_ASSERT(job.output_bytes >= buf.size(),
+                              "scheduled job output region too small");
+                cfg_.mc->store().write(
+                    cfg_.map->offsetInRegion(job.output), buf.data(),
+                    buf.size());
+            }
+            bytesOut_.inc(buf.size());
+            jobs_.inc();
+            serviceNs_.sample(units::toNanos(serviceTicks(job.items)));
+            ENZIAN_SPAN(name() + ".sched", "job+queue", submitted, t);
+            ENZIAN_FLOW_STEP(name() + ".sched", "complete", submitted,
+                             job.flow_id);
+            --backlog_;
+            if (done)
+                done(t);
+        });
+}
+
+} // namespace enzian::accel

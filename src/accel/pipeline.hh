@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Common base for streaming vFPGA accelerators: ingest -> N pipeline
+ * stages -> writeback.
+ *
+ * Every accelerator on the shell moves data the same way: a batch is
+ * ingested from memory (FPGA DRAM directly, or host memory line by
+ * line over ECI), streams through a fixed cascade of compute stages,
+ * and the result is written back (to DRAM, or straight into a reply
+ * buffer such as an ECI line fill). The base class owns that skeleton
+ * so a new accelerator is one derived class registering its stages;
+ * it provides
+ *
+ *  - the timing model: a stage contributes a fill latency (pipeline
+ *    depth) plus an initiation interval per item; stages overlap in
+ *    steady state, so a batch of N items takes
+ *        sum(fill_s) + max_s(ceil(ii_s * N)) cycles
+ *    in the fabric clock, after the ingest completes;
+ *  - per-stage occupancy statistics (busy cycles per job) and
+ *    job/byte counters, published in the global registry;
+ *  - Perfetto spans per stage (one track per stage, so each stage is
+ *    a swim lane) and flow-id propagation: a job carries the flow id
+ *    of the request that spawned it and every stage span is stitched
+ *    into that flow;
+ *  - two execution modes: process() walks the real memory system and
+ *    returns exact completion ticks (used standalone and by the
+ *    ECI-facing adapters), runUnder() submits the job to a
+ *    fpga::VfpgaScheduler as a schedulable app with the analytic
+ *    runtime, computing functionally at completion - so HPCC kernels
+ *    run as multi-tenant jobs with preemption charged by the
+ *    scheduler, not double-counted here.
+ */
+
+#ifndef ENZIAN_ACCEL_PIPELINE_HH
+#define ENZIAN_ACCEL_PIPELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "mem/memory_controller.hh"
+#include "sim/clock_domain.hh"
+#include "sim/sim_object.hh"
+
+namespace enzian::eci {
+class RemoteAgent;
+} // namespace enzian::eci
+
+namespace enzian::fpga {
+class Shell;
+class VfpgaScheduler;
+} // namespace enzian::fpga
+
+namespace enzian::accel {
+
+/** Streaming accelerator skeleton: ingest -> stages -> writeback. */
+class Pipeline : public SimObject
+{
+  public:
+    /** Pipeline configuration. */
+    struct Config
+    {
+        /** The node's memory controller (ingest + writeback). */
+        mem::MemoryController *mc = nullptr;
+        /** The machine's address partition. */
+        const mem::AddressMap *map = nullptr;
+        /** Fabric clock the stages are clocked in. */
+        ClockDomain *clock = nullptr;
+        /**
+         * Remote agent for host-memory ingest over ECI (jobs with
+         * input_remote). Null = local-DRAM ingest only.
+         */
+        eci::RemoteAgent *remote = nullptr;
+        /**
+         * FIFO-serialize jobs (one batch in the fabric at a time).
+         * Line-fill adapters (rgb2y) turn this off: concurrent line
+         * fills overlap in the real pipeline and the DRAM controller
+         * is the serialization point.
+         */
+        bool serialize = true;
+        /**
+         * Sustained memory bandwidth charged for ingest + writeback
+         * by the analytic model (runUnder); bytes/s.
+         */
+        double mem_bw = 19.2e9;
+    };
+
+    /** One batch of work through the pipeline. */
+    struct Job
+    {
+        /** Physical input address (or host address if input_remote). */
+        Addr input = 0;
+        std::uint64_t input_bytes = 0;
+        /** Physical output address (DRAM writeback) ... */
+        Addr output = 0;
+        std::uint64_t output_bytes = 0;
+        /** ... or a direct reply buffer (no DRAM writeback cost). */
+        std::uint8_t *out = nullptr;
+        /** Elements for the steady-state timing term. */
+        std::uint64_t items = 1;
+        /** Ingest line by line over ECI from host memory. */
+        bool input_remote = false;
+        /** Perfetto flow id of the spawning request (0 = untraced). */
+        std::uint64_t flow_id = 0;
+    };
+
+    /** In-place functional transform of one stage (may resize). */
+    using StageFn = std::function<void(std::vector<std::uint8_t> &)>;
+
+    Pipeline(std::string name, EventQueue &eq, const Config &cfg);
+    ~Pipeline() override;
+
+    /**
+     * Run @p job through the timed pipeline starting no earlier than
+     * @p when: timed ingest from the memory system, functional
+     * stages with the pipeline timing model, timed writeback. @p done
+     * fires with the completion tick. Local ingest resolves
+     * synchronously (the completion tick carries the timing); remote
+     * ingest completes through the event queue.
+     */
+    void process(Tick when, Job job, std::function<void(Tick)> done);
+
+    /**
+     * Submit @p job to @p sched as a schedulable vFPGA app with the
+     * analytic runtime (scheduledTicks). The functional compute and
+     * the writeback happen at the scheduler's completion tick, so
+     * preemption and reconfiguration are charged by the scheduler
+     * alone. Remote ingest is not supported here (the scheduler's
+     * runtime model is local).
+     */
+    std::uint64_t runUnder(fpga::VfpgaScheduler &sched, Job job,
+                           std::function<void(Tick)> done);
+
+    /**
+     * Pin vFPGA slot @p slot of @p shell while a job is in flight:
+     * reconfiguring a slot under an active pipeline batch is a fatal
+     * error (the fabric state would be torn mid-computation).
+     */
+    void bindSlot(fpga::Shell *shell, std::uint32_t slot);
+
+    /** Stage-cascade cycles for @p items: sum(fill) + max(ii*items). */
+    Cycles serviceCycles(std::uint64_t items) const;
+
+    /** serviceCycles in ticks of the fabric clock. */
+    Tick serviceTicks(std::uint64_t items) const;
+
+    /** Analytic end-to-end runtime of @p job (runUnder's charge). */
+    Tick scheduledTicks(const Job &job) const;
+
+    // --- introspection / statistics ----------------------------------
+    std::size_t stageCount() const { return stages_.size(); }
+    const std::string &stageName(std::size_t i) const
+    {
+        return stages_[i].name;
+    }
+    /** Busy-cycles-per-job accumulator of stage @p i. */
+    const Accumulator &stageBusy(std::size_t i) const
+    {
+        return stages_[i].busy;
+    }
+    /**
+     * Occupancy of stage @p i: the fraction of the stage cascade's
+     * cycles this stage's hardware was actually busy, averaged over
+     * completed jobs (0 when no job completed yet).
+     */
+    double stageOccupancy(std::size_t i) const;
+
+    std::uint64_t jobsCompleted() const { return jobs_.value(); }
+    std::uint64_t bytesIn() const { return bytesIn_.value(); }
+    std::uint64_t bytesOut() const { return bytesOut_.value(); }
+    /** Jobs currently queued or in flight (serialized pipelines). */
+    std::size_t backlog() const { return backlog_; }
+
+    const Config &config() const { return cfg_; }
+
+  protected:
+    /**
+     * Register the next stage of the cascade (constructor-time only).
+     * @param fill_latency pipeline depth in fabric cycles
+     * @param cycles_per_item steady-state initiation interval
+     * @param fn functional transform applied to the batch buffer
+     */
+    void addStage(std::string name, Cycles fill_latency,
+                  double cycles_per_item, StageFn fn);
+
+    /**
+     * Timed ingest hook: fill @p buf (already sized to input_bytes)
+     * and invoke @p done with the tick of the last byte. The default
+     * reads local DRAM in one burst, or line by line over ECI for
+     * input_remote jobs. Overrides model access patterns (e.g. the
+     * transpose's strided tile reads).
+     */
+    virtual void ingest(Tick when, const Job &job,
+                        std::vector<std::uint8_t> &buf,
+                        std::function<void(Tick)> done);
+
+    /**
+     * Timed writeback hook: store @p buf, return the completion tick.
+     * Default: one DRAM burst to job.output, or a free copy into
+     * job.out (the reply buffer is the interconnect's problem).
+     */
+    virtual Tick writeback(Tick when, const Job &job,
+                           const std::vector<std::uint8_t> &buf);
+
+  private:
+    struct Stage
+    {
+        std::string name;
+        Cycles fill = 0;
+        double ii = 0.0; ///< cycles per item in steady state
+        StageFn fn;
+        Accumulator busy; ///< busy cycles per job
+        std::string track; ///< Perfetto track ("<pipe>.<stage>")
+    };
+
+    struct Pending
+    {
+        Tick when;
+        Job job;
+        std::function<void(Tick)> done;
+    };
+
+    /** Dispatch @p p now (ingest + stages + writeback). */
+    void run(Pending p);
+    /** Stages + writeback once ingest finished at @p t0. */
+    void finish(Tick t0, const Pending &p,
+                std::vector<std::uint8_t> buf);
+    void pin();
+    void unpin();
+
+    Config cfg_;
+    // A deque, not a vector: each stage's busy Accumulator is
+    // registered with the stats registry by address at addStage()
+    // time, so element addresses must survive later insertions.
+    std::deque<Stage> stages_;
+    std::deque<Pending> queue_; ///< waiting jobs (serialized mode)
+    bool inflight_ = false;
+    std::size_t backlog_ = 0;
+    Tick freeAt_ = 0;
+    fpga::Shell *pinShell_ = nullptr;
+    std::uint32_t pinSlot_ = 0;
+    Counter jobs_;
+    Counter bytesIn_;
+    Counter bytesOut_;
+    Accumulator serviceNs_;
+};
+
+} // namespace enzian::accel
+
+#endif // ENZIAN_ACCEL_PIPELINE_HH

@@ -5,6 +5,7 @@
 
 #include "accel/rgb2y_pipeline.hh"
 
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -73,11 +74,54 @@ quantize4Reference(const std::uint8_t *y, std::uint64_t pixels,
             static_cast<std::uint8_t>((y[pixels - 1] >> 4) << 4);
 }
 
+namespace {
+
+Pipeline::Config
+rgb2yConfig(mem::MemoryController &mc, const mem::AddressMap &map,
+            ClockDomain &clock)
+{
+    Pipeline::Config c;
+    c.mc = &mc;
+    c.map = &map;
+    c.clock = &clock;
+    // The hardware pipeline is free running: concurrent refills
+    // overlap, and the DRAM controller serializes their bursts.
+    c.serialize = false;
+    return c;
+}
+
+} // namespace
+
+Rgb2yPipeline::Rgb2yPipeline(std::string name,
+                             mem::MemoryController &mc,
+                             const mem::AddressMap &map,
+                             ClockDomain &clock, Reduction reduction,
+                             std::uint32_t pipeline_cycles)
+    : Pipeline(std::move(name), mc.eventq(),
+               rgb2yConfig(mc, map, clock))
+{
+    const std::uint32_t npx = pixelsPerLine(reduction);
+    addStage("rgb2y", pipeline_cycles, 0.0,
+             [npx, reduction](std::vector<std::uint8_t> &buf) {
+                 if (reduction == Reduction::None)
+                     return; // identity view, line is the raw pixels
+                 std::vector<std::uint8_t> y(npx);
+                 rgb2yReference(buf.data(), npx, y.data());
+                 if (reduction == Reduction::Y8) {
+                     buf = std::move(y);
+                 } else {
+                     buf.resize(npx / 2);
+                     quantize4Reference(y.data(), npx, buf.data());
+                 }
+             });
+}
+
 Rgb2yLineSource::Rgb2yLineSource(mem::MemoryController &mc,
                                  const mem::AddressMap &map,
                                  ClockDomain &clock, const Config &cfg)
-    : mc_(mc), map_(map), clock_(clock), cfg_(cfg),
-      passthrough_(mc, map)
+    : cfg_(cfg), passthrough_(mc, map),
+      pipe_(mc.name() + ".rgb2y", mc, map, clock, cfg.reduction,
+            cfg.pipeline_cycles)
 {
     ENZIAN_ASSERT(cache::isLineAligned(cfg_.view_base),
                   "view base must be line aligned");
@@ -104,25 +148,15 @@ Rgb2yLineSource::readLine(Tick when, Addr addr, std::uint8_t *out,
     const std::uint64_t line_index =
         (addr - cfg_.view_base) / cache::lineSize;
     const std::uint32_t burst = burstBytesPerLine(cfg_.reduction);
-    const std::uint32_t npx = pixelsPerLine(cfg_.reduction);
-    const Addr in_addr = cfg_.input_base +
-                         static_cast<std::uint64_t>(line_index) * burst;
 
-    // Timed sequential burst read from FPGA DRAM ...
-    std::vector<std::uint8_t> rgba(burst);
-    const Tick burst_done =
-        mc_.read(when, map_.offsetInRegion(in_addr), rgba.data(), burst)
-            .done;
-
-    // ... then the conversion pipeline, clocked in the fabric domain.
-    std::vector<std::uint8_t> y(npx);
-    rgb2yReference(rgba.data(), npx, y.data());
-    if (cfg_.reduction == Reduction::Y8) {
-        std::copy(y.begin(), y.end(), out);
-    } else {
-        quantize4Reference(y.data(), npx, out);
-    }
-    done(burst_done + clock_.cyclesToTicks(cfg_.pipeline_cycles));
+    Pipeline::Job job{};
+    job.input = cfg_.input_base +
+                static_cast<std::uint64_t>(line_index) * burst;
+    job.input_bytes = burst;
+    job.out = out;
+    job.output_bytes = cache::lineSize;
+    job.items = pixelsPerLine(cfg_.reduction);
+    pipe_.process(when, job, std::move(done));
 }
 
 void

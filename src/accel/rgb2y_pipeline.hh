@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "accel/pipeline.hh"
 #include "eci/home_agent.hh"
 #include "mem/memory_controller.hh"
 #include "sim/clock_domain.hh"
@@ -55,9 +56,30 @@ void quantize4Reference(const std::uint8_t *y, std::uint64_t pixels,
                         std::uint8_t *packed);
 
 /**
- * The pipeline, installed as the FPGA home agent's LineSource. The
- * view region [view_base, view_base + view_size) exposes the reduced
- * data; reads outside it (and all writes) pass through to DRAM.
+ * The conversion engine as an accel::Pipeline: one burst of RGBA in,
+ * one reduced line out, through a single rgb2y(+quantize) stage of
+ * `pipeline_cycles` fill latency. Concurrent line fills overlap (the
+ * DRAM controller is the serialization point), matching the
+ * free-running hardware pipeline.
+ */
+class Rgb2yPipeline : public Pipeline
+{
+  public:
+    /**
+     * @param reduction Y8 or Y4 (None never reaches the pipeline)
+     * @param pipeline_cycles fill latency burst-complete -> line-ready
+     */
+    Rgb2yPipeline(std::string name, mem::MemoryController &mc,
+                  const mem::AddressMap &map, ClockDomain &clock,
+                  Reduction reduction, std::uint32_t pipeline_cycles);
+};
+
+/**
+ * The FPGA home agent's LineSource adapter. The view region
+ * [view_base, view_base + view_size) exposes the reduced data; reads
+ * outside it (and all writes) pass through to DRAM. Each view-line
+ * refill becomes one pipeline job whose writeback is the PEMD reply
+ * buffer itself.
  */
 class Rgb2yLineSource : public eci::LineSource
 {
@@ -93,14 +115,15 @@ class Rgb2yLineSource : public eci::LineSource
     /** Lines served through the transform (vs passthrough). */
     std::uint64_t linesTransformed() const { return transformed_; }
 
+    /** The underlying conversion pipeline (stats, occupancy). */
+    Rgb2yPipeline &pipeline() { return pipe_; }
+
   private:
     bool inView(Addr addr) const;
 
-    mem::MemoryController &mc_;
-    const mem::AddressMap &map_;
-    ClockDomain &clock_;
     Config cfg_;
     eci::DramLineSource passthrough_;
+    Rgb2yPipeline pipe_;
     std::uint64_t transformed_ = 0;
 };
 

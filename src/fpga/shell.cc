@@ -74,6 +74,7 @@ Shell::Shell(std::string name, EventQueue &eq, Fabric &fabric,
     if (cfg_.slots == 0)
         fatal("shell '%s' with zero slots", SimObject::name().c_str());
     slots_.resize(cfg_.slots);
+    pins_.resize(cfg_.slots, 0);
     stats().addCounter("reconfigurations", &reconfigs_);
 }
 
@@ -85,6 +86,10 @@ Shell::loadApp(std::uint32_t slot, const std::string &app_name)
     if (!fabric_.loaded() || !fabric_.loaded()->is_shell)
         fatal("shell '%s': fabric does not hold a shell bitstream",
               name().c_str());
+    if (pins_[slot] > 0)
+        fatal("shell '%s': reconfig of slot %u while a pipeline job "
+              "is in flight",
+              name().c_str(), slot);
     slots_[slot] = std::make_unique<Vfpga>(slot, app_name);
     reconfigs_.inc();
     return now() + units::sec(cfg_.partial_reconfig_seconds);
@@ -102,6 +107,30 @@ bool
 Shell::occupied(std::uint32_t slot) const
 {
     return slot < cfg_.slots && slots_[slot] != nullptr;
+}
+
+void
+Shell::pinSlot(std::uint32_t slot)
+{
+    if (slot >= cfg_.slots)
+        fatal("shell '%s': pin of slot %u out of range",
+              name().c_str(), slot);
+    ++pins_[slot];
+}
+
+void
+Shell::unpinSlot(std::uint32_t slot)
+{
+    if (slot >= cfg_.slots || pins_[slot] == 0)
+        fatal("shell '%s': unbalanced unpin of slot %u",
+              name().c_str(), slot);
+    --pins_[slot];
+}
+
+std::uint32_t
+Shell::pins(std::uint32_t slot) const
+{
+    return slot < cfg_.slots ? pins_[slot] : 0;
 }
 
 void

@@ -107,6 +107,21 @@ class Shell : public SimObject
     /** True if @p slot currently holds an application. */
     bool occupied(std::uint32_t slot) const;
 
+    /**
+     * Pin @p slot against reconfiguration while an accelerator batch
+     * is in flight there: loadApp() on a pinned slot is fatal (the
+     * partial bitstream would tear the fabric state mid-computation;
+     * on the real shell the reconfiguration controller refuses).
+     * Pins nest: unpin once per pin.
+     */
+    void pinSlot(std::uint32_t slot);
+
+    /** Release one pin of @p slot. */
+    void unpinSlot(std::uint32_t slot);
+
+    /** Outstanding pins on @p slot. */
+    std::uint32_t pins(std::uint32_t slot) const;
+
     /** Register a named shell service (network stack, DRAM mover). */
     void registerService(const std::string &name, void *service);
 
@@ -124,6 +139,8 @@ class Shell : public SimObject
     Fabric &fabric_;
     Config cfg_;
     std::vector<std::unique_ptr<Vfpga>> slots_;
+    /** Outstanding in-flight-job pins per slot. */
+    std::vector<std::uint32_t> pins_;
     std::map<std::string, void *> services_;
     Counter reconfigs_;
 };

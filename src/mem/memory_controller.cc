@@ -5,6 +5,8 @@
 
 #include "mem/memory_controller.hh"
 
+#include <algorithm>
+
 namespace enzian::mem {
 
 MemoryController::MemoryController(std::string name, EventQueue &eq,
@@ -14,6 +16,8 @@ MemoryController::MemoryController(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), store_(size),
       dram_(SimObject::name() + ".dram", eq, channels, cfg)
 {
+    stats().addCounter("strided_ops", &stridedOps_);
+    stats().addCounter("strided_rows", &stridedRows_);
 }
 
 AccessResult
@@ -30,6 +34,42 @@ MemoryController::write(Tick when, Addr offset, const void *src,
 {
     store_.write(offset, src, len);
     return AccessResult{dram_.access(when, len)};
+}
+
+AccessResult
+MemoryController::readStrided(Tick when, Addr offset,
+                              std::uint64_t row_bytes,
+                              std::uint32_t rows, std::uint64_t pitch,
+                              void *dst)
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    Tick done = when;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        store_.read(offset + r * pitch, out + r * row_bytes,
+                    row_bytes);
+        done = std::max(done, dram_.access(when, row_bytes));
+    }
+    stridedOps_.inc();
+    stridedRows_.inc(rows);
+    return AccessResult{done};
+}
+
+AccessResult
+MemoryController::writeStrided(Tick when, Addr offset,
+                               std::uint64_t row_bytes,
+                               std::uint32_t rows,
+                               std::uint64_t pitch, const void *src)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    Tick done = when;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        store_.write(offset + r * pitch, in + r * row_bytes,
+                     row_bytes);
+        done = std::max(done, dram_.access(when, row_bytes));
+    }
+    stridedOps_.inc();
+    stridedRows_.inc(rows);
+    return AccessResult{done};
 }
 
 } // namespace enzian::mem

@@ -47,6 +47,29 @@ class MemoryController : public SimObject
     AccessResult write(Tick when, Addr offset, const void *src,
                        std::uint64_t len);
 
+    /**
+     * Timed strided (2D) read: @p rows bursts of @p row_bytes whose
+     * start addresses are @p pitch apart, gathered densely into
+     * @p dst. Each row is its own DRAM access, so a tile walk with a
+     * large pitch pays the per-access latency once per row — the
+     * cost a blocked-transpose engine's column reads incur. All rows
+     * issue at @p when (the address generator runs ahead); the
+     * channels' bus occupancy serializes them.
+     */
+    AccessResult readStrided(Tick when, Addr offset,
+                             std::uint64_t row_bytes,
+                             std::uint32_t rows, std::uint64_t pitch,
+                             void *dst);
+
+    /** Timed strided (2D) write, scattering @p src over the rows. */
+    AccessResult writeStrided(Tick when, Addr offset,
+                              std::uint64_t row_bytes,
+                              std::uint32_t rows, std::uint64_t pitch,
+                              const void *src);
+
+    /** Rows moved by strided accesses (stat mirror). */
+    std::uint64_t stridedRows() const { return stridedRows_.value(); }
+
     /** Untimed (functional) access for loaders and checkers. */
     BackingStore &store() { return store_; }
     const BackingStore &store() const { return store_; }
@@ -56,6 +79,8 @@ class MemoryController : public SimObject
   private:
     BackingStore store_;
     DramSystem dram_;
+    Counter stridedOps_;
+    Counter stridedRows_;
 };
 
 } // namespace enzian::mem

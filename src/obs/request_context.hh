@@ -44,6 +44,35 @@ currentFlowId()
 }
 
 /**
+ * Deterministic flow-id source for harnesses that are not paced by a
+ * load generator (the HPCC suite CLI, benches): ids count up from a
+ * fixed base per allocator instance, so the same run issues the same
+ * ids regardless of thread count or wall clock. Id 0 is never
+ * produced (it means "untraced").
+ */
+class FlowIdAllocator
+{
+  public:
+    /** @param base first id to hand out (>= 1). */
+    explicit FlowIdAllocator(std::uint64_t base = 1)
+        : next_(base ? base : 1)
+    {
+    }
+
+    /** Allocate the next flow id. */
+    std::uint64_t next() { return next_++; }
+
+    /** Ids handed out so far. */
+    std::uint64_t issued(std::uint64_t base = 1) const
+    {
+        return next_ - (base ? base : 1);
+    }
+
+  private:
+    std::uint64_t next_;
+};
+
+/**
  * RAII scope publishing a request's flow id while its issue path
  * runs. Nests correctly (the previous id is restored), so a traced
  * request issued from inside another request's completion callback

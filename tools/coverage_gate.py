@@ -11,6 +11,10 @@ Usage:
 
     --min src/fault=80   fail (exit 1) if src/fault is below 80% lines
     --prefix /root/repo  strip this prefix from SF: paths first
+
+A floor on a directory covers its whole subtree: `--min src/accel=80`
+aggregates src/accel together with src/accel/hpcc and any other
+nested directory. The printed table stays per-directory.
 """
 
 import argparse
@@ -87,12 +91,19 @@ def main():
 
     failed = False
     for d, floor in sorted(floors.items()):
-        if total[d] == 0:
+        # A gate aggregates the directory's whole subtree, so nested
+        # directories (src/accel/hpcc under src/accel) can't dodge
+        # their parent's floor.
+        subtree = [x for x in total
+                   if x == d or x.startswith(d + "/")]
+        sub_total = sum(total[x] for x in subtree)
+        sub_hit = sum(hit[x] for x in subtree)
+        if sub_total == 0:
             print(f"coverage_gate: no lines recorded for '{d}'",
                   file=sys.stderr)
             failed = True
             continue
-        pct = 100.0 * hit[d] / total[d]
+        pct = 100.0 * sub_hit / sub_total
         status = "OK" if pct >= floor else "FAIL"
         print(f"gate {d}: {pct:.1f}% (floor {floor:.0f}%) {status}")
         if pct < floor:
