@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cross-domain DRAM line source (see header).
+ */
+
+#include "eci/domain_dram_source.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "cache/moesi.hh"
+#include "mem/memory_controller.hh"
+#include "sim/domain_scheduler.hh"
+
+namespace enzian::eci {
+
+DomainDramSource::DomainDramSource(mem::MemoryController &mc,
+                                   const mem::AddressMap &map,
+                                   sim::DomainScheduler &sched,
+                                   sim::TimingDomain &agent_domain,
+                                   sim::TimingDomain &mem_domain,
+                                   Tick hop)
+    : mc_(mc), map_(map), agentq_(agent_domain.queue()),
+      toMem_(sched.channel(agent_domain, mem_domain, hop)),
+      toAgent_(sched.channel(mem_domain, agent_domain, hop)),
+      hop_(hop)
+{
+    ENZIAN_ASSERT(hop_ > 0, "domain DRAM hop must be positive");
+}
+
+void
+DomainDramSource::readLine(Tick when, Addr addr, std::uint8_t *out,
+                           Done done)
+{
+    // The request departs the agent domain no earlier than its clock
+    // (when is normally "now") and lands in the memory domain one hop
+    // later; the completion makes the same trip back. Caller keeps
+    // `out` alive until done runs, per the LineSource contract.
+    const Tick arrive = std::max(when, agentq_.now()) + hop_;
+    toMem_.push(arrive, [this, arrive, addr, out,
+                         done = std::move(done)]() mutable {
+        const Tick fin =
+            mc_.read(arrive, map_.offsetInRegion(addr), out,
+                     cache::lineSize)
+                .done;
+        toAgent_.push(fin + hop_,
+                      [done = std::move(done), back = fin + hop_]() {
+                          done(back);
+                      });
+    });
+}
+
+void
+DomainDramSource::writeLine(Tick when, Addr addr,
+                            const std::uint8_t *data, Done done)
+{
+    // Snapshot the line: the caller's buffer is only guaranteed for
+    // the duration of this call, and the store happens an epoch later.
+    std::array<std::uint8_t, cache::lineSize> line;
+    std::memcpy(line.data(), data, cache::lineSize);
+    const Tick arrive = std::max(when, agentq_.now()) + hop_;
+    toMem_.push(arrive, [this, arrive, addr, line,
+                         done = std::move(done)]() mutable {
+        const Tick fin =
+            mc_.write(arrive, map_.offsetInRegion(addr), line.data(),
+                      cache::lineSize)
+                .done;
+        toAgent_.push(fin + hop_,
+                      [done = std::move(done), back = fin + hop_]() {
+                          done(back);
+                      });
+    });
+}
+
+} // namespace enzian::eci

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * LineSource that places a node's DRAM in its own timing domain.
+ *
+ * With EnzianMachine's `split.mem` enabled, the memory controllers
+ * (and their refresh machinery) run in a dedicated ".mem" timing
+ * domain instead of the owning agent's domain. The home agents then
+ * reach memory through this source: a line request crosses an
+ * agent->mem channel (one hop of modeled interconnect latency),
+ * performs the timed DRAM access in the memory domain, and the
+ * completion crosses back mem->agent, where the protocol engine's
+ * Done callback runs. Requests stay FIFO per direction (channel
+ * entries drain in push order and the destination queue orders by
+ * timestamp + insertion sequence), so a write followed by a read of
+ * the same line cannot reorder.
+ *
+ * This is a timing-changing split: every home-memory access gains two
+ * hop latencies, and the hop (default well below the ECI floor) pins
+ * the scheduler's fixed epoch step down — pair it with adaptive
+ * epochs. posted() is false because acknowledgements must carry the
+ * true durability tick from the other domain.
+ */
+
+#ifndef ENZIAN_ECI_DOMAIN_DRAM_SOURCE_HH
+#define ENZIAN_ECI_DOMAIN_DRAM_SOURCE_HH
+
+#include "eci/home_agent.hh"
+
+namespace enzian::sim {
+class CrossDomainChannel;
+class DomainScheduler;
+class TimingDomain;
+} // namespace enzian::sim
+
+namespace enzian::eci {
+
+/** Home-agent line source backed by DRAM one timing domain away. */
+class DomainDramSource : public LineSource
+{
+  public:
+    /**
+     * @param mc the memory controller, constructed against
+     *        @p mem_domain's queue
+     * @param agent_domain the domain the owning home agent runs in
+     * @param hop one-way agent<->memory latency in ticks (> 0); also
+     *        the lookahead of the two channels this source creates
+     */
+    DomainDramSource(mem::MemoryController &mc,
+                     const mem::AddressMap &map,
+                     sim::DomainScheduler &sched,
+                     sim::TimingDomain &agent_domain,
+                     sim::TimingDomain &mem_domain, Tick hop);
+
+    void readLine(Tick when, Addr addr, std::uint8_t *out,
+                  Done done) override;
+    void writeLine(Tick when, Addr addr, const std::uint8_t *data,
+                   Done done) override;
+
+    /** Acks carry the durability tick from the memory domain. */
+    bool posted() const override { return false; }
+
+  private:
+    mem::MemoryController &mc_;
+    const mem::AddressMap &map_;
+    EventQueue &agentq_;
+    sim::CrossDomainChannel &toMem_;
+    sim::CrossDomainChannel &toAgent_;
+    Tick hop_;
+};
+
+} // namespace enzian::eci
+
+#endif // ENZIAN_ECI_DOMAIN_DRAM_SOURCE_HH

@@ -58,15 +58,25 @@ EciLink::bindDomains(sim::DomainScheduler &sched,
                   "scheduler lookahead exceeds the latency floor of "
                   "link '%s'",
                   name().c_str());
-    ENZIAN_ASSERT(!stage_, "link '%s' already bound to domains",
+    ENZIAN_ASSERT(!domainMode(), "link '%s' already bound to domains",
                   name().c_str());
-    stage_ = std::make_unique<std::array<TxStats, 2>>();
-    const auto cpu = static_cast<std::size_t>(mem::NodeId::Cpu);
-    const auto fpga = static_cast<std::size_t>(mem::NodeId::Fpga);
-    dirClock_[cpu] = &cpu_domain.queue();
-    dirClock_[fpga] = &fpga_domain.queue();
-    dirChan_[cpu] = &sched.channel(cpu_domain, fpga_domain);
-    dirChan_[fpga] = &sched.channel(fpga_domain, cpu_domain);
+    stage_.arm();
+    // The channel pair carries this link's own latency floor, not the
+    // scheduler's global minimum: per-pair lookahead is what lets the
+    // adaptive scheduler stretch epochs on slower paths.
+    static_assert(static_cast<std::size_t>(mem::NodeId::Cpu) == 0 &&
+                      static_cast<std::size_t>(mem::NodeId::Fpga) == 1,
+                  "direction indexing assumes Cpu=0 / Fpga=1");
+    dirBind_.bind(sched, cpu_domain, fpga_domain,
+                  minCrossLatency(cfg_));
+    lanes_ = std::make_unique<std::array<sim::ChannelLane<EciMsg>, 2>>();
+    for (std::size_t dir = 0; dir < 2; ++dir) {
+        (*lanes_)[dir].attach(*dirBind_.channel(dir),
+                              [this](EciMsg &m) {
+                                  handlers_[static_cast<std::size_t>(
+                                      m.dst)](m);
+                              });
+    }
     sched.addBarrierTask([this] { foldDomainState(); });
 }
 
@@ -98,8 +108,7 @@ EciLink::foldDomainState()
 {
     // Direction 0 (CPU-sourced) folds first, always: the aggregate is
     // then independent of which thread ran which domain.
-    (*stage_)[0].foldInto(agg_);
-    (*stage_)[1].foldInto(agg_);
+    stage_.fold([this](TxStats &s) { s.foldInto(agg_); });
     flushTaps();
 }
 
@@ -200,7 +209,7 @@ EciLink::recordTx(std::size_t dir, Tick tnow, const EciMsg &msg,
 Tick
 EciLink::send(const EciMsg &msg)
 {
-    if (stage_)
+    if (domainMode())
         return sendDomain(msg);
     const auto dir = static_cast<std::size_t>(msg.src);
     if (fault_) {
@@ -247,7 +256,7 @@ EciLink::sendDomain(const EciMsg &msg)
     // crosses through the scheduler's mailbox so the destination
     // domain schedules it at the epoch barrier.
     const auto dir = static_cast<std::size_t>(msg.src);
-    const Tick tnow = dirClock_[dir]->now();
+    const Tick tnow = dirBind_.now(dir);
     if (fault_) {
         const FaultAction act = fault_(tnow, msg);
         if (act != FaultAction::Deliver)
@@ -264,10 +273,10 @@ EciLink::sendDomain(const EciMsg &msg)
     ENZIAN_ASSERT(h, "no receiver registered for node %s on %s",
                   mem::toString(msg.dst), name().c_str());
 
-    const EciMsg copy = msg;
     if (msg.dst == msg.src) {
         // Loopback stays inside the sending domain.
-        dirClock_[dir]->schedule(
+        const EciMsg copy = msg;
+        dirBind_.clock(dir).schedule(
             t.delivery,
             [this, copy]() {
                 handlers_[static_cast<std::size_t>(copy.dst)](copy);
@@ -275,9 +284,10 @@ EciLink::sendDomain(const EciMsg &msg)
             "eci-deliver-local");
         return t.delivery;
     }
-    dirChan_[dir]->push(t.delivery, [this, copy]() {
-        handlers_[static_cast<std::size_t>(copy.dst)](copy);
-    });
+    // Cross-domain: the message rides the direction's slot arena —
+    // no per-message allocation, and the barrier drain stays
+    // cache-linear over the channel's entry stream.
+    (*lanes_)[dir].push(t.delivery, msg);
     return t.delivery;
 }
 

@@ -22,13 +22,9 @@
 #include <vector>
 
 #include "eci/eci_msg.hh"
+#include "sim/channel_lane.hh"
+#include "sim/domain_binding.hh"
 #include "sim/sim_object.hh"
-
-namespace enzian::sim {
-class CrossDomainChannel;
-class DomainScheduler;
-class TimingDomain;
-} // namespace enzian::sim
 
 namespace enzian::eci {
 
@@ -98,7 +94,7 @@ class EciLink : public SimObject
                      sim::TimingDomain &fpga_domain);
 
     /** True once bindDomains() has been called. */
-    bool domainMode() const { return stage_ != nullptr; }
+    bool domainMode() const { return stage_.armed(); }
 
     /** Register the message handler for node @p node. */
     void setReceiver(mem::NodeId node, Handler h);
@@ -239,7 +235,7 @@ class EciLink : public SimObject
                   const TxTiming &t);
     TxStats &txStats(std::size_t dir)
     {
-        return stage_ ? (*stage_)[dir] : agg_;
+        return stage_.armed() ? stage_[dir] : agg_;
     }
     void foldDomainState();
     void flushTaps();
@@ -281,13 +277,15 @@ class EciLink : public SimObject
     TxStats agg_;
 
     // --- parallel domain mode state (null/empty in legacy mode) ----
-    /** Per-direction staged stats; allocation doubles as the flag. */
-    std::unique_ptr<std::array<TxStats, 2>> stage_;
-    /** Source-domain clock per direction (indexed by msg.src). */
-    std::array<EventQueue *, 2> dirClock_{nullptr, nullptr};
-    /** Outbound mailbox per direction (indexed by msg.src). */
-    std::array<sim::CrossDomainChannel *, 2> dirChan_{nullptr,
-                                                     nullptr};
+    /** Per-direction staged stats; arming doubles as the flag. */
+    sim::DirStaged<TxStats> stage_;
+    /** Per-direction source clock + outbound mailbox (by msg.src),
+     *  bound with this link's own latency floor as pair lookahead. */
+    sim::DirDomainBinding dirBind_;
+    /** Per-direction EciMsg slot arenas: cross-domain deliveries ride
+     *  the channel's SoA entry stream with zero per-message
+     *  allocation (see ChannelLane). */
+    std::unique_ptr<std::array<sim::ChannelLane<EciMsg>, 2>> lanes_;
     /** Per-direction buffered tap events, flushed at barriers. */
     std::array<std::vector<std::pair<Tick, EciMsg>>, 2> tapStage_;
 };

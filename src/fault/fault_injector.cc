@@ -112,12 +112,12 @@ FaultInjector::eciFilter(Tick t, const eci::EciMsg &msg)
     // each draws only from its own direction's stream and stages its
     // counts for the barrier fold.
     const auto dir = static_cast<std::size_t>(msg.src);
-    Rng &rng = domainMode_ ? eciDirRng_[dir] : eciRng_;
+    Rng &rng = domainMode() ? eciDirRng_[dir] : eciRng_;
     for (const auto &s : eciMsgSpecs_) {
         if (t < s.at || (s.until != 0 && t >= s.until))
             continue;
         if (rng.chance(s.prob)) {
-            if (domainMode_)
+            if (domainMode())
                 ++stagedCounts_[dir][static_cast<std::size_t>(s.kind)];
             else
                 count(s.kind);
@@ -133,7 +133,7 @@ void
 FaultInjector::bindDomains(sim::DomainScheduler &sched)
 {
     ENZIAN_ASSERT(!armed_, "bindDomains() must precede arm()");
-    domainMode_ = true;
+    stagedCounts_.arm();
     eciDirRng_[0] = Rng(streamSeed(plan_.seed, 16));
     eciDirRng_[1] = Rng(streamSeed(plan_.seed, 17));
     sched.addBarrierTask([this] { foldDomainCounts(); });
@@ -144,14 +144,15 @@ FaultInjector::foldDomainCounts()
 {
     // Fixed fold order (direction 0 then 1) so the shared counters
     // are identical for every thread count.
-    for (auto &dir : stagedCounts_) {
+    stagedCounts_.fold([this](std::array<std::uint64_t,
+                                         faultKindCount> &dir) {
         for (std::size_t k = 0; k < faultKindCount; ++k) {
             if (dir[k] != 0) {
                 injected_[k].inc(dir[k]);
                 dir[k] = 0;
             }
         }
-    }
+    });
 }
 
 void
@@ -225,7 +226,7 @@ FaultInjector::arm()
 {
     ENZIAN_ASSERT(!armed_, "FaultInjector armed twice");
     armed_ = true;
-    if (domainMode_) {
+    if (domainMode()) {
         // Every other kind mutates state shared across domains (DRAM
         // RNG, link retrain clocks, BMC sequencing) from timeline
         // events on one domain's queue — not safe in parallel runs.

@@ -36,10 +36,7 @@
 #include "mem/dram_channel.hh"
 #include "net/rdma_engine.hh"
 #include "net/tcp_stack.hh"
-
-namespace enzian::sim {
-class DomainScheduler;
-} // namespace enzian::sim
+#include "sim/domain_binding.hh"
 
 namespace enzian::fault {
 
@@ -103,7 +100,7 @@ class FaultInjector : public SimObject
     void bindDomains(sim::DomainScheduler &sched);
 
     /** True when bindDomains() has switched to per-direction streams. */
-    bool domainMode() const { return domainMode_; }
+    bool domainMode() const { return stagedCounts_.armed(); }
 
     /** Can @p k inject without cross-domain shared state? */
     static bool kindDomainSafe(FaultKind k)
@@ -144,7 +141,6 @@ class FaultInjector : public SimObject
 
     FaultPlan plan_;
     bool armed_ = false;
-    bool domainMode_ = false;
 
     /** Per-subsystem streams forked from the plan seed. */
     Rng eciRng_;
@@ -156,11 +152,12 @@ class FaultInjector : public SimObject
      * Domain mode: one ECI stream per link direction (index =
      * source node), touched only by that direction's source domain,
      * plus per-direction staged injection counts folded into the
-     * shared counters at epoch barriers (dir 0 first, then dir 1).
+     * shared counters at epoch barriers (dir 0 first, then dir 1);
+     * arming the stage is the domain-mode flag.
      */
     std::array<Rng, 2> eciDirRng_;
-    std::array<std::array<std::uint64_t, faultKindCount>, 2>
-        stagedCounts_{};
+    sim::DirStaged<std::array<std::uint64_t, faultKindCount>>
+        stagedCounts_;
 
     // Attached subsystems (null = not attached).
     eci::EciFabric *fabric_ = nullptr;

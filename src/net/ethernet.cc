@@ -42,11 +42,20 @@ EthernetLink::bindDomains(sim::DomainScheduler &sched,
                   name().c_str());
     ENZIAN_ASSERT(!domainMode(), "link '%s' already bound to domains",
                   name().c_str());
-    dirClock_[0] = &side0_domain.queue();
-    dirClock_[1] = &side1_domain.queue();
-    if (&side0_domain != &side1_domain) {
-        dirChan_[0] = &sched.channel(side0_domain, side1_domain);
-        dirChan_[1] = &sched.channel(side1_domain, side0_domain);
+    // Bind with this link's own floor so a long cable buys the
+    // scheduler a wide per-pair lookahead even when some other link
+    // in the rack pins the global minimum lower.
+    dirBind_.bind(sched, side0_domain, side1_domain,
+                  minCrossLatency(cfg_));
+    if (dirBind_.crossDomain()) {
+        lanes_ =
+            std::make_unique<std::array<sim::ChannelLane<Frame>, 2>>();
+        for (std::size_t side = 0; side < 2; ++side) {
+            (*lanes_)[side].attach(
+                *dirBind_.channel(side), [this](Frame &f) {
+                    handlers_[f.to](f.delivery, f.payload, f.tag);
+                });
+        }
     }
 }
 
@@ -77,7 +86,7 @@ EthernetLink::send(PortSide from, std::uint64_t payload,
 
     // Domain mode: time comes from the sending side's domain clock,
     // and busFreeAt_[from] has that thread as its single writer.
-    const Tick tnow = dirClock_[from] ? dirClock_[from]->now() : now();
+    const Tick tnow = dirBind_.bound() ? dirBind_.now(from) : now();
     const Tick start = std::max(tnow, busFreeAt_[from]);
     const Tick stream = units::transferTicks(wire, lineBw_);
     busFreeAt_[from] = start + stream;
@@ -85,16 +94,26 @@ EthernetLink::send(PortSide from, std::uint64_t payload,
 
     ENZIAN_ASSERT(handlers_[to], "no receiver on side %u of %s", to,
                   name().c_str());
-    auto fire = [this, to, delivery, payload, tag]() {
-        handlers_[to](delivery, payload, tag);
-    };
-    if (!dirClock_[from])
-        eventq().schedule(delivery, std::move(fire), "eth-deliver");
-    else if (dirChan_[from])
-        dirChan_[from]->push(delivery, std::move(fire));
-    else // both sides in one domain: deliver locally
-        dirClock_[from]->schedule(delivery, std::move(fire),
-                                  "eth-deliver");
+    if (!dirBind_.bound()) {
+        eventq().schedule(
+            delivery,
+            [this, to, delivery, payload, tag]() {
+                handlers_[to](delivery, payload, tag);
+            },
+            "eth-deliver");
+    } else if (dirBind_.crossDomain()) {
+        // Frames cross through the side's slot arena: the channel
+        // records only (tick, lane, slot) and the delivery closure is
+        // a two-word inline capture.
+        (*lanes_)[from].push(delivery, Frame{delivery, payload, tag, to});
+    } else { // both sides in one domain: deliver locally
+        dirBind_.clock(from).schedule(
+            delivery,
+            [this, to, delivery, payload, tag]() {
+                handlers_[to](delivery, payload, tag);
+            },
+            "eth-deliver");
+    }
     return delivery;
 }
 

@@ -13,14 +13,11 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 
+#include "sim/channel_lane.hh"
+#include "sim/domain_binding.hh"
 #include "sim/sim_object.hh"
-
-namespace enzian::sim {
-class CrossDomainChannel;
-class DomainScheduler;
-class TimingDomain;
-} // namespace enzian::sim
 
 namespace enzian::net {
 
@@ -71,7 +68,7 @@ class EthernetLink : public SimObject
                      sim::TimingDomain &side1_domain);
 
     /** True once bindDomains() has been called. */
-    bool domainMode() const { return dirClock_[0] != nullptr; }
+    bool domainMode() const { return dirBind_.bound(); }
 
     /** Register the receiver on @p side (0/1). */
     void setReceiver(PortSide side, Handler h);
@@ -98,6 +95,15 @@ class EthernetLink : public SimObject
     }
 
   private:
+    /** One frame crossing domains; payload for the side's slot arena. */
+    struct Frame
+    {
+        Tick delivery;
+        std::uint64_t payload;
+        std::uint64_t tag;
+        std::uint32_t to;
+    };
+
     Config cfg_;
     double lineBw_;
     /** Serializer occupancy per sending side; in domain mode each
@@ -107,12 +113,13 @@ class EthernetLink : public SimObject
     /** bytes_[side] likewise has a single writer in domain mode. */
     Counter bytes_[2];
 
-    // --- parallel domain mode state (null in legacy mode) ----------
-    /** Sending side's domain clock, indexed by side. */
-    std::array<EventQueue *, 2> dirClock_{nullptr, nullptr};
-    /** Outbound mailbox toward the other side, indexed by sending
-     *  side; null when both sides share a domain (local delivery). */
-    std::array<sim::CrossDomainChannel *, 2> dirChan_{nullptr, nullptr};
+    // --- parallel domain mode state (unbound in legacy mode) -------
+    /** Per-side source clock + outbound mailbox, bound with this
+     *  link's own latency floor as the pair lookahead (per-port cable
+     *  latencies become per-pair lookaheads). */
+    sim::DirDomainBinding dirBind_;
+    /** Per-side frame slot arenas (cross-domain bindings only). */
+    std::unique_ptr<std::array<sim::ChannelLane<Frame>, 2>> lanes_;
 };
 
 } // namespace enzian::net

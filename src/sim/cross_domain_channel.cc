@@ -6,11 +6,12 @@
 #include "sim/cross_domain_channel.hh"
 
 #include "base/logging.hh"
+#include "sim/channel_lane.hh"
 
 namespace enzian::sim {
 
 void
-CrossDomainChannel::push(Tick when, EventFn fn)
+CrossDomainChannel::checkPush(Tick when) const
 {
     // The conservative-lookahead invariant: delivery must be far
     // enough in the future that the destination domain cannot already
@@ -21,16 +22,61 @@ CrossDomainChannel::push(Tick when, EventFn fn)
                   static_cast<unsigned long long>(when),
                   static_cast<unsigned long long>(srcq_.now()),
                   static_cast<unsigned long long>(lookahead_));
-    items_.push_back(Item{when, std::move(fn)});
+    // The adaptive-epoch invariant: if the source domain promised it
+    // would stay send-quiescent until some tick, the scheduler may
+    // have stretched the current epoch on the strength of that
+    // promise, so sending earlier is unconditionally a bug.
+    ENZIAN_ASSERT(srcPromise_ == nullptr ||
+                      srcq_.now() >= *srcPromise_,
+                  "cross-domain push violates no-send promise: "
+                  "src now=%llu promised quiescent before %llu",
+                  static_cast<unsigned long long>(srcq_.now()),
+                  static_cast<unsigned long long>(
+                      srcPromise_ ? *srcPromise_ : 0));
+}
+
+void
+CrossDomainChannel::push(Tick when, EventFn fn)
+{
+    checkPush(when);
+    entries_.push_back(Entry{
+        when, kGenericLane, static_cast<std::uint32_t>(fns_.size())});
+    fns_.push_back(std::move(fn));
+}
+
+std::uint32_t
+CrossDomainChannel::addLane(ChannelLaneBase &lane)
+{
+    const auto id = static_cast<std::uint32_t>(lanes_.size());
+    lanes_.push_back(&lane);
+    return id;
+}
+
+void
+CrossDomainChannel::pushLane(Tick when, std::uint32_t lane,
+                             std::uint32_t idx)
+{
+    checkPush(when);
+    entries_.push_back(Entry{when, lane, idx});
 }
 
 std::uint64_t
 CrossDomainChannel::drain()
 {
-    const auto n = static_cast<std::uint64_t>(items_.size());
-    for (Item &it : items_)
-        dstq_.schedule(it.when, std::move(it.fn));
-    items_.clear();
+    // Slots the destination retired last epoch are free again: the
+    // barrier handshake has already published those writes.
+    for (ChannelLaneBase *lane : lanes_)
+        lane->recycle();
+
+    const auto n = static_cast<std::uint64_t>(entries_.size());
+    for (const Entry &e : entries_) {
+        if (e.lane == kGenericLane)
+            dstq_.schedule(e.when, std::move(fns_[e.idx]));
+        else
+            lanes_[e.lane]->forward(e.when, e.idx);
+    }
+    entries_.clear();
+    fns_.clear();
     forwarded_ += n;
     return n;
 }

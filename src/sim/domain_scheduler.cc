@@ -20,11 +20,17 @@
  * yield loop so an oversubscribed host (fewer cores than threads)
  * makes progress, then C++20 atomic wait/notify so an idle worker
  * sleeps properly between epochs.
+ *
+ * Epoch sizing (epochEndFor) runs on the coordinator between epochs
+ * and reads only queue state, promises and static lookaheads — the
+ * wall clock is measured around the barrier purely for profiling and
+ * never feeds back into any decision.
  */
 
 #include "sim/domain_scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "base/logging.hh"
 #include "obs/registry.hh"
@@ -48,19 +54,40 @@ cpuRelax()
 constexpr int kSpinIters = 256;
 constexpr int kYieldIters = 1024;
 
+/** a + b saturating at kNoEventTick - 1 (a legal epoch end). */
+inline Tick
+saturatingAdd(Tick a, Tick b)
+{
+    const Tick sum = a + b;
+    if (sum < a)
+        return EventQueue::kNoEventTick - 1;
+    return sum;
+}
+
 } // namespace
 
 DomainScheduler::DomainScheduler(std::string name, Tick lookahead,
-                                 std::uint32_t threads)
+                                 std::uint32_t threads, Options opts)
     : stats_(std::move(name)), lookahead_(lookahead),
-      threads_(threads == 0 ? 1 : threads)
+      threads_(threads == 0 ? 1 : threads), opts_(opts)
 {
     ENZIAN_ASSERT(lookahead_ > 0,
                   "domain scheduler needs a positive lookahead");
+    ENZIAN_ASSERT(opts_.max_grow > 0,
+                  "adaptive epoch growth cap must be positive");
     stats_.addCounter("epochs", &epochs_);
     stats_.addCounter("cross_msgs", &crossMsgs_);
+    stats_.addCounter("adaptive_grows", &adaptiveGrows_);
+    stats_.addCounter("adaptive_shrinks", &adaptiveShrinks_);
     stats_.addAccumulator("epoch_imbalance", &imbalance_);
+    stats_.addHistogram("epoch_len", &epochLen_);
     obs::Registry::global().add(&stats_);
+}
+
+DomainScheduler::DomainScheduler(std::string name, Tick lookahead,
+                                 std::uint32_t threads)
+    : DomainScheduler(std::move(name), lookahead, threads, Options())
+{
 }
 
 DomainScheduler::~DomainScheduler()
@@ -84,18 +111,30 @@ DomainScheduler::addDomain(const std::string &name)
 }
 
 CrossDomainChannel &
-DomainScheduler::channel(TimingDomain &src, TimingDomain &dst)
+DomainScheduler::channel(TimingDomain &src, TimingDomain &dst,
+                         Tick lookahead)
 {
     ENZIAN_ASSERT(&src != &dst, "channel to own domain");
+    const Tick req = lookahead == 0 ? lookahead_ : lookahead;
     for (auto &ch : channels_) {
         if (ch->srcDomainId() == src.id() &&
-            ch->dstDomainId() == dst.id())
+            ch->dstDomainId() == dst.id()) {
+            // Shared channel: enforce the tightest bound any user
+            // asked for. min() is order-independent, so the result
+            // never depends on binding order.
+            if (req < ch->lookahead_) {
+                ENZIAN_ASSERT(!started_, "channel lookahead tightened "
+                                         "after the scheduler started");
+                ch->lookahead_ = req;
+            }
             return *ch;
+        }
     }
     ENZIAN_ASSERT(!started_,
                   "channel creation after the scheduler started");
     channels_.emplace_back(new CrossDomainChannel(
-        src.queue(), dst.queue(), src.id(), dst.id(), lookahead_));
+        src.queue(), dst.queue(), src.id(), dst.id(), req,
+        &src.promise_));
     return *channels_.back();
 }
 
@@ -123,6 +162,21 @@ DomainScheduler::startWorkers()
     if (started_)
         return;
     started_ = true;
+    // Freeze the epoch geometry: the fixed step is the tightest
+    // channel lookahead (a channel below the base lookahead — e.g. a
+    // DRAM hop — must shrink fixed epochs to stay conservative), and
+    // each domain's outbound bound is the tightest lookahead over the
+    // channels it can send through.
+    fixedStep_ = lookahead_;
+    for (auto &ch : channels_)
+        fixedStep_ = std::min(fixedStep_, ch->lookahead_);
+    for (auto &d : domains_)
+        d->outLookahead_ = EventQueue::kNoEventTick;
+    for (auto &ch : channels_) {
+        TimingDomain &src = *domains_[ch->srcDomainId()];
+        src.outLookahead_ =
+            std::min(src.outLookahead_, ch->lookahead_);
+    }
     // Rebuild the drain order: (destination id, source id) regardless
     // of channel creation order, so the barrier merge is a property
     // of the domain graph alone.
@@ -236,6 +290,7 @@ DomainScheduler::executeEpoch(Tick end)
 void
 DomainScheduler::barrier()
 {
+    const auto t0 = std::chrono::steady_clock::now();
     std::uint64_t crossed = 0;
     for (CrossDomainChannel *ch : drainOrder_)
         crossed += ch->drain();
@@ -262,6 +317,60 @@ DomainScheduler::barrier()
                             static_cast<double>(domains_.size());
         imbalance_.sample(static_cast<double>(hi - lo) / mean);
     }
+    barrierWallNs_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+Tick
+DomainScheduler::epochEndFor(Tick next, Tick limit, bool bounded)
+{
+    // Closed fixed epoch [next, next + step - 1]: any cross-domain
+    // message sent inside it delivers at >= send + step > epoch end.
+    Tick end = saturatingAdd(next, fixedStep_ - 1);
+    if (bounded && end > limit)
+        end = limit;
+
+    bool grew = false;
+    if (opts_.adaptive) {
+        // LBTS: the earliest tick any cross-domain message could
+        // still deliver at. A domain contributes only if it has both
+        // pending events (events are the only source of pushes) and
+        // outbound channels; its first possible push is at
+        // max(next event, no-sends-before promise).
+        Tick bound = EventQueue::kNoEventTick;
+        for (auto &d : domains_) {
+            if (d->outLookahead_ == EventQueue::kNoEventTick)
+                continue;
+            const Tick n = d->eq_.nextEventTick();
+            if (n == EventQueue::kNoEventTick)
+                continue;
+            const Tick first = std::max(n, d->promise_);
+            bound =
+                std::min(bound, saturatingAdd(first, d->outLookahead_));
+        }
+        const Tick span = static_cast<Tick>(opts_.max_grow) * fixedStep_;
+        const bool spanOverflow = span / fixedStep_ != opts_.max_grow;
+        Tick grown = spanOverflow ? EventQueue::kNoEventTick - 1
+                                  : saturatingAdd(next, span - 1);
+        if (bound != EventQueue::kNoEventTick)
+            grown = std::min(grown, bound - 1);
+        if (bounded && grown > limit)
+            grown = limit;
+        if (grown > end) {
+            end = grown;
+            grew = true;
+        }
+    }
+    if (grew)
+        adaptiveGrows_.inc();
+    else if (lastGrew_)
+        adaptiveShrinks_.inc();
+    lastGrew_ = grew;
+    epochLen_.sample(static_cast<double>(end - next + 1) /
+                     static_cast<double>(fixedStep_));
+    return end;
 }
 
 std::uint64_t
@@ -286,13 +395,7 @@ DomainScheduler::runLoop(Tick limit, bool bounded)
             break;
         if (bounded && next > limit)
             break;
-        // Closed epoch [next, next + L - 1]: any cross-domain message
-        // sent inside it delivers at >= send + L > epoch end.
-        Tick end = next + (lookahead_ - 1);
-        if (end < next) // saturate on overflow
-            end = EventQueue::kNoEventTick - 1;
-        if (bounded && end > limit)
-            end = limit;
+        const Tick end = epochEndFor(next, limit, bounded);
         executeEpoch(end);
         now_ = end;
         barrier();

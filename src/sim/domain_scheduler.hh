@@ -5,30 +5,46 @@
  * The platform is sharded into timing domains — each a TimingDomain
  * owning its own EventQueue and the SimObjects bound to it (the CPU
  * cluster, caches and DRAM in one; the FPGA, home agent and
- * accelerators in another). Domains only interact through ECI links,
- * whose serialization + flight latency gives a guaranteed lower bound
- * on cross-domain reaction time: the conservative lookahead L.
+ * accelerators in another; optionally the NIC/switch fabric, DRAM
+ * channels and BMC in domains of their own). Domains only interact
+ * through cross-domain channels, whose modeled link latency gives a
+ * guaranteed lower bound on cross-domain reaction time: the
+ * conservative lookahead of that channel.
  *
- * The scheduler runs the domains in lockstep epochs of length L
- * (CHESSY-style coupling over MGSim-style component DES):
+ * The scheduler runs the domains in lockstep epochs (CHESSY-style
+ * coupling over MGSim-style component DES):
  *
  *   1. T = min over domains of the next pending event tick.
- *   2. Every domain independently runs its queue up to T + L - 1;
+ *   2. Every domain independently runs its queue up to the epoch end;
  *      with worker threads, domains are claimed from a shared atomic
  *      index so any thread may run any domain.
- *   3. Barrier: cross-domain messages (timestamped, at least L in
- *      the future — see CrossDomainChannel) are drained into their
- *      destination queues in a fixed merge order (destination domain
- *      id, then source domain id, then push order; the destination
- *      queue then orders by timestamp and insertion sequence), and
- *      registered barrier tasks (stats folds, tap flushes) run on the
- *      coordinator.
+ *   3. Barrier: cross-domain messages (timestamped, at least the
+ *      channel lookahead in the future — see CrossDomainChannel) are
+ *      drained into their destination queues in a fixed merge order
+ *      (destination domain id, then source domain id, then push
+ *      order; the destination queue then orders by timestamp and
+ *      insertion sequence), and registered barrier tasks (stats
+ *      folds, tap flushes) run on the coordinator.
  *
- * Because the epoch never outruns the lookahead, no domain can
- * receive an event in its past, and because the barrier merge order
- * is fixed, the event interleaving — and therefore every simulated
- * timestamp and statistic — is bit-identical regardless of thread
- * count. Synchronization is a spin-then-wait epoch generation /
+ * Epoch length. In fixed mode the epoch is always the minimum channel
+ * lookahead: end = T + L_min - 1. With Options::adaptive set, the
+ * coordinator computes the true lower bound on the next cross-domain
+ * delivery (LBTS) before each epoch: for every domain d that has
+ * pending events and outbound channels,
+ *
+ *     bound_d = max(nextEventTick_d, promise_d) + outLookahead_d
+ *
+ * where promise_d is the domain's no-sends-before promise (see
+ * promiseNoSendsBefore) and outLookahead_d the minimum lookahead over
+ * d's outbound channels. No message can deliver before min_d bound_d,
+ * so the epoch may stretch to that bound minus one — capped at
+ * max_grow fixed steps, never shorter than the fixed epoch. The
+ * decision reads only pre-epoch queue state, promises and static
+ * lookaheads, never the wall clock, so the epoch sequence — and with
+ * it every simulated timestamp and statistic — stays a pure function
+ * of the simulation and is bit-identical regardless of thread count.
+ *
+ * Synchronization is a spin-then-wait epoch generation /
  * completion-count handshake; the release/acquire pair on those
  * atomics is what publishes queue and channel state between threads.
  */
@@ -73,6 +89,28 @@ class TimingDomain
     /** Events executed in this domain over the whole run. */
     std::uint64_t eventsExecuted() const { return events_.value(); }
 
+    /**
+     * Promise that no event in this domain will push into an outbound
+     * cross-domain channel while the domain clock is before @p until.
+     * The adaptive scheduler uses the promise to stretch epochs past
+     * dense local-only activity; a push that breaks it dies in the
+     * channel's contract check. The promise is a single claim about
+     * the whole domain — only raise it (it is monotonic, and expires
+     * by itself once the clock passes it) from code that knows every
+     * possible sender in the domain is quiescent. Call it from the
+     * domain's own events (or between runs); the coordinator reads it
+     * at the next barrier under the epoch handshake.
+     */
+    void
+    promiseNoSendsBefore(Tick until)
+    {
+        if (until > promise_)
+            promise_ = until;
+    }
+
+    /** Current no-sends-before promise (0 = no promise). */
+    Tick sendPromise() const { return promise_; }
+
   private:
     friend class DomainScheduler;
 
@@ -88,6 +126,11 @@ class TimingDomain
      *  ran the domain, read by the coordinator after the barrier
      *  handshake. */
     std::uint64_t epochExecuted_ = 0;
+    /** No-sends-before promise; written in-domain, read at barriers. */
+    Tick promise_ = 0;
+    /** Min lookahead over outbound channels (kNoEventTick when the
+     *  domain has none); frozen at scheduler start. */
+    Tick outLookahead_ = EventQueue::kNoEventTick;
     Counter events_;
     Counter stalls_;
 };
@@ -96,14 +139,28 @@ class TimingDomain
 class DomainScheduler
 {
   public:
+    /** Epoch policy knobs (see the file comment for the algorithm). */
+    struct Options
+    {
+        /** Grow epochs to the provable cross-domain delivery bound. */
+        bool adaptive = false;
+        /** Epoch growth cap, in multiples of the fixed epoch step. */
+        std::uint32_t max_grow = 16;
+    };
+
     /**
      * @param name stat-group name ("<machine>.sched" by convention).
      * @param lookahead minimum cross-domain latency in ticks; must be
      *        > 0. Derive it from the platform (e.g.
      *        eci::EciLink::minCrossLatency), never hard-code it.
+     *        Channels may declare larger (or, rarely, smaller)
+     *        per-pair lookaheads; the fixed epoch step is the minimum
+     *        over all of them.
      * @param threads total threads participating in epoch execution,
      *        including the caller of run(); 0 is treated as 1.
      */
+    DomainScheduler(std::string name, Tick lookahead,
+                    std::uint32_t threads, Options opts);
     DomainScheduler(std::string name, Tick lookahead,
                     std::uint32_t threads);
     ~DomainScheduler();
@@ -121,8 +178,15 @@ class DomainScheduler
      * Get-or-create the mailbox carrying events from @p src to
      * @p dst. Channel creation must precede the first run; pushes are
      * legal from the source domain while running.
+     *
+     * @param lookahead this user's bound on how soon after a source
+     *        event a message may deliver (0 = the scheduler's base
+     *        lookahead). When several users share one channel the
+     *        channel enforces the minimum of their requests, so
+     *        registration order never matters.
      */
-    CrossDomainChannel &channel(TimingDomain &src, TimingDomain &dst);
+    CrossDomainChannel &channel(TimingDomain &src, TimingDomain &dst,
+                                Tick lookahead = 0);
 
     /**
      * Register a function to run on the coordinator thread at every
@@ -145,14 +209,35 @@ class DomainScheduler
     Tick now() const { return now_; }
 
     Tick lookahead() const { return lookahead_; }
+    /** Fixed epoch step: min lookahead over all channels (frozen at
+     *  start; equals lookahead() until a channel asks for less). */
+    Tick fixedStep() const { return fixedStep_; }
     std::uint32_t threads() const { return threads_; }
+    bool adaptive() const { return opts_.adaptive; }
     const std::string &name() const { return stats_.name(); }
 
     std::uint64_t epochs() const { return epochs_.value(); }
     std::uint64_t eventsExecuted() const { return totalEvents_; }
+    /** Epochs stretched past the fixed step by the adaptive policy. */
+    std::uint64_t adaptiveGrows() const { return adaptiveGrows_.value(); }
+    /** Fixed-length epochs immediately following a stretched one. */
+    std::uint64_t
+    adaptiveShrinks() const
+    {
+        return adaptiveShrinks_.value();
+    }
+
+    /**
+     * Wall-clock nanoseconds spent inside epoch barriers (drains,
+     * barrier tasks, stat folds) since construction. Host-time
+     * profiling only — deliberately kept out of the stats registry so
+     * registry exports stay byte-identical across runs and machines.
+     */
+    std::uint64_t barrierWallNs() const { return barrierWallNs_; }
 
   private:
     std::uint64_t runLoop(Tick limit, bool bounded);
+    Tick epochEndFor(Tick next, Tick limit, bool bounded);
     void executeEpoch(Tick end);
     void runClaimedDomains();
     void workerLoop();
@@ -164,6 +249,7 @@ class DomainScheduler
     StatGroup stats_;
     Tick lookahead_;
     std::uint32_t threads_;
+    Options opts_;
     Tick now_ = 0;
     bool started_ = false;
 
@@ -181,10 +267,20 @@ class DomainScheduler
     std::atomic<bool> stop_{false};
     Tick epochEnd_ = 0;
 
+    /** Min channel lookahead; frozen by startWorkers(). */
+    Tick fixedStep_ = 0;
+    /** Did the previous epoch grow past the fixed step? */
+    bool lastGrew_ = false;
+
     std::uint64_t totalEvents_ = 0;
+    std::uint64_t barrierWallNs_ = 0;
     Counter epochs_;
     Counter crossMsgs_;
+    Counter adaptiveGrows_;
+    Counter adaptiveShrinks_;
     Accumulator imbalance_;
+    /** Epoch length in multiples of the fixed step. */
+    Histogram epochLen_{0.0, 64.0, 64};
 };
 
 } // namespace enzian::sim

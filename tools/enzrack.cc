@@ -18,6 +18,11 @@
  *   enzrack --threads N       parallel timing domains on N threads
  *                             (0 = legacy shared queue; also honors
  *                             ENZIAN_THREADS)
+ *   enzrack --adaptive        adaptive epochs: grow past the fixed
+ *                             lookahead step to the provable delivery
+ *                             bound when the rack is quiescent
+ *                             (parallel mode only; results stay
+ *                             bit-identical at any thread count)
  *   enzrack --ops N           puts per node (default 4)
  *   enzrack --describe        print the canonical topology and exit
  *   enzrack --check-determinism
@@ -52,7 +57,8 @@ usage()
     std::fprintf(stderr,
                  "usage: enzrack [--topology FILE | --nodes N "
                  "[--ports N]]\n"
-                 "               [--threads N] [--ops N] [--describe]\n"
+                 "               [--threads N] [--adaptive] [--ops N]\n"
+                 "               [--describe]\n"
                  "               [--check-determinism] [--json "
                  "[FILE]]\n");
     std::exit(2);
@@ -79,16 +85,20 @@ struct RackResult
     std::uint64_t localReads = 0;
     std::uint64_t remoteReads = 0;
     Tick lookahead = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t grows = 0;
+    std::uint64_t shrinks = 0;
     std::string registryJson;
 };
 
 RackResult
 runRack(const ClusterTopology &topo, std::uint32_t threads,
-        std::uint32_t ops)
+        std::uint32_t ops, bool adaptive)
 {
     EnzianCluster::Config cfg;
     cfg.topology = topo;
     cfg.threads = threads;
+    cfg.adaptive_epochs = adaptive;
     EnzianCluster rack(cfg);
 
     // The topology's kv service, or a sensible default placement.
@@ -131,6 +141,11 @@ runRack(const ClusterTopology &topo, std::uint32_t threads,
     res.localReads = kv.localReads();
     res.remoteReads = kv.remoteReads();
     res.lookahead = EnzianCluster::deriveLookahead(cfg, rack.topology());
+    if (sim::DomainScheduler *sched = rack.scheduler()) {
+        res.epochs = sched->epochs();
+        res.grows = sched->adaptiveGrows();
+        res.shrinks = sched->adaptiveShrinks();
+    }
     std::ostringstream os;
     obs::Registry::global().exportJson(os);
     res.registryJson = os.str();
@@ -148,6 +163,7 @@ main(int argc, char **argv)
     if (const char *s = std::getenv("ENZIAN_THREADS"); s && *s)
         threads = parseU32(s, "ENZIAN_THREADS");
     bool describe = false, check = false, json = false;
+    bool adaptive = false;
     std::string json_file;
 
     for (int i = 1; i < argc; ++i) {
@@ -167,6 +183,8 @@ main(int argc, char **argv)
             threads = parseU32(next(), "--threads");
         else if (arg == "--ops")
             ops = parseU32(next(), "--ops");
+        else if (arg == "--adaptive")
+            adaptive = true;
         else if (arg == "--describe")
             describe = true;
         else if (arg == "--check-determinism")
@@ -191,13 +209,14 @@ main(int argc, char **argv)
         // The same rack must simulate identically — down to the
         // exported registry bytes — at 1 thread and at N.
         const std::uint32_t n_threads = threads ? threads : 4;
-        const auto r1 = runRack(topo, 1, ops);
-        const auto rn = runRack(topo, n_threads, ops);
+        const auto r1 = runRack(topo, 1, ops, adaptive);
+        const auto rn = runRack(topo, n_threads, ops, adaptive);
         const bool same = r1.registryJson == rn.registryJson &&
                           r1.events == rn.events;
-        std::printf("determinism: %u nodes, 1 vs %u threads: %s "
+        std::printf("determinism: %u nodes%s, 1 vs %u threads: %s "
                     "(%llu events, %zu registry bytes)\n",
-                    topo.nodeCount(), n_threads,
+                    topo.nodeCount(),
+                    adaptive ? " (adaptive epochs)" : "", n_threads,
                     same ? "byte-identical" : "DIVERGED",
                     static_cast<unsigned long long>(r1.events),
                     r1.registryJson.size());
@@ -205,14 +224,28 @@ main(int argc, char **argv)
             return 1;
     }
 
-    const auto res = runRack(topo, threads, ops);
+    if (adaptive && threads == 0) {
+        std::fprintf(stderr,
+                     "enzrack: --adaptive requires --threads >= 1\n");
+        return 2;
+    }
+    const auto res = runRack(topo, threads, ops, adaptive);
     std::printf("rack '%s': %u nodes, %u switch ports, %s\n",
                 topo.name.c_str(), topo.nodeCount(), topo.totalPorts(),
                 threads ? "parallel timing domains" : "legacy queue");
-    if (threads)
+    if (threads) {
         std::printf("  threads: %u, epoch lookahead: %.0f ns "
                     "(derived from topology)\n",
                     threads, units::toNanos(res.lookahead));
+        std::printf("  epochs: %llu%s\n",
+                    static_cast<unsigned long long>(res.epochs),
+                    adaptive ? " (adaptive)" : " (fixed)");
+        if (adaptive)
+            std::printf("  adaptive: %llu grown epochs, %llu shrinks "
+                        "back to the fixed step\n",
+                        static_cast<unsigned long long>(res.grows),
+                        static_cast<unsigned long long>(res.shrinks));
+    }
     std::printf("  events: %llu\n",
                 static_cast<unsigned long long>(res.events));
     std::printf("  kv: %llu puts (%llu replica acks), %llu gets "

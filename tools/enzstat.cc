@@ -17,6 +17,12 @@
  *   enzstat --slo  [FILE]        windowed latency-percentile series from
  *                                a GBDT serving run at half capacity
  *   enzstat --interval-us N      sampling period for --csv (default 50000)
+ *   enzstat --adaptive           adaptive epochs on the parallel
+ *                                machine (implies 1 worker thread
+ *                                unless ENZIAN_THREADS says more);
+ *                                the scheduler's epoch_len histogram
+ *                                and adaptive_grows/adaptive_shrinks
+ *                                counters appear in every export
  *
  * FILE defaults to stdout ("-"). Options combine; each export runs
  * over the same single scenario.
@@ -43,6 +49,7 @@
 #include "obs/span_tracer.hh"
 #include "platform/obs_demo.hh"
 #include "platform/platform_factory.hh"
+#include "sim/domain_scheduler.hh"
 
 using namespace enzian;
 
@@ -82,7 +89,7 @@ int
 main(int argc, char **argv)
 {
     bool json = false, prom = false, csv = false, trace = false;
-    bool slo = false;
+    bool slo = false, adaptive = false;
     std::string json_path, prom_path, csv_path, trace_path, slo_path;
     double interval_us = 50000.0;
     for (int i = 1; i < argc; ++i) {
@@ -104,12 +111,14 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--interval-us") == 0 &&
                    i + 1 < argc) {
             interval_us = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+            adaptive = true;
         } else {
             std::fprintf(stderr,
                          "usage: enzstat [--json [FILE]] "
                          "[--prom [FILE]] [--csv [FILE]] "
                          "[--trace [FILE]] [--slo [FILE]] "
-                         "[--interval-us N]\n");
+                         "[--interval-us N] [--adaptive]\n");
             return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
         }
     }
@@ -136,6 +145,16 @@ main(int argc, char **argv)
             cfg.threads = threads;
         }
     }
+    if (adaptive) {
+        if (csv) {
+            std::fprintf(stderr, "enzstat: --adaptive is ignored with "
+                                 "--csv (single-queue machine)\n");
+        } else {
+            cfg.adaptive_epochs = true;
+            if (cfg.threads == 0)
+                cfg.threads = 1;
+        }
+    }
     platform::EnzianMachine m(cfg);
     platform::ObsDemo demo(m);
 
@@ -159,6 +178,16 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(demo.eciLines()),
                  static_cast<unsigned long long>(demo.tcpBytes()),
                  static_cast<unsigned long long>(demo.fpgaJobs()));
+    if (sim::DomainScheduler *sched = m.scheduler()) {
+        std::fprintf(
+            stderr,
+            "enzstat: %llu epochs (%s), %llu adaptive grows, %llu "
+            "shrinks\n",
+            static_cast<unsigned long long>(sched->epochs()),
+            sched->adaptive() ? "adaptive" : "fixed",
+            static_cast<unsigned long long>(sched->adaptiveGrows()),
+            static_cast<unsigned long long>(sched->adaptiveShrinks()));
+    }
 
     if (slo) {
         // A second, independent run: Poisson arrivals into the GBDT
